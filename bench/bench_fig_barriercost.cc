@@ -1,0 +1,74 @@
+// Figure: synchronization primitive cost vs number of processors.
+//
+// The paper's motivation ([10], §1): "executing a barrier has some
+// run-time overhead that typically grows quickly as the number of
+// processors increases", which is why replacing barriers with pairwise
+// counters pays off.  This google-benchmark binary measures:
+//   * the centralized sense-reversing barrier,
+//   * the combining-tree barrier,
+//   * a counter post+wait pair (neighbor synchronization),
+// at 1..8 threads.  The shape to observe: barrier cost grows with thread
+// count; a counter pair stays flat (it synchronizes two processors
+// regardless of team size).
+#include <benchmark/benchmark.h>
+
+#include "runtime/barrier.h"
+#include "runtime/counter.h"
+
+namespace {
+
+using spmd::rt::CentralBarrier;
+using spmd::rt::CounterSync;
+using spmd::rt::TreeBarrier;
+
+void BM_CentralBarrier(benchmark::State& state) {
+  static CentralBarrier* barrier = nullptr;
+  if (state.thread_index() == 0)
+    barrier = new CentralBarrier(static_cast<int>(state.threads()));
+  for (auto _ : state) barrier->arrive(state.thread_index());
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations());
+    delete barrier;
+    barrier = nullptr;
+  }
+}
+BENCHMARK(BM_CentralBarrier)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_TreeBarrier(benchmark::State& state) {
+  static TreeBarrier* barrier = nullptr;
+  if (state.thread_index() == 0)
+    barrier = new TreeBarrier(static_cast<int>(state.threads()));
+  for (auto _ : state) barrier->arrive(state.thread_index());
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations());
+    delete barrier;
+    barrier = nullptr;
+  }
+}
+BENCHMARK(BM_TreeBarrier)->ThreadRange(1, 8)->UseRealTime();
+
+// Counter pair: every thread posts its slot and waits for its left
+// neighbor — the optimizer's nearest-neighbor replacement pattern.  Cost
+// is per-pair and does not grow with team size.
+void BM_CounterNeighbor(benchmark::State& state) {
+  static CounterSync* counter = nullptr;
+  if (state.thread_index() == 0)
+    counter = new CounterSync(static_cast<int>(state.threads()));
+  std::uint64_t occurrence = 0;
+  for (auto _ : state) {
+    ++occurrence;
+    counter->post(state.thread_index(), occurrence);
+    if (state.thread_index() > 0)
+      counter->wait(state.thread_index() - 1, occurrence);
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations());
+    delete counter;
+    counter = nullptr;
+  }
+}
+BENCHMARK(BM_CounterNeighbor)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

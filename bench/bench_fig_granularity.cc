@@ -1,0 +1,45 @@
+// Figure: synchronization overhead vs granularity.
+//
+// Paper §1 (after [10]): "When the amount of computation in a parallel
+// loop (also known as granularity) is small, parallel speedup can be
+// significantly limited due to barrier synchronization overhead."  Sweep
+// the problem size N for jacobi1d at fixed P and report synchronization
+// events per element update — the base curve stays constant per time step
+// while work shrinks, the optimized curve halves it and the multiblock
+// pack drives it toward zero.
+#include "bench_util.h"
+
+int main() {
+  using namespace spmd;
+  const int nthreads = 4;
+  const i64 steps = 50;
+
+  std::cout << "Figure: sync operations per 1000 element-updates vs N "
+               "(jacobi1d, T=" << steps << ", P=" << nthreads << ")\n\n";
+  TextTable table({"N", "updates", "base barriers", "opt barriers",
+                   "base barrier/1k upd", "opt barrier/1k upd",
+                   "opt counter-op/1k upd"});
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  for (i64 n : {16, 64, 256, 1024, 4096}) {
+    bench::KernelRun run = bench::runKernel(spec, n, steps, nthreads);
+    double updates = static_cast<double>(2 * n * steps);
+    double baseRate =
+        1000.0 * static_cast<double>(run.base.barriers) / updates;
+    double optBarrierRate =
+        1000.0 * static_cast<double>(run.opt.barriers) / updates;
+    double optCounterRate =
+        1000.0 *
+        static_cast<double>(run.opt.counterPosts + run.opt.counterWaits) /
+        updates;
+    table.addRowValues(n, static_cast<i64>(updates), run.base.barriers,
+                       run.opt.barriers, fixed(baseRate, 3),
+                       fixed(optBarrierRate, 3), fixed(optCounterRate, 3));
+  }
+  table.print(std::cout);
+  std::cout << "\nsmaller N = finer granularity: the base barrier rate "
+               "explodes as work shrinks.\nOptimization halves the barrier "
+               "rate; the substituted counter operations cost\nnanoseconds "
+               "each (see bench_fig_barriercost), ~2-3 orders of magnitude "
+               "below a barrier.\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure: elapsed time of base vs optimized SPMD programs across
+// processor counts.
+//
+// The paper reports run-time improvements from eliminating barriers.  On
+// this reproduction host the absolute numbers reflect an interpreted
+// kernel on (possibly) oversubscribed cores, so the meaningful signal is
+// the *ratio* between base and optimized at the same thread count — the
+// synchronization overhead removed — rather than parallel speedup.
+#include "bench_util.h"
+
+int main() {
+  using namespace spmd;
+
+  std::cout << "Figure: elapsed seconds, fork-join base vs optimized "
+               "regions\n(interpreted kernels; compare base vs opt at equal "
+               "P)\n\n";
+  TextTable table({"program", "P", "seq s", "base s", "opt s", "base/opt"});
+  for (const char* name :
+       {"jacobi1d", "sor_pipeline", "adi", "multiblock", "shallow"}) {
+    kernels::KernelSpec spec = kernels::kernelByName(name);
+    for (int threads : {1, 2, 4}) {
+      bench::KernelRun run =
+          bench::runKernel(spec, spec.defaultN, spec.defaultT, threads);
+      table.addRowValues(spec.name, threads, fixed(run.seqSeconds, 4),
+                         fixed(run.baseSeconds, 4), fixed(run.optSeconds, 4),
+                         fixed(run.baseSeconds / std::max(run.optSeconds,
+                                                          1e-9),
+                               2));
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 1: benchmark characteristics — program structure as seen by the
+// compiler, and what region formation makes of it.
+#include "bench_util.h"
+#include "ir/printer.h"
+
+int main() {
+  using namespace spmd;
+
+  TextTable table({"program", "family", "stmts", "parallel loops",
+                   "SPMD regions", "region nodes", "sync boundaries",
+                   "description"});
+  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+    core::SyncOptimizer opt(*spec.program, *spec.decomp);
+    core::RegionProgram regions = opt.runBarriersOnly();
+    std::size_t boundaries = 0;
+    std::size_t nodes = 0;
+    for (const core::RegionProgram::Item& item : regions.items) {
+      if (!item.isRegion()) continue;
+      boundaries += item.region->boundaryCount();
+      nodes += item.region->nodeCount();
+    }
+    table.addRowValues(spec.name, spec.family,
+                       spec.program->statementCount(),
+                       spec.program->parallelLoopCount(),
+                       regions.regionCount(), nodes, boundaries,
+                       spec.description);
+  }
+  std::cout << "Table 1: benchmark suite characteristics\n\n";
+  table.print(std::cout);
+  return 0;
+}

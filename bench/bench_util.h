@@ -1,0 +1,70 @@
+// Shared helpers for the paper-table benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+
+#include "codegen/spmd_executor.h"
+#include "core/optimizer.h"
+#include "ir/seq_executor.h"
+#include "kernels/kernels.h"
+#include "support/text_table.h"
+
+namespace spmd::bench {
+
+struct KernelRun {
+  rt::SyncCounts base;
+  rt::SyncCounts opt;
+  core::OptStats stats;
+  double maxDiff = 0.0;  ///< optimized vs sequential reference
+  double seqSeconds = 0.0;
+  double baseSeconds = 0.0;
+  double optSeconds = 0.0;
+};
+
+/// Runs one kernel in all three modes and cross-checks numerics.
+inline KernelRun runKernel(const kernels::KernelSpec& spec, i64 n, i64 t,
+                           int nthreads,
+                           core::OptimizerOptions options = {}) {
+  ir::SymbolBindings symbols = spec.bindings(n, t);
+  KernelRun out;
+
+  auto time = [](auto&& fn) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  ir::Store ref(*spec.program, symbols);
+  out.seqSeconds = time([&] { ir::runSequential(*spec.program, ref); });
+
+  cg::RunResult base{ir::Store(*spec.program, symbols), {}};
+  out.baseSeconds = time([&] {
+    base = cg::runForkJoin(*spec.program, *spec.decomp, symbols, nthreads);
+  });
+  out.base = base.counts;
+
+  core::SyncOptimizer opt(*spec.program, *spec.decomp, options);
+  core::RegionProgram plan = opt.run();
+  out.stats = opt.stats();
+
+  cg::RunResult optimized{ir::Store(*spec.program, symbols), {}};
+  out.optSeconds = time([&] {
+    optimized = cg::runRegions(*spec.program, *spec.decomp, plan, symbols,
+                               nthreads);
+  });
+  out.opt = optimized.counts;
+  out.maxDiff = ir::Store::maxAbsDifference(ref, optimized.store);
+  SPMD_CHECK(out.maxDiff <= spec.tolerance,
+             "optimized run diverged for " + spec.name);
+  return out;
+}
+
+inline double reductionPercent(std::uint64_t base, std::uint64_t opt) {
+  if (base == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(opt) / static_cast<double>(base));
+}
+
+}  // namespace spmd::bench

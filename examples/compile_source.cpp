@@ -1,0 +1,97 @@
+// Full compiler-style pipeline from Fortran-like source text:
+// parse -> validate -> decompose -> optimize -> report -> execute.
+//
+//   $ ./examples/compile_source            # builds the embedded program
+//   $ ./examples/compile_source file.f     # or compile a file
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/validate.h"
+#include "codegen/spmd_executor.h"
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "core/report.h"
+#include "ir/parser.h"
+#include "ir/seq_executor.h"
+
+namespace {
+
+const char* kDefaultSource = R"(PROGRAM wave
+SYMBOLIC N >= 8
+SYMBOLIC T >= 1
+REAL U(N + 2) = 1.0
+REAL V(N + 2) = 0.5
+REAL Un(N + 2) = 0.0
+DO t = 1, T
+  DOALL i = 1, N
+    Un(i) = 2.0 * U(i) - V(i) + 0.1 * (U(i - 1) - 2.0 * U(i) + U(i + 1))
+  ENDDO
+  DOALL i2 = 1, N
+    V(i2) = U(i2)
+  ENDDO
+  DOALL i3 = 1, N
+    U(i3) = Un(i3)
+  ENDDO
+ENDDO
+END
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spmd;
+
+  std::string source = kDefaultSource;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  // Front end.
+  ir::Program prog = ir::parseProgram(source);
+  std::cout << "parsed program '" << prog.name() << "': "
+            << prog.statementCount() << " statements, "
+            << prog.parallelLoopCount() << " parallel loops\n\n";
+
+  // Legality of the DOALL annotations.
+  analysis::validateProgramOrThrow(prog);
+  std::cout << "validation: all parallel loops are dependence-free\n\n";
+
+  // Decomposition: block-distribute every array on its first dimension.
+  part::Decomposition decomp(prog);
+  for (std::size_t a = 0; a < prog.arrays().size(); ++a)
+    decomp.distribute(ir::ArrayId{static_cast<int>(a)}, 0,
+                      part::DistKind::Block);
+
+  // Synchronization optimization.
+  core::SyncOptimizer optimizer(prog, decomp);
+  core::RegionProgram plan = optimizer.run();
+  std::cout << "=== optimization report ===\n"
+            << core::renderReport(optimizer.report()) << "\n"
+            << "=== generated SPMD program ===\n"
+            << cg::printSpmdProgram(prog, decomp, plan) << "\n";
+
+  // Execute and verify.
+  ir::SymbolBindings symbols;
+  for (const ir::SymbolicInfo& s : prog.symbolics())
+    symbols[s.var.index] = s.name == "T" ? 10 : 256;
+  ir::Store ref = ir::runSequential(prog, symbols);
+  cg::RunResult base = cg::runForkJoin(prog, decomp, symbols, 4);
+  cg::RunResult opt = cg::runRegions(prog, decomp, plan, symbols, 4);
+
+  std::cout << "=== execution (P=4) ===\n"
+            << "barriers: " << base.counts.barriers << " (base) -> "
+            << opt.counts.barriers << " (optimized)\n"
+            << "counters: " << opt.counts.counterPosts << " posts, "
+            << opt.counts.counterWaits << " waits\n"
+            << "max |difference| vs sequential: "
+            << ir::Store::maxAbsDifference(ref, opt.store) << "\n";
+  return 0;
+}

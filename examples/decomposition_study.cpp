@@ -1,0 +1,54 @@
+// Decomposition sensitivity study: the same 3-point stencil under BLOCK
+// vs CYCLIC distribution.
+//
+// The paper assumes the global decomposition pass chose partitions that
+// co-locate data and computation; this example shows what happens when it
+// does not.  Under BLOCK, neighbor traffic crosses processors only at
+// block boundaries and every barrier weakens to a counter; under CYCLIC,
+// ownership (x mod P) is not expressible as a *linear* constraint with
+// symbolic P, so communication analysis conservatively keeps every
+// barrier — and at run time nearly every access really is remote.
+#include <iostream>
+
+#include "codegen/spmd_executor.h"
+#include "core/optimizer.h"
+#include "ir/seq_executor.h"
+#include "kernels/kernels.h"
+#include "support/text_table.h"
+
+int main() {
+  using namespace spmd;
+
+  TextTable table({"kernel", "distribution", "base barriers", "opt barriers",
+                   "reduction", "counters", "verified"});
+  for (const char* name : {"jacobi1d", "cyclic_jacobi"}) {
+    kernels::KernelSpec spec = kernels::kernelByName(name);
+    core::SyncOptimizer optimizer(*spec.program, *spec.decomp);
+    core::RegionProgram plan = optimizer.run();
+
+    ir::SymbolBindings symbols = spec.bindings(128, 25);
+    ir::Store ref = ir::runSequential(*spec.program, symbols);
+    cg::RunResult base =
+        cg::runForkJoin(*spec.program, *spec.decomp, symbols, 4);
+    cg::RunResult opt =
+        cg::runRegions(*spec.program, *spec.decomp, plan, symbols, 4);
+
+    double reduction =
+        base.counts.barriers == 0
+            ? 0.0
+            : 100.0 * (1.0 - double(opt.counts.barriers) /
+                                 double(base.counts.barriers));
+    bool ok = ir::Store::maxAbsDifference(ref, opt.store) <= spec.tolerance;
+    table.addRowValues(
+        name, name == std::string("jacobi1d") ? "BLOCK" : "CYCLIC",
+        base.counts.barriers, opt.counts.barriers,
+        std::to_string(int(reduction)) + "%",
+        opt.counts.counterPosts + opt.counts.counterWaits,
+        ok ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nLesson: synchronization optimization is only as good as "
+               "the decomposition\nfeeding it — exactly why the paper "
+               "couples it to global automatic data\ndecomposition [4, 5].\n";
+  return 0;
+}

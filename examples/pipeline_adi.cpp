@@ -1,0 +1,45 @@
+// Pipelining showcase (paper §3.3): the ADI y-sweep updates rows in
+// sequence, and each row lives on one processor — a wavefront.  The
+// per-iteration barrier becomes a neighbor counter, letting processor p
+// start its rows as soon as processor p-1 finishes the boundary row,
+// instead of waiting for everyone ("eliminating the barrier allows small
+// perturbations in task execution time to even out").
+#include <iostream>
+
+#include "codegen/spmd_executor.h"
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "ir/seq_executor.h"
+#include "kernels/kernels.h"
+#include "support/text_table.h"
+
+int main() {
+  using namespace spmd;
+
+  for (const char* name : {"adi", "sor_pipeline"}) {
+    kernels::KernelSpec spec = kernels::kernelByName(name);
+    core::SyncOptimizer optimizer(*spec.program, *spec.decomp);
+    core::RegionProgram plan = optimizer.run();
+    const core::OptStats& stats = optimizer.stats();
+
+    std::cout << "=== " << name << " ===\n";
+    std::cout << cg::printSpmdProgram(*spec.program, *spec.decomp, plan);
+    std::cout << "back edges pipelined: " << stats.backEdgesPipelined
+              << ", eliminated: " << stats.backEdgesEliminated
+              << ", counters: " << stats.counters << "\n\n";
+
+    ir::SymbolBindings symbols = spec.bindings(48, 6);
+    ir::Store ref = ir::runSequential(*spec.program, symbols);
+    cg::RunResult base =
+        cg::runForkJoin(*spec.program, *spec.decomp, symbols, 4);
+    cg::RunResult opt =
+        cg::runRegions(*spec.program, *spec.decomp, plan, symbols, 4);
+    std::cout << "barriers: " << base.counts.barriers << " -> "
+              << opt.counts.barriers << "  (counters: "
+              << opt.counts.counterPosts << " posts / "
+              << opt.counts.counterWaits << " waits)\n"
+              << "max |diff| vs sequential: "
+              << ir::Store::maxAbsDifference(ref, opt.store) << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a small parallel program with the IR DSL, run the
+// synchronization optimizer, and execute both the base fork-join and the
+// optimized SPMD version.
+//
+//   $ ./examples/quickstart
+//
+// The program is two parallel loops: a producer A(i) = i and an aligned
+// consumer C(i) = A(i) + 1.  Communication analysis proves the barrier
+// between them is unnecessary (producer and consumer of every element are
+// the same processor), so the optimized version runs both loops in one
+// SPMD region with no interior synchronization.
+#include <iostream>
+
+#include "codegen/spmd_executor.h"
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/seq_executor.h"
+
+int main() {
+  using namespace spmd;
+  using ir::ArrayHandle;
+  using ir::Ix;
+
+  // 1. Build the program.
+  ir::Builder b("quickstart");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N});
+  ArrayHandle C = b.array("C", {N});
+  b.parFor("i", 0, N - 1, [&](Ix i) { b.assign(A(i), 2.0 * i); });
+  b.parFor("j", 0, N - 1, [&](Ix j) { b.assign(C(j), A(j) + 1.0); });
+  ir::Program prog = b.finish();
+
+  std::cout << "=== source program ===\n" << ir::printProgram(prog) << "\n";
+
+  // 2. Choose a data decomposition (BLOCK rows over a 1-D processor grid).
+  part::Decomposition decomp(prog);
+  decomp.distribute(A.id(), 0, part::DistKind::Block);
+  decomp.distribute(C.id(), 0, part::DistKind::Block);
+
+  // 3. Run the synchronization optimizer.
+  core::SyncOptimizer optimizer(prog, decomp);
+  core::RegionProgram plan = optimizer.run();
+  const core::OptStats& stats = optimizer.stats();
+  std::cout << "=== optimizer ===\n"
+            << "regions formed:      " << stats.regions << "\n"
+            << "boundaries examined: " << stats.boundaries << "\n"
+            << "barriers eliminated: " << stats.eliminated << "\n"
+            << "counters placed:     " << stats.counters << "\n"
+            << "barriers kept:       " << stats.barriers << "\n\n";
+
+  std::cout << "=== generated SPMD program ===\n"
+            << cg::printSpmdProgram(prog, decomp, plan) << "\n";
+
+  // 4. Execute: sequential reference, base fork-join, optimized regions.
+  ir::SymbolBindings symbols = {{prog.symbolics()[0].var.index, 1000}};
+  ir::Store ref = ir::runSequential(prog, symbols);
+  cg::RunResult base = cg::runForkJoin(prog, decomp, symbols, /*nthreads=*/4);
+  cg::RunResult opt = cg::runRegions(prog, decomp, plan, symbols, 4);
+
+  std::cout << "=== dynamic synchronization counts (P=4, N=1000) ===\n"
+            << "base fork-join : " << base.counts.barriers << " barriers, "
+            << base.counts.broadcasts << " broadcasts\n"
+            << "optimized SPMD : " << opt.counts.barriers << " barriers, "
+            << opt.counts.broadcasts << " broadcasts\n";
+
+  double diff = ir::Store::maxAbsDifference(ref, opt.store);
+  std::cout << "max |difference| vs sequential: " << diff << "\n";
+  return diff == 0.0 ? 0 : 1;
+}

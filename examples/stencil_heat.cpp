@@ -1,0 +1,50 @@
+// Heat-diffusion stencil walkthrough: the paper's bread-and-butter case.
+//
+// A 5-point Jacobi time step needs data from neighboring rows, so the
+// barrier between the compute and copy loops cannot simply disappear —
+// but communication analysis proves all traffic is nearest-neighbor, so
+// the optimizer replaces it with counters, and the copy->compute boundary
+// (aligned) is eliminated.  This example prints the plan and measures the
+// synchronization volume across processor counts.
+#include <iostream>
+
+#include "codegen/spmd_executor.h"
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "ir/seq_executor.h"
+#include "kernels/kernels.h"
+#include "support/text_table.h"
+
+int main() {
+  using namespace spmd;
+
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi2d");
+  core::SyncOptimizer optimizer(*spec.program, *spec.decomp);
+  core::RegionProgram plan = optimizer.run();
+
+  std::cout << "=== optimized SPMD plan for jacobi2d ===\n"
+            << cg::printSpmdProgram(*spec.program, *spec.decomp, plan)
+            << "\n";
+
+  const i64 n = 64, t = 20;
+  ir::SymbolBindings symbols = spec.bindings(n, t);
+  ir::Store ref = ir::runSequential(*spec.program, symbols);
+
+  TextTable table({"P", "base barriers", "opt barriers", "opt posts",
+                   "opt waits", "max |diff|"});
+  for (int threads : {1, 2, 4, 8}) {
+    cg::RunResult base =
+        cg::runForkJoin(*spec.program, *spec.decomp, symbols, threads);
+    cg::RunResult opt =
+        cg::runRegions(*spec.program, *spec.decomp, plan, symbols, threads);
+    table.addRowValues(threads, base.counts.barriers, opt.counts.barriers,
+                       opt.counts.counterPosts, opt.counts.counterWaits,
+                       ir::Store::maxAbsDifference(ref, opt.store));
+  }
+  std::cout << "=== N=" << n << ", T=" << t << " ===\n";
+  table.print(std::cout);
+  std::cout << "\nNote how counter waits scale with P (pairwise sync) while "
+               "each eliminated barrier\nwould have cost every processor an "
+               "all-to-all rendezvous.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "analysis/access.h"
+
+#include <algorithm>
+
+namespace spmd::analysis {
+
+std::vector<const Access*> AccessSet::writes() const {
+  std::vector<const Access*> out;
+  for (const Access& a : arrays)
+    if (a.isWrite) out.push_back(&a);
+  return out;
+}
+
+std::vector<const Access*> AccessSet::reads() const {
+  std::vector<const Access*> out;
+  for (const Access& a : arrays)
+    if (!a.isWrite) out.push_back(&a);
+  return out;
+}
+
+bool AccessSet::writesScalars() const {
+  return std::any_of(scalars.begin(), scalars.end(),
+                     [](const ScalarAccess& s) { return s.isWrite; });
+}
+
+void AccessSet::merge(const AccessSet& other) {
+  arrays.insert(arrays.end(), other.arrays.begin(), other.arrays.end());
+  scalars.insert(scalars.end(), other.scalars.begin(), other.scalars.end());
+}
+
+namespace {
+
+void collectRec(const ir::Stmt& stmt, std::vector<const ir::Stmt*>& loops,
+                AccessSet& out) {
+  switch (stmt.kind()) {
+    case ir::Stmt::Kind::ArrayAssign: {
+      const ir::ArrayAssign& a = stmt.arrayAssign();
+      out.arrays.push_back(
+          Access{a.array, a.subscripts, /*isWrite=*/true, &stmt, loops});
+      if (a.reduction != ir::ReductionOp::None) {
+        // target (op)= rhs also reads the target element.
+        out.arrays.push_back(
+            Access{a.array, a.subscripts, /*isWrite=*/false, &stmt, loops});
+      }
+      std::vector<ir::ArrayRead> reads;
+      collectArrayReads(a.rhs, reads);
+      for (ir::ArrayRead& r : reads)
+        out.arrays.push_back(Access{r.array, std::move(r.subscripts),
+                                    /*isWrite=*/false, &stmt, loops});
+      std::vector<ir::ScalarId> sreads;
+      collectScalarReads(a.rhs, sreads);
+      for (ir::ScalarId s : sreads)
+        out.scalars.push_back(ScalarAccess{s, /*isWrite=*/false,
+                                           ir::ReductionOp::None, &stmt,
+                                           loops});
+      return;
+    }
+    case ir::Stmt::Kind::ScalarAssign: {
+      const ir::ScalarAssign& s = stmt.scalarAssign();
+      out.scalars.push_back(
+          ScalarAccess{s.scalar, /*isWrite=*/true, s.reduction, &stmt, loops});
+      if (s.reduction != ir::ReductionOp::None)
+        out.scalars.push_back(ScalarAccess{s.scalar, /*isWrite=*/false,
+                                           s.reduction, &stmt, loops});
+      std::vector<ir::ArrayRead> reads;
+      collectArrayReads(s.rhs, reads);
+      for (ir::ArrayRead& r : reads)
+        out.arrays.push_back(Access{r.array, std::move(r.subscripts),
+                                    /*isWrite=*/false, &stmt, loops});
+      std::vector<ir::ScalarId> sreads;
+      collectScalarReads(s.rhs, sreads);
+      for (ir::ScalarId sid : sreads)
+        out.scalars.push_back(ScalarAccess{sid, /*isWrite=*/false,
+                                           ir::ReductionOp::None, &stmt,
+                                           loops});
+      return;
+    }
+    case ir::Stmt::Kind::Loop: {
+      loops.push_back(&stmt);
+      for (const ir::StmtPtr& child : stmt.loop().body)
+        collectRec(*child, loops, out);
+      loops.pop_back();
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+}  // namespace
+
+AccessSet collectAccesses(const ir::Stmt& stmt,
+                          std::vector<const ir::Stmt*> outerLoops) {
+  AccessSet out;
+  collectRec(stmt, outerLoops, out);
+  return out;
+}
+
+const ir::Stmt* enclosingParallelLoop(
+    const std::vector<const ir::Stmt*>& loops) {
+  for (const ir::Stmt* l : loops)
+    if (l->loop().parallel) return l;
+  return nullptr;
+}
+
+const ir::Stmt* enclosingParallelLoop(const Access& a) {
+  return enclosingParallelLoop(a.loops);
+}
+
+}  // namespace spmd::analysis

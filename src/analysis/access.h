@@ -1,0 +1,58 @@
+// Reference collection: gathering the definitions and references of a
+// statement subtree with their full loop context.
+//
+// The greedy elimination algorithm (paper §3.2.2) maintains "lists of
+// variable definitions and references" per statement group and compares
+// them pairwise; these Access records are those list entries.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.h"
+
+namespace spmd::analysis {
+
+/// One array access (read or write) with its enclosing loop chain.
+struct Access {
+  ir::ArrayId array;
+  std::vector<poly::LinExpr> subscripts;
+  bool isWrite = false;
+  const ir::Stmt* stmt = nullptr;  ///< the assignment containing the access
+  /// Enclosing loop statements, outermost first, *within the collected
+  /// subtree* (loops outside the subtree are the caller's context).
+  std::vector<const ir::Stmt*> loops;
+};
+
+/// One scalar access.
+struct ScalarAccess {
+  ir::ScalarId scalar;
+  bool isWrite = false;
+  ir::ReductionOp reduction = ir::ReductionOp::None;
+  const ir::Stmt* stmt = nullptr;
+  std::vector<const ir::Stmt*> loops;
+};
+
+/// Definition and reference lists for a statement group.
+struct AccessSet {
+  std::vector<Access> arrays;
+  std::vector<ScalarAccess> scalars;
+
+  std::vector<const Access*> writes() const;
+  std::vector<const Access*> reads() const;
+  bool writesScalars() const;
+
+  /// Merges another group's lists into this one (greedy group merge).
+  void merge(const AccessSet& other);
+};
+
+/// Collects every access in `stmt` (recursively).  `outerLoops` seeds the
+/// loop-chain prefix for accesses inside `stmt`.
+AccessSet collectAccesses(const ir::Stmt& stmt,
+                          std::vector<const ir::Stmt*> outerLoops = {});
+
+/// The parallel loop in an access's loop chain, or nullptr if it is not
+/// enclosed by one (sequential / replicated statement).
+const ir::Stmt* enclosingParallelLoop(const Access& a);
+const ir::Stmt* enclosingParallelLoop(const std::vector<const ir::Stmt*>& loops);
+
+}  // namespace spmd::analysis

@@ -1,0 +1,151 @@
+#include "analysis/dependence.h"
+
+#include <algorithm>
+
+namespace spmd::analysis {
+
+using poly::LinExpr;
+using poly::System;
+using poly::VarId;
+using poly::VarKind;
+
+const char* depKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::Flow:
+      return "flow";
+    case DepKind::Anti:
+      return "anti";
+    case DepKind::Output:
+      return "output";
+  }
+  SPMD_UNREACHABLE("bad DepKind");
+}
+
+DepQueryBuilder::DepQueryBuilder(const ir::Program& prog, poly::System base,
+                                 std::vector<const ir::Stmt*> sharedLoops,
+                                 int relLevel, LevelRel rel)
+    : prog_(&prog),
+      sys_(std::move(base)),
+      sharedLoops_(std::move(sharedLoops)),
+      relLevel_(relLevel),
+      rel_(rel) {
+  SPMD_CHECK(relLevel_ < static_cast<int>(sharedLoops_.size()),
+             "relation level beyond shared loop chain");
+  // Instantiate the shared chain for both sides up front so both accesses
+  // agree on the naming.
+  for (int k = 0; k < static_cast<int>(sharedLoops_.size()); ++k) {
+    const ir::Stmt* loop = sharedLoops_[static_cast<std::size_t>(k)];
+    // Equal means both sides run the same iteration of every shared loop,
+    // wherever the nominal relation level sits.
+    bool shareVar =
+        relLevel_ < 0 || k < relLevel_ || rel_ == LevelRel::Equal;
+    instantiateLoop(loop, 0);
+    if (shareVar) {
+      // Reuse side 0's variable for side 1.
+      VarId v = sides_[0].loopVar.at(loop);
+      sides_[1].varMap[loop->loop().index.index] = v;
+      sides_[1].loopVar[loop] = v;
+      sides_[1].loopLower.emplace(loop, sides_[0].loopLower.at(loop));
+    } else {
+      instantiateLoop(loop, 1);
+      if (k == relLevel_) {
+        VarId src = sides_[0].loopVar.at(loop);
+        VarId dst = sides_[1].loopVar.at(loop);
+        LinExpr gap = LinExpr::var(dst) - LinExpr::var(src);
+        if (rel_ == LevelRel::LaterByOne)
+          sys_.addEQ(gap - LinExpr::constant(loop->loop().step));
+        else if (rel_ == LevelRel::LaterAny)
+          sys_.addGE(gap - LinExpr::constant(loop->loop().step));
+        else if (rel_ == LevelRel::LaterBeyondOne)
+          sys_.addGE(gap - LinExpr::constant(2 * loop->loop().step));
+        // Equal cannot reach here (shareVar would be true).
+      }
+    }
+  }
+}
+
+void DepQueryBuilder::instantiateLoop(const ir::Stmt* loopStmt, int side) {
+  SideState& state = sides_[side];
+  if (state.loopVar.count(loopStmt)) return;
+  const ir::Loop& l = loopStmt->loop();
+
+  std::string name = prog_->space()->name(l.index) + "#" +
+                     std::to_string(side) + "_" +
+                     std::to_string(freshCounter_++);
+  VarId fresh = prog_->space()->add(name, VarKind::LoopIndex);
+
+  LinExpr lo = rename(l.lower, side);
+  LinExpr hi = rename(l.upper, side);
+  sys_.addRange(LinExpr::var(fresh), lo, hi);
+  if (l.step != 1) {
+    // fresh = lo + step*t, t >= 0.
+    VarId t = prog_->space()->add(name + "_t", VarKind::Aux);
+    sys_.addGE(LinExpr::var(t));
+    sys_.addEquals(LinExpr::var(fresh), lo + LinExpr::var(t, l.step));
+  }
+
+  state.varMap[l.index.index] = fresh;
+  state.loopVar[loopStmt] = fresh;
+  state.loopLower.emplace(loopStmt, std::move(lo));
+}
+
+std::vector<LinExpr> DepQueryBuilder::instantiate(const Access& a, int side) {
+  // The access's chain must start with the shared prefix.
+  for (std::size_t k = 0; k < sharedLoops_.size(); ++k) {
+    SPMD_CHECK(k < a.loops.size() && a.loops[k] == sharedLoops_[k],
+               "access loop chain does not extend the shared prefix");
+  }
+  for (std::size_t k = sharedLoops_.size(); k < a.loops.size(); ++k)
+    instantiateLoop(a.loops[k], side);
+
+  std::vector<LinExpr> subs;
+  subs.reserve(a.subscripts.size());
+  for (const LinExpr& s : a.subscripts) subs.push_back(rename(s, side));
+  return subs;
+}
+
+VarId DepQueryBuilder::varFor(const ir::Stmt* loop, int side) const {
+  auto it = sides_[side].loopVar.find(loop);
+  SPMD_CHECK(it != sides_[side].loopVar.end(),
+             "loop not instantiated for this side");
+  return it->second;
+}
+
+LinExpr DepQueryBuilder::lowerFor(const ir::Stmt* loop, int side) const {
+  auto it = sides_[side].loopLower.find(loop);
+  SPMD_CHECK(it != sides_[side].loopLower.end(),
+             "loop not instantiated for this side");
+  return it->second;
+}
+
+LinExpr DepQueryBuilder::rename(const LinExpr& e, int side) const {
+  const auto& map = sides_[side].varMap;
+  LinExpr out = LinExpr::constant(e.constTerm());
+  for (const auto& [v, coef] : e.terms()) {
+    auto it = map.find(v.index);
+    out += LinExpr::var(it == map.end() ? v : it->second, coef);
+  }
+  return out;
+}
+
+DepKind classifyDep(const Access& src, const Access& dst) {
+  SPMD_CHECK(src.isWrite || dst.isWrite, "dependence needs a write");
+  if (src.isWrite && dst.isWrite) return DepKind::Output;
+  return src.isWrite ? DepKind::Flow : DepKind::Anti;
+}
+
+bool mayDepend(const ir::Program& prog, const Access& src, const Access& dst,
+               const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
+               LevelRel rel, const poly::System& base) {
+  if (src.array != dst.array) return false;
+  if (!src.isWrite && !dst.isWrite) return false;  // input deps are harmless
+  if (src.subscripts.size() != dst.subscripts.size()) return true;  // odd; be safe
+
+  DepQueryBuilder q(prog, base, sharedLoops, relLevel, rel);
+  std::vector<LinExpr> s0 = q.instantiate(src, 0);
+  std::vector<LinExpr> s1 = q.instantiate(dst, 1);
+  for (std::size_t d = 0; d < s0.size(); ++d) q.sys().addEquals(s0[d], s1[d]);
+  return poly::scanRational(q.sys()) != poly::Feasibility::Infeasible;
+}
+
+}  // namespace spmd::analysis

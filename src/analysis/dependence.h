@@ -1,0 +1,98 @@
+// Pairwise data-dependence queries as systems of symbolic linear
+// inequalities.
+//
+// A query instantiates two accesses with renamed iteration variables,
+// equates their subscripts, bounds both iteration spaces, and asks the
+// Fourier–Motzkin engine for consistency.  The GCD filter runs implicitly
+// when equality constraints are normalized; Banerjee-style bound filtering
+// is subsumed by the exact scan.
+//
+// Loop relations.  Accesses may share a prefix of enclosing loops (the
+// sequential loops surrounding an SPMD region).  A query fixes how the two
+// sides relate at one "relation level" of that shared chain:
+//   Equal      — same iteration of every shared loop: loop-independent
+//                dependence, the test used for barrier elimination at the
+//                current nesting level (paper §3.2.2 step 3).
+//   LaterAny   — dst runs in a strictly later iteration of the relation
+//                loop: loop-carried dependence at that level (back-edge
+//                barrier test).
+//   LaterByOne — dst runs exactly one iteration later: the pipelining
+//                pattern (paper §3.3's DO K example).
+// Shared loops *outside* the relation level are always equated; shared
+// loops inside it are left unrelated (conservative).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/access.h"
+#include "poly/fourier_motzkin.h"
+
+namespace spmd::analysis {
+
+enum class LevelRel { Equal, LaterAny, LaterByOne, LaterBeyondOne };
+
+enum class DepKind { Flow, Anti, Output };
+
+const char* depKindName(DepKind kind);
+
+/// Builds the inequality system for one (src access, dst access) pair.
+///
+/// Side 0 is the source (earlier) access, side 1 the destination.  Both
+/// accesses' `loops` chains must begin with `sharedLoops` as a prefix.
+class DepQueryBuilder {
+ public:
+  DepQueryBuilder(const ir::Program& prog, poly::System base,
+                  std::vector<const ir::Stmt*> sharedLoops, int relLevel,
+                  LevelRel rel);
+
+  /// Registers the loop chain of an access for `side`, creating renamed
+  /// iteration variables and bound constraints, and returns the access's
+  /// subscripts rewritten over those variables.
+  std::vector<poly::LinExpr> instantiate(const Access& a, int side);
+
+  /// The renamed variable for `loop` on `side` (must be instantiated).
+  poly::VarId varFor(const ir::Stmt* loop, int side) const;
+
+  /// `loop`'s lower bound rewritten for `side` (for block partitions).
+  poly::LinExpr lowerFor(const ir::Stmt* loop, int side) const;
+
+  /// Rewrites an arbitrary affine expression (over original loop vars and
+  /// symbolics) into `side`'s renamed variables.
+  poly::LinExpr rename(const poly::LinExpr& e, int side) const;
+
+  poly::System& sys() { return sys_; }
+  const ir::Program& program() const { return *prog_; }
+
+ private:
+  struct SideState {
+    std::map<int, poly::VarId> varMap;               // orig var -> renamed
+    std::map<const ir::Stmt*, poly::VarId> loopVar;  // loop stmt -> renamed
+    std::map<const ir::Stmt*, poly::LinExpr> loopLower;
+  };
+
+  void instantiateLoop(const ir::Stmt* loop, int side);
+
+  const ir::Program* prog_;
+  poly::System sys_;
+  std::vector<const ir::Stmt*> sharedLoops_;
+  int relLevel_;
+  LevelRel rel_;
+  SideState sides_[2];
+  int freshCounter_ = 0;
+};
+
+/// True unless the analysis *proves* there is no dependence of any kind
+/// (same array, one side writing, equal subscripts) from `src` to `dst`
+/// under the given loop relation.  This is the "dependence-only" test used
+/// by the ablation baseline: it ignores computation partitions entirely.
+bool mayDepend(const ir::Program& prog, const Access& src, const Access& dst,
+               const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
+               LevelRel rel, const poly::System& base);
+
+/// Classifies the dependence kind of a (src, dst) pair where at least one
+/// side writes.
+DepKind classifyDep(const Access& src, const Access& dst);
+
+}  // namespace spmd::analysis

@@ -1,0 +1,156 @@
+#include "analysis/validate.h"
+
+#include <sstream>
+
+namespace spmd::analysis {
+
+const char* validationIssueKindName(ValidationIssue::Kind kind) {
+  switch (kind) {
+    case ValidationIssue::Kind::CarriedArrayDependence:
+      return "carried-array-dependence";
+    case ValidationIssue::Kind::EscapingPrivateScalar:
+      return "escaping-private-scalar";
+    case ValidationIssue::Kind::SubscriptRankMismatch:
+      return "subscript-rank-mismatch";
+  }
+  SPMD_UNREACHABLE("bad ValidationIssue kind");
+}
+
+namespace {
+
+struct Validator {
+  const ir::Program& prog;
+  std::vector<ValidationIssue> issues;
+
+  void checkRank(const ir::ArrayId array,
+                 const std::vector<poly::LinExpr>& subs,
+                 const char* context) {
+    if (subs.size() != prog.array(array).extents.size()) {
+      std::ostringstream os;
+      os << context << ": array " << prog.array(array).name << " has rank "
+         << prog.array(array).extents.size() << " but is accessed with "
+         << subs.size() << " subscripts";
+      issues.push_back(ValidationIssue{
+          ValidationIssue::Kind::SubscriptRankMismatch, os.str()});
+    }
+  }
+
+  void checkRanksRec(const ir::Stmt& stmt) {
+    switch (stmt.kind()) {
+      case ir::Stmt::Kind::ArrayAssign: {
+        const ir::ArrayAssign& a = stmt.arrayAssign();
+        checkRank(a.array, a.subscripts, "assignment");
+        std::vector<ir::ArrayRead> reads;
+        ir::collectArrayReads(a.rhs, reads);
+        for (const ir::ArrayRead& r : reads)
+          checkRank(r.array, r.subscripts, "read");
+        return;
+      }
+      case ir::Stmt::Kind::ScalarAssign: {
+        std::vector<ir::ArrayRead> reads;
+        ir::collectArrayReads(stmt.scalarAssign().rhs, reads);
+        for (const ir::ArrayRead& r : reads)
+          checkRank(r.array, r.subscripts, "read");
+        return;
+      }
+      case ir::Stmt::Kind::Loop:
+        for (const ir::StmtPtr& child : stmt.loop().body)
+          checkRanksRec(*child);
+        return;
+    }
+    SPMD_UNREACHABLE("bad Stmt kind");
+  }
+
+  /// Checks one parallel loop for carried dependences.  `outer` is the
+  /// loop chain from the program root down to (excluding) the loop.
+  void checkParallelLoop(const ir::Stmt* loop,
+                         std::vector<const ir::Stmt*>& outer) {
+    AccessSet acc = collectAccesses(*loop, outer);
+
+    // Carried array dependence: any (write, any) access pair that can
+    // touch the same element in different iterations of this loop, with
+    // all outer loops at equal iterations.
+    std::vector<const ir::Stmt*> shared = outer;
+    shared.push_back(loop);
+    int level = static_cast<int>(shared.size()) - 1;
+    poly::System base = prog.symbolicContext();
+    for (const Access& a : acc.arrays) {
+      for (const Access& b : acc.arrays) {
+        if (!a.isWrite && !b.isWrite) continue;
+        if (mayDepend(prog, a, b, shared, level, LevelRel::LaterAny, base)) {
+          std::ostringstream os;
+          os << "parallel loop " << prog.space()->name(loop->loop().index)
+             << " carries a " << depKindName(classifyDep(a, b))
+             << " dependence on array " << prog.array(a.array).name;
+          issues.push_back(ValidationIssue{
+              ValidationIssue::Kind::CarriedArrayDependence, os.str()});
+          return;  // one issue per loop is enough
+        }
+      }
+    }
+  }
+
+  /// Non-reduction scalar writes inside a parallel loop are per-iteration
+  /// temporaries; a read of the same scalar elsewhere observes an
+  /// undefined value in the SPMD execution model.
+  void checkEscapingScalars() {
+    AccessSet all;
+    for (const ir::StmtPtr& s : prog.topLevel())
+      all.merge(collectAccesses(*s));
+    for (const ScalarAccess& w : all.scalars) {
+      if (!w.isWrite || w.reduction != ir::ReductionOp::None) continue;
+      const ir::Stmt* loop = enclosingParallelLoop(w.loops);
+      if (loop == nullptr) continue;
+      for (const ScalarAccess& r : all.scalars) {
+        if (r.isWrite || r.scalar != w.scalar) continue;
+        // A read in a different statement outside the defining loop.
+        bool insideSameLoop = false;
+        for (const ir::Stmt* l : r.loops)
+          if (l == loop) insideSameLoop = true;
+        if (!insideSameLoop) {
+          std::ostringstream os;
+          os << "scalar " << prog.scalar(w.scalar).name
+             << " is written inside parallel loop "
+             << prog.space()->name(loop->loop().index)
+             << " and read outside it: not privatizable";
+          issues.push_back(ValidationIssue{
+              ValidationIssue::Kind::EscapingPrivateScalar, os.str()});
+          break;
+        }
+      }
+    }
+  }
+
+  void walk(const ir::Stmt* stmt, std::vector<const ir::Stmt*>& outer) {
+    if (!stmt->isLoop()) return;
+    if (stmt->loop().parallel) checkParallelLoop(stmt, outer);
+    outer.push_back(stmt);
+    for (const ir::StmtPtr& child : stmt->loop().body)
+      walk(child.get(), outer);
+    outer.pop_back();
+  }
+};
+
+}  // namespace
+
+std::vector<ValidationIssue> validateProgram(const ir::Program& prog) {
+  Validator v{prog, {}};
+  for (const ir::StmtPtr& s : prog.topLevel()) v.checkRanksRec(*s);
+  std::vector<const ir::Stmt*> outer;
+  for (const ir::StmtPtr& s : prog.topLevel()) v.walk(s.get(), outer);
+  v.checkEscapingScalars();
+  return v.issues;
+}
+
+void validateProgramOrThrow(const ir::Program& prog) {
+  std::vector<ValidationIssue> issues = validateProgram(prog);
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "program " << prog.name() << " failed validation:";
+  for (const ValidationIssue& issue : issues)
+    os << "\n  [" << validationIssueKindName(issue.kind) << "] "
+       << issue.detail;
+  throw Error(os.str());
+}
+
+}  // namespace spmd::analysis

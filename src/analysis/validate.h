@@ -1,0 +1,39 @@
+// Program validation: checks that the parallelism annotations the
+// synchronization optimizer trusts are actually legal.
+//
+// The paper's input comes from the SUIF parallelizer, which only marks a
+// loop DOALL after proving it carries no dependence.  Our programs are
+// hand-annotated through the builder DSL, so this validator re-derives the
+// guarantee: for every parallel loop, no data dependence may cross its
+// iterations, and scalar writes inside it must be privatizable
+// (per-iteration temporaries or recognized reductions) and must not be
+// consumed outside the loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.h"
+
+namespace spmd::analysis {
+
+struct ValidationIssue {
+  enum class Kind {
+    CarriedArrayDependence,  ///< array dependence across DOALL iterations
+    EscapingPrivateScalar,   ///< non-reduction scalar def leaks out of a DOALL
+    SubscriptRankMismatch,   ///< access rank != array rank
+  };
+  Kind kind;
+  std::string detail;
+};
+
+const char* validationIssueKindName(ValidationIssue::Kind kind);
+
+/// Validates every parallel loop in the program.  Returns the list of
+/// issues found (empty = valid).
+std::vector<ValidationIssue> validateProgram(const ir::Program& prog);
+
+/// Convenience: throws spmd::Error listing all issues if any were found.
+void validateProgramOrThrow(const ir::Program& prog);
+
+}  // namespace spmd::analysis

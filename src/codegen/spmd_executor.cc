@@ -1,0 +1,584 @@
+#include "codegen/spmd_executor.h"
+
+#include <limits>
+
+#include "analysis/access.h"
+#include "comm/comm_analysis.h"
+#include "core/optimizer.h"
+
+namespace spmd::cg {
+
+using core::NodeKind;
+using core::RegionNode;
+using core::RegionProgram;
+using core::SpmdRegion;
+using core::SyncPoint;
+
+namespace {
+
+double reductionIdentity(ir::ReductionOp op) {
+  switch (op) {
+    case ir::ReductionOp::Sum:
+      return 0.0;
+    case ir::ReductionOp::Max:
+      return -std::numeric_limits<double>::infinity();
+    case ir::ReductionOp::Min:
+      return std::numeric_limits<double>::infinity();
+    case ir::ReductionOp::None:
+      break;
+  }
+  SPMD_UNREACHABLE("reduction identity of non-reduction");
+}
+
+/// Collects the scalar reduction targets of a loop body (recursively).
+void collectReductionTargets(const ir::Stmt* stmt,
+                             std::vector<const ir::ScalarAssign*>& out) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ScalarAssign:
+      if (stmt->scalarAssign().reduction != ir::ReductionOp::None)
+        out.push_back(&stmt->scalarAssign());
+      return;
+    case ir::Stmt::Kind::ArrayAssign:
+      return;
+    case ir::Stmt::Kind::Loop:
+      for (const ir::StmtPtr& child : stmt->loop().body)
+        collectReductionTargets(child.get(), out);
+      return;
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+}  // namespace
+
+struct SpmdExecutor::RegionState {
+  const SpmdRegion* region = nullptr;
+  std::vector<rt::CounterSync> counters;                // by sync id
+  std::vector<std::vector<std::uint64_t>> occurrences;  // [tid][sync id]
+  std::vector<std::vector<double>> privScalars;         // [tid][scalar]
+  std::vector<ir::ScalarId> writtenScalars;
+  std::vector<ir::ScalarId> sharedCanonical;
+  std::vector<rt::SyncCounts> localCounts;  // [tid]
+  ir::Store* store = nullptr;
+};
+
+SpmdExecutor::SpmdExecutor(const ir::Program& prog,
+                           const part::Decomposition& decomp,
+                           rt::ThreadTeam& team, ExecOptions options)
+    : prog_(&prog), decomp_(&decomp), team_(&team), options_(options) {
+  if (options_.useTreeBarrier)
+    barrier_ = std::make_unique<rt::TreeBarrier>(team.size());
+  else
+    barrier_ = std::make_unique<rt::CentralBarrier>(team.size());
+}
+
+int SpmdExecutor::assignSyncIds(std::vector<RegionNode>& nodes, int next) {
+  for (RegionNode& node : nodes) {
+    if (node.after.kind == SyncPoint::Kind::Counter) node.after.id = next++;
+    if (node.kind == NodeKind::SeqLoop) {
+      if (node.backEdge.kind == SyncPoint::Kind::Counter)
+        node.backEdge.id = next++;
+      next = assignSyncIds(node.body, next);
+    }
+  }
+  return next;
+}
+
+namespace {
+
+/// Marks back-edge barriers whose final execution is subsumed by an
+/// immediately following barrier (or the region join).  Eliding only the
+/// last iteration keeps all fencing guarantees: every earlier iteration
+/// still executes the back-edge barrier, and the last iteration's work is
+/// fenced by the following barrier instead.
+void annotateElidableBackEdges(std::vector<RegionNode>& nodes,
+                               bool followedByBarrier) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    RegionNode& node = nodes[i];
+    bool follow = (i + 1 < nodes.size())
+                      ? nodes[i].after.kind == SyncPoint::Kind::Barrier
+                      : followedByBarrier;
+    if (node.kind == NodeKind::SeqLoop) {
+      node.elideLastBackEdgeBarrier =
+          node.backEdge.kind == SyncPoint::Kind::Barrier && follow;
+      // Whatever follows the last body node each iteration is the back
+      // edge; an elided final back edge is itself covered by `follow`.
+      annotateElidableBackEdges(
+          node.body, node.backEdge.kind == SyncPoint::Kind::Barrier);
+    }
+  }
+}
+
+}  // namespace
+
+void SpmdExecutor::collectRegionScalars(
+    const SpmdRegion& region, std::vector<ir::ScalarId>& written,
+    std::vector<ir::ScalarId>& sharedCanonical) const {
+  std::vector<bool> isWritten(prog_->scalars().size(), false);
+  std::vector<bool> isShared(prog_->scalars().size(), false);
+  for (const RegionNode& node : region.nodes) {
+    analysis::AccessSet acc = analysis::collectAccesses(*node.stmt);
+    for (const analysis::ScalarAccess& w : acc.scalars) {
+      if (!w.isWrite) continue;
+      isWritten[static_cast<std::size_t>(w.scalar.index)] = true;
+      if (core::classifyScalarDef(w) != core::ScalarDefKind::Private)
+        isShared[static_cast<std::size_t>(w.scalar.index)] = true;
+    }
+  }
+  for (std::size_t s = 0; s < isWritten.size(); ++s) {
+    ir::ScalarId id{static_cast<int>(s)};
+    if (isWritten[s]) written.push_back(id);
+    if (isShared[s]) sharedCanonical.push_back(id);
+  }
+}
+
+int SpmdExecutor::ownerOfIteration(const ir::Stmt* loopStmt, i64 i, i64 lb,
+                                   i64 ub, ir::EvalEnv& env) const {
+  return iterationOwner(*decomp_, loopStmt, i, lb, ub, env, team_->size());
+}
+
+int iterationOwner(const part::Decomposition& decomp, const ir::Stmt* loopStmt,
+                   i64 i, i64 lb, i64 ub, ir::EvalEnv& env, int nprocs) {
+  const part::Decomposition* decomp_ = &decomp;
+  const int P = nprocs;
+  const ir::SymbolBindings& syms = env.store().symbols();
+
+  if (auto part = decomp_->loopPartition(loopStmt)) {
+    switch (part->kind) {
+      case part::LoopPartition::Kind::BlockRange: {
+        // Aligned to the template origin (must match the analysis model in
+        // Decomposition::addComputeConstraint).
+        i64 block = decomp_->concreteBlockSize(syms, P);
+        return static_cast<int>(
+            std::max<i64>(0, std::min<i64>(floorDiv(i, block), P - 1)));
+      }
+      case part::LoopPartition::Kind::CyclicRange:
+        return static_cast<int>((i - lb) % P);
+      case part::LoopPartition::Kind::OwnerComputes:
+        break;  // fall through to the owner-computes path below
+    }
+  }
+
+  const ir::Stmt* ref = comm::partitionReference(loopStmt);
+  if (ref != nullptr) {
+    const ir::ArrayAssign& assign = ref->arrayAssign();
+    const part::ArrayDist& dist = decomp_->dist(assign.array);
+    if (dist.kind != part::DistKind::Replicated) {
+      // The iteration variable is already bound in env by the caller.
+      i64 cell = env.evalAffine(
+          assign.subscripts[static_cast<std::size_t>(dist.dim)]);
+      return static_cast<int>(
+          decomp_->concreteOwner(assign.array, cell, P, syms));
+    }
+  }
+  // Fallback: block-distribute the iteration range itself.
+  i64 span = ub - lb + 1;
+  if (span <= 0) return 0;
+  i64 block = ceilDiv(span, P);
+  return static_cast<int>(std::min<i64>(floorDiv(i - lb, block), P - 1));
+}
+
+void SpmdExecutor::execLocalStmt(const ir::Stmt* stmt, ir::EvalEnv& env) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ArrayAssign: {
+      const ir::ArrayAssign& a = stmt->arrayAssign();
+      double value = evalExpr(a.rhs, env);
+      double& slot =
+          env.store().element(a.array, env.evalSubscripts(a.subscripts));
+      ir::applyReduction(slot, a.reduction, value);
+      return;
+    }
+    case ir::Stmt::Kind::ScalarAssign: {
+      const ir::ScalarAssign& s = stmt->scalarAssign();
+      double value = evalExpr(s.rhs, env);
+      ir::applyReduction(env.scalarSlot(s.scalar), s.reduction, value);
+      return;
+    }
+    case ir::Stmt::Kind::Loop: {
+      const ir::Loop& l = stmt->loop();
+      i64 lo = env.evalAffine(l.lower);
+      i64 hi = env.evalAffine(l.upper);
+      for (i64 i = lo; i <= hi; i += l.step) {
+        env.bind(l.index, i);
+        for (const ir::StmtPtr& child : l.body)
+          execLocalStmt(child.get(), env);
+      }
+      env.unbind(l.index);
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+void SpmdExecutor::execParallelLoop(const ir::Stmt* loopStmt, int tid,
+                                    ir::EvalEnv& env) {
+  const ir::Loop& l = loopStmt->loop();
+  i64 lb = env.evalAffine(l.lower);
+  i64 ub = env.evalAffine(l.upper);
+
+  // Scalar reductions: every processor accumulates a partial in its
+  // private slot.  Processor 0's partial starts from its private incoming
+  // value (the sequentially-correct pre-loop value, which may itself be a
+  // replicated private assignment); everyone else starts from the operator
+  // identity.  The first processor to finish *assigns* the shared slot and
+  // later arrivals combine into it, so the stale shared value never leaks.
+  std::vector<const ir::ScalarAssign*> reductions;
+  for (const ir::StmtPtr& child : l.body)
+    collectReductionTargets(child.get(), reductions);
+  if (tid != 0)
+    for (const ir::ScalarAssign* r : reductions)
+      env.scalarSlot(r->scalar) = reductionIdentity(r->reduction);
+
+  for (i64 i = lb; i <= ub; ++i) {
+    env.bind(l.index, i);
+    if (ownerOfIteration(loopStmt, i, lb, ub, env) != tid) continue;
+    for (const ir::StmtPtr& child : l.body) execLocalStmt(child.get(), env);
+  }
+  if (lb <= ub) env.unbind(l.index);
+
+  if (!reductions.empty()) {
+    std::lock_guard<std::mutex> lock(reductionMutex_);
+    for (const ir::ScalarAssign* r : reductions) {
+      double partial = env.scalarSlot(r->scalar);
+      auto [it, first] = reductionPending_.try_emplace(
+          r->scalar.index, partial, r->reduction);
+      if (!first) ir::applyReduction(it->second.first, r->reduction, partial);
+    }
+  }
+}
+
+void SpmdExecutor::execGuarded(const ir::Stmt* stmt, int tid,
+                               ir::EvalEnv& env) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ArrayAssign: {
+      const ir::ArrayAssign& a = stmt->arrayAssign();
+      const part::ArrayDist& dist = decomp_->dist(a.array);
+      int owner = 0;
+      if (dist.kind != part::DistKind::Replicated) {
+        i64 cell = env.evalAffine(
+            a.subscripts[static_cast<std::size_t>(dist.dim)]);
+        owner = static_cast<int>(decomp_->concreteOwner(
+            a.array, cell, team_->size(), env.store().symbols()));
+      }
+      if (owner == tid) execLocalStmt(stmt, env);
+      return;
+    }
+    case ir::Stmt::Kind::ScalarAssign: {
+      if (tid != 0) return;
+      const ir::ScalarAssign& s = stmt->scalarAssign();
+      double value = evalExpr(s.rhs, env);
+      // Compute into processor 0's private copy; the shared slot is only
+      // updated at a synchronization point (masterPending_ is published
+      // before processor 0's counter post or in the barrier's serial
+      // section), so concurrent readers of the previous value are safe.
+      ir::applyReduction(env.scalarSlot(s.scalar), s.reduction, value);
+      masterPending_[s.scalar.index] = env.scalarSlot(s.scalar);
+      return;
+    }
+    case ir::Stmt::Kind::Loop: {
+      const ir::Loop& l = stmt->loop();
+      i64 lo = env.evalAffine(l.lower);
+      i64 hi = env.evalAffine(l.upper);
+      for (i64 i = lo; i <= hi; i += l.step) {
+        env.bind(l.index, i);
+        for (const ir::StmtPtr& child : l.body)
+          execGuarded(child.get(), tid, env);
+      }
+      env.unbind(l.index);
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+void SpmdExecutor::execReplicated(const ir::Stmt* stmt, ir::EvalEnv& env) {
+  execLocalStmt(stmt, env);
+}
+
+void SpmdExecutor::execSync(const SyncPoint& point, RegionState& state,
+                            int tid, ir::EvalEnv& env) {
+  switch (point.kind) {
+    case SyncPoint::Kind::None:
+      return;
+    case SyncPoint::Kind::Barrier: {
+      if (tid == 0) ++state.localCounts[0].barriers;
+      // The releasing thread publishes pending reduction / master scalar
+      // values AND refreshes every processor's private copies while all
+      // processors are parked.  Doing the refresh inside the serial
+      // section (rather than per-thread after release) closes the window
+      // where a slow processor's refresh read could race with a fast
+      // processor's next publication.
+      std::function<void()> serial = [this, &state] {
+        publishPending(*state.store);
+        for (auto& table : state.privScalars)
+          for (ir::ScalarId s : state.sharedCanonical)
+            table[static_cast<std::size_t>(s.index)] =
+                state.store->scalar(s);
+      };
+      barrier_->arrive(tid, &serial);
+      return;
+    }
+    case SyncPoint::Kind::Counter: {
+      SPMD_ASSERT(point.id >= 0, "counter sync point without id");
+      rt::CounterSync& counter =
+          state.counters[static_cast<std::size_t>(point.id)];
+      std::uint64_t occ =
+          ++state.occurrences[static_cast<std::size_t>(tid)]
+                             [static_cast<std::size_t>(point.id)];
+      if (point.waitMaster && tid == 0 && !masterPending_.empty()) {
+        // Publish master-produced scalars before posting: the post's
+        // release pairs with the waiters' acquire.  (A later redefinition
+        // by processor 0 is always fenced by a barrier — the optimizer
+        // never pipelines master-scalar flow across back edges — so this
+        // write cannot race with a slow consumer's refresh.)
+        for (const auto& [scalar, value] : masterPending_)
+          state.store->scalar(ir::ScalarId{scalar}) = value;
+        masterPending_.clear();
+      }
+      counter.post(tid, occ);
+      rt::SyncCounts& counts = state.localCounts[static_cast<std::size_t>(tid)];
+      ++counts.counterPosts;
+      const int P = team_->size();
+      if (point.waitLeft && tid > 0) {
+        counter.wait(tid - 1, occ);
+        ++counts.counterWaits;
+      }
+      if (point.waitRight && tid < P - 1) {
+        counter.wait(tid + 1, occ);
+        ++counts.counterWaits;
+      }
+      if (point.waitMaster && tid != 0) {
+        counter.wait(0, occ);
+        ++counts.counterWaits;
+      }
+      if (point.waitMaster && tid != 0) {
+        // Processor 0 published before its post; the acquire on the wait
+        // ordered that write before this refresh.
+        for (ir::ScalarId s : state.sharedCanonical)
+          env.scalarSlot(s) = env.store().scalar(s);
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad SyncPoint kind");
+}
+
+void SpmdExecutor::execNode(const RegionNode& node, RegionState& state,
+                            int tid, ir::EvalEnv& env) {
+  switch (node.kind) {
+    case NodeKind::ParallelLoop:
+      execParallelLoop(node.stmt, tid, env);
+      return;
+    case NodeKind::Replicated:
+      execReplicated(node.stmt, env);
+      return;
+    case NodeKind::Guarded:
+      execGuarded(node.stmt, tid, env);
+      return;
+    case NodeKind::SeqLoop: {
+      const ir::Loop& l = node.stmt->loop();
+      i64 lo = env.evalAffine(l.lower);
+      i64 hi = env.evalAffine(l.upper);
+      for (i64 k = lo; k <= hi; k += l.step) {
+        env.bind(l.index, k);
+        for (const RegionNode& child : node.body) {
+          execNode(child, state, tid, env);
+          execSync(child.after, state, tid, env);
+        }
+        bool lastIteration = k + l.step > hi;
+        if (!(lastIteration && node.elideLastBackEdgeBarrier))
+          execSync(node.backEdge, state, tid, env);
+      }
+      if (lo <= hi) env.unbind(l.index);
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad NodeKind");
+}
+
+void SpmdExecutor::execNodeSeq(const std::vector<RegionNode>& nodes,
+                               RegionState& state, int tid,
+                               ir::EvalEnv& env) {
+  for (const RegionNode& node : nodes) {
+    execNode(node, state, tid, env);
+    execSync(node.after, state, tid, env);
+  }
+}
+
+void SpmdExecutor::publishPending(ir::Store& store) {
+  for (const auto& [scalar, value] : masterPending_)
+    store.scalar(ir::ScalarId{scalar}) = value;
+  masterPending_.clear();
+  for (const auto& [scalar, entry] : reductionPending_)
+    store.scalar(ir::ScalarId{scalar}) = entry.first;
+  reductionPending_.clear();
+}
+
+void SpmdExecutor::execRegion(const SpmdRegion& region, RegionState& state,
+                              int tid, ir::Store& store) {
+  ir::EvalEnv env(store);
+  double* priv = state.privScalars[static_cast<std::size_t>(tid)].data();
+  // Region-entry broadcast: snapshot the shared scalars privately.
+  for (std::size_t s = 0; s < prog_->scalars().size(); ++s)
+    priv[s] = store.scalar(ir::ScalarId{static_cast<int>(s)});
+  env.setScalarTable(priv);
+  execNodeSeq(region.nodes, state, tid, env);
+}
+
+rt::SyncCounts SpmdExecutor::runRegions(const RegionProgram& regions,
+                                        ir::Store& store) {
+  // Lower: copy so sync ids can be assigned.
+  RegionProgram lowered = regions;
+  rt::SyncCounts total;
+  const int P = team_->size();
+
+  ir::EvalEnv masterEnv(store);  // shared scalars, master-sequential parts
+
+  for (RegionProgram::Item& item : lowered.items) {
+    if (!item.isRegion()) {
+      execLocalStmt(item.sequential, masterEnv);
+      continue;
+    }
+    SpmdRegion& region = *item.region;
+    int nSyncs = assignSyncIds(region.nodes, 0);
+    annotateElidableBackEdges(region.nodes, /*followedByBarrier=*/true);
+
+    RegionState state;
+    state.region = &region;
+    state.store = &store;
+    for (int c = 0; c < nSyncs; ++c) state.counters.emplace_back(P);
+    state.occurrences.assign(
+        static_cast<std::size_t>(P),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(nSyncs), 0));
+    state.privScalars.assign(static_cast<std::size_t>(P),
+                             std::vector<double>(prog_->scalars().size(), 0));
+    state.localCounts.assign(static_cast<std::size_t>(P), rt::SyncCounts{});
+    collectRegionScalars(region, state.writtenScalars, state.sharedCanonical);
+
+    ++total.broadcasts;  // region entry
+    team_->run([&](int tid) { execRegion(region, state, tid, store); });
+    ++total.barriers;  // region join
+
+    // Publish any values still pending (e.g. a trailing reduction whose
+    // consumer is outside the region), then finalize replicated scalars:
+    // processor 0's private copy is the sequential value (shared-canonical
+    // scalars are now in place).
+    publishPending(store);
+    for (ir::ScalarId s : state.writtenScalars) {
+      bool shared = false;
+      for (ir::ScalarId c : state.sharedCanonical)
+        if (c == s) shared = true;
+      if (!shared) store.scalar(s) = state.privScalars[0][static_cast<std::size_t>(s.index)];
+    }
+
+    for (const rt::SyncCounts& c : state.localCounts) total += c;
+  }
+  return total;
+}
+
+namespace {
+
+/// Fork-join base execution walks the original statement tree; forks are
+/// tracked with an explicit binding stack so worker threads can rebuild
+/// outer-loop bindings.
+struct ForkJoinWalker {
+  SpmdExecutor* self;
+  const ir::Program* prog;
+  const part::Decomposition* decomp;
+  rt::ThreadTeam* team;
+  rt::Barrier* barrier;
+  ir::Store* store;
+  rt::SyncCounts counts;
+  std::vector<std::pair<poly::VarId, i64>> bindings;
+
+  void walk(const ir::Stmt* stmt, ir::EvalEnv& env);
+};
+
+}  // namespace
+
+rt::SyncCounts SpmdExecutor::runForkJoin(ir::Store& store) {
+  ForkJoinWalker walker{this,     prog_,  decomp_, team_,
+                        barrier_.get(), &store, {},      {}};
+  ir::EvalEnv env(store);
+  for (const ir::StmtPtr& stmt : prog_->topLevel()) walker.walk(stmt.get(), env);
+  return walker.counts;
+}
+
+namespace {
+
+void ForkJoinWalker::walk(const ir::Stmt* stmt, ir::EvalEnv& env) {
+  if (stmt->isLoop() && stmt->loop().parallel) {
+    const ir::Stmt* loopStmt = stmt;
+    ++counts.broadcasts;  // fork
+    std::vector<rt::SyncCounts> local(static_cast<std::size_t>(team->size()));
+    std::vector<std::vector<double>> priv(
+        static_cast<std::size_t>(team->size()),
+        std::vector<double>(prog->scalars().size(), 0));
+
+    // Snapshot the shared scalars BEFORE forking so a fast worker's
+    // reduction combine cannot race with a slow worker's snapshot.
+    std::vector<double> snapshot(prog->scalars().size());
+    for (std::size_t s = 0; s < prog->scalars().size(); ++s)
+      snapshot[s] = store->scalar(ir::ScalarId{static_cast<int>(s)});
+
+    team->run([&](int tid) {
+      ir::EvalEnv wenv(*store);
+      for (auto& [v, val] : bindings) wenv.bind(v, val);
+      priv[static_cast<std::size_t>(tid)] = snapshot;
+      wenv.setScalarTable(priv[static_cast<std::size_t>(tid)].data());
+      // Reuse the region-mode parallel-loop body (reductions included).
+      self->execParallelLoopForFork(loopStmt, tid, wenv);
+    });
+    ++counts.barriers;  // join
+    // Publish reduction results accumulated during the loop.
+    self->publishPendingPublic(*store);
+    return;
+  }
+
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ArrayAssign:
+    case ir::Stmt::Kind::ScalarAssign:
+      self->execLocalStmtPublic(stmt, env);
+      return;
+    case ir::Stmt::Kind::Loop: {
+      const ir::Loop& l = stmt->loop();
+      i64 lo = env.evalAffine(l.lower);
+      i64 hi = env.evalAffine(l.upper);
+      for (i64 i = lo; i <= hi; i += l.step) {
+        env.bind(l.index, i);
+        bindings.emplace_back(l.index, i);
+        for (const ir::StmtPtr& child : l.body) walk(child.get(), env);
+        bindings.pop_back();
+      }
+      env.unbind(l.index);
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+}  // namespace
+
+RunResult runForkJoin(const ir::Program& prog,
+                      const part::Decomposition& decomp,
+                      const ir::SymbolBindings& symbols, int nthreads,
+                      ExecOptions options) {
+  rt::ThreadTeam team(nthreads);
+  SpmdExecutor exec(prog, decomp, team, options);
+  ir::Store store(prog, symbols);
+  rt::SyncCounts counts = exec.runForkJoin(store);
+  return RunResult{std::move(store), counts};
+}
+
+RunResult runRegions(const ir::Program& prog,
+                     const part::Decomposition& decomp,
+                     const core::RegionProgram& regions,
+                     const ir::SymbolBindings& symbols, int nthreads,
+                     ExecOptions options) {
+  rt::ThreadTeam team(nthreads);
+  SpmdExecutor exec(prog, decomp, team, options);
+  ir::Store store(prog, symbols);
+  rt::SyncCounts counts = exec.runRegions(regions, store);
+  return RunResult{std::move(store), counts};
+}
+
+}  // namespace spmd::cg

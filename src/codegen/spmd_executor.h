@@ -1,0 +1,141 @@
+// SPMD code generation and execution.
+//
+// The compiler's output is an SPMD program: every processor executes the
+// region code, guarded by its computation partition, with the optimizer's
+// synchronization plan realized as barriers and counters.  Here the
+// "generated program" is a lowered form of the region tree interpreted by
+// a thread team — identical sync placement and partition semantics to
+// emitted code, with every synchronization event instrumented.
+//
+// Two execution modes reproduce the paper's measurement setup:
+//   * runForkJoin  — the base version: the master executes sequential
+//     code and forks at every parallel loop (one broadcast + one join
+//     barrier per loop execution).
+//   * runRegions   — the optimized version: merged SPMD regions with the
+//     optimizer's plan (or an all-barrier plan for ablations).
+#pragma once
+
+#include <mutex>
+#include <map>
+
+#include "core/spmd_region.h"
+#include "ir/eval.h"
+#include "partition/decomposition.h"
+#include "runtime/counter.h"
+#include "runtime/team.h"
+
+namespace spmd::cg {
+
+struct ExecOptions {
+  bool useTreeBarrier = false;  ///< tree instead of centralized barrier
+};
+
+/// The processor that executes iteration `i` of a parallel loop under the
+/// given decomposition and team size.  The loop's index variable must
+/// already be bound to `i` in `env` (owner-computes partitions evaluate
+/// the reference subscript under that binding).  This single function
+/// defines the concrete computation partition: the executor and the
+/// dynamic verifier both use it.
+int iterationOwner(const part::Decomposition& decomp, const ir::Stmt* loop,
+                   i64 i, i64 lb, i64 ub, ir::EvalEnv& env, int nprocs);
+
+class SpmdExecutor {
+ public:
+  SpmdExecutor(const ir::Program& prog, const part::Decomposition& decomp,
+               rt::ThreadTeam& team, ExecOptions options = ExecOptions());
+
+  /// Base fork-join execution.  Returns dynamic synchronization counts.
+  rt::SyncCounts runForkJoin(ir::Store& store);
+
+  /// Merged-region execution under the given plan.
+  rt::SyncCounts runRegions(const core::RegionProgram& regions,
+                            ir::Store& store);
+
+  /// Building blocks exposed for the fork-join walker.
+  void execParallelLoopForFork(const ir::Stmt* loopStmt, int tid,
+                               ir::EvalEnv& env) {
+    execParallelLoop(loopStmt, tid, env);
+  }
+  void execLocalStmtPublic(const ir::Stmt* stmt, ir::EvalEnv& env) {
+    execLocalStmt(stmt, env);
+  }
+  void publishPendingPublic(ir::Store& store) { publishPending(store); }
+
+ private:
+  struct LoweredSync {
+    core::SyncPoint point;
+  };
+
+  struct RegionState;  // per-region-execution runtime state
+
+  // --- lowering helpers ---
+  int assignSyncIds(std::vector<core::RegionNode>& nodes, int next);
+  void collectRegionScalars(const core::SpmdRegion& region,
+                            std::vector<ir::ScalarId>& written,
+                            std::vector<ir::ScalarId>& sharedCanonical) const;
+
+  // --- per-thread execution ---
+  void execRegion(const core::SpmdRegion& region, RegionState& state,
+                  int tid, ir::Store& store);
+  void execNodeSeq(const std::vector<core::RegionNode>& nodes,
+                   RegionState& state, int tid, ir::EvalEnv& env);
+  void execNode(const core::RegionNode& node, RegionState& state, int tid,
+                ir::EvalEnv& env);
+  void execSync(const core::SyncPoint& point, RegionState& state, int tid,
+                ir::EvalEnv& env);
+  void execParallelLoop(const ir::Stmt* loopStmt, int tid, ir::EvalEnv& env);
+  void execGuarded(const ir::Stmt* stmt, int tid, ir::EvalEnv& env);
+  void execReplicated(const ir::Stmt* stmt, ir::EvalEnv& env);
+  void execLocalStmt(const ir::Stmt* stmt, ir::EvalEnv& env);
+
+  /// Processor owning iteration `i` of a parallel loop.
+  int ownerOfIteration(const ir::Stmt* loopStmt, i64 i, i64 lb, i64 ub,
+                       ir::EvalEnv& env) const;
+
+  const ir::Program* prog_;
+  const part::Decomposition* decomp_;
+  rt::ThreadTeam* team_;
+  ExecOptions options_;
+
+  /// Publishes all pending shared-scalar values into the store.  Called
+  /// only from serial contexts: a barrier's serial section, or the master
+  /// after a join.
+  void publishPending(ir::Store& store);
+
+  std::unique_ptr<rt::Barrier> barrier_;
+
+  // Shared-canonical scalar values are never written to the store mid-
+  // region (that would race with other processors' reads of the old
+  // value); they are buffered here and *published* at synchronization
+  // points:
+  //   * reduction partials combine into reductionPending_ under the mutex
+  //     (the first combiner assigns, so stale values cannot leak);
+  //   * guarded (processor-0) scalar writes append to masterPending_,
+  //     which only processor 0 touches outside serial sections;
+  //   * a barrier's releasing thread publishes everything while all
+  //     processors are parked; at a master counter, processor 0 publishes
+  //     its own masterPending_ before posting (release/acquire makes it
+  //     visible to waiters).
+  std::mutex reductionMutex_;
+  std::map<int, std::pair<double, ir::ReductionOp>> reductionPending_;
+  std::map<int, double> masterPending_;
+};
+
+/// Convenience wrapper: allocate a store, execute, return counts + store.
+struct RunResult {
+  ir::Store store;
+  rt::SyncCounts counts;
+};
+
+RunResult runForkJoin(const ir::Program& prog,
+                      const part::Decomposition& decomp,
+                      const ir::SymbolBindings& symbols, int nthreads,
+                      ExecOptions options = ExecOptions());
+
+RunResult runRegions(const ir::Program& prog,
+                     const part::Decomposition& decomp,
+                     const core::RegionProgram& regions,
+                     const ir::SymbolBindings& symbols, int nthreads,
+                     ExecOptions options = ExecOptions());
+
+}  // namespace spmd::cg

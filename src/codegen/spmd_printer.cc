@@ -1,0 +1,116 @@
+#include "codegen/spmd_printer.h"
+
+#include <sstream>
+
+#include "comm/comm_analysis.h"
+#include "ir/printer.h"
+
+namespace spmd::cg {
+
+namespace {
+
+void printSync(const core::SyncPoint& p, const char* label,
+               std::ostringstream& os, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << "! -- " << label << ": ";
+  switch (p.kind) {
+    case core::SyncPoint::Kind::None:
+      os << "none (communication-free boundary)";
+      break;
+    case core::SyncPoint::Kind::Barrier:
+      os << "BARRIER";
+      break;
+    case core::SyncPoint::Kind::Counter: {
+      os << "COUNTER post(me)";
+      if (p.waitLeft) os << ", wait(me-1)";
+      if (p.waitRight) os << ", wait(me+1)";
+      if (p.waitMaster) os << ", wait(0)";
+      break;
+    }
+  }
+  os << "\n";
+}
+
+void printNode(const ir::Program& prog, const part::Decomposition& decomp,
+               const core::RegionNode& node, std::ostringstream& os,
+               int indent, bool isLast) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (node.kind) {
+    case core::NodeKind::ParallelLoop: {
+      const ir::Stmt* ref = comm::partitionReference(node.stmt);
+      std::string partition = "block range";
+      if (ref != nullptr) {
+        const ir::ArrayAssign& a = ref->arrayAssign();
+        const part::ArrayDist& d = decomp.dist(a.array);
+        if (d.kind != part::DistKind::Replicated) {
+          partition = std::string("owner-computes on ") +
+                      prog.array(a.array).name + " [" +
+                      part::distKindName(d.kind) + "]";
+        }
+      }
+      os << pad << "! parallel loop, partition: " << partition << "\n";
+      std::istringstream body(ir::printStmt(prog, *node.stmt, indent));
+      std::string line;
+      while (std::getline(body, line)) os << line << "\n";
+      break;
+    }
+    case core::NodeKind::SeqLoop: {
+      const ir::Loop& l = node.stmt->loop();
+      os << pad << "DO " << prog.space()->name(l.index) << " = "
+         << l.lower.toString(*prog.space()) << ", "
+         << l.upper.toString(*prog.space()) << "   ! replicated control\n";
+      for (std::size_t i = 0; i < node.body.size(); ++i) {
+        printNode(prog, decomp, node.body[i], os, indent + 1,
+                  i + 1 == node.body.size());
+        if (i + 1 < node.body.size())
+          printSync(node.body[i].after, "sync", os, indent + 1);
+      }
+      printSync(node.backEdge, "back-edge sync", os, indent + 1);
+      os << pad << "ENDDO\n";
+      break;
+    }
+    case core::NodeKind::Replicated: {
+      os << pad << "! replicated (private scalars)\n";
+      std::istringstream body(ir::printStmt(prog, *node.stmt, indent));
+      std::string line;
+      while (std::getline(body, line)) os << line << "\n";
+      break;
+    }
+    case core::NodeKind::Guarded: {
+      os << pad << "! guarded (owner executes)\n";
+      std::istringstream body(ir::printStmt(prog, *node.stmt, indent));
+      std::string line;
+      while (std::getline(body, line)) os << line << "\n";
+      break;
+    }
+  }
+  (void)isLast;
+}
+
+}  // namespace
+
+std::string printSpmdProgram(const ir::Program& prog,
+                             const part::Decomposition& decomp,
+                             const core::RegionProgram& regions) {
+  std::ostringstream os;
+  os << "! SPMD program for " << prog.name() << "\n";
+  for (const core::RegionProgram::Item& item : regions.items) {
+    if (!item.isRegion()) {
+      os << "! ==== master sequential ====\n";
+      os << ir::printStmt(prog, *item.sequential, 0);
+      continue;
+    }
+    const core::SpmdRegion& region = *item.region;
+    os << "! ==== SPMD region " << region.id << " (broadcast) ====\n";
+    for (std::size_t i = 0; i < region.nodes.size(); ++i) {
+      printNode(prog, decomp, region.nodes[i], os, 0,
+                i + 1 == region.nodes.size());
+      if (i + 1 < region.nodes.size())
+        printSync(region.nodes[i].after, "sync", os, 0);
+    }
+    os << "! ==== region join (BARRIER) ====\n";
+  }
+  return os.str();
+}
+
+}  // namespace spmd::cg

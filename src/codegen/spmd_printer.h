@@ -1,0 +1,28 @@
+// Pretty printer for the generated SPMD program: regions, node kinds,
+// computation-partition guards, and the synchronization plan.  Used by
+// examples, documentation, and golden tests.
+#pragma once
+
+#include <string>
+
+#include "core/spmd_region.h"
+#include "partition/decomposition.h"
+
+namespace spmd::cg {
+
+/// Renders the whole region program as annotated pseudo-SPMD code, e.g.
+///
+///   ! ==== master sequential ====
+///   x = 0
+///   ! ==== SPMD region 0 (broadcast) ====
+///   DOALL i = 1, N            ! on owner(A(i)) [block]
+///     A(i) = ...
+///   ! -- sync: none (communication-free boundary)
+///   DOALL j = 1, N
+///     C(j) = A(j)
+///   ! ==== region join (barrier) ====
+std::string printSpmdProgram(const ir::Program& prog,
+                             const part::Decomposition& decomp,
+                             const core::RegionProgram& regions);
+
+}  // namespace spmd::cg

@@ -1,0 +1,244 @@
+#include "comm/comm_analysis.h"
+
+#include <sstream>
+
+namespace spmd::comm {
+
+using analysis::Access;
+using analysis::AccessSet;
+using analysis::DepQueryBuilder;
+using analysis::LevelRel;
+using poly::Feasibility;
+using poly::LinExpr;
+using poly::System;
+using poly::VarId;
+
+AccessPlacement placementOf(const Access& a, std::size_t sharedPrefixLen) {
+  // A parallel loop strictly inside the region node (i.e. beyond the
+  // shared sequential prefix) places the access on the iteration's
+  // processor.
+  for (std::size_t k = sharedPrefixLen; k < a.loops.size(); ++k) {
+    if (a.loops[k]->loop().parallel)
+      return AccessPlacement{AccessPlacement::Kind::ParallelIteration,
+                             a.loops[k]};
+  }
+  // Otherwise the statement is guarded: array assignments run on the owner
+  // of the LHS element, scalar assignments on processor 0.  Reads inside a
+  // guarded statement execute on the same guard processor.
+  if (a.stmt != nullptr) {
+    if (a.stmt->kind() == ir::Stmt::Kind::ArrayAssign)
+      return AccessPlacement{AccessPlacement::Kind::GuardedOwner, nullptr};
+    if (a.stmt->kind() == ir::Stmt::Kind::ScalarAssign)
+      return AccessPlacement{AccessPlacement::Kind::GuardedMaster, nullptr};
+  }
+  return AccessPlacement{AccessPlacement::Kind::Unplaced, nullptr};
+}
+
+const ir::Stmt* partitionReference(const ir::Stmt* parallelLoop) {
+  SPMD_CHECK(parallelLoop->isLoop() && parallelLoop->loop().parallel,
+             "partitionReference requires a parallel loop");
+  // Depth-first search for the first array assignment, in program order.
+  std::vector<const ir::Stmt*> stack;
+  for (auto it = parallelLoop->loop().body.rbegin();
+       it != parallelLoop->loop().body.rend(); ++it)
+    stack.push_back(it->get());
+  while (!stack.empty()) {
+    const ir::Stmt* s = stack.back();
+    stack.pop_back();
+    if (s->kind() == ir::Stmt::Kind::ArrayAssign) return s;
+    if (s->isLoop()) {
+      for (auto it = s->loop().body.rbegin(); it != s->loop().body.rend();
+           ++it)
+        stack.push_back(it->get());
+    }
+  }
+  return nullptr;
+}
+
+CommAnalyzer::CommAnalyzer(const ir::Program& prog,
+                           part::Decomposition& decomp, Mode mode,
+                           poly::FMOptions fmOptions)
+    : prog_(&prog), decomp_(&decomp), mode_(mode), fm_(fmOptions) {}
+
+bool CommAnalyzer::addPlacement(DepQueryBuilder& q, const Access& a,
+                                const AccessPlacement& placement, int side,
+                                VarId procVar) {
+  System& sys = q.sys();
+  switch (placement.kind) {
+    case AccessPlacement::Kind::ParallelIteration: {
+      const ir::Stmt* loop = placement.parallelLoop;
+      // Explicit non-owner-computes partitions need no LHS reference (used
+      // for loops with no array assignment, e.g. pure reduction loops).
+      if (auto part = decomp_->loopPartition(loop);
+          part && part->kind != part::LoopPartition::Kind::OwnerComputes) {
+        return decomp_->addComputeConstraint(
+            sys, loop, LinExpr::var(q.varFor(loop, side)),
+            q.lowerFor(loop, side), LinExpr(), ir::ArrayId{}, procVar);
+      }
+      const ir::Stmt* ref = partitionReference(loop);
+      if (ref == nullptr) return false;
+      const ir::ArrayAssign& assign = ref->arrayAssign();
+      const part::ArrayDist& dist = decomp_->dist(assign.array);
+      if (dist.kind == part::DistKind::Replicated)
+        return false;  // loop partition underivable from a replicated LHS
+      const LinExpr& subOrig =
+          assign.subscripts[static_cast<std::size_t>(dist.dim)];
+      // The distributed-dim subscript must only involve variables renamed
+      // for this side (loop indices in the access's chain) or symbolics.
+      for (const auto& [v, coef] : subOrig.terms()) {
+        poly::VarKind kind = prog_->space()->kind(v);
+        if (kind == poly::VarKind::Symbolic) continue;
+        bool inChain = false;
+        for (const ir::Stmt* l : a.loops)
+          if (l->loop().index == v) inChain = true;
+        if (!inChain) return false;
+      }
+      LinExpr sub = q.rename(subOrig, side);
+      return decomp_->addComputeConstraint(
+          sys, loop, LinExpr::var(q.varFor(loop, side)),
+          q.lowerFor(loop, side), sub, assign.array, procVar);
+    }
+    case AccessPlacement::Kind::GuardedOwner: {
+      const ir::ArrayAssign& assign = a.stmt->arrayAssign();
+      const part::ArrayDist& dist = decomp_->dist(assign.array);
+      if (dist.kind == part::DistKind::Replicated) {
+        // Guard convention: replicated-LHS guarded statements run on
+        // processor 0.
+        sys.addEQ(LinExpr::var(procVar));
+        return true;
+      }
+      LinExpr sub = q.rename(
+          assign.subscripts[static_cast<std::size_t>(dist.dim)], side);
+      return decomp_->addOwnerConstraint(sys, assign.array, sub, procVar);
+    }
+    case AccessPlacement::Kind::GuardedMaster:
+      sys.addEQ(LinExpr::var(procVar));
+      return true;
+    case AccessPlacement::Kind::Unplaced:
+      return false;
+  }
+  SPMD_UNREACHABLE("bad AccessPlacement kind");
+}
+
+std::string CommAnalyzer::pairKey(
+    const Access& src, const Access& dst,
+    const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
+    LevelRel rel) const {
+  std::ostringstream os;
+  auto side = [&](const Access& a) {
+    os << a.array.index << (a.isWrite ? 'w' : 'r') << '@' << a.stmt << '[';
+    for (const poly::LinExpr& sub : a.subscripts) {
+      for (const auto& [v, c] : sub.terms()) os << v.index << ':' << c << ' ';
+      os << '+' << sub.constTerm() << ';';
+    }
+    os << ']';
+    for (const ir::Stmt* l : a.loops) os << l << ',';
+  };
+  side(src);
+  os << "->";
+  side(dst);
+  os << '|';
+  for (const ir::Stmt* l : sharedLoops) os << l << ',';
+  os << relLevel << '/' << static_cast<int>(rel);
+  return os.str();
+}
+
+PairResult CommAnalyzer::analyzePair(
+    const Access& src, const Access& dst,
+    const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
+    LevelRel rel) {
+  if (src.array != dst.array) return PairResult::none();
+  if (!src.isWrite && !dst.isWrite) return PairResult::none();
+
+  std::string key = pairKey(src, dst, sharedLoops, relLevel, rel);
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++cacheHits_;
+    return it->second;
+  }
+  ++pairQueries_;
+  PairResult result = analyzePairImpl(src, dst, sharedLoops, relLevel, rel);
+  cache_.emplace(std::move(key), result);
+  return result;
+}
+
+PairResult CommAnalyzer::analyzePairImpl(
+    const Access& src, const Access& dst,
+    const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
+    LevelRel rel) {
+  if (mode_ == Mode::DependenceOnly) {
+    bool dep = analysis::mayDepend(*prog_, src, dst, sharedLoops, relLevel,
+                                   rel, decomp_->baseContext());
+    return dep ? PairResult::general() : PairResult::none();
+  }
+
+  AccessPlacement srcPlace = placementOf(src, sharedLoops.size());
+  AccessPlacement dstPlace = placementOf(dst, sharedLoops.size());
+  if (srcPlace.kind == AccessPlacement::Kind::Unplaced ||
+      dstPlace.kind == AccessPlacement::Kind::Unplaced) {
+    // Fall back to pure dependence: at least prove independence when
+    // placement is unknown.
+    bool dep = analysis::mayDepend(*prog_, src, dst, sharedLoops, relLevel,
+                                   rel, decomp_->baseContext());
+    return dep ? PairResult::general() : PairResult::none();
+  }
+
+  DepQueryBuilder q(*prog_, decomp_->baseContext(), sharedLoops, relLevel,
+                    rel);
+  std::vector<LinExpr> s0 = q.instantiate(src, 0);
+  std::vector<LinExpr> s1 = q.instantiate(dst, 1);
+  if (s0.size() != s1.size()) return PairResult::general();
+  for (std::size_t d = 0; d < s0.size(); ++d) q.sys().addEquals(s0[d], s1[d]);
+
+  VarId p = decomp_->makeProcVar(q.sys(), "p");
+  VarId qv = decomp_->makeProcVar(q.sys(), "q");
+  if (!addPlacement(q, src, srcPlace, 0, p) ||
+      !addPlacement(q, dst, dstPlace, 1, qv))
+    return PairResult::general();
+
+  // Quick exit: if even the unbranched system (p, q unrelated) is
+  // infeasible, there is no dependence at all.
+  if (poly::scanRational(q.sys(), fm_) == Feasibility::Infeasible)
+    return PairResult::none();
+
+  auto branch = [&](i64 d, bool exactDistance) {
+    System sys = q.sys();
+    LinExpr gap = LinExpr::var(qv) - LinExpr::var(p);
+    if (exactDistance)
+      sys.addEQ(gap - LinExpr::constant(d));
+    else if (d > 0)
+      sys.addGE(gap - LinExpr::constant(d));
+    else
+      sys.addGE(-gap + LinExpr::constant(d));  // q - p <= d  (d negative)
+    decomp_->addOffsetRelation(sys, p, qv, d, exactDistance);
+    return poly::scanRational(sys, fm_) != Feasibility::Infeasible;
+  };
+
+  PairResult r;
+  r.exact = true;
+  r.right1 = branch(+1, /*exactDistance=*/true);
+  r.left1 = branch(-1, /*exactDistance=*/true);
+  r.farRight = branch(+2, /*exactDistance=*/false);
+  r.farLeft = branch(-2, /*exactDistance=*/false);
+  r.comm = r.right1 || r.left1 || r.farRight || r.farLeft;
+  return r;
+}
+
+PairResult CommAnalyzer::analyzeBoundary(
+    const AccessSet& before, const AccessSet& after,
+    const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
+    LevelRel rel) {
+  PairResult total;
+  total.exact = true;
+  // Paper §3.2.2 step 2: refs vs defs (flow), defs vs refs (anti), and
+  // defs vs defs (output).
+  for (const Access& a : before.arrays) {
+    for (const Access& b : after.arrays) {
+      if (!a.isWrite && !b.isWrite) continue;
+      if (total.farLeft && total.farRight) return total;  // already general
+      total.mergeFrom(analyzePair(a, b, sharedLoops, relLevel, rel));
+    }
+  }
+  return total;
+}
+
+}  // namespace spmd::comm

@@ -1,0 +1,141 @@
+// Communication analysis: deciding whether data moves between processors
+// across a synchronization boundary, and classifying the processor pattern.
+//
+// This is the paper's central analysis (§3.2): "If it can identify the
+// producers and consumers of all data shared between two regions to be
+// identical (i.e., the same processor), then data movement is local and no
+// synchronization is necessary."  A pair query conjoins:
+//
+//   bounds(src iters) ∧ bounds(dst iters) ∧ subscripts equal
+//   ∧ partition(p, src) ∧ partition(q, dst) ∧ <branch on q - p>
+//
+// and scans each branch with Fourier–Motzkin elimination.  The branches
+//   q = p + 1,  q = p - 1,  q >= p + 2,  q <= p - 2
+// both decide existence (all infeasible => no communication => the barrier
+// can be eliminated) and classify the pattern (only |q-p| = 1 feasible =>
+// nearest-neighbor, replaceable by counters; anything further => general,
+// keep the barrier).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "analysis/dependence.h"
+#include "partition/decomposition.h"
+
+namespace spmd::comm {
+
+/// Processor-distance classification of one communication query.
+struct PairResult {
+  bool comm = false;    ///< may any cross-processor movement occur?
+  bool exact = false;   ///< pattern flags are meaningful (not a bailout)
+  bool right1 = false;  ///< q == p + 1 feasible (consumer is right neighbor)
+  bool left1 = false;   ///< q == p - 1 feasible
+  bool farRight = false;  ///< q >= p + 2 feasible
+  bool farLeft = false;   ///< q <= p - 2 feasible
+
+  bool neighborOnly() const {
+    return comm && exact && !farRight && !farLeft;
+  }
+
+  void mergeFrom(const PairResult& other) {
+    comm = comm || other.comm;
+    exact = exact && other.exact;
+    right1 = right1 || other.right1;
+    left1 = left1 || other.left1;
+    farRight = farRight || other.farRight;
+    farLeft = farLeft || other.farLeft;
+  }
+
+  static PairResult none() {
+    PairResult r;
+    r.exact = true;  // vacuously precise: no communication at all
+    return r;
+  }
+  static PairResult general() {
+    return PairResult{true, false, true, true, true, true};
+  }
+};
+
+/// How an access is bound to processors.
+struct AccessPlacement {
+  enum class Kind {
+    ParallelIteration,  ///< runs on the processor assigned the iteration
+    GuardedOwner,       ///< guarded statement: owner of its LHS element
+    GuardedMaster,      ///< guarded statement: processor 0 (scalar LHS)
+    Unplaced,           ///< no placement derivable (conservative)
+  };
+  Kind kind = Kind::Unplaced;
+  const ir::Stmt* parallelLoop = nullptr;  // for ParallelIteration
+};
+
+/// Derives where an access executes from its loop chain and statement.
+AccessPlacement placementOf(const analysis::Access& a,
+                            std::size_t sharedPrefixLen);
+
+/// The partition reference of a parallel loop: the first array assignment
+/// in its body, whose LHS drives the owner-computes rule.  Returns nullptr
+/// when the loop body contains no array assignment.
+const ir::Stmt* partitionReference(const ir::Stmt* parallelLoop);
+
+class CommAnalyzer {
+ public:
+  /// DependenceOnly reproduces the ablation baseline: a boundary is
+  /// removable only when *no* data dependence crosses it at all
+  /// (processor placement ignored) — what SIMD-language compilers do.
+  enum class Mode { DependenceOnly, Communication };
+
+  CommAnalyzer(const ir::Program& prog, part::Decomposition& decomp,
+               Mode mode = Mode::Communication,
+               poly::FMOptions fmOptions = poly::FMOptions());
+
+  Mode mode() const { return mode_; }
+
+  /// Analyzes one (earlier access, later access) pair under the given loop
+  /// relation.  `sharedLoops` is the chain of sequential loops enclosing
+  /// both sides inside the SPMD region.
+  PairResult analyzePair(const analysis::Access& src,
+                         const analysis::Access& dst,
+                         const std::vector<const ir::Stmt*>& sharedLoops,
+                         int relLevel, analysis::LevelRel rel);
+
+  /// Analyzes a whole boundary: every dependence-forming pair between two
+  /// access sets (flow, anti, and output).
+  PairResult analyzeBoundary(const analysis::AccessSet& before,
+                             const analysis::AccessSet& after,
+                             const std::vector<const ir::Stmt*>& sharedLoops,
+                             int relLevel, analysis::LevelRel rel);
+
+  /// Number of pair queries actually scanned (optimizer statistics).
+  std::size_t pairQueries() const { return pairQueries_; }
+  /// Queries answered from the memoization cache.  Group accumulation in
+  /// the greedy eliminator re-tests earlier pairs at every later boundary,
+  /// so hit rates grow with region size.
+  std::size_t cacheHits() const { return cacheHits_; }
+
+ private:
+  /// Adds placement constraints for one side; returns false on bailout.
+  bool addPlacement(analysis::DepQueryBuilder& q, const analysis::Access& a,
+                    const AccessPlacement& placement, int side,
+                    poly::VarId procVar);
+
+  PairResult analyzePairImpl(const analysis::Access& src,
+                             const analysis::Access& dst,
+                             const std::vector<const ir::Stmt*>& sharedLoops,
+                             int relLevel, analysis::LevelRel rel);
+
+  std::string pairKey(const analysis::Access& src,
+                      const analysis::Access& dst,
+                      const std::vector<const ir::Stmt*>& sharedLoops,
+                      int relLevel, analysis::LevelRel rel) const;
+
+  const ir::Program* prog_;
+  part::Decomposition* decomp_;
+  Mode mode_;
+  poly::FMOptions fm_;
+  std::size_t pairQueries_ = 0;
+  std::size_t cacheHits_ = 0;
+  std::map<std::string, PairResult> cache_;
+};
+
+}  // namespace spmd::comm

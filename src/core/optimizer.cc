@@ -1,0 +1,299 @@
+#include "core/optimizer.h"
+
+namespace spmd::core {
+
+using analysis::Access;
+using analysis::AccessSet;
+using analysis::LevelRel;
+using analysis::ScalarAccess;
+using analysis::collectAccesses;
+using comm::PairResult;
+
+namespace {
+
+bool stmtRhsReadsArrays(const ir::Stmt* stmt) {
+  std::vector<ir::ArrayRead> reads;
+  if (stmt->kind() == ir::Stmt::Kind::ScalarAssign)
+    ir::collectArrayReads(stmt->scalarAssign().rhs, reads);
+  else if (stmt->kind() == ir::Stmt::Kind::ArrayAssign)
+    ir::collectArrayReads(stmt->arrayAssign().rhs, reads);
+  return !reads.empty();
+}
+
+}  // namespace
+
+ScalarDefKind classifyScalarDef(const ScalarAccess& w) {
+  if (w.reduction != ir::ReductionOp::None) return ScalarDefKind::Reduction;
+  // Inside a parallel loop a scalar assignment is a privatizable
+  // per-iteration temporary; outside one, it is replicable when its value
+  // does not depend on array data, else guarded to processor 0.
+  if (analysis::enclosingParallelLoop(w.loops) != nullptr)
+    return ScalarDefKind::Private;
+  if (!stmtRhsReadsArrays(w.stmt)) return ScalarDefKind::Private;
+  return ScalarDefKind::Master;
+}
+
+ScalarComm scalarCommBetween(const AccessSet& before, const AccessSet& after) {
+  ScalarComm worst = ScalarComm::None;
+  for (const ScalarAccess& w : before.scalars) {
+    if (!w.isWrite) continue;
+    ScalarDefKind kind = classifyScalarDef(w);
+    if (kind == ScalarDefKind::Private) continue;
+    // Does the later group read this scalar?  (Writes-after-writes stay on
+    // the producing processor or under the reduction mutex; reads of stale
+    // private copies logically precede the def — privatization makes anti
+    // dependences benign.)
+    bool readLater = false;
+    bool writtenLater = false;
+    for (const ScalarAccess& r : after.scalars) {
+      if (r.scalar != w.scalar) continue;
+      if (r.isWrite)
+        writtenLater = true;
+      else
+        readLater = true;
+    }
+    if (kind == ScalarDefKind::Reduction) {
+      // The combined value lands in the shared slot under a mutex; any
+      // later touch (read or conflicting write) needs all contributions.
+      if (readLater || writtenLater) return ScalarComm::General;
+    } else if (kind == ScalarDefKind::Master) {
+      if (readLater) worst = ScalarComm::Master;
+      // A later Master write to the same scalar happens on the same
+      // processor, in program order: no synchronization needed.
+    }
+  }
+  return worst;
+}
+
+SyncOptimizer::SyncOptimizer(const ir::Program& prog,
+                             part::Decomposition& decomp,
+                             OptimizerOptions options)
+    : prog_(&prog),
+      decomp_(&decomp),
+      options_(options),
+      comm_(prog, decomp, options.analysisMode, options.fm) {}
+
+SyncPoint SyncOptimizer::decideBoundary(const PairResult& arrays,
+                                        ScalarComm scalars) {
+  if (!arrays.comm && scalars == ScalarComm::None) return SyncPoint::none();
+  // Counters replace barriers only for pure array producer-consumer flow.
+  // Scalar flow out of a guarded (processor-0) definition keeps a barrier:
+  // the producer must not overwrite the value while stragglers still read
+  // the previous one, and only a barrier makes the producer wait.
+  bool counterable = options_.enableCounters && arrays.comm && arrays.exact &&
+                     !arrays.farLeft && !arrays.farRight &&
+                     scalars == ScalarComm::None;
+  if (counterable) {
+    // The *destination* (later) side waits.  right1 means the consumer is
+    // the producer's right neighbor (q == p+1), so the consumer waits on
+    // its LEFT neighbor, and symmetrically for left1.
+    return SyncPoint::counter(/*left=*/arrays.right1,
+                              /*right=*/arrays.left1,
+                              /*master=*/false);
+  }
+  return SyncPoint::barrier();
+}
+
+std::string SyncOptimizer::describeNode(const RegionNode& node) const {
+  std::string head;
+  switch (node.kind) {
+    case NodeKind::ParallelLoop:
+      head = "DOALL ";
+      break;
+    case NodeKind::SeqLoop:
+      head = "DO ";
+      break;
+    case NodeKind::Replicated:
+      return "replicated statement";
+    case NodeKind::Guarded:
+      return "guarded statement";
+  }
+  return head + prog_->space()->name(node.stmt->loop().index);
+}
+
+void SyncOptimizer::planSeqLoopNode(RegionNode& node,
+                                    std::vector<const ir::Stmt*>& sharedLoops,
+                                    AccessSet& carryOut) {
+  const int level = static_cast<int>(sharedLoops.size());
+  sharedLoops.push_back(node.stmt);
+
+  // Plan the body's internal boundaries first.
+  AccessSet bodyCarry;
+  planSequence(node.body, sharedLoops, bodyCarry);
+
+  // Back-edge decision: communication from any iteration to any later one.
+  AccessSet bodyAll = collectAccesses(*node.stmt, {sharedLoops.begin(),
+                                                   sharedLoops.end() - 1});
+  ++stats_.backEdges;
+  PairResult any = comm_.analyzeBoundary(bodyAll, bodyAll, sharedLoops, level,
+                                         LevelRel::LaterAny);
+  ScalarComm scalars = scalarCommBetween(bodyAll, bodyAll);
+
+  BoundaryRecord record;
+  record.region = currentRegion_;
+  record.site = BoundaryRecord::Site::BackEdge;
+  record.where = "back edge of " + describeNode(node);
+  record.arrays = any;
+  record.scalars = scalars;
+
+  if (!any.comm && scalars == ScalarComm::None) {
+    node.backEdge = SyncPoint::none();
+    ++stats_.backEdgesEliminated;
+  } else {
+    SyncPoint decision = SyncPoint::barrier();
+    // Pipelining is restricted to pure array flow (scalars == None): a
+    // master-produced scalar redefined every iteration needs the producer
+    // to wait for all consumers of the previous value, which only a
+    // barrier provides.
+    if (options_.enableCounters && scalars == ScalarComm::None) {
+      // Sound only when nothing crosses more than one iteration, and
+      // within one iteration only adjacent processors.
+      PairResult beyond = comm_.analyzeBoundary(
+          bodyAll, bodyAll, sharedLoops, level, LevelRel::LaterBeyondOne);
+      if (!beyond.comm) {
+        PairResult byOne = comm_.analyzeBoundary(
+            bodyAll, bodyAll, sharedLoops, level, LevelRel::LaterByOne);
+        if (byOne.exact && !byOne.farLeft && !byOne.farRight) {
+          decision = SyncPoint::counter(/*left=*/byOne.right1,
+                                        /*right=*/byOne.left1,
+                                        /*master=*/false);
+          ++stats_.backEdgesPipelined;
+        }
+      }
+    }
+    node.backEdge = decision;
+  }
+  record.decision = node.backEdge;
+  report_.push_back(std::move(record));
+  sharedLoops.pop_back();
+
+  // What remains unfenced after the loop for the parent group?  A barrier
+  // back edge fences every iteration (loops are assumed non-zero-trip);
+  // otherwise carry what the body left unfenced after its own last
+  // internal barrier.
+  if (node.backEdge.kind == SyncPoint::Kind::Barrier) {
+    carryOut = AccessSet{};
+  } else {
+    bool bodyHasBarrier = false;
+    for (std::size_t i = 0; i + 1 < node.body.size(); ++i)
+      if (node.body[i].after.kind == SyncPoint::Kind::Barrier)
+        bodyHasBarrier = true;
+    if (bodyHasBarrier) {
+      carryOut = bodyCarry;
+    } else {
+      carryOut = bodyAll;
+    }
+  }
+}
+
+void SyncOptimizer::planSequence(std::vector<RegionNode>& nodes,
+                                 std::vector<const ir::Stmt*>& sharedLoops,
+                                 AccessSet& carryOut) {
+  AccessSet group;  // accesses since the last barrier
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    RegionNode& node = nodes[i];
+
+    // Accesses of this node, with loop chains rooted at the region.
+    AccessSet nodeAcc = collectAccesses(*node.stmt, sharedLoops);
+    AccessSet nodeCarry = nodeAcc;  // what the node leaves unfenced
+
+    // Decide the boundary *before* this node (the previous node's after).
+    if (i > 0) {
+      ++stats_.boundaries;
+      PairResult arrays = comm_.analyzeBoundary(group, nodeAcc, sharedLoops,
+                                                -1, LevelRel::Equal);
+      ScalarComm scalars = scalarCommBetween(group, nodeAcc);
+      SyncPoint decision = decideBoundary(arrays, scalars);
+      nodes[i - 1].after = decision;
+      BoundaryRecord record;
+      record.region = currentRegion_;
+      record.site = BoundaryRecord::Site::Interior;
+      record.where = "between " + describeNode(nodes[i - 1]) + " and " +
+                     describeNode(node);
+      record.arrays = arrays;
+      record.scalars = scalars;
+      record.decision = decision;
+      report_.push_back(std::move(record));
+      switch (decision.kind) {
+        case SyncPoint::Kind::None:
+          ++stats_.eliminated;
+          break;
+        case SyncPoint::Kind::Counter:
+          ++stats_.counters;
+          break;
+        case SyncPoint::Kind::Barrier:
+          ++stats_.barriers;
+          break;
+      }
+      if (decision.kind == SyncPoint::Kind::Barrier)
+        group = AccessSet{};  // new group starts after a full fence
+    }
+
+    if (node.kind == NodeKind::SeqLoop) {
+      planSeqLoopNode(node, sharedLoops, nodeCarry);
+      if (node.backEdge.kind == SyncPoint::Kind::Barrier ||
+          node.backEdge.kind == SyncPoint::Kind::Counter) {
+        // Counters do not fence, barriers do; nodeCarry already reflects
+        // the distinction.  A barrier inside the loop also fences the
+        // preceding group.
+        if (node.backEdge.kind == SyncPoint::Kind::Barrier)
+          group = AccessSet{};
+      }
+      // Internal body barriers (with a non-barrier back edge) also fence
+      // the preceding group: every processor passes them each iteration.
+      bool bodyHasBarrier = false;
+      for (std::size_t j = 0; j + 1 < node.body.size(); ++j)
+        if (node.body[j].after.kind == SyncPoint::Kind::Barrier)
+          bodyHasBarrier = true;
+      if (bodyHasBarrier) group = AccessSet{};
+    }
+
+    group.merge(nodeCarry);
+    // The boundary after the last node of this sequence belongs to the
+    // caller (region join or seq-loop back edge).
+    node.after = SyncPoint::none();
+    if (i + 1 < nodes.size()) {
+      // Will be overwritten by the next iteration's decision; initialize
+      // to barrier so an early exit stays conservative.
+      node.after = SyncPoint::barrier();
+    }
+  }
+  carryOut = std::move(group);
+}
+
+RegionProgram SyncOptimizer::run() {
+  auto start = std::chrono::steady_clock::now();
+  RegionProgram regions = buildRegions(*prog_);
+  stats_ = OptStats{};
+  report_.clear();
+  for (RegionProgram::Item& item : regions.items) {
+    if (!item.isRegion()) continue;
+    ++stats_.regions;
+    currentRegion_ = item.region->id;
+    stats_.regionNodes += item.region->nodeCount();
+    std::vector<const ir::Stmt*> shared;
+    AccessSet carry;
+    planSequence(item.region->nodes, shared, carry);
+  }
+  stats_.pairQueries = comm_.pairQueries();
+  stats_.cacheHits = comm_.cacheHits();
+  stats_.analysisSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return regions;
+}
+
+RegionProgram SyncOptimizer::runBarriersOnly() {
+  RegionProgram regions = buildRegions(*prog_);
+  stats_ = OptStats{};
+  for (const RegionProgram::Item& item : regions.items) {
+    if (!item.isRegion()) continue;
+    ++stats_.regions;
+    stats_.regionNodes += item.region->nodeCount();
+    stats_.boundaries += item.region->boundaryCount();
+    stats_.barriers += item.region->boundaryCount();
+  }
+  return regions;
+}
+
+}  // namespace spmd::core

@@ -1,0 +1,132 @@
+// The synchronization optimizer: greedy barrier elimination and counter
+// replacement over SPMD regions (the paper's core contribution, §3.2-3.3).
+//
+// For each region, boundaries between statement groups start as barriers
+// (the fork-join plan) and are greedily weakened:
+//
+//   1. Start with the first group; record its definitions and references.
+//   2. Against the next group, compare refs vs defs, defs vs refs, and
+//      defs vs defs (true, anti, output dependences).
+//   3. Test for loop-independent cross-processor communication at the
+//      current nesting level.  If none exists, eliminate the barrier and
+//      merge the groups.
+//   4. Otherwise, if all communication is nearest-neighbor (and scalar
+//      flow at most master-to-all), replace the barrier with counters;
+//      else place a barrier and start a new group.
+//
+// Sequential-loop back edges get the same treatment with loop-carried
+// relations: no cross-iteration communication eliminates the per-iteration
+// barrier outright; communication confined to *adjacent* iterations and
+// *adjacent* processors is pipelined with counters (paper §3.3).
+//
+// Soundness notes.
+//   * Groups accumulate across eliminated and counter boundaries and reset
+//     only at barriers, so every test covers all statements since the last
+//     full synchronization.  Counter posts execute after all of a
+//     processor's preceding group work, so a counter covers communication
+//     from the entire group, not just the previous node.
+//   * Loops inside SPMD regions are assumed to execute at least one
+//     iteration (their barriers fence preceding work); the kernel suite
+//     satisfies this by construction.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "comm/comm_analysis.h"
+#include "core/spmd_region.h"
+
+namespace spmd::core {
+
+struct OptimizerOptions {
+  comm::CommAnalyzer::Mode analysisMode =
+      comm::CommAnalyzer::Mode::Communication;
+  bool enableCounters = true;  ///< allow barrier -> counter replacement
+  poly::FMOptions fm;
+};
+
+struct OptStats {
+  std::size_t regions = 0;
+  std::size_t regionNodes = 0;
+  std::size_t boundaries = 0;    ///< sync boundaries examined
+  std::size_t eliminated = 0;    ///< boundaries proven communication-free
+  std::size_t counters = 0;      ///< barriers replaced by counters
+  std::size_t barriers = 0;      ///< barriers remaining
+  std::size_t backEdges = 0;
+  std::size_t backEdgesEliminated = 0;
+  std::size_t backEdgesPipelined = 0;
+  std::size_t pairQueries = 0;  ///< communication pair systems scanned
+  std::size_t cacheHits = 0;    ///< pair queries answered by memoization
+  double analysisSeconds = 0.0;
+};
+
+/// Scalar value flow across a boundary.
+enum class ScalarComm {
+  None,    ///< only private (replicated) scalar traffic
+  Master,  ///< processor 0 produces, others consume (counter-able)
+  General  ///< reduction or mixed flow: requires a barrier
+};
+
+ScalarComm scalarCommBetween(const analysis::AccessSet& before,
+                             const analysis::AccessSet& after);
+
+/// How one scalar definition site executes in the SPMD model (shared with
+/// the executor, which must realize the same convention).
+enum class ScalarDefKind {
+  Private,    ///< privatizable: every processor computes its own copy
+  Master,     ///< guarded to processor 0, value published to the shared slot
+  Reduction,  ///< per-processor partials combined into the shared slot
+};
+
+ScalarDefKind classifyScalarDef(const analysis::ScalarAccess& w);
+
+/// A per-boundary decision record (see core/report.h for rendering).
+struct BoundaryRecord {
+  enum class Site { Interior, BackEdge };
+
+  int region = 0;
+  Site site = Site::Interior;
+  std::string where;  ///< e.g. "after DOALL i" or "back edge of DO t"
+  comm::PairResult arrays;
+  ScalarComm scalars = ScalarComm::None;
+  SyncPoint decision;
+};
+
+class SyncOptimizer {
+ public:
+  SyncOptimizer(const ir::Program& prog, part::Decomposition& decomp,
+                OptimizerOptions options = OptimizerOptions());
+
+  /// Forms regions and computes the optimized synchronization plan.
+  RegionProgram run();
+
+  /// Forms regions but leaves every boundary a barrier (region merging
+  /// only — the "no sync optimization" plan for merged execution).
+  RegionProgram runBarriersOnly();
+
+  const OptStats& stats() const { return stats_; }
+
+  /// Per-boundary decision log from the last run() (see core/report.h).
+  const std::vector<BoundaryRecord>& report() const { return report_; }
+
+ private:
+  SyncPoint decideBoundary(const comm::PairResult& arrays, ScalarComm scalars);
+  void planSequence(std::vector<RegionNode>& nodes,
+                    std::vector<const ir::Stmt*>& sharedLoops,
+                    analysis::AccessSet& carryOut);
+  void planSeqLoopNode(RegionNode& node,
+                       std::vector<const ir::Stmt*>& sharedLoops,
+                       analysis::AccessSet& carryOut);
+  std::string describeNode(const RegionNode& node) const;
+
+  const ir::Program* prog_;
+  part::Decomposition* decomp_;
+  OptimizerOptions options_;
+  comm::CommAnalyzer comm_;
+  OptStats stats_;
+  std::vector<BoundaryRecord> report_;
+  int currentRegion_ = 0;
+};
+
+}  // namespace spmd::core

@@ -1,0 +1,67 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace spmd::core {
+
+std::string boundaryReason(const BoundaryRecord& r) {
+  const comm::PairResult& a = r.arrays;
+  std::ostringstream os;
+  switch (r.decision.kind) {
+    case SyncPoint::Kind::None:
+      if (!a.comm && r.scalars == ScalarComm::None)
+        os << "no cross-processor data movement: producers and consumers "
+              "of all shared data are the same processor";
+      else
+        os << "eliminated";
+      break;
+    case SyncPoint::Kind::Counter: {
+      os << "communication confined to ";
+      bool first = true;
+      if (a.right1) {
+        os << "right-neighbor flow (q = p+1)";
+        first = false;
+      }
+      if (a.left1) {
+        os << (first ? "" : " and ") << "left-neighbor flow (q = p-1)";
+        first = false;
+      }
+      if (r.scalars == ScalarComm::Master)
+        os << (first ? "" : " plus ") << "a master-produced scalar";
+      os << "; replaced barrier with counter synchronization";
+      break;
+    }
+    case SyncPoint::Kind::Barrier: {
+      if (!a.exact)
+        os << "placement not analyzable (no linear ownership or partition "
+              "reference): conservative barrier";
+      else if (a.farRight || a.farLeft)
+        os << "communication crosses non-adjacent processors "
+              "(general/all-to-all): barrier required";
+      else if (r.scalars == ScalarComm::General)
+        os << "reduction or mixed scalar flow needs all contributions: "
+              "barrier required";
+      else
+        os << "barrier required";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string renderReport(const std::vector<BoundaryRecord>& records) {
+  std::ostringstream os;
+  int region = -1;
+  for (const BoundaryRecord& r : records) {
+    if (r.region != region) {
+      region = r.region;
+      os << "region " << region << ":\n";
+    }
+    os << "  [" << r.decision.toString() << "] " << r.where << "\n"
+       << "      " << boundaryReason(r) << "\n";
+  }
+  if (records.empty()) os << "(no synchronization boundaries)\n";
+  return os.str();
+}
+
+}  // namespace spmd::core

@@ -1,0 +1,19 @@
+// Optimization reporting: renders the per-boundary decision records that
+// SyncOptimizer collects (the equivalent of a compiler's -fopt-report for
+// this pass).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace spmd::core {
+
+/// One-line human-readable justification for a boundary decision.
+std::string boundaryReason(const BoundaryRecord& record);
+
+/// Renders all records as an indented report, grouped by region.
+std::string renderReport(const std::vector<BoundaryRecord>& records);
+
+}  // namespace spmd::core

@@ -1,0 +1,194 @@
+#include "core/spmd_region.h"
+
+namespace spmd::core {
+
+const char* nodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::ParallelLoop:
+      return "parallel-loop";
+    case NodeKind::SeqLoop:
+      return "seq-loop";
+    case NodeKind::Replicated:
+      return "replicated";
+    case NodeKind::Guarded:
+      return "guarded";
+  }
+  SPMD_UNREACHABLE("bad NodeKind");
+}
+
+namespace {
+
+std::size_t countNodes(const std::vector<RegionNode>& nodes) {
+  std::size_t n = 0;
+  for (const RegionNode& node : nodes) n += 1 + countNodes(node.body);
+  return n;
+}
+
+std::size_t countBoundaries(const std::vector<RegionNode>& nodes,
+                            bool lastIsImplicit) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const RegionNode& node = nodes[i];
+    // The boundary after the last node of a sequence is implicit: at the
+    // region top level it is the join, inside a seq loop it is the back
+    // edge (counted separately below).
+    if (!(lastIsImplicit && i + 1 == nodes.size())) ++n;
+    if (node.kind == NodeKind::SeqLoop) {
+      ++n;  // back edge
+      n += countBoundaries(node.body, /*lastIsImplicit=*/true);
+    }
+  }
+  return n;
+}
+
+void setAllBarriers(std::vector<RegionNode>& nodes, bool lastIsImplicit) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!(lastIsImplicit && i + 1 == nodes.size()))
+      nodes[i].after = SyncPoint::barrier();
+    if (nodes[i].kind == NodeKind::SeqLoop) {
+      nodes[i].backEdge = SyncPoint::barrier();
+      setAllBarriers(nodes[i].body, /*lastIsImplicit=*/true);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t SpmdRegion::nodeCount() const { return countNodes(nodes); }
+
+std::size_t SpmdRegion::boundaryCount() const {
+  return countBoundaries(nodes, /*lastIsImplicit=*/true);
+}
+
+std::size_t RegionProgram::regionCount() const {
+  std::size_t n = 0;
+  for (const Item& item : items)
+    if (item.isRegion()) ++n;
+  return n;
+}
+
+bool containsParallelLoop(const ir::Stmt* stmt) {
+  if (!stmt->isLoop()) return false;
+  if (stmt->loop().parallel) return true;
+  for (const ir::StmtPtr& child : stmt->loop().body)
+    if (containsParallelLoop(child.get())) return true;
+  return false;
+}
+
+namespace {
+
+bool readsArrays(const ir::Expr& e) {
+  std::vector<ir::ArrayRead> reads;
+  ir::collectArrayReads(e, reads);
+  return !reads.empty();
+}
+
+bool touchesArrays(const ir::Stmt* stmt) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ArrayAssign:
+      return true;
+    case ir::Stmt::Kind::ScalarAssign:
+      return readsArrays(stmt->scalarAssign().rhs);
+    case ir::Stmt::Kind::Loop:
+      for (const ir::StmtPtr& child : stmt->loop().body)
+        if (touchesArrays(child.get())) return true;
+      return false;
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+}  // namespace
+
+std::optional<RegionNode> classifyStmt(const ir::Stmt* stmt) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ArrayAssign:
+      // A lone array assignment runs under an ownership guard.
+      return RegionNode{NodeKind::Guarded, stmt, {}, {}, {}};
+    case ir::Stmt::Kind::ScalarAssign: {
+      const ir::ScalarAssign& s = stmt->scalarAssign();
+      // Privatizable scalar computation: replicate across processors
+      // (paper §2.2 "replicated computations").  Anything reading arrays
+      // or reducing must be guarded and its value communicated.
+      if (s.reduction == ir::ReductionOp::None && !readsArrays(s.rhs))
+        return RegionNode{NodeKind::Replicated, stmt, {}, {}, {}};
+      return RegionNode{NodeKind::Guarded, stmt, {}, {}, {}};
+    }
+    case ir::Stmt::Kind::Loop: {
+      const ir::Loop& l = stmt->loop();
+      if (l.parallel)
+        return RegionNode{NodeKind::ParallelLoop, stmt, {}, {}, {}};
+      if (!containsParallelLoop(stmt)) {
+        // Sequential loop with no parallelism inside: replicate pure
+        // scalar computation, guard anything touching arrays.
+        return RegionNode{touchesArrays(stmt) ? NodeKind::Guarded
+                                              : NodeKind::Replicated,
+                          stmt,
+                          {},
+                          {},
+                          {}};
+      }
+      // Sequential loop carrying parallel loops: the loop becomes a
+      // SeqLoop region node with a recursively classified body.
+      RegionNode node{NodeKind::SeqLoop, stmt, {}, {}, {}};
+      for (const ir::StmtPtr& child : l.body) {
+        std::optional<RegionNode> c = classifyStmt(child.get());
+        if (!c) return std::nullopt;
+        node.body.push_back(std::move(*c));
+      }
+      return node;
+    }
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+RegionProgram buildRegions(const ir::Program& prog) {
+  RegionProgram out;
+  int nextRegionId = 0;
+
+  std::vector<RegionNode> pending;      // candidate run of region nodes
+  std::vector<const ir::Stmt*> origin;  // their source statements
+  bool pendingHasParallel = false;
+
+  auto flush = [&] {
+    if (pending.empty()) return;
+    if (pendingHasParallel) {
+      SpmdRegion region;
+      region.id = nextRegionId++;
+      region.nodes = std::move(pending);
+      // Default (unoptimized) plan: a barrier at every boundary.
+      setAllBarriers(region.nodes, /*lastIsImplicit=*/true);
+      RegionProgram::Item item;
+      item.region = std::move(region);
+      out.items.push_back(std::move(item));
+    } else {
+      // A run with no parallel loop stays master-sequential.
+      for (const ir::Stmt* s : origin) {
+        RegionProgram::Item item;
+        item.sequential = s;
+        out.items.push_back(std::move(item));
+      }
+    }
+    pending.clear();
+    origin.clear();
+    pendingHasParallel = false;
+  };
+
+  for (const ir::StmtPtr& stmt : prog.topLevel()) {
+    std::optional<RegionNode> node = classifyStmt(stmt.get());
+    if (node) {
+      pendingHasParallel =
+          pendingHasParallel || containsParallelLoop(stmt.get());
+      pending.push_back(std::move(*node));
+      origin.push_back(stmt.get());
+    } else {
+      flush();
+      RegionProgram::Item item;
+      item.sequential = stmt.get();
+      out.items.push_back(std::move(item));
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace spmd::core

@@ -1,0 +1,91 @@
+// SPMD regions: the hybrid execution model's unit of parallel execution.
+//
+// "Sequential parts of the program are executed by a single master thread,
+// as in traditional shared-memory compilers.  Parallel loops, however, are
+// combined to form larger parallel regions that can be treated as small
+// SPMD programs." (paper §2, after Cytron et al. [11])
+//
+// Larger regions are built by also admitting (paper §2.2):
+//   * replicated computations — scalar assignments every processor can
+//     execute privately (privatizable scalars);
+//   * guarded computations — statements executed only by the processor
+//     that owns the written element (arrays) or by processor 0 (scalars).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/sync_plan.h"
+
+namespace spmd::core {
+
+enum class NodeKind {
+  ParallelLoop,  ///< a DOALL: iterations partitioned across processors
+  SeqLoop,       ///< a sequential loop whose body is itself a region
+  Replicated,    ///< scalar assignment executed privately by every processor
+  Guarded,       ///< statement subtree executed under ownership guards
+};
+
+const char* nodeKindName(NodeKind kind);
+
+struct RegionNode {
+  NodeKind kind;
+  const ir::Stmt* stmt = nullptr;
+  std::vector<RegionNode> body;  ///< SeqLoop only
+
+  /// Synchronization placed after this node, within the parent sequence.
+  /// The boundary after the *last* top-level node of a region is the
+  /// region join (always a barrier, provided by the runtime).
+  SyncPoint after;
+
+  /// SeqLoop only: synchronization at the end of the loop body, covering
+  /// the back edge between consecutive iterations.  Eliminating or
+  /// pipelining this is where the orders-of-magnitude wins come from.
+  SyncPoint backEdge;
+
+  /// SeqLoop only, set during lowering: the final iteration's back-edge
+  /// barrier is subsumed by an immediately following barrier (or the
+  /// region join) and is skipped — merging a region must never execute
+  /// more barriers than fork-join did.
+  bool elideLastBackEdgeBarrier = false;
+};
+
+struct SpmdRegion {
+  int id = 0;
+  std::vector<RegionNode> nodes;
+
+  std::size_t nodeCount() const;
+  /// All sync boundaries in the region (after-boundaries between nodes and
+  /// seq-loop back edges; the final join is excluded).
+  std::size_t boundaryCount() const;
+};
+
+/// A program restructured into master-sequential statements and SPMD
+/// regions, in execution order.
+struct RegionProgram {
+  struct Item {
+    const ir::Stmt* sequential = nullptr;  ///< when not a region
+    std::optional<SpmdRegion> region;
+    bool isRegion() const { return region.has_value(); }
+  };
+  std::vector<Item> items;
+
+  std::size_t regionCount() const;
+};
+
+/// Forms maximal SPMD regions from the program's top level.  A top-level
+/// statement joins a region when it is a parallel loop, a replicable or
+/// guardable assignment, or a sequential loop whose body (recursively)
+/// qualifies and contains at least one parallel loop.  Runs of qualifying
+/// statements containing at least one parallel loop become regions; all
+/// sync points default to barriers (the unoptimized plan).
+RegionProgram buildRegions(const ir::Program& prog);
+
+/// Classifies a single statement as a region node (recursively for loops).
+/// Returns std::nullopt when the statement cannot be placed in a region.
+std::optional<RegionNode> classifyStmt(const ir::Stmt* stmt);
+
+/// True when the statement subtree contains a parallel loop.
+bool containsParallelLoop(const ir::Stmt* stmt);
+
+}  // namespace spmd::core

@@ -1,0 +1,76 @@
+// Synchronization points: what the optimizer places at each boundary.
+//
+// A barrier orders everything; a counter synchronizes producer/consumer
+// processor *pairs* only (paper §2): "Processors defining (producing)
+// values can increment a counter, and processors accessing (consuming) the
+// values wait until the counter is incremented to the proper value."
+//
+// Counter execution model (uniform for intra-iteration boundaries and
+// sequential-loop back-edges): every processor posts its own slot of the
+// sync point's counter array, then waits until the specified producers'
+// slots reach the same occurrence number.  Because every processor passes
+// each sync point the same number of times per region execution, the
+// occurrence number is tracked with a thread-local count — no centralized
+// coordination.  Posting before waiting makes deadlock impossible.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace spmd::core {
+
+struct SyncPoint {
+  enum class Kind {
+    None,     ///< boundary eliminated: no data crosses processors here
+    Barrier,  ///< all-processor barrier
+    Counter,  ///< pairwise counter synchronization
+  };
+
+  Kind kind = Kind::None;
+
+  // Counter wait set (who this processor must wait for).
+  bool waitLeft = false;    ///< wait for processor me-1 (if any)
+  bool waitRight = false;   ///< wait for processor me+1 (if any)
+  bool waitMaster = false;  ///< wait for processor 0 (guarded-scalar producer)
+
+  /// Unique id within the enclosing region; assigned during lowering.
+  int id = -1;
+
+  bool isSync() const { return kind != Kind::None; }
+
+  static SyncPoint none() { return SyncPoint{}; }
+  static SyncPoint barrier() {
+    SyncPoint s;
+    s.kind = Kind::Barrier;
+    return s;
+  }
+  static SyncPoint counter(bool left, bool right, bool master) {
+    SyncPoint s;
+    s.kind = Kind::Counter;
+    s.waitLeft = left;
+    s.waitRight = right;
+    s.waitMaster = master;
+    return s;
+  }
+
+  std::string toString() const {
+    switch (kind) {
+      case Kind::None:
+        return "none";
+      case Kind::Barrier:
+        return "barrier";
+      case Kind::Counter: {
+        std::string s = "counter(";
+        if (waitLeft) s += "L";
+        if (waitRight) s += "R";
+        if (waitMaster) s += "M";
+        s += ")";
+        return s;
+      }
+    }
+    return "?";
+  }
+};
+
+}  // namespace spmd::core

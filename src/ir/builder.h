@@ -1,0 +1,268 @@
+// Fluent construction DSL for IR programs.
+//
+// Kernels read close to the Fortran they model:
+//
+//   Builder b("jacobi2d");
+//   Ix N = b.sym("N", 4);
+//   ArrayHandle A = b.array("A", {N + 2, N + 2});
+//   ArrayHandle Bn = b.array("Bn", {N + 2, N + 2});
+//   b.parFor("i", 1, N, [&](Ix i) {
+//     b.seqFor("j", 1, N, [&](Ix j) {
+//       b.assign(Bn(i, j), 0.25 * (A(i - 1, j) + A(i + 1, j) +
+//                                  A(i, j - 1) + A(i, j + 1)));
+//     });
+//   });
+//   Program prog = b.finish();
+#pragma once
+
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace spmd::ir {
+
+class Builder;
+
+/// Affine index handle: a linear expression over loop indices + symbolics.
+struct Ix {
+  poly::LinExpr expr;
+
+  Ix() = default;
+  Ix(i64 c) : expr(poly::LinExpr::constant(c)) {}  // NOLINT: implicit
+  Ix(int c) : expr(poly::LinExpr::constant(c)) {}  // NOLINT: implicit
+  explicit Ix(poly::LinExpr e) : expr(std::move(e)) {}
+};
+
+inline Ix operator+(const Ix& a, const Ix& b) { return Ix(a.expr + b.expr); }
+inline Ix operator-(const Ix& a, const Ix& b) { return Ix(a.expr - b.expr); }
+inline Ix operator-(const Ix& a) { return Ix(-a.expr); }
+inline Ix operator*(i64 f, const Ix& a) { return Ix(a.expr * f); }
+inline Ix operator*(const Ix& a, i64 f) { return Ix(a.expr * f); }
+
+/// A scalar variable handle.
+struct ScalarHandle {
+  ScalarId id;
+};
+
+/// `A(i, j)`: an array element with affine subscripts; usable as an
+/// assignment target or converted to a read in an expression.
+struct ArrayElement {
+  ArrayId array;
+  std::vector<poly::LinExpr> subscripts;
+};
+
+/// An array handle callable with Ix subscripts.
+class ArrayHandle {
+ public:
+  ArrayHandle() = default;
+  explicit ArrayHandle(ArrayId id) : id_(id) {}
+
+  ArrayId id() const { return id_; }
+
+  template <typename... Subs>
+  ArrayElement operator()(const Subs&... subs) const {
+    ArrayElement e;
+    e.array = id_;
+    (e.subscripts.push_back(Ix(subs).expr), ...);
+    return e;
+  }
+
+ private:
+  ArrayId id_;
+};
+
+// --- expression-building overloads ----------------------------------------
+
+inline Expr toExpr(const Expr& e) { return e; }
+inline Expr toExpr(double v) { return Expr::number(v); }
+inline Expr toExpr(int v) { return Expr::number(v); }
+inline Expr toExpr(i64 v) { return Expr::number(static_cast<double>(v)); }
+inline Expr toExpr(const Ix& ix) { return Expr::affine(ix.expr); }
+inline Expr toExpr(const ScalarHandle& s) { return Expr::scalar(s.id); }
+inline Expr toExpr(const ArrayElement& a) {
+  return Expr::arrayRead(a.array, a.subscripts);
+}
+
+template <typename T>
+inline constexpr bool kIsExprCore =
+    std::is_same_v<T, Expr> || std::is_same_v<T, Ix> ||
+    std::is_same_v<T, ScalarHandle> || std::is_same_v<T, ArrayElement>;
+
+template <typename T>
+inline constexpr bool kIsExprOperand =
+    kIsExprCore<T> || std::is_arithmetic_v<T>;
+
+template <typename T>
+inline constexpr bool kIsAffineOperand =
+    std::is_same_v<T, Ix> || std::is_integral_v<T>;
+
+template <typename A, typename B>
+concept ExprPair =
+    kIsExprOperand<std::decay_t<A>> && kIsExprOperand<std::decay_t<B>> &&
+    (kIsExprCore<std::decay_t<A>> || kIsExprCore<std::decay_t<B>>) &&
+    // Ix combined with Ix or an integer stays affine via the dedicated Ix
+    // overloads above (so A(i - 1) keeps an affine subscript).
+    !((std::is_same_v<std::decay_t<A>, Ix> ||
+       std::is_same_v<std::decay_t<B>, Ix>) &&
+      kIsAffineOperand<std::decay_t<A>> && kIsAffineOperand<std::decay_t<B>>);
+
+template <typename A, typename B>
+  requires ExprPair<A, B>
+Expr operator+(const A& a, const B& b) {
+  return Expr::binary(BinaryOp::Add, toExpr(a), toExpr(b));
+}
+template <typename A, typename B>
+  requires ExprPair<A, B>
+Expr operator-(const A& a, const B& b) {
+  return Expr::binary(BinaryOp::Sub, toExpr(a), toExpr(b));
+}
+template <typename A, typename B>
+  requires ExprPair<A, B>
+Expr operator*(const A& a, const B& b) {
+  return Expr::binary(BinaryOp::Mul, toExpr(a), toExpr(b));
+}
+template <typename A, typename B>
+  requires ExprPair<A, B>
+Expr operator/(const A& a, const B& b) {
+  return Expr::binary(BinaryOp::Div, toExpr(a), toExpr(b));
+}
+
+template <typename A>
+  requires kIsExprCore<std::decay_t<A>>
+Expr operator-(const A& a) {
+  return Expr::unary(UnaryOp::Neg, toExpr(a));
+}
+
+template <typename A, typename B>
+  requires ExprPair<A, B>
+Expr emin(const A& a, const B& b) {
+  return Expr::binary(BinaryOp::Min, toExpr(a), toExpr(b));
+}
+template <typename A, typename B>
+  requires ExprPair<A, B>
+Expr emax(const A& a, const B& b) {
+  return Expr::binary(BinaryOp::Max, toExpr(a), toExpr(b));
+}
+template <typename A>
+Expr esqrt(const A& a) {
+  return Expr::unary(UnaryOp::Sqrt, toExpr(a));
+}
+template <typename A>
+Expr eabs(const A& a) {
+  return Expr::unary(UnaryOp::Abs, toExpr(a));
+}
+
+// --- the builder -----------------------------------------------------------
+
+class Builder {
+ public:
+  explicit Builder(std::string name) : prog_(std::move(name)) {}
+
+  /// Declares a symbolic integer (problem size, etc.) with a known lower
+  /// bound that analyses may assume.
+  Ix sym(const std::string& name, i64 lowerBound = 1) {
+    return Ix(poly::LinExpr::var(prog_.addSymbolic(name, lowerBound)));
+  }
+
+  ArrayHandle array(const std::string& name, std::vector<Ix> extents,
+                    double init = 0.0) {
+    std::vector<poly::LinExpr> ex;
+    ex.reserve(extents.size());
+    for (const Ix& e : extents) ex.push_back(e.expr);
+    return ArrayHandle(prog_.addArray(name, std::move(ex), init));
+  }
+
+  ScalarHandle scalar(const std::string& name, double init = 0.0) {
+    return ScalarHandle{prog_.addScalar(name, init)};
+  }
+
+  /// Parallel loop (step 1).  The body callback receives the index handle.
+  /// Returns the loop statement (e.g. to attach an explicit partition).
+  const Stmt* parFor(const std::string& index, Ix lo, Ix hi,
+                     const std::function<void(Ix)>& body) {
+    return makeLoop(index, lo, hi, /*step=*/1, /*parallel=*/true, body);
+  }
+
+  /// Sequential loop with optional stride.
+  const Stmt* seqFor(const std::string& index, Ix lo, Ix hi,
+                     const std::function<void(Ix)>& body, i64 step = 1) {
+    return makeLoop(index, lo, hi, step, /*parallel=*/false, body);
+  }
+
+  void assign(ArrayElement lhs, Expr rhs) {
+    addStmt(std::make_shared<Stmt>(ArrayAssign{
+        lhs.array, std::move(lhs.subscripts), std::move(rhs),
+        ReductionOp::None}));
+  }
+  template <typename R>
+  void assign(ArrayElement lhs, const R& rhs) {
+    assign(std::move(lhs), toExpr(rhs));
+  }
+
+  void assign(ScalarHandle lhs, Expr rhs) {
+    addStmt(std::make_shared<Stmt>(
+        ScalarAssign{lhs.id, std::move(rhs), ReductionOp::None}));
+  }
+  template <typename R>
+  void assign(ScalarHandle lhs, const R& rhs) {
+    assign(lhs, toExpr(rhs));
+  }
+
+  /// s = s + rhs, tagged as a recognized reduction.
+  template <typename R>
+  void reduceSum(ScalarHandle s, const R& rhs) {
+    addStmt(std::make_shared<Stmt>(
+        ScalarAssign{s.id, toExpr(rhs), ReductionOp::Sum}));
+  }
+  /// s = max(s, rhs)
+  template <typename R>
+  void reduceMax(ScalarHandle s, const R& rhs) {
+    addStmt(std::make_shared<Stmt>(
+        ScalarAssign{s.id, toExpr(rhs), ReductionOp::Max}));
+  }
+  /// s = min(s, rhs)
+  template <typename R>
+  void reduceMin(ScalarHandle s, const R& rhs) {
+    addStmt(std::make_shared<Stmt>(
+        ScalarAssign{s.id, toExpr(rhs), ReductionOp::Min}));
+  }
+
+  /// Finalizes and returns the program; the builder must not be used after.
+  Program finish() {
+    SPMD_CHECK(scopeStack_.empty(), "finish() inside an open loop body");
+    return std::move(prog_);
+  }
+
+  Program& program() { return prog_; }
+
+ private:
+  const Stmt* makeLoop(const std::string& index, const Ix& lo, const Ix& hi,
+                       i64 step, bool parallel,
+                       const std::function<void(Ix)>& body) {
+    SPMD_CHECK(step >= 1, "loop step must be positive");
+    SPMD_CHECK(!parallel || step == 1, "parallel loops require step 1");
+    poly::VarId v = prog_.addLoopIndex(index);
+    auto stmt = std::make_shared<Stmt>(
+        Loop{v, lo.expr, hi.expr, step, parallel, {}});
+    addStmt(stmt);
+    scopeStack_.push_back(stmt);
+    body(Ix(poly::LinExpr::var(v)));
+    scopeStack_.pop_back();
+    return stmt.get();
+  }
+
+  void addStmt(StmtPtr s) {
+    if (scopeStack_.empty())
+      prog_.appendTopLevel(std::move(s));
+    else
+      scopeStack_.back()->loop().body.push_back(std::move(s));
+  }
+
+  Program prog_;
+  std::vector<StmtPtr> scopeStack_;
+};
+
+}  // namespace spmd::ir

@@ -1,0 +1,148 @@
+#include "ir/eval.h"
+
+#include <cmath>
+
+namespace spmd::ir {
+
+Store::Store(const Program& prog, const SymbolBindings& symbols)
+    : prog_(&prog), symbols_(symbols) {
+  for (const SymbolicInfo& s : prog.symbolics()) {
+    SPMD_CHECK(symbols_.count(s.var.index),
+               "missing binding for symbolic " + s.name);
+    SPMD_CHECK(symbols_.at(s.var.index) >= s.lowerBound,
+               "binding below declared lower bound for symbolic " + s.name);
+  }
+  auto symValue = [&](poly::VarId v) {
+    auto it = symbols_.find(v.index);
+    SPMD_CHECK(it != symbols_.end(),
+               "array extent references unbound symbolic");
+    return it->second;
+  };
+  arrays_.reserve(prog.arrays().size());
+  extents_.reserve(prog.arrays().size());
+  for (const ArrayInfo& a : prog.arrays()) {
+    std::vector<i64> ext;
+    std::size_t total = 1;
+    for (const poly::LinExpr& e : a.extents) {
+      i64 v = e.evaluate(symValue);
+      SPMD_CHECK(v >= 1, "array " + a.name + " has non-positive extent");
+      ext.push_back(v);
+      total *= static_cast<std::size_t>(v);
+    }
+    extents_.push_back(std::move(ext));
+    arrays_.emplace_back(total, a.init);
+  }
+  scalars_.reserve(prog.scalars().size());
+  for (const ScalarInfo& s : prog.scalars()) scalars_.push_back(s.init);
+}
+
+i64 Store::symbolValue(poly::VarId v) const {
+  auto it = symbols_.find(v.index);
+  SPMD_CHECK(it != symbols_.end(), "unbound symbolic");
+  return it->second;
+}
+
+std::size_t Store::flatten(ArrayId a, const std::vector<i64>& subs) const {
+  const std::vector<i64>& ext = extents_[idx(a)];
+  SPMD_CHECK(subs.size() == ext.size(),
+             "subscript rank mismatch for array " + prog_->array(a).name);
+  std::size_t offset = 0;
+  for (std::size_t d = 0; d < subs.size(); ++d) {
+    SPMD_CHECK(subs[d] >= 0 && subs[d] < ext[d],
+               "subscript out of bounds for array " + prog_->array(a).name +
+                   " dim " + std::to_string(d) + ": " +
+                   std::to_string(subs[d]) + " not in [0, " +
+                   std::to_string(ext[d]) + ")");
+    offset = offset * static_cast<std::size_t>(ext[d]) +
+             static_cast<std::size_t>(subs[d]);
+  }
+  return offset;
+}
+
+double Store::fingerprint() const {
+  double acc = 0.0;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    double weight = 1.0;
+    for (double v : arrays_[a]) {
+      acc += v * weight;
+      weight = weight >= 1e9 ? 1.0 : weight + 1.0;
+    }
+  }
+  for (double v : scalars_) acc += v * 0.5;
+  return acc;
+}
+
+double Store::maxAbsDifference(const Store& a, const Store& b) {
+  SPMD_CHECK(a.arrays_.size() == b.arrays_.size() &&
+                 a.scalars_.size() == b.scalars_.size(),
+             "stores have different shapes");
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a.arrays_.size(); ++k) {
+    SPMD_CHECK(a.arrays_[k].size() == b.arrays_[k].size(),
+               "array sizes differ between stores");
+    for (std::size_t e = 0; e < a.arrays_[k].size(); ++e)
+      worst = std::max(worst, std::abs(a.arrays_[k][e] - b.arrays_[k][e]));
+  }
+  for (std::size_t s = 0; s < a.scalars_.size(); ++s)
+    worst = std::max(worst, std::abs(a.scalars_[s] - b.scalars_[s]));
+  return worst;
+}
+
+double evalExpr(const Expr& e, const EvalEnv& env) {
+  const ExprNode& n = e.node();
+  switch (n.kind()) {
+    case ExprNode::Kind::Number:
+      return static_cast<const NumberExpr&>(n).value;
+    case ExprNode::Kind::ScalarRef:
+      return env.scalarValue(static_cast<const ScalarRefExpr&>(n).scalar);
+    case ExprNode::Kind::Affine:
+      return static_cast<double>(
+          env.evalAffine(static_cast<const AffineExpr&>(n).expr));
+    case ExprNode::Kind::ArrayRef: {
+      const auto& a = static_cast<const ArrayRefExpr&>(n);
+      return env.store().element(a.array, env.evalSubscripts(a.subscripts));
+    }
+    case ExprNode::Kind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(n);
+      double v = evalExpr(u.operand, env);
+      switch (u.op) {
+        case UnaryOp::Neg:
+          return -v;
+        case UnaryOp::Sqrt:
+          return std::sqrt(v);
+        case UnaryOp::Abs:
+          return std::abs(v);
+        case UnaryOp::Exp:
+          return std::exp(v);
+        case UnaryOp::Sin:
+          return std::sin(v);
+        case UnaryOp::Cos:
+          return std::cos(v);
+      }
+      SPMD_UNREACHABLE("bad UnaryOp");
+    }
+    case ExprNode::Kind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(n);
+      double l = evalExpr(b.lhs, env);
+      double r = evalExpr(b.rhs, env);
+      switch (b.op) {
+        case BinaryOp::Add:
+          return l + r;
+        case BinaryOp::Sub:
+          return l - r;
+        case BinaryOp::Mul:
+          return l * r;
+        case BinaryOp::Div:
+          return l / r;
+        case BinaryOp::Min:
+          return std::min(l, r);
+        case BinaryOp::Max:
+          return std::max(l, r);
+      }
+      SPMD_UNREACHABLE("bad BinaryOp");
+    }
+  }
+  SPMD_UNREACHABLE("bad ExprNode kind");
+}
+
+}  // namespace spmd::ir

@@ -1,0 +1,164 @@
+// Runtime storage and expression evaluation, shared by the sequential
+// reference executor and the SPMD executor.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace spmd::ir {
+
+/// Concrete values for the program's symbolics (N = 128, ...).
+using SymbolBindings = std::unordered_map<int, i64>;  // VarId.index -> value
+
+/// Flat storage for all arrays and scalars of a program.
+///
+/// Arrays are row-major doubles.  Element access is bounds-checked: the
+/// executors interpret compiler-transformed programs, and an out-of-bounds
+/// subscript always indicates a transformation bug, not a user error.
+class Store {
+ public:
+  Store(const Program& prog, const SymbolBindings& symbols);
+
+  const Program& program() const { return *prog_; }
+  const SymbolBindings& symbols() const { return symbols_; }
+
+  i64 symbolValue(poly::VarId v) const;
+
+  i64 rank(ArrayId a) const {
+    return static_cast<i64>(extents_[idx(a)].size());
+  }
+  i64 extent(ArrayId a, std::size_t dim) const {
+    return extents_[idx(a)][dim];
+  }
+
+  double* data(ArrayId a) { return arrays_[idx(a)].data(); }
+  const double* data(ArrayId a) const { return arrays_[idx(a)].data(); }
+  std::size_t elementCount(ArrayId a) const { return arrays_[idx(a)].size(); }
+
+  double& element(ArrayId a, const std::vector<i64>& subs) {
+    return arrays_[idx(a)][flatten(a, subs)];
+  }
+  double element(ArrayId a, const std::vector<i64>& subs) const {
+    return arrays_[idx(a)][flatten(a, subs)];
+  }
+
+  double& scalar(ScalarId s) { return scalars_[static_cast<std::size_t>(s.index)]; }
+  double scalar(ScalarId s) const {
+    return scalars_[static_cast<std::size_t>(s.index)];
+  }
+
+  /// Row-major flat offset with per-dimension bounds checks.
+  std::size_t flatten(ArrayId a, const std::vector<i64>& subs) const;
+
+  /// Order- and layout-independent fingerprint used to compare executor
+  /// results (sum of value*f(position) over all arrays and scalars).
+  double fingerprint() const;
+
+  /// Max |difference| over all arrays/scalars; stores must be shape-equal.
+  static double maxAbsDifference(const Store& a, const Store& b);
+
+ private:
+  static std::size_t idx(ArrayId a) { return static_cast<std::size_t>(a.index); }
+
+  const Program* prog_;
+  SymbolBindings symbols_;
+  std::vector<std::vector<double>> arrays_;
+  std::vector<std::vector<i64>> extents_;
+  std::vector<double> scalars_;
+};
+
+/// Evaluation environment: a store plus current values of loop indices.
+class EvalEnv {
+ public:
+  explicit EvalEnv(Store& store)
+      : store_(&store), values_(store.program().space()->size(), 0),
+        bound_(store.program().space()->size(), false) {
+    for (const SymbolicInfo& s : store.program().symbolics())
+      bind(s.var, store.symbolValue(s.var));
+  }
+
+  Store& store() { return *store_; }
+  const Store& store() const { return *store_; }
+
+  /// Redirects scalar reads/writes to a private per-thread table (used by
+  /// the SPMD executor for replicated scalar computations).  The table must
+  /// hold one slot per program scalar and outlive this env.
+  void setScalarTable(double* table) { scalarTable_ = table; }
+
+  double scalarValue(ScalarId s) const {
+    return scalarTable_ ? scalarTable_[static_cast<std::size_t>(s.index)]
+                        : store_->scalar(s);
+  }
+  double& scalarSlot(ScalarId s) {
+    return scalarTable_ ? scalarTable_[static_cast<std::size_t>(s.index)]
+                        : store_->scalar(s);
+  }
+
+  void bind(poly::VarId v, i64 value) {
+    ensure(v);
+    values_[static_cast<std::size_t>(v.index)] = value;
+    bound_[static_cast<std::size_t>(v.index)] = true;
+  }
+  void unbind(poly::VarId v) {
+    ensure(v);
+    bound_[static_cast<std::size_t>(v.index)] = false;
+  }
+  i64 value(poly::VarId v) const {
+    SPMD_CHECK(static_cast<std::size_t>(v.index) < bound_.size() &&
+                   bound_[static_cast<std::size_t>(v.index)],
+               "unbound variable in evaluation");
+    return values_[static_cast<std::size_t>(v.index)];
+  }
+
+  i64 evalAffine(const poly::LinExpr& e) const {
+    return e.evaluate([this](poly::VarId v) { return value(v); });
+  }
+
+  std::vector<i64> evalSubscripts(const std::vector<poly::LinExpr>& subs) const {
+    std::vector<i64> out;
+    out.reserve(subs.size());
+    for (const poly::LinExpr& s : subs) out.push_back(evalAffine(s));
+    return out;
+  }
+
+ private:
+  void ensure(poly::VarId v) {
+    // The VarSpace may have grown (analyses add scratch vars) since this
+    // env was created.
+    if (static_cast<std::size_t>(v.index) >= values_.size()) {
+      values_.resize(static_cast<std::size_t>(v.index) + 1, 0);
+      bound_.resize(static_cast<std::size_t>(v.index) + 1, false);
+    }
+  }
+
+  Store* store_;
+  double* scalarTable_ = nullptr;
+  std::vector<i64> values_;
+  std::vector<char> bound_;
+};
+
+/// Evaluates an expression tree to a double.
+double evalExpr(const Expr& e, const EvalEnv& env);
+
+/// Applies a (possibly reducing) assignment value to a target location.
+inline void applyReduction(double& target, ReductionOp op, double value) {
+  switch (op) {
+    case ReductionOp::None:
+      target = value;
+      return;
+    case ReductionOp::Sum:
+      target += value;
+      return;
+    case ReductionOp::Max:
+      target = std::max(target, value);
+      return;
+    case ReductionOp::Min:
+      target = std::min(target, value);
+      return;
+  }
+  SPMD_UNREACHABLE("bad ReductionOp");
+}
+
+}  // namespace spmd::ir

@@ -1,0 +1,124 @@
+#include "ir/expr.h"
+
+#include "ir/stmt.h"
+
+namespace spmd::ir {
+
+const char* unaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Neg:
+      return "-";
+    case UnaryOp::Sqrt:
+      return "SQRT";
+    case UnaryOp::Abs:
+      return "ABS";
+    case UnaryOp::Exp:
+      return "EXP";
+    case UnaryOp::Sin:
+      return "SIN";
+    case UnaryOp::Cos:
+      return "COS";
+  }
+  SPMD_UNREACHABLE("bad UnaryOp");
+}
+
+const char* binaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add:
+      return "+";
+    case BinaryOp::Sub:
+      return "-";
+    case BinaryOp::Mul:
+      return "*";
+    case BinaryOp::Div:
+      return "/";
+    case BinaryOp::Min:
+      return "MIN";
+    case BinaryOp::Max:
+      return "MAX";
+  }
+  SPMD_UNREACHABLE("bad BinaryOp");
+}
+
+Expr Expr::number(double value) {
+  return Expr(std::make_shared<NumberExpr>(value));
+}
+Expr Expr::scalar(ScalarId id) {
+  return Expr(std::make_shared<ScalarRefExpr>(id));
+}
+Expr Expr::affine(poly::LinExpr e) {
+  return Expr(std::make_shared<AffineExpr>(std::move(e)));
+}
+Expr Expr::arrayRead(ArrayId array, std::vector<poly::LinExpr> subs) {
+  return Expr(std::make_shared<ArrayRefExpr>(array, std::move(subs)));
+}
+Expr Expr::unary(UnaryOp op, Expr operand) {
+  return Expr(std::make_shared<UnaryExpr>(op, std::move(operand)));
+}
+Expr Expr::binary(BinaryOp op, Expr lhs, Expr rhs) {
+  return Expr(std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs)));
+}
+
+void collectArrayReads(const Expr& e, std::vector<ArrayRead>& out) {
+  const ExprNode& n = e.node();
+  switch (n.kind()) {
+    case ExprNode::Kind::Number:
+    case ExprNode::Kind::ScalarRef:
+    case ExprNode::Kind::Affine:
+      return;
+    case ExprNode::Kind::ArrayRef: {
+      const auto& a = static_cast<const ArrayRefExpr&>(n);
+      out.push_back(ArrayRead{a.array, a.subscripts});
+      return;
+    }
+    case ExprNode::Kind::Unary:
+      collectArrayReads(static_cast<const UnaryExpr&>(n).operand, out);
+      return;
+    case ExprNode::Kind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(n);
+      collectArrayReads(b.lhs, out);
+      collectArrayReads(b.rhs, out);
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad ExprNode kind");
+}
+
+void collectScalarReads(const Expr& e, std::vector<ScalarId>& out) {
+  const ExprNode& n = e.node();
+  switch (n.kind()) {
+    case ExprNode::Kind::Number:
+    case ExprNode::Kind::Affine:
+    case ExprNode::Kind::ArrayRef:
+      break;
+    case ExprNode::Kind::ScalarRef:
+      out.push_back(static_cast<const ScalarRefExpr&>(n).scalar);
+      break;
+    case ExprNode::Kind::Unary:
+      collectScalarReads(static_cast<const UnaryExpr&>(n).operand, out);
+      break;
+    case ExprNode::Kind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(n);
+      collectScalarReads(b.lhs, out);
+      collectScalarReads(b.rhs, out);
+      break;
+    }
+  }
+  // ArrayRef subscripts are affine and cannot mention scalars.
+}
+
+const char* reductionOpName(ReductionOp op) {
+  switch (op) {
+    case ReductionOp::None:
+      return "none";
+    case ReductionOp::Sum:
+      return "sum";
+    case ReductionOp::Max:
+      return "max";
+    case ReductionOp::Min:
+      return "min";
+  }
+  SPMD_UNREACHABLE("bad ReductionOp");
+}
+
+}  // namespace spmd::ir

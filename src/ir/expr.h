@@ -1,0 +1,136 @@
+// Expression trees for statement right-hand sides.
+//
+// The IR separates two layers deliberately:
+//   * subscripts and loop bounds are *affine* (poly::LinExpr) — this is the
+//     information the synchronization optimizer reasons about;
+//   * right-hand-side arithmetic is arbitrary floating point — the
+//     optimizer never needs to interpret it, only to know which array
+//     elements it reads.
+// Expr nodes are immutable and shared.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "poly/linexpr.h"
+
+namespace spmd::ir {
+
+struct ArrayId {
+  int index = -1;
+  bool valid() const { return index >= 0; }
+  friend auto operator<=>(ArrayId, ArrayId) = default;
+};
+
+struct ScalarId {
+  int index = -1;
+  bool valid() const { return index >= 0; }
+  friend auto operator<=>(ScalarId, ScalarId) = default;
+};
+
+enum class UnaryOp { Neg, Sqrt, Abs, Exp, Sin, Cos };
+enum class BinaryOp { Add, Sub, Mul, Div, Min, Max };
+
+const char* unaryOpName(UnaryOp op);
+const char* binaryOpName(BinaryOp op);
+
+class ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+/// Handle wrapper for expression trees.
+class Expr {
+ public:
+  Expr() = default;
+  explicit Expr(ExprPtr node) : node_(std::move(node)) {}
+
+  static Expr number(double value);
+  static Expr scalar(ScalarId id);
+  /// The integer value of an affine combination of loop indices/symbolics,
+  /// as a double (e.g. using the loop index in arithmetic).
+  static Expr affine(poly::LinExpr e);
+  static Expr arrayRead(ArrayId array, std::vector<poly::LinExpr> subs);
+  static Expr unary(UnaryOp op, Expr operand);
+  static Expr binary(BinaryOp op, Expr lhs, Expr rhs);
+
+  bool valid() const { return node_ != nullptr; }
+  const ExprNode& node() const {
+    SPMD_CHECK(node_ != nullptr, "use of empty Expr");
+    return *node_;
+  }
+  const ExprPtr& ptr() const { return node_; }
+
+ private:
+  ExprPtr node_;
+};
+
+/// One read access to an array with affine subscripts.
+struct ArrayRead {
+  ArrayId array;
+  std::vector<poly::LinExpr> subscripts;
+};
+
+class ExprNode {
+ public:
+  enum class Kind { Number, ScalarRef, Affine, ArrayRef, Unary, Binary };
+
+  virtual ~ExprNode() = default;
+  Kind kind() const { return kind_; }
+
+ protected:
+  explicit ExprNode(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+class NumberExpr : public ExprNode {
+ public:
+  explicit NumberExpr(double v) : ExprNode(Kind::Number), value(v) {}
+  double value;
+};
+
+class ScalarRefExpr : public ExprNode {
+ public:
+  explicit ScalarRefExpr(ScalarId s) : ExprNode(Kind::ScalarRef), scalar(s) {}
+  ScalarId scalar;
+};
+
+class AffineExpr : public ExprNode {
+ public:
+  explicit AffineExpr(poly::LinExpr e)
+      : ExprNode(Kind::Affine), expr(std::move(e)) {}
+  poly::LinExpr expr;
+};
+
+class ArrayRefExpr : public ExprNode {
+ public:
+  ArrayRefExpr(ArrayId a, std::vector<poly::LinExpr> s)
+      : ExprNode(Kind::ArrayRef), array(a), subscripts(std::move(s)) {}
+  ArrayId array;
+  std::vector<poly::LinExpr> subscripts;
+};
+
+class UnaryExpr : public ExprNode {
+ public:
+  UnaryExpr(UnaryOp o, Expr e)
+      : ExprNode(Kind::Unary), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  Expr operand;
+};
+
+class BinaryExpr : public ExprNode {
+ public:
+  BinaryExpr(BinaryOp o, Expr l, Expr r)
+      : ExprNode(Kind::Binary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  BinaryOp op;
+  Expr lhs, rhs;
+};
+
+/// Collects every array read in an expression tree (in evaluation order).
+void collectArrayReads(const Expr& e, std::vector<ArrayRead>& out);
+
+/// Collects every scalar read in an expression tree.
+void collectScalarReads(const Expr& e, std::vector<ScalarId>& out);
+
+}  // namespace spmd::ir

@@ -1,0 +1,616 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace spmd::ir {
+
+namespace {
+
+// --- lexer -----------------------------------------------------------------
+
+enum class Tok {
+  Ident,
+  Number,
+  LParen,
+  RParen,
+  Comma,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Assign,      // =
+  PlusAssign,  // +=
+  Ge,          // >=
+  End,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  Lexer(const std::string& line, int lineNo) : line_(line), lineNo_(lineNo) {
+    advance();
+  }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  bool at(Tok kind) const { return current_.kind == kind; }
+
+  Token expect(Tok kind, const char* what) {
+    if (!at(kind)) fail(std::string("expected ") + what);
+    return take();
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "line " << lineNo_ << ": " << msg << " (near '"
+       << (current_.kind == Tok::End ? "<end>" : current_.text) << "' in \""
+       << line_ << "\")";
+    throw ParseError(os.str());
+  }
+
+  int lineNo() const { return lineNo_; }
+
+ private:
+  void advance() {
+    while (pos_ < line_.size() && std::isspace(static_cast<unsigned char>(
+                                      line_[pos_])))
+      ++pos_;
+    if (pos_ >= line_.size() || line_[pos_] == '!') {
+      current_ = Token{Tok::End, ""};
+      return;
+    }
+    char c = line_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < line_.size() &&
+             (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+              line_[pos_] == '_'))
+        ++pos_;
+      current_ = Token{Tok::Ident, line_.substr(start, pos_ - start)};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t start = pos_;
+      while (pos_ < line_.size() &&
+             (std::isdigit(static_cast<unsigned char>(line_[pos_])) ||
+              line_[pos_] == '.' || line_[pos_] == 'e' ||
+              line_[pos_] == 'E' ||
+              ((line_[pos_] == '+' || line_[pos_] == '-') && pos_ > start &&
+               (line_[pos_ - 1] == 'e' || line_[pos_ - 1] == 'E'))))
+        ++pos_;
+      std::string text = line_.substr(start, pos_ - start);
+      current_ = Token{Tok::Number, text, std::stod(text)};
+      return;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && pos_ + 1 < line_.size() && line_[pos_ + 1] == b;
+    };
+    if (two('+', '=')) {
+      pos_ += 2;
+      current_ = Token{Tok::PlusAssign, "+="};
+      return;
+    }
+    if (two('>', '=')) {
+      pos_ += 2;
+      current_ = Token{Tok::Ge, ">="};
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '(':
+        current_ = Token{Tok::LParen, "("};
+        return;
+      case ')':
+        current_ = Token{Tok::RParen, ")"};
+        return;
+      case ',':
+        current_ = Token{Tok::Comma, ","};
+        return;
+      case '+':
+        current_ = Token{Tok::Plus, "+"};
+        return;
+      case '-':
+        current_ = Token{Tok::Minus, "-"};
+        return;
+      case '*':
+        current_ = Token{Tok::Star, "*"};
+        return;
+      case '/':
+        current_ = Token{Tok::Slash, "/"};
+        return;
+      case '=':
+        current_ = Token{Tok::Assign, "="};
+        return;
+      default: {
+        std::ostringstream os;
+        os << "line " << lineNo_ << ": unexpected character '" << c << "'";
+        throw ParseError(os.str());
+      }
+    }
+  }
+
+  const std::string& line_;
+  int lineNo_;
+  std::size_t pos_ = 0;
+  Token current_{Tok::End, ""};
+};
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// --- parser ----------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : source_(source) {}
+
+  Program run() {
+    splitLines();
+    expectHeader();
+    std::optional<Program> prog;
+    prog.emplace(programName_);
+    prog_ = &*prog;
+
+    parseDeclarations();
+    parseStatements();
+    if (!sawEnd_) throw ParseError("missing END");
+    return std::move(*prog);
+  }
+
+ private:
+  struct Line {
+    int number;
+    std::string text;
+  };
+
+  void splitLines() {
+    std::istringstream in(source_);
+    std::string text;
+    int number = 0;
+    while (std::getline(in, text)) {
+      ++number;
+      // Skip blank/comment-only lines.
+      std::size_t i = 0;
+      while (i < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+      if (i == text.size() || text[i] == '!') continue;
+      lines_.push_back(Line{number, text});
+    }
+    if (lines_.empty()) throw ParseError("empty program");
+  }
+
+  const Line& cur() const {
+    SPMD_CHECK(pos_ < lines_.size(), "parser ran past end");
+    return lines_[pos_];
+  }
+  bool done() const { return pos_ >= lines_.size(); }
+
+  /// First identifier on the current line, uppercased.
+  std::string keyword() {
+    Lexer lex(cur().text, cur().number);
+    if (!lex.at(Tok::Ident)) return "";
+    return upper(lex.peek().text);
+  }
+
+  void expectHeader() {
+    Lexer lex(lines_[0].text, lines_[0].number);
+    Token kw = lex.expect(Tok::Ident, "PROGRAM");
+    if (upper(kw.text) != "PROGRAM") lex.fail("expected PROGRAM");
+    programName_ = lex.expect(Tok::Ident, "program name").text;
+    ++pos_;
+  }
+
+  void parseDeclarations() {
+    while (!done()) {
+      std::string kw = keyword();
+      if (kw == "SYMBOLIC") {
+        Lexer lex(cur().text, cur().number);
+        lex.take();  // SYMBOLIC
+        std::string name = lex.expect(Tok::Ident, "symbolic name").text;
+        i64 lower = 1;
+        if (lex.at(Tok::Ge)) {
+          lex.take();
+          Token n = lex.expect(Tok::Number, "lower bound");
+          lower = static_cast<i64>(n.number);
+        }
+        declareUnique(name);
+        symbols_[name] = prog_->addSymbolic(name, lower);
+        ++pos_;
+      } else if (kw == "REAL") {
+        Lexer lex(cur().text, cur().number);
+        lex.take();  // REAL
+        std::string name = lex.expect(Tok::Ident, "variable name").text;
+        declareUnique(name);
+        if (lex.at(Tok::LParen)) {
+          lex.take();
+          std::vector<poly::LinExpr> extents;
+          while (true) {
+            extents.push_back(parseAffine(lex));
+            if (lex.at(Tok::Comma)) {
+              lex.take();
+              continue;
+            }
+            break;
+          }
+          lex.expect(Tok::RParen, ")");
+          double init = 0.0;
+          if (lex.at(Tok::Assign)) {
+            lex.take();
+            init = parseSignedNumber(lex);
+          }
+          arrays_[name] = prog_->addArray(name, std::move(extents), init);
+        } else {
+          double init = 0.0;
+          if (lex.at(Tok::Assign)) {
+            lex.take();
+            init = parseSignedNumber(lex);
+          }
+          scalars_[name] = prog_->addScalar(name, init);
+        }
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void declareUnique(const std::string& name) {
+    if (symbols_.count(name) || arrays_.count(name) || scalars_.count(name)) {
+      std::ostringstream os;
+      os << "line " << cur().number << ": redeclaration of '" << name << "'";
+      throw ParseError(os.str());
+    }
+  }
+
+  double parseSignedNumber(Lexer& lex) {
+    double sign = 1.0;
+    if (lex.at(Tok::Minus)) {
+      lex.take();
+      sign = -1.0;
+    }
+    Token n = lex.expect(Tok::Number, "number");
+    return sign * n.number;
+  }
+
+  // Parses statements until END (top level) or ENDDO (inside a loop body).
+  void parseStatements() { parseBody(/*topLevel=*/true); }
+
+  void parseBody(bool topLevel) {
+    while (!done()) {
+      std::string kw = keyword();
+      if (kw == "END" && topLevel) {
+        sawEnd_ = true;
+        ++pos_;
+        return;
+      }
+      if (kw == "ENDDO") {
+        if (topLevel) {
+          std::ostringstream os;
+          os << "line " << cur().number << ": ENDDO without DO";
+          throw ParseError(os.str());
+        }
+        return;  // caller consumes
+      }
+      if (kw == "DO" || kw == "DOALL") {
+        parseLoop(kw == "DOALL");
+        continue;
+      }
+      parseAssignment();
+    }
+    if (!topLevel) throw ParseError("missing ENDDO");
+  }
+
+  void parseLoop(bool parallel) {
+    Lexer lex(cur().text, cur().number);
+    lex.take();  // DO/DOALL
+    std::string index = lex.expect(Tok::Ident, "loop index").text;
+    if (lookupVar(index, lex).kind != VarClass::Unknown)
+      lex.fail("loop index shadows existing name '" + index + "'");
+    lex.expect(Tok::Assign, "=");
+    poly::VarId var = prog_->addLoopIndex(index);
+    // Bounds may reference outer indices but not this loop's own index, so
+    // register the index only after parsing the bounds.
+    poly::LinExpr lower = parseAffine(lex);
+    lex.expect(Tok::Comma, ",");
+    poly::LinExpr upper = parseAffine(lex);
+    i64 step = 1;
+    if (lex.at(Tok::Comma)) {
+      lex.take();
+      Token n = lex.expect(Tok::Number, "step");
+      step = static_cast<i64>(n.number);
+      if (step < 1) lex.fail("loop step must be positive");
+      if (parallel) lex.fail("DOALL loops require step 1");
+    }
+    if (!lex.at(Tok::End)) lex.fail("trailing tokens after loop header");
+    ++pos_;
+
+    indexScope_.emplace_back(index, var);
+    auto stmt = std::make_shared<Stmt>(
+        Loop{var, std::move(lower), std::move(upper), step, parallel, {}});
+    stmtStack_.push_back(stmt);
+    parseBody(/*topLevel=*/false);
+    stmtStack_.pop_back();
+    indexScope_.pop_back();
+
+    // Consume the ENDDO.
+    if (done()) throw ParseError("missing ENDDO");
+    ++pos_;
+    append(std::move(stmt));
+  }
+
+  void parseAssignment() {
+    Lexer lex(cur().text, cur().number);
+    Token target = lex.expect(Tok::Ident, "assignment target");
+    const std::string& name = target.text;
+
+    if (arrays_.count(name)) {
+      lex.expect(Tok::LParen, "(");
+      std::vector<poly::LinExpr> subs;
+      while (true) {
+        subs.push_back(parseAffine(lex));
+        if (lex.at(Tok::Comma)) {
+          lex.take();
+          continue;
+        }
+        break;
+      }
+      lex.expect(Tok::RParen, ")");
+      lex.expect(Tok::Assign, "=");
+      Expr rhs = parseExpr(lex);
+      if (!lex.at(Tok::End)) lex.fail("trailing tokens after assignment");
+      ++pos_;
+      append(std::make_shared<Stmt>(ArrayAssign{
+          arrays_[name], std::move(subs), std::move(rhs), ReductionOp::None}));
+      return;
+    }
+
+    if (scalars_.count(name)) {
+      ReductionOp op = ReductionOp::None;
+      if (lex.at(Tok::PlusAssign)) {
+        lex.take();
+        op = ReductionOp::Sum;
+      } else if (lex.at(Tok::Ident) &&
+                 (upper(lex.peek().text) == "MAX" ||
+                  upper(lex.peek().text) == "MIN")) {
+        op = upper(lex.peek().text) == "MAX" ? ReductionOp::Max
+                                             : ReductionOp::Min;
+        lex.take();
+        lex.expect(Tok::Assign, "= after max/min");
+      } else {
+        lex.expect(Tok::Assign, "=");
+      }
+      Expr rhs = parseExpr(lex);
+      if (!lex.at(Tok::End)) lex.fail("trailing tokens after assignment");
+      ++pos_;
+      append(std::make_shared<Stmt>(
+          ScalarAssign{scalars_[name], std::move(rhs), op}));
+      return;
+    }
+
+    lex.fail("unknown assignment target '" + name + "'");
+  }
+
+  void append(StmtPtr stmt) {
+    if (stmtStack_.empty())
+      prog_->appendTopLevel(std::move(stmt));
+    else
+      stmtStack_.back()->loop().body.push_back(std::move(stmt));
+  }
+
+  // --- name resolution -----------------------------------------------------
+
+  enum class VarClass { Unknown, Symbolic, Index, Array, Scalar };
+
+  struct Resolved {
+    VarClass kind = VarClass::Unknown;
+    poly::VarId var;     // Symbolic/Index
+    ArrayId array;       // Array
+    ScalarId scalar;     // Scalar
+  };
+
+  Resolved lookupVar(const std::string& name, Lexer& lex) {
+    (void)lex;
+    for (auto it = indexScope_.rbegin(); it != indexScope_.rend(); ++it)
+      if (it->first == name)
+        return Resolved{VarClass::Index, it->second, {}, {}};
+    if (auto it = symbols_.find(name); it != symbols_.end())
+      return Resolved{VarClass::Symbolic, it->second, {}, {}};
+    if (auto it = arrays_.find(name); it != arrays_.end())
+      return Resolved{VarClass::Array, {}, it->second, {}};
+    if (auto it = scalars_.find(name); it != scalars_.end())
+      return Resolved{VarClass::Scalar, {}, {}, it->second};
+    return Resolved{};
+  }
+
+  // --- affine expressions ----------------------------------------------------
+  // affine := term (('+'|'-') term)*
+  // term   := [int '*'] atom | int
+  // atom   := index-or-symbolic | '(' affine ')'
+
+  poly::LinExpr parseAffine(Lexer& lex) {
+    poly::LinExpr acc = parseAffineTerm(lex);
+    while (lex.at(Tok::Plus) || lex.at(Tok::Minus)) {
+      bool add = lex.take().kind == Tok::Plus;
+      poly::LinExpr rhs = parseAffineTerm(lex);
+      if (add)
+        acc += rhs;
+      else
+        acc -= rhs;
+    }
+    return acc;
+  }
+
+  poly::LinExpr parseAffineTerm(Lexer& lex) {
+    bool negate = false;
+    while (lex.at(Tok::Minus)) {
+      lex.take();
+      negate = !negate;
+    }
+    poly::LinExpr out;
+    if (lex.at(Tok::Number)) {
+      Token n = lex.take();
+      if (n.number != static_cast<double>(static_cast<i64>(n.number)))
+        lex.fail("affine positions require integers");
+      i64 value = static_cast<i64>(n.number);
+      if (lex.at(Tok::Star)) {
+        lex.take();
+        out = parseAffineAtom(lex);
+        out *= value;
+      } else {
+        out = poly::LinExpr::constant(value);
+      }
+    } else {
+      out = parseAffineAtom(lex);
+    }
+    if (negate) out *= -1;
+    return out;
+  }
+
+  poly::LinExpr parseAffineAtom(Lexer& lex) {
+    if (lex.at(Tok::LParen)) {
+      lex.take();
+      poly::LinExpr inner = parseAffine(lex);
+      lex.expect(Tok::RParen, ")");
+      return inner;
+    }
+    Token id = lex.expect(Tok::Ident, "index or symbolic");
+    Resolved r = lookupVar(id.text, lex);
+    if (r.kind == VarClass::Index || r.kind == VarClass::Symbolic)
+      return poly::LinExpr::var(r.var);
+    lex.fail("'" + id.text + "' is not usable in an affine position");
+  }
+
+  // --- general expressions --------------------------------------------------
+  // expr   := mul (('+'|'-') mul)*
+  // mul    := unary (('*'|'/') unary)*
+  // unary  := '-' unary | primary
+  // primary:= number | name | name '(' args ')' | '(' expr ')'
+
+  Expr parseExpr(Lexer& lex) {
+    Expr acc = parseMul(lex);
+    while (lex.at(Tok::Plus) || lex.at(Tok::Minus)) {
+      BinaryOp op = lex.take().kind == Tok::Plus ? BinaryOp::Add
+                                                 : BinaryOp::Sub;
+      acc = Expr::binary(op, std::move(acc), parseMul(lex));
+    }
+    return acc;
+  }
+
+  Expr parseMul(Lexer& lex) {
+    Expr acc = parseUnary(lex);
+    while (lex.at(Tok::Star) || lex.at(Tok::Slash)) {
+      BinaryOp op = lex.take().kind == Tok::Star ? BinaryOp::Mul
+                                                 : BinaryOp::Div;
+      acc = Expr::binary(op, std::move(acc), parseUnary(lex));
+    }
+    return acc;
+  }
+
+  Expr parseUnary(Lexer& lex) {
+    if (lex.at(Tok::Minus)) {
+      lex.take();
+      return Expr::unary(UnaryOp::Neg, parseUnary(lex));
+    }
+    return parsePrimary(lex);
+  }
+
+  Expr parsePrimary(Lexer& lex) {
+    if (lex.at(Tok::Number)) return Expr::number(lex.take().number);
+    if (lex.at(Tok::LParen)) {
+      lex.take();
+      Expr inner = parseExpr(lex);
+      lex.expect(Tok::RParen, ")");
+      return inner;
+    }
+    Token id = lex.expect(Tok::Ident, "expression atom");
+    std::string uname = upper(id.text);
+
+    // Intrinsics.
+    if (lex.at(Tok::LParen) &&
+        (uname == "SQRT" || uname == "ABS" || uname == "EXP" ||
+         uname == "SIN" || uname == "COS" || uname == "MIN" ||
+         uname == "MAX")) {
+      lex.take();  // (
+      Expr first = parseExpr(lex);
+      if (uname == "MIN" || uname == "MAX") {
+        lex.expect(Tok::Comma, ", in MIN/MAX");
+        Expr second = parseExpr(lex);
+        lex.expect(Tok::RParen, ")");
+        return Expr::binary(uname == "MIN" ? BinaryOp::Min : BinaryOp::Max,
+                            std::move(first), std::move(second));
+      }
+      lex.expect(Tok::RParen, ")");
+      UnaryOp op = uname == "SQRT"  ? UnaryOp::Sqrt
+                   : uname == "ABS" ? UnaryOp::Abs
+                   : uname == "EXP" ? UnaryOp::Exp
+                   : uname == "SIN" ? UnaryOp::Sin
+                                    : UnaryOp::Cos;
+      return Expr::unary(op, std::move(first));
+    }
+
+    Resolved r = lookupVar(id.text, lex);
+    switch (r.kind) {
+      case VarClass::Array: {
+        lex.expect(Tok::LParen, "( after array name");
+        std::vector<poly::LinExpr> subs;
+        while (true) {
+          subs.push_back(parseAffine(lex));
+          if (lex.at(Tok::Comma)) {
+            lex.take();
+            continue;
+          }
+          break;
+        }
+        lex.expect(Tok::RParen, ")");
+        return Expr::arrayRead(r.array, std::move(subs));
+      }
+      case VarClass::Scalar:
+        return Expr::scalar(r.scalar);
+      case VarClass::Index:
+      case VarClass::Symbolic:
+        return Expr::affine(poly::LinExpr::var(r.var));
+      case VarClass::Unknown:
+        lex.fail("unknown name '" + id.text + "'");
+    }
+    SPMD_UNREACHABLE("bad VarClass");
+  }
+
+  const std::string& source_;
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+  std::string programName_;
+  Program* prog_ = nullptr;
+  bool sawEnd_ = false;
+
+  std::map<std::string, poly::VarId> symbols_;
+  std::map<std::string, ArrayId> arrays_;
+  std::map<std::string, ScalarId> scalars_;
+  std::vector<std::pair<std::string, poly::VarId>> indexScope_;
+  std::vector<StmtPtr> stmtStack_;
+};
+
+}  // namespace
+
+Program parseProgram(const std::string& source) {
+  Parser parser(source);
+  return parser.run();
+}
+
+}  // namespace spmd::ir

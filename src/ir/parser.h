@@ -1,0 +1,45 @@
+// A small Fortran-flavored front end for the loop-nest IR.
+//
+// The paper's compiler consumes sequential Fortran; this parser accepts a
+// Fortran-like surface syntax so programs can be written as text (and so
+// the pretty-printer's output round-trips).  Grammar (line oriented, '!'
+// starts a comment):
+//
+//   PROGRAM <name>
+//   SYMBOLIC N [>= <int>]
+//   REAL A(<affine>, ...) [= <number>]     ! array with extents
+//   REAL s [= <number>]                    ! scalar
+//   DOALL i = <affine>, <affine>           ! parallel loop (step 1)
+//   DO j = <affine>, <affine>[, <step>]    ! sequential loop
+//   ENDDO
+//   A(<affine>,...) = <expr>               ! array assignment
+//   s = <expr>                             ! scalar assignment
+//   s += <expr>                            ! sum reduction
+//   s max= <expr>      s min= <expr>       ! max/min reductions
+//   END
+//
+// Expressions: numbers, scalars, index variables and symbolics (affine
+// atoms), array references with affine subscripts, + - * /, unary -,
+// parentheses, and the intrinsics SQRT ABS EXP SIN COS MIN MAX.
+//
+// Subscripts, loop bounds, and extents must be affine in the surrounding
+// index variables and symbolics; violations are reported with a line
+// number.
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace spmd::ir {
+
+/// Parse error with 1-based line information in the message.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Parses a whole program from source text.  Throws ParseError.
+Program parseProgram(const std::string& source);
+
+}  // namespace spmd::ir

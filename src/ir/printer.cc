@@ -1,0 +1,147 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace spmd::ir {
+
+namespace {
+
+void printSubscripts(const Program& prog,
+                     const std::vector<poly::LinExpr>& subs,
+                     std::ostream& os) {
+  os << "(";
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    if (i) os << ",";
+    os << subs[i].toString(*prog.space());
+  }
+  os << ")";
+}
+
+void printExprRec(const Program& prog, const Expr& e, std::ostream& os) {
+  const ExprNode& n = e.node();
+  switch (n.kind()) {
+    case ExprNode::Kind::Number: {
+      os << static_cast<const NumberExpr&>(n).value;
+      return;
+    }
+    case ExprNode::Kind::ScalarRef:
+      os << prog.scalar(static_cast<const ScalarRefExpr&>(n).scalar).name;
+      return;
+    case ExprNode::Kind::Affine:
+      os << "(" << static_cast<const AffineExpr&>(n).expr.toString(*prog.space())
+         << ")";
+      return;
+    case ExprNode::Kind::ArrayRef: {
+      const auto& a = static_cast<const ArrayRefExpr&>(n);
+      os << prog.array(a.array).name;
+      printSubscripts(prog, a.subscripts, os);
+      return;
+    }
+    case ExprNode::Kind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(n);
+      os << unaryOpName(u.op) << "(";
+      printExprRec(prog, u.operand, os);
+      os << ")";
+      return;
+    }
+    case ExprNode::Kind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(n);
+      if (b.op == BinaryOp::Min || b.op == BinaryOp::Max) {
+        os << binaryOpName(b.op) << "(";
+        printExprRec(prog, b.lhs, os);
+        os << ", ";
+        printExprRec(prog, b.rhs, os);
+        os << ")";
+      } else {
+        os << "(";
+        printExprRec(prog, b.lhs, os);
+        os << " " << binaryOpName(b.op) << " ";
+        printExprRec(prog, b.rhs, os);
+        os << ")";
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad ExprNode kind");
+}
+
+void printStmtRec(const Program& prog, const Stmt& stmt, int indent,
+                  std::ostream& os) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (stmt.kind()) {
+    case Stmt::Kind::ArrayAssign: {
+      const ArrayAssign& a = stmt.arrayAssign();
+      os << pad << prog.array(a.array).name;
+      printSubscripts(prog, a.subscripts, os);
+      os << " " << (a.reduction == ReductionOp::None
+                        ? "="
+                        : std::string("=[") + reductionOpName(a.reduction) +
+                              "]");
+      os << " ";
+      printExprRec(prog, a.rhs, os);
+      os << "\n";
+      return;
+    }
+    case Stmt::Kind::ScalarAssign: {
+      const ScalarAssign& s = stmt.scalarAssign();
+      os << pad << prog.scalar(s.scalar).name << " "
+         << (s.reduction == ReductionOp::None
+                 ? "="
+                 : std::string("=[") + reductionOpName(s.reduction) + "]")
+         << " ";
+      printExprRec(prog, s.rhs, os);
+      os << "\n";
+      return;
+    }
+    case Stmt::Kind::Loop: {
+      const Loop& l = stmt.loop();
+      os << pad << (l.parallel ? "DOALL " : "DO ")
+         << prog.space()->name(l.index) << " = "
+         << l.lower.toString(*prog.space()) << ", "
+         << l.upper.toString(*prog.space());
+      if (l.step != 1) os << ", " << l.step;
+      os << "\n";
+      for (const StmtPtr& child : l.body)
+        printStmtRec(prog, *child, indent + 1, os);
+      os << pad << "ENDDO\n";
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+}  // namespace
+
+std::string printExpr(const Program& prog, const Expr& e) {
+  std::ostringstream os;
+  printExprRec(prog, e, os);
+  return os.str();
+}
+
+std::string printStmt(const Program& prog, const Stmt& stmt, int indent) {
+  std::ostringstream os;
+  printStmtRec(prog, stmt, indent, os);
+  return os.str();
+}
+
+std::string printProgram(const Program& prog) {
+  std::ostringstream os;
+  os << "PROGRAM " << prog.name() << "\n";
+  for (const SymbolicInfo& s : prog.symbolics())
+    os << "  SYMBOLIC " << s.name << " >= " << s.lowerBound << "\n";
+  for (const ArrayInfo& a : prog.arrays()) {
+    os << "  REAL " << a.name << "(";
+    for (std::size_t d = 0; d < a.extents.size(); ++d) {
+      if (d) os << ", ";
+      os << a.extents[d].toString(*prog.space());
+    }
+    os << ") = " << a.init << "\n";
+  }
+  for (const ScalarInfo& s : prog.scalars())
+    os << "  REAL " << s.name << " = " << s.init << "\n";
+  for (const StmtPtr& s : prog.topLevel()) printStmtRec(prog, *s, 1, os);
+  os << "END\n";
+  return os.str();
+}
+
+}  // namespace spmd::ir

@@ -1,0 +1,26 @@
+// Fortran-flavored pretty printer for IR programs (debugging, docs, tests).
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace spmd::ir {
+
+/// Renders the whole program, e.g.
+///
+///   PROGRAM jacobi2d
+///     SYMBOLIC N            ! N >= 4
+///     REAL A(N+2, N+2)
+///     DOALL i = 1, N
+///       DO j = 1, N
+///         Bn(i,j) = 0.25 * (A(i-1,j) + ...)
+std::string printProgram(const Program& prog);
+
+/// Renders a single statement subtree at the given indent depth.
+std::string printStmt(const Program& prog, const Stmt& stmt, int indent = 0);
+
+/// Renders an expression tree.
+std::string printExpr(const Program& prog, const Expr& e);
+
+}  // namespace spmd::ir

@@ -1,0 +1,29 @@
+#include "ir/program.h"
+
+namespace spmd::ir {
+
+namespace {
+
+void countRec(const StmtPtr& s, std::size_t& stmts, std::size_t& parLoops) {
+  ++stmts;
+  if (s->isLoop()) {
+    if (s->loop().parallel) ++parLoops;
+    for (const StmtPtr& child : s->loop().body) countRec(child, stmts, parLoops);
+  }
+}
+
+}  // namespace
+
+std::size_t Program::statementCount() const {
+  std::size_t stmts = 0, parLoops = 0;
+  for (const StmtPtr& s : topLevel_) countRec(s, stmts, parLoops);
+  return stmts;
+}
+
+std::size_t Program::parallelLoopCount() const {
+  std::size_t stmts = 0, parLoops = 0;
+  for (const StmtPtr& s : topLevel_) countRec(s, stmts, parLoops);
+  return parLoops;
+}
+
+}  // namespace spmd::ir

@@ -1,0 +1,107 @@
+// A whole program: symbol tables plus a top-level statement list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "poly/system.h"
+#include "poly/var.h"
+
+namespace spmd::ir {
+
+struct ArrayInfo {
+  std::string name;
+  /// Per-dimension extents, affine in symbolics.  Subscripts are 0-based:
+  /// valid indices for dimension d are [0, extent_d - 1].
+  std::vector<poly::LinExpr> extents;
+  double init = 0.0;  ///< initial value of every element
+};
+
+struct ScalarInfo {
+  std::string name;
+  double init = 0.0;
+};
+
+struct SymbolicInfo {
+  std::string name;
+  poly::VarId var;
+  i64 lowerBound = 1;  ///< assumed minimum value, available to analyses
+};
+
+class Program {
+ public:
+  explicit Program(std::string name)
+      : name_(std::move(name)), space_(std::make_shared<poly::VarSpace>()) {}
+
+  const std::string& name() const { return name_; }
+  const poly::VarSpacePtr& space() const { return space_; }
+
+  // --- symbol tables -----------------------------------------------------
+  poly::VarId addSymbolic(const std::string& name, i64 lowerBound = 1) {
+    poly::VarId v = space_->add(name, poly::VarKind::Symbolic);
+    symbolics_.push_back(SymbolicInfo{name, v, lowerBound});
+    return v;
+  }
+
+  ArrayId addArray(std::string name, std::vector<poly::LinExpr> extents,
+                   double init = 0.0) {
+    arrays_.push_back(ArrayInfo{std::move(name), std::move(extents), init});
+    return ArrayId{static_cast<int>(arrays_.size()) - 1};
+  }
+
+  ScalarId addScalar(std::string name, double init = 0.0) {
+    scalars_.push_back(ScalarInfo{std::move(name), init});
+    return ScalarId{static_cast<int>(scalars_.size()) - 1};
+  }
+
+  poly::VarId addLoopIndex(const std::string& name) {
+    return space_->add(name, poly::VarKind::LoopIndex);
+  }
+
+  const std::vector<ArrayInfo>& arrays() const { return arrays_; }
+  const std::vector<ScalarInfo>& scalars() const { return scalars_; }
+  const std::vector<SymbolicInfo>& symbolics() const { return symbolics_; }
+
+  const ArrayInfo& array(ArrayId id) const {
+    SPMD_CHECK(id.index >= 0 &&
+                   static_cast<std::size_t>(id.index) < arrays_.size(),
+               "array id out of range");
+    return arrays_[static_cast<std::size_t>(id.index)];
+  }
+  const ScalarInfo& scalar(ScalarId id) const {
+    SPMD_CHECK(id.index >= 0 &&
+                   static_cast<std::size_t>(id.index) < scalars_.size(),
+               "scalar id out of range");
+    return scalars_[static_cast<std::size_t>(id.index)];
+  }
+
+  // --- statements ----------------------------------------------------------
+  void appendTopLevel(StmtPtr s) { topLevel_.push_back(std::move(s)); }
+  const std::vector<StmtPtr>& topLevel() const { return topLevel_; }
+
+  /// Known lower bounds on symbolics (e.g. N >= 1, P >= 2) as a system the
+  /// analyses conjoin into every query.
+  poly::System symbolicContext() const {
+    poly::System s(space_);
+    for (const SymbolicInfo& info : symbolics_)
+      s.addGE(poly::LinExpr::var(info.var) -
+              poly::LinExpr::constant(info.lowerBound));
+    return s;
+  }
+
+  /// Total number of statements (recursively).
+  std::size_t statementCount() const;
+  /// Number of parallel loops (recursively).
+  std::size_t parallelLoopCount() const;
+
+ private:
+  std::string name_;
+  poly::VarSpacePtr space_;
+  std::vector<ArrayInfo> arrays_;
+  std::vector<ScalarInfo> scalars_;
+  std::vector<SymbolicInfo> symbolics_;
+  std::vector<StmtPtr> topLevel_;
+};
+
+}  // namespace spmd::ir

@@ -1,0 +1,51 @@
+#include "ir/seq_executor.h"
+
+namespace spmd::ir {
+
+namespace {
+
+void execStmt(const Stmt& stmt, EvalEnv& env) {
+  switch (stmt.kind()) {
+    case Stmt::Kind::ArrayAssign: {
+      const ArrayAssign& a = stmt.arrayAssign();
+      double value = evalExpr(a.rhs, env);
+      double& slot =
+          env.store().element(a.array, env.evalSubscripts(a.subscripts));
+      applyReduction(slot, a.reduction, value);
+      return;
+    }
+    case Stmt::Kind::ScalarAssign: {
+      const ScalarAssign& s = stmt.scalarAssign();
+      double value = evalExpr(s.rhs, env);
+      applyReduction(env.store().scalar(s.scalar), s.reduction, value);
+      return;
+    }
+    case Stmt::Kind::Loop: {
+      const Loop& l = stmt.loop();
+      i64 lo = env.evalAffine(l.lower);
+      i64 hi = env.evalAffine(l.upper);
+      for (i64 i = lo; i <= hi; i += l.step) {
+        env.bind(l.index, i);
+        for (const StmtPtr& child : l.body) execStmt(*child, env);
+      }
+      env.unbind(l.index);
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad Stmt kind");
+}
+
+}  // namespace
+
+void runSequential(const Program& prog, Store& store) {
+  EvalEnv env(store);
+  for (const StmtPtr& s : prog.topLevel()) execStmt(*s, env);
+}
+
+Store runSequential(const Program& prog, const SymbolBindings& symbols) {
+  Store store(prog, symbols);
+  runSequential(prog, store);
+  return store;
+}
+
+}  // namespace spmd::ir

@@ -1,0 +1,15 @@
+// Sequential reference executor: interprets the original (pre-SPMD)
+// program directly.  Every SPMD execution is validated against this.
+#pragma once
+
+#include "ir/eval.h"
+
+namespace spmd::ir {
+
+/// Runs the program sequentially over the given store.
+void runSequential(const Program& prog, Store& store);
+
+/// Convenience: allocate a store, run, return it.
+Store runSequential(const Program& prog, const SymbolBindings& symbols);
+
+}  // namespace spmd::ir

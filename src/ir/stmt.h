@@ -1,0 +1,81 @@
+// Statements: array/scalar assignments and (parallel) loops.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace spmd::ir {
+
+class Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+/// Reduction operator carried by an assignment of the form
+/// `target = target (op) rest`.  The SUIF front end recognizes these before
+/// synchronization optimization; our builder tags them explicitly.
+enum class ReductionOp { None, Sum, Max, Min };
+
+const char* reductionOpName(ReductionOp op);
+
+struct ArrayAssign {
+  ArrayId array;
+  std::vector<poly::LinExpr> subscripts;
+  Expr rhs;
+  ReductionOp reduction = ReductionOp::None;
+};
+
+struct ScalarAssign {
+  ScalarId scalar;
+  Expr rhs;
+  ReductionOp reduction = ReductionOp::None;
+};
+
+struct Loop {
+  poly::VarId index;
+  poly::LinExpr lower;  ///< inclusive, affine in outer indices + symbolics
+  poly::LinExpr upper;  ///< inclusive
+  i64 step = 1;         ///< positive; parallel loops require step == 1
+  bool parallel = false;
+  std::vector<StmtPtr> body;
+};
+
+class Stmt {
+ public:
+  enum class Kind { ArrayAssign, ScalarAssign, Loop };
+
+  explicit Stmt(ArrayAssign a) : kind_(Kind::ArrayAssign), array_(std::move(a)) {}
+  explicit Stmt(ScalarAssign s)
+      : kind_(Kind::ScalarAssign), scalar_(std::move(s)) {}
+  explicit Stmt(Loop l) : kind_(Kind::Loop), loop_(std::move(l)) {}
+
+  Kind kind() const { return kind_; }
+  bool isLoop() const { return kind_ == Kind::Loop; }
+
+  const ArrayAssign& arrayAssign() const {
+    SPMD_CHECK(kind_ == Kind::ArrayAssign, "not an array assignment");
+    return array_;
+  }
+  const ScalarAssign& scalarAssign() const {
+    SPMD_CHECK(kind_ == Kind::ScalarAssign, "not a scalar assignment");
+    return scalar_;
+  }
+  const Loop& loop() const {
+    SPMD_CHECK(kind_ == Kind::Loop, "not a loop");
+    return loop_;
+  }
+  Loop& loop() {
+    SPMD_CHECK(kind_ == Kind::Loop, "not a loop");
+    return loop_;
+  }
+
+ private:
+  Kind kind_;
+  // Exactly one is active, selected by kind_.  A variant would also work;
+  // explicit members keep accessor error messages simple.
+  ArrayAssign array_{};
+  ScalarAssign scalar_{};
+  Loop loop_{};
+};
+
+}  // namespace spmd::ir

@@ -1,0 +1,685 @@
+#include "kernels/kernels.h"
+
+namespace spmd::kernels {
+
+using ir::ArrayHandle;
+using ir::Builder;
+using ir::Ix;
+using part::Decomposition;
+using part::DistKind;
+
+namespace {
+
+/// Packages a finished builder + decomposition setup into a KernelSpec.
+struct KernelBuilder {
+  explicit KernelBuilder(std::string name) : b(std::move(name)) {}
+
+  Builder b;
+
+  KernelSpec finish(std::function<void(ir::Program&, Decomposition&)> setup,
+                    std::string family, std::string description,
+                    i64 defaultN, i64 defaultT, double tolerance = 1e-9) {
+    auto program = std::make_shared<ir::Program>(b.finish());
+    auto decomp = std::make_shared<Decomposition>(*program);
+    setup(*program, *decomp);
+    KernelSpec spec;
+    spec.name = program->name();
+    spec.family = std::move(family);
+    spec.description = std::move(description);
+    spec.program = std::move(program);
+    spec.decomp = std::move(decomp);
+    spec.defaultN = defaultN;
+    spec.defaultT = defaultT;
+    spec.tolerance = tolerance;
+    return spec;
+  }
+};
+
+}  // namespace
+
+ir::SymbolBindings KernelSpec::bindings(i64 n, i64 t) const {
+  ir::SymbolBindings out;
+  for (const ir::SymbolicInfo& s : program->symbolics()) {
+    if (s.name == "N") {
+      out[s.var.index] = n;
+    } else if (s.name == "T") {
+      out[s.var.index] = t;
+    } else if (s.name == "H") {
+      // Half size for color/zebra kernels; requires even N.
+      SPMD_CHECK(n % 2 == 0, "kernel " + name + " requires even N");
+      out[s.var.index] = n / 2;
+    } else {
+      SPMD_CHECK(false, "kernel symbolic with unknown name " + s.name);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// jacobi1d: 3-point relaxation with an explicit copy-back.  The
+// compute->copy boundary is aligned (eliminated); copy->compute crosses the
+// time step through neighbors, so the back edge keeps a barrier.
+KernelSpec makeJacobi1D() {
+  KernelBuilder k("jacobi1d");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2}, 1.0);
+  ArrayHandle Bn = b.array("Bn", {N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.assign(Bn(i), (A(i - 1) + A(i) + A(i + 1)) / 3.0);
+    });
+    b.parFor("i2", 1, N, [&](Ix i) { b.assign(A(i), Bn(i)); });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+        d.distribute(Bn.id(), 0, DistKind::Block);
+      },
+      "stencil", "3-point relaxation with copy-back", 256, 50);
+}
+
+// ---------------------------------------------------------------------------
+// jacobi2d: classic 5-point Jacobi with copy-back, block rows.
+KernelSpec makeJacobi2D() {
+  KernelBuilder k("jacobi2d");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 1.0);
+  ArrayHandle Bn = b.array("Bn", {N + 2, N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(Bn(i, j), 0.25 * (A(i - 1, j) + A(i + 1, j) + A(i, j - 1) +
+                                   A(i, j + 1)));
+      });
+    });
+    b.parFor("i2", 1, N, [&](Ix i) {
+      b.seqFor("j2", 1, N, [&](Ix j) { b.assign(A(i, j), Bn(i, j)); });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+        d.distribute(Bn.id(), 0, DistKind::Block);
+      },
+      "stencil", "5-point Jacobi relaxation with copy-back", 64, 10);
+}
+
+// ---------------------------------------------------------------------------
+// stencil9: 9-point stencil (reads corners too); still nearest-neighbor
+// under block rows.
+KernelSpec makeStencil9() {
+  KernelBuilder k("stencil9");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 1.0);
+  ArrayHandle Bn = b.array("Bn", {N + 2, N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(Bn(i, j),
+                 (A(i - 1, j - 1) + A(i - 1, j) + A(i - 1, j + 1) +
+                  A(i, j - 1) + A(i, j) + A(i, j + 1) + A(i + 1, j - 1) +
+                  A(i + 1, j) + A(i + 1, j + 1)) /
+                     9.0);
+      });
+    });
+    b.parFor("i2", 1, N, [&](Ix i) {
+      b.seqFor("j2", 1, N, [&](Ix j) { b.assign(A(i, j), Bn(i, j)); });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+        d.distribute(Bn.id(), 0, DistKind::Block);
+      },
+      "stencil", "9-point box stencil with copy-back", 48, 8);
+}
+
+// ---------------------------------------------------------------------------
+// redblack: zebra (row-colored) Gauss-Seidel relaxation.  Even rows are
+// relaxed first reading the odd rows, then vice versa — each phase's DOALL
+// carries no dependence, and the phase boundary exchanges neighbor rows,
+// so it becomes a counter.  Requires N even; H = N/2 is a second symbolic
+// bound to the half size.
+KernelSpec makeRedBlack() {
+  KernelBuilder k("redblack");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix H = b.sym("H", 2);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 1.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    // "Red" = even rows 2, 4, ..., 2H.
+    b.parFor("ir", 1, H, [&](Ix ir) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(A(2 * ir, j),
+                 0.25 * (A(2 * ir - 1, j) + A(2 * ir + 1, j) +
+                         A(2 * ir, j - 1) + A(2 * ir, j + 1)));
+      });
+    });
+    // "Black" = odd rows 1, 3, ..., 2H-1.
+    b.parFor("ib", 1, H, [&](Ix ib) {
+      b.seqFor("j2", 1, N, [&](Ix j) {
+        b.assign(A(2 * ib - 1, j),
+                 0.25 * (A(2 * ib - 2, j) + A(2 * ib, j) +
+                         A(2 * ib - 1, j - 1) + A(2 * ib - 1, j + 1)));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+      },
+      "stencil", "zebra (row-colored) Gauss-Seidel relaxation", 64, 10);
+}
+
+// ---------------------------------------------------------------------------
+// sor_pipeline: Gauss-Seidel row sweep; rows flow through processors as a
+// wavefront and the per-row barrier pipelines into a counter (the paper's
+// §3.3 pattern).  This is an orders-of-magnitude case.
+KernelSpec makeSorPipeline() {
+  KernelBuilder k("sor_pipeline");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 1.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.seqFor("i", 1, N, [&](Ix i) {
+      // Vertical line relaxation: row i depends on rows i-1 (updated this
+      // sweep — the wavefront) and i+1 (previous sweep).  The DOALL j is
+      // dependence-free; the i back edge pipelines.
+      b.parFor("j", 1, N, [&](Ix j) {
+        b.assign(A(i, j), 0.5 * (A(i - 1, j) + A(i + 1, j)));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+      },
+      "pipeline", "Gauss-Seidel row sweep, wavefront over block rows", 64,
+      10);
+}
+
+// ---------------------------------------------------------------------------
+// adi: alternating-direction sweeps.  The x-sweep is processor-local; the
+// y-sweep pipelines across block rows with counters.
+KernelSpec makeAdi() {
+  KernelBuilder k("adi");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 1.0);
+  ArrayHandle Cf = b.array("Cf", {N + 2, N + 2}, 0.5);
+  b.seqFor("t", 1, T, [&](Ix) {
+    // x-sweep: each row solved left-to-right (local to the row's owner).
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(A(i, j), A(i, j) - Cf(i, j) * A(i, j - 1));
+      });
+    });
+    // y-sweep: rows updated top-to-bottom; the parallel j loop at row i
+    // runs entirely on the owner of row i, forming a pipeline.
+    b.seqFor("i2", 1, N, [&](Ix i) {
+      b.parFor("j2", 1, N, [&](Ix j) {
+        b.assign(A(i, j), A(i, j) - Cf(i, j) * A(i - 1, j));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+        d.distribute(Cf.id(), 0, DistKind::Block);
+      },
+      "pipeline", "ADI-style x/y sweeps; y phase pipelined", 64, 8);
+}
+
+// ---------------------------------------------------------------------------
+// tridiag_local: forward/backward substitution along the *non-distributed*
+// dimension — every sweep is processor-local, so the time-step back edge
+// is eliminated outright (the other orders-of-magnitude case).
+KernelSpec makeTridiagLocal() {
+  KernelBuilder k("tridiag_local");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 1.0);
+  ArrayHandle Cf = b.array("Cf", {N + 2, N + 2}, 0.25);
+  b.seqFor("t", 1, T, [&](Ix) {
+    // Forward elimination along j (local to each row owner).
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(A(i, j), A(i, j) - Cf(i, j) * A(i, j - 1));
+      });
+    });
+    // Backward substitution along j, written as a forward loop over the
+    // mirrored index to keep steps positive.
+    b.parFor("i2", 1, N, [&](Ix i) {
+      b.seqFor("j2", 1, N, [&](Ix j) {
+        b.assign(A(i, N + 1 - j), A(i, N + 1 - j) -
+                                      Cf(i, N + 1 - j) * A(i, N + 2 - j));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+        d.distribute(Cf.id(), 0, DistKind::Block);
+      },
+      "solver", "tridiagonal-style sweeps along the local dimension", 64, 10);
+}
+
+// ---------------------------------------------------------------------------
+// shallow: simplified shallow-water time step on staggered grids (the
+// program Bodin et al. [9] and this paper both call out).  Three stencil
+// groups per step over U, V, P with neighbor-only exchange, plus copy-back.
+KernelSpec makeShallow() {
+  KernelBuilder k("shallow");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle U = b.array("U", {N + 2, N + 2}, 1.0);
+  ArrayHandle V = b.array("V", {N + 2, N + 2}, 2.0);
+  ArrayHandle P = b.array("Ph", {N + 2, N + 2}, 3.0);
+  ArrayHandle Un = b.array("Un", {N + 2, N + 2}, 0.0);
+  ArrayHandle Vn = b.array("Vn", {N + 2, N + 2}, 0.0);
+  ArrayHandle Pn = b.array("Pn", {N + 2, N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(Un(i, j),
+                 U(i, j) + 0.1 * (P(i, j) - P(i - 1, j) + V(i, j) * 0.5));
+      });
+    });
+    b.parFor("i2", 1, N, [&](Ix i) {
+      b.seqFor("j2", 1, N, [&](Ix j) {
+        b.assign(Vn(i, j),
+                 V(i, j) + 0.1 * (P(i, j) - P(i, j - 1) + U(i, j) * 0.5));
+      });
+    });
+    b.parFor("i3", 1, N, [&](Ix i) {
+      b.seqFor("j3", 1, N, [&](Ix j) {
+        b.assign(Pn(i, j), P(i, j) - 0.1 * (Un(i + 1, j) - Un(i, j) +
+                                            Vn(i, j + 1) - Vn(i, j)));
+      });
+    });
+    // Copy-back group.
+    b.parFor("i4", 1, N, [&](Ix i) {
+      b.seqFor("j4", 1, N, [&](Ix j) {
+        b.assign(U(i, j), Un(i, j));
+        b.assign(V(i, j), Vn(i, j));
+        b.assign(P(i, j), Pn(i, j));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        for (ArrayHandle a : {U, V, P, Un, Vn, Pn})
+          d.distribute(a.id(), 0, DistKind::Block);
+      },
+      "weather", "shallow-water style staggered-grid time step", 48, 8);
+}
+
+// ---------------------------------------------------------------------------
+// tomcatv_like: mesh relaxation with a max-residual reduction per step;
+// the reduction keeps a barrier, the stencil boundaries weaken.
+KernelSpec makeTomcatvLike() {
+  KernelBuilder k("tomcatv_like");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle X = b.array("X", {N + 2, N + 2}, 1.0);
+  ArrayHandle R = b.array("R", {N + 2, N + 2}, 0.0);
+  ir::ScalarHandle rxm = b.scalar("rxm", 0.0);
+  std::vector<const ir::Stmt*> reduceLoops;
+  b.seqFor("t", 1, T, [&](Ix) {
+    // Residuals (perturbed so they are not identically zero).
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(R(i, j), 0.25 * (X(i - 1, j) + X(i + 1, j) + X(i, j - 1) +
+                                  X(i, j + 1)) -
+                              X(i, j) + 0.001);
+      });
+    });
+    // Max-residual reduction; the loop has no array LHS, so it carries an
+    // explicit block partition aligned with R's rows (affinity
+    // scheduling).  The residual->reduction boundary is then local; the
+    // reduction->update boundary keeps its barrier (all-to-all value).
+    const ir::Stmt* reduceLoop = b.parFor("i2", 1, N, [&](Ix i) {
+      b.seqFor("j2", 1, N, [&](Ix j) { b.reduceMax(rxm, eabs(R(i, j))); });
+    });
+    reduceLoops.push_back(reduceLoop);
+    // Relaxed update scaled by a function of the residual norm.
+    b.parFor("i3", 1, N, [&](Ix i) {
+      b.seqFor("j3", 1, N, [&](Ix j) {
+        b.assign(X(i, j), X(i, j) + R(i, j) / (1.0 + rxm));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(X.id(), 0, DistKind::Block);
+        d.distribute(R.id(), 0, DistKind::Block);
+        for (const ir::Stmt* loop : reduceLoops)
+          d.setLoopPartition(
+              loop, part::LoopPartition{
+                        part::LoopPartition::Kind::BlockRange, {}});
+      },
+      "mesh", "tomcatv-style relaxation with max-residual reduction", 48, 8,
+      1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// lu: right-looking LU without pivoting.  The pivot-row broadcast is
+// all-to-all; barrier elimination honestly finds nothing in the k loop
+// (a 0% row, as for some programs in the paper).
+KernelSpec makeLu() {
+  KernelBuilder k("lu");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 0.0);
+  // Initialize to a diagonally dominant matrix so the factorization is
+  // numerically tame.
+  b.parFor("i0", 1, N, [&](Ix i) {
+    b.seqFor("j0", 1, N, [&](Ix j) {
+      b.assign(A(i, j), 1.0 / (1.0 + eabs(toExpr(i) - toExpr(j))));
+    });
+  });
+  b.parFor("i1", 1, N, [&](Ix i) { b.assign(A(i, i), 4.0); });
+  b.seqFor("kk", 1, N - 1, [&](Ix kk) {
+    // Scale the pivot column below the diagonal.
+    b.parFor("i", kk + 1, N, [&](Ix i) {
+      b.assign(A(i, kk), A(i, kk) / A(kk, kk));
+    });
+    // Rank-1 update of the trailing block (reads pivot row kk: broadcast).
+    b.parFor("i2", kk + 1, N, [&](Ix i) {
+      b.seqFor("j", kk + 1, N, [&](Ix j) {
+        b.assign(A(i, j), A(i, j) - A(i, kk) * A(kk, j));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+      },
+      "solver", "right-looking LU; pivot-row broadcast keeps barriers", 64,
+      1, 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// transpose: B = A^T then a smoothing pass; all-to-all data movement, so
+// every boundary keeps its barrier (honest 0%).
+KernelSpec makeTranspose() {
+  KernelBuilder k("transpose");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2}, 1.5);
+  ArrayHandle Bt = b.array("Bt", {N + 2, N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) { b.assign(Bt(i, j), A(j, i)); });
+    });
+    b.parFor("i2", 1, N, [&](Ix i) {
+      b.seqFor("j2", 1, N, [&](Ix j) {
+        b.assign(A(i, j), 0.5 * (Bt(i, j) + A(i, j)));
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+        d.distribute(Bt.id(), 0, DistKind::Block);
+      },
+      "transform", "transpose + smooth; all-to-all keeps barriers", 48, 6);
+}
+
+// ---------------------------------------------------------------------------
+// multiblock: a straight-line pack of independent and aligned parallel
+// loops (Livermore-loop style basic block); communication analysis
+// eliminates every interior barrier.
+KernelSpec makeMultiBlock() {
+  KernelBuilder k("multiblock");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle X = b.array("X", {N + 2}, 1.0);
+  ArrayHandle Y = b.array("Y", {N + 2}, 2.0);
+  ArrayHandle Z = b.array("Z", {N + 2}, 3.0);
+  ArrayHandle W = b.array("W", {N + 2}, 4.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    // Livermore kernel-1 style hydro fragment (aligned).
+    b.parFor("i1", 1, N, [&](Ix i) {
+      b.assign(X(i), 0.5 * (Y(i) + Z(i)) + 0.01);
+    });
+    b.parFor("i2", 1, N, [&](Ix i) { b.assign(W(i), X(i) * 1.5); });
+    b.parFor("i3", 1, N, [&](Ix i) { b.assign(Y(i), W(i) + 0.25 * X(i)); });
+    b.parFor("i4", 1, N, [&](Ix i) { b.assign(Z(i), Z(i) * 0.99); });
+    b.parFor("i5", 1, N, [&](Ix i) {
+      b.assign(X(i), X(i) + Y(i) - Z(i) * 0.125);
+    });
+    b.parFor("i6", 1, N, [&](Ix i) { b.assign(W(i), W(i) + X(i)); });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        for (ArrayHandle a : {X, Y, Z, W})
+          d.distribute(a.id(), 0, DistKind::Block);
+      },
+      "kernels", "six aligned parallel loops; all interior barriers removed",
+      512, 20);
+}
+
+// ---------------------------------------------------------------------------
+// cyclic_jacobi: same 3-point stencil as jacobi1d but cyclic-distributed;
+// ownership is not linear in symbolic P, so analysis conservatively keeps
+// every barrier (the cost of a mismatched decomposition).
+KernelSpec makeCyclicJacobi() {
+  KernelBuilder k("cyclic_jacobi");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2}, 1.0);
+  ArrayHandle Bn = b.array("Bn", {N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.assign(Bn(i), (A(i - 1) + A(i) + A(i + 1)) / 3.0);
+    });
+    b.parFor("i2", 1, N, [&](Ix i) { b.assign(A(i), Bn(i)); });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Cyclic);
+        d.distribute(Bn.id(), 0, DistKind::Cyclic);
+      },
+      "stencil", "cyclic distribution defeats analysis; barriers remain",
+      256, 20);
+}
+
+// ---------------------------------------------------------------------------
+// dot_reduction: repeated dot products feeding a scaling pass (CG-style
+// skeleton); reductions require barriers, the aligned AXPY does not.
+KernelSpec makeDotReduction() {
+  KernelBuilder k("dot_reduction");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle X = b.array("X", {N + 2}, 0.5);
+  ArrayHandle Y = b.array("Y", {N + 2}, 0.25);
+  ir::ScalarHandle dot = b.scalar("dot", 0.0);
+  std::vector<const ir::Stmt*> reduceLoops;
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.assign(dot, 0.0);
+    reduceLoops.push_back(
+        b.parFor("i", 1, N, [&](Ix i) { b.reduceSum(dot, X(i) * Y(i)); }));
+    // AXPY scaled by the (communicated) dot value.
+    b.parFor("i2", 1, N, [&](Ix i) {
+      b.assign(X(i), X(i) + Y(i) / (1.0 + dot));
+    });
+    // Aligned refresh of Y (no communication with the loop above).
+    b.parFor("i3", 1, N, [&](Ix i) { b.assign(Y(i), Y(i) * 0.999); });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(X.id(), 0, DistKind::Block);
+        d.distribute(Y.id(), 0, DistKind::Block);
+        for (const ir::Stmt* loop : reduceLoops)
+          d.setLoopPartition(
+              loop, part::LoopPartition{
+                        part::LoopPartition::Kind::BlockRange, {}});
+      },
+      "reduction", "CG-style dot products + AXPY; reductions keep barriers",
+      512, 20, 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// mgrid_like: one multigrid V-cycle fragment per step — fine smooth,
+// restrict to the coarse grid, coarse smooth, prolongate back.  The
+// intra-grid smoothing boundaries weaken to counters, but the inter-grid
+// transfers access AF(2*ic) from AC(ic): the processor distance grows with
+// ic, so those boundaries honestly keep barriers.
+KernelSpec makeMgridLike() {
+  KernelBuilder k("mgrid_like");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 8);
+  Ix H = b.sym("H", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle AF = b.array("AF", {N + 2}, 1.0);
+  ArrayHandle TF = b.array("TF", {N + 2}, 0.0);
+  ArrayHandle AC = b.array("AC", {H + 2}, 0.0);
+  ArrayHandle TC = b.array("TC", {H + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    // Fine-grid smoothing into a temporary (legal two-array Jacobi).
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.assign(TF(i), AF(i) * 0.5 + 0.25 * (AF(i - 1) + AF(i + 1)));
+    });
+    // Restriction: coarse cell ic gathers fine cells 2ic-1, 2ic, 2ic+1
+    // (processor distance grows with ic: general communication).
+    b.parFor("ic", 1, H, [&](Ix ic) {
+      b.assign(AC(ic), 0.25 * TF(2 * ic - 1) + 0.5 * TF(2 * ic) +
+                           0.25 * TF(2 * ic + 1));
+    });
+    // Coarse-grid smoothing into its temporary (neighbor exchange).
+    b.parFor("jc", 1, H, [&](Ix jc) {
+      b.assign(TC(jc), AC(jc) * 0.5 + 0.25 * (AC(jc - 1) + AC(jc + 1)));
+    });
+    // Copy the smoothed fine grid back (aligned with the smoother).
+    b.parFor("i3", 1, N, [&](Ix i) { b.assign(AF(i), TF(i)); });
+    // Prolongation: apply the coarse correction to even fine cells.
+    b.parFor("ip", 1, H, [&](Ix ip) {
+      b.assign(AF(2 * ip), AF(2 * ip) + 0.1 * TC(ip));
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(AF.id(), 0, DistKind::Block);
+        d.distribute(TF.id(), 0, DistKind::Block);
+        d.distribute(AC.id(), 0, DistKind::Block);
+        d.distribute(TC.id(), 0, DistKind::Block);
+      },
+      "multigrid", "V-cycle fragment; inter-grid transfers keep barriers",
+      128, 8);
+}
+
+// ---------------------------------------------------------------------------
+// heat3d: 7-point stencil on a rank-3 grid with copy-back, distributed on
+// the first dimension — exercises the full pipeline on 3-D arrays.
+KernelSpec makeHeat3D() {
+  KernelBuilder k("heat3d");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 1);
+  ArrayHandle A = b.array("A", {N + 2, N + 2, N + 2}, 1.0);
+  ArrayHandle Bn = b.array("Bn", {N + 2, N + 2, N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.seqFor("kz", 1, N, [&](Ix kz) {
+          b.assign(Bn(i, j, kz),
+                   A(i, j, kz) +
+                       0.1 * (A(i - 1, j, kz) + A(i + 1, j, kz) +
+                              A(i, j - 1, kz) + A(i, j + 1, kz) +
+                              A(i, j, kz - 1) + A(i, j, kz + 1) -
+                              6.0 * A(i, j, kz)));
+        });
+      });
+    });
+    b.parFor("i2", 1, N, [&](Ix i) {
+      b.seqFor("j2", 1, N, [&](Ix j) {
+        b.seqFor("k2", 1, N, [&](Ix kz) {
+          b.assign(A(i, j, kz), Bn(i, j, kz));
+        });
+      });
+    });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        d.distribute(A.id(), 0, DistKind::Block);
+        d.distribute(Bn.id(), 0, DistKind::Block);
+      },
+      "stencil", "3-D 7-point heat stencil with copy-back", 16, 6);
+}
+
+// ---------------------------------------------------------------------------
+// wave1d: leapfrog wave equation with three time levels.  One boundary is
+// aligned (eliminated), one is nearest-neighbor (counter), and the time
+// step keeps a barrier — the canonical mixed profile.
+KernelSpec makeWave1D() {
+  KernelBuilder k("wave1d");
+  Builder& b = k.b;
+  Ix N = b.sym("N", 8);
+  Ix T = b.sym("T", 1);
+  ArrayHandle U = b.array("U", {N + 2}, 1.0);
+  ArrayHandle V = b.array("V", {N + 2}, 0.5);
+  ArrayHandle Un = b.array("Un", {N + 2}, 0.0);
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.assign(Un(i), 2.0 * U(i) - V(i) +
+                          0.1 * (U(i - 1) - 2.0 * U(i) + U(i + 1)));
+    });
+    b.parFor("i2", 1, N, [&](Ix i) { b.assign(V(i), U(i)); });
+    b.parFor("i3", 1, N, [&](Ix i) { b.assign(U(i), Un(i)); });
+  });
+  return k.finish(
+      [&](ir::Program&, Decomposition& d) {
+        for (ArrayHandle a : {U, V, Un})
+          d.distribute(a.id(), 0, DistKind::Block);
+      },
+      "wave", "leapfrog wave equation, three time levels", 256, 20);
+}
+
+std::vector<KernelSpec> allKernels() {
+  std::vector<KernelSpec> out;
+  out.push_back(makeJacobi1D());
+  out.push_back(makeJacobi2D());
+  out.push_back(makeStencil9());
+  out.push_back(makeRedBlack());
+  out.push_back(makeSorPipeline());
+  out.push_back(makeAdi());
+  out.push_back(makeTridiagLocal());
+  out.push_back(makeShallow());
+  out.push_back(makeTomcatvLike());
+  out.push_back(makeLu());
+  out.push_back(makeTranspose());
+  out.push_back(makeMultiBlock());
+  out.push_back(makeCyclicJacobi());
+  out.push_back(makeDotReduction());
+  out.push_back(makeMgridLike());
+  out.push_back(makeHeat3D());
+  out.push_back(makeWave1D());
+  return out;
+}
+
+KernelSpec kernelByName(const std::string& name) {
+  std::vector<KernelSpec> all = allKernels();
+  for (KernelSpec& spec : all) {
+    if (spec.name == name) return std::move(spec);
+  }
+  throw Error("unknown kernel: " + name);
+}
+
+}  // namespace spmd::kernels

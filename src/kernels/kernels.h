@@ -1,0 +1,69 @@
+// The benchmark kernel suite.
+//
+// The paper evaluates on Fortran programs from standard suites (Perfect,
+// SPEC, NAS, RiCEPS).  Those sources are not reproducible here, so the
+// suite consists of kernels from the same families, chosen to span the
+// paper's behavioural spectrum:
+//
+//   * aligned multi-loop codes  -> every interior barrier eliminated
+//   * stencils                  -> barriers replaced by neighbor counters
+//   * wavefront sweeps          -> back edges pipelined with counters
+//                                  (orders-of-magnitude barrier reductions)
+//   * locally-sweeping solvers  -> back-edge barriers eliminated outright
+//   * broadcast / transpose / cyclic codes -> barriers remain (honest 0%)
+//   * reduction codes           -> barriers remain around reductions
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "partition/decomposition.h"
+
+namespace spmd::kernels {
+
+struct KernelSpec {
+  std::string name;
+  std::string family;       ///< stencil / sweep / pipeline / solver / ...
+  std::string description;  ///< one-line summary for tables
+  std::shared_ptr<ir::Program> program;
+  std::shared_ptr<part::Decomposition> decomp;
+  i64 defaultN = 64;  ///< problem size
+  i64 defaultT = 8;   ///< time steps / outer iterations
+  double tolerance = 1e-9;  ///< allowed |difference| vs sequential reference
+
+  /// Binds the program's symbolics ("N" and optionally "T").
+  ir::SymbolBindings bindings(i64 n, i64 t) const;
+  ir::SymbolBindings defaultBindings() const {
+    return bindings(defaultN, defaultT);
+  }
+};
+
+// Individual kernels (each builds a fresh program + decomposition).
+KernelSpec makeJacobi1D();
+KernelSpec makeJacobi2D();
+KernelSpec makeStencil9();
+KernelSpec makeRedBlack();
+KernelSpec makeSorPipeline();
+KernelSpec makeAdi();
+KernelSpec makeTridiagLocal();
+KernelSpec makeShallow();
+KernelSpec makeTomcatvLike();
+KernelSpec makeLu();
+KernelSpec makeTranspose();
+KernelSpec makeMultiBlock();
+KernelSpec makeCyclicJacobi();
+KernelSpec makeDotReduction();
+KernelSpec makeMgridLike();
+KernelSpec makeHeat3D();
+KernelSpec makeWave1D();
+
+/// The full suite in table order.
+std::vector<KernelSpec> allKernels();
+
+/// Lookup by name; throws spmd::Error when unknown.
+KernelSpec kernelByName(const std::string& name);
+
+}  // namespace spmd::kernels

@@ -1,0 +1,208 @@
+#include "partition/decomposition.h"
+
+namespace spmd::part {
+
+using poly::LinExpr;
+using poly::System;
+using poly::VarId;
+using poly::VarKind;
+
+const char* distKindName(DistKind kind) {
+  switch (kind) {
+    case DistKind::Replicated:
+      return "replicated";
+    case DistKind::Block:
+      return "block";
+    case DistKind::Cyclic:
+      return "cyclic";
+    case DistKind::BlockCyclic:
+      return "block-cyclic";
+  }
+  SPMD_UNREACHABLE("bad DistKind");
+}
+
+Decomposition::Decomposition(ir::Program& prog) : prog_(&prog) {
+  pVar_ = prog.space()->add("P", VarKind::Symbolic);
+  bVar_ = prog.space()->add("B", VarKind::Symbolic);
+  dists_.resize(prog.arrays().size());
+}
+
+void Decomposition::distribute(ir::ArrayId a, int dim, DistKind kind,
+                               i64 alignOffset, i64 blockParam) {
+  if (static_cast<std::size_t>(a.index) >= dists_.size())
+    dists_.resize(prog_->arrays().size());
+  SPMD_CHECK(dim >= 0 && static_cast<std::size_t>(dim) <
+                             prog_->array(a).extents.size(),
+             "distributed dimension out of range for " + prog_->array(a).name);
+  SPMD_CHECK(kind != DistKind::BlockCyclic || blockParam >= 1,
+             "block-cyclic distribution needs a positive block size");
+  dists_[static_cast<std::size_t>(a.index)] =
+      ArrayDist{dim, kind, alignOffset, blockParam};
+  if (!templateExtent_ && kind != DistKind::Replicated)
+    templateExtent_ = prog_->array(a).extents[static_cast<std::size_t>(dim)];
+}
+
+const ArrayDist& Decomposition::dist(ir::ArrayId a) const {
+  SPMD_CHECK(static_cast<std::size_t>(a.index) < dists_.size(),
+             "array has no distribution record");
+  return dists_[static_cast<std::size_t>(a.index)];
+}
+
+void Decomposition::setLoopPartition(const ir::Stmt* loop,
+                                     LoopPartition part) {
+  loopParts_[loop] = part;
+}
+
+std::optional<LoopPartition> Decomposition::loopPartition(
+    const ir::Stmt* loop) const {
+  auto it = loopParts_.find(loop);
+  if (it == loopParts_.end()) return std::nullopt;
+  return it->second;
+}
+
+VarId Decomposition::makeProcVar(System& sys, const std::string& name) {
+  VarId p = prog_->space()->add(name, VarKind::Processor);
+  // 0 <= p <= P - 1
+  sys.addGE(LinExpr::var(p));
+  sys.addGE(LinExpr::var(pVar_) - LinExpr::var(p) - LinExpr::constant(1));
+  return p;
+}
+
+VarId Decomposition::offsetVar(System& sys, VarId procVar) {
+  auto it = offsetVars_.find(procVar.index);
+  if (it != offsetVars_.end()) return it->second;
+  VarId o = prog_->space()->add(
+      "o_" + prog_->space()->name(procVar), VarKind::Processor);
+  offsetVars_[procVar.index] = o;
+  // o_p = p*B with p >= 0, B >= 1  =>  o_p >= 0 and o_p >= p (since B >= 1).
+  sys.addGE(LinExpr::var(o));
+  sys.addGE(LinExpr::var(o) - LinExpr::var(procVar));
+  return o;
+}
+
+bool Decomposition::addOwnerConstraint(System& sys, ir::ArrayId a,
+                                       const LinExpr& subscript,
+                                       VarId procVar) {
+  const ArrayDist& d = dist(a);
+  switch (d.kind) {
+    case DistKind::Replicated:
+      // Every processor has the element; ownership imposes nothing, and
+      // writes to replicated arrays are not meaningful in this model.
+      return true;
+    case DistKind::Block: {
+      VarId o = offsetVar(sys, procVar);
+      LinExpr cell = subscript - LinExpr::constant(d.alignOffset);
+      // o_p <= cell <= o_p + B - 1
+      sys.addGE(cell - LinExpr::var(o));
+      sys.addGE(LinExpr::var(o) + LinExpr::var(bVar_) -
+                LinExpr::constant(1) - cell);
+      return true;
+    }
+    case DistKind::Cyclic:
+    case DistKind::BlockCyclic:
+      // (cell mod P == p) and (floor(cell/b) mod P == p) are not linear
+      // with symbolic P; the analysis must assume general communication.
+      return false;
+  }
+  SPMD_UNREACHABLE("bad DistKind");
+}
+
+bool Decomposition::addComputeConstraint(System& sys, const ir::Stmt* loop,
+                                         const LinExpr& loopIndexExpr,
+                                         const LinExpr& lowerBound,
+                                         const LinExpr& lhsSub,
+                                         ir::ArrayId lhsArray,
+                                         VarId procVar) {
+  LoopPartition part =
+      loopPartition(loop).value_or(LoopPartition{});  // owner-computes
+  switch (part.kind) {
+    case LoopPartition::Kind::OwnerComputes: {
+      ir::ArrayId target = part.array.valid() ? part.array : lhsArray;
+      if (!target.valid()) return false;
+      return addOwnerConstraint(sys, target, lhsSub, procVar);
+    }
+    case LoopPartition::Kind::BlockRange: {
+      // Iterations block-distributed and aligned to the decomposition
+      // template origin (like an HPF ALIGN): iteration i behaves as the
+      // owner of template cell i, so block-range loops co-locate with
+      // block-distributed arrays indexed by the loop variable.  Requires a
+      // non-negative index range.
+      (void)lowerBound;
+      VarId o = offsetVar(sys, procVar);
+      const LinExpr& cell = loopIndexExpr;
+      sys.addGE(cell - LinExpr::var(o));
+      sys.addGE(LinExpr::var(o) + LinExpr::var(bVar_) -
+                LinExpr::constant(1) - cell);
+      return true;
+    }
+    case LoopPartition::Kind::CyclicRange:
+      return false;
+  }
+  SPMD_UNREACHABLE("bad LoopPartition kind");
+}
+
+void Decomposition::addOffsetRelation(System& sys, VarId p, VarId q, i64 d,
+                                      bool exact) {
+  if (p == q) return;
+  auto itP = offsetVars_.find(p.index);
+  auto itQ = offsetVars_.find(q.index);
+  if (itP == offsetVars_.end() || itQ == offsetVars_.end())
+    return;  // no block ownership was asserted for one side
+  LinExpr diff = LinExpr::var(itQ->second) - LinExpr::var(itP->second);
+  // q - p == d   =>  o_q - o_p == d*B
+  // q - p >= d   =>  o_q - o_p >= d*B   (d > 0)
+  // q - p <= d   =>  o_q - o_p <= d*B   (d < 0)
+  LinExpr rhs = LinExpr::var(bVar_) * d;
+  if (exact)
+    sys.addEquals(diff, rhs);
+  else if (d > 0)
+    sys.addGE(diff - rhs);
+  else
+    sys.addGE(rhs - diff);
+}
+
+System Decomposition::baseContext(i64 minProcs) const {
+  System sys = prog_->symbolicContext();
+  sys.addGE(LinExpr::var(pVar_) - LinExpr::constant(minProcs));
+  sys.addGE(LinExpr::var(bVar_) - LinExpr::constant(1));
+  return sys;
+}
+
+i64 Decomposition::concreteBlockSize(const ir::SymbolBindings& symbols,
+                                     i64 nprocs) const {
+  SPMD_CHECK(templateExtent_.has_value(),
+             "decomposition has no distributed array");
+  i64 extent = templateExtent_->evaluate([&](VarId v) {
+    auto it = symbols.find(v.index);
+    SPMD_CHECK(it != symbols.end(), "template extent uses unbound symbolic");
+    return it->second;
+  });
+  SPMD_CHECK(extent >= 1, "non-positive template extent");
+  return ceilDiv(extent, nprocs);
+}
+
+i64 Decomposition::concreteOwner(ir::ArrayId a, i64 subscript, i64 nprocs,
+                                 const ir::SymbolBindings& symbols) const {
+  const ArrayDist& d = dist(a);
+  i64 cell = subscript - d.alignOffset;
+  switch (d.kind) {
+    case DistKind::Replicated:
+      return 0;
+    case DistKind::Block: {
+      i64 block = concreteBlockSize(symbols, nprocs);
+      i64 owner = floorDiv(cell, block);
+      return std::max<i64>(0, std::min(owner, nprocs - 1));
+    }
+    case DistKind::Cyclic: {
+      i64 owner = cell % nprocs;
+      return owner < 0 ? owner + nprocs : owner;
+    }
+    case DistKind::BlockCyclic: {
+      i64 owner = floorDiv(cell, d.blockParam) % nprocs;
+      return owner < 0 ? owner + nprocs : owner;
+    }
+  }
+  SPMD_UNREACHABLE("bad DistKind");
+}
+
+}  // namespace spmd::part

@@ -1,0 +1,168 @@
+// Data decompositions and compile-time computation partitions.
+//
+// The paper assumes "the compiler partitions computation using global
+// automatic data decomposition techniques" (§2): arrays are distributed
+// across a one-dimensional processor space and parallel-loop iterations are
+// assigned by the owner-computes rule [18].  Both the data mapping and the
+// derived computation partition are expressed as systems of symbolic linear
+// inequalities so that communication analysis can conjoin them with access
+// equations and scan the result with Fourier–Motzkin elimination.
+//
+// Linearization of BLOCK ownership.  Block ownership of element x by
+// processor p is  p*B <= x < (p+1)*B  with B the (symbolic) block size —
+// a bilinear constraint.  We linearize with the standard offset-variable
+// trick: each (processor var, template) pair gets an offset variable
+// o_p ("p*B"), ownership becomes the linear  o_p <= x <= o_p + B - 1,
+// and the communication tester adds the exact consequences of the branch
+// under test:
+//     q == p      ->  same offset variable is reused
+//     q == p + d  ->  o_q == o_p + d*B          (d a small constant)
+//     q >= p + d  ->  o_q >= o_p + d*B
+// plus o_p >= 0.  Every added constraint is implied by o_p = p*B, so each
+// branch system is a *relaxation* of reality: proving it infeasible proves
+// the real system infeasible, which is the only direction barrier
+// elimination needs.
+//
+// CYCLIC ownership (x mod P == p) is supported when the analysis runs with
+// a concrete processor count; with symbolic P the tester conservatively
+// reports general communication.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/eval.h"
+#include "ir/program.h"
+#include "poly/system.h"
+
+namespace spmd::part {
+
+enum class DistKind {
+  Replicated,   ///< dimension not distributed (every processor sees all)
+  Block,        ///< contiguous blocks of size B = ceil(extent / P)
+  Cyclic,       ///< element x owned by processor x mod P
+  BlockCyclic,  ///< blocks of a fixed size b dealt round-robin:
+                ///< owner(x) = floor(x / b) mod P
+};
+
+const char* distKindName(DistKind kind);
+
+/// Distribution of one array: at most one distributed dimension (1-D
+/// processor space, as in the paper's experiments).
+struct ArrayDist {
+  int dim = -1;                       ///< distributed dimension, -1 = fully replicated
+  DistKind kind = DistKind::Replicated;
+  i64 alignOffset = 0;                ///< template cell = subscript - alignOffset
+  i64 blockParam = 1;                 ///< BlockCyclic only: the block size b
+};
+
+/// How a parallel loop's iterations are assigned to processors.
+struct LoopPartition {
+  enum class Kind {
+    OwnerComputes,  ///< iteration i runs on the owner of lhsArray(f(i))
+    BlockRange,     ///< iterations block-distributed over [lb, ub]
+    CyclicRange,    ///< iteration i on processor (i - lb) mod P
+  };
+  Kind kind = Kind::OwnerComputes;
+  // For OwnerComputes: the array and the subscript position whose owner
+  // runs the iteration (subscript expression comes from the loop body).
+  ir::ArrayId array;
+};
+
+/// The whole-program mapping: per-array distributions plus the symbolic
+/// processor-space parameters (P, B, and on-demand offset variables o_p).
+class Decomposition {
+ public:
+  explicit Decomposition(ir::Program& prog);
+
+  ir::Program& program() { return *prog_; }
+  const ir::Program& program() const { return *prog_; }
+
+  /// Symbolic processor count P (>= 1) and block size B (>= 1).
+  poly::VarId procCountVar() const { return pVar_; }
+  poly::VarId blockSizeVar() const { return bVar_; }
+
+  /// Distributes array `a` along `dim` with the given kind and alignment.
+  /// `blockParam` is the fixed block size for BlockCyclic distributions.
+  void distribute(ir::ArrayId a, int dim, DistKind kind, i64 alignOffset = 0,
+                  i64 blockParam = 1);
+
+  const ArrayDist& dist(ir::ArrayId a) const;
+
+  /// Assigns an explicit partition to a parallel loop (defaults to
+  /// owner-computes w.r.t. the loop's first LHS array).
+  void setLoopPartition(const ir::Stmt* loop, LoopPartition part);
+  std::optional<LoopPartition> loopPartition(const ir::Stmt* loop) const;
+
+  /// Creates a fresh processor variable (kind Processor, 0 <= p <= P-1
+  /// bounds added to `sys`).
+  poly::VarId makeProcVar(poly::System& sys, const std::string& name);
+
+  /// Offset variable o_p ("p * B") for a processor var; created on first
+  /// use per (processor, decomposition) with o_p >= 0 added to `sys`.
+  poly::VarId offsetVar(poly::System& sys, poly::VarId procVar);
+
+  /// Adds the constraint "processor `procVar` owns template cell `cell`"
+  /// for array `a` (cell = subscript in the distributed dim).  Returns
+  /// false when ownership cannot be expressed linearly (symbolic cyclic):
+  /// callers must then assume any processor may own the element.
+  [[nodiscard]] bool addOwnerConstraint(poly::System& sys, ir::ArrayId a,
+                                        const poly::LinExpr& subscript,
+                                        poly::VarId procVar);
+
+  /// Adds the constraint that iteration `iter` of parallel loop `loop`
+  /// (whose LHS subscript in the distributed dim is `lhsSub`, already
+  /// expressed in terms of `iter`'s variables) executes on `procVar`.
+  /// Returns false when not linearly expressible.
+  [[nodiscard]] bool addComputeConstraint(poly::System& sys,
+                                          const ir::Stmt* loop,
+                                          const poly::LinExpr& loopIndexExpr,
+                                          const poly::LinExpr& lowerBound,
+                                          const poly::LinExpr& lhsSub,
+                                          ir::ArrayId lhsArray,
+                                          poly::VarId procVar);
+
+  /// Adds the exact branch consequences relating two processors' offset
+  /// variables:  q - p == d  =>  o_q - o_p == d*B  (for |d| used by the
+  /// communication tester) or  q - p >= d  =>  o_q - o_p >= d*B.
+  void addOffsetRelation(poly::System& sys, poly::VarId p, poly::VarId q,
+                         i64 d, bool exact);
+
+  /// Base constraints every query conjoins: P >= minProcs, B >= 1,
+  /// program symbolic lower bounds.
+  poly::System baseContext(i64 minProcs = 2) const;
+
+  /// The distribution template: all distributed arrays align to a single
+  /// template of this extent, so they share one block size
+  /// B = ceil(extent / P).  Defaults to the distributed-dim extent of the
+  /// first array passed to distribute().
+  void setTemplateExtent(poly::LinExpr extent) {
+    templateExtent_ = std::move(extent);
+  }
+  const std::optional<poly::LinExpr>& templateExtent() const {
+    return templateExtent_;
+  }
+
+  // --- concrete evaluation (used by the SPMD executor) ---------------------
+
+  /// Block size under concrete symbol values and processor count.
+  i64 concreteBlockSize(const ir::SymbolBindings& symbols, i64 nprocs) const;
+
+  /// Owner of `subscript` in array `a`'s distributed dimension under a
+  /// concrete configuration (clamped to [0, nprocs-1]).
+  i64 concreteOwner(ir::ArrayId a, i64 subscript, i64 nprocs,
+                    const ir::SymbolBindings& symbols) const;
+
+ private:
+  ir::Program* prog_;
+  poly::VarId pVar_;
+  poly::VarId bVar_;
+  std::optional<poly::LinExpr> templateExtent_;
+  std::vector<ArrayDist> dists_;  // indexed by ArrayId
+  std::map<const ir::Stmt*, LoopPartition> loopParts_;
+  std::map<int, poly::VarId> offsetVars_;  // procVar.index -> o_p
+};
+
+}  // namespace spmd::part

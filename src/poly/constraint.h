@@ -1,0 +1,53 @@
+// A single linear constraint: expr >= 0 or expr == 0.
+#pragma once
+
+#include <string>
+
+#include "poly/linexpr.h"
+
+namespace spmd::poly {
+
+enum class Rel {
+  GE,  ///< expr >= 0
+  EQ,  ///< expr == 0
+};
+
+class Constraint {
+ public:
+  Constraint(LinExpr expr, Rel rel) : expr_(std::move(expr)), rel_(rel) {}
+
+  static Constraint ge(LinExpr e) { return Constraint(std::move(e), Rel::GE); }
+  static Constraint eq(LinExpr e) { return Constraint(std::move(e), Rel::EQ); }
+
+  const LinExpr& expr() const { return expr_; }
+  LinExpr& expr() { return expr_; }
+  Rel rel() const { return rel_; }
+
+  bool isEquality() const { return rel_ == Rel::EQ; }
+  bool references(VarId v) const { return expr_.references(v); }
+
+  /// Ground constraints (no variables) are decidable immediately.
+  bool isGround() const { return expr_.isConstant(); }
+  bool groundHolds() const {
+    SPMD_ASSERT(isGround(), "groundHolds on non-ground constraint");
+    return rel_ == Rel::EQ ? expr_.constTerm() == 0 : expr_.constTerm() >= 0;
+  }
+
+  /// Evaluates the constraint under a total assignment.
+  bool holds(const std::function<i64(VarId)>& value) const {
+    i64 v = expr_.evaluate(value);
+    return rel_ == Rel::EQ ? v == 0 : v >= 0;
+  }
+
+  friend bool operator==(const Constraint& a, const Constraint& b) = default;
+
+  std::string toString(const VarSpace& space) const {
+    return expr_.toString(space) + (rel_ == Rel::EQ ? " == 0" : " >= 0");
+  }
+
+ private:
+  LinExpr expr_;
+  Rel rel_;
+};
+
+}  // namespace spmd::poly

@@ -1,0 +1,414 @@
+#include "poly/fourier_motzkin.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "poly/var.h"
+#include "support/rational.h"
+
+namespace spmd::poly {
+
+const char* feasibilityName(Feasibility f) {
+  switch (f) {
+    case Feasibility::Infeasible:
+      return "infeasible";
+    case Feasibility::Feasible:
+      return "feasible";
+    case Feasibility::Unknown:
+      return "unknown";
+  }
+  SPMD_UNREACHABLE("bad Feasibility");
+}
+
+const char* varKindName(VarKind kind) {
+  switch (kind) {
+    case VarKind::Symbolic:
+      return "symbolic";
+    case VarKind::Processor:
+      return "processor";
+    case VarKind::LoopIndex:
+      return "loop-index";
+    case VarKind::ArrayIndex:
+      return "array-index";
+    case VarKind::Aux:
+      return "aux";
+  }
+  SPMD_UNREACHABLE("bad VarKind");
+}
+
+int eliminationPriority(VarKind kind) {
+  // Higher = eliminated earlier.  This is the reverse of the paper's scan
+  // order "symbolics, processors, loop index variables, array indices".
+  // Aux variables (e.g. the t in a stride encoding i = lb + step*t) go
+  // LAST: they typically appear in equalities with a non-unit coefficient,
+  // and eliminating them early would use a non-unit pivot that drops the
+  // divisibility (parity) constraint the encoding exists to provide.
+  // Eliminating the unit-coefficient loop index first substitutes exactly
+  // and lets the GCD normalization keep the stride information.
+  switch (kind) {
+    case VarKind::Aux:
+      return 0;
+    case VarKind::ArrayIndex:
+      return 4;
+    case VarKind::LoopIndex:
+      return 3;
+    case VarKind::Processor:
+      return 2;
+    case VarKind::Symbolic:
+      return 1;
+  }
+  SPMD_UNREACHABLE("bad VarKind");
+}
+
+FMCounters& fmCounters() {
+  static FMCounters counters;
+  return counters;
+}
+
+namespace {
+
+/// Deduplicates constraints: for GE constraints with identical variable
+/// terms, only the strongest (smallest constant) matters; duplicate
+/// equalities collapse.
+class ConstraintPool {
+ public:
+  explicit ConstraintPool(VarSpacePtr space) : out_(std::move(space)) {}
+
+  void insert(const Constraint& c) {
+    if (out_.provedEmpty()) return;
+    Key key{c.rel(), c.expr().terms()};
+    auto [it, fresh] = best_.try_emplace(key, c.expr().constTerm());
+    if (fresh) return;
+    if (c.rel() == Rel::GE) {
+      it->second = std::min(it->second, c.expr().constTerm());
+    } else if (it->second != c.expr().constTerm()) {
+      // Two equalities with the same terms and different constants.
+      contradiction_ = true;
+    }
+  }
+
+  System finish() {
+    if (contradiction_) out_.addGE(LinExpr::constant(-1));
+    for (const auto& [key, constant] : best_) {
+      LinExpr e;
+      for (const auto& [v, coef] : key.terms) e.setCoef(v, coef);
+      e.addToConst(constant);
+      out_.add(Constraint(std::move(e), key.rel));
+    }
+    return std::move(out_);
+  }
+
+  std::size_t size() const { return best_.size(); }
+
+ private:
+  struct Key {
+    Rel rel;
+    std::vector<std::pair<VarId, i64>> terms;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.rel != b.rel) return a.rel < b.rel;
+      return std::lexicographical_compare(
+          a.terms.begin(), a.terms.end(), b.terms.begin(), b.terms.end(),
+          [](const auto& x, const auto& y) {
+            if (x.first != y.first) return x.first < y.first;
+            return x.second < y.second;
+          });
+    }
+  };
+
+  System out_;
+  std::map<Key, i64> best_;
+  bool contradiction_ = false;
+};
+
+/// Finds the best equality pivot for `v`: prefers |coef| == 1 (exact
+/// substitution), otherwise the smallest |coef|.
+std::optional<std::size_t> findEqualityPivot(const System& s, VarId v) {
+  std::optional<std::size_t> best;
+  i64 bestMag = 0;
+  const auto& cs = s.constraints();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (!cs[i].isEquality()) continue;
+    i64 c = cs[i].expr().coef(v);
+    if (c == 0) continue;
+    i64 mag = c < 0 ? negChecked(c) : c;
+    if (!best || mag < bestMag) {
+      best = i;
+      bestMag = mag;
+    }
+    if (bestMag == 1) break;
+  }
+  return best;
+}
+
+System eliminateViaEquality(const System& s, VarId v, std::size_t pivotIdx) {
+  const Constraint& pivot = s.constraints()[pivotIdx];
+  i64 a = pivot.expr().coef(v);
+
+  if (a == 1 || a == -1) {
+    // v = -(rest)/a exactly; substitute into every other constraint.
+    LinExpr rest = pivot.expr();
+    rest.setCoef(v, 0);
+    LinExpr replacement = (a == 1) ? -rest : rest;
+    System out(s.space());
+    const auto& cs = s.constraints();
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (i == pivotIdx) continue;
+      Constraint c = cs[i];
+      c.expr().substitute(v, replacement);
+      out.add(std::move(c));
+    }
+    return out;
+  }
+
+  // Non-unit pivot: cancel v by cross-multiplication.  Rational-exact; the
+  // divisibility constraint a | rest is dropped, which can only make the
+  // projection a superset (conservative for barrier elimination).
+  System out(s.space());
+  const auto& cs = s.constraints();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (i == pivotIdx) continue;
+    const Constraint& c = cs[i];
+    i64 b = c.expr().coef(v);
+    if (b == 0) {
+      out.add(c);
+      continue;
+    }
+    // combined = a' * c.expr - b' * pivot.expr with v cancelled, where the
+    // multiplier applied to a GE constraint must be positive.
+    i64 g = gcd64(a, b);
+    i64 ca = a / g;  // multiplier for c
+    i64 cb = b / g;  // multiplier for pivot
+    if (c.rel() == Rel::GE && ca < 0) {
+      ca = negChecked(ca);
+      cb = negChecked(cb);
+    }
+    LinExpr combined = c.expr() * ca - pivot.expr() * cb;
+    SPMD_ASSERT(!combined.references(v), "equality pivot failed to cancel");
+    out.add(Constraint(std::move(combined), c.rel()));
+  }
+  return out;
+}
+
+}  // namespace
+
+System eliminateVariable(const System& s, VarId v, const FMOptions& opts) {
+  fmCounters().eliminations.fetch_add(1, std::memory_order_relaxed);
+
+  if (s.provedEmpty()) {
+    System out(s.space());
+    out.addGE(LinExpr::constant(-1));
+    return out;
+  }
+
+  if (auto pivot = findEqualityPivot(s, v))
+    return eliminateViaEquality(s, v, *pivot);
+
+  // Pure inequality elimination.  Partition into lower bounds (coef > 0:
+  // a*v >= -rest), upper bounds (coef < 0), and constraints without v.
+  std::vector<const Constraint*> lowers, uppers;
+  ConstraintPool pool(s.space());
+  for (const Constraint& c : s.constraints()) {
+    i64 coef = c.expr().coef(v);
+    if (coef == 0)
+      pool.insert(c);
+    else if (coef > 0)
+      lowers.push_back(&c);
+    else
+      uppers.push_back(&c);
+  }
+
+  SPMD_CHECK(pool.size() + lowers.size() * uppers.size() <=
+                 opts.maxConstraints,
+             "Fourier-Motzkin blowup guard tripped");
+
+  for (const Constraint* lo : lowers) {
+    for (const Constraint* hi : uppers) {
+      fmCounters().combinations.fetch_add(1, std::memory_order_relaxed);
+      i64 a = lo->expr().coef(v);             // a > 0
+      i64 b = negChecked(hi->expr().coef(v));  // b > 0
+      i64 g = gcd64(a, b);
+      LinExpr combined = lo->expr() * (b / g) + hi->expr() * (a / g);
+      SPMD_ASSERT(!combined.references(v), "FM combination failed to cancel");
+      pool.insert(Constraint::ge(std::move(combined)));
+    }
+  }
+  return pool.finish();
+}
+
+std::vector<VarId> eliminationOrder(const System& s) {
+  std::vector<VarId> vars = s.referencedVars();
+  const VarSpace& space = *s.space();
+  std::stable_sort(vars.begin(), vars.end(), [&](VarId a, VarId b) {
+    return eliminationPriority(space.kind(a)) >
+           eliminationPriority(space.kind(b));
+  });
+  return vars;
+}
+
+Feasibility scanRational(const System& s, const FMOptions& opts) {
+  fmCounters().scans.fetch_add(1, std::memory_order_relaxed);
+  System cur = s;
+  while (true) {
+    if (cur.provedEmpty()) return Feasibility::Infeasible;
+    std::vector<VarId> order = eliminationOrder(cur);
+    if (order.empty()) break;
+    cur = eliminateVariable(cur, order.front(), opts);
+  }
+  return cur.provedEmpty() ? Feasibility::Infeasible : Feasibility::Feasible;
+}
+
+System projectOnto(const System& s, const std::vector<VarId>& keep,
+                   const FMOptions& opts) {
+  System cur = s;
+  while (true) {
+    if (cur.provedEmpty()) return cur;
+    std::vector<VarId> order = eliminationOrder(cur);
+    auto it = std::find_if(order.begin(), order.end(), [&](VarId v) {
+      return std::find(keep.begin(), keep.end(), v) == keep.end();
+    });
+    if (it == order.end()) return cur;
+    cur = eliminateVariable(cur, *it, opts);
+  }
+}
+
+namespace {
+
+/// Bounds on one variable implied by constraints where all *other*
+/// variables are already assigned.
+struct VarBounds {
+  std::optional<Rational> lo, hi;
+  std::vector<i64> exact;  // candidates forced by equalities
+  bool contradiction = false;
+
+  void applyConstraint(const Constraint& c, VarId v,
+                       const Assignment& partial) {
+    i64 a = c.expr().coef(v);
+    SPMD_ASSERT(a != 0, "applyConstraint: constraint does not mention v");
+    // rest = expr - a*v evaluated under `partial`.
+    LinExpr rest = c.expr();
+    rest.setCoef(v, 0);
+    i64 restVal = rest.evaluate([&](VarId u) { return partial.get(u); });
+    if (c.isEquality()) {
+      // a*v + restVal == 0  =>  v = -restVal / a
+      if (restVal % a != 0) {
+        contradiction = true;
+        return;
+      }
+      exact.push_back(-restVal / a);
+    } else if (a > 0) {
+      // v >= -restVal / a
+      Rational bound(-restVal, a);
+      if (!lo || bound > *lo) lo = bound;
+    } else {
+      // v <= restVal / (-a)
+      Rational bound(restVal, negChecked(a));
+      if (!hi || bound < *hi) hi = bound;
+    }
+  }
+};
+
+class IntegerSampler {
+ public:
+  IntegerSampler(const System& s, const FMOptions& opts)
+      : opts_(opts), budget_(opts.sampleBudget) {
+    // Build the elimination tower S_0 = s, S_1, ..., S_n (ground).
+    tower_.push_back(s);
+    while (true) {
+      const System& top = tower_.back();
+      if (top.provedEmpty()) {
+        infeasible_ = true;
+        return;
+      }
+      std::vector<VarId> order = eliminationOrder(top);
+      if (order.empty()) break;
+      elimVar_.push_back(order.front());
+      tower_.push_back(eliminateVariable(top, order.front(), opts));
+    }
+  }
+
+  std::optional<Assignment> run() {
+    if (infeasible_) return std::nullopt;
+    Assignment a(tower_.front().space());
+    if (descend(static_cast<int>(elimVar_.size()) - 1, a)) return a;
+    return std::nullopt;
+  }
+
+ private:
+  // Assign elimVar_[level] using the system it was eliminated from
+  // (tower_[level]), in which all later-eliminated variables are absent and
+  // all earlier-eliminated ones are already assigned.
+  bool descend(int level, Assignment& a) {
+    if (level < 0) return tower_.front().holds(a);
+    VarId v = elimVar_[static_cast<std::size_t>(level)];
+    const System& sys = tower_[static_cast<std::size_t>(level)];
+
+    VarBounds b;
+    for (const Constraint& c : sys.constraints())
+      if (c.references(v)) b.applyConstraint(c, v, a);
+    if (b.contradiction) return false;
+
+    auto tryValue = [&](i64 value) {
+      if (--budget_ < 0) return false;
+      if (b.lo && Rational(value) < *b.lo) return false;
+      if (b.hi && Rational(value) > *b.hi) return false;
+      a.set(v, value);
+      if (descend(level - 1, a)) return true;
+      return false;
+    };
+
+    if (!b.exact.empty()) {
+      // All equalities must agree.
+      for (i64 cand : b.exact)
+        if (cand != b.exact.front()) return false;
+      return tryValue(b.exact.front());
+    }
+
+    i64 lo, hi;
+    if (b.lo && b.hi) {
+      lo = b.lo->ceil();
+      hi = b.hi->floor();
+    } else if (b.lo) {
+      lo = b.lo->ceil();
+      hi = addChecked(lo, opts_.unboundedRange);
+    } else if (b.hi) {
+      hi = b.hi->floor();
+      lo = subChecked(hi, opts_.unboundedRange);
+    } else {
+      lo = negChecked(opts_.unboundedRange);
+      hi = opts_.unboundedRange;
+    }
+    for (i64 value = lo; value <= hi; ++value) {
+      if (budget_ < 0) return false;
+      if (tryValue(value)) return true;
+    }
+    return false;
+  }
+
+  FMOptions opts_;
+  int budget_;
+  bool infeasible_ = false;
+  std::vector<System> tower_;
+  std::vector<VarId> elimVar_;
+};
+
+}  // namespace
+
+std::optional<Assignment> sampleInteger(const System& s,
+                                        const FMOptions& opts) {
+  IntegerSampler sampler(s, opts);
+  auto result = sampler.run();
+  if (result) {
+    SPMD_ASSERT(s.holds(*result), "sampled point does not satisfy system");
+  }
+  return result;
+}
+
+Feasibility satisfiableInteger(const System& s, const FMOptions& opts) {
+  Feasibility rational = scanRational(s, opts);
+  if (rational == Feasibility::Infeasible) return Feasibility::Infeasible;
+  if (sampleInteger(s, opts)) return Feasibility::Feasible;
+  return Feasibility::Unknown;
+}
+
+}  // namespace spmd::poly

@@ -1,0 +1,88 @@
+// Fourier–Motzkin elimination over systems of symbolic linear inequalities.
+//
+// The paper (§3.2.1): "Before attempting to solve the system of symbolic
+// linear inequalities, we sort the variables into the following scan order:
+// symbolics, processors, loop index variables, and array indices.  We then
+// determine whether the resulting system of inequalities is consistent by
+// scanning the system using Fourier-Motzkin elimination [2, 3]."
+//
+// Elimination removes variables from the end of the scan order first (array
+// indices, then loop indices, then processors), leaving a residue over
+// symbolics whose consistency decides whether inter-processor data movement
+// can occur.
+//
+// Soundness direction: the compiler may only *drop* a barrier when the
+// communication system is provably empty.  Rational (LP-relaxation) FM is
+// exact for infeasibility proofs of integer systems in one direction:
+// rationally infeasible => integer infeasible.  When the relaxation is
+// feasible we either exhibit an integer point (Feasible) or give up
+// (Unknown); the synchronization optimizer treats both as "communication
+// may exist" and keeps the barrier, which is always safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "poly/system.h"
+
+namespace spmd::poly {
+
+enum class Feasibility {
+  Infeasible,  ///< proven: no integer solution
+  Feasible,    ///< proven: an integer solution was exhibited
+  Unknown,     ///< analysis gave up (budget); treat as possibly feasible
+};
+
+const char* feasibilityName(Feasibility f);
+
+/// Per-process counters for optimizer statistics (Table 3 / ablations).
+struct FMCounters {
+  std::atomic<std::uint64_t> scans{0};         ///< full consistency scans
+  std::atomic<std::uint64_t> eliminations{0};  ///< single-variable projections
+  std::atomic<std::uint64_t> combinations{0};  ///< GE pair combinations formed
+  void reset() {
+    scans = 0;
+    eliminations = 0;
+    combinations = 0;
+  }
+};
+
+FMCounters& fmCounters();
+
+/// Tuning knobs; defaults are generous for the loop nests in this repo.
+struct FMOptions {
+  std::size_t maxConstraints = 20000;  ///< blowup guard per system
+  int sampleBudget = 20000;            ///< integer-point search steps
+  i64 unboundedRange = 64;             ///< probe radius for unbounded vars
+};
+
+/// Projects away a single variable (rational-exact, integer-relaxed when a
+/// non-unit equality pivot is used).  Throws spmd::Error if the blowup
+/// guard trips.
+System eliminateVariable(const System& s, VarId v,
+                         const FMOptions& opts = FMOptions());
+
+/// Variables of `s`, sorted so that the first element should be eliminated
+/// first (the inverse of the paper's scan order).
+std::vector<VarId> eliminationOrder(const System& s);
+
+/// Rational consistency via a full FM scan.  Infeasible is exact;
+/// "Feasible" here only means rationally feasible.
+Feasibility scanRational(const System& s, const FMOptions& opts = FMOptions());
+
+/// Projects the system onto `keep`, eliminating everything else.
+System projectOnto(const System& s, const std::vector<VarId>& keep,
+                   const FMOptions& opts = FMOptions());
+
+/// Searches for an integer solution by FM descent with backtracking.
+std::optional<Assignment> sampleInteger(const System& s,
+                                        const FMOptions& opts = FMOptions());
+
+/// Exact integer feasibility where possible; Unknown when the search budget
+/// is exhausted (callers must treat Unknown conservatively).
+Feasibility satisfiableInteger(const System& s,
+                               const FMOptions& opts = FMOptions());
+
+}  // namespace spmd::poly

@@ -1,0 +1,128 @@
+#include "poly/linexpr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spmd::poly {
+
+i64 LinExpr::coef(VarId v) const {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), v,
+      [](const auto& term, VarId id) { return term.first < id; });
+  if (it != terms_.end() && it->first == v) return it->second;
+  return 0;
+}
+
+void LinExpr::setCoef(VarId v, i64 coef) {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), v,
+      [](const auto& term, VarId id) { return term.first < id; });
+  if (it != terms_.end() && it->first == v) {
+    if (coef == 0)
+      terms_.erase(it);
+    else
+      it->second = coef;
+  } else if (coef != 0) {
+    terms_.emplace(it, v, coef);
+  }
+}
+
+LinExpr LinExpr::operator-() const {
+  LinExpr r(*this);
+  for (auto& [v, c] : r.terms_) c = negChecked(c);
+  r.constant_ = negChecked(r.constant_);
+  return r;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
+  std::vector<std::pair<VarId, i64>> merged;
+  merged.reserve(terms_.size() + rhs.terms_.size());
+  auto a = terms_.begin();
+  auto b = rhs.terms_.begin();
+  while (a != terms_.end() || b != rhs.terms_.end()) {
+    if (b == rhs.terms_.end() || (a != terms_.end() && a->first < b->first)) {
+      merged.push_back(*a++);
+    } else if (a == terms_.end() || b->first < a->first) {
+      merged.push_back(*b++);
+    } else {
+      i64 c = addChecked(a->second, b->second);
+      if (c != 0) merged.emplace_back(a->first, c);
+      ++a;
+      ++b;
+    }
+  }
+  terms_ = std::move(merged);
+  constant_ = addChecked(constant_, rhs.constant_);
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& rhs) { return *this += -rhs; }
+
+LinExpr& LinExpr::operator*=(i64 factor) {
+  if (factor == 0) {
+    terms_.clear();
+    constant_ = 0;
+    return *this;
+  }
+  for (auto& [v, c] : terms_) c = mulChecked(c, factor);
+  constant_ = mulChecked(constant_, factor);
+  return *this;
+}
+
+i64 LinExpr::coefGcd() const {
+  i64 g = 0;
+  for (const auto& [v, c] : terms_) g = gcd64(g, c);
+  return g;
+}
+
+void LinExpr::divideExact(i64 d) {
+  SPMD_ASSERT(d != 0, "divideExact by zero");
+  for (auto& [v, c] : terms_) {
+    SPMD_ASSERT(c % d == 0, "divideExact: coefficient not divisible");
+    c /= d;
+  }
+  SPMD_ASSERT(constant_ % d == 0, "divideExact: constant not divisible");
+  constant_ /= d;
+}
+
+i64 LinExpr::evaluate(const std::function<i64(VarId)>& value) const {
+  i64 acc = constant_;
+  for (const auto& [v, c] : terms_)
+    acc = addChecked(acc, mulChecked(c, value(v)));
+  return acc;
+}
+
+void LinExpr::substitute(VarId v, const LinExpr& replacement) {
+  i64 c = coef(v);
+  if (c == 0) return;
+  SPMD_ASSERT(!replacement.references(v),
+              "substitute: replacement mentions the substituted variable");
+  setCoef(v, 0);
+  LinExpr scaled = replacement;
+  scaled *= c;
+  *this += scaled;
+}
+
+std::string LinExpr::toString(const VarSpace& space) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [v, c] : terms_) {
+    if (c > 0 && !first) os << " + ";
+    if (c < 0) os << (first ? "-" : " - ");
+    i64 mag = c < 0 ? negChecked(c) : c;
+    if (mag != 1) os << mag << "*";
+    os << space.name(v);
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (constant_ >= 0 && !first)
+      os << " + " << constant_;
+    else if (constant_ < 0 && !first)
+      os << " - " << negChecked(constant_);
+    else
+      os << constant_;
+  }
+  return os.str();
+}
+
+}  // namespace spmd::poly

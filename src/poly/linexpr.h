@@ -1,0 +1,76 @@
+// Integer linear expressions over a VarSpace:  sum(coef_i * var_i) + const.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/var.h"
+#include "support/checked_int.h"
+
+namespace spmd::poly {
+
+/// An affine expression with exact 64-bit integer coefficients.
+///
+/// Terms are kept sorted by VarId with no zero coefficients, so structural
+/// equality is semantic equality.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  explicit LinExpr(i64 constant) : constant_(constant) {}
+
+  static LinExpr var(VarId v, i64 coef = 1) {
+    LinExpr e;
+    if (coef != 0) e.terms_.emplace_back(v, coef);
+    return e;
+  }
+  static LinExpr constant(i64 c) { return LinExpr(c); }
+
+  i64 constTerm() const { return constant_; }
+  const std::vector<std::pair<VarId, i64>>& terms() const { return terms_; }
+
+  bool isConstant() const { return terms_.empty(); }
+  std::size_t numTerms() const { return terms_.size(); }
+
+  i64 coef(VarId v) const;
+  bool references(VarId v) const { return coef(v) != 0; }
+
+  void setCoef(VarId v, i64 coef);
+  void addToConst(i64 delta) { constant_ = addChecked(constant_, delta); }
+
+  LinExpr operator-() const;
+  LinExpr& operator+=(const LinExpr& rhs);
+  LinExpr& operator-=(const LinExpr& rhs);
+  LinExpr& operator*=(i64 factor);
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, i64 f) { return a *= f; }
+  friend LinExpr operator*(i64 f, LinExpr a) { return a *= f; }
+  friend bool operator==(const LinExpr& a, const LinExpr& b) = default;
+
+  /// GCD of all variable coefficients (0 when there are none).
+  i64 coefGcd() const;
+
+  /// Divides every coefficient and the constant by `d` (must divide all).
+  void divideExact(i64 d);
+
+  /// Evaluates under a total assignment (VarId -> value).
+  i64 evaluate(const std::function<i64(VarId)>& value) const;
+
+  /// Substitutes `v := replacement` (the replacement may itself mention
+  /// other variables, but not `v`).
+  void substitute(VarId v, const LinExpr& replacement);
+
+  std::string toString(const VarSpace& space) const;
+
+ private:
+  // Sorted by VarId; invariant: no zero coefficients.
+  std::vector<std::pair<VarId, i64>> terms_;
+  i64 constant_ = 0;
+};
+
+}  // namespace spmd::poly

@@ -1,0 +1,61 @@
+#include "poly/simplify.h"
+
+namespace spmd::poly {
+
+System removeRedundant(const System& s, const FMOptions& opts) {
+  if (s.provedEmpty()) return s;
+  // Iterate over constraint indices, testing each GE constraint against
+  // the others that are still live.
+  std::vector<bool> live(s.size(), true);
+  const auto& cs = s.constraints();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (cs[i].isEquality()) continue;
+    // Build S' = (live constraints except i) ∧ ¬c_i.
+    System probe(s.space());
+    for (std::size_t j = 0; j < cs.size(); ++j)
+      if (live[j] && j != i) probe.add(cs[j]);
+    // ¬(e >= 0) over the integers: e <= -1.
+    probe.addGE(-cs[i].expr() - LinExpr::constant(1));
+    if (scanRational(probe, opts) == Feasibility::Infeasible)
+      live[i] = false;  // implied by the rest
+  }
+  System out(s.space());
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    if (live[i]) out.add(cs[i]);
+  return out;
+}
+
+VarBoundsResult boundsOf(const System& s, VarId v, const FMOptions& opts) {
+  VarBoundsResult result;
+  if (scanRational(s, opts) == Feasibility::Infeasible) {
+    result.feasible = false;
+    return result;
+  }
+  System proj = projectOnto(s, {v}, opts);
+  if (proj.provedEmpty()) {
+    result.feasible = false;
+    return result;
+  }
+  for (const Constraint& c : proj.constraints()) {
+    i64 a = c.expr().coef(v);
+    if (a == 0) continue;  // symbolic residue; cannot read a bound from it
+    LinExpr rest = c.expr();
+    rest.setCoef(v, 0);
+    if (!rest.isConstant()) continue;
+    i64 r = rest.constTerm();
+    if (c.isEquality()) {
+      Rational exact(-r, a);
+      if (!result.lower || exact > *result.lower) result.lower = exact;
+      if (!result.upper || exact < *result.upper) result.upper = exact;
+    } else if (a > 0) {
+      Rational bound(-r, a);  // v >= -r/a
+      if (!result.lower || bound > *result.lower) result.lower = bound;
+    } else {
+      Rational bound(r, -a);  // v <= r/(-a)
+      if (!result.upper || bound < *result.upper) result.upper = bound;
+    }
+  }
+  return result;
+}
+
+}  // namespace spmd::poly

@@ -1,0 +1,31 @@
+// System simplification utilities on top of the Fourier–Motzkin engine:
+// semantic redundancy removal and per-variable bound extraction.
+#pragma once
+
+#include <optional>
+
+#include "poly/fourier_motzkin.h"
+#include "support/rational.h"
+
+namespace spmd::poly {
+
+/// Removes constraints that are implied by the rest of the system: c is
+/// redundant iff (S \ {c}) ∧ ¬c is infeasible over the rationals (with
+/// ¬(e >= 0) tightened to -e - 1 >= 0 for integer systems).  Equalities
+/// are kept as-is.  The result has the same integer solution set.
+System removeRedundant(const System& s, const FMOptions& opts = FMOptions());
+
+/// Rational bounds of one variable over the system's solutions.
+struct VarBoundsResult {
+  bool feasible = true;              ///< system nonempty (rationally)
+  std::optional<Rational> lower;     ///< absent = unbounded below
+  std::optional<Rational> upper;     ///< absent = unbounded above
+};
+
+/// Projects the system onto `v` and reads off its bounds.  Only meaningful
+/// when the projection's constraints are ground except for `v` (i.e. all
+/// other variables eliminated); symbolic residues make a bound absent.
+VarBoundsResult boundsOf(const System& s, VarId v,
+                         const FMOptions& opts = FMOptions());
+
+}  // namespace spmd::poly

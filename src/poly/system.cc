@@ -1,0 +1,95 @@
+#include "poly/system.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace spmd::poly {
+
+namespace {
+
+/// Normalizes a constraint in place.  Returns false when the constraint is
+/// unsatisfiable on its own (ground false, or an equality failing the GCD
+/// divisibility test — the classic exact-dependence GCD filter).
+bool normalizeConstraint(Constraint& c) {
+  LinExpr& e = c.expr();
+  i64 g = e.coefGcd();
+  if (g == 0) {
+    // Ground constraint.
+    return c.groundHolds();
+  }
+  if (g > 1) {
+    if (c.isEquality()) {
+      // g must divide the constant or there is no integer solution.
+      if (e.constTerm() % g != 0) return false;
+      e.divideExact(g);
+    } else {
+      // a*g*x... + c >= 0  <=>  a*x... + floor(c/g) >= 0 over the integers
+      // (integer tightening).
+      i64 newConst = floorDiv(e.constTerm(), g);
+      e.addToConst(subChecked(mulChecked(newConst, g), e.constTerm()));
+      e.divideExact(g);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void System::add(Constraint c) {
+  if (!normalizeConstraint(c)) {
+    provedEmpty_ = true;
+    // Record a canonical false constraint so printing shows the state.
+    constraints_.push_back(Constraint::ge(LinExpr::constant(-1)));
+    return;
+  }
+  if (c.isGround()) return;  // normalized ground constraints are true
+  constraints_.push_back(std::move(c));
+}
+
+void System::append(const System& other) {
+  SPMD_CHECK(space_ == other.space_,
+             "System::append requires a shared VarSpace");
+  if (other.provedEmpty_) provedEmpty_ = true;
+  for (const Constraint& c : other.constraints_) add(c);
+}
+
+std::vector<VarId> System::referencedVars() const {
+  std::set<VarId> seen;
+  for (const Constraint& c : constraints_)
+    for (const auto& [v, coef] : c.expr().terms()) seen.insert(v);
+  return {seen.begin(), seen.end()};
+}
+
+bool System::references(VarId v) const {
+  return std::any_of(constraints_.begin(), constraints_.end(),
+                     [&](const Constraint& c) { return c.references(v); });
+}
+
+void System::substitute(VarId v, const LinExpr& replacement) {
+  std::vector<Constraint> old;
+  old.swap(constraints_);
+  for (Constraint& c : old) {
+    c.expr().substitute(v, replacement);
+    add(std::move(c));
+  }
+}
+
+bool System::holds(const std::function<i64(VarId)>& value) const {
+  if (provedEmpty_) return false;
+  return std::all_of(constraints_.begin(), constraints_.end(),
+                     [&](const Constraint& c) { return c.holds(value); });
+}
+
+std::string System::toString() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i) os << ", ";
+    os << constraints_[i].toString(*space_);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace spmd::poly

@@ -1,0 +1,91 @@
+// A system (conjunction) of symbolic linear inequalities over a shared
+// VarSpace.  This is the representation the paper uses for local
+// definitions, nonlocal accesses, computation partitions, and the
+// communication queries built from them ([1], §3.2).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "poly/constraint.h"
+
+namespace spmd::poly {
+
+/// A total or partial integer assignment to variables.
+class Assignment {
+ public:
+  explicit Assignment(VarSpacePtr space) : space_(std::move(space)) {}
+
+  void set(VarId v, i64 value) { values_[v.index] = value; }
+  bool has(VarId v) const { return values_.count(v.index) != 0; }
+  i64 get(VarId v) const {
+    auto it = values_.find(v.index);
+    SPMD_CHECK(it != values_.end(), "assignment missing variable " +
+                                        space_->name(v));
+    return it->second;
+  }
+  std::size_t size() const { return values_.size(); }
+  const VarSpacePtr& space() const { return space_; }
+
+ private:
+  VarSpacePtr space_;
+  std::unordered_map<int, i64> values_;
+};
+
+class System {
+ public:
+  explicit System(VarSpacePtr space) : space_(std::move(space)) {
+    SPMD_CHECK(space_ != nullptr, "System requires a VarSpace");
+  }
+
+  const VarSpacePtr& space() const { return space_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  std::size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+
+  /// True once a trivially-false ground constraint has been added.
+  bool provedEmpty() const { return provedEmpty_; }
+
+  void add(Constraint c);
+  void addGE(LinExpr e) { add(Constraint::ge(std::move(e))); }
+  void addEQ(LinExpr e) { add(Constraint::eq(std::move(e))); }
+
+  /// lhs <= rhs
+  void addLE(const LinExpr& lhs, const LinExpr& rhs) { addGE(rhs - lhs); }
+  /// lo <= e <= hi
+  void addRange(const LinExpr& e, const LinExpr& lo, const LinExpr& hi) {
+    addLE(lo, e);
+    addLE(e, hi);
+  }
+  /// lhs == rhs
+  void addEquals(const LinExpr& lhs, const LinExpr& rhs) { addEQ(lhs - rhs); }
+
+  /// Conjunction with another system over the same VarSpace.
+  void append(const System& other);
+
+  /// All variables with a nonzero coefficient somewhere in the system.
+  std::vector<VarId> referencedVars() const;
+
+  bool references(VarId v) const;
+
+  /// Substitutes v := replacement in every constraint.
+  void substitute(VarId v, const LinExpr& replacement);
+
+  /// Checks the system under a total assignment.
+  bool holds(const std::function<i64(VarId)>& value) const;
+  bool holds(const Assignment& a) const {
+    return holds([&](VarId v) { return a.get(v); });
+  }
+
+  std::string toString() const;
+
+ private:
+  friend class Simplifier;
+
+  VarSpacePtr space_;
+  std::vector<Constraint> constraints_;
+  bool provedEmpty_ = false;
+};
+
+}  // namespace spmd::poly

@@ -1,0 +1,82 @@
+// Variable spaces for systems of symbolic linear inequalities.
+//
+// The paper sorts variables into a fixed scan order before Fourier–Motzkin
+// elimination: "symbolics, processors, loop index variables, and array
+// indices" (§3.2.1).  Elimination proceeds from the *end* of the scan order
+// (array indices are projected away first), so that the residual system is
+// over symbolics only and its consistency can be read off directly.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace spmd::poly {
+
+/// Classification of a variable, which determines its elimination priority.
+enum class VarKind {
+  Symbolic,    ///< program symbolics: N, P, block size B, ...
+  Processor,   ///< virtual processor ids: p, q
+  LoopIndex,   ///< loop induction variables: i, j, k
+  ArrayIndex,  ///< array dimension indices introduced for access equations
+  Aux,         ///< scratch variables introduced by transformations
+};
+
+const char* varKindName(VarKind kind);
+
+/// Elimination priority: higher values are eliminated earlier.
+/// Array indices go first, then loop indices, processors, symbolics; aux
+/// (stride-encoding) variables survive longest so that their equalities
+/// are used as unit-coefficient pivots (preserving divisibility).
+int eliminationPriority(VarKind kind);
+
+/// Strongly-typed variable identifier, an index into a VarSpace.
+struct VarId {
+  int index = -1;
+
+  bool valid() const { return index >= 0; }
+  friend auto operator<=>(VarId a, VarId b) = default;
+};
+
+/// A set of named, kind-tagged variables shared by related systems.
+///
+/// VarSpace is append-only: analyses may add scratch variables, but ids
+/// already handed out stay valid.  Systems built for one communication
+/// query share a single VarSpace so that their conjunction is meaningful.
+class VarSpace {
+ public:
+  VarId add(std::string name, VarKind kind) {
+    vars_.push_back(Info{std::move(name), kind});
+    return VarId{static_cast<int>(vars_.size()) - 1};
+  }
+
+  std::size_t size() const { return vars_.size(); }
+
+  const std::string& name(VarId v) const { return info(v).name; }
+  VarKind kind(VarId v) const { return info(v).kind; }
+
+  bool contains(VarId v) const {
+    return v.index >= 0 && static_cast<std::size_t>(v.index) < vars_.size();
+  }
+
+ private:
+  struct Info {
+    std::string name;
+    VarKind kind;
+  };
+
+  const Info& info(VarId v) const {
+    SPMD_CHECK(contains(v), "variable id out of range for this VarSpace");
+    return vars_[static_cast<std::size_t>(v.index)];
+  }
+
+  std::vector<Info> vars_;
+};
+
+using VarSpacePtr = std::shared_ptr<VarSpace>;
+
+}  // namespace spmd::poly

@@ -1,0 +1,97 @@
+// Barrier implementations for the SPMD runtime.
+//
+// CentralBarrier is the default: a sense-reversing centralized barrier
+// (one atomic counter + a per-episode sense flag).  TreeBarrier is a
+// software combining tree whose arrival cost grows logarithmically; the
+// barrier-cost microbenchmark (bench_fig_barriercost) compares the two
+// against counter pairs — the cost gap is the paper's motivation ([10]):
+// "executing a barrier has some run-time overhead that typically grows
+// quickly as the number of processors increases."
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace spmd::rt {
+
+/// Pad to a cache line to avoid false sharing between per-thread slots.
+struct alignas(64) PaddedAtomicU64 {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Bounded spin-then-yield wait loop shared by all synchronization
+/// primitives (oversubscribed hosts need the yield to make progress).
+inline void spinWait(const std::function<bool()>& done) {
+  int spins = 0;
+  while (!done()) {
+    if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    } else {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+
+  /// Blocks until all `parties` threads arrive.  Thread ids in [0, parties).
+  ///
+  /// If `serial` is non-null, the releasing thread runs `*serial` exactly
+  /// once per episode, after every thread has arrived and before any is
+  /// released — a serial section usable for publishing reduction results
+  /// and master-produced scalars race-free (every thread should pass an
+  /// equivalent callback; which one runs is unspecified).
+  virtual void arrive(int tid, const std::function<void()>* serial) = 0;
+  void arrive(int tid) { arrive(tid, nullptr); }
+
+  virtual int parties() const = 0;
+};
+
+/// Sense-reversing centralized barrier.
+class CentralBarrier final : public Barrier {
+ public:
+  explicit CentralBarrier(int parties) : parties_(parties) {
+    SPMD_CHECK(parties >= 1, "barrier needs at least one party");
+  }
+
+  using Barrier::arrive;
+  void arrive(int tid, const std::function<void()>* serial) override;
+  int parties() const override { return parties_; }
+
+ private:
+  int parties_;
+  std::atomic<int> count_{0};
+  // Episode number doubles as the "sense": arrivals compute their target
+  // episode from the current value, so no per-thread state is needed.
+  std::atomic<std::uint64_t> sense_{0};
+};
+
+/// Software combining-tree barrier (arity 2): arrival propagates up a
+/// tournament tree, release fans out down.
+class TreeBarrier final : public Barrier {
+ public:
+  explicit TreeBarrier(int parties);
+
+  using Barrier::arrive;
+  void arrive(int tid, const std::function<void()>* serial) override;
+  int parties() const override { return parties_; }
+
+ private:
+  int parties_;
+  // childDone_[node] counts arrived children; release epoch fans out.
+  std::vector<PaddedAtomicU64> arrived_;
+  std::vector<PaddedAtomicU64> release_;
+  std::vector<std::uint64_t> localEpoch_;
+};
+
+}  // namespace spmd::rt

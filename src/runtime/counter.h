@@ -1,0 +1,47 @@
+// Counter synchronization (paper §2): the cheaper alternative to barriers
+// for producer-consumer patterns.
+//
+// A CounterSync holds one padded atomic slot per processor.  Each processor
+// posts its own slot (incrementing it once per occurrence of the sync
+// point) and waits until designated producers' slots reach the same
+// occurrence number.  "Counters are similar to event synchronization [20]
+// but are more flexible... we also reduce overhead by only synchronizing
+// once between each pair of processors."
+#pragma once
+
+#include "runtime/barrier.h"
+
+namespace spmd::rt {
+
+class CounterSync {
+ public:
+  explicit CounterSync(int parties)
+      : slots_(static_cast<std::size_t>(parties)) {}
+
+  int parties() const { return static_cast<int>(slots_.size()); }
+
+  /// Producer side: publish that `tid` completed its `occurrence`-th visit.
+  void post(int tid, std::uint64_t occurrence) {
+    slots_[static_cast<std::size_t>(tid)].value.store(
+        occurrence, std::memory_order_release);
+  }
+
+  /// Consumer side: block until `producer` has posted `occurrence`.
+  void wait(int producer, std::uint64_t occurrence) const {
+    const auto& slot = slots_[static_cast<std::size_t>(producer)].value;
+    spinWait([&] {
+      return slot.load(std::memory_order_acquire) >= occurrence;
+    });
+  }
+
+  /// Resets all slots (between region executions; caller must ensure no
+  /// thread is inside the counter).
+  void reset() {
+    for (auto& s : slots_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<PaddedAtomicU64> slots_;
+};
+
+}  // namespace spmd::rt

@@ -1,0 +1,44 @@
+#include "runtime/team.h"
+
+#include "runtime/barrier.h"
+
+namespace spmd::rt {
+
+ThreadTeam::ThreadTeam(int nthreads) : nthreads_(nthreads) {
+  SPMD_CHECK(nthreads >= 1, "team needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+  for (int tid = 1; tid < nthreads; ++tid)
+    workers_.emplace_back([this, tid] { workerLoop(tid); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(int)>& task) {
+  task_ = &task;
+  remaining_.store(nthreads_ - 1, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);  // broadcast
+  task(0);                                              // master participates
+  spinWait([&] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+  task_ = nullptr;
+}
+
+void ThreadTeam::workerLoop(int tid) {
+  std::uint64_t seen = 0;
+  while (true) {
+    spinWait([&] {
+      return generation_.load(std::memory_order_acquire) > seen;
+    });
+    seen = generation_.load(std::memory_order_acquire);
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    (*task_)(tid);
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace spmd::rt

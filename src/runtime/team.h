@@ -1,0 +1,62 @@
+// A persistent worker team implementing the hybrid fork-join/SPMD model.
+//
+// The master thread executes sequential program parts; run() broadcasts a
+// task to all team members (the master participates as processor 0) and
+// returns when every member finished — the fork-join join.  Workers park
+// in a spin-then-yield loop between tasks, so consecutive SPMD regions
+// reuse the same threads ("threads are always active" — paper §2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace spmd::rt {
+
+/// Dynamic synchronization counts, the paper's primary metric.
+struct SyncCounts {
+  std::uint64_t barriers = 0;      ///< barrier episodes executed
+  std::uint64_t broadcasts = 0;    ///< task broadcasts (forks/region entries)
+  std::uint64_t counterPosts = 0;  ///< counter post operations (all procs)
+  std::uint64_t counterWaits = 0;  ///< counter wait operations (all procs)
+
+  SyncCounts& operator+=(const SyncCounts& o) {
+    barriers += o.barriers;
+    broadcasts += o.broadcasts;
+    counterPosts += o.counterPosts;
+    counterWaits += o.counterWaits;
+    return *this;
+  }
+};
+
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(int nthreads);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return nthreads_; }
+
+  /// Broadcasts `task` to all processors (master runs it as tid 0) and
+  /// joins.  The join is release-acquire: worker effects are visible to
+  /// the master afterwards.
+  void run(const std::function<void(int)>& task);
+
+ private:
+  void workerLoop(int tid);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> remaining_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace spmd::rt

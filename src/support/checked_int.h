@@ -1,0 +1,73 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// Fourier–Motzkin elimination multiplies constraint coefficients together;
+// on pathological systems intermediate values can overflow int64.  All
+// arithmetic in src/poly goes through these helpers, which compute in
+// 128 bits and throw spmd::Error on overflow rather than silently wrapping
+// (a wrapped coefficient would make the compiler unsound: it could report
+// "no communication" and drop a barrier that is actually required).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "support/diag.h"
+
+namespace spmd {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+inline i64 checkedNarrow(i128 v) {
+  SPMD_CHECK(v >= static_cast<i128>(INT64_MIN) &&
+                 v <= static_cast<i128>(INT64_MAX),
+             "integer overflow in linear-inequality arithmetic");
+  return static_cast<i64>(v);
+}
+
+inline i64 addChecked(i64 a, i64 b) {
+  return checkedNarrow(static_cast<i128>(a) + static_cast<i128>(b));
+}
+
+inline i64 subChecked(i64 a, i64 b) {
+  return checkedNarrow(static_cast<i128>(a) - static_cast<i128>(b));
+}
+
+inline i64 mulChecked(i64 a, i64 b) {
+  return checkedNarrow(static_cast<i128>(a) * static_cast<i128>(b));
+}
+
+inline i64 negChecked(i64 a) {
+  SPMD_CHECK(a != INT64_MIN, "integer overflow negating INT64_MIN");
+  return -a;
+}
+
+/// Greatest common divisor of |a| and |b|; gcd(0,0) == 0.
+inline i64 gcd64(i64 a, i64 b) {
+  if (a < 0) a = negChecked(a);
+  if (b < 0) b = negChecked(b);
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// floor(a / b) for b > 0.
+inline i64 floorDiv(i64 a, i64 b) {
+  SPMD_ASSERT(b > 0, "floorDiv requires positive divisor");
+  i64 q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+/// ceil(a / b) for b > 0.
+inline i64 ceilDiv(i64 a, i64 b) {
+  SPMD_ASSERT(b > 0, "ceilDiv requires positive divisor");
+  i64 q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+}  // namespace spmd

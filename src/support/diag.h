@@ -1,0 +1,47 @@
+// Diagnostics: checked assertions and error reporting for the spmdsync
+// library.  Analysis code uses SPMD_CHECK for conditions that depend on
+// user-supplied programs (recoverable, throws spmd::Error); SPMD_ASSERT
+// guards internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spmd {
+
+/// Base error type thrown by all spmdsync components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raiseCheckFailure(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace spmd
+
+/// Recoverable precondition check; throws spmd::Error on failure.
+#define SPMD_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::spmd::detail::raiseCheckFailure(#cond, __FILE__, __LINE__,          \
+                                        std::string(msg));                  \
+  } while (0)
+
+/// Internal invariant; failure indicates a bug in spmdsync itself.
+#define SPMD_ASSERT(cond, msg) SPMD_CHECK(cond, msg)
+
+/// Marks unreachable control flow.
+#define SPMD_UNREACHABLE(msg)                                               \
+  ::spmd::detail::raiseCheckFailure("unreachable", __FILE__, __LINE__,      \
+                                    std::string(msg))

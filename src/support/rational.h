@@ -1,0 +1,88 @@
+// Exact rational numbers over checked 64-bit integers.
+//
+// Used by the inequality engine when computing variable bounds during
+// integer-point sampling and when comparing Fourier–Motzkin shadow bounds.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+#include "support/checked_int.h"
+
+namespace spmd {
+
+class Rational {
+ public:
+  Rational() = default;
+  Rational(i64 value) : num_(value), den_(1) {}  // NOLINT: implicit by design
+  Rational(i64 num, i64 den) : num_(num), den_(den) {
+    SPMD_CHECK(den != 0, "rational with zero denominator");
+    normalize();
+  }
+
+  i64 num() const { return num_; }
+  i64 den() const { return den_; }
+
+  bool isInteger() const { return den_ == 1; }
+
+  /// Largest integer <= *this.
+  i64 floor() const { return floorDiv(num_, den_); }
+  /// Smallest integer >= *this.
+  i64 ceil() const { return ceilDiv(num_, den_); }
+
+  Rational operator-() const { return Rational(negChecked(num_), den_); }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return Rational(addChecked(mulChecked(a.num_, b.den_),
+                               mulChecked(b.num_, a.den_)),
+                    mulChecked(a.den_, b.den_));
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return a + (-b);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return Rational(mulChecked(a.num_, b.num_), mulChecked(a.den_, b.den_));
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    SPMD_CHECK(b.num_ != 0, "rational division by zero");
+    return Rational(mulChecked(a.num_, b.den_), mulChecked(a.den_, b.num_));
+  }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b) {
+    // Cross-multiply in 128 bits; denominators are kept positive.
+    i128 lhs = static_cast<i128>(a.num_) * b.den_;
+    i128 rhs = static_cast<i128>(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    os << r.num_;
+    if (r.den_ != 1) os << "/" << r.den_;
+    return os;
+  }
+
+ private:
+  void normalize() {
+    if (den_ < 0) {
+      num_ = negChecked(num_);
+      den_ = negChecked(den_);
+    }
+    i64 g = gcd64(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  i64 num_ = 0;
+  i64 den_ = 1;
+};
+
+}  // namespace spmd

@@ -1,0 +1,79 @@
+// Minimal aligned text-table printer used by the benchmark harnesses to
+// emit paper-style result tables.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spmd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: stream-format arbitrary cell values.
+  template <typename... Ts>
+  void addRowValues(const Ts&... values) {
+    std::vector<std::string> cells;
+    (cells.push_back(toCell(values)), ...);
+    addRow(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto line = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        os << (c == 0 ? "" : "  ") << std::left << std::setw(int(width[c]))
+           << cell;
+      }
+      os << "\n";
+    };
+    line(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+      total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+  template <typename T>
+  static std::string toCell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (bench output helper).
+inline std::string fixed(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Formats a ratio as a percentage string, e.g. 0.29 -> "29.0%".
+inline std::string percent(double ratio, int precision = 1) {
+  return fixed(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace spmd

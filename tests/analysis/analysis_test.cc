@@ -1,0 +1,261 @@
+// Unit tests for reference collection and dependence queries.
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.h"
+#include "ir/builder.h"
+
+namespace spmd::analysis {
+namespace {
+
+using ir::ArrayHandle;
+using ir::Builder;
+using ir::Ix;
+using ir::ScalarHandle;
+
+TEST(AccessCollection, GathersDefsAndRefsWithLoopChains) {
+  Builder b("acc");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 2});
+  ArrayHandle C = b.array("C", {N + 2});
+  const ir::Stmt* loop = b.parFor("i", 1, N, [&](Ix i) {
+    b.assign(C(i), A(i - 1) + A(i + 1));
+  });
+  ir::Program p = b.finish();
+
+  AccessSet acc = collectAccesses(*loop);
+  // 1 write (C) + 2 reads (A).
+  ASSERT_EQ(acc.arrays.size(), 3u);
+  EXPECT_EQ(acc.writes().size(), 1u);
+  EXPECT_EQ(acc.reads().size(), 2u);
+  EXPECT_EQ(acc.writes()[0]->array, C.id());
+  for (const Access& a : acc.arrays) {
+    ASSERT_EQ(a.loops.size(), 1u);
+    EXPECT_EQ(a.loops[0], loop);
+  }
+  EXPECT_EQ(enclosingParallelLoop(acc.arrays[0]), loop);
+}
+
+TEST(AccessCollection, ReductionAccessesReadTheTarget) {
+  Builder b("red");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle s = b.scalar("s");
+  const ir::Stmt* loop =
+      b.parFor("i", 0, N, [&](Ix i) { b.reduceSum(s, A(i)); });
+  ir::Program p = b.finish();
+
+  AccessSet acc = collectAccesses(*loop);
+  // Scalar: one write + one (implicit) read of s.
+  ASSERT_EQ(acc.scalars.size(), 2u);
+  EXPECT_TRUE(acc.scalars[0].isWrite);
+  EXPECT_EQ(acc.scalars[0].reduction, ir::ReductionOp::Sum);
+  EXPECT_FALSE(acc.scalars[1].isWrite);
+  EXPECT_TRUE(acc.writesScalars());
+  // Array: one read of A.
+  ASSERT_EQ(acc.arrays.size(), 1u);
+  EXPECT_FALSE(acc.arrays[0].isWrite);
+}
+
+TEST(AccessCollection, OuterLoopPrefixIsPreserved) {
+  Builder b("prefix");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1, N + 1});
+  const ir::Stmt* outer = nullptr;
+  const ir::Stmt* inner = nullptr;
+  outer = b.seqFor("t", 1, N, [&](Ix t) {
+    inner = b.parFor("i", 0, N, [&](Ix i) { b.assign(A(t, i), 1.0); });
+  });
+  ir::Program p = b.finish();
+
+  AccessSet acc = collectAccesses(*inner, {outer});
+  ASSERT_EQ(acc.arrays.size(), 1u);
+  ASSERT_EQ(acc.arrays[0].loops.size(), 2u);
+  EXPECT_EQ(acc.arrays[0].loops[0], outer);
+  EXPECT_EQ(acc.arrays[0].loops[1], inner);
+}
+
+TEST(AccessCollection, MergeCombinesLists) {
+  Builder b("merge");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  const ir::Stmt* l1 = b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  const ir::Stmt* l2 = b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), 2.0); });
+  ir::Program p = b.finish();
+  AccessSet a = collectAccesses(*l1);
+  AccessSet c = collectAccesses(*l2);
+  a.merge(c);
+  EXPECT_EQ(a.arrays.size(), 2u);
+}
+
+class DependenceTest : public ::testing::Test {
+ protected:
+  struct TwoLoops {
+    ir::Program prog;
+    const ir::Stmt* l1;
+    const ir::Stmt* l2;
+    AccessSet g1, g2;
+  };
+
+  /// Two parallel loops: A(i+shift1) written, A(i+shift2) read.
+  TwoLoops make(i64 writeShift, i64 readShift) {
+    Builder b("dep");
+    Ix N = b.sym("N", 8);
+    ArrayHandle A = b.array("A", {N + 4});
+    ArrayHandle C = b.array("C", {N + 4});
+    const ir::Stmt* l1 = b.parFor(
+        "i", 1, N, [&](Ix i) { b.assign(A(i + writeShift), 1.0); });
+    const ir::Stmt* l2 = b.parFor(
+        "j", 1, N, [&](Ix j) { b.assign(C(j), A(j + readShift)); });
+    TwoLoops out{b.finish(), l1, l2, {}, {}};
+    out.g1 = collectAccesses(*out.l1);
+    out.g2 = collectAccesses(*out.l2);
+    return out;
+  }
+
+  poly::System base(const ir::Program& p) { return p.symbolicContext(); }
+};
+
+TEST_F(DependenceTest, OverlappingRangesDepend) {
+  TwoLoops t = make(0, 0);
+  EXPECT_TRUE(mayDepend(t.prog, *t.g1.writes()[0], *t.g2.reads()[0], {}, -1,
+                        LevelRel::Equal, base(t.prog)));
+}
+
+TEST_F(DependenceTest, DisjointShiftedRangesDoNotDepend) {
+  // Writes A(1..N), reads A(N+2..2N+1)?? — use a shift beyond the loop
+  // range: write A(i), read A(j + N + 1): ranges [1,N] vs [N+2, 2N+1].
+  Builder b("dep2");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {3 * N});
+  ArrayHandle C = b.array("C", {3 * N});
+  const ir::Stmt* l1 = b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  const ir::Stmt* l2 =
+      b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j + N + 1)); });
+  ir::Program p = b.finish();
+  AccessSet g1 = collectAccesses(*l1);
+  AccessSet g2 = collectAccesses(*l2);
+  EXPECT_FALSE(mayDepend(p, *g1.writes()[0], *g2.reads()[0], {}, -1,
+                         LevelRel::Equal, p.symbolicContext()));
+}
+
+TEST_F(DependenceTest, ReadReadNeverDepends) {
+  TwoLoops t = make(0, 0);
+  EXPECT_FALSE(mayDepend(t.prog, *t.g2.reads()[0], *t.g2.reads()[0], {}, -1,
+                         LevelRel::Equal, base(t.prog)));
+}
+
+TEST_F(DependenceTest, DifferentArraysNeverDepend) {
+  TwoLoops t = make(0, 0);
+  // C write vs A read.
+  EXPECT_FALSE(mayDepend(t.prog, *t.g2.writes()[0], *t.g2.reads()[0], {}, -1,
+                         LevelRel::Equal, base(t.prog)));
+}
+
+TEST_F(DependenceTest, ClassifyKinds) {
+  TwoLoops t = make(0, 0);
+  const Access& w = *t.g1.writes()[0];
+  const Access& r = *t.g2.reads()[0];
+  EXPECT_EQ(classifyDep(w, r), DepKind::Flow);
+  EXPECT_EQ(classifyDep(r, w), DepKind::Anti);
+  EXPECT_EQ(classifyDep(w, w), DepKind::Output);
+}
+
+TEST(DependenceLevels, CrossIterationRelations) {
+  // DO t { DOALL i: A(t, i) = A(t-1, i) }: flow crosses exactly one t.
+  Builder b("lvl");
+  Ix N = b.sym("N", 4);
+  Ix T = b.sym("T", 4);
+  ArrayHandle A = b.array("A", {T + 2, N + 2});
+  const ir::Stmt* seq = nullptr;
+  seq = b.seqFor("t", 1, T, [&](Ix t) {
+    b.parFor("i", 1, N, [&](Ix i) { b.assign(A(t, i), A(t - 1, i) + 1.0); });
+  });
+  ir::Program p = b.finish();
+  AccessSet body = collectAccesses(*seq->loop().body[0], {seq});
+  const Access& w = *body.writes()[0];
+  const Access& r = *body.reads()[0];
+
+  // Same iteration: write row t, read row t-1: no loop-independent dep.
+  EXPECT_FALSE(
+      mayDepend(p, w, r, {seq}, 0, LevelRel::Equal, p.symbolicContext()));
+  // One iteration later: dep.
+  EXPECT_TRUE(
+      mayDepend(p, w, r, {seq}, 0, LevelRel::LaterByOne, p.symbolicContext()));
+  EXPECT_TRUE(
+      mayDepend(p, w, r, {seq}, 0, LevelRel::LaterAny, p.symbolicContext()));
+  // Two or more iterations later: row t vs t'-1 with t' >= t+2: no dep.
+  EXPECT_FALSE(mayDepend(p, w, r, {seq}, 0, LevelRel::LaterBeyondOne,
+                         p.symbolicContext()));
+}
+
+TEST(DependenceLevels, StridedAccessUsesExactGcd) {
+  // Write A(2i), read A(2j+1): never equal (GCD filter inside the system).
+  Builder b("gcd");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {4 * N});
+  ArrayHandle C = b.array("C", {4 * N});
+  const ir::Stmt* l1 =
+      b.parFor("i", 1, N, [&](Ix i) { b.assign(A(2 * i), 1.0); });
+  const ir::Stmt* l2 =
+      b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(2 * j + 1)); });
+  ir::Program p = b.finish();
+  AccessSet g1 = collectAccesses(*l1);
+  AccessSet g2 = collectAccesses(*l2);
+  EXPECT_FALSE(mayDepend(p, *g1.writes()[0], *g2.reads()[0], {}, -1,
+                         LevelRel::Equal, p.symbolicContext()));
+}
+
+TEST(DependenceLevels, StridedLoopDependence) {
+  // seq loop i = 1..N step 2 writes A(i); parallel loop reads A(j) for all
+  // j: dependence exists (odd elements).
+  Builder b("stride");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {2 * N});
+  ArrayHandle C = b.array("C", {2 * N});
+  const ir::Stmt* l1 =
+      b.seqFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); }, /*step=*/2);
+  const ir::Stmt* l2 =
+      b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j)); });
+  ir::Program p = b.finish();
+  AccessSet g1 = collectAccesses(*l1);
+  AccessSet g2 = collectAccesses(*l2);
+  EXPECT_TRUE(mayDepend(p, *g1.writes()[0], *g2.reads()[0], {}, -1,
+                        LevelRel::Equal, p.symbolicContext()));
+
+  // But a reader of only even elements does not depend on the odd writer:
+  // read A(2j).
+  Builder b2("stride2");
+  Ix N2 = b2.sym("N", 8);
+  ArrayHandle A2 = b2.array("A", {4 * N2});
+  ArrayHandle C2 = b2.array("C", {4 * N2});
+  const ir::Stmt* w2 =
+      b2.seqFor("i", 1, N2, [&](Ix i) { b2.assign(A2(i), 1.0); }, /*step=*/2);
+  const ir::Stmt* r2 =
+      b2.parFor("j", 1, N2, [&](Ix j) { b2.assign(C2(j), A2(2 * j)); });
+  ir::Program p2 = b2.finish();
+  AccessSet gg1 = collectAccesses(*w2);
+  AccessSet gg2 = collectAccesses(*r2);
+  EXPECT_FALSE(mayDepend(p2, *gg1.writes()[0], *gg2.reads()[0], {}, -1,
+                         LevelRel::Equal, p2.symbolicContext()));
+}
+
+TEST(DepQueryBuilderTest, RenameLeavesSymbolicsAlone) {
+  Builder b("ren");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2});
+  const ir::Stmt* l1 =
+      b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  ir::Program p = b.finish();
+  AccessSet g = collectAccesses(*l1);
+
+  DepQueryBuilder q(p, p.symbolicContext(), {}, -1, LevelRel::Equal);
+  std::vector<poly::LinExpr> subs = q.instantiate(g.arrays[0], 0);
+  ASSERT_EQ(subs.size(), 1u);
+  // The renamed subscript references the fresh loop var, not the original.
+  poly::VarId fresh = q.varFor(l1, 0);
+  EXPECT_TRUE(subs[0].references(fresh));
+  EXPECT_FALSE(subs[0].references(l1->loop().index));
+}
+
+}  // namespace
+}  // namespace spmd::analysis

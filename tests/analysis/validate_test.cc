@@ -1,0 +1,145 @@
+// Tests for the parallel-annotation validator.
+#include <gtest/gtest.h>
+
+#include "analysis/validate.h"
+#include "ir/builder.h"
+
+namespace spmd::analysis {
+namespace {
+
+using ir::ArrayHandle;
+using ir::Builder;
+using ir::Ix;
+using ir::ScalarHandle;
+
+TEST(Validate, CleanDoallPasses) {
+  Builder b("ok");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2});
+  ArrayHandle C = b.array("C", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(C(i), A(i - 1) + A(i + 1)); });
+  ir::Program p = b.finish();
+  EXPECT_TRUE(validateProgram(p).empty());
+  EXPECT_NO_THROW(validateProgramOrThrow(p));
+}
+
+TEST(Validate, CarriedFlowDependenceDetected) {
+  // A(i) = A(i-1): a loop-carried recurrence is not a DOALL.
+  Builder b("bad");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), A(i - 1) + 1.0); });
+  ir::Program p = b.finish();
+  std::vector<ValidationIssue> issues = validateProgram(p);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::CarriedArrayDependence);
+  EXPECT_NE(issues[0].detail.find("flow"), std::string::npos);
+  EXPECT_THROW(validateProgramOrThrow(p), Error);
+}
+
+TEST(Validate, CarriedAntiDependenceDetected) {
+  // A(i) = A(i+1): reads the element a later iteration overwrites.
+  Builder b("anti");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), A(i + 1)); });
+  ir::Program p = b.finish();
+  std::vector<ValidationIssue> issues = validateProgram(p);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::CarriedArrayDependence);
+}
+
+TEST(Validate, CarriedOutputDependenceDetected) {
+  // All iterations write A(0): output dependence.
+  Builder b("out");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) {
+    (void)i;
+    b.assign(A(Ix(0)), toExpr(i));
+  });
+  ir::Program p = b.finish();
+  std::vector<ValidationIssue> issues = validateProgram(p);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::CarriedArrayDependence);
+}
+
+TEST(Validate, RowLocalRecurrenceInsideDoallIsFine) {
+  // DOALL i { DO j: A(i,j) = A(i,j-1) }: recurrence carried by the inner
+  // *sequential* loop only.
+  Builder b("rowlocal");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2, N + 2});
+  b.parFor("i", 1, N, [&](Ix i) {
+    b.seqFor("j", 1, N, [&](Ix j) { b.assign(A(i, j), A(i, j - 1)); });
+  });
+  ir::Program p = b.finish();
+  EXPECT_TRUE(validateProgram(p).empty());
+}
+
+TEST(Validate, WavefrontOuterSeqLoopIsFine) {
+  // DO i { DOALL j: A(i,j) = A(i-1,j) }: carried by the outer sequential
+  // loop; the DOALL itself is clean.
+  Builder b("wave");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 2, N + 2});
+  b.seqFor("i", 1, N, [&](Ix i) {
+    b.parFor("j", 1, N, [&](Ix j) { b.assign(A(i, j), A(i - 1, j)); });
+  });
+  ir::Program p = b.finish();
+  EXPECT_TRUE(validateProgram(p).empty());
+}
+
+TEST(Validate, ScalarReductionInsideDoallIsFine) {
+  Builder b("red");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle s = b.scalar("s");
+  b.parFor("i", 0, N, [&](Ix i) { b.reduceSum(s, A(i)); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), toExpr(s)); });
+  ir::Program p = b.finish();
+  EXPECT_TRUE(validateProgram(p).empty());
+}
+
+TEST(Validate, EscapingPrivateScalarDetected) {
+  // tmp written in the DOALL, read after the loop: which iteration's
+  // value?  Undefined under privatization.
+  Builder b("escape");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle tmp = b.scalar("tmp");
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(tmp, A(i)); });
+  b.assign(A(Ix(0)), toExpr(tmp));
+  ir::Program p = b.finish();
+  std::vector<ValidationIssue> issues = validateProgram(p);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, ValidationIssue::Kind::EscapingPrivateScalar);
+}
+
+TEST(Validate, PrivateScalarUsedWithinLoopIsFine) {
+  Builder b("priv");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle tmp = b.scalar("tmp");
+  b.parFor("i", 0, N, [&](Ix i) {
+    b.assign(tmp, A(i) * 2.0);
+    b.assign(A(i), toExpr(tmp) + 1.0);
+  });
+  ir::Program p = b.finish();
+  EXPECT_TRUE(validateProgram(p).empty());
+}
+
+TEST(Validate, IssueKindNames) {
+  EXPECT_STREQ(validationIssueKindName(
+                   ValidationIssue::Kind::CarriedArrayDependence),
+               "carried-array-dependence");
+  EXPECT_STREQ(
+      validationIssueKindName(ValidationIssue::Kind::EscapingPrivateScalar),
+      "escaping-private-scalar");
+  EXPECT_STREQ(
+      validationIssueKindName(ValidationIssue::Kind::SubscriptRankMismatch),
+      "subscript-rank-mismatch");
+}
+
+}  // namespace
+}  // namespace spmd::analysis

@@ -1,0 +1,275 @@
+// Executor and printer tests: guarded/replicated node semantics, scalar
+// finalization, reductions under both execution modes, zero-trip loops,
+// and the SPMD pretty printer.
+#include <gtest/gtest.h>
+
+#include "codegen/spmd_executor.h"
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "core/report.h"
+#include "ir/seq_executor.h"
+#include "ir/builder.h"
+
+namespace spmd::cg {
+namespace {
+
+using ir::ArrayHandle;
+using ir::Builder;
+using ir::Ix;
+using ir::ScalarHandle;
+
+struct Built {
+  std::unique_ptr<ir::Program> prog;
+  std::unique_ptr<part::Decomposition> decomp;
+
+  ir::SymbolBindings bind(i64 n) const {
+    ir::SymbolBindings out;
+    for (const ir::SymbolicInfo& s : prog->symbolics())
+      out[s.var.index] = n;
+    return out;
+  }
+};
+
+Built finishBlock(Builder& b, const std::vector<ArrayHandle>& arrays) {
+  Built out;
+  out.prog = std::make_unique<ir::Program>(b.finish());
+  out.decomp = std::make_unique<part::Decomposition>(*out.prog);
+  for (const ArrayHandle& a : arrays)
+    out.decomp->distribute(a.id(), 0, part::DistKind::Block);
+  return out;
+}
+
+void expectMatchesSequential(const Built& built, i64 n, int threads,
+                             double tol = 0.0) {
+  ir::SymbolBindings symbols = built.bind(n);
+  ir::Store ref = ir::runSequential(*built.prog, symbols);
+
+  RunResult fj = runForkJoin(*built.prog, *built.decomp, symbols, threads);
+  EXPECT_LE(ir::Store::maxAbsDifference(ref, fj.store), tol) << "fork-join";
+
+  core::SyncOptimizer opt(*built.prog, *built.decomp);
+  core::RegionProgram plan = opt.run();
+  RunResult rg =
+      runRegions(*built.prog, *built.decomp, plan, symbols, threads);
+  EXPECT_LE(ir::Store::maxAbsDifference(ref, rg.store), tol) << "regions";
+}
+
+TEST(Executor, GuardedBoundaryUpdateBetweenLoops) {
+  // A guarded A(0) = 99 between two parallel loops; the owner of element 0
+  // must perform it exactly once.
+  Builder b("guarded");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 2});
+  ArrayHandle C = b.array("C", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0 * i); });
+  b.assign(A(Ix(0)), 99.0);
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(C(j), A(j) * 2.0); });
+  Built built = finishBlock(b, {A, C});
+  for (int threads : {1, 3, 4}) expectMatchesSequential(built, 16, threads);
+}
+
+TEST(Executor, ReplicatedScalarFeedsParallelLoop) {
+  Builder b("repl");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle alpha = b.scalar("alpha", 0.0);
+  b.assign(alpha, 2.5);
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), toExpr(alpha) * i); });
+  Built built = finishBlock(b, {A});
+  for (int threads : {1, 4}) expectMatchesSequential(built, 12, threads);
+}
+
+TEST(Executor, GuardedScalarBroadcastViaCounter) {
+  // probe = A(0) is guarded to processor 0 and consumed by everyone; the
+  // boundary gets a master counter (or barrier) and the refresh must
+  // deliver the value.
+  Builder b("probe");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  ScalarHandle probe = b.scalar("probe", 0.0);
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 3.0 + i); });
+  b.assign(probe, A(Ix(0)) + 1.0);
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(C(j), toExpr(probe) + j); });
+  Built built = finishBlock(b, {A, C});
+  for (int threads : {1, 2, 4, 6}) expectMatchesSequential(built, 16, threads);
+}
+
+TEST(Executor, SumAndMaxReductionsBothModes) {
+  Builder b("reds");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle total = b.scalar("total", 100.0);  // nonzero incoming value
+  ScalarHandle peak = b.scalar("peak", -1.0);
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0 * i); });
+  b.parFor("j", 0, N, [&](Ix j) {
+    b.reduceSum(total, A(j));
+    b.reduceMax(peak, A(j));
+  });
+  b.parFor("k", 0, N, [&](Ix k) {
+    b.assign(A(k), toExpr(total) + peak);
+  });
+  Built built = finishBlock(b, {A});
+  for (int threads : {1, 3, 4}) expectMatchesSequential(built, 16, threads, 1e-9);
+}
+
+TEST(Executor, ReductionAfterReplicatedReset) {
+  // The dot_reduction pattern: dot = 0 (replicated, private) then a sum
+  // reduction; the combine must start from the replicated private value,
+  // not the stale shared slot.
+  Builder b("reset");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle dot = b.scalar("dot", 0.0);
+  b.parFor("i0", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.seqFor("t", 1, 3, [&](Ix) {
+    b.assign(dot, 0.0);
+    b.parFor("i", 0, N, [&](Ix i) { b.reduceSum(dot, A(i)); });
+    b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), A(j) + 1.0 / (1.0 + dot)); });
+  });
+  Built built = finishBlock(b, {A});
+  for (int threads : {1, 4}) expectMatchesSequential(built, 16, threads, 1e-9);
+}
+
+TEST(Executor, ZeroTripSeqLoopInsideRegion) {
+  // DO t = 2, 1 executes nothing; the region must still run correctly.
+  Builder b("zt");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.seqFor("t", 2, 1, [&](Ix) {
+    b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), 7.0); });
+  });
+  Built built = finishBlock(b, {A});
+  expectMatchesSequential(built, 8, 4);
+}
+
+TEST(Executor, EmptyParallelLoopRange) {
+  Builder b("empty");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  // Empty: lb > ub.
+  b.parFor("i", 5, 4, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), 2.0); });
+  Built built = finishBlock(b, {A});
+  expectMatchesSequential(built, 8, 4);
+}
+
+TEST(Executor, MoreThreadsThanIterations) {
+  Builder b("tiny");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 1});
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0 + i); });
+  Built built = finishBlock(b, {A});
+  expectMatchesSequential(built, 4, 8);  // 5 iterations, 8 threads
+}
+
+TEST(Executor, BlockCyclicDistributionExecutesCorrectly) {
+  // Under BLOCK_CYCLIC the analysis keeps every barrier, but execution
+  // (owners dealt round-robin in blocks of 2) must still match sequential.
+  Builder b("bc");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 2});
+  ArrayHandle C = b.array("C", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0 + i); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j - 1) + A(j + 1)); });
+  Built built;
+  built.prog = std::make_unique<ir::Program>(b.finish());
+  built.decomp = std::make_unique<part::Decomposition>(*built.prog);
+  built.decomp->distribute(A.id(), 0, part::DistKind::BlockCyclic, 0, 2);
+  built.decomp->distribute(C.id(), 0, part::DistKind::BlockCyclic, 0, 2);
+
+  core::SyncOptimizer opt(*built.prog, *built.decomp);
+  core::RegionProgram plan = opt.run();
+  EXPECT_EQ(opt.stats().barriers, 1u) << "analysis must stay conservative";
+  for (int threads : {1, 3, 4}) expectMatchesSequential(built, 16, threads);
+}
+
+TEST(Executor, CyclicRangePartitionExecutesAllIterations) {
+  Builder b("cyc");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  const ir::Stmt* loop =
+      b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0 + i); });
+  Built built = finishBlock(b, {A});
+  built.decomp->setLoopPartition(
+      loop, part::LoopPartition{part::LoopPartition::Kind::CyclicRange, {}});
+  expectMatchesSequential(built, 16, 4);
+}
+
+TEST(Executor, SyncCountsForNestedSeqLoops) {
+  // DO t(3) { DO k(2) { DOALL } }: fork-join barriers = 6; the optimized
+  // plan for an aligned body eliminates everything but the join.
+  Builder b("nest");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  b.seqFor("t", 1, 3, [&](Ix) {
+    b.seqFor("k", 1, 2, [&](Ix) {
+      b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), A(i) + 1.0); });
+    });
+  });
+  Built built = finishBlock(b, {A});
+  ir::SymbolBindings symbols = built.bind(8);
+
+  RunResult fj = runForkJoin(*built.prog, *built.decomp, symbols, 4);
+  EXPECT_EQ(fj.counts.barriers, 6u);
+  EXPECT_EQ(fj.counts.broadcasts, 6u);
+
+  core::SyncOptimizer opt(*built.prog, *built.decomp);
+  core::RegionProgram plan = opt.run();
+  RunResult rg = runRegions(*built.prog, *built.decomp, plan, symbols, 4);
+  EXPECT_EQ(rg.counts.barriers, 1u) << "A(i) += 1 is fully local";
+  EXPECT_EQ(rg.counts.broadcasts, 1u);
+}
+
+TEST(Printer, AnnotatedSpmdListing) {
+  Builder b("plist");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j - 1)); });
+  Built built = finishBlock(b, {A, C});
+
+  core::SyncOptimizer opt(*built.prog, *built.decomp);
+  core::RegionProgram plan = opt.run();
+  std::string text = printSpmdProgram(*built.prog, *built.decomp, plan);
+  EXPECT_NE(text.find("SPMD region 0"), std::string::npos);
+  EXPECT_NE(text.find("owner-computes on A [block]"), std::string::npos);
+  EXPECT_NE(text.find("COUNTER post(me), wait(me-1)"), std::string::npos);
+  EXPECT_NE(text.find("region join (BARRIER)"), std::string::npos);
+}
+
+TEST(Report, ReasonsExplainDecisions) {
+  Builder b("rep");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 2});
+  ArrayHandle C = b.array("C", {N + 2});
+  ArrayHandle D = b.array("D", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j) + 0.0); });       // none
+  b.parFor("k", 1, N, [&](Ix k) { b.assign(D(k), C(k - 1)); });        // counter
+  b.parFor("m", 1, N, [&](Ix m) { b.assign(A(m), D(N + 1 - m)); });    // barrier
+  Built built = finishBlock(b, {A, C, D});
+
+  core::SyncOptimizer opt(*built.prog, *built.decomp);
+  (void)opt.run();
+  ASSERT_EQ(opt.report().size(), 3u);
+  EXPECT_EQ(opt.report()[0].decision.kind, core::SyncPoint::Kind::None);
+  EXPECT_EQ(opt.report()[1].decision.kind, core::SyncPoint::Kind::Counter);
+  EXPECT_EQ(opt.report()[2].decision.kind, core::SyncPoint::Kind::Barrier);
+
+  std::string text = core::renderReport(opt.report());
+  EXPECT_NE(text.find("no cross-processor data movement"), std::string::npos);
+  EXPECT_NE(text.find("replaced barrier with counter"), std::string::npos);
+  EXPECT_NE(text.find("barrier required"), std::string::npos);
+  EXPECT_NE(text.find("between DOALL i and DOALL j"), std::string::npos);
+}
+
+TEST(Report, EmptyReport) {
+  EXPECT_NE(core::renderReport({}).find("no synchronization"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmd::cg

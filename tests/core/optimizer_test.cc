@@ -1,0 +1,322 @@
+// Unit tests for the greedy synchronization optimizer: boundary decisions,
+// group accumulation, back-edge handling, counter direction mapping, and
+// scalar-communication classification.
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "ir/builder.h"
+
+namespace spmd::core {
+namespace {
+
+using ir::ArrayHandle;
+using ir::Builder;
+using ir::Ix;
+using ir::ScalarHandle;
+
+struct Built {
+  std::unique_ptr<ir::Program> prog;
+  std::unique_ptr<part::Decomposition> decomp;
+};
+
+/// Builds and block-distributes every array on dim 0.
+Built finishBlock(Builder& b, const std::vector<ArrayHandle>& arrays) {
+  Built out;
+  out.prog = std::make_unique<ir::Program>(b.finish());
+  out.decomp = std::make_unique<part::Decomposition>(*out.prog);
+  for (const ArrayHandle& a : arrays)
+    out.decomp->distribute(a.id(), 0, part::DistKind::Block);
+  return out;
+}
+
+const SpmdRegion& onlyRegion(const RegionProgram& rp) {
+  for (const RegionProgram::Item& item : rp.items)
+    if (item.isRegion()) return *item.region;
+  throw Error("no region");
+}
+
+TEST(Optimizer, AlignedBoundaryEliminated) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(C(j), A(j)); });
+  Built built = finishBlock(b, {A, C});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  const SpmdRegion& r = onlyRegion(rp);
+  EXPECT_EQ(r.nodes[0].after.kind, SyncPoint::Kind::None);
+  EXPECT_EQ(opt.stats().eliminated, 1u);
+  EXPECT_EQ(opt.stats().barriers, 0u);
+}
+
+TEST(Optimizer, ShiftBoundaryBecomesCounterWaitingLeft) {
+  // Consumer reads A(j-1): producer is the left neighbor, so the consumer
+  // waits LEFT (right1 pattern maps to waitLeft).
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j - 1)); });
+  Built built = finishBlock(b, {A, C});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  const SpmdRegion& r = onlyRegion(rp);
+  ASSERT_EQ(r.nodes[0].after.kind, SyncPoint::Kind::Counter);
+  EXPECT_TRUE(r.nodes[0].after.waitLeft);
+  EXPECT_FALSE(r.nodes[0].after.waitRight);
+  EXPECT_EQ(opt.stats().counters, 1u);
+}
+
+TEST(Optimizer, ReverseShiftWaitsRight) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 2});
+  ArrayHandle C = b.array("C", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j + 1)); });
+  Built built = finishBlock(b, {A, C});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  const SpmdRegion& r = onlyRegion(rp);
+  ASSERT_EQ(r.nodes[0].after.kind, SyncPoint::Kind::Counter);
+  EXPECT_FALSE(r.nodes[0].after.waitLeft);
+  EXPECT_TRUE(r.nodes[0].after.waitRight);
+}
+
+TEST(Optimizer, CountersDisabledFallBackToBarrier) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j - 1)); });
+  Built built = finishBlock(b, {A, C});
+
+  OptimizerOptions options;
+  options.enableCounters = false;
+  SyncOptimizer opt(*built.prog, *built.decomp, options);
+  RegionProgram rp = opt.run();
+  EXPECT_EQ(onlyRegion(rp).nodes[0].after.kind, SyncPoint::Kind::Barrier);
+  EXPECT_EQ(opt.stats().counters, 0u);
+  EXPECT_EQ(opt.stats().barriers, 1u);
+}
+
+TEST(Optimizer, GroupAccumulatesAcrossEliminatedBoundary) {
+  // Loop 1 writes A; loop 2 is unrelated (D); loop 3 reads A(j-1).  The
+  // boundary before loop 3 must see loop 1's writes (group accumulation)
+  // and place a counter, even though loop 2 is in between.
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle D = b.array("D", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("k", 1, N, [&](Ix k) { b.assign(D(k), 2.0); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(j - 1)); });
+  Built built = finishBlock(b, {A, D, C});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  const SpmdRegion& r = onlyRegion(rp);
+  EXPECT_EQ(r.nodes[0].after.kind, SyncPoint::Kind::None);
+  EXPECT_EQ(r.nodes[1].after.kind, SyncPoint::Kind::Counter)
+      << "A's writes must still be visible to the boundary before loop 3";
+}
+
+TEST(Optimizer, BarrierResetsGroup) {
+  // Loop 1 writes A; loop 2 reads A reversed (general -> barrier);
+  // loop 3 reads A aligned.  After the barrier, loop1's writes are fenced,
+  // so the boundary before loop 3 tests only loop 2's accesses: C vs A
+  // aligned read -> eliminated.
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 2});
+  ArrayHandle C = b.array("C", {N + 2});
+  ArrayHandle E = b.array("E", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(C(j), A(N + 1 - j)); });
+  b.parFor("k", 1, N, [&](Ix k) { b.assign(E(k), A(k) + C(k)); });
+  Built built = finishBlock(b, {A, C, E});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  const SpmdRegion& r = onlyRegion(rp);
+  EXPECT_EQ(r.nodes[0].after.kind, SyncPoint::Kind::Barrier);
+  EXPECT_EQ(r.nodes[1].after.kind, SyncPoint::Kind::None)
+      << "post-barrier group must not re-test fenced accesses";
+}
+
+TEST(Optimizer, BackEdgeEliminatedWhenLocal) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  Ix T = b.sym("T", 2);
+  ArrayHandle A = b.array("A", {N + 2, N + 2});
+  b.seqFor("t", 1, T, [&](Ix) {
+    b.parFor("i", 1, N, [&](Ix i) {
+      b.seqFor("j", 1, N, [&](Ix j) {
+        b.assign(A(i, j), A(i, j - 1) + 1.0);  // row-local sweep
+      });
+    });
+  });
+  Built built = finishBlock(b, {A});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  const SpmdRegion& r = onlyRegion(rp);
+  EXPECT_EQ(r.nodes[0].backEdge.kind, SyncPoint::Kind::None);
+  EXPECT_EQ(opt.stats().backEdgesEliminated, 1u);
+}
+
+TEST(Optimizer, BackEdgePipelinedForWavefront) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 2, N + 2});
+  b.seqFor("i", 1, N, [&](Ix i) {
+    b.parFor("j", 1, N, [&](Ix j) {
+      b.assign(A(i, j), A(i - 1, j) + 1.0);
+    });
+  });
+  Built built = finishBlock(b, {A});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  const SpmdRegion& r = onlyRegion(rp);
+  ASSERT_EQ(r.nodes[0].backEdge.kind, SyncPoint::Kind::Counter);
+  EXPECT_TRUE(r.nodes[0].backEdge.waitLeft);
+  EXPECT_EQ(opt.stats().backEdgesPipelined, 1u);
+}
+
+TEST(Optimizer, BackEdgeBarrierWhenCommCrossesIterations) {
+  // Reads two rows up: communication spans two outer iterations, so
+  // pipelining is rejected (LaterBeyondOne feasible).
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 4, N + 4});
+  b.seqFor("i", 2, N, [&](Ix i) {
+    b.parFor("j", 1, N, [&](Ix j) {
+      b.assign(A(i, j), A(i - 2, j) + 1.0);
+    });
+  });
+  Built built = finishBlock(b, {A});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.run();
+  EXPECT_EQ(onlyRegion(rp).nodes[0].backEdge.kind, SyncPoint::Kind::Barrier);
+  EXPECT_EQ(opt.stats().backEdgesPipelined, 0u);
+}
+
+TEST(Optimizer, DependenceOnlyModeKeepsAlignedBarriers) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(C(j), A(j)); });
+  Built built = finishBlock(b, {A, C});
+
+  OptimizerOptions options;
+  options.analysisMode = comm::CommAnalyzer::Mode::DependenceOnly;
+  options.enableCounters = false;
+  SyncOptimizer opt(*built.prog, *built.decomp, options);
+  RegionProgram rp = opt.run();
+  EXPECT_EQ(onlyRegion(rp).nodes[0].after.kind, SyncPoint::Kind::Barrier);
+}
+
+TEST(ScalarCommTest, Classification) {
+  Builder b("p");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle alpha = b.scalar("alpha");
+  ScalarHandle probe = b.scalar("probe");
+  ScalarHandle acc = b.scalar("acc");
+  const ir::Stmt* repl = nullptr;
+  const ir::Stmt* guard = nullptr;
+  const ir::Stmt* reduce = nullptr;
+  const ir::Stmt* reader = nullptr;
+  b.assign(alpha, 1.5);
+  repl = b.program().topLevel().back().get();
+  b.assign(probe, A(Ix(0)));
+  guard = b.program().topLevel().back().get();
+  reduce = b.parFor("i", 0, N, [&](Ix i) { b.reduceSum(acc, A(i)); });
+  b.parFor("j", 0, N, [&](Ix j) {
+    b.assign(A(j), toExpr(alpha) + probe + acc);
+  });
+  reader = b.program().topLevel().back().get();
+  ir::Program p = b.finish();
+
+  using analysis::collectAccesses;
+  analysis::AccessSet replAcc = collectAccesses(*repl);
+  analysis::AccessSet guardAcc = collectAccesses(*guard);
+  analysis::AccessSet reduceAcc = collectAccesses(*reduce);
+  analysis::AccessSet readerAcc = collectAccesses(*reader);
+
+  EXPECT_EQ(scalarCommBetween(replAcc, readerAcc), ScalarComm::None)
+      << "replicated defs are private";
+  EXPECT_EQ(scalarCommBetween(guardAcc, readerAcc), ScalarComm::Master);
+  EXPECT_EQ(scalarCommBetween(reduceAcc, readerAcc), ScalarComm::General);
+  EXPECT_EQ(scalarCommBetween(readerAcc, replAcc), ScalarComm::None)
+      << "no scalar defs in an array-writing loop";
+}
+
+TEST(ScalarDefKindTest, PrivateInsideParallelLoop) {
+  Builder b("p");
+  Ix N = b.sym("N", 4);
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle tmp = b.scalar("tmp");
+  const ir::Stmt* loop = b.parFor("i", 0, N, [&](Ix i) {
+    b.assign(tmp, A(i) * 2.0);  // reads arrays BUT inside parallel loop
+    b.assign(A(i), toExpr(tmp) + 1.0);
+  });
+  ir::Program p = b.finish();
+  analysis::AccessSet acc = analysis::collectAccesses(*loop);
+  for (const analysis::ScalarAccess& s : acc.scalars) {
+    if (!s.isWrite) continue;
+    EXPECT_EQ(classifyScalarDef(s), ScalarDefKind::Private);
+  }
+}
+
+TEST(Optimizer, RunBarriersOnlyKeepsEverything) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(C(j), A(j)); });
+  Built built = finishBlock(b, {A, C});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  RegionProgram rp = opt.runBarriersOnly();
+  EXPECT_EQ(onlyRegion(rp).nodes[0].after.kind, SyncPoint::Kind::Barrier);
+  EXPECT_EQ(opt.stats().barriers, 1u);
+  EXPECT_EQ(opt.stats().eliminated, 0u);
+}
+
+TEST(Optimizer, StatsAccounting) {
+  Builder b("p");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 1});
+  ArrayHandle C = b.array("C", {N + 1});
+  ArrayHandle D = b.array("D", {N + 1});
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(C(j), A(j)); });
+  b.parFor("k", 0, N, [&](Ix k) { b.assign(D(k), C(k)); });
+  Built built = finishBlock(b, {A, C, D});
+
+  SyncOptimizer opt(*built.prog, *built.decomp);
+  (void)opt.run();
+  const OptStats& s = opt.stats();
+  EXPECT_EQ(s.regions, 1u);
+  EXPECT_EQ(s.boundaries, 2u);
+  EXPECT_EQ(s.eliminated + s.counters + s.barriers, s.boundaries);
+  EXPECT_GT(s.pairQueries, 0u);
+  EXPECT_GE(s.analysisSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace spmd::core

@@ -1,0 +1,173 @@
+// Unit tests for SPMD region formation (paper §2).
+#include <gtest/gtest.h>
+
+#include "core/spmd_region.h"
+#include "ir/builder.h"
+
+namespace spmd::core {
+namespace {
+
+using ir::ArrayHandle;
+using ir::Builder;
+using ir::Ix;
+using ir::ScalarHandle;
+
+TEST(RegionFormation, AdjacentParallelLoopsMerge) {
+  Builder b("p");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), 2.0); });
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  ASSERT_EQ(rp.items.size(), 1u);
+  ASSERT_TRUE(rp.items[0].isRegion());
+  const SpmdRegion& r = *rp.items[0].region;
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_EQ(r.nodes[0].kind, NodeKind::ParallelLoop);
+  EXPECT_EQ(r.nodes[1].kind, NodeKind::ParallelLoop);
+  // Default plan: barrier between the two, none after the last (join).
+  EXPECT_EQ(r.nodes[0].after.kind, SyncPoint::Kind::Barrier);
+  EXPECT_EQ(r.nodes[1].after.kind, SyncPoint::Kind::None);
+}
+
+TEST(RegionFormation, SequentialLoopWithParallelBodyBecomesSeqLoopNode) {
+  Builder b("p");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  b.seqFor("t", 1, 5, [&](Ix) {
+    b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  });
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  ASSERT_EQ(rp.regionCount(), 1u);
+  const SpmdRegion& r = *rp.items[0].region;
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_EQ(r.nodes[0].kind, NodeKind::SeqLoop);
+  ASSERT_EQ(r.nodes[0].body.size(), 1u);
+  EXPECT_EQ(r.nodes[0].body[0].kind, NodeKind::ParallelLoop);
+  EXPECT_EQ(r.nodes[0].backEdge.kind, SyncPoint::Kind::Barrier);
+}
+
+TEST(RegionFormation, ScalarAssignClassification) {
+  Builder b("p");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle alpha = b.scalar("alpha");
+  ScalarHandle probe = b.scalar("probe");
+  b.assign(alpha, 2.5);            // replicable: pure scalar rhs
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), alpha); });
+  b.assign(probe, A(Ix(0)) + 1.0);  // reads arrays: guarded
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  ASSERT_EQ(rp.regionCount(), 1u);
+  const SpmdRegion& r = *rp.items[0].region;
+  ASSERT_EQ(r.nodes.size(), 3u);
+  EXPECT_EQ(r.nodes[0].kind, NodeKind::Replicated);
+  EXPECT_EQ(r.nodes[1].kind, NodeKind::ParallelLoop);
+  EXPECT_EQ(r.nodes[2].kind, NodeKind::Guarded);
+}
+
+TEST(RegionFormation, LoneArrayAssignIsGuarded) {
+  Builder b("p");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.assign(A(Ix(0)), 9.0);  // boundary update between loops
+  b.parFor("j", 1, N, [&](Ix j) { b.assign(A(j), A(j - 1)); });
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  ASSERT_EQ(rp.regionCount(), 1u);
+  const SpmdRegion& r = *rp.items[0].region;
+  ASSERT_EQ(r.nodes.size(), 3u);
+  EXPECT_EQ(r.nodes[1].kind, NodeKind::Guarded);
+}
+
+TEST(RegionFormation, PureScalarProgramStaysSequential) {
+  Builder b("p");
+  ScalarHandle x = b.scalar("x");
+  ScalarHandle y = b.scalar("y");
+  b.assign(x, 1.0);
+  b.assign(y, 2.0);
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  EXPECT_EQ(rp.regionCount(), 0u);
+  ASSERT_EQ(rp.items.size(), 2u);
+  EXPECT_FALSE(rp.items[0].isRegion());
+}
+
+TEST(RegionFormation, SequentialRunBetweenRegionsPreserved) {
+  Builder b("p");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  ScalarHandle x = b.scalar("x");
+  b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  // A pure-scalar sequential loop (no parallel loop inside, touches no
+  // arrays) is replicable and thus joins the region.
+  b.seqFor("w", 1, 3, [&](Ix) { b.assign(x, 1.0); });
+  b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), 2.0); });
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  ASSERT_EQ(rp.regionCount(), 1u);
+  const SpmdRegion& r = *rp.items[0].region;
+  ASSERT_EQ(r.nodes.size(), 3u);
+  EXPECT_EQ(r.nodes[1].kind, NodeKind::Replicated);
+}
+
+TEST(RegionFormation, SeqLoopTouchingArraysWithoutParallelismIsGuarded) {
+  Builder b("p");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); });
+  b.seqFor("k", 1, 3, [&](Ix k) { b.assign(A(k), A(k - 1)); });
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  const SpmdRegion& r = *rp.items[0].region;
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_EQ(r.nodes[1].kind, NodeKind::Guarded);
+}
+
+TEST(RegionCounting, BoundaryAndNodeCounts) {
+  Builder b("p");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  b.seqFor("t", 1, 4, [&](Ix) {
+    b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+    b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), 2.0); });
+  });
+  b.parFor("k", 0, N, [&](Ix k) { b.assign(A(k), 3.0); });
+  ir::Program p = b.finish();
+
+  RegionProgram rp = buildRegions(p);
+  const SpmdRegion& r = *rp.items[0].region;
+  // Nodes: seq-loop + 2 inner + trailing parallel = 4.
+  EXPECT_EQ(r.nodeCount(), 4u);
+  // Boundaries: after seq-loop node (1), back edge (1), between the two
+  // inner loops (1) = 3.  (After the trailing loop is the join.)
+  EXPECT_EQ(r.boundaryCount(), 3u);
+}
+
+TEST(SyncPointTest, ToStringForms) {
+  EXPECT_EQ(SyncPoint::none().toString(), "none");
+  EXPECT_EQ(SyncPoint::barrier().toString(), "barrier");
+  EXPECT_EQ(SyncPoint::counter(true, false, true).toString(), "counter(LM)");
+  EXPECT_TRUE(SyncPoint::barrier().isSync());
+  EXPECT_FALSE(SyncPoint::none().isSync());
+}
+
+TEST(NodeKindNames, AllNamed) {
+  EXPECT_STREQ(nodeKindName(NodeKind::ParallelLoop), "parallel-loop");
+  EXPECT_STREQ(nodeKindName(NodeKind::SeqLoop), "seq-loop");
+  EXPECT_STREQ(nodeKindName(NodeKind::Replicated), "replicated");
+  EXPECT_STREQ(nodeKindName(NodeKind::Guarded), "guarded");
+}
+
+}  // namespace
+}  // namespace spmd::core

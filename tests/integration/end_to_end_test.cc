@@ -1,0 +1,101 @@
+// End-to-end correctness: for every kernel in the suite, the base
+// fork-join execution and the optimized SPMD-region execution must both
+// reproduce the sequential reference results, and the optimized plan must
+// never execute more barriers than the base.
+#include <gtest/gtest.h>
+
+#include "codegen/spmd_executor.h"
+#include "core/optimizer.h"
+#include "ir/seq_executor.h"
+#include "kernels/kernels.h"
+
+namespace spmd {
+namespace {
+
+struct CaseParam {
+  std::string kernel;
+  int threads;
+};
+
+std::vector<CaseParam> makeCases() {
+  std::vector<CaseParam> cases;
+  for (const kernels::KernelSpec& spec : kernels::allKernels())
+    for (int threads : {1, 2, 3, 4, 7})
+      cases.push_back(CaseParam{spec.name, threads});
+  return cases;
+}
+
+class EndToEndTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(EndToEndTest, MatchesSequentialAndReducesBarriers) {
+  const CaseParam& param = GetParam();
+  kernels::KernelSpec spec = kernels::kernelByName(param.kernel);
+  // Small sizes keep the whole matrix fast while exercising multiple
+  // blocks per processor.
+  i64 n = std::min<i64>(spec.defaultN, 24);
+  i64 t = std::min<i64>(spec.defaultT, 4);
+  ir::SymbolBindings symbols = spec.bindings(n, t);
+
+  // Sequential reference.
+  ir::Store ref = ir::runSequential(*spec.program, symbols);
+
+  // Base fork-join.
+  cg::RunResult base = cg::runForkJoin(*spec.program, *spec.decomp, symbols,
+                                       param.threads);
+  EXPECT_LE(ir::Store::maxAbsDifference(ref, base.store), spec.tolerance)
+      << spec.name << " fork-join diverges from sequential";
+
+  // Optimized regions.
+  core::SyncOptimizer opt(*spec.program, *spec.decomp);
+  core::RegionProgram plan = opt.run();
+  cg::RunResult optimized = cg::runRegions(*spec.program, *spec.decomp, plan,
+                                           symbols, param.threads);
+  EXPECT_LE(ir::Store::maxAbsDifference(ref, optimized.store), spec.tolerance)
+      << spec.name << " optimized SPMD diverges from sequential";
+
+  // The paper's invariant: optimization never adds barriers.
+  EXPECT_LE(optimized.counts.barriers, base.counts.barriers)
+      << spec.name << " optimized plan executes more barriers than base";
+  // Fork-join broadcasts once per parallel-loop execution; regions
+  // broadcast once per region.
+  EXPECT_LE(optimized.counts.broadcasts, base.counts.broadcasts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, EndToEndTest, ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return info.param.kernel + "_p" + std::to_string(info.param.threads);
+    });
+
+/// The merged-but-unoptimized plan (all barriers) must also be correct:
+/// isolates region formation from barrier elimination.
+TEST(EndToEndBarriersOnly, MergedRegionsWithAllBarriersAreCorrect) {
+  for (const char* name : {"jacobi2d", "shallow", "sor_pipeline"}) {
+    kernels::KernelSpec spec = kernels::kernelByName(name);
+    ir::SymbolBindings symbols = spec.bindings(16, 3);
+    ir::Store ref = ir::runSequential(*spec.program, symbols);
+    core::SyncOptimizer opt(*spec.program, *spec.decomp);
+    core::RegionProgram plan = opt.runBarriersOnly();
+    cg::RunResult run =
+        cg::runRegions(*spec.program, *spec.decomp, plan, symbols, 4);
+    EXPECT_LE(ir::Store::maxAbsDifference(ref, run.store), spec.tolerance)
+        << name;
+  }
+}
+
+/// Tree barriers must behave identically to central barriers.
+TEST(EndToEndBarriersOnly, TreeBarrierProducesSameResults) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi2d");
+  ir::SymbolBindings symbols = spec.bindings(16, 3);
+  ir::Store ref = ir::runSequential(*spec.program, symbols);
+  core::SyncOptimizer opt(*spec.program, *spec.decomp);
+  core::RegionProgram plan = opt.run();
+  cg::ExecOptions options;
+  options.useTreeBarrier = true;
+  cg::RunResult run = cg::runRegions(*spec.program, *spec.decomp, plan,
+                                     symbols, 4, options);
+  EXPECT_LE(ir::Store::maxAbsDifference(ref, run.store), spec.tolerance);
+}
+
+}  // namespace
+}  // namespace spmd

@@ -1,0 +1,89 @@
+// Cross-cutting suite smoke tests: every kernel must print (source and
+// SPMD form), render an optimization report, and produce a deterministic
+// plan — the optimizer is a compiler pass and must not depend on iteration
+// order of containers or wall-clock state.
+#include <gtest/gtest.h>
+
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "core/report.h"
+#include "ir/printer.h"
+#include "kernels/kernels.h"
+
+namespace spmd {
+namespace {
+
+class SuiteSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteSmokeTest, PrintersCoverEveryKernelShape) {
+  kernels::KernelSpec spec = kernels::kernelByName(GetParam());
+  std::string source = ir::printProgram(*spec.program);
+  EXPECT_NE(source.find("PROGRAM " + spec.name), std::string::npos);
+  EXPECT_NE(source.find("DOALL"), std::string::npos);
+
+  core::SyncOptimizer opt(*spec.program, *spec.decomp);
+  core::RegionProgram plan = opt.run();
+  std::string spmd = cg::printSpmdProgram(*spec.program, *spec.decomp, plan);
+  EXPECT_NE(spmd.find("SPMD region"), std::string::npos);
+  EXPECT_NE(spmd.find("region join (BARRIER)"), std::string::npos);
+
+  std::string report = core::renderReport(opt.report());
+  EXPECT_FALSE(report.empty());
+}
+
+TEST_P(SuiteSmokeTest, OptimizerIsDeterministic) {
+  kernels::KernelSpec specA = kernels::kernelByName(GetParam());
+  kernels::KernelSpec specB = kernels::kernelByName(GetParam());
+
+  core::SyncOptimizer optA(*specA.program, *specA.decomp);
+  core::SyncOptimizer optB(*specB.program, *specB.decomp);
+  core::RegionProgram planA = optA.run();
+  core::RegionProgram planB = optB.run();
+
+  // Same statistics...
+  EXPECT_EQ(optA.stats().eliminated, optB.stats().eliminated);
+  EXPECT_EQ(optA.stats().counters, optB.stats().counters);
+  EXPECT_EQ(optA.stats().barriers, optB.stats().barriers);
+  EXPECT_EQ(optA.stats().backEdgesEliminated,
+            optB.stats().backEdgesEliminated);
+  EXPECT_EQ(optA.stats().backEdgesPipelined, optB.stats().backEdgesPipelined);
+
+  // ...and the same rendered plan (kind + flags at every position).
+  std::string a = cg::printSpmdProgram(*specA.program, *specA.decomp, planA);
+  std::string b = cg::printSpmdProgram(*specB.program, *specB.decomp, planB);
+  EXPECT_EQ(a, b);
+
+  // Decision records line up one-to-one.
+  ASSERT_EQ(optA.report().size(), optB.report().size());
+  for (std::size_t i = 0; i < optA.report().size(); ++i) {
+    EXPECT_EQ(optA.report()[i].decision.kind, optB.report()[i].decision.kind)
+        << "record " << i << " (" << optA.report()[i].where << ")";
+  }
+}
+
+TEST_P(SuiteSmokeTest, RerunningTheSameOptimizerIsStable) {
+  kernels::KernelSpec spec = kernels::kernelByName(GetParam());
+  core::SyncOptimizer opt(*spec.program, *spec.decomp);
+  core::RegionProgram first = opt.run();
+  std::size_t barriers = opt.stats().barriers;
+  core::RegionProgram second = opt.run();
+  EXPECT_EQ(opt.stats().barriers, barriers)
+      << "a second run() must not accumulate state";
+  EXPECT_EQ(
+      cg::printSpmdProgram(*spec.program, *spec.decomp, first),
+      cg::printSpmdProgram(*spec.program, *spec.decomp, second));
+}
+
+std::vector<std::string> kernelNames() {
+  std::vector<std::string> names;
+  for (const kernels::KernelSpec& spec : kernels::allKernels())
+    names.push_back(spec.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SuiteSmokeTest,
+                         ::testing::ValuesIn(kernelNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace spmd

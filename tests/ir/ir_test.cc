@@ -1,0 +1,297 @@
+// Unit tests for the IR layer: builder DSL, expression trees, storage,
+// evaluation, the sequential executor, and the printer.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/seq_executor.h"
+
+namespace spmd::ir {
+namespace {
+
+TEST(Builder, SymbolicAndArrayDeclaration) {
+  Builder b("prog");
+  Ix N = b.sym("N", 8);
+  ArrayHandle A = b.array("A", {N + 2, N}, 3.5);
+  Program p = b.finish();
+
+  ASSERT_EQ(p.symbolics().size(), 1u);
+  EXPECT_EQ(p.symbolics()[0].name, "N");
+  EXPECT_EQ(p.symbolics()[0].lowerBound, 8);
+  ASSERT_EQ(p.arrays().size(), 1u);
+  EXPECT_EQ(p.array(A.id()).name, "A");
+  EXPECT_EQ(p.array(A.id()).extents.size(), 2u);
+  EXPECT_EQ(p.array(A.id()).init, 3.5);
+}
+
+TEST(Builder, LoopNestStructure) {
+  Builder b("prog");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  const Stmt* outer = b.parFor("i", 1, N, [&](Ix i) {
+    b.seqFor("j", 0, i, [&](Ix j) { b.assign(A(j), 1.0); });
+  });
+  Program p = b.finish();
+
+  ASSERT_EQ(p.topLevel().size(), 1u);
+  EXPECT_EQ(p.topLevel()[0].get(), outer);
+  const Loop& l = outer->loop();
+  EXPECT_TRUE(l.parallel);
+  ASSERT_EQ(l.body.size(), 1u);
+  const Loop& inner = l.body[0]->loop();
+  EXPECT_FALSE(inner.parallel);
+  // Inner loop's upper bound references the outer index.
+  EXPECT_TRUE(inner.upper.references(l.index));
+}
+
+TEST(Builder, SeqForRejectsNonPositiveStep) {
+  Builder b("prog");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N});
+  EXPECT_THROW(
+      b.seqFor("i", 0, N - 1, [&](Ix i) { b.assign(A(i), 0.0); },
+               /*step=*/0),
+      Error);
+}
+
+TEST(Builder, AffineIndexArithmeticStaysAffine) {
+  Builder b("prog");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {3 * N + 4});
+  b.parFor("i", 0, N - 1, [&](Ix i) {
+    // Subscript 2*i + N + 1 must be a single affine expression.
+    b.assign(A(2 * i + N + 1), 1.0);
+  });
+  Program p = b.finish();
+  const ArrayAssign& a = p.topLevel()[0]->loop().body[0]->arrayAssign();
+  ASSERT_EQ(a.subscripts.size(), 1u);
+  EXPECT_EQ(a.subscripts[0].numTerms(), 2u);  // i and N
+  EXPECT_EQ(a.subscripts[0].constTerm(), 1);
+}
+
+TEST(Expr, CollectArrayReads) {
+  Builder b("prog");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N});
+  ArrayHandle C = b.array("C", {N});
+  Expr e = toExpr(A(Ix(1))) + C(Ix(2)) * 3.0 - esqrt(A(Ix(3)));
+  std::vector<ArrayRead> reads;
+  collectArrayReads(e, reads);
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_EQ(reads[0].array, A.id());
+  EXPECT_EQ(reads[1].array, C.id());
+  EXPECT_EQ(reads[2].array, A.id());
+}
+
+TEST(Expr, CollectScalarReads) {
+  Builder b("prog");
+  ScalarHandle s = b.scalar("s", 1.0);
+  ScalarHandle u = b.scalar("u", 2.0);
+  Expr e = toExpr(s) * 2.0 + u;
+  std::vector<ScalarId> reads;
+  collectScalarReads(e, reads);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0], s.id);
+  EXPECT_EQ(reads[1], u.id);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : b_("prog") {
+    N_ = b_.sym("N", 2);
+    A_ = b_.array("A", {N_ + 1, N_}, 7.0);
+    s_ = b_.scalar("s", 2.5);
+    prog_ = std::make_unique<Program>(b_.finish());
+  }
+  Builder b_;
+  Ix N_;
+  ArrayHandle A_;
+  ScalarHandle s_;
+  std::unique_ptr<Program> prog_;
+};
+
+TEST_F(StoreTest, AllocatesEvaluatedExtents) {
+  Store store(*prog_, {{prog_->symbolics()[0].var.index, 5}});
+  EXPECT_EQ(store.rank(A_.id()), 2);
+  EXPECT_EQ(store.extent(A_.id(), 0), 6);
+  EXPECT_EQ(store.extent(A_.id(), 1), 5);
+  EXPECT_EQ(store.elementCount(A_.id()), 30u);
+  EXPECT_EQ(store.element(A_.id(), {0, 0}), 7.0);
+  EXPECT_EQ(store.scalar(s_.id), 2.5);
+}
+
+TEST_F(StoreTest, MissingSymbolBindingThrows) {
+  EXPECT_THROW(Store(*prog_, {}), Error);
+}
+
+TEST_F(StoreTest, BindingBelowLowerBoundThrows) {
+  EXPECT_THROW(Store(*prog_, {{prog_->symbolics()[0].var.index, 1}}), Error);
+}
+
+TEST_F(StoreTest, OutOfBoundsSubscriptThrows) {
+  Store store(*prog_, {{prog_->symbolics()[0].var.index, 4}});
+  EXPECT_THROW(store.element(A_.id(), {5, 0}), Error);
+  EXPECT_THROW(store.element(A_.id(), {0, -1}), Error);
+  EXPECT_THROW(store.element(A_.id(), {0}), Error);  // rank mismatch
+}
+
+TEST_F(StoreTest, RowMajorLayout) {
+  Store store(*prog_, {{prog_->symbolics()[0].var.index, 4}});
+  store.element(A_.id(), {1, 2}) = 42.0;
+  // Row-major: offset = 1*4 + 2 = 6.
+  EXPECT_EQ(store.data(A_.id())[6], 42.0);
+}
+
+TEST_F(StoreTest, MaxAbsDifference) {
+  Store a(*prog_, {{prog_->symbolics()[0].var.index, 3}});
+  Store bb(*prog_, {{prog_->symbolics()[0].var.index, 3}});
+  EXPECT_EQ(Store::maxAbsDifference(a, bb), 0.0);
+  bb.element(A_.id(), {2, 1}) = 9.0;
+  EXPECT_EQ(Store::maxAbsDifference(a, bb), 2.0);  // |7 - 9|
+  bb.scalar(s_.id) = 7.5;
+  EXPECT_EQ(Store::maxAbsDifference(a, bb), 5.0);  // |2.5 - 7.5|
+}
+
+TEST(EvalEnv, ScalarTableOverride) {
+  Builder b("prog");
+  ScalarHandle s = b.scalar("s", 1.0);
+  Program p = b.finish();
+  Store store(p, {});
+  EvalEnv env(store);
+  EXPECT_EQ(env.scalarValue(s.id), 1.0);
+  double priv[1] = {99.0};
+  env.setScalarTable(priv);
+  EXPECT_EQ(env.scalarValue(s.id), 99.0);
+  env.scalarSlot(s.id) = 3.0;
+  EXPECT_EQ(priv[0], 3.0);
+  EXPECT_EQ(store.scalar(s.id), 1.0) << "shared slot untouched";
+}
+
+TEST(EvalEnv, UnboundVariableThrows) {
+  Builder b("prog");
+  Ix N = b.sym("N");
+  Program p = b.finish();
+  Store store(p, {{p.symbolics()[0].var.index, 3}});
+  EvalEnv env(store);
+  poly::VarId loose = p.space()->add("x", poly::VarKind::LoopIndex);
+  EXPECT_THROW(env.value(loose), Error);
+  env.bind(loose, 9);
+  EXPECT_EQ(env.value(loose), 9);
+  env.unbind(loose);
+  EXPECT_THROW(env.value(loose), Error);
+  (void)N;
+}
+
+TEST(SeqExecutor, TriangularLoopAndReductions) {
+  Builder b("tri");
+  Ix N = b.sym("N", 1);
+  ArrayHandle A = b.array("A", {N + 1, N + 1}, 0.0);
+  ScalarHandle total = b.scalar("total", 0.0);
+  ScalarHandle biggest = b.scalar("biggest", -1.0);
+  b.seqFor("i", 1, N, [&](Ix i) {
+    b.seqFor("j", 1, i, [&](Ix j) {
+      b.assign(A(i, j), toExpr(i) * 10.0 + j);
+      b.reduceSum(total, A(i, j));
+      b.reduceMax(biggest, A(i, j));
+    });
+  });
+  Program p = b.finish();
+  Store store = runSequential(p, {{p.symbolics()[0].var.index, 4}});
+
+  // Triangular: (i,j) for 1 <= j <= i <= 4 -> 10 values like 11, 21, 22...
+  EXPECT_EQ(store.element(A.id(), {3, 2}), 32.0);
+  EXPECT_EQ(store.element(A.id(), {1, 1}), 11.0);
+  EXPECT_EQ(store.element(A.id(), {2, 3}), 0.0) << "above diagonal untouched";
+  double expectedTotal = 11 + 21 + 22 + 31 + 32 + 33 + 41 + 42 + 43 + 44;
+  EXPECT_EQ(store.scalar(total.id), expectedTotal);
+  EXPECT_EQ(store.scalar(biggest.id), 44.0);
+}
+
+TEST(SeqExecutor, StridedLoop) {
+  Builder b("strided");
+  Ix N = b.sym("N", 1);
+  ArrayHandle A = b.array("A", {N + 1}, 0.0);
+  b.seqFor("i", 1, N, [&](Ix i) { b.assign(A(i), 1.0); }, /*step=*/3);
+  Program p = b.finish();
+  Store store = runSequential(p, {{p.symbolics()[0].var.index, 10}});
+  for (i64 i = 0; i <= 10; ++i)
+    EXPECT_EQ(store.element(A.id(), {i}), (i >= 1 && (i - 1) % 3 == 0) ? 1.0
+                                                                       : 0.0)
+        << "i=" << i;
+}
+
+TEST(SeqExecutor, ZeroTripLoopIsNoop) {
+  Builder b("zerotrip");
+  Ix N = b.sym("N", 1);
+  ArrayHandle A = b.array("A", {N + 1}, 5.0);
+  b.seqFor("i", 2, 1, [&](Ix i) { b.assign(A(Ix(0)), toExpr(i)); });
+  Program p = b.finish();
+  Store store = runSequential(p, {{p.symbolics()[0].var.index, 3}});
+  EXPECT_EQ(store.element(A.id(), {0}), 5.0);
+}
+
+TEST(SeqExecutor, MinMaxDivSqrtSemantics) {
+  Builder b("math");
+  ArrayHandle A = b.array("A", {Ix(4)}, 0.0);
+  b.assign(A(Ix(0)), emin(3.0, toExpr(2.0)));
+  b.assign(A(Ix(1)), emax(3.0, toExpr(2.0)));
+  b.assign(A(Ix(2)), esqrt(toExpr(16.0)));
+  b.assign(A(Ix(3)), eabs(toExpr(-2.5)));
+  Program p = b.finish();
+  Store store = runSequential(p, {});
+  EXPECT_EQ(store.element(A.id(), {0}), 2.0);
+  EXPECT_EQ(store.element(A.id(), {1}), 3.0);
+  EXPECT_EQ(store.element(A.id(), {2}), 4.0);
+  EXPECT_EQ(store.element(A.id(), {3}), 2.5);
+}
+
+TEST(Printer, ProgramRendering) {
+  Builder b("render");
+  Ix N = b.sym("N", 2);
+  ArrayHandle A = b.array("A", {N + 2});
+  b.parFor("i", 1, N, [&](Ix i) { b.assign(A(i), A(i - 1) * 0.5); });
+  Program p = b.finish();
+  std::string text = printProgram(p);
+  EXPECT_NE(text.find("PROGRAM render"), std::string::npos);
+  EXPECT_NE(text.find("SYMBOLIC N"), std::string::npos);
+  EXPECT_NE(text.find("REAL A(N + 2)"), std::string::npos);
+  EXPECT_NE(text.find("DOALL i = 1, N"), std::string::npos);
+  EXPECT_NE(text.find("A(i - 1)"), std::string::npos);
+  EXPECT_NE(text.find("ENDDO"), std::string::npos);
+}
+
+TEST(Printer, ReductionRendering) {
+  Builder b("red");
+  ScalarHandle s = b.scalar("s");
+  b.reduceSum(s, 1.0);
+  Program p = b.finish();
+  std::string text = printProgram(p);
+  EXPECT_NE(text.find("=[sum]"), std::string::npos);
+}
+
+TEST(Program, StatementAndParallelLoopCounts) {
+  Builder b("counts");
+  Ix N = b.sym("N");
+  ArrayHandle A = b.array("A", {N + 1});
+  b.seqFor("t", 1, 3, [&](Ix) {
+    b.parFor("i", 0, N, [&](Ix i) { b.assign(A(i), 1.0); });
+    b.parFor("j", 0, N, [&](Ix j) { b.assign(A(j), 2.0); });
+  });
+  Program p = b.finish();
+  // Statements: t-loop, 2 parallel loops, 2 assigns = 5.
+  EXPECT_EQ(p.statementCount(), 5u);
+  EXPECT_EQ(p.parallelLoopCount(), 2u);
+}
+
+TEST(Program, SymbolicContextEncodesLowerBounds) {
+  Builder b("ctx");
+  Ix N = b.sym("N", 10);
+  Program p = b.finish();
+  poly::System ctx = p.symbolicContext();
+  EXPECT_TRUE(ctx.holds([&](poly::VarId) { return 10; }));
+  EXPECT_FALSE(ctx.holds([&](poly::VarId) { return 9; }));
+  (void)N;
+}
+
+}  // namespace
+}  // namespace spmd::ir

@@ -1,0 +1,111 @@
+// Kernel-suite sanity: every kernel must be a *legal* input to the
+// synchronization optimizer (valid DOALL annotations, consistent ranks),
+// have a coherent spec, and produce the statically expected optimization
+// outcome.  The validation test exists because an illegal DOALL would
+// execute racily under the SPMD runtime while often passing numeric
+// comparisons on lightly-loaded hosts.
+#include <gtest/gtest.h>
+
+#include "analysis/validate.h"
+#include "core/optimizer.h"
+#include "kernels/kernels.h"
+
+namespace spmd::kernels {
+namespace {
+
+class KernelValidity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelValidity, ParallelAnnotationsAreLegal) {
+  KernelSpec spec = kernelByName(GetParam());
+  std::vector<analysis::ValidationIssue> issues =
+      analysis::validateProgram(*spec.program);
+  for (const analysis::ValidationIssue& issue : issues)
+    ADD_FAILURE() << spec.name << ": "
+                  << analysis::validationIssueKindName(issue.kind) << ": "
+                  << issue.detail;
+}
+
+TEST_P(KernelValidity, SpecIsCoherent) {
+  KernelSpec spec = kernelByName(GetParam());
+  EXPECT_FALSE(spec.family.empty());
+  EXPECT_FALSE(spec.description.empty());
+  EXPECT_GE(spec.defaultN, 4);
+  EXPECT_GE(spec.defaultT, 1);
+  EXPECT_GT(spec.tolerance, 0.0);
+  EXPECT_GE(spec.program->parallelLoopCount(), 1u);
+  // Default bindings must be accepted.
+  ir::SymbolBindings symbols = spec.defaultBindings();
+  EXPECT_EQ(symbols.size(), spec.program->symbolics().size());
+}
+
+std::vector<std::string> kernelNames() {
+  std::vector<std::string> names;
+  for (const KernelSpec& spec : allKernels()) names.push_back(spec.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelValidity,
+                         ::testing::ValuesIn(kernelNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(KernelLookup, ByNameAndUnknown) {
+  KernelSpec spec = kernelByName("jacobi2d");
+  EXPECT_EQ(spec.name, "jacobi2d");
+  EXPECT_THROW(kernelByName("no_such_kernel"), Error);
+}
+
+TEST(KernelSuite, HasExpectedSize) {
+  EXPECT_EQ(allKernels().size(), 17u);
+}
+
+TEST(KernelSuite, NamesAreUnique) {
+  std::vector<std::string> names = kernelNames();
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+}
+
+/// Static optimization outcomes per kernel: these lock in the paper-shaped
+/// behaviour (which boundary decisions fire where).
+struct ExpectedStatic {
+  const char* name;
+  std::size_t eliminated;
+  std::size_t counters;
+  std::size_t barriers;
+  std::size_t backEdgesEliminated;
+  std::size_t backEdgesPipelined;
+};
+
+class KernelStaticOutcome : public ::testing::TestWithParam<ExpectedStatic> {};
+
+TEST_P(KernelStaticOutcome, MatchesExpectedDecisions) {
+  const ExpectedStatic& e = GetParam();
+  KernelSpec spec = kernelByName(e.name);
+  core::SyncOptimizer opt(*spec.program, *spec.decomp);
+  (void)opt.run();
+  const core::OptStats& s = opt.stats();
+  EXPECT_EQ(s.eliminated, e.eliminated) << "interior boundaries eliminated";
+  EXPECT_EQ(s.counters, e.counters) << "interior counters";
+  EXPECT_EQ(s.barriers, e.barriers) << "interior barriers kept";
+  EXPECT_EQ(s.backEdgesEliminated, e.backEdgesEliminated);
+  EXPECT_EQ(s.backEdgesPipelined, e.backEdgesPipelined);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, KernelStaticOutcome,
+    ::testing::Values(
+        ExpectedStatic{"jacobi1d", 0, 1, 0, 0, 0},
+        ExpectedStatic{"jacobi2d", 0, 1, 0, 0, 0},
+        ExpectedStatic{"stencil9", 0, 1, 0, 0, 0},
+        ExpectedStatic{"redblack", 0, 1, 0, 0, 0},
+        ExpectedStatic{"sor_pipeline", 0, 0, 0, 0, 1},
+        ExpectedStatic{"adi", 0, 1, 0, 0, 1},
+        ExpectedStatic{"tridiag_local", 1, 0, 0, 1, 0},
+        ExpectedStatic{"multiblock", 5, 0, 0, 1, 0},
+        ExpectedStatic{"transpose", 0, 0, 1, 0, 0},
+        ExpectedStatic{"cyclic_jacobi", 0, 0, 1, 0, 0},
+        ExpectedStatic{"tomcatv_like", 1, 0, 1, 0, 0},
+        ExpectedStatic{"dot_reduction", 2, 0, 1, 0, 0}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace spmd::kernels

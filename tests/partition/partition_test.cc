@@ -1,0 +1,213 @@
+// Unit tests for data decompositions and the offset-variable
+// linearization of block ownership.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "partition/decomposition.h"
+#include "poly/fourier_motzkin.h"
+
+namespace spmd::part {
+namespace {
+
+using ir::ArrayHandle;
+using ir::Builder;
+using ir::Ix;
+using poly::Feasibility;
+using poly::LinExpr;
+using poly::System;
+using poly::VarId;
+
+class DecompTest : public ::testing::Test {
+ protected:
+  DecompTest() : builder_("p") {
+    N_ = builder_.sym("N", 8);
+    A_ = builder_.array("A", {N_ + 2});
+    prog_ = std::make_unique<ir::Program>(builder_.finish());
+    decomp_ = std::make_unique<Decomposition>(*prog_);
+  }
+
+  Builder builder_;
+  Ix N_;
+  ArrayHandle A_;
+  std::unique_ptr<ir::Program> prog_;
+  std::unique_ptr<Decomposition> decomp_;
+};
+
+TEST_F(DecompTest, DistributeRecordsKindAndTemplate) {
+  decomp_->distribute(A_.id(), 0, DistKind::Block);
+  EXPECT_EQ(decomp_->dist(A_.id()).kind, DistKind::Block);
+  EXPECT_EQ(decomp_->dist(A_.id()).dim, 0);
+  ASSERT_TRUE(decomp_->templateExtent().has_value());
+}
+
+TEST_F(DecompTest, ProcVarHasRangeBounds) {
+  System sys = decomp_->baseContext();
+  VarId p = decomp_->makeProcVar(sys, "p");
+  // p >= 0 and p <= P-1 must be in the system: with P = 4, p = 3 OK, 4 no.
+  auto val = [&](i64 pv, i64 P) {
+    return sys.holds([&](VarId v) -> i64 {
+      if (v == p) return pv;
+      if (v == decomp_->procCountVar()) return P;
+      if (v == decomp_->blockSizeVar()) return 2;
+      return 8;  // N
+    });
+  };
+  EXPECT_TRUE(val(3, 4));
+  EXPECT_FALSE(val(4, 4));
+  EXPECT_FALSE(val(-1, 4));
+}
+
+TEST_F(DecompTest, BlockOwnershipSameElementForcesSameOwner) {
+  decomp_->distribute(A_.id(), 0, DistKind::Block);
+  System sys = decomp_->baseContext();
+  VarId p = decomp_->makeProcVar(sys, "p");
+  VarId q = decomp_->makeProcVar(sys, "q");
+  VarId x = prog_->space()->add("x", poly::VarKind::ArrayIndex);
+  ASSERT_TRUE(decomp_->addOwnerConstraint(sys, A_.id(), LinExpr::var(x), p));
+  ASSERT_TRUE(decomp_->addOwnerConstraint(sys, A_.id(), LinExpr::var(x), q));
+  // Different processors owning the same element is impossible: with the
+  // branch q = p+1 and its offset consequence, the system must be empty.
+  sys.addEquals(LinExpr::var(q), LinExpr::var(p) + LinExpr::constant(1));
+  decomp_->addOffsetRelation(sys, p, q, 1, /*exact=*/true);
+  EXPECT_EQ(poly::scanRational(sys), Feasibility::Infeasible);
+}
+
+TEST_F(DecompTest, BlockOwnershipNeighborElementsMayCrossBlocks) {
+  decomp_->distribute(A_.id(), 0, DistKind::Block);
+  System sys = decomp_->baseContext();
+  VarId p = decomp_->makeProcVar(sys, "p");
+  VarId q = decomp_->makeProcVar(sys, "q");
+  VarId x = prog_->space()->add("x", poly::VarKind::ArrayIndex);
+  // p owns x, q owns x+1, q = p + 1: feasible (block boundary).
+  ASSERT_TRUE(decomp_->addOwnerConstraint(sys, A_.id(), LinExpr::var(x), p));
+  ASSERT_TRUE(decomp_->addOwnerConstraint(
+      sys, A_.id(), LinExpr::var(x) + LinExpr::constant(1), q));
+  System cross = sys;
+  cross.addEquals(LinExpr::var(q), LinExpr::var(p) + LinExpr::constant(1));
+  decomp_->addOffsetRelation(cross, p, q, 1, /*exact=*/true);
+  EXPECT_NE(poly::scanRational(cross), Feasibility::Infeasible);
+
+  // ...but never two or more blocks apart.
+  System far = sys;
+  far.addGE(LinExpr::var(q) - LinExpr::var(p) - LinExpr::constant(2));
+  decomp_->addOffsetRelation(far, p, q, 2, /*exact=*/false);
+  EXPECT_EQ(poly::scanRational(far), Feasibility::Infeasible);
+}
+
+TEST_F(DecompTest, CyclicOwnershipBailsOut) {
+  decomp_->distribute(A_.id(), 0, DistKind::Cyclic);
+  System sys = decomp_->baseContext();
+  VarId p = decomp_->makeProcVar(sys, "p");
+  EXPECT_FALSE(
+      decomp_->addOwnerConstraint(sys, A_.id(), LinExpr::constant(3), p));
+}
+
+TEST_F(DecompTest, ReplicatedOwnershipAddsNothing) {
+  decomp_->distribute(A_.id(), 0, DistKind::Replicated);
+  System sys = decomp_->baseContext();
+  std::size_t before = sys.size();
+  VarId p = decomp_->makeProcVar(sys, "p");
+  std::size_t withProc = sys.size();
+  EXPECT_TRUE(
+      decomp_->addOwnerConstraint(sys, A_.id(), LinExpr::constant(3), p));
+  EXPECT_EQ(sys.size(), withProc);
+  EXPECT_GT(withProc, before);
+}
+
+TEST_F(DecompTest, ConcreteBlockOwners) {
+  decomp_->distribute(A_.id(), 0, DistKind::Block);
+  ir::SymbolBindings syms{{prog_->symbolics()[0].var.index, 10}};
+  // Template extent = N + 2 = 12; P = 4 -> B = 3.
+  EXPECT_EQ(decomp_->concreteBlockSize(syms, 4), 3);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 0, 4, syms), 0);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 2, 4, syms), 0);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 3, 4, syms), 1);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 11, 4, syms), 3);
+  // Clamped: cells past the last block belong to the last processor.
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 100, 4, syms), 3);
+}
+
+TEST_F(DecompTest, ConcreteCyclicOwners) {
+  decomp_->distribute(A_.id(), 0, DistKind::Cyclic);
+  ir::SymbolBindings syms{{prog_->symbolics()[0].var.index, 10}};
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 0, 4, syms), 0);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 5, 4, syms), 1);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 7, 4, syms), 3);
+}
+
+TEST_F(DecompTest, AlignmentOffsetShiftsOwnership) {
+  decomp_->distribute(A_.id(), 0, DistKind::Block, /*alignOffset=*/2);
+  ir::SymbolBindings syms{{prog_->symbolics()[0].var.index, 10}};
+  // cell = subscript - 2; B = 3 under P=4.
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 2, 4, syms), 0);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 5, 4, syms), 1);
+  // Negative cells clamp to processor 0.
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 0, 4, syms), 0);
+}
+
+TEST_F(DecompTest, LoopPartitionRoundTrip) {
+  const ir::Stmt* fake = reinterpret_cast<const ir::Stmt*>(this);
+  EXPECT_FALSE(decomp_->loopPartition(fake).has_value());
+  decomp_->setLoopPartition(fake,
+                            LoopPartition{LoopPartition::Kind::BlockRange, {}});
+  ASSERT_TRUE(decomp_->loopPartition(fake).has_value());
+  EXPECT_EQ(decomp_->loopPartition(fake)->kind,
+            LoopPartition::Kind::BlockRange);
+}
+
+TEST_F(DecompTest, OffsetVarIsSharedPerProcessor) {
+  decomp_->distribute(A_.id(), 0, DistKind::Block);
+  System sys = decomp_->baseContext();
+  VarId p = decomp_->makeProcVar(sys, "p");
+  VarId o1 = decomp_->offsetVar(sys, p);
+  VarId o2 = decomp_->offsetVar(sys, p);
+  EXPECT_EQ(o1, o2) << "same processor must reuse its offset variable";
+}
+
+TEST_F(DecompTest, BaseContextRequiresMinimumProcessors) {
+  System sys = decomp_->baseContext(/*minProcs=*/2);
+  auto val = [&](i64 P) {
+    return sys.holds([&](VarId v) -> i64 {
+      if (v == decomp_->procCountVar()) return P;
+      if (v == decomp_->blockSizeVar()) return 1;
+      return 8;
+    });
+  };
+  EXPECT_TRUE(val(2));
+  EXPECT_FALSE(val(1));
+}
+
+TEST_F(DecompTest, ConcreteBlockCyclicOwners) {
+  decomp_->distribute(A_.id(), 0, DistKind::BlockCyclic, /*alignOffset=*/0,
+                      /*blockParam=*/3);
+  ir::SymbolBindings syms{{prog_->symbolics()[0].var.index, 20}};
+  // owner(x) = floor(x/3) mod 4.
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 0, 4, syms), 0);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 2, 4, syms), 0);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 3, 4, syms), 1);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 11, 4, syms), 3);
+  EXPECT_EQ(decomp_->concreteOwner(A_.id(), 12, 4, syms), 0);  // wraps
+}
+
+TEST_F(DecompTest, BlockCyclicOwnershipBailsOut) {
+  decomp_->distribute(A_.id(), 0, DistKind::BlockCyclic, 0, 2);
+  System sys = decomp_->baseContext();
+  VarId p = decomp_->makeProcVar(sys, "p");
+  EXPECT_FALSE(
+      decomp_->addOwnerConstraint(sys, A_.id(), LinExpr::constant(3), p));
+}
+
+TEST_F(DecompTest, BlockCyclicRejectsNonPositiveBlock) {
+  EXPECT_THROW(decomp_->distribute(A_.id(), 0, DistKind::BlockCyclic, 0, 0),
+               Error);
+}
+
+TEST(DistKindNames, AllNamed) {
+  EXPECT_STREQ(distKindName(DistKind::Block), "block");
+  EXPECT_STREQ(distKindName(DistKind::Cyclic), "cyclic");
+  EXPECT_STREQ(distKindName(DistKind::Replicated), "replicated");
+  EXPECT_STREQ(distKindName(DistKind::BlockCyclic), "block-cyclic");
+}
+
+}  // namespace
+}  // namespace spmd::part

@@ -1,0 +1,171 @@
+// Property-based validation of the Fourier–Motzkin engine: random bounded
+// systems are compared against exhaustive integer enumeration.
+//
+// Soundness properties checked:
+//   P1  scanRational == Infeasible      =>  brute force finds no point
+//   P2  brute force finds a point       =>  scanRational != Infeasible
+//   P3  satisfiableInteger == Feasible  =>  the sampled point satisfies s
+//                                           (asserted inside sampleInteger)
+//   P4  satisfiableInteger == Infeasible => brute force finds no point
+//   P5  brute force finds a point       =>  satisfiableInteger == Feasible
+//       (all variables here are box-bounded, so the sampler cannot miss)
+//   P6  projection soundness: any brute-force point of s restricted to the
+//       kept variables satisfies projectOnto(s, keep)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "poly/fourier_motzkin.h"
+
+namespace spmd::poly {
+namespace {
+
+constexpr i64 kBoxLo = -4;
+constexpr i64 kBoxHi = 4;
+
+/// Deterministic 64-bit LCG so failures reproduce from the seed alone.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 16;
+  }
+  i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(next() % static_cast<std::uint64_t>(
+                                              hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct RandomCase {
+  VarSpacePtr space;
+  std::vector<VarId> vars;
+  System system;
+};
+
+RandomCase makeRandomCase(std::uint64_t seed) {
+  Rng rng(seed);
+  auto space = std::make_shared<VarSpace>();
+  int nvars = static_cast<int>(rng.range(2, 4));
+  std::vector<VarId> vars;
+  const VarKind kinds[] = {VarKind::Symbolic, VarKind::Processor,
+                           VarKind::LoopIndex, VarKind::ArrayIndex};
+  for (int v = 0; v < nvars; ++v)
+    vars.push_back(space->add("v" + std::to_string(v),
+                              kinds[rng.range(0, 3)]));
+
+  System s(space);
+  // Box-bound every variable so brute force is exhaustive.
+  for (VarId v : vars)
+    s.addRange(LinExpr::var(v), LinExpr::constant(kBoxLo),
+               LinExpr::constant(kBoxHi));
+
+  int ncons = static_cast<int>(rng.range(1, 6));
+  for (int c = 0; c < ncons; ++c) {
+    LinExpr e;
+    for (VarId v : vars)
+      if (rng.range(0, 1)) e.setCoef(v, rng.range(-3, 3));
+    e.addToConst(rng.range(-6, 6));
+    if (rng.range(0, 4) == 0)
+      s.addEQ(std::move(e));
+    else
+      s.addGE(std::move(e));
+  }
+  return {std::move(space), std::move(vars), std::move(s)};
+}
+
+std::optional<std::vector<i64>> bruteForce(const RandomCase& rc) {
+  std::vector<i64> point(rc.vars.size(), kBoxLo);
+  while (true) {
+    auto value = [&](VarId v) {
+      for (std::size_t k = 0; k < rc.vars.size(); ++k)
+        if (rc.vars[k] == v) return point[k];
+      ADD_FAILURE() << "unknown var in brute force";
+      return i64{0};
+    };
+    if (rc.system.holds(value)) return point;
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < point.size()) {
+      if (++point[d] <= kBoxHi) break;
+      point[d] = kBoxLo;
+      ++d;
+    }
+    if (d == point.size()) return std::nullopt;
+  }
+}
+
+class FMPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FMPropertyTest, AgreesWithBruteForce) {
+  RandomCase rc = makeRandomCase(GetParam());
+  auto truth = bruteForce(rc);
+
+  Feasibility rational = scanRational(rc.system);
+  Feasibility integer = satisfiableInteger(rc.system);
+
+  if (truth.has_value()) {
+    // P2 / P5
+    EXPECT_NE(rational, Feasibility::Infeasible)
+        << "seed " << GetParam() << " system " << rc.system.toString();
+    EXPECT_EQ(integer, Feasibility::Feasible)
+        << "seed " << GetParam() << " system " << rc.system.toString();
+  } else {
+    // P1 is the contrapositive of P2; P4:
+    EXPECT_NE(integer, Feasibility::Feasible)
+        << "seed " << GetParam() << " system " << rc.system.toString();
+  }
+}
+
+TEST_P(FMPropertyTest, ProjectionIsSound) {
+  RandomCase rc = makeRandomCase(GetParam());
+  auto truth = bruteForce(rc);
+  if (!truth.has_value()) return;
+
+  // Keep a strict subset of the variables.
+  std::vector<VarId> keep(rc.vars.begin(),
+                          rc.vars.begin() + (rc.vars.size() + 1) / 2);
+  System proj = projectOnto(rc.system, keep);
+  for (VarId v : proj.referencedVars()) {
+    EXPECT_TRUE(std::find(keep.begin(), keep.end(), v) != keep.end())
+        << "projection kept an eliminated variable";
+  }
+  auto value = [&](VarId v) {
+    for (std::size_t k = 0; k < rc.vars.size(); ++k)
+      if (rc.vars[k] == v) return (*truth)[k];
+    ADD_FAILURE() << "unknown var";
+    return i64{0};
+  };
+  EXPECT_TRUE(proj.holds(value))
+      << "seed " << GetParam() << ": point of s violates its projection\n"
+      << "s    = " << rc.system.toString() << "\n"
+      << "proj = " << proj.toString();
+}
+
+TEST_P(FMPropertyTest, EliminationPreservesSolutions) {
+  // Any brute-force point of s still satisfies s with one variable
+  // FM-eliminated (projection is a superset of the shadow).
+  RandomCase rc = makeRandomCase(GetParam());
+  auto truth = bruteForce(rc);
+  if (!truth.has_value()) return;
+  System elim = eliminateVariable(rc.system, rc.vars[0]);
+  auto value = [&](VarId v) {
+    for (std::size_t k = 0; k < rc.vars.size(); ++k)
+      if (rc.vars[k] == v) return (*truth)[k];
+    ADD_FAILURE() << "unknown var";
+    return i64{0};
+  };
+  EXPECT_TRUE(elim.holds(value)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, FMPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 400));
+
+}  // namespace
+}  // namespace spmd::poly

@@ -1,0 +1,191 @@
+#include "poly/fourier_motzkin.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace spmd::poly {
+namespace {
+
+class FMTest : public ::testing::Test {
+ protected:
+  FMTest() : space_(std::make_shared<VarSpace>()) {
+    n_ = space_->add("N", VarKind::Symbolic);
+    p_ = space_->add("p", VarKind::Processor);
+    q_ = space_->add("q", VarKind::Processor);
+    i_ = space_->add("i", VarKind::LoopIndex);
+    j_ = space_->add("j", VarKind::LoopIndex);
+    a_ = space_->add("a", VarKind::ArrayIndex);
+  }
+
+  System make() { return System(space_); }
+
+  VarSpacePtr space_;
+  VarId n_, p_, q_, i_, j_, a_;
+};
+
+TEST_F(FMTest, EmptySystemIsFeasible) {
+  EXPECT_EQ(scanRational(make()), Feasibility::Feasible);
+  EXPECT_EQ(satisfiableInteger(make()), Feasibility::Feasible);
+}
+
+TEST_F(FMTest, SimpleBoxFeasible) {
+  System s = make();
+  s.addRange(LinExpr::var(i_), LinExpr::constant(1), LinExpr::constant(10));
+  EXPECT_EQ(scanRational(s), Feasibility::Feasible);
+  auto pt = sampleInteger(s);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_GE(pt->get(i_), 1);
+  EXPECT_LE(pt->get(i_), 10);
+}
+
+TEST_F(FMTest, ContradictoryBoundsInfeasible) {
+  System s = make();
+  s.addGE(LinExpr::var(i_) - LinExpr::constant(10));  // i >= 10
+  s.addGE(LinExpr::constant(5) - LinExpr::var(i_));   // i <= 5
+  EXPECT_EQ(scanRational(s), Feasibility::Infeasible);
+  EXPECT_EQ(satisfiableInteger(s), Feasibility::Infeasible);
+}
+
+TEST_F(FMTest, TransitiveChainInfeasible) {
+  // i <= j - 1, j <= i - 1 is infeasible only after combining.
+  System s = make();
+  s.addLE(LinExpr::var(i_) + LinExpr::constant(1), LinExpr::var(j_));
+  s.addLE(LinExpr::var(j_) + LinExpr::constant(1), LinExpr::var(i_));
+  EXPECT_EQ(scanRational(s), Feasibility::Infeasible);
+}
+
+TEST_F(FMTest, EqualitySubstitution) {
+  // i == j + 1, i == 5, j == 5 -> infeasible.
+  System s = make();
+  s.addEquals(LinExpr::var(i_), LinExpr::var(j_) + LinExpr::constant(1));
+  s.addEquals(LinExpr::var(i_), LinExpr::constant(5));
+  s.addEquals(LinExpr::var(j_), LinExpr::constant(5));
+  EXPECT_EQ(scanRational(s), Feasibility::Infeasible);
+}
+
+TEST_F(FMTest, IntegerGapDetectedBySampler) {
+  // 2i == 2j + 1 has rational solutions but no integer ones; the GCD
+  // normalization in System::add already rejects it.
+  System s = make();
+  s.addEQ(LinExpr::var(i_, 2) - LinExpr::var(j_, 2) - LinExpr::constant(1));
+  EXPECT_TRUE(s.provedEmpty());
+}
+
+TEST_F(FMTest, DarkShadowStyleGap) {
+  // 1 <= 3i <= 2 has a rational solution (i = 1/2) but no integer one.
+  System s = make();
+  s.addGE(LinExpr::var(i_, 3) - LinExpr::constant(1));
+  s.addGE(LinExpr::constant(2) - LinExpr::var(i_, 3));
+  // Integer tightening turns 3i >= 1 into i >= 1 and 3i <= 2 into i <= 0.
+  EXPECT_EQ(scanRational(s), Feasibility::Infeasible);
+}
+
+TEST_F(FMTest, SymbolicSystemFeasible) {
+  // 1 <= i <= N, N >= 1: feasible (choose N = 1, i = 1).
+  System s = make();
+  s.addRange(LinExpr::var(i_), LinExpr::constant(1), LinExpr::var(n_));
+  s.addGE(LinExpr::var(n_) - LinExpr::constant(1));
+  EXPECT_EQ(satisfiableInteger(s), Feasibility::Feasible);
+}
+
+TEST_F(FMTest, SymbolicSystemInfeasibleForAllN) {
+  // 1 <= i <= N, i >= N + 1 is infeasible for every N.
+  System s = make();
+  s.addRange(LinExpr::var(i_), LinExpr::constant(1), LinExpr::var(n_));
+  s.addGE(LinExpr::var(i_) - LinExpr::var(n_) - LinExpr::constant(1));
+  EXPECT_EQ(scanRational(s), Feasibility::Infeasible);
+}
+
+TEST_F(FMTest, EliminationOrderFollowsPaperScanOrder) {
+  System s = make();
+  // Mention one variable of each kind.
+  s.addGE(LinExpr::var(n_) + LinExpr::var(p_) + LinExpr::var(i_) +
+          LinExpr::var(a_));
+  auto order = eliminationOrder(s);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], a_);  // array indices projected first
+  EXPECT_EQ(order[1], i_);  // then loop indices
+  EXPECT_EQ(order[2], p_);  // then processors
+  EXPECT_EQ(order[3], n_);  // symbolics last
+}
+
+TEST_F(FMTest, ProjectOntoProcessors) {
+  // i in [1,10], p == i - 1  =>  projection onto p is 0 <= p <= 9.
+  System s = make();
+  s.addRange(LinExpr::var(i_), LinExpr::constant(1), LinExpr::constant(10));
+  s.addEquals(LinExpr::var(p_), LinExpr::var(i_) - LinExpr::constant(1));
+  System proj = projectOnto(s, {p_});
+  EXPECT_FALSE(proj.references(i_));
+  EXPECT_TRUE(proj.holds([&](VarId) { return 0; }));
+  EXPECT_TRUE(proj.holds([&](VarId) { return 9; }));
+  EXPECT_FALSE(proj.holds([&](VarId) { return 10; }));
+  EXPECT_FALSE(proj.holds([&](VarId) { return -1; }));
+}
+
+TEST_F(FMTest, NeighborCommunicationPattern) {
+  // The canonical nearest-neighbor query: q == p + 1, 0 <= p,q <= 3.
+  System s = make();
+  s.addRange(LinExpr::var(p_), LinExpr::constant(0), LinExpr::constant(3));
+  s.addRange(LinExpr::var(q_), LinExpr::constant(0), LinExpr::constant(3));
+  s.addEquals(LinExpr::var(q_), LinExpr::var(p_) + LinExpr::constant(1));
+  EXPECT_EQ(satisfiableInteger(s), Feasibility::Feasible);
+
+  // Adding q - p >= 2 must make it infeasible: communication is *only*
+  // nearest-neighbor.
+  System wider = s;
+  wider.addGE(LinExpr::var(q_) - LinExpr::var(p_) - LinExpr::constant(2));
+  EXPECT_EQ(scanRational(wider), Feasibility::Infeasible);
+}
+
+TEST_F(FMTest, SampleSatisfiesOriginalSystem) {
+  System s = make();
+  s.addRange(LinExpr::var(i_), LinExpr::constant(3), LinExpr::constant(7));
+  s.addRange(LinExpr::var(j_), LinExpr::var(i_), LinExpr::constant(9));
+  s.addEquals(LinExpr::var(a_), LinExpr::var(i_) + LinExpr::var(j_));
+  auto pt = sampleInteger(s);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_TRUE(s.holds(*pt));
+  EXPECT_EQ(pt->get(a_), pt->get(i_) + pt->get(j_));
+}
+
+TEST_F(FMTest, NonUnitEqualityPivot) {
+  // 2i == j, 1 <= j <= 9, j == 5 -> j odd so no integer i; sampler must
+  // reject, even though 2i == 5 is rationally fine.
+  System s = make();
+  s.addEquals(LinExpr::var(i_, 2), LinExpr::var(j_));
+  s.addEquals(LinExpr::var(j_), LinExpr::constant(5));
+  EXPECT_NE(satisfiableInteger(s), Feasibility::Feasible);
+}
+
+TEST_F(FMTest, CountersAdvance) {
+  fmCounters().reset();
+  System s = make();
+  s.addRange(LinExpr::var(i_), LinExpr::constant(1), LinExpr::constant(4));
+  scanRational(s);
+  EXPECT_GE(fmCounters().scans.load(), 1u);
+  EXPECT_GE(fmCounters().eliminations.load(), 1u);
+}
+
+TEST_F(FMTest, BlowupGuardTrips) {
+  // Many lower and upper bounds on the same variable with distinct term
+  // vectors force a quadratic pair explosion past a tiny guard.
+  System s = make();
+  for (int k = 1; k <= 30; ++k) {
+    s.addGE(LinExpr::var(i_, k) + LinExpr::var(j_) - LinExpr::constant(k));
+    s.addGE(LinExpr::constant(100 * k) - LinExpr::var(i_, k) -
+            LinExpr::var(n_));
+  }
+  FMOptions tiny;
+  tiny.maxConstraints = 10;
+  EXPECT_THROW(eliminateVariable(s, i_, tiny), Error);
+}
+
+TEST_F(FMTest, FeasibilityNames) {
+  EXPECT_STREQ(feasibilityName(Feasibility::Infeasible), "infeasible");
+  EXPECT_STREQ(feasibilityName(Feasibility::Feasible), "feasible");
+  EXPECT_STREQ(feasibilityName(Feasibility::Unknown), "unknown");
+}
+
+}  // namespace
+}  // namespace spmd::poly

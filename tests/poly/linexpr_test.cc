@@ -1,0 +1,138 @@
+#include "poly/linexpr.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace spmd::poly {
+namespace {
+
+class LinExprTest : public ::testing::Test {
+ protected:
+  LinExprTest() : space_(std::make_shared<VarSpace>()) {
+    x_ = space_->add("x", VarKind::LoopIndex);
+    y_ = space_->add("y", VarKind::LoopIndex);
+    n_ = space_->add("N", VarKind::Symbolic);
+  }
+  VarSpacePtr space_;
+  VarId x_, y_, n_;
+};
+
+TEST_F(LinExprTest, DefaultIsZero) {
+  LinExpr e;
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constTerm(), 0);
+  EXPECT_EQ(e.numTerms(), 0u);
+}
+
+TEST_F(LinExprTest, VarConstruction) {
+  LinExpr e = LinExpr::var(x_, 3);
+  EXPECT_EQ(e.coef(x_), 3);
+  EXPECT_EQ(e.coef(y_), 0);
+  EXPECT_FALSE(e.isConstant());
+}
+
+TEST_F(LinExprTest, ZeroCoefVarIsConstant) {
+  LinExpr e = LinExpr::var(x_, 0);
+  EXPECT_TRUE(e.isConstant());
+}
+
+TEST_F(LinExprTest, AdditionMergesAndCancels) {
+  LinExpr a = LinExpr::var(x_, 2) + LinExpr::var(y_, 1) + LinExpr::constant(5);
+  LinExpr b = LinExpr::var(x_, -2) + LinExpr::var(n_, 4);
+  LinExpr c = a + b;
+  EXPECT_EQ(c.coef(x_), 0);
+  EXPECT_EQ(c.coef(y_), 1);
+  EXPECT_EQ(c.coef(n_), 4);
+  EXPECT_EQ(c.constTerm(), 5);
+  // Cancelled term must be removed from the term list, not kept as zero.
+  EXPECT_EQ(c.numTerms(), 2u);
+}
+
+TEST_F(LinExprTest, SubtractionAndNegation) {
+  LinExpr a = LinExpr::var(x_) + LinExpr::constant(1);
+  LinExpr d = a - a;
+  EXPECT_TRUE(d.isConstant());
+  EXPECT_EQ(d.constTerm(), 0);
+  LinExpr neg = -a;
+  EXPECT_EQ(neg.coef(x_), -1);
+  EXPECT_EQ(neg.constTerm(), -1);
+}
+
+TEST_F(LinExprTest, ScalarMultiply) {
+  LinExpr a = LinExpr::var(x_, 2) + LinExpr::constant(3);
+  a *= -4;
+  EXPECT_EQ(a.coef(x_), -8);
+  EXPECT_EQ(a.constTerm(), -12);
+  a *= 0;
+  EXPECT_TRUE(a.isConstant());
+  EXPECT_EQ(a.constTerm(), 0);
+}
+
+TEST_F(LinExprTest, SetCoefInsertUpdateErase) {
+  LinExpr e;
+  e.setCoef(y_, 7);
+  EXPECT_EQ(e.coef(y_), 7);
+  e.setCoef(y_, 2);
+  EXPECT_EQ(e.coef(y_), 2);
+  e.setCoef(y_, 0);
+  EXPECT_EQ(e.coef(y_), 0);
+  EXPECT_TRUE(e.isConstant());
+}
+
+TEST_F(LinExprTest, CoefGcd) {
+  LinExpr e = LinExpr::var(x_, 6) + LinExpr::var(y_, -9) + LinExpr::constant(4);
+  EXPECT_EQ(e.coefGcd(), 3);
+  EXPECT_EQ(LinExpr::constant(5).coefGcd(), 0);
+}
+
+TEST_F(LinExprTest, DivideExact) {
+  LinExpr e = LinExpr::var(x_, 6) + LinExpr::constant(9);
+  e.divideExact(3);
+  EXPECT_EQ(e.coef(x_), 2);
+  EXPECT_EQ(e.constTerm(), 3);
+}
+
+TEST_F(LinExprTest, Evaluate) {
+  LinExpr e = LinExpr::var(x_, 2) - LinExpr::var(n_, 1) + LinExpr::constant(7);
+  auto val = [&](VarId v) -> i64 { return v == x_ ? 5 : 3; };
+  EXPECT_EQ(e.evaluate(val), 2 * 5 - 3 + 7);
+}
+
+TEST_F(LinExprTest, Substitute) {
+  // e = 2x + y;  x := n - 1  =>  e = 2n + y - 2
+  LinExpr e = LinExpr::var(x_, 2) + LinExpr::var(y_);
+  LinExpr repl = LinExpr::var(n_) + LinExpr::constant(-1);
+  e.substitute(x_, repl);
+  EXPECT_EQ(e.coef(x_), 0);
+  EXPECT_EQ(e.coef(n_), 2);
+  EXPECT_EQ(e.coef(y_), 1);
+  EXPECT_EQ(e.constTerm(), -2);
+}
+
+TEST_F(LinExprTest, SubstituteAbsentVarIsNoop) {
+  LinExpr e = LinExpr::var(y_);
+  LinExpr before = e;
+  e.substitute(x_, LinExpr::constant(42));
+  EXPECT_EQ(e, before);
+}
+
+TEST_F(LinExprTest, StructuralEquality) {
+  LinExpr a = LinExpr::var(x_, 1) + LinExpr::var(y_, 2);
+  LinExpr b = LinExpr::var(y_, 2) + LinExpr::var(x_, 1);
+  EXPECT_EQ(a, b);  // order of construction must not matter
+}
+
+TEST_F(LinExprTest, ToStringReadable) {
+  LinExpr e = LinExpr::var(x_, 2) - LinExpr::var(y_) + LinExpr::constant(-3);
+  EXPECT_EQ(e.toString(*space_), "2*x - y - 3");
+  EXPECT_EQ(LinExpr::constant(0).toString(*space_), "0");
+}
+
+TEST_F(LinExprTest, OverflowDetected) {
+  LinExpr e = LinExpr::var(x_, INT64_MAX);
+  EXPECT_THROW(e *= 2, Error);
+}
+
+}  // namespace
+}  // namespace spmd::poly

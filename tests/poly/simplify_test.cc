@@ -1,0 +1,129 @@
+// Tests for redundancy removal and bound extraction, including property
+// checks that simplification preserves the solution set.
+#include "poly/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace spmd::poly {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  SimplifyTest() : space_(std::make_shared<VarSpace>()) {
+    x_ = space_->add("x", VarKind::LoopIndex);
+    y_ = space_->add("y", VarKind::LoopIndex);
+  }
+  System make() { return System(space_); }
+  VarSpacePtr space_;
+  VarId x_, y_;
+};
+
+TEST_F(SimplifyTest, DropsDominatedBound) {
+  System s = make();
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(5));  // x >= 5
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(2));  // x >= 2 (implied)
+  System out = removeRedundant(s);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.constraints()[0].expr().constTerm(), -5);
+}
+
+TEST_F(SimplifyTest, DropsTransitivelyImpliedConstraint) {
+  // x >= y, y >= 3  =>  x >= 3 is redundant.
+  System s = make();
+  s.addGE(LinExpr::var(x_) - LinExpr::var(y_));
+  s.addGE(LinExpr::var(y_) - LinExpr::constant(3));
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(3));
+  System out = removeRedundant(s);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(SimplifyTest, KeepsIrredundantBox) {
+  System s = make();
+  s.addRange(LinExpr::var(x_), LinExpr::constant(0), LinExpr::constant(10));
+  s.addRange(LinExpr::var(y_), LinExpr::constant(0), LinExpr::constant(10));
+  EXPECT_EQ(removeRedundant(s).size(), 4u);
+}
+
+TEST_F(SimplifyTest, IntegerTightRedundancy) {
+  // Over the integers, 2x >= 1 normalizes to x >= 1, making x >= 1
+  // duplicate; the survivor set must still describe x >= 1.
+  System s = make();
+  s.addGE(LinExpr::var(x_, 2) - LinExpr::constant(1));
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(1));
+  System out = removeRedundant(s);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out.holds([&](VarId) { return 0; }));
+  EXPECT_TRUE(out.holds([&](VarId) { return 1; }));
+}
+
+TEST_F(SimplifyTest, PreservesSolutionsOnRandomSystems) {
+  // Brute-force equivalence on a grid for a batch of seeded systems.
+  for (i64 seed = 0; seed < 40; ++seed) {
+    System s = make();
+    i64 a = (seed * 7) % 5 - 2;
+    i64 b = (seed * 3) % 4 - 1;
+    s.addRange(LinExpr::var(x_), LinExpr::constant(-3), LinExpr::constant(3));
+    s.addRange(LinExpr::var(y_), LinExpr::constant(-3), LinExpr::constant(3));
+    s.addGE(LinExpr::var(x_, a) + LinExpr::var(y_, b) +
+            LinExpr::constant(seed % 5 - 2));
+    s.addGE(LinExpr::var(x_) + LinExpr::var(y_) - LinExpr::constant(a));
+    System out = removeRedundant(s);
+    EXPECT_LE(out.size(), s.size());
+    for (i64 x = -4; x <= 4; ++x) {
+      for (i64 y = -4; y <= 4; ++y) {
+        auto val = [&](VarId v) { return v == x_ ? x : y; };
+        EXPECT_EQ(s.holds(val), out.holds(val))
+            << "seed " << seed << " at (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST_F(SimplifyTest, EmptySystemStaysEmpty) {
+  System s = make();
+  s.addGE(LinExpr::constant(-1));
+  EXPECT_TRUE(removeRedundant(s).provedEmpty());
+}
+
+TEST_F(SimplifyTest, BoundsOfBoxedVariable) {
+  System s = make();
+  s.addRange(LinExpr::var(x_), LinExpr::constant(2), LinExpr::constant(9));
+  s.addRange(LinExpr::var(y_), LinExpr::var(x_), LinExpr::constant(20));
+  VarBoundsResult b = boundsOf(s, y_);
+  ASSERT_TRUE(b.feasible);
+  ASSERT_TRUE(b.lower.has_value());
+  ASSERT_TRUE(b.upper.has_value());
+  EXPECT_EQ(*b.lower, Rational(2));   // y >= x >= 2
+  EXPECT_EQ(*b.upper, Rational(20));
+}
+
+TEST_F(SimplifyTest, BoundsDetectInfeasible) {
+  System s = make();
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(5));
+  s.addGE(LinExpr::constant(2) - LinExpr::var(x_));
+  EXPECT_FALSE(boundsOf(s, x_).feasible);
+}
+
+TEST_F(SimplifyTest, BoundsUnboundedDirection) {
+  System s = make();
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(1));  // x >= 1 only
+  VarBoundsResult b = boundsOf(s, x_);
+  ASSERT_TRUE(b.feasible);
+  ASSERT_TRUE(b.lower.has_value());
+  EXPECT_EQ(*b.lower, Rational(1));
+  EXPECT_FALSE(b.upper.has_value());
+}
+
+TEST_F(SimplifyTest, BoundsThroughEquality) {
+  System s = make();
+  s.addEquals(LinExpr::var(x_, 2), LinExpr::constant(14));  // x == 7
+  VarBoundsResult b = boundsOf(s, x_);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_EQ(*b.lower, Rational(7));
+  EXPECT_EQ(*b.upper, Rational(7));
+}
+
+}  // namespace
+}  // namespace spmd::poly

@@ -1,0 +1,126 @@
+#include "poly/system.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace spmd::poly {
+namespace {
+
+class SystemTest : public ::testing::Test {
+ protected:
+  SystemTest() : space_(std::make_shared<VarSpace>()) {
+    x_ = space_->add("x", VarKind::LoopIndex);
+    y_ = space_->add("y", VarKind::LoopIndex);
+  }
+  VarSpacePtr space_;
+  VarId x_, y_;
+};
+
+TEST_F(SystemTest, GroundTrueConstraintsAreDropped) {
+  System s(space_);
+  s.addGE(LinExpr::constant(5));
+  s.addEQ(LinExpr::constant(0));
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.provedEmpty());
+}
+
+TEST_F(SystemTest, GroundFalseMarksEmpty) {
+  System s(space_);
+  s.addGE(LinExpr::constant(-1));
+  EXPECT_TRUE(s.provedEmpty());
+}
+
+TEST_F(SystemTest, GroundFalseEqualityMarksEmpty) {
+  System s(space_);
+  s.addEQ(LinExpr::constant(3));
+  EXPECT_TRUE(s.provedEmpty());
+}
+
+TEST_F(SystemTest, GcdTestRejectsIndivisibleEquality) {
+  // 2x + 4y + 1 == 0 has no integer solution.
+  System s(space_);
+  s.addEQ(LinExpr::var(x_, 2) + LinExpr::var(y_, 4) + LinExpr::constant(1));
+  EXPECT_TRUE(s.provedEmpty());
+}
+
+TEST_F(SystemTest, GcdNormalizesEquality) {
+  // 2x + 4y + 6 == 0 becomes x + 2y + 3 == 0.
+  System s(space_);
+  s.addEQ(LinExpr::var(x_, 2) + LinExpr::var(y_, 4) + LinExpr::constant(6));
+  ASSERT_EQ(s.size(), 1u);
+  const LinExpr& e = s.constraints()[0].expr();
+  EXPECT_EQ(e.coef(x_), 1);
+  EXPECT_EQ(e.coef(y_), 2);
+  EXPECT_EQ(e.constTerm(), 3);
+}
+
+TEST_F(SystemTest, IntegerTighteningOnInequality) {
+  // 2x - 5 >= 0  =>  x - 3 >= 0 over the integers (x >= 2.5 -> x >= 3).
+  System s(space_);
+  s.addGE(LinExpr::var(x_, 2) + LinExpr::constant(-5));
+  ASSERT_EQ(s.size(), 1u);
+  const LinExpr& e = s.constraints()[0].expr();
+  EXPECT_EQ(e.coef(x_), 1);
+  EXPECT_EQ(e.constTerm(), -3);
+}
+
+TEST_F(SystemTest, RangeSugar) {
+  System s(space_);
+  s.addRange(LinExpr::var(x_), LinExpr::constant(1), LinExpr::constant(10));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.holds([&](VarId) { return 5; }));
+  EXPECT_FALSE(s.holds([&](VarId) { return 0; }));
+  EXPECT_FALSE(s.holds([&](VarId) { return 11; }));
+}
+
+TEST_F(SystemTest, AppendSharesSpaceAndPropagatesEmpty) {
+  System a(space_), b(space_);
+  a.addGE(LinExpr::var(x_));
+  b.addGE(LinExpr::constant(-2));
+  EXPECT_TRUE(b.provedEmpty());
+  a.append(b);
+  EXPECT_TRUE(a.provedEmpty());
+}
+
+TEST_F(SystemTest, AppendRejectsForeignSpace) {
+  auto other = std::make_shared<VarSpace>();
+  System a(space_), b(other);
+  EXPECT_THROW(a.append(b), Error);
+}
+
+TEST_F(SystemTest, ReferencedVars) {
+  System s(space_);
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(1));
+  auto vars = s.referencedVars();
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], x_);
+  EXPECT_TRUE(s.references(x_));
+  EXPECT_FALSE(s.references(y_));
+}
+
+TEST_F(SystemTest, SubstituteRewritesAllConstraints) {
+  System s(space_);
+  s.addGE(LinExpr::var(x_) - LinExpr::constant(1));   // x >= 1
+  s.addLE(LinExpr::var(x_), LinExpr::constant(10));   // x <= 10
+  s.substitute(x_, LinExpr::var(y_) + LinExpr::constant(2));  // x := y + 2
+  EXPECT_FALSE(s.references(x_));
+  EXPECT_TRUE(s.holds([&](VarId) { return 0; }));   // y = 0 -> x = 2 in range
+  EXPECT_FALSE(s.holds([&](VarId) { return 9; }));  // y = 9 -> x = 11 > 10
+}
+
+TEST_F(SystemTest, HoldsOnProvedEmptyIsFalse) {
+  System s(space_);
+  s.addEQ(LinExpr::constant(1));
+  EXPECT_FALSE(s.holds([&](VarId) { return 0; }));
+}
+
+TEST_F(SystemTest, ToStringMentionsNames) {
+  System s(space_);
+  s.addGE(LinExpr::var(x_) - LinExpr::var(y_));
+  EXPECT_NE(s.toString().find("x"), std::string::npos);
+  EXPECT_NE(s.toString().find(">= 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmd::poly

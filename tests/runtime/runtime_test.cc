@@ -1,0 +1,163 @@
+// Runtime stress tests: thread team, barriers, counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/barrier.h"
+#include "runtime/counter.h"
+#include "runtime/team.h"
+
+namespace spmd::rt {
+namespace {
+
+TEST(ThreadTeam, SingleThreadRunsInline) {
+  ThreadTeam team(1);
+  int calls = 0;
+  team.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadTeam, AllThreadsParticipateOnce) {
+  const int P = 6;
+  ThreadTeam team(P);
+  std::vector<std::atomic<int>> hits(P);
+  team.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (int t = 0; t < P; ++t) EXPECT_EQ(hits[static_cast<std::size_t>(t)], 1);
+}
+
+TEST(ThreadTeam, RepeatedRunsReuseWorkers) {
+  const int P = 4;
+  ThreadTeam team(P);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 100; ++round)
+    team.run([&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 100 * P);
+}
+
+TEST(ThreadTeam, JoinPublishesWorkerWrites) {
+  const int P = 4;
+  ThreadTeam team(P);
+  std::vector<int> data(static_cast<std::size_t>(P), 0);
+  team.run([&](int tid) { data[static_cast<std::size_t>(tid)] = tid + 1; });
+  // Without synchronization bugs, master sees all writes after run().
+  EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 1 + 2 + 3 + 4);
+}
+
+TEST(ThreadTeam, RejectsZeroThreads) { EXPECT_THROW(ThreadTeam(0), Error); }
+
+template <typename BarrierT>
+void stressBarrier(int parties, int episodes) {
+  ThreadTeam team(parties);
+  BarrierT barrier(parties);
+  // Lock-step counter: every thread increments, then barrier; after each
+  // episode the sum must be exactly parties * episode.
+  std::atomic<long> counter{0};
+  std::atomic<bool> failed{false};
+  team.run([&](int tid) {
+    for (int e = 1; e <= episodes; ++e) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive(tid);
+      long expected = static_cast<long>(parties) * e;
+      if (counter.load(std::memory_order_relaxed) < expected)
+        failed.store(true);
+      barrier.arrive(tid);  // second barrier so nobody races ahead
+    }
+  });
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), static_cast<long>(parties) * episodes);
+}
+
+TEST(CentralBarrierTest, LockStepSmall) { stressBarrier<CentralBarrier>(2, 500); }
+TEST(CentralBarrierTest, LockStepWide) { stressBarrier<CentralBarrier>(8, 200); }
+TEST(CentralBarrierTest, SingleParty) {
+  CentralBarrier b(1);
+  for (int i = 0; i < 10; ++i) b.arrive(0);  // must not block
+}
+
+TEST(TreeBarrierTest, LockStepSmall) { stressBarrier<TreeBarrier>(2, 500); }
+TEST(TreeBarrierTest, LockStepWide) { stressBarrier<TreeBarrier>(8, 200); }
+TEST(TreeBarrierTest, OddPartyCount) { stressBarrier<TreeBarrier>(5, 200); }
+TEST(TreeBarrierTest, SingleParty) {
+  TreeBarrier b(1);
+  for (int i = 0; i < 10; ++i) b.arrive(0);
+}
+
+TEST(CounterSyncTest, PostThenWaitDoesNotBlock) {
+  CounterSync c(2);
+  c.post(0, 1);
+  c.wait(0, 1);  // already satisfied
+}
+
+TEST(CounterSyncTest, PipelineOrderingAcrossThreads) {
+  // Thread t writes cell t after waiting for thread t-1's post; the final
+  // array must be strictly increasing prefix sums — any missed ordering
+  // would show a stale read.
+  const int P = 6;
+  ThreadTeam team(P);
+  CounterSync counter(P);
+  std::vector<long> cells(static_cast<std::size_t>(P), 0);
+  team.run([&](int tid) {
+    if (tid > 0) counter.wait(tid - 1, 1);
+    cells[static_cast<std::size_t>(tid)] =
+        (tid > 0 ? cells[static_cast<std::size_t>(tid - 1)] : 0) + tid + 1;
+    counter.post(tid, 1);
+  });
+  long expected = 0;
+  for (int t = 0; t < P; ++t) {
+    expected += t + 1;
+    EXPECT_EQ(cells[static_cast<std::size_t>(t)], expected);
+  }
+}
+
+TEST(CounterSyncTest, OccurrenceNumbersAreMonotonic) {
+  const int P = 4;
+  const int rounds = 200;
+  ThreadTeam team(P);
+  CounterSync counter(P);
+  std::vector<std::vector<long>> data(
+      static_cast<std::size_t>(P), std::vector<long>(rounds + 1, 0));
+  std::atomic<bool> failed{false};
+  team.run([&](int tid) {
+    for (int r = 1; r <= rounds; ++r) {
+      data[static_cast<std::size_t>(tid)][static_cast<std::size_t>(r)] =
+          data[static_cast<std::size_t>(tid)][static_cast<std::size_t>(r - 1)] +
+          1;
+      counter.post(tid, static_cast<std::uint64_t>(r));
+      if (tid > 0) {
+        counter.wait(tid - 1, static_cast<std::uint64_t>(r));
+        // Left neighbor must have completed round r.
+        if (data[static_cast<std::size_t>(tid - 1)]
+                [static_cast<std::size_t>(r)] != r)
+          failed.store(true);
+      }
+    }
+  });
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(CounterSyncTest, ResetClearsSlots) {
+  CounterSync c(3);
+  c.post(1, 7);
+  c.reset();
+  // After reset, waiting for occurrence 0 succeeds immediately but 7 would
+  // block; verify the slot is observably zero via a fresh post.
+  c.post(1, 1);
+  c.wait(1, 1);
+}
+
+TEST(SyncCountsTest, Accumulation) {
+  SyncCounts a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.barriers, 11u);
+  EXPECT_EQ(a.broadcasts, 22u);
+  EXPECT_EQ(a.counterPosts, 33u);
+  EXPECT_EQ(a.counterWaits, 44u);
+}
+
+}  // namespace
+}  // namespace spmd::rt

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/checked_int.h"
+#include "support/rational.h"
+#include "support/text_table.h"
+
+namespace spmd {
+namespace {
+
+TEST(CheckedInt, AddSubMulBasics) {
+  EXPECT_EQ(addChecked(2, 3), 5);
+  EXPECT_EQ(subChecked(2, 3), -1);
+  EXPECT_EQ(mulChecked(-4, 5), -20);
+  EXPECT_EQ(negChecked(-7), 7);
+}
+
+TEST(CheckedInt, OverflowThrows) {
+  EXPECT_THROW(addChecked(INT64_MAX, 1), Error);
+  EXPECT_THROW(subChecked(INT64_MIN, 1), Error);
+  EXPECT_THROW(mulChecked(INT64_MAX, 2), Error);
+  EXPECT_THROW(negChecked(INT64_MIN), Error);
+}
+
+TEST(CheckedInt, BoundaryValuesOk) {
+  EXPECT_EQ(addChecked(INT64_MAX - 1, 1), INT64_MAX);
+  EXPECT_EQ(mulChecked(INT64_MAX, 1), INT64_MAX);
+  EXPECT_EQ(mulChecked(INT64_MIN, 1), INT64_MIN);
+}
+
+TEST(CheckedInt, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(7, 13), 1);
+}
+
+TEST(CheckedInt, FloorCeilDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(-8, 2), -4);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(8, 2), 4);
+}
+
+TEST(Rational, NormalizationAndSign) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_THROW(half / Rational(0), Error);
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.addRowValues("alpha", 12);
+  t.addRowValues("b", 3.5);
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PercentAndFixed) {
+  EXPECT_EQ(percent(0.29), "29.0%");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(Diag, CheckThrowsWithMessage) {
+  try {
+    SPMD_CHECK(false, "details here");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("details here"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace spmd

@@ -1,0 +1,15 @@
+! 3-point Jacobi relaxation with copy-back.
+PROGRAM jacobi
+SYMBOLIC N >= 8
+SYMBOLIC T >= 1
+REAL A(N + 2) = 1.0
+REAL Bn(N + 2) = 0.0
+DO t = 1, T
+  DOALL i = 1, N
+    Bn(i) = (A(i - 1) + A(i) + A(i + 1)) / 3.0
+  ENDDO
+  DOALL i2 = 1, N
+    A(i2) = Bn(i2)
+  ENDDO
+ENDDO
+END

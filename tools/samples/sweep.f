@@ -1,0 +1,14 @@
+! Wavefront sweep: rows flow through block-partitioned processors; the
+! per-row barrier pipelines into a counter.
+PROGRAM sweep
+SYMBOLIC N >= 8
+SYMBOLIC T >= 1
+REAL A(N + 2, N + 2) = 1.0
+DO t = 1, T
+  DO i = 1, N
+    DOALL j = 1, N
+      A(i, j) = 0.5 * (A(i - 1, j) + A(i + 1, j))
+    ENDDO
+  ENDDO
+ENDDO
+END
