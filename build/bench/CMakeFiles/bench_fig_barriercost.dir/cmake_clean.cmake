@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_barriercost.dir/bench_fig_barriercost.cc.o"
+  "CMakeFiles/bench_fig_barriercost.dir/bench_fig_barriercost.cc.o.d"
+  "bench_fig_barriercost"
+  "bench_fig_barriercost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_barriercost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_barriers.dir/bench_table2_barriers.cc.o"
+  "CMakeFiles/bench_table2_barriers.dir/bench_table2_barriers.cc.o.d"
+  "bench_table2_barriers"
+  "bench_table2_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_source.dir/compile_source.cpp.o"
+  "CMakeFiles/compile_source.dir/compile_source.cpp.o.d"
+  "compile_source"
+  "compile_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

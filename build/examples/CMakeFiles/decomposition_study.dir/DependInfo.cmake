@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/decomposition_study.cpp" "examples/CMakeFiles/decomposition_study.dir/decomposition_study.cpp.o" "gcc" "examples/CMakeFiles/decomposition_study.dir/decomposition_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/spmd_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/spmd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/spmd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/spmd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/spmd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spmd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/spmd_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spmd_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

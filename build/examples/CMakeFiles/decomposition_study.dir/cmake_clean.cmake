@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_study.dir/decomposition_study.cpp.o"
+  "CMakeFiles/decomposition_study.dir/decomposition_study.cpp.o.d"
+  "decomposition_study"
+  "decomposition_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

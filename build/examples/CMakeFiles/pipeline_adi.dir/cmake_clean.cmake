@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_adi.dir/pipeline_adi.cpp.o"
+  "CMakeFiles/pipeline_adi.dir/pipeline_adi.cpp.o.d"
+  "pipeline_adi"
+  "pipeline_adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_heat.dir/stencil_heat.cpp.o"
+  "CMakeFiles/stencil_heat.dir/stencil_heat.cpp.o.d"
+  "stencil_heat"
+  "stencil_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

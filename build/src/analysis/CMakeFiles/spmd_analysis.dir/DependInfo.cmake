@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access.cc" "src/analysis/CMakeFiles/spmd_analysis.dir/access.cc.o" "gcc" "src/analysis/CMakeFiles/spmd_analysis.dir/access.cc.o.d"
+  "/root/repo/src/analysis/dependence.cc" "src/analysis/CMakeFiles/spmd_analysis.dir/dependence.cc.o" "gcc" "src/analysis/CMakeFiles/spmd_analysis.dir/dependence.cc.o.d"
+  "/root/repo/src/analysis/validate.cc" "src/analysis/CMakeFiles/spmd_analysis.dir/validate.cc.o" "gcc" "src/analysis/CMakeFiles/spmd_analysis.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/spmd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/spmd_poly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

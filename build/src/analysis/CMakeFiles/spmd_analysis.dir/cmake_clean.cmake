@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_analysis.dir/access.cc.o"
+  "CMakeFiles/spmd_analysis.dir/access.cc.o.d"
+  "CMakeFiles/spmd_analysis.dir/dependence.cc.o"
+  "CMakeFiles/spmd_analysis.dir/dependence.cc.o.d"
+  "CMakeFiles/spmd_analysis.dir/validate.cc.o"
+  "CMakeFiles/spmd_analysis.dir/validate.cc.o.d"
+  "libspmd_analysis.a"
+  "libspmd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

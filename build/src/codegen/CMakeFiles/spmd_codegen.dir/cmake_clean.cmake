@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_codegen.dir/spmd_executor.cc.o"
+  "CMakeFiles/spmd_codegen.dir/spmd_executor.cc.o.d"
+  "CMakeFiles/spmd_codegen.dir/spmd_printer.cc.o"
+  "CMakeFiles/spmd_codegen.dir/spmd_printer.cc.o.d"
+  "libspmd_codegen.a"
+  "libspmd_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

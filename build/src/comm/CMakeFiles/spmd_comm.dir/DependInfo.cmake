@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/comm_analysis.cc" "src/comm/CMakeFiles/spmd_comm.dir/comm_analysis.cc.o" "gcc" "src/comm/CMakeFiles/spmd_comm.dir/comm_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/spmd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/spmd_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/spmd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/spmd_poly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_comm.dir/comm_analysis.cc.o"
+  "CMakeFiles/spmd_comm.dir/comm_analysis.cc.o.d"
+  "libspmd_comm.a"
+  "libspmd_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

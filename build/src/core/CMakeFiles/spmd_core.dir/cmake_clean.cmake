@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_core.dir/optimizer.cc.o"
+  "CMakeFiles/spmd_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/spmd_core.dir/report.cc.o"
+  "CMakeFiles/spmd_core.dir/report.cc.o.d"
+  "CMakeFiles/spmd_core.dir/spmd_region.cc.o"
+  "CMakeFiles/spmd_core.dir/spmd_region.cc.o.d"
+  "libspmd_core.a"
+  "libspmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_ir.dir/eval.cc.o"
+  "CMakeFiles/spmd_ir.dir/eval.cc.o.d"
+  "CMakeFiles/spmd_ir.dir/expr.cc.o"
+  "CMakeFiles/spmd_ir.dir/expr.cc.o.d"
+  "CMakeFiles/spmd_ir.dir/parser.cc.o"
+  "CMakeFiles/spmd_ir.dir/parser.cc.o.d"
+  "CMakeFiles/spmd_ir.dir/printer.cc.o"
+  "CMakeFiles/spmd_ir.dir/printer.cc.o.d"
+  "CMakeFiles/spmd_ir.dir/program.cc.o"
+  "CMakeFiles/spmd_ir.dir/program.cc.o.d"
+  "CMakeFiles/spmd_ir.dir/seq_executor.cc.o"
+  "CMakeFiles/spmd_ir.dir/seq_executor.cc.o.d"
+  "libspmd_ir.a"
+  "libspmd_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

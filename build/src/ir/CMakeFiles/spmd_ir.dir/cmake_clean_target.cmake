@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspmd_ir.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_kernels.dir/kernels.cc.o"
+  "CMakeFiles/spmd_kernels.dir/kernels.cc.o.d"
+  "libspmd_kernels.a"
+  "libspmd_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

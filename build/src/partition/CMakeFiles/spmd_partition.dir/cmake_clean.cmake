@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_partition.dir/decomposition.cc.o"
+  "CMakeFiles/spmd_partition.dir/decomposition.cc.o.d"
+  "libspmd_partition.a"
+  "libspmd_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

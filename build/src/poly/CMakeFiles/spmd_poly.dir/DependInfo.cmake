@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/fourier_motzkin.cc" "src/poly/CMakeFiles/spmd_poly.dir/fourier_motzkin.cc.o" "gcc" "src/poly/CMakeFiles/spmd_poly.dir/fourier_motzkin.cc.o.d"
+  "/root/repo/src/poly/linexpr.cc" "src/poly/CMakeFiles/spmd_poly.dir/linexpr.cc.o" "gcc" "src/poly/CMakeFiles/spmd_poly.dir/linexpr.cc.o.d"
+  "/root/repo/src/poly/simplify.cc" "src/poly/CMakeFiles/spmd_poly.dir/simplify.cc.o" "gcc" "src/poly/CMakeFiles/spmd_poly.dir/simplify.cc.o.d"
+  "/root/repo/src/poly/system.cc" "src/poly/CMakeFiles/spmd_poly.dir/system.cc.o" "gcc" "src/poly/CMakeFiles/spmd_poly.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

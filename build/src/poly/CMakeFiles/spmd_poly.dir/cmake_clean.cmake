@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_poly.dir/fourier_motzkin.cc.o"
+  "CMakeFiles/spmd_poly.dir/fourier_motzkin.cc.o.d"
+  "CMakeFiles/spmd_poly.dir/linexpr.cc.o"
+  "CMakeFiles/spmd_poly.dir/linexpr.cc.o.d"
+  "CMakeFiles/spmd_poly.dir/simplify.cc.o"
+  "CMakeFiles/spmd_poly.dir/simplify.cc.o.d"
+  "CMakeFiles/spmd_poly.dir/system.cc.o"
+  "CMakeFiles/spmd_poly.dir/system.cc.o.d"
+  "libspmd_poly.a"
+  "libspmd_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

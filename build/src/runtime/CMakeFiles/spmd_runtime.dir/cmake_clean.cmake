@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_runtime.dir/barrier.cc.o"
+  "CMakeFiles/spmd_runtime.dir/barrier.cc.o.d"
+  "CMakeFiles/spmd_runtime.dir/team.cc.o"
+  "CMakeFiles/spmd_runtime.dir/team.cc.o.d"
+  "libspmd_runtime.a"
+  "libspmd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

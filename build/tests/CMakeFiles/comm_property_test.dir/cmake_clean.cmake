@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_property_test.dir/comm/comm_property_test.cc.o"
+  "CMakeFiles/comm_property_test.dir/comm/comm_property_test.cc.o.d"
+  "comm_property_test"
+  "comm_property_test.pdb"
+  "comm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

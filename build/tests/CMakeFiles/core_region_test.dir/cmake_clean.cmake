@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_region_test.dir/core/region_test.cc.o"
+  "CMakeFiles/core_region_test.dir/core/region_test.cc.o.d"
+  "core_region_test"
+  "core_region_test.pdb"
+  "core_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

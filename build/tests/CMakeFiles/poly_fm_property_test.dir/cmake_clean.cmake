@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_fm_property_test.dir/poly/fm_property_test.cc.o"
+  "CMakeFiles/poly_fm_property_test.dir/poly/fm_property_test.cc.o.d"
+  "poly_fm_property_test"
+  "poly_fm_property_test.pdb"
+  "poly_fm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_fm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_linexpr_test.dir/poly/linexpr_test.cc.o"
+  "CMakeFiles/poly_linexpr_test.dir/poly/linexpr_test.cc.o.d"
+  "poly_linexpr_test"
+  "poly_linexpr_test.pdb"
+  "poly_linexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_linexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

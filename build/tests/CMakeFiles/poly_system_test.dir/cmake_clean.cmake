@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_system_test.dir/poly/system_test.cc.o"
+  "CMakeFiles/poly_system_test.dir/poly/system_test.cc.o.d"
+  "poly_system_test"
+  "poly_system_test.pdb"
+  "poly_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

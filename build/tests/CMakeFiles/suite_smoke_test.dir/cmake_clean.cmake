@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_smoke_test.dir/integration/suite_smoke_test.cc.o"
+  "CMakeFiles/suite_smoke_test.dir/integration/suite_smoke_test.cc.o.d"
+  "suite_smoke_test"
+  "suite_smoke_test.pdb"
+  "suite_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

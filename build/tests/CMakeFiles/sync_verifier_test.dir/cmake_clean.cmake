@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_verifier_test.dir/integration/sync_verifier_test.cc.o"
+  "CMakeFiles/sync_verifier_test.dir/integration/sync_verifier_test.cc.o.d"
+  "sync_verifier_test"
+  "sync_verifier_test.pdb"
+  "sync_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_linexpr_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_system_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_fm_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_fm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/core_region_test[1]_include.cmake")
+include("/root/repo/build/tests/core_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_simplify_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_smoke_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmdopt.dir/spmdopt.cc.o"
+  "CMakeFiles/spmdopt.dir/spmdopt.cc.o.d"
+  "spmdopt"
+  "spmdopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmdopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spmdopt.
+# This may be replaced when dependencies are built.

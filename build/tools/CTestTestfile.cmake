@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(spmdopt_help "/root/repo/build/tools/spmdopt" "--help")
+set_tests_properties(spmdopt_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(spmdopt_compile_sample "/root/repo/build/tools/spmdopt" "--report" "--emit" "--verify" "--procs=3" "/root/repo/tools/samples/jacobi.f")
+set_tests_properties(spmdopt_compile_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(spmdopt_pipeline_sample "/root/repo/build/tools/spmdopt" "--run" "--verify" "--bind" "N=32" "--bind" "T=4" "/root/repo/tools/samples/sweep.f")
+set_tests_properties(spmdopt_pipeline_sample PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(spmdopt_modes "/root/repo/build/tools/spmdopt" "--mode=deponly" "--run" "/root/repo/tools/samples/jacobi.f")
+set_tests_properties(spmdopt_modes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
