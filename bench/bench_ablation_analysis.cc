@@ -13,15 +13,27 @@
 // The paper's argument is that levels 2 and 3 — its contribution — are
 // where compiler-parallelized codes actually win: "the remaining barriers
 // are significantly harder to remove".
+//
+// Kernels are independent, so the three-config sweep runs on a worker team
+// (one row slot per kernel, printed in suite order — output is identical
+// to the serial sweep).
+#include <thread>
+
 #include "bench_util.h"
+#include "runtime/team.h"
 
 int main() {
   using namespace spmd;
   const int nthreads = 4;
 
-  TextTable table({"program", "base", "dep-only", "comm", "comm+counters",
-                   "final reduction"});
-  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+  std::vector<kernels::KernelSpec> suite = kernels::allKernels();
+  std::vector<std::vector<std::string>> rows(suite.size());
+
+  auto benchKernel = [&](std::size_t k) {
+    // Fresh spec per worker: KernelSpec shares the Program/Decomposition
+    // behind shared_ptr, and the executors mutate program stores.
+    kernels::KernelSpec spec = kernels::kernelByName(suite[k].name);
+
     core::OptimizerOptions depOnly;
     depOnly.analysisMode = comm::CommAnalyzer::Mode::DependenceOnly;
     depOnly.enableCounters = false;
@@ -36,12 +48,27 @@ int main() {
     bench::KernelRun r3 =
         bench::runKernel(spec, spec.defaultN, spec.defaultT, nthreads, full);
 
-    table.addRowValues(
-        spec.name, r1.base.barriers, r1.opt.barriers, r2.opt.barriers,
-        r3.opt.barriers,
+    rows[k] = {
+        spec.name, TextTable::toCell(r1.base.barriers),
+        TextTable::toCell(r1.opt.barriers), TextTable::toCell(r2.opt.barriers),
+        TextTable::toCell(r3.opt.barriers),
         fixed(bench::reductionPercent(r1.base.barriers, r3.opt.barriers), 1) +
-            "%");
+            "%"};
+  };
+
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int jobs = std::max(1, std::min(4, hw));
+  if (jobs <= 1) {
+    for (std::size_t k = 0; k < suite.size(); ++k) benchKernel(k);
+  } else {
+    rt::ThreadTeam team(jobs);
+    team.parallelFor(suite.size(), benchKernel);
   }
+
+  TextTable table({"program", "base", "dep-only", "comm", "comm+counters",
+                   "final reduction"});
+  for (std::vector<std::string>& row : rows) table.addRow(std::move(row));
+
   std::cout << "Ablation: barriers executed under increasing analysis "
                "precision (P = "
             << nthreads << ")\n\n";

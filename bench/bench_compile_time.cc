@@ -1,0 +1,182 @@
+// Compile-time benchmark for the analysis pipeline itself.
+//
+// The paper's optimizer is a compile-time pass, so this harness measures
+// the pass, not the generated code: it runs the synchronization optimizer
+// over the whole kernel suite under two configurations —
+//
+//   base       every compile-time optimization off (linear pair scans,
+//              no structural dedup, no shared-prefix projection, no FM
+//              scan memo, no constraint dedup): the original pipeline
+//   optimized  hashed pair memo + access dedup + shared-prefix projection
+//              + FM scan memo + constraint dedup (+ optional analysis
+//              threads): the full engine
+//
+// and cross-checks that both produce byte-identical SPMD programs and
+// decision reports for every kernel (the knobs are required to be
+// result-preserving).  Results go to stdout as a table and to
+// BENCH_compile_time.json for the experiment index.
+//
+// Usage: bench_compile_time [--quick] [--reps=R] [--threads=K]
+//   --quick      2 repetitions instead of 7 (CI smoke)
+//   --reps=R     explicit repetition count (best-of-R per config)
+//   --threads=K  also time the optimized config with K analysis threads
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "core/report.h"
+#include "kernels/kernels.h"
+#include "support/text_table.h"
+
+namespace {
+
+using namespace spmd;
+
+struct ConfigResult {
+  double seconds = 0.0;  ///< best-of-reps analysis wall clock
+  core::OptStats stats;
+  std::string plan;    ///< printed SPMD program
+  std::string report;  ///< rendered decision report
+};
+
+core::OptimizerOptions baseOptions() {
+  core::OptimizerOptions o;
+  o.memoCache = false;
+  o.dedupAccesses = false;
+  o.sharedPrefixProjection = false;
+  o.scanCache = false;
+  o.fm.dedupConstraints = false;
+  o.analysisThreads = 1;
+  return o;
+}
+
+core::OptimizerOptions optimizedOptions(int threads) {
+  core::OptimizerOptions o;  // all compile-time knobs default on
+  o.analysisThreads = threads;
+  return o;
+}
+
+/// Runs the optimizer `reps` times on fresh kernel instances and keeps the
+/// fastest analysis time (the plan/report come from the last run; all runs
+/// produce identical ones — that is what this harness verifies).
+ConfigResult timeKernel(const std::string& kernel,
+                        const core::OptimizerOptions& options, int reps) {
+  ConfigResult out;
+  out.seconds = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    kernels::KernelSpec spec = kernels::kernelByName(kernel);
+    auto start = std::chrono::steady_clock::now();
+    core::SyncOptimizer opt(*spec.program, *spec.decomp, options);
+    core::RegionProgram plan = opt.run();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (out.seconds < 0.0 || secs < out.seconds) out.seconds = secs;
+    out.stats = opt.stats();
+    out.plan = cg::printSpmdProgram(*spec.program, *spec.decomp, plan);
+    out.report = core::renderReport(opt.report());
+  }
+  return out;
+}
+
+std::string jsonEscapeless(double v) {
+  // Fixed formatting keeps the JSON stable across locales.
+  return spmd::fixed(v, 6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 7;
+  int threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      reps = 2;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::stoi(arg.substr(std::strlen("--reps=")));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoi(arg.substr(std::strlen("--threads=")));
+    } else {
+      std::cerr << "usage: bench_compile_time [--quick] [--reps=R] "
+                   "[--threads=K]\n";
+      return 2;
+    }
+  }
+
+  TextTable table({"program", "base ms", "opt ms", "speedup", "mt ms",
+                   "queries base", "queries opt", "memo+dedup", "scan hits",
+                   "identical"});
+
+  double baseTotal = 0.0, optTotal = 0.0, mtTotal = 0.0;
+  bool allIdentical = true;
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"compile_time\",\n  \"reps\": " << reps
+       << ",\n  \"analysisThreads\": " << threads << ",\n  \"kernels\": [\n";
+
+  std::vector<kernels::KernelSpec> suite = kernels::allKernels();
+  for (std::size_t k = 0; k < suite.size(); ++k) {
+    const std::string& name = suite[k].name;
+    ConfigResult base = timeKernel(name, baseOptions(), reps);
+    ConfigResult opt = timeKernel(name, optimizedOptions(1), reps);
+    ConfigResult mt = timeKernel(name, optimizedOptions(threads), reps);
+
+    bool identical = base.plan == opt.plan && base.report == opt.report &&
+                     base.plan == mt.plan && base.report == mt.report;
+    allIdentical = allIdentical && identical;
+    baseTotal += base.seconds;
+    optTotal += opt.seconds;
+    mtTotal += mt.seconds;
+
+    double speedup = opt.seconds > 0.0 ? base.seconds / opt.seconds : 0.0;
+    table.addRowValues(
+        name, fixed(base.seconds * 1000, 2), fixed(opt.seconds * 1000, 2),
+        fixed(speedup, 2) + "x", fixed(mt.seconds * 1000, 2),
+        base.stats.pairQueries, opt.stats.pairQueries,
+        opt.stats.cacheHits + opt.stats.dedupHits, opt.stats.scanCacheHits,
+        identical ? "yes" : "NO");
+
+    json << "    {\"name\": \"" << name << "\", \"baseSeconds\": "
+         << jsonEscapeless(base.seconds)
+         << ", \"optSeconds\": " << jsonEscapeless(opt.seconds)
+         << ", \"mtSeconds\": " << jsonEscapeless(mt.seconds)
+         << ", \"pairQueriesBase\": " << base.stats.pairQueries
+         << ", \"pairQueriesOpt\": " << opt.stats.pairQueries
+         << ", \"memoHits\": " << opt.stats.cacheHits
+         << ", \"dedupHits\": " << opt.stats.dedupHits
+         << ", \"scanCacheHits\": " << opt.stats.scanCacheHits
+         << ", \"plansIdentical\": " << (identical ? "true" : "false")
+         << "}" << (k + 1 < suite.size() ? "," : "") << "\n";
+  }
+
+  double speedup = optTotal > 0.0 ? baseTotal / optTotal : 0.0;
+  json << "  ],\n  \"totalBaseSeconds\": " << jsonEscapeless(baseTotal)
+       << ",\n  \"totalOptSeconds\": " << jsonEscapeless(optTotal)
+       << ",\n  \"totalMtSeconds\": " << jsonEscapeless(mtTotal)
+       << ",\n  \"speedup\": " << jsonEscapeless(speedup)
+       << ",\n  \"allPlansIdentical\": " << (allIdentical ? "true" : "false")
+       << "\n}\n";
+
+  std::cout << "Compile-time: synchronization analysis over the kernel "
+               "suite (best of "
+            << reps << ")\n\n";
+  table.print(std::cout);
+  std::cout << "\ntotal: base " << fixed(baseTotal * 1000, 1) << " ms, "
+            << "optimized " << fixed(optTotal * 1000, 1) << " ms ("
+            << fixed(speedup, 2) << "x), optimized+mt(" << threads
+            << " threads) " << fixed(mtTotal * 1000, 1) << " ms\n"
+            << "plans and reports "
+            << (allIdentical ? "byte-identical across configurations"
+                             : "DIVERGED — result-preservation bug")
+            << "\n";
+
+  std::ofstream("BENCH_compile_time.json") << json.str();
+
+  return allIdentical ? 0 : 1;
+}

@@ -25,7 +25,8 @@ DepQueryBuilder::DepQueryBuilder(const ir::Program& prog, poly::System base,
                                  std::vector<const ir::Stmt*> sharedLoops,
                                  int relLevel, LevelRel rel)
     : prog_(&prog),
-      sys_(std::move(base)),
+      space_(std::make_shared<poly::VarSpace>(*base.space())),
+      sys_(base.onSpace(space_)),
       sharedLoops_(std::move(sharedLoops)),
       relLevel_(relLevel),
       rel_(rel) {
@@ -69,17 +70,16 @@ void DepQueryBuilder::instantiateLoop(const ir::Stmt* loopStmt, int side) {
   if (state.loopVar.count(loopStmt)) return;
   const ir::Loop& l = loopStmt->loop();
 
-  std::string name = prog_->space()->name(l.index) + "#" +
-                     std::to_string(side) + "_" +
-                     std::to_string(freshCounter_++);
-  VarId fresh = prog_->space()->add(name, VarKind::LoopIndex);
+  std::string name = space_->name(l.index) + "#" + std::to_string(side) +
+                     "_" + std::to_string(freshCounter_++);
+  VarId fresh = space_->add(name, VarKind::LoopIndex);
 
   LinExpr lo = rename(l.lower, side);
   LinExpr hi = rename(l.upper, side);
   sys_.addRange(LinExpr::var(fresh), lo, hi);
   if (l.step != 1) {
     // fresh = lo + step*t, t >= 0.
-    VarId t = prog_->space()->add(name + "_t", VarKind::Aux);
+    VarId t = space_->add(name + "_t", VarKind::Aux);
     sys_.addGE(LinExpr::var(t));
     sys_.addEquals(LinExpr::var(fresh), lo + LinExpr::var(t, l.step));
   }
@@ -136,7 +136,8 @@ DepKind classifyDep(const Access& src, const Access& dst) {
 
 bool mayDepend(const ir::Program& prog, const Access& src, const Access& dst,
                const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
-               LevelRel rel, const poly::System& base) {
+               LevelRel rel, const poly::System& base,
+               const poly::FMOptions& fm) {
   if (src.array != dst.array) return false;
   if (!src.isWrite && !dst.isWrite) return false;  // input deps are harmless
   if (src.subscripts.size() != dst.subscripts.size()) return true;  // odd; be safe
@@ -145,7 +146,7 @@ bool mayDepend(const ir::Program& prog, const Access& src, const Access& dst,
   std::vector<LinExpr> s0 = q.instantiate(src, 0);
   std::vector<LinExpr> s1 = q.instantiate(dst, 1);
   for (std::size_t d = 0; d < s0.size(); ++d) q.sys().addEquals(s0[d], s1[d]);
-  return poly::scanRational(q.sys()) != poly::Feasibility::Infeasible;
+  return poly::scanRational(q.sys(), fm) != poly::Feasibility::Infeasible;
 }
 
 }  // namespace spmd::analysis

@@ -41,6 +41,12 @@ const char* depKindName(DepKind kind);
 ///
 /// Side 0 is the source (earlier) access, side 1 the destination.  Both
 /// accesses' `loops` chains must begin with `sharedLoops` as a prefix.
+///
+/// Thread safety: the builder clones the base context's VarSpace and
+/// creates every renamed/scratch variable in the clone, so any number of
+/// queries can be built and scanned concurrently without synchronizing on
+/// the shared program VarSpace (which would otherwise grow by several
+/// variables per query and be a data race under parallel analysis).
 class DepQueryBuilder {
  public:
   DepQueryBuilder(const ir::Program& prog, poly::System base,
@@ -75,6 +81,7 @@ class DepQueryBuilder {
   void instantiateLoop(const ir::Stmt* loop, int side);
 
   const ir::Program* prog_;
+  poly::VarSpacePtr space_;  ///< query-local clone of the program space
   poly::System sys_;
   std::vector<const ir::Stmt*> sharedLoops_;
   int relLevel_;
@@ -89,7 +96,8 @@ class DepQueryBuilder {
 /// by the ablation baseline: it ignores computation partitions entirely.
 bool mayDepend(const ir::Program& prog, const Access& src, const Access& dst,
                const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
-               LevelRel rel, const poly::System& base);
+               LevelRel rel, const poly::System& base,
+               const poly::FMOptions& fm = poly::FMOptions());
 
 /// Classifies the dependence kind of a (src, dst) pair where at least one
 /// side writes.

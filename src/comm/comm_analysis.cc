@@ -1,6 +1,11 @@
 #include "comm/comm_analysis.h"
 
-#include <sstream>
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "runtime/team.h"
+#include "support/hash.h"
 
 namespace spmd::comm {
 
@@ -55,14 +60,66 @@ const ir::Stmt* partitionReference(const ir::Stmt* parallelLoop) {
   return nullptr;
 }
 
+std::uint64_t accessIdentity(const Access& a) {
+  support::Hasher h;
+  h.i32(a.array.index).boolean(a.isWrite).pointer(a.stmt);
+  h.u64(a.subscripts.size());
+  for (const LinExpr& sub : a.subscripts) {
+    h.u64(sub.terms().size());
+    for (const auto& [v, coef] : sub.terms()) h.i32(v.index).i64(coef);
+    h.i64(sub.constTerm());
+  }
+  h.u64(a.loops.size());
+  for (const ir::Stmt* l : a.loops) h.pointer(l);
+  return h.digest();
+}
+
+CommAnalyzer::CommAnalyzer(const ir::Program& prog,
+                           part::Decomposition& decomp, Options options)
+    : prog_(&prog), decomp_(&decomp), options_(options), fm_(options.fm) {
+  if (options_.scanCache) {
+    scanMemo_ = std::make_unique<poly::ScanMemo>();
+    fm_.scanMemo = scanMemo_.get();
+  }
+}
+
 CommAnalyzer::CommAnalyzer(const ir::Program& prog,
                            part::Decomposition& decomp, Mode mode,
                            poly::FMOptions fmOptions)
-    : prog_(&prog), decomp_(&decomp), mode_(mode), fm_(fmOptions) {}
+    : CommAnalyzer(prog, decomp, [&] {
+        Options o;
+        o.mode = mode;
+        o.fm = fmOptions;
+        return o;
+      }()) {}
+
+CommAnalyzer::~CommAnalyzer() = default;
+
+void CommAnalyzer::ensureTeam() {
+  if (team_ == nullptr)
+    team_ = std::make_unique<rt::ThreadTeam>(std::max(1, options_.threads));
+}
+
+CommAnalyzer::CacheStats CommAnalyzer::stats() const {
+  CacheStats s;
+  s.pairQueries = pairQueries();
+  s.cacheHits = cacheHits();
+  s.dedupHits = dedupHits();
+  {
+    std::shared_lock<std::shared_mutex> lock(cacheMutex_);
+    s.pairEntries = cache_.size();
+  }
+  if (scanMemo_ != nullptr) {
+    s.scanHits = scanMemo_->hits();
+    s.scanMisses = scanMemo_->misses();
+    s.scanEntries = scanMemo_->size();
+  }
+  return s;
+}
 
 bool CommAnalyzer::addPlacement(DepQueryBuilder& q, const Access& a,
                                 const AccessPlacement& placement, int side,
-                                VarId procVar) {
+                                VarId procVar) const {
   System& sys = q.sys();
   switch (placement.kind) {
     case AccessPlacement::Kind::ParallelIteration: {
@@ -120,27 +177,16 @@ bool CommAnalyzer::addPlacement(DepQueryBuilder& q, const Access& a,
   SPMD_UNREACHABLE("bad AccessPlacement kind");
 }
 
-std::string CommAnalyzer::pairKey(
+std::uint64_t CommAnalyzer::pairKey(
     const Access& src, const Access& dst,
     const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
     LevelRel rel) const {
-  std::ostringstream os;
-  auto side = [&](const Access& a) {
-    os << a.array.index << (a.isWrite ? 'w' : 'r') << '@' << a.stmt << '[';
-    for (const poly::LinExpr& sub : a.subscripts) {
-      for (const auto& [v, c] : sub.terms()) os << v.index << ':' << c << ' ';
-      os << '+' << sub.constTerm() << ';';
-    }
-    os << ']';
-    for (const ir::Stmt* l : a.loops) os << l << ',';
-  };
-  side(src);
-  os << "->";
-  side(dst);
-  os << '|';
-  for (const ir::Stmt* l : sharedLoops) os << l << ',';
-  os << relLevel << '/' << static_cast<int>(rel);
-  return os.str();
+  support::Hasher h;
+  h.u64(accessIdentity(src)).u64(accessIdentity(dst));
+  h.u64(sharedLoops.size());
+  for (const ir::Stmt* l : sharedLoops) h.pointer(l);
+  h.i32(relLevel).i32(static_cast<int>(rel));
+  return h.digest();
 }
 
 PairResult CommAnalyzer::analyzePair(
@@ -150,24 +196,37 @@ PairResult CommAnalyzer::analyzePair(
   if (src.array != dst.array) return PairResult::none();
   if (!src.isWrite && !dst.isWrite) return PairResult::none();
 
-  std::string key = pairKey(src, dst, sharedLoops, relLevel, rel);
-  if (auto it = cache_.find(key); it != cache_.end()) {
-    ++cacheHits_;
-    return it->second;
+  if (!options_.memoCache) {
+    pairQueries_.fetch_add(1, std::memory_order_relaxed);
+    return analyzePairImpl(src, dst, sharedLoops, relLevel, rel);
   }
-  ++pairQueries_;
+
+  std::uint64_t key = pairKey(src, dst, sharedLoops, relLevel, rel);
+  {
+    std::shared_lock<std::shared_mutex> lock(cacheMutex_);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      cacheHits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Concurrent misses on the same key may both compute the (pure,
+  // deterministic) result; the second emplace is a no-op.
+  pairQueries_.fetch_add(1, std::memory_order_relaxed);
   PairResult result = analyzePairImpl(src, dst, sharedLoops, relLevel, rel);
-  cache_.emplace(std::move(key), result);
+  {
+    std::unique_lock<std::shared_mutex> lock(cacheMutex_);
+    cache_.emplace(key, result);
+  }
   return result;
 }
 
 PairResult CommAnalyzer::analyzePairImpl(
     const Access& src, const Access& dst,
     const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
-    LevelRel rel) {
-  if (mode_ == Mode::DependenceOnly) {
+    LevelRel rel) const {
+  if (options_.mode == Mode::DependenceOnly) {
     bool dep = analysis::mayDepend(*prog_, src, dst, sharedLoops, relLevel,
-                                   rel, decomp_->baseContext());
+                                   rel, decomp_->baseContext(), fm_);
     return dep ? PairResult::general() : PairResult::none();
   }
 
@@ -178,7 +237,7 @@ PairResult CommAnalyzer::analyzePairImpl(
     // Fall back to pure dependence: at least prove independence when
     // placement is unknown.
     bool dep = analysis::mayDepend(*prog_, src, dst, sharedLoops, relLevel,
-                                   rel, decomp_->baseContext());
+                                   rel, decomp_->baseContext(), fm_);
     return dep ? PairResult::general() : PairResult::none();
   }
 
@@ -195,13 +254,33 @@ PairResult CommAnalyzer::analyzePairImpl(
       !addPlacement(q, dst, dstPlace, 1, qv))
     return PairResult::general();
 
+  // All four distance branches share the full query system and differ only
+  // in constraints over p, q, their offset variables, and B.  Projecting
+  // the shared prefix onto processor + symbolic variables once is
+  // rational-exact (Fourier–Motzkin projection preserves the rational
+  // shadow), so every branch verdict is identical to scanning the full
+  // system — the branches just re-eliminate a handful of variables instead
+  // of the whole iteration space, four times.
+  const System* base = &q.sys();
+  System projected(q.sys().space());
+  if (options_.sharedPrefixProjection) {
+    std::vector<VarId> keep;
+    for (VarId v : q.sys().referencedVars()) {
+      poly::VarKind kind = q.sys().space()->kind(v);
+      if (kind == poly::VarKind::Processor || kind == poly::VarKind::Symbolic)
+        keep.push_back(v);
+    }
+    projected = poly::projectOnto(q.sys(), keep, fm_);
+    base = &projected;
+  }
+
   // Quick exit: if even the unbranched system (p, q unrelated) is
   // infeasible, there is no dependence at all.
-  if (poly::scanRational(q.sys(), fm_) == Feasibility::Infeasible)
+  if (poly::scanRational(*base, fm_) == Feasibility::Infeasible)
     return PairResult::none();
 
   auto branch = [&](i64 d, bool exactDistance) {
-    System sys = q.sys();
+    System sys = *base;
     LinExpr gap = LinExpr::var(qv) - LinExpr::var(p);
     if (exactDistance)
       sys.addEQ(gap - LinExpr::constant(d));
@@ -227,15 +306,59 @@ PairResult CommAnalyzer::analyzeBoundary(
     const AccessSet& before, const AccessSet& after,
     const std::vector<const ir::Stmt*>& sharedLoops, int relLevel,
     LevelRel rel) {
-  PairResult total;
-  total.exact = true;
   // Paper §3.2.2 step 2: refs vs defs (flow), defs vs refs (anti), and
-  // defs vs defs (output).
+  // defs vs defs (output), collected in program order.  Structural
+  // duplicates may be dropped up front: mergeFrom is idempotent and the
+  // early-exit check below only ever fires on the first occurrence of a
+  // pair, so the merged total is byte-identical with dedup on or off.
+  std::vector<std::pair<const Access*, const Access*>> pairs;
+  std::unordered_set<std::uint64_t> seen;
   for (const Access& a : before.arrays) {
     for (const Access& b : after.arrays) {
       if (!a.isWrite && !b.isWrite) continue;
-      if (total.farLeft && total.farRight) return total;  // already general
-      total.mergeFrom(analyzePair(a, b, sharedLoops, relLevel, rel));
+      if (a.array != b.array) continue;
+      if (options_.dedupAccesses) {
+        std::uint64_t id =
+            support::hashCombine(accessIdentity(a), accessIdentity(b));
+        if (!seen.insert(id).second) {
+          dedupHits_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      pairs.emplace_back(&a, &b);
+    }
+  }
+
+  PairResult total;
+  total.exact = true;
+
+  if (options_.threads <= 1 || pairs.size() < 2) {
+    for (const auto& [a, b] : pairs) {
+      if (decisionSettled(total)) return total;
+      total.mergeFrom(analyzePair(*a, *b, sharedLoops, relLevel, rel));
+    }
+    return total;
+  }
+
+  // Parallel path: compute pair results speculatively in fixed-size
+  // chunks, then merge strictly in program order with the same per-pair
+  // early-exit check as the serial loop above.  Pair results are pure, so
+  // the merged total is byte-identical for every thread count; the only
+  // cost of speculation is analyzing (and caching) at most one chunk of
+  // pairs past the exit point.
+  ensureTeam();
+  constexpr std::size_t kChunk = 16;
+  std::vector<PairResult> results(std::min(kChunk, pairs.size()));
+  for (std::size_t begin = 0; begin < pairs.size(); begin += kChunk) {
+    if (decisionSettled(total)) return total;
+    const std::size_t end = std::min(begin + kChunk, pairs.size());
+    team_->parallelFor(end - begin, [&](std::size_t k) {
+      const auto& [a, b] = pairs[begin + k];
+      results[k] = analyzePair(*a, *b, sharedLoops, relLevel, rel);
+    });
+    for (std::size_t k = 0; k < end - begin; ++k) {
+      if (decisionSettled(total)) return total;
+      total.mergeFrom(results[k]);
     }
   }
   return total;

@@ -15,13 +15,39 @@
 // can be eliminated) and classify the pattern (only |q-p| = 1 feasible =>
 // nearest-neighbor, replaceable by counters; anything further => general,
 // keep the barrier).
+//
+// Compile-time engineering (all knobs in CommAnalyzer::Options, all
+// result-preserving — see tests/integration/plan_determinism_test.cc):
+//   * pair-result memoization keyed by a structural 64-bit hash of the
+//     query (support/hash.h) in an unordered_map;
+//   * access-identity deduplication per boundary: structurally identical
+//     (access, access) pairs are analyzed once (merge is idempotent);
+//   * shared-prefix projection: the unbranched query system is projected
+//     once onto its processor and symbolic variables and the four distance
+//     branches scan the small residual instead of the full system;
+//   * a per-analyzer Fourier–Motzkin scan memo keyed by the system
+//     fingerprint (scoping it per analyzer keeps kernels' interned
+//     identities from colliding across programs);
+//   * optional multi-threaded boundary analysis: pair queries of one
+//     boundary run on a rt::ThreadTeam, while merging stays strictly
+//     in program order with the same early-exit check as the serial
+//     path, so the merged result is byte-identical for every thread
+//     count.
 #pragma once
 
-#include <map>
-#include <string>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "analysis/dependence.h"
 #include "partition/decomposition.h"
+
+namespace spmd::rt {
+class ThreadTeam;
+}
 
 namespace spmd::comm {
 
@@ -78,6 +104,12 @@ AccessPlacement placementOf(const analysis::Access& a,
 /// when the loop body contains no array assignment.
 const ir::Stmt* partitionReference(const ir::Stmt* parallelLoop);
 
+/// Structural identity of one access as a pair query sees it: array,
+/// direction, owning statement, subscript terms, and loop chain.  Two
+/// accesses with equal identity produce identical query systems, so their
+/// pair results are interchangeable.  Process-local (hashes pointers).
+std::uint64_t accessIdentity(const analysis::Access& a);
+
 class CommAnalyzer {
  public:
   /// DependenceOnly reproduces the ablation baseline: a boundary is
@@ -85,57 +117,135 @@ class CommAnalyzer {
   /// (processor placement ignored) — what SIMD-language compilers do.
   enum class Mode { DependenceOnly, Communication };
 
+  /// Analysis configuration.  Every knob below Mode/fm trades compile time
+  /// only: synchronization plans and decision reports are identical for
+  /// every combination (enforced by the plan-determinism regression test).
+  struct Options {
+    Mode mode = Mode::Communication;
+    /// Base FM knobs.  When `scanCache` is true the analyzer installs its
+    /// own private scan memo and `fm.scanMemo` is ignored.
+    poly::FMOptions fm;
+    /// Memoize pair results under a structural 64-bit hash key.
+    bool memoCache = true;
+    /// Drop structurally duplicate (src, dst) pairs within a boundary.
+    bool dedupAccesses = true;
+    /// Project the unbranched pair system onto processor + symbolic vars
+    /// once, then scan the four distance branches on the residual.
+    bool sharedPrefixProjection = true;
+    /// Memoize Fourier–Motzkin scan verdicts per analyzer.
+    bool scanCache = true;
+    /// Worker threads for the pair queries of one boundary (1 = serial).
+    int threads = 1;
+  };
+
+  /// Cache statistics of one analyzer.  Scoped per analyzer instance so
+  /// pointer-based identities from different programs never mix; aggregate
+  /// across kernels with operator+=.
+  struct CacheStats {
+    std::size_t pairQueries = 0;  ///< pair systems built and scanned
+    std::size_t cacheHits = 0;    ///< pairs answered from the memo
+    std::size_t dedupHits = 0;    ///< pairs dropped as structural duplicates
+    std::size_t pairEntries = 0;  ///< resident pair-memo entries
+    std::uint64_t scanHits = 0;   ///< FM scans answered from the scan memo
+    std::uint64_t scanMisses = 0;
+    std::size_t scanEntries = 0;  ///< resident scan-memo entries
+
+    CacheStats& operator+=(const CacheStats& o) {
+      pairQueries += o.pairQueries;
+      cacheHits += o.cacheHits;
+      dedupHits += o.dedupHits;
+      pairEntries += o.pairEntries;
+      scanHits += o.scanHits;
+      scanMisses += o.scanMisses;
+      scanEntries += o.scanEntries;
+      return *this;
+    }
+  };
+
+  CommAnalyzer(const ir::Program& prog, part::Decomposition& decomp,
+               Options options);
   CommAnalyzer(const ir::Program& prog, part::Decomposition& decomp,
                Mode mode = Mode::Communication,
                poly::FMOptions fmOptions = poly::FMOptions());
+  ~CommAnalyzer();
 
-  Mode mode() const { return mode_; }
+  Mode mode() const { return options_.mode; }
+  const Options& options() const { return options_; }
 
   /// Analyzes one (earlier access, later access) pair under the given loop
   /// relation.  `sharedLoops` is the chain of sequential loops enclosing
-  /// both sides inside the SPMD region.
+  /// both sides inside the SPMD region.  Thread-safe.
   PairResult analyzePair(const analysis::Access& src,
                          const analysis::Access& dst,
                          const std::vector<const ir::Stmt*>& sharedLoops,
                          int relLevel, analysis::LevelRel rel);
 
   /// Analyzes a whole boundary: every dependence-forming pair between two
-  /// access sets (flow, anti, and output).
+  /// access sets (flow, anti, and output).  Merges in program order and
+  /// stops early once the boundary is known non-removable and non-neighbor
+  /// (no later pair can change the decision or the merged flags).
   PairResult analyzeBoundary(const analysis::AccessSet& before,
                              const analysis::AccessSet& after,
                              const std::vector<const ir::Stmt*>& sharedLoops,
                              int relLevel, analysis::LevelRel rel);
 
   /// Number of pair queries actually scanned (optimizer statistics).
-  std::size_t pairQueries() const { return pairQueries_; }
+  std::size_t pairQueries() const {
+    return pairQueries_.load(std::memory_order_relaxed);
+  }
   /// Queries answered from the memoization cache.  Group accumulation in
-  /// the greedy eliminator re-tests earlier pairs at every later boundary,
+  /// the greedy eliminator revisits earlier accesses at later boundaries,
   /// so hit rates grow with region size.
-  std::size_t cacheHits() const { return cacheHits_; }
+  std::size_t cacheHits() const {
+    return cacheHits_.load(std::memory_order_relaxed);
+  }
+  /// Pairs skipped because a structurally identical pair was already
+  /// merged into the same boundary.
+  std::size_t dedupHits() const {
+    return dedupHits_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of all counters (also covers the FM scan memo).
+  CacheStats stats() const;
 
  private:
   /// Adds placement constraints for one side; returns false on bailout.
   bool addPlacement(analysis::DepQueryBuilder& q, const analysis::Access& a,
                     const AccessPlacement& placement, int side,
-                    poly::VarId procVar);
+                    poly::VarId procVar) const;
 
   PairResult analyzePairImpl(const analysis::Access& src,
                              const analysis::Access& dst,
                              const std::vector<const ir::Stmt*>& sharedLoops,
-                             int relLevel, analysis::LevelRel rel);
+                             int relLevel, analysis::LevelRel rel) const;
 
-  std::string pairKey(const analysis::Access& src,
-                      const analysis::Access& dst,
-                      const std::vector<const ir::Stmt*>& sharedLoops,
-                      int relLevel, analysis::LevelRel rel) const;
+  std::uint64_t pairKey(const analysis::Access& src,
+                        const analysis::Access& dst,
+                        const std::vector<const ir::Stmt*>& sharedLoops,
+                        int relLevel, analysis::LevelRel rel) const;
+
+  /// True once the merged total can no longer influence the boundary
+  /// decision: communication exists and is not pure nearest-neighbor, so
+  /// a barrier is forced no matter what later pairs add.
+  static bool decisionSettled(const PairResult& total) {
+    return total.comm &&
+           !(total.exact && !total.farLeft && !total.farRight);
+  }
+
+  void ensureTeam();
 
   const ir::Program* prog_;
   part::Decomposition* decomp_;
-  Mode mode_;
-  poly::FMOptions fm_;
-  std::size_t pairQueries_ = 0;
-  std::size_t cacheHits_ = 0;
-  std::map<std::string, PairResult> cache_;
+  Options options_;
+  poly::FMOptions fm_;  ///< options_.fm with the private scan memo wired in
+  std::unique_ptr<poly::ScanMemo> scanMemo_;
+  std::unique_ptr<rt::ThreadTeam> team_;  ///< lazily created when threads > 1
+
+  mutable std::shared_mutex cacheMutex_;
+  std::unordered_map<std::uint64_t, PairResult> cache_;
+  std::atomic<std::size_t> pairQueries_{0};
+  std::atomic<std::size_t> cacheHits_{0};
+  std::atomic<std::size_t> dedupHits_{0};
 };
 
 }  // namespace spmd::comm

@@ -11,6 +11,18 @@ using comm::PairResult;
 
 namespace {
 
+comm::CommAnalyzer::Options analyzerOptions(const OptimizerOptions& o) {
+  comm::CommAnalyzer::Options a;
+  a.mode = o.analysisMode;
+  a.fm = o.fm;
+  a.memoCache = o.memoCache;
+  a.dedupAccesses = o.dedupAccesses;
+  a.sharedPrefixProjection = o.sharedPrefixProjection;
+  a.scanCache = o.scanCache;
+  a.threads = o.analysisThreads;
+  return a;
+}
+
 bool stmtRhsReadsArrays(const ir::Stmt* stmt) {
   std::vector<ir::ArrayRead> reads;
   if (stmt->kind() == ir::Stmt::Kind::ScalarAssign)
@@ -71,7 +83,7 @@ SyncOptimizer::SyncOptimizer(const ir::Program& prog,
     : prog_(&prog),
       decomp_(&decomp),
       options_(options),
-      comm_(prog, decomp, options.analysisMode, options.fm) {}
+      comm_(prog, decomp, analyzerOptions(options)) {}
 
 SyncPoint SyncOptimizer::decideBoundary(const PairResult& arrays,
                                         ScalarComm scalars) {
@@ -275,8 +287,11 @@ RegionProgram SyncOptimizer::run() {
     AccessSet carry;
     planSequence(item.region->nodes, shared, carry);
   }
-  stats_.pairQueries = comm_.pairQueries();
-  stats_.cacheHits = comm_.cacheHits();
+  comm::CommAnalyzer::CacheStats cacheStats = comm_.stats();
+  stats_.pairQueries = cacheStats.pairQueries;
+  stats_.cacheHits = cacheStats.cacheHits;
+  stats_.dedupHits = cacheStats.dedupHits;
+  stats_.scanCacheHits = cacheStats.scanHits;
   stats_.analysisSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

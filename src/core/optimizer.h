@@ -44,6 +44,15 @@ struct OptimizerOptions {
       comm::CommAnalyzer::Mode::Communication;
   bool enableCounters = true;  ///< allow barrier -> counter replacement
   poly::FMOptions fm;
+
+  // Compile-time knobs, forwarded to CommAnalyzer::Options.  All of them
+  // are result-preserving: plans and decision reports are byte-identical
+  // for every combination (see tests/integration/plan_determinism_test.cc).
+  bool memoCache = true;             ///< hashed pair-result memoization
+  bool dedupAccesses = true;         ///< per-boundary structural pair dedup
+  bool sharedPrefixProjection = true;  ///< project once, branch on residual
+  bool scanCache = true;             ///< per-analyzer FM scan memo
+  int analysisThreads = 1;           ///< pair-query workers per boundary
 };
 
 struct OptStats {
@@ -58,6 +67,8 @@ struct OptStats {
   std::size_t backEdgesPipelined = 0;
   std::size_t pairQueries = 0;  ///< communication pair systems scanned
   std::size_t cacheHits = 0;    ///< pair queries answered by memoization
+  std::size_t dedupHits = 0;    ///< pairs collapsed by structural dedup
+  std::uint64_t scanCacheHits = 0;  ///< FM scans served from the scan memo
   double analysisSeconds = 0.0;
 };
 

@@ -60,20 +60,32 @@ std::optional<LoopPartition> Decomposition::loopPartition(
   return it->second;
 }
 
-VarId Decomposition::makeProcVar(System& sys, const std::string& name) {
-  VarId p = prog_->space()->add(name, VarKind::Processor);
+VarId Decomposition::makeProcVar(System& sys, const std::string& name) const {
+  // The variable is minted in the *query's* VarSpace (usually a clone of
+  // the program space, see DepQueryBuilder): parallel analysis threads
+  // must never append to the shared program space.
+  VarId p = sys.space()->add(name, VarKind::Processor);
   // 0 <= p <= P - 1
   sys.addGE(LinExpr::var(p));
   sys.addGE(LinExpr::var(pVar_) - LinExpr::var(p) - LinExpr::constant(1));
   return p;
 }
 
-VarId Decomposition::offsetVar(System& sys, VarId procVar) {
-  auto it = offsetVars_.find(procVar.index);
-  if (it != offsetVars_.end()) return it->second;
-  VarId o = prog_->space()->add(
-      "o_" + prog_->space()->name(procVar), VarKind::Processor);
-  offsetVars_[procVar.index] = o;
+std::string Decomposition::offsetKey(VarId procVar) {
+  return "o#" + std::to_string(procVar.index);
+}
+
+VarId Decomposition::offsetVar(System& sys, VarId procVar) const {
+  // The cache travels with the System (and its copies, e.g. the branch
+  // systems of a communication query), not with the Decomposition: offset
+  // variables for one query's processor vars are meaningless in another
+  // query's system, and a per-Decomposition map would race under parallel
+  // analysis.
+  std::string key = offsetKey(procVar);
+  if (auto cached = sys.findAux(key)) return *cached;
+  VarId o = sys.space()->add("o_" + sys.space()->name(procVar),
+                             VarKind::Processor);
+  sys.registerAux(key, o);
   // o_p = p*B with p >= 0, B >= 1  =>  o_p >= 0 and o_p >= p (since B >= 1).
   sys.addGE(LinExpr::var(o));
   sys.addGE(LinExpr::var(o) - LinExpr::var(procVar));
@@ -82,7 +94,7 @@ VarId Decomposition::offsetVar(System& sys, VarId procVar) {
 
 bool Decomposition::addOwnerConstraint(System& sys, ir::ArrayId a,
                                        const LinExpr& subscript,
-                                       VarId procVar) {
+                                       VarId procVar) const {
   const ArrayDist& d = dist(a);
   switch (d.kind) {
     case DistKind::Replicated:
@@ -112,7 +124,7 @@ bool Decomposition::addComputeConstraint(System& sys, const ir::Stmt* loop,
                                          const LinExpr& lowerBound,
                                          const LinExpr& lhsSub,
                                          ir::ArrayId lhsArray,
-                                         VarId procVar) {
+                                         VarId procVar) const {
   LoopPartition part =
       loopPartition(loop).value_or(LoopPartition{});  // owner-computes
   switch (part.kind) {
@@ -142,13 +154,12 @@ bool Decomposition::addComputeConstraint(System& sys, const ir::Stmt* loop,
 }
 
 void Decomposition::addOffsetRelation(System& sys, VarId p, VarId q, i64 d,
-                                      bool exact) {
+                                      bool exact) const {
   if (p == q) return;
-  auto itP = offsetVars_.find(p.index);
-  auto itQ = offsetVars_.find(q.index);
-  if (itP == offsetVars_.end() || itQ == offsetVars_.end())
-    return;  // no block ownership was asserted for one side
-  LinExpr diff = LinExpr::var(itQ->second) - LinExpr::var(itP->second);
+  auto oP = sys.findAux(offsetKey(p));
+  auto oQ = sys.findAux(offsetKey(q));
+  if (!oP || !oQ) return;  // no block ownership was asserted for one side
+  LinExpr diff = LinExpr::var(*oQ) - LinExpr::var(*oP);
   // q - p == d   =>  o_q - o_p == d*B
   // q - p >= d   =>  o_q - o_p >= d*B   (d > 0)
   // q - p <= d   =>  o_q - o_p <= d*B   (d < 0)

@@ -96,13 +96,19 @@ class Decomposition {
   void setLoopPartition(const ir::Stmt* loop, LoopPartition part);
   std::optional<LoopPartition> loopPartition(const ir::Stmt* loop) const;
 
+  // The constraint builders below are const: they mutate only the System
+  // (and its VarSpace) passed in, never the Decomposition, so concurrent
+  // analysis threads may share one Decomposition as long as each query
+  // builds over its own cloned VarSpace (see analysis::DepQueryBuilder).
+
   /// Creates a fresh processor variable (kind Processor, 0 <= p <= P-1
   /// bounds added to `sys`).
-  poly::VarId makeProcVar(poly::System& sys, const std::string& name);
+  poly::VarId makeProcVar(poly::System& sys, const std::string& name) const;
 
   /// Offset variable o_p ("p * B") for a processor var; created on first
-  /// use per (processor, decomposition) with o_p >= 0 added to `sys`.
-  poly::VarId offsetVar(poly::System& sys, poly::VarId procVar);
+  /// use per (processor, system) with o_p >= 0 added to `sys` and cached
+  /// in the system's aux registry (copies of `sys` inherit it).
+  poly::VarId offsetVar(poly::System& sys, poly::VarId procVar) const;
 
   /// Adds the constraint "processor `procVar` owns template cell `cell`"
   /// for array `a` (cell = subscript in the distributed dim).  Returns
@@ -110,7 +116,7 @@ class Decomposition {
   /// callers must then assume any processor may own the element.
   [[nodiscard]] bool addOwnerConstraint(poly::System& sys, ir::ArrayId a,
                                         const poly::LinExpr& subscript,
-                                        poly::VarId procVar);
+                                        poly::VarId procVar) const;
 
   /// Adds the constraint that iteration `iter` of parallel loop `loop`
   /// (whose LHS subscript in the distributed dim is `lhsSub`, already
@@ -122,13 +128,13 @@ class Decomposition {
                                           const poly::LinExpr& lowerBound,
                                           const poly::LinExpr& lhsSub,
                                           ir::ArrayId lhsArray,
-                                          poly::VarId procVar);
+                                          poly::VarId procVar) const;
 
   /// Adds the exact branch consequences relating two processors' offset
   /// variables:  q - p == d  =>  o_q - o_p == d*B  (for |d| used by the
   /// communication tester) or  q - p >= d  =>  o_q - o_p >= d*B.
   void addOffsetRelation(poly::System& sys, poly::VarId p, poly::VarId q,
-                         i64 d, bool exact);
+                         i64 d, bool exact) const;
 
   /// Base constraints every query conjoins: P >= minProcs, B >= 1,
   /// program symbolic lower bounds.
@@ -156,13 +162,14 @@ class Decomposition {
                     const ir::SymbolBindings& symbols) const;
 
  private:
+  static std::string offsetKey(poly::VarId procVar);
+
   ir::Program* prog_;
   poly::VarId pVar_;
   poly::VarId bVar_;
   std::optional<poly::LinExpr> templateExtent_;
   std::vector<ArrayDist> dists_;  // indexed by ArrayId
   std::map<const ir::Stmt*, LoopPartition> loopParts_;
-  std::map<int, poly::VarId> offsetVars_;  // procVar.index -> o_p
 };
 
 }  // namespace spmd::part

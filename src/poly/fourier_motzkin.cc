@@ -121,6 +121,18 @@ class ConstraintPool {
   bool contradiction_ = false;
 };
 
+/// Normalization pass before a full scan: collapses constraints with
+/// identical term vectors (keeping the strongest GE bound), detects
+/// conflicting equalities, and drops exact duplicates.  The result has the
+/// same solution set, so every downstream feasibility answer is unchanged;
+/// the scan just combines fewer rows.
+System dedupSystem(const System& s) {
+  if (s.provedEmpty()) return s;
+  ConstraintPool pool(s.space());
+  for (const Constraint& c : s.constraints()) pool.insert(c);
+  return pool.finish();
+}
+
 /// Finds the best equality pivot for `v`: prefers |coef| == 1 (exact
 /// substitution), otherwise the smallest |coef|.
 std::optional<std::size_t> findEqualityPivot(const System& s, VarId v) {
@@ -197,12 +209,16 @@ System eliminateVariable(const System& s, VarId v, const FMOptions& opts) {
 
   if (s.provedEmpty()) {
     System out(s.space());
+    out.adoptAux(s);
     out.addGE(LinExpr::constant(-1));
     return out;
   }
 
-  if (auto pivot = findEqualityPivot(s, v))
-    return eliminateViaEquality(s, v, *pivot);
+  if (auto pivot = findEqualityPivot(s, v)) {
+    System out = eliminateViaEquality(s, v, *pivot);
+    out.adoptAux(s);
+    return out;
+  }
 
   // Pure inequality elimination.  Partition into lower bounds (coef > 0:
   // a*v >= -rest), upper bounds (coef < 0), and constraints without v.
@@ -233,7 +249,9 @@ System eliminateVariable(const System& s, VarId v, const FMOptions& opts) {
       pool.insert(Constraint::ge(std::move(combined)));
     }
   }
-  return pool.finish();
+  System out = pool.finish();
+  out.adoptAux(s);
+  return out;
 }
 
 std::vector<VarId> eliminationOrder(const System& s) {
@@ -248,14 +266,26 @@ std::vector<VarId> eliminationOrder(const System& s) {
 
 Feasibility scanRational(const System& s, const FMOptions& opts) {
   fmCounters().scans.fetch_add(1, std::memory_order_relaxed);
-  System cur = s;
+  std::uint64_t key = 0;
+  if (opts.scanMemo != nullptr) {
+    key = s.fingerprint();
+    if (auto hit = opts.scanMemo->lookup(key)) return *hit;
+  }
+  System cur = opts.dedupConstraints ? dedupSystem(s) : s;
   while (true) {
-    if (cur.provedEmpty()) return Feasibility::Infeasible;
+    if (cur.provedEmpty()) {
+      if (opts.scanMemo != nullptr)
+        opts.scanMemo->store(key, Feasibility::Infeasible);
+      return Feasibility::Infeasible;
+    }
     std::vector<VarId> order = eliminationOrder(cur);
     if (order.empty()) break;
     cur = eliminateVariable(cur, order.front(), opts);
   }
-  return cur.provedEmpty() ? Feasibility::Infeasible : Feasibility::Feasible;
+  Feasibility out =
+      cur.provedEmpty() ? Feasibility::Infeasible : Feasibility::Feasible;
+  if (opts.scanMemo != nullptr) opts.scanMemo->store(key, out);
+  return out;
 }
 
 System projectOnto(const System& s, const std::vector<VarId>& keep,

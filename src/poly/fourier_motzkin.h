@@ -22,7 +22,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "poly/system.h"
@@ -51,11 +53,54 @@ struct FMCounters {
 
 FMCounters& fmCounters();
 
+/// Thread-safe memo of full-scan (projection-to-ground) results, keyed by
+/// the structural fingerprint of the input system.  Rational feasibility
+/// depends only on the constraint set, so a memo may be shared between all
+/// scans over related spaces; owners scope one memo per analyzer instance
+/// to keep results from unrelated programs (different kernels) apart.
+class ScanMemo {
+ public:
+  std::optional<Feasibility> lookup(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  void store(std::uint64_t key, Feasibility f) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.emplace(key, f);
+  }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Feasibility> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
 /// Tuning knobs; defaults are generous for the loop nests in this repo.
 struct FMOptions {
   std::size_t maxConstraints = 20000;  ///< blowup guard per system
   int sampleBudget = 20000;            ///< integer-point search steps
   i64 unboundedRange = 64;             ///< probe radius for unbounded vars
+  /// Deduplicate/normalize constraints before a full scan: identical term
+  /// vectors collapse to the strongest bound, conflicting equalities prove
+  /// emptiness immediately.  Semantics-preserving (same solution set).
+  bool dedupConstraints = true;
+  /// Optional scan-result memo (owned by the caller; null disables).
+  ScanMemo* scanMemo = nullptr;
 };
 
 /// Projects away a single variable (rational-exact, integer-relaxed when a

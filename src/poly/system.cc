@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "support/hash.h"
+
 namespace spmd::poly {
 
 namespace {
@@ -52,6 +54,32 @@ void System::append(const System& other) {
              "System::append requires a shared VarSpace");
   if (other.provedEmpty_) provedEmpty_ = true;
   for (const Constraint& c : other.constraints_) add(c);
+}
+
+System System::onSpace(VarSpacePtr space) const {
+  SPMD_CHECK(space != nullptr && space->size() >= space_->size(),
+             "System::onSpace requires a space extending the current one");
+  System out(std::move(space));
+  out.constraints_ = constraints_;
+  out.aux_ = aux_;
+  out.provedEmpty_ = provedEmpty_;
+  return out;
+}
+
+std::uint64_t System::fingerprint() const {
+  support::Hasher h;
+  h.boolean(provedEmpty_);
+  h.u64(constraints_.size());
+  for (const Constraint& c : constraints_) {
+    h.u32(static_cast<std::uint32_t>(c.rel()));
+    h.i64(c.expr().constTerm());
+    h.u64(c.expr().numTerms());
+    for (const auto& [v, coef] : c.expr().terms()) {
+      h.i32(v.index);
+      h.i64(coef);
+    }
+  }
+  return h.digest();
 }
 
 std::vector<VarId> System::referencedVars() const {

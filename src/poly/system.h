@@ -4,6 +4,8 @@
 // communication queries built from them ([1], §3.2).
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +66,38 @@ class System {
   /// Conjunction with another system over the same VarSpace.
   void append(const System& other);
 
+  /// Copy of this system re-pointed at `space`, which must extend this
+  /// system's VarSpace (same variables at the same indices, possibly
+  /// more).  Communication queries clone the program space and rebase the
+  /// base context onto the clone, so concurrent queries never append
+  /// scratch variables to the shared program VarSpace.
+  System onSpace(VarSpacePtr space) const;
+
+  /// Auxiliary-variable registry: analyses that introduce derived
+  /// variables (e.g. block-offset variables o_p = p*B) register them here
+  /// so later constraint builders on this system — or on copies of it,
+  /// which inherit the registry — find the same VarId instead of minting
+  /// an unconstrained fresh one.
+  std::optional<VarId> findAux(const std::string& key) const {
+    auto it = aux_.find(key);
+    if (it == aux_.end()) return std::nullopt;
+    return it->second;
+  }
+  void registerAux(const std::string& key, VarId v) { aux_[key] = v; }
+
+  /// Inherits another system's aux registry (used by projection: the
+  /// projected system still "knows" the derived variables of its parent,
+  /// even those eliminated, so relation builders keep resolving them).
+  void adoptAux(const System& other) {
+    for (const auto& [key, v] : other.aux_) aux_.emplace(key, v);
+  }
+
+  /// Structural 64-bit fingerprint over the constraint list (relations,
+  /// term vectors, constants, in order).  Two systems with equal
+  /// fingerprints are — up to 64-bit collision odds — the same constraint
+  /// set, so rational feasibility results can be shared between them.
+  std::uint64_t fingerprint() const;
+
   /// All variables with a nonzero coefficient somewhere in the system.
   std::vector<VarId> referencedVars() const;
 
@@ -85,6 +119,7 @@ class System {
 
   VarSpacePtr space_;
   std::vector<Constraint> constraints_;
+  std::map<std::string, VarId> aux_;
   bool provedEmpty_ = false;
 };
 

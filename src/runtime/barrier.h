@@ -26,7 +26,12 @@ struct alignas(64) PaddedAtomicU64 {
 
 /// Bounded spin-then-yield wait loop shared by all synchronization
 /// primitives (oversubscribed hosts need the yield to make progress).
-inline void spinWait(const std::function<bool()>& done) {
+/// Takes the predicate as a template parameter so the hot spin loop calls
+/// it directly — a std::function here would add a type-erased indirect
+/// call (and a possible allocation at every wait site) on the
+/// synchronization fast path.
+template <class Pred>
+inline void spinWait(Pred&& done) {
   int spins = 0;
   while (!done()) {
     if (++spins < 64) {

@@ -18,7 +18,11 @@ ThreadTeam::~ThreadTeam() {
 }
 
 void ThreadTeam::run(const std::function<void(int)>& task) {
+  SPMD_CHECK(!running_, "ThreadTeam::run is not reentrant");
+  running_ = true;
   task_ = &task;
+  // remaining_ may be relaxed: the release fence of the generation_ bump
+  // below orders it before any worker can observe the new generation.
   remaining_.store(nthreads_ - 1, std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);  // broadcast
   task(0);                                              // master participates
@@ -26,6 +30,7 @@ void ThreadTeam::run(const std::function<void(int)>& task) {
     return remaining_.load(std::memory_order_acquire) == 0;
   });
   task_ = nullptr;
+  running_ = false;
 }
 
 void ThreadTeam::workerLoop(int tid) {

@@ -45,8 +45,21 @@ class ThreadTeam {
 
   /// Broadcasts `task` to all processors (master runs it as tid 0) and
   /// joins.  The join is release-acquire: worker effects are visible to
-  /// the master afterwards.
+  /// the master afterwards.  Not reentrant: `task` must not call run() on
+  /// the same team (checked).
   void run(const std::function<void(int)>& task);
+
+  /// Statically chunked parallel loop: index i runs on thread i % size().
+  /// Blocks until every index in [0, n) completed; `body` must be safe to
+  /// call concurrently for distinct indices.
+  template <class Body>
+  void parallelFor(std::size_t n, Body&& body) {
+    run([&](int tid) {
+      for (std::size_t i = static_cast<std::size_t>(tid); i < n;
+           i += static_cast<std::size_t>(nthreads_))
+        body(i);
+    });
+  }
 
  private:
   void workerLoop(int tid);
@@ -54,9 +67,15 @@ class ThreadTeam {
   int nthreads_;
   std::vector<std::thread> workers_;
   const std::function<void(int)>* task_ = nullptr;
+  // Broadcast protocol: master publishes task_ then bumps generation_
+  // (release); workers observe the bump (acquire), so the task pointer and
+  // the data it captures are visible.  Join: each worker decrements
+  // remaining_ (acq_rel) after finishing; the master's acquire load of 0
+  // therefore sees all worker effects.
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> remaining_{0};
   std::atomic<bool> shutdown_{false};
+  bool running_ = false;  ///< master-only reentrancy guard
 };
 
 }  // namespace spmd::rt

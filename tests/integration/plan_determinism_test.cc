@@ -1,0 +1,122 @@
+// The compile-time performance knobs (pair memo, access dedup,
+// shared-prefix FM projection, scan memo, constraint dedup, analysis
+// threads) must be result-preserving: whatever combination is enabled, the
+// optimizer has to emit the same synchronization plan and the same
+// decision report, byte for byte, on every kernel in the suite.
+//
+// This is the contract that lets spmdopt/bench flip those knobs freely;
+// see DESIGN.md "Compile-time performance".
+#include <string>
+#include <vector>
+
+#include "codegen/spmd_printer.h"
+#include "core/optimizer.h"
+#include "core/report.h"
+#include "gtest/gtest.h"
+#include "kernels/kernels.h"
+
+namespace spmd {
+namespace {
+
+struct PlanOutput {
+  std::string plan;
+  std::string report;
+  std::size_t eliminated = 0;
+  std::size_t counters = 0;
+  std::size_t barriers = 0;
+};
+
+PlanOutput compileKernel(const std::string& kernel,
+                         const core::OptimizerOptions& options) {
+  // Fresh program per compile: printed plans are name-based, so outputs of
+  // independent instances are byte-comparable.
+  kernels::KernelSpec spec = kernels::kernelByName(kernel);
+  core::SyncOptimizer opt(*spec.program, *spec.decomp, options);
+  core::RegionProgram plan = opt.run();
+  PlanOutput out;
+  out.plan = cg::printSpmdProgram(*spec.program, *spec.decomp, plan);
+  out.report = core::renderReport(opt.report());
+  out.eliminated = opt.stats().eliminated;
+  out.counters = opt.stats().counters;
+  out.barriers = opt.stats().barriers;
+  return out;
+}
+
+struct Config {
+  const char* name;
+  core::OptimizerOptions options;
+};
+
+std::vector<Config> variantConfigs() {
+  std::vector<Config> configs;
+
+  core::OptimizerOptions noMemo;
+  noMemo.memoCache = false;
+  configs.push_back({"memoCache=off", noMemo});
+
+  core::OptimizerOptions noScan;
+  noScan.scanCache = false;
+  configs.push_back({"scanCache=off", noScan});
+
+  core::OptimizerOptions noDedup;
+  noDedup.dedupAccesses = false;
+  configs.push_back({"dedupAccesses=off", noDedup});
+
+  core::OptimizerOptions noProjection;
+  noProjection.sharedPrefixProjection = false;
+  configs.push_back({"sharedPrefixProjection=off", noProjection});
+
+  core::OptimizerOptions noConstraintDedup;
+  noConstraintDedup.fm.dedupConstraints = false;
+  configs.push_back({"fm.dedupConstraints=off", noConstraintDedup});
+
+  core::OptimizerOptions threaded;
+  threaded.analysisThreads = 4;
+  configs.push_back({"analysisThreads=4", threaded});
+
+  // Everything off at once plus threads: the pre-optimization pipeline
+  // shape, driven through the parallel merge path.
+  core::OptimizerOptions bare;
+  bare.memoCache = false;
+  bare.scanCache = false;
+  bare.dedupAccesses = false;
+  bare.sharedPrefixProjection = false;
+  bare.fm.dedupConstraints = false;
+  bare.analysisThreads = 4;
+  configs.push_back({"all=off,threads=4", bare});
+
+  return configs;
+}
+
+TEST(PlanDeterminism, IdenticalPlansAcrossAnalysisConfigs) {
+  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+    PlanOutput reference = compileKernel(spec.name, core::OptimizerOptions());
+    for (const Config& config : variantConfigs()) {
+      PlanOutput variant = compileKernel(spec.name, config.options);
+      EXPECT_EQ(reference.plan, variant.plan)
+          << spec.name << " plan diverged under " << config.name;
+      EXPECT_EQ(reference.report, variant.report)
+          << spec.name << " report diverged under " << config.name;
+      EXPECT_EQ(reference.eliminated, variant.eliminated)
+          << spec.name << " under " << config.name;
+      EXPECT_EQ(reference.counters, variant.counters)
+          << spec.name << " under " << config.name;
+      EXPECT_EQ(reference.barriers, variant.barriers)
+          << spec.name << " under " << config.name;
+    }
+  }
+}
+
+TEST(PlanDeterminism, RepeatedCompilesAreStable) {
+  // Same config twice on a fresh program must reproduce exactly (guards
+  // against iteration-order leaks from the hashed caches into output).
+  for (const char* name : {"jacobi2d", "sor_pipeline", "heat3d"}) {
+    PlanOutput first = compileKernel(name, core::OptimizerOptions());
+    PlanOutput second = compileKernel(name, core::OptimizerOptions());
+    EXPECT_EQ(first.plan, second.plan) << name;
+    EXPECT_EQ(first.report, second.report) << name;
+  }
+}
+
+}  // namespace
+}  // namespace spmd

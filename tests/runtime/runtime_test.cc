@@ -50,6 +50,41 @@ TEST(ThreadTeam, JoinPublishesWorkerWrites) {
 
 TEST(ThreadTeam, RejectsZeroThreads) { EXPECT_THROW(ThreadTeam(0), Error); }
 
+TEST(ThreadTeam, ParallelForCoversEveryIndexOnce) {
+  const int P = 4;
+  ThreadTeam team(P);
+  const std::size_t n = 103;  // not a multiple of P; exercises the tail
+  std::vector<std::atomic<int>> hits(n);
+  team.parallelFor(n, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadTeam, ParallelForFewerItemsThanThreads) {
+  ThreadTeam team(8);
+  std::atomic<int> total{0};
+  team.parallelFor(3, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+  team.parallelFor(0, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadTeam, ParallelForPublishesResults) {
+  ThreadTeam team(4);
+  std::vector<std::size_t> out(64, 0);
+  team.parallelFor(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadTeam, RunIsNotReentrant) {
+  ThreadTeam team(2);
+  team.run([&](int tid) {
+    if (tid != 0) return;
+    // Nested dispatch on the same team would deadlock; it must be
+    // rejected loudly instead.
+    EXPECT_THROW(team.run([](int) {}), Error);
+  });
+}
+
 template <typename BarrierT>
 void stressBarrier(int parties, int episodes) {
   ThreadTeam team(parties);

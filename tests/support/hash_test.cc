@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "support/hash.h"
+
+namespace spmd::support {
+namespace {
+
+TEST(Hasher, DeterministicAcrossInstances) {
+  Hasher a, b;
+  a.u64(42).i64(-7).boolean(true).bytes("abc");
+  b.u64(42).i64(-7).boolean(true).bytes("abc");
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Hasher, OrderSensitive) {
+  Hasher ab, ba;
+  ab.u64(1).u64(2);
+  ba.u64(2).u64(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(Hasher, DistinguishesFieldBoundaries) {
+  // "ab" + "c" must not collide with "a" + "bc": each bytes() call feeds
+  // its length, so field boundaries are part of the hash.
+  Hasher split1, split2;
+  split1.bytes("ab").bytes("c");
+  split2.bytes("a").bytes("bc");
+  EXPECT_NE(split1.digest(), split2.digest());
+}
+
+TEST(Hasher, SignedAndUnsignedDiffer) {
+  Hasher pos, neg;
+  pos.i64(1);
+  neg.i64(-1);
+  EXPECT_NE(pos.digest(), neg.digest());
+}
+
+TEST(Hasher, SeedChangesDigest) {
+  Hasher a, b(1234);
+  a.u64(99);
+  b.u64(99);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashCombine, OrderSensitive) {
+  std::uint64_t seed = 0;
+  std::uint64_t ab = hashCombine(hashCombine(seed, 1), 2);
+  std::uint64_t ba = hashCombine(hashCombine(seed, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashCombine, SmallIntegersSpread) {
+  // Structural keys hash tiny integers (var indices, coefficients); they
+  // must not cluster, or the pair-memo unordered_map degenerates.
+  std::set<std::uint64_t> digests;
+  for (std::uint64_t v = 0; v < 256; ++v) digests.insert(mix64(v));
+  EXPECT_EQ(digests.size(), 256u);
+}
+
+}  // namespace
+}  // namespace spmd::support

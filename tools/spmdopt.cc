@@ -1,27 +1,38 @@
 // spmdopt — the compiler driver.
 //
-// Reads a Fortran-flavored source program (file or stdin), runs the full
+// Reads Fortran-flavored source programs (files or stdin), runs the full
 // pipeline (parse -> validate -> decompose -> synchronization optimization)
 // and, on request, prints the optimization report and generated SPMD
 // program, executes base and optimized versions, and compares
 // synchronization counts.
 //
+// Multiple input files are compiled as independent units.  Their analyses
+// run in parallel on a worker team (one analyzer per file, so per-program
+// caches never mix), but output is buffered per file and printed in
+// command-line order — byte-identical to a serial run.
+//
 // Usage:
-//   spmdopt [options] [file]
-//     --procs=P        threads for execution        (default 4)
-//     --bind NAME=V    bind a symbolic (repeatable; default N=64, T=8, ...)
-//     --mode=MODE      full | nocounters | deponly | barriers
-//     --report         print per-boundary decisions
-//     --emit           print the generated SPMD program
-//     --run            execute base + optimized, print sync counts
-//     --verify         also check results against the sequential executor
-//     --tree-barrier   use the combining-tree barrier
+//   spmdopt [options] [file...]
+//     --procs=P             threads for execution     (default 4)
+//     --bind NAME=V         bind a symbolic (repeatable; default N=64, T=8)
+//     --mode=MODE           full | nocounters | deponly | barriers
+//     --analysis-threads=K  pair-query workers per boundary (default 1)
+//     --jobs=J              files analyzed concurrently (default: #files,
+//                           capped at hardware threads)
+//     --no-analysis-cache   disable pair memo + FM scan memo (debugging)
+//     --report              print per-boundary decisions
+//     --emit                print the generated SPMD program
+//     --run                 execute base + optimized, print sync counts
+//     --verify              also check results against the sequential executor
+//     --tree-barrier        use the combining-tree barrier
 //     --help
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/validate.h"
@@ -32,6 +43,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/seq_executor.h"
+#include "runtime/team.h"
 #include "support/text_table.h"
 
 namespace {
@@ -39,19 +51,23 @@ namespace {
 struct Options {
   int procs = 4;
   std::string mode = "full";
+  int analysisThreads = 1;
+  int jobs = 0;  ///< 0 = auto
+  bool analysisCache = true;
   bool report = false;
   bool emit = false;
   bool run = false;
   bool verify = false;
   bool treeBarrier = false;
-  std::string file;
+  std::vector<std::string> files;
   std::vector<std::pair<std::string, spmd::i64>> binds;
 };
 
 void usage(std::ostream& os) {
   os << "usage: spmdopt [--procs=P] [--bind NAME=V]... "
-        "[--mode=full|nocounters|deponly|barriers] [--report] [--emit] "
-        "[--run] [--verify] [--tree-barrier] [file]\n";
+        "[--mode=full|nocounters|deponly|barriers] [--analysis-threads=K] "
+        "[--jobs=J] [--no-analysis-cache] [--report] [--emit] [--run] "
+        "[--verify] [--tree-barrier] [file...]\n";
 }
 
 bool parseArgs(int argc, char** argv, Options& opts) {
@@ -69,6 +85,12 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       opts.procs = std::stoi(*v);
     } else if (auto v = valueOf("--mode=")) {
       opts.mode = *v;
+    } else if (auto v = valueOf("--analysis-threads=")) {
+      opts.analysisThreads = std::stoi(*v);
+    } else if (auto v = valueOf("--jobs=")) {
+      opts.jobs = std::stoi(*v);
+    } else if (arg == "--no-analysis-cache") {
+      opts.analysisCache = false;
     } else if (arg == "--bind" && i + 1 < argc) {
       std::string kv = argv[++i];
       std::size_t eq = kv.find('=');
@@ -86,52 +108,45 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       opts.run = true;
     } else if (arg == "--tree-barrier") {
       opts.treeBarrier = true;
-    } else if (!arg.empty() && arg[0] == '-') {
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "unknown option: " << arg << "\n";
       return false;
     } else {
-      opts.file = arg;
+      opts.files.push_back(arg);
     }
   }
   return true;
 }
 
-std::string readSource(const Options& opts) {
-  if (opts.file.empty() || opts.file == "-") {
+std::string readSource(const std::string& file) {
+  if (file.empty() || file == "-") {
     std::ostringstream buf;
     buf << std::cin.rdbuf();
     return buf.str();
   }
-  std::ifstream in(opts.file);
-  if (!in) throw spmd::Error("cannot open " + opts.file);
+  std::ifstream in(file);
+  if (!in) throw spmd::Error("cannot open " + file);
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Compiles (and optionally runs) one file; all output goes to the given
+/// streams so concurrent compilations never interleave.
+int processSource(const std::string& source, const Options& opts,
+                  std::ostream& out, std::ostream& err) {
   using namespace spmd;
-
-  Options opts;
-  if (!parseArgs(argc, argv, opts)) {
-    usage(std::cerr);
-    return 2;
-  }
-
   try {
-    ir::Program prog = ir::parseProgram(readSource(opts));
+    ir::Program prog = ir::parseProgram(source);
 
     // Validate the DOALL annotations before trusting them.
     std::vector<analysis::ValidationIssue> issues =
         analysis::validateProgram(prog);
     for (const analysis::ValidationIssue& issue : issues)
-      std::cerr << "warning: ["
-                << analysis::validationIssueKindName(issue.kind) << "] "
-                << issue.detail << "\n";
+      err << "warning: [" << analysis::validationIssueKindName(issue.kind)
+          << "] " << issue.detail << "\n";
     if (!issues.empty()) {
-      std::cerr << "error: program is not a legal optimizer input\n";
+      err << "error: program is not a legal optimizer input\n";
       return 1;
     }
 
@@ -143,6 +158,9 @@ int main(int argc, char** argv) {
                         part::DistKind::Block);
 
     core::OptimizerOptions optOptions;
+    optOptions.analysisThreads = opts.analysisThreads;
+    optOptions.memoCache = opts.analysisCache;
+    optOptions.scanCache = opts.analysisCache;
     bool barriersOnly = false;
     if (opts.mode == "full") {
     } else if (opts.mode == "nocounters") {
@@ -153,7 +171,7 @@ int main(int argc, char** argv) {
     } else if (opts.mode == "barriers") {
       barriersOnly = true;
     } else {
-      std::cerr << "unknown --mode=" << opts.mode << "\n";
+      err << "unknown --mode=" << opts.mode << "\n";
       return 2;
     }
 
@@ -162,19 +180,18 @@ int main(int argc, char** argv) {
         barriersOnly ? optimizer.runBarriersOnly() : optimizer.run();
     const core::OptStats& stats = optimizer.stats();
 
-    std::cout << prog.name() << ": " << stats.regions << " region(s), "
-              << stats.boundaries << " boundaries -> " << stats.eliminated
-              << " eliminated, " << stats.counters << " counters, "
-              << stats.barriers << " barriers; back edges: "
-              << stats.backEdgesEliminated << " eliminated, "
-              << stats.backEdgesPipelined << " pipelined ("
-              << stats.pairQueries << " comm queries, "
-              << spmd::fixed(stats.analysisSeconds * 1000, 1) << " ms)\n";
+    out << prog.name() << ": " << stats.regions << " region(s), "
+        << stats.boundaries << " boundaries -> " << stats.eliminated
+        << " eliminated, " << stats.counters << " counters, "
+        << stats.barriers << " barriers; back edges: "
+        << stats.backEdgesEliminated << " eliminated, "
+        << stats.backEdgesPipelined << " pipelined (" << stats.pairQueries
+        << " comm queries, " << stats.cacheHits << " memo hits, "
+        << stats.scanCacheHits << " scan hits, "
+        << spmd::fixed(stats.analysisSeconds * 1000, 1) << " ms)\n";
 
-    if (opts.report)
-      std::cout << "\n" << core::renderReport(optimizer.report());
-    if (opts.emit)
-      std::cout << "\n" << cg::printSpmdProgram(prog, decomp, plan);
+    if (opts.report) out << "\n" << core::renderReport(optimizer.report());
+    if (opts.emit) out << "\n" << cg::printSpmdProgram(prog, decomp, plan);
 
     if (opts.run) {
       ir::SymbolBindings symbols;
@@ -190,28 +207,95 @@ int main(int argc, char** argv) {
           cg::runForkJoin(prog, decomp, symbols, opts.procs, execOptions);
       cg::RunResult optimized = cg::runRegions(prog, decomp, plan, symbols,
                                                opts.procs, execOptions);
-      std::cout << "\nexecution (P=" << opts.procs << "):\n"
-                << "  base      " << base.counts.barriers << " barriers, "
-                << base.counts.broadcasts << " broadcasts\n"
-                << "  optimized " << optimized.counts.barriers
-                << " barriers, " << optimized.counts.broadcasts
-                << " broadcasts, " << optimized.counts.counterPosts
-                << " posts, " << optimized.counts.counterWaits << " waits\n";
+      out << "\nexecution (P=" << opts.procs << "):\n"
+          << "  base      " << base.counts.barriers << " barriers, "
+          << base.counts.broadcasts << " broadcasts\n"
+          << "  optimized " << optimized.counts.barriers << " barriers, "
+          << optimized.counts.broadcasts << " broadcasts, "
+          << optimized.counts.counterPosts << " posts, "
+          << optimized.counts.counterWaits << " waits\n";
       if (opts.verify) {
         ir::Store ref = ir::runSequential(prog, symbols);
         double diffBase = ir::Store::maxAbsDifference(ref, base.store);
         double diffOpt = ir::Store::maxAbsDifference(ref, optimized.store);
-        std::cout << "  verify: max |diff| base=" << diffBase
-                  << " optimized=" << diffOpt << "\n";
+        out << "  verify: max |diff| base=" << diffBase
+            << " optimized=" << diffOpt << "\n";
         if (diffBase > 1e-7 || diffOpt > 1e-7) {
-          std::cerr << "error: results diverge from sequential reference\n";
+          err << "error: results diverge from sequential reference\n";
           return 1;
         }
       }
     }
     return 0;
   } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    err << "error: " << e.what() << "\n";
     return 1;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spmd;
+
+  Options opts;
+  if (!parseArgs(argc, argv, opts)) {
+    usage(std::cerr);
+    return 2;
+  }
+  if (opts.files.empty()) opts.files.push_back("-");
+
+  // Single file (or stdin): stream directly.
+  if (opts.files.size() == 1)
+    return processSource(readSource(opts.files[0]), opts, std::cout,
+                         std::cerr);
+
+  // Multiple files: read sources up front (stdin would not compose), then
+  // compile on a worker team.  Each unit owns its program, decomposition,
+  // analyzer, and output buffers, so units share nothing; buffered output
+  // is flushed in command-line order afterwards.  Executions (--run) spawn
+  // nested per-run teams, which is safe but oversubscribes processors, so
+  // runs are kept serial.
+  struct Unit {
+    std::string source;
+    std::ostringstream out, err;
+    int rc = 0;
+  };
+  std::vector<Unit> units(opts.files.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    try {
+      units[i].source = readSource(opts.files[i]);
+    } catch (const Error& e) {
+      units[i].err << "error: " << e.what() << "\n";
+      units[i].rc = 1;
+    }
+  }
+
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int jobs = opts.jobs > 0 ? opts.jobs
+                           : std::min<int>(static_cast<int>(units.size()),
+                                           std::max(1, hw));
+  if (opts.run) jobs = 1;
+
+  auto compileUnit = [&](std::size_t i) {
+    Unit& u = units[i];
+    if (u.rc == 0)
+      u.rc = processSource(u.source, opts, u.out, u.err);
+  };
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < units.size(); ++i) compileUnit(i);
+  } else {
+    rt::ThreadTeam team(jobs);
+    team.parallelFor(units.size(), compileUnit);
+  }
+
+  int rc = 0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (units.size() > 1) std::cout << "==> " << opts.files[i] << " <==\n";
+    std::cout << units[i].out.str();
+    std::cerr << units[i].err.str();
+    if (i + 1 < units.size()) std::cout << "\n";
+    rc = std::max(rc, units[i].rc);
+  }
+  return rc;
 }
