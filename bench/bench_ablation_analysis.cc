@@ -17,10 +17,12 @@
 // Kernels are independent, so the three-config sweep runs on a worker team
 // (one row slot per kernel, printed in suite order — output is identical
 // to the serial sweep).
+#include <iostream>
 #include <thread>
 
-#include "bench_util.h"
+#include "driver/suite.h"
 #include "runtime/team.h"
+#include "support/text_table.h"
 
 int main() {
   using namespace spmd;
@@ -34,25 +36,25 @@ int main() {
     // behind shared_ptr, and the executors mutate program stores.
     kernels::KernelSpec spec = kernels::kernelByName(suite[k].name);
 
-    core::OptimizerOptions depOnly;
-    depOnly.analysisMode = comm::CommAnalyzer::Mode::DependenceOnly;
-    depOnly.enableCounters = false;
-    core::OptimizerOptions commNoCounters;
-    commNoCounters.enableCounters = false;
-    core::OptimizerOptions full;
+    driver::PipelineOptions depOnly;
+    depOnly.optimizer.analysisMode = comm::CommAnalyzer::Mode::DependenceOnly;
+    depOnly.optimizer.enableCounters = false;
+    driver::PipelineOptions commNoCounters;
+    commNoCounters.optimizer.enableCounters = false;
+    driver::PipelineOptions full;
 
-    bench::KernelRun r1 = bench::runKernel(spec, spec.defaultN, spec.defaultT,
-                                           nthreads, depOnly);
-    bench::KernelRun r2 = bench::runKernel(spec, spec.defaultN, spec.defaultT,
-                                           nthreads, commNoCounters);
-    bench::KernelRun r3 =
-        bench::runKernel(spec, spec.defaultN, spec.defaultT, nthreads, full);
+    driver::KernelRun r1 = driver::runKernel(spec, spec.defaultN,
+                                             spec.defaultT, nthreads, depOnly);
+    driver::KernelRun r2 = driver::runKernel(
+        spec, spec.defaultN, spec.defaultT, nthreads, commNoCounters);
+    driver::KernelRun r3 =
+        driver::runKernel(spec, spec.defaultN, spec.defaultT, nthreads, full);
 
     rows[k] = {
         spec.name, TextTable::toCell(r1.base.barriers),
         TextTable::toCell(r1.opt.barriers), TextTable::toCell(r2.opt.barriers),
         TextTable::toCell(r3.opt.barriers),
-        fixed(bench::reductionPercent(r1.base.barriers, r3.opt.barriers), 1) +
+        fixed(driver::reductionPercent(r1.base.barriers, r3.opt.barriers), 1) +
             "%"};
   };
 

@@ -21,17 +21,15 @@
 //   --reps=R     explicit repetition count (best-of-R per config)
 //   --threads=K  also time the optimized config with K analysis threads
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "codegen/spmd_printer.h"
-#include "core/optimizer.h"
 #include "core/report.h"
-#include "kernels/kernels.h"
+#include "driver/suite.h"
+#include "support/json.h"
 #include "support/text_table.h"
 
 namespace {
@@ -62,32 +60,29 @@ core::OptimizerOptions optimizedOptions(int threads) {
   return o;
 }
 
-/// Runs the optimizer `reps` times on fresh kernel instances and keeps the
-/// fastest analysis time (the plan/report come from the last run; all runs
-/// produce identical ones — that is what this harness verifies).
+/// Runs the optimizer `reps` times on fresh kernel sessions and keeps the
+/// fastest analysis time as reported by the pipeline's own pass timings
+/// (the plan/report come from the last run; all runs produce identical
+/// ones — that is what this harness verifies).
 ConfigResult timeKernel(const std::string& kernel,
                         const core::OptimizerOptions& options, int reps) {
   ConfigResult out;
   out.seconds = -1.0;
   for (int r = 0; r < reps; ++r) {
     kernels::KernelSpec spec = kernels::kernelByName(kernel);
-    auto start = std::chrono::steady_clock::now();
-    core::SyncOptimizer opt(*spec.program, *spec.decomp, options);
-    core::RegionProgram plan = opt.run();
-    double secs = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
+    driver::PipelineOptions pipeline;
+    pipeline.optimizer = options;
+    driver::Compilation compilation = driver::compileKernel(spec, pipeline);
+    const driver::SyncPlan& plan = compilation.syncPlan();
+    double secs = 0.0;
+    for (const driver::PassTiming& t : compilation.timings())
+      if (t.pass == "optimize") secs = t.seconds;
     if (out.seconds < 0.0 || secs < out.seconds) out.seconds = secs;
-    out.stats = opt.stats();
-    out.plan = cg::printSpmdProgram(*spec.program, *spec.decomp, plan);
-    out.report = core::renderReport(opt.report());
+    out.stats = plan.stats;
+    out.plan = compilation.lowered().listing;
+    out.report = core::renderReport(plan.boundaries);
   }
   return out;
-}
-
-std::string jsonEscapeless(double v) {
-  // Fixed formatting keeps the JSON stable across locales.
-  return spmd::fixed(v, 6);
 }
 
 }  // namespace
@@ -116,9 +111,13 @@ int main(int argc, char** argv) {
 
   double baseTotal = 0.0, optTotal = 0.0, mtTotal = 0.0;
   bool allIdentical = true;
-  std::ostringstream json;
-  json << "{\n  \"benchmark\": \"compile_time\",\n  \"reps\": " << reps
-       << ",\n  \"analysisThreads\": " << threads << ",\n  \"kernels\": [\n";
+  std::ostringstream jsonText;
+  JsonWriter json(jsonText);
+  json.object();
+  json.field("benchmark", "compile_time");
+  json.field("reps", reps);
+  json.field("analysisThreads", threads);
+  json.field("kernels").array();
 
   std::vector<kernels::KernelSpec> suite = kernels::allKernels();
   for (std::size_t k = 0; k < suite.size(); ++k) {
@@ -142,26 +141,28 @@ int main(int argc, char** argv) {
         opt.stats.cacheHits + opt.stats.dedupHits, opt.stats.scanCacheHits,
         identical ? "yes" : "NO");
 
-    json << "    {\"name\": \"" << name << "\", \"baseSeconds\": "
-         << jsonEscapeless(base.seconds)
-         << ", \"optSeconds\": " << jsonEscapeless(opt.seconds)
-         << ", \"mtSeconds\": " << jsonEscapeless(mt.seconds)
-         << ", \"pairQueriesBase\": " << base.stats.pairQueries
-         << ", \"pairQueriesOpt\": " << opt.stats.pairQueries
-         << ", \"memoHits\": " << opt.stats.cacheHits
-         << ", \"dedupHits\": " << opt.stats.dedupHits
-         << ", \"scanCacheHits\": " << opt.stats.scanCacheHits
-         << ", \"plansIdentical\": " << (identical ? "true" : "false")
-         << "}" << (k + 1 < suite.size() ? "," : "") << "\n";
+    json.object();
+    json.field("name", name);
+    json.field("baseSeconds", base.seconds);
+    json.field("optSeconds", opt.seconds);
+    json.field("mtSeconds", mt.seconds);
+    json.field("pairQueriesBase", base.stats.pairQueries);
+    json.field("pairQueriesOpt", opt.stats.pairQueries);
+    json.field("memoHits", opt.stats.cacheHits);
+    json.field("dedupHits", opt.stats.dedupHits);
+    json.field("scanCacheHits", opt.stats.scanCacheHits);
+    json.field("plansIdentical", identical);
+    json.close();
   }
 
   double speedup = optTotal > 0.0 ? baseTotal / optTotal : 0.0;
-  json << "  ],\n  \"totalBaseSeconds\": " << jsonEscapeless(baseTotal)
-       << ",\n  \"totalOptSeconds\": " << jsonEscapeless(optTotal)
-       << ",\n  \"totalMtSeconds\": " << jsonEscapeless(mtTotal)
-       << ",\n  \"speedup\": " << jsonEscapeless(speedup)
-       << ",\n  \"allPlansIdentical\": " << (allIdentical ? "true" : "false")
-       << "\n}\n";
+  json.close();  // kernels
+  json.field("totalBaseSeconds", baseTotal);
+  json.field("totalOptSeconds", optTotal);
+  json.field("totalMtSeconds", mtTotal);
+  json.field("speedup", speedup);
+  json.field("allPlansIdentical", allIdentical);
+  json.close();  // root
 
   std::cout << "Compile-time: synchronization analysis over the kernel "
                "suite (best of "
@@ -176,7 +177,7 @@ int main(int argc, char** argv) {
                              : "DIVERGED — result-preservation bug")
             << "\n";
 
-  std::ofstream("BENCH_compile_time.json") << json.str();
+  std::ofstream("BENCH_compile_time.json") << jsonText.str() << "\n";
 
   return allIdentical ? 0 : 1;
 }

@@ -7,7 +7,10 @@
 // events per element update — the base curve stays constant per time step
 // while work shrinks, the optimized curve halves it and the multiblock
 // pack drives it toward zero.
-#include "bench_util.h"
+#include <iostream>
+
+#include "driver/suite.h"
+#include "support/text_table.h"
 
 int main() {
   using namespace spmd;
@@ -21,7 +24,7 @@ int main() {
                    "opt counter-op/1k upd"});
   kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
   for (i64 n : {16, 64, 256, 1024, 4096}) {
-    bench::KernelRun run = bench::runKernel(spec, n, steps, nthreads);
+    driver::KernelRun run = driver::runKernel(spec, n, steps, nthreads);
     double updates = static_cast<double>(2 * n * steps);
     double baseRate =
         1000.0 * static_cast<double>(run.base.barriers) / updates;

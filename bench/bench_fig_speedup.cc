@@ -6,7 +6,11 @@
 // kernel on (possibly) oversubscribed cores, so the meaningful signal is
 // the *ratio* between base and optimized at the same thread count — the
 // synchronization overhead removed — rather than parallel speedup.
-#include "bench_util.h"
+#include <algorithm>
+#include <iostream>
+
+#include "driver/suite.h"
+#include "support/text_table.h"
 
 int main() {
   using namespace spmd;
@@ -19,8 +23,8 @@ int main() {
        {"jacobi1d", "sor_pipeline", "adi", "multiblock", "shallow"}) {
     kernels::KernelSpec spec = kernels::kernelByName(name);
     for (int threads : {1, 2, 4}) {
-      bench::KernelRun run =
-          bench::runKernel(spec, spec.defaultN, spec.defaultT, threads);
+      driver::KernelRun run =
+          driver::runKernel(spec, spec.defaultN, spec.defaultT, threads);
       table.addRowValues(spec.name, threads, fixed(run.seqSeconds, 4),
                          fixed(run.baseSeconds, 4), fixed(run.optSeconds, 4),
                          fixed(run.baseSeconds / std::max(run.optSeconds,

@@ -1,7 +1,10 @@
 // Table 1: benchmark characteristics — program structure as seen by the
 // compiler, and what region formation makes of it.
-#include "bench_util.h"
+#include <iostream>
+
+#include "driver/suite.h"
 #include "ir/printer.h"
+#include "support/text_table.h"
 
 int main() {
   using namespace spmd;
@@ -9,22 +12,14 @@ int main() {
   TextTable table({"program", "family", "stmts", "parallel loops",
                    "SPMD regions", "region nodes", "sync boundaries",
                    "description"});
-  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
-    core::SyncOptimizer opt(*spec.program, *spec.decomp);
-    core::RegionProgram regions = opt.runBarriersOnly();
-    std::size_t boundaries = 0;
-    std::size_t nodes = 0;
-    for (const core::RegionProgram::Item& item : regions.items) {
-      if (!item.isRegion()) continue;
-      boundaries += item.region->boundaryCount();
-      nodes += item.region->nodeCount();
-    }
+  driver::forEachKernel([&](const kernels::KernelSpec& spec,
+                            driver::Compilation& compilation) {
+    const driver::RegionTree& tree = compilation.regionTree();
     table.addRowValues(spec.name, spec.family,
                        spec.program->statementCount(),
-                       spec.program->parallelLoopCount(),
-                       regions.regionCount(), nodes, boundaries,
-                       spec.description);
-  }
+                       spec.program->parallelLoopCount(), tree.regionCount,
+                       tree.nodeCount, tree.boundaryCount, spec.description);
+  });
   std::cout << "Table 1: benchmark suite characteristics\n\n";
   table.print(std::cout);
   return 0;

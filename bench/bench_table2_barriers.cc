@@ -8,7 +8,10 @@
 // benchmark sources); the shape to check is: optimized <= base everywhere,
 // average reduction in the tens of percent, and pipeline/local-sweep codes
 // reduced by orders of magnitude.
-#include "bench_util.h"
+#include <iostream>
+
+#include "driver/suite.h"
+#include "support/text_table.h"
 
 int main() {
   using namespace spmd;
@@ -22,9 +25,10 @@ int main() {
   int rows = 0;
 
   for (const kernels::KernelSpec& spec : kernels::allKernels()) {
-    bench::KernelRun run =
-        bench::runKernel(spec, spec.defaultN, spec.defaultT, nthreads);
-    double red = bench::reductionPercent(run.base.barriers, run.opt.barriers);
+    driver::KernelRun run =
+        driver::runKernel(spec, spec.defaultN, spec.defaultT, nthreads);
+    double red =
+        driver::reductionPercent(run.base.barriers, run.opt.barriers);
     table.addRowValues(spec.name, spec.family, run.base.barriers,
                        run.opt.barriers, fixed(red, 1) + "%",
                        run.opt.counterPosts, run.opt.counterWaits,

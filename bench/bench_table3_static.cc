@@ -2,8 +2,11 @@
 // barriers eliminated, counters substituted, back edges eliminated or
 // pipelined, plus analysis effort (pair queries, Fourier-Motzkin scans,
 // compile time).
-#include "bench_util.h"
+#include <iostream>
+
+#include "driver/suite.h"
 #include "poly/fourier_motzkin.h"
+#include "support/text_table.h"
 
 int main() {
   using namespace spmd;
@@ -12,18 +15,17 @@ int main() {
                    "barriers", "back edges", "BE elim", "BE pipelined",
                    "pair queries", "cache hits", "FM scans", "analysis ms"});
   std::uint64_t totalScans = 0;
-  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+  driver::forEachKernel([&](const kernels::KernelSpec& spec,
+                            driver::Compilation& compilation) {
     poly::fmCounters().reset();
-    core::SyncOptimizer opt(*spec.program, *spec.decomp);
-    (void)opt.run();
-    const core::OptStats& s = opt.stats();
+    const core::OptStats& s = compilation.syncPlan().stats;
     std::uint64_t scans = poly::fmCounters().scans.load();
     totalScans += scans;
     table.addRowValues(spec.name, s.boundaries, s.eliminated, s.counters,
                        s.barriers, s.backEdges, s.backEdgesEliminated,
                        s.backEdgesPipelined, s.pairQueries, s.cacheHits,
                        scans, fixed(s.analysisSeconds * 1000.0, 2));
-  }
+  });
   std::cout << "Table 3: static synchronization-optimizer actions\n\n";
   table.print(std::cout);
   std::cout << "\ntotal Fourier-Motzkin consistency scans: " << totalScans

@@ -1,5 +1,6 @@
-// Full compiler-style pipeline from Fortran-like source text:
-// parse -> validate -> decompose -> optimize -> report -> execute.
+// Full compiler-style pipeline from Fortran-like source text, through the
+// driver library: parse -> validate -> decompose -> optimize -> report ->
+// execute.
 //
 //   $ ./examples/compile_source            # builds the embedded program
 //   $ ./examples/compile_source file.f     # or compile a file
@@ -7,13 +8,8 @@
 #include <iostream>
 #include <sstream>
 
-#include "analysis/validate.h"
-#include "codegen/spmd_executor.h"
-#include "codegen/spmd_printer.h"
-#include "core/optimizer.h"
 #include "core/report.h"
-#include "ir/parser.h"
-#include "ir/seq_executor.h"
+#include "driver/execution.h"
 
 namespace {
 
@@ -43,6 +39,7 @@ int main(int argc, char** argv) {
   using namespace spmd;
 
   std::string source = kDefaultSource;
+  std::string name = "<builtin>";
   if (argc > 1) {
     std::ifstream in(argv[1]);
     if (!in) {
@@ -52,46 +49,44 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     source = buf.str();
+    name = argv[1];
   }
 
-  // Front end.
-  ir::Program prog = ir::parseProgram(source);
+  // Front end + legality of the DOALL annotations, with diagnostics
+  // rendered to stderr.
+  StreamDiagnosticSink sink(std::cerr);
+  driver::Compilation compilation =
+      driver::Compilation::fromSource(source, name);
+  compilation.diags().setSink(&sink);
+  if (!compilation.validateOk()) return 1;
+
+  const ir::Program& prog = compilation.program();
   std::cout << "parsed program '" << prog.name() << "': "
             << prog.statementCount() << " statements, "
             << prog.parallelLoopCount() << " parallel loops\n\n";
-
-  // Legality of the DOALL annotations.
-  analysis::validateProgramOrThrow(prog);
   std::cout << "validation: all parallel loops are dependence-free\n\n";
 
-  // Decomposition: block-distribute every array on its first dimension.
-  part::Decomposition decomp(prog);
-  for (std::size_t a = 0; a < prog.arrays().size(); ++a)
-    decomp.distribute(ir::ArrayId{static_cast<int>(a)}, 0,
-                      part::DistKind::Block);
-
-  // Synchronization optimization.
-  core::SyncOptimizer optimizer(prog, decomp);
-  core::RegionProgram plan = optimizer.run();
+  // Synchronization optimization (the partition stage block-distributes
+  // every array on its first dimension).
+  const driver::SyncPlan& plan = compilation.syncPlan();
   std::cout << "=== optimization report ===\n"
-            << core::renderReport(optimizer.report()) << "\n"
+            << core::renderReport(plan.boundaries) << "\n"
             << "=== generated SPMD program ===\n"
-            << cg::printSpmdProgram(prog, decomp, plan) << "\n";
+            << compilation.lowered().listing << "\n";
 
   // Execute and verify.
-  ir::SymbolBindings symbols;
-  for (const ir::SymbolicInfo& s : prog.symbolics())
-    symbols[s.var.index] = s.name == "T" ? 10 : 256;
-  ir::Store ref = ir::runSequential(prog, symbols);
-  cg::RunResult base = cg::runForkJoin(prog, decomp, symbols, 4);
-  cg::RunResult opt = cg::runRegions(prog, decomp, plan, symbols, 4);
+  driver::RunRequest request;
+  request.symbols = driver::bindSymbols(prog, {}, /*defaultN=*/256,
+                                        /*defaultT=*/10);
+  request.threads = 4;
+  request.reference = true;
+  driver::RunComparison run = driver::runComparison(compilation, request);
 
   std::cout << "=== execution (P=4) ===\n"
-            << "barriers: " << base.counts.barriers << " (base) -> "
-            << opt.counts.barriers << " (optimized)\n"
-            << "counters: " << opt.counts.counterPosts << " posts, "
-            << opt.counts.counterWaits << " waits\n"
-            << "max |difference| vs sequential: "
-            << ir::Store::maxAbsDifference(ref, opt.store) << "\n";
+            << "barriers: " << run.baseCounts.barriers << " (base) -> "
+            << run.optCounts.barriers << " (optimized)\n"
+            << "counters: " << run.optCounts.counterPosts << " posts, "
+            << run.optCounts.counterWaits << " waits\n"
+            << "max |difference| vs sequential: " << run.maxDiffOpt << "\n";
   return 0;
 }

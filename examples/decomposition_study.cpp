@@ -9,11 +9,9 @@
 // symbolic P, so communication analysis conservatively keeps every
 // barrier — and at run time nearly every access really is remote.
 #include <iostream>
+#include <string>
 
-#include "codegen/spmd_executor.h"
-#include "core/optimizer.h"
-#include "ir/seq_executor.h"
-#include "kernels/kernels.h"
+#include "driver/suite.h"
 #include "support/text_table.h"
 
 int main() {
@@ -23,27 +21,22 @@ int main() {
                    "reduction", "counters", "verified"});
   for (const char* name : {"jacobi1d", "cyclic_jacobi"}) {
     kernels::KernelSpec spec = kernels::kernelByName(name);
-    core::SyncOptimizer optimizer(*spec.program, *spec.decomp);
-    core::RegionProgram plan = optimizer.run();
+    driver::Compilation compilation = driver::compileKernel(spec);
 
-    ir::SymbolBindings symbols = spec.bindings(128, 25);
-    ir::Store ref = ir::runSequential(*spec.program, symbols);
-    cg::RunResult base =
-        cg::runForkJoin(*spec.program, *spec.decomp, symbols, 4);
-    cg::RunResult opt =
-        cg::runRegions(*spec.program, *spec.decomp, plan, symbols, 4);
+    driver::RunRequest request;
+    request.symbols = spec.bindings(128, 25);
+    request.threads = 4;
+    request.reference = true;
+    driver::RunComparison run = driver::runComparison(compilation, request);
 
-    double reduction =
-        base.counts.barriers == 0
-            ? 0.0
-            : 100.0 * (1.0 - double(opt.counts.barriers) /
-                                 double(base.counts.barriers));
-    bool ok = ir::Store::maxAbsDifference(ref, opt.store) <= spec.tolerance;
+    double reduction = driver::reductionPercent(run.baseCounts.barriers,
+                                                run.optCounts.barriers);
+    bool ok = run.maxDiffOpt <= spec.tolerance;
     table.addRowValues(
         name, name == std::string("jacobi1d") ? "BLOCK" : "CYCLIC",
-        base.counts.barriers, opt.counts.barriers,
+        run.baseCounts.barriers, run.optCounts.barriers,
         std::to_string(int(reduction)) + "%",
-        opt.counts.counterPosts + opt.counts.counterWaits,
+        run.optCounts.counterPosts + run.optCounts.counterWaits,
         ok ? "yes" : "NO");
   }
   table.print(std::cout);

@@ -6,40 +6,32 @@
 // perturbations in task execution time to even out").
 #include <iostream>
 
-#include "codegen/spmd_executor.h"
-#include "codegen/spmd_printer.h"
-#include "core/optimizer.h"
-#include "ir/seq_executor.h"
-#include "kernels/kernels.h"
-#include "support/text_table.h"
+#include "driver/suite.h"
 
 int main() {
   using namespace spmd;
 
   for (const char* name : {"adi", "sor_pipeline"}) {
     kernels::KernelSpec spec = kernels::kernelByName(name);
-    core::SyncOptimizer optimizer(*spec.program, *spec.decomp);
-    core::RegionProgram plan = optimizer.run();
-    const core::OptStats& stats = optimizer.stats();
+    driver::Compilation compilation = driver::compileKernel(spec);
+    const core::OptStats& stats = compilation.syncPlan().stats;
 
     std::cout << "=== " << name << " ===\n";
-    std::cout << cg::printSpmdProgram(*spec.program, *spec.decomp, plan);
+    std::cout << compilation.lowered().listing;
     std::cout << "back edges pipelined: " << stats.backEdgesPipelined
               << ", eliminated: " << stats.backEdgesEliminated
               << ", counters: " << stats.counters << "\n\n";
 
-    ir::SymbolBindings symbols = spec.bindings(48, 6);
-    ir::Store ref = ir::runSequential(*spec.program, symbols);
-    cg::RunResult base =
-        cg::runForkJoin(*spec.program, *spec.decomp, symbols, 4);
-    cg::RunResult opt =
-        cg::runRegions(*spec.program, *spec.decomp, plan, symbols, 4);
-    std::cout << "barriers: " << base.counts.barriers << " -> "
-              << opt.counts.barriers << "  (counters: "
-              << opt.counts.counterPosts << " posts / "
-              << opt.counts.counterWaits << " waits)\n"
-              << "max |diff| vs sequential: "
-              << ir::Store::maxAbsDifference(ref, opt.store) << "\n\n";
+    driver::RunRequest request;
+    request.symbols = spec.bindings(48, 6);
+    request.threads = 4;
+    request.reference = true;
+    driver::RunComparison run = driver::runComparison(compilation, request);
+    std::cout << "barriers: " << run.baseCounts.barriers << " -> "
+              << run.optCounts.barriers << "  (counters: "
+              << run.optCounts.counterPosts << " posts / "
+              << run.optCounts.counterWaits << " waits)\n"
+              << "max |diff| vs sequential: " << run.maxDiffOpt << "\n\n";
   }
   return 0;
 }

@@ -1,6 +1,6 @@
-// Quickstart: build a small parallel program with the IR DSL, run the
-// synchronization optimizer, and execute both the base fork-join and the
-// optimized SPMD version.
+// Quickstart: build a small parallel program with the IR DSL, hand it to
+// the driver library's Compilation session, and execute both the base
+// fork-join and the optimized SPMD version.
 //
 //   $ ./examples/quickstart
 //
@@ -10,13 +10,11 @@
 // the same processor), so the optimized version runs both loops in one
 // SPMD region with no interior synchronization.
 #include <iostream>
+#include <memory>
 
-#include "codegen/spmd_executor.h"
-#include "codegen/spmd_printer.h"
-#include "core/optimizer.h"
+#include "driver/execution.h"
 #include "ir/builder.h"
 #include "ir/printer.h"
-#include "ir/seq_executor.h"
 
 int main() {
   using namespace spmd;
@@ -30,19 +28,20 @@ int main() {
   ArrayHandle C = b.array("C", {N});
   b.parFor("i", 0, N - 1, [&](Ix i) { b.assign(A(i), 2.0 * i); });
   b.parFor("j", 0, N - 1, [&](Ix j) { b.assign(C(j), A(j) + 1.0); });
-  ir::Program prog = b.finish();
+  auto prog = std::make_shared<ir::Program>(b.finish());
 
-  std::cout << "=== source program ===\n" << ir::printProgram(prog) << "\n";
+  std::cout << "=== source program ===\n" << ir::printProgram(*prog) << "\n";
 
   // 2. Choose a data decomposition (BLOCK rows over a 1-D processor grid).
-  part::Decomposition decomp(prog);
-  decomp.distribute(A.id(), 0, part::DistKind::Block);
-  decomp.distribute(C.id(), 0, part::DistKind::Block);
+  auto decomp = std::make_shared<part::Decomposition>(*prog);
+  decomp->distribute(A.id(), 0, part::DistKind::Block);
+  decomp->distribute(C.id(), 0, part::DistKind::Block);
 
-  // 3. Run the synchronization optimizer.
-  core::SyncOptimizer optimizer(prog, decomp);
-  core::RegionProgram plan = optimizer.run();
-  const core::OptStats& stats = optimizer.stats();
+  // 3. Run the synchronization optimizer through a pipeline session.
+  driver::Compilation compilation =
+      driver::Compilation::fromProgram(prog, decomp);
+  const driver::SyncPlan& plan = compilation.syncPlan();
+  const core::OptStats& stats = plan.stats;
   std::cout << "=== optimizer ===\n"
             << "regions formed:      " << stats.regions << "\n"
             << "boundaries examined: " << stats.boundaries << "\n"
@@ -51,21 +50,21 @@ int main() {
             << "barriers kept:       " << stats.barriers << "\n\n";
 
   std::cout << "=== generated SPMD program ===\n"
-            << cg::printSpmdProgram(prog, decomp, plan) << "\n";
+            << compilation.lowered().listing << "\n";
 
   // 4. Execute: sequential reference, base fork-join, optimized regions.
-  ir::SymbolBindings symbols = {{prog.symbolics()[0].var.index, 1000}};
-  ir::Store ref = ir::runSequential(prog, symbols);
-  cg::RunResult base = cg::runForkJoin(prog, decomp, symbols, /*nthreads=*/4);
-  cg::RunResult opt = cg::runRegions(prog, decomp, plan, symbols, 4);
+  driver::RunRequest request;
+  request.symbols = {{prog->symbolics()[0].var.index, 1000}};
+  request.threads = 4;
+  request.reference = true;
+  driver::RunComparison run = driver::runComparison(compilation, request);
 
   std::cout << "=== dynamic synchronization counts (P=4, N=1000) ===\n"
-            << "base fork-join : " << base.counts.barriers << " barriers, "
-            << base.counts.broadcasts << " broadcasts\n"
-            << "optimized SPMD : " << opt.counts.barriers << " barriers, "
-            << opt.counts.broadcasts << " broadcasts\n";
+            << "base fork-join : " << run.baseCounts.barriers
+            << " barriers, " << run.baseCounts.broadcasts << " broadcasts\n"
+            << "optimized SPMD : " << run.optCounts.barriers
+            << " barriers, " << run.optCounts.broadcasts << " broadcasts\n";
 
-  double diff = ir::Store::maxAbsDifference(ref, opt.store);
-  std::cout << "max |difference| vs sequential: " << diff << "\n";
-  return diff == 0.0 ? 0 : 1;
+  std::cout << "max |difference| vs sequential: " << run.maxDiffOpt << "\n";
+  return run.maxDiffOpt == 0.0 ? 0 : 1;
 }

@@ -8,38 +8,30 @@
 // synchronization volume across processor counts.
 #include <iostream>
 
-#include "codegen/spmd_executor.h"
-#include "codegen/spmd_printer.h"
-#include "core/optimizer.h"
-#include "ir/seq_executor.h"
-#include "kernels/kernels.h"
+#include "driver/suite.h"
 #include "support/text_table.h"
 
 int main() {
   using namespace spmd;
 
   kernels::KernelSpec spec = kernels::kernelByName("jacobi2d");
-  core::SyncOptimizer optimizer(*spec.program, *spec.decomp);
-  core::RegionProgram plan = optimizer.run();
+  driver::Compilation compilation = driver::compileKernel(spec);
 
   std::cout << "=== optimized SPMD plan for jacobi2d ===\n"
-            << cg::printSpmdProgram(*spec.program, *spec.decomp, plan)
-            << "\n";
+            << compilation.lowered().listing << "\n";
 
   const i64 n = 64, t = 20;
-  ir::SymbolBindings symbols = spec.bindings(n, t);
-  ir::Store ref = ir::runSequential(*spec.program, symbols);
-
   TextTable table({"P", "base barriers", "opt barriers", "opt posts",
                    "opt waits", "max |diff|"});
   for (int threads : {1, 2, 4, 8}) {
-    cg::RunResult base =
-        cg::runForkJoin(*spec.program, *spec.decomp, symbols, threads);
-    cg::RunResult opt =
-        cg::runRegions(*spec.program, *spec.decomp, plan, symbols, threads);
-    table.addRowValues(threads, base.counts.barriers, opt.counts.barriers,
-                       opt.counts.counterPosts, opt.counts.counterWaits,
-                       ir::Store::maxAbsDifference(ref, opt.store));
+    driver::RunRequest request;
+    request.symbols = spec.bindings(n, t);
+    request.threads = threads;
+    request.reference = true;
+    driver::RunComparison run = driver::runComparison(compilation, request);
+    table.addRowValues(threads, run.baseCounts.barriers,
+                       run.optCounts.barriers, run.optCounts.counterPosts,
+                       run.optCounts.counterWaits, run.maxDiffOpt);
   }
   std::cout << "=== N=" << n << ", T=" << t << " ===\n";
   table.print(std::cout);

@@ -153,4 +153,19 @@ void validateProgramOrThrow(const ir::Program& prog) {
   throw Error(os.str());
 }
 
+void reportValidationIssues(const std::vector<ValidationIssue>& issues,
+                            DiagnosticsEngine& diags) {
+  for (const ValidationIssue& issue : issues)
+    diags.warning(SourceLoc::none(), issue.detail,
+                  validationIssueKindName(issue.kind));
+  if (!issues.empty())
+    diags.error(SourceLoc::none(), "program is not a legal optimizer input");
+}
+
+bool validateProgram(const ir::Program& prog, DiagnosticsEngine& diags) {
+  std::vector<ValidationIssue> issues = validateProgram(prog);
+  reportValidationIssues(issues, diags);
+  return issues.empty();
+}
+
 }  // namespace spmd::analysis

@@ -36,4 +36,13 @@ std::vector<ValidationIssue> validateProgram(const ir::Program& prog);
 /// Convenience: throws spmd::Error listing all issues if any were found.
 void validateProgramOrThrow(const ir::Program& prog);
 
+/// Reports issues through the diagnostics engine: one warning per issue
+/// (categorized by issue kind) plus one gating error when any exist.
+void reportValidationIssues(const std::vector<ValidationIssue>& issues,
+                            DiagnosticsEngine& diags);
+
+/// Structured-diagnostics front end: validates and reports via
+/// reportValidationIssues.  Returns true when the program is valid.
+bool validateProgram(const ir::Program& prog, DiagnosticsEngine& diags);
+
 }  // namespace spmd::analysis

@@ -52,7 +52,7 @@ void collectReductionTargets(const ir::Stmt* stmt,
 
 struct SpmdExecutor::RegionState {
   const SpmdRegion* region = nullptr;
-  std::vector<rt::CounterSync> counters;                // by sync id
+  std::vector<std::unique_ptr<rt::SyncPrimitive>> counters;  // by sync id
   std::vector<std::vector<std::uint64_t>> occurrences;  // [tid][sync id]
   std::vector<std::vector<double>> privScalars;         // [tid][scalar]
   std::vector<ir::ScalarId> writtenScalars;
@@ -65,10 +65,8 @@ SpmdExecutor::SpmdExecutor(const ir::Program& prog,
                            const part::Decomposition& decomp,
                            rt::ThreadTeam& team, ExecOptions options)
     : prog_(&prog), decomp_(&decomp), team_(&team), options_(options) {
-  if (options_.useTreeBarrier)
-    barrier_ = std::make_unique<rt::TreeBarrier>(team.size());
-  else
-    barrier_ = std::make_unique<rt::CentralBarrier>(team.size());
+  barrier_ = rt::makeSyncPrimitive(rt::SyncPrimitive::Kind::Barrier,
+                                   team.size(), options_.sync);
 }
 
 int SpmdExecutor::assignSyncIds(std::vector<RegionNode>& nodes, int next) {
@@ -314,13 +312,13 @@ void SpmdExecutor::execSync(const SyncPoint& point, RegionState& state,
             table[static_cast<std::size_t>(s.index)] =
                 state.store->scalar(s);
       };
-      barrier_->arrive(tid, &serial);
+      rt::asBarrier(*barrier_).arrive(tid, &serial);
       return;
     }
     case SyncPoint::Kind::Counter: {
       SPMD_ASSERT(point.id >= 0, "counter sync point without id");
       rt::CounterSync& counter =
-          state.counters[static_cast<std::size_t>(point.id)];
+          rt::asCounter(*state.counters[static_cast<std::size_t>(point.id)]);
       std::uint64_t occ =
           ++state.occurrences[static_cast<std::size_t>(tid)]
                              [static_cast<std::size_t>(point.id)];
@@ -445,7 +443,9 @@ rt::SyncCounts SpmdExecutor::runRegions(const RegionProgram& regions,
     RegionState state;
     state.region = &region;
     state.store = &store;
-    for (int c = 0; c < nSyncs; ++c) state.counters.emplace_back(P);
+    for (int c = 0; c < nSyncs; ++c)
+      state.counters.push_back(rt::makeSyncPrimitive(
+          rt::SyncPrimitive::Kind::Counter, P, options_.sync));
     state.occurrences.assign(
         static_cast<std::size_t>(P),
         std::vector<std::uint64_t>(static_cast<std::size_t>(nSyncs), 0));
@@ -485,7 +485,7 @@ struct ForkJoinWalker {
   const ir::Program* prog;
   const part::Decomposition* decomp;
   rt::ThreadTeam* team;
-  rt::Barrier* barrier;
+  rt::SyncPrimitive* barrier;
   ir::Store* store;
   rt::SyncCounts counts;
   std::vector<std::pair<poly::VarId, i64>> bindings;

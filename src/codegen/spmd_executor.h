@@ -22,12 +22,16 @@
 #include "ir/eval.h"
 #include "partition/decomposition.h"
 #include "runtime/counter.h"
+#include "runtime/sync_primitive.h"
 #include "runtime/team.h"
 
 namespace spmd::cg {
 
 struct ExecOptions {
-  bool useTreeBarrier = false;  ///< tree instead of centralized barrier
+  /// Runtime synchronization selection (barrier algorithm etc.), forwarded
+  /// to rt::makeSyncPrimitive — the executor never names a concrete
+  /// barrier or counter class.
+  rt::SyncPrimitiveOptions sync;
 };
 
 /// The processor that executes iteration `i` of a parallel loop under the
@@ -102,7 +106,8 @@ class SpmdExecutor {
   /// after a join.
   void publishPending(ir::Store& store);
 
-  std::unique_ptr<rt::Barrier> barrier_;
+  /// The region join / fork-join barrier, obtained from the sync factory.
+  std::unique_ptr<rt::SyncPrimitive> barrier_;
 
   // Shared-canonical scalar values are never written to the store mid-
   // region (that would race with other processors' reads of the old

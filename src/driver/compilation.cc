@@ -1,0 +1,161 @@
+#include "driver/compilation.h"
+
+#include <chrono>
+#include <utility>
+
+#include "codegen/spmd_printer.h"
+#include "core/spmd_region.h"
+
+namespace spmd::driver {
+
+const char* versionString() { return "0.2.0"; }
+
+Compilation Compilation::fromSource(std::string source, std::string name) {
+  Compilation c;
+  c.source_ = std::move(source);
+  c.name_ = std::move(name);
+  return c;
+}
+
+Compilation Compilation::fromProgram(std::shared_ptr<ir::Program> program,
+                                     std::shared_ptr<part::Decomposition> decomp,
+                                     std::string name) {
+  SPMD_CHECK(program != nullptr, "Compilation::fromProgram needs a program");
+  Compilation c;
+  c.name_ = name.empty() ? program->name() : std::move(name);
+  c.parseAttempted_ = true;
+  c.parsed_ = ParsedProgram{std::move(program), c.name_};
+  if (decomp != nullptr)
+    c.partitioned_ = PartitionedProgram{std::move(decomp), false};
+  return c;
+}
+
+template <class F>
+auto Compilation::timePass(const char* pass, F&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = fn();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (PassTiming& t : timings_) {
+    if (t.pass == pass) {
+      t.seconds = seconds;
+      ++t.runs;
+      return result;
+    }
+  }
+  timings_.push_back(PassTiming{pass, seconds, 1});
+  return result;
+}
+
+void Compilation::setOptions(const PipelineOptions& options) {
+  options_ = options;
+  // Only the stages that consume the options are re-armed; the front end,
+  // validation, and partition artifacts stay cached.
+  syncPlan_.reset();
+  lowered_.reset();
+}
+
+bool Compilation::parseOk() {
+  if (!parseAttempted_) {
+    parseAttempted_ = true;
+    std::optional<ir::Program> prog = timePass("parse", [&] {
+      return ir::parseProgram(*source_, *diags_);
+    });
+    if (prog.has_value()) {
+      parsed_ = ParsedProgram{
+          std::make_shared<ir::Program>(std::move(*prog)), name_};
+    } else {
+      parseFailed_ = true;
+    }
+  }
+  return !parseFailed_;
+}
+
+const ParsedProgram& Compilation::parsed() {
+  SPMD_CHECK(parseOk(), name_ + ": program did not parse");
+  return *parsed_;
+}
+
+const ValidatedProgram& Compilation::validated() {
+  if (!validated_.has_value()) {
+    const ir::Program& prog = *parsed().program;
+    std::vector<analysis::ValidationIssue> issues = timePass(
+        "validate", [&] { return analysis::validateProgram(prog); });
+    analysis::reportValidationIssues(issues, *diags_);
+    validated_ = ValidatedProgram{std::move(issues)};
+  }
+  return *validated_;
+}
+
+bool Compilation::validateOk() { return parseOk() && validated().ok(); }
+
+const PartitionedProgram& Compilation::partitioned() {
+  if (!partitioned_.has_value()) {
+    // Decomposition keeps a mutable reference to the program.
+    ir::Program& prog = *parsed().program;
+    auto decomp = timePass("partition", [&] {
+      // Default global decomposition stand-in: block-distribute every
+      // array on its first dimension.
+      auto d = std::make_shared<part::Decomposition>(prog);
+      for (std::size_t a = 0; a < prog.arrays().size(); ++a)
+        d->distribute(ir::ArrayId{static_cast<int>(a)}, 0,
+                      part::DistKind::Block);
+      return d;
+    });
+    partitioned_ = PartitionedProgram{std::move(decomp), true};
+  }
+  return *partitioned_;
+}
+
+const RegionTree& Compilation::regionTree() {
+  if (!regionTree_.has_value()) {
+    const ir::Program& prog = *parsed().program;
+    RegionTree tree = timePass("regions", [&] {
+      RegionTree t;
+      t.regions = core::buildRegions(prog);
+      for (const core::RegionProgram::Item& item : t.regions.items) {
+        if (!item.isRegion()) continue;
+        ++t.regionCount;
+        t.nodeCount += item.region->nodeCount();
+        t.boundaryCount += item.region->boundaryCount();
+      }
+      return t;
+    });
+    regionTree_ = std::move(tree);
+  }
+  return *regionTree_;
+}
+
+const SyncPlan& Compilation::syncPlan() {
+  if (!syncPlan_.has_value()) {
+    const ir::Program& prog = *parsed().program;
+    part::Decomposition& dec = *partitioned().decomp;
+    SyncPlan plan = timePass("optimize", [&] {
+      core::SyncOptimizer optimizer(prog, dec, options_.optimizer);
+      SyncPlan p;
+      p.barriersOnly = options_.barriersOnly;
+      p.plan = options_.barriersOnly ? optimizer.runBarriersOnly()
+                                     : optimizer.run();
+      p.stats = optimizer.stats();
+      p.boundaries = optimizer.report();
+      return p;
+    });
+    syncPlan_ = std::move(plan);
+  }
+  return *syncPlan_;
+}
+
+const LoweredSpmd& Compilation::lowered() {
+  if (!lowered_.has_value()) {
+    const SyncPlan& plan = syncPlan();
+    const ir::Program& prog = *parsed().program;
+    const part::Decomposition& dec = *partitioned().decomp;
+    lowered_ = timePass("lower", [&] {
+      return LoweredSpmd{cg::printSpmdProgram(prog, dec, plan.plan)};
+    });
+  }
+  return *lowered_;
+}
+
+}  // namespace spmd::driver

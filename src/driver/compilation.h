@@ -1,0 +1,184 @@
+// The staged compilation pipeline, as a library.
+//
+// Every consumer of this compiler — the spmdopt CLI, the paper-table
+// benchmarks, the examples, the integration tests — used to assemble the
+// parse -> validate -> decompose -> region-formation -> synchronization-
+// optimization -> lowering pipeline by hand.  A Compilation session owns
+// that pipeline once, with one typed artifact per stage:
+//
+//   ParsedProgram -> ValidatedProgram -> PartitionedProgram
+//       -> RegionTree -> SyncPlan -> LoweredSpmd
+//
+// Stages run lazily (asking for syncPlan() pulls everything it needs),
+// each result is cached on the session, and every pass is timed; the
+// timings plus the optimizer's per-boundary decision table feed the
+// machine-readable report (spmdopt --report-json, driver/report_json.h).
+// setOptions() re-arms only the stages downstream of the optimizer
+// options, so one session can compare several OptimizerOptions against
+// the same parsed/validated/partitioned program.
+//
+// Front-end problems (parse errors, illegal DOALL annotations) are
+// reported through the session's DiagnosticsEngine — install a sink to
+// choose presentation; the stage accessors only throw when asked for an
+// artifact whose inputs failed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/validate.h"
+#include "core/optimizer.h"
+#include "ir/parser.h"
+#include "partition/decomposition.h"
+
+namespace spmd::driver {
+
+/// Library version ("x.y.z"); spmdopt --version prints it.
+const char* versionString();
+
+// --- typed pass artifacts --------------------------------------------------
+
+/// Front-end output.  The program is shared so artifacts and downstream
+/// consumers can hold references across session moves.
+struct ParsedProgram {
+  std::shared_ptr<ir::Program> program;
+  std::string sourceName;
+};
+
+/// Legality of the parallelism annotations the optimizer trusts.
+struct ValidatedProgram {
+  std::vector<analysis::ValidationIssue> issues;
+  bool ok() const { return issues.empty(); }
+};
+
+/// The data/computation decomposition the synchronization analysis runs
+/// against.  When the session was not given one, the partition stage
+/// block-distributes every array on its first dimension (the library's
+/// stand-in for a global automatic decomposition pass).
+struct PartitionedProgram {
+  std::shared_ptr<part::Decomposition> decomp;
+  bool synthesized = false;  ///< true when the default partitioner ran
+};
+
+/// Region formation only: maximal SPMD regions with every boundary a
+/// barrier (the merged-but-unoptimized plan).
+struct RegionTree {
+  core::RegionProgram regions;
+  std::size_t regionCount = 0;
+  std::size_t nodeCount = 0;
+  std::size_t boundaryCount = 0;
+};
+
+/// The optimizer's synchronization plan plus its evidence: static stats
+/// and the per-boundary decision table.
+struct SyncPlan {
+  core::RegionProgram plan;
+  core::OptStats stats;
+  std::vector<core::BoundaryRecord> boundaries;
+  bool barriersOnly = false;
+};
+
+/// The lowered SPMD form (what --emit prints): region structure, guards,
+/// and sync placement as the executor realizes them.
+struct LoweredSpmd {
+  std::string listing;
+};
+
+// --- pipeline configuration ------------------------------------------------
+
+struct PipelineOptions {
+  core::OptimizerOptions optimizer;
+
+  /// Region merging only: leave every boundary a barrier (spmdopt's
+  /// --mode=barriers, the ablation baseline).
+  bool barriersOnly = false;
+};
+
+/// Wall-clock record for one pass; `runs` counts how many times the stage
+/// executed in this session (re-runs after setOptions overwrite seconds).
+struct PassTiming {
+  std::string pass;
+  double seconds = 0.0;
+  int runs = 0;
+};
+
+// --- the session -----------------------------------------------------------
+
+class Compilation {
+ public:
+  /// Compiles Fortran-flavored source text; `name` labels diagnostics and
+  /// reports (a file name, "<stdin>", ...).
+  static Compilation fromSource(std::string source,
+                                std::string name = "<input>");
+
+  /// Wraps an already-built program (builder DSL, kernel suite), with an
+  /// optional caller-provided decomposition.
+  static Compilation fromProgram(
+      std::shared_ptr<ir::Program> program,
+      std::shared_ptr<part::Decomposition> decomp = nullptr,
+      std::string name = std::string());
+
+  Compilation(Compilation&&) = default;
+  Compilation& operator=(Compilation&&) = default;
+  Compilation(const Compilation&) = delete;
+  Compilation& operator=(const Compilation&) = delete;
+
+  /// Structured diagnostics for all passes; install a sink to see them.
+  DiagnosticsEngine& diags() { return *diags_; }
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Replaces the pipeline options.  Invalidates only the artifacts that
+  /// depend on them (SyncPlan and LoweredSpmd); parse, validation, and
+  /// partition results are reused.
+  void setOptions(const PipelineOptions& options);
+
+  // --- staged artifact accessors (compute on demand, then cached) ---
+  /// Runs the front end if needed; false when the source did not parse
+  /// (the error has been reported through the diagnostics engine).
+  bool parseOk();
+  const ParsedProgram& parsed();
+  const ValidatedProgram& validated();
+  /// True when the program parsed and every DOALL annotation is legal.
+  bool validateOk();
+  const PartitionedProgram& partitioned();
+  const RegionTree& regionTree();
+  const SyncPlan& syncPlan();
+  const LoweredSpmd& lowered();
+
+  // --- conveniences over the artifacts ---
+  const ir::Program& program() { return *parsed().program; }
+  part::Decomposition& decomp() { return *partitioned().decomp; }
+
+  /// Per-pass wall-clock timings, in pipeline order, for stages that have
+  /// run at least once.
+  const std::vector<PassTiming>& timings() const { return timings_; }
+
+ private:
+  Compilation() = default;
+
+  template <class F>
+  auto timePass(const char* pass, F&& fn);
+
+  std::optional<std::string> source_;  ///< absent for fromProgram sessions
+  std::string name_;
+  PipelineOptions options_;
+  // unique_ptr keeps the engine's address stable across session moves
+  // (sinks and artifacts may capture it).
+  std::unique_ptr<DiagnosticsEngine> diags_ =
+      std::make_unique<DiagnosticsEngine>();
+
+  bool parseAttempted_ = false;
+  bool parseFailed_ = false;
+  std::optional<ParsedProgram> parsed_;
+  std::optional<ValidatedProgram> validated_;
+  std::optional<PartitionedProgram> partitioned_;
+  std::optional<RegionTree> regionTree_;
+  std::optional<SyncPlan> syncPlan_;
+  std::optional<LoweredSpmd> lowered_;
+  std::vector<PassTiming> timings_;
+};
+
+}  // namespace spmd::driver

@@ -1,0 +1,81 @@
+#include "driver/execution.h"
+
+#include <chrono>
+
+namespace spmd::driver {
+
+namespace {
+
+template <class F>
+double timeIf(bool timed, F&& fn) {
+  if (!timed) {
+    fn();
+    return 0.0;
+  }
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+RunComparison runComparison(Compilation& compilation,
+                            const RunRequest& request) {
+  const ir::Program& prog = compilation.program();
+  const part::Decomposition& decomp = compilation.decomp();
+  RunComparison out;
+
+  if (request.reference) {
+    out.referenceStore.emplace(prog, request.symbols);
+    out.seqSeconds = timeIf(request.timed, [&] {
+      ir::runSequential(prog, *out.referenceStore);
+    });
+  }
+
+  if (request.runBase) {
+    cg::RunResult base{ir::Store(prog, request.symbols), {}};
+    out.baseSeconds = timeIf(request.timed, [&] {
+      base = cg::runForkJoin(prog, decomp, request.symbols, request.threads,
+                             request.exec);
+    });
+    out.baseCounts = base.counts;
+    out.baseStore.emplace(std::move(base.store));
+    if (out.referenceStore.has_value())
+      out.maxDiffBase =
+          ir::Store::maxAbsDifference(*out.referenceStore, *out.baseStore);
+  }
+
+  if (request.runOptimized) {
+    const core::RegionProgram& plan = compilation.syncPlan().plan;
+    cg::RunResult optimized{ir::Store(prog, request.symbols), {}};
+    out.optSeconds = timeIf(request.timed, [&] {
+      optimized = cg::runRegions(prog, decomp, plan, request.symbols,
+                                 request.threads, request.exec);
+    });
+    out.optCounts = optimized.counts;
+    out.optStore.emplace(std::move(optimized.store));
+    if (out.referenceStore.has_value())
+      out.maxDiffOpt =
+          ir::Store::maxAbsDifference(*out.referenceStore, *out.optStore);
+  }
+
+  return out;
+}
+
+ir::SymbolBindings bindSymbols(
+    const ir::Program& prog,
+    const std::vector<std::pair<std::string, i64>>& overrides, i64 defaultN,
+    i64 defaultT) {
+  ir::SymbolBindings symbols;
+  for (const ir::SymbolicInfo& s : prog.symbolics()) {
+    i64 value = s.name == "T" ? defaultT : defaultN;
+    for (const auto& [name, v] : overrides)
+      if (name == s.name) value = v;
+    symbols[s.var.index] = value;
+  }
+  return symbols;
+}
+
+}  // namespace spmd::driver

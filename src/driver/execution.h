@@ -1,0 +1,52 @@
+// Execution services over a Compilation: run the base fork-join program,
+// the optimized SPMD-region program, and (optionally) the sequential
+// reference, with one request/result pair instead of per-consumer glue.
+#pragma once
+
+#include <optional>
+
+#include "codegen/spmd_executor.h"
+#include "driver/compilation.h"
+#include "ir/seq_executor.h"
+
+namespace spmd::driver {
+
+struct RunRequest {
+  ir::SymbolBindings symbols;
+  int threads = 4;
+  cg::ExecOptions exec;       ///< runtime sync selection (barrier algorithm)
+  bool runBase = true;        ///< execute the fork-join base version
+  bool runOptimized = true;   ///< execute the optimized region version
+  bool reference = false;     ///< also run sequentially and diff both runs
+  bool timed = false;         ///< fill the *Seconds fields
+};
+
+struct RunComparison {
+  rt::SyncCounts baseCounts;
+  rt::SyncCounts optCounts;
+  std::optional<ir::Store> baseStore;
+  std::optional<ir::Store> optStore;
+  std::optional<ir::Store> referenceStore;
+
+  /// max |difference| vs the sequential reference (0 when not requested).
+  double maxDiffBase = 0.0;
+  double maxDiffOpt = 0.0;
+
+  double seqSeconds = 0.0;
+  double baseSeconds = 0.0;
+  double optSeconds = 0.0;
+};
+
+/// Executes the requested variants of the session's program under its
+/// decomposition and synchronization plan.
+RunComparison runComparison(Compilation& compilation,
+                            const RunRequest& request);
+
+/// Binds every symbolic of the program: `overrides` wins by name, then
+/// "T"-named symbolics get `defaultT`, everything else `defaultN`.
+ir::SymbolBindings bindSymbols(
+    const ir::Program& prog,
+    const std::vector<std::pair<std::string, i64>>& overrides,
+    i64 defaultN = 64, i64 defaultT = 8);
+
+}  // namespace spmd::driver

@@ -1,0 +1,105 @@
+#include "driver/report_json.h"
+
+#include <sstream>
+
+#include "core/report.h"
+
+namespace spmd::driver {
+
+namespace {
+
+const char* scalarCommName(core::ScalarComm scalars) {
+  switch (scalars) {
+    case core::ScalarComm::None:
+      return "none";
+    case core::ScalarComm::Master:
+      return "master";
+    case core::ScalarComm::General:
+      return "general";
+  }
+  return "?";
+}
+
+const char* siteName(core::BoundaryRecord::Site site) {
+  switch (site) {
+    case core::BoundaryRecord::Site::Interior:
+      return "interior";
+    case core::BoundaryRecord::Site::BackEdge:
+      return "back-edge";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void writeCompilationReport(JsonWriter& json, Compilation& compilation,
+                            const std::string& file) {
+  const SyncPlan& plan = compilation.syncPlan();
+  const core::OptStats& stats = plan.stats;
+
+  json.object();
+  json.field("file", file);
+  json.field("program", compilation.program().name());
+  json.field("barriersOnly", plan.barriersOnly);
+
+  json.field("passes").array();
+  for (const PassTiming& t : compilation.timings()) {
+    json.object();
+    json.field("name", t.pass);
+    json.field("ms", t.seconds * 1000.0);
+    json.field("runs", t.runs);
+    json.close();
+  }
+  json.close();
+
+  json.field("stats").object();
+  json.field("regions", stats.regions);
+  json.field("regionNodes", stats.regionNodes);
+  json.field("boundaries", stats.boundaries);
+  json.field("eliminated", stats.eliminated);
+  json.field("counters", stats.counters);
+  json.field("barriers", stats.barriers);
+  json.field("backEdges", stats.backEdges);
+  json.field("backEdgesEliminated", stats.backEdgesEliminated);
+  json.field("backEdgesPipelined", stats.backEdgesPipelined);
+  json.field("pairQueries", stats.pairQueries);
+  json.field("cacheHits", stats.cacheHits);
+  json.field("dedupHits", stats.dedupHits);
+  json.field("scanCacheHits", stats.scanCacheHits);
+  json.field("analysisMs", stats.analysisSeconds * 1000.0);
+  json.close();
+
+  json.field("boundaries").array();
+  for (const core::BoundaryRecord& r : plan.boundaries) {
+    json.object();
+    json.field("region", r.region);
+    json.field("site", siteName(r.site));
+    json.field("where", r.where);
+    json.field("decision", r.decision.toString());
+    json.field("scalars", scalarCommName(r.scalars));
+    json.field("arrays").object();
+    json.field("comm", r.arrays.comm);
+    json.field("exact", r.arrays.exact);
+    json.field("right1", r.arrays.right1);
+    json.field("left1", r.arrays.left1);
+    json.field("farRight", r.arrays.farRight);
+    json.field("farLeft", r.arrays.farLeft);
+    json.close();
+    json.field("reason", core::boundaryReason(r));
+    json.close();
+  }
+  json.close();
+
+  json.close();  // root object
+}
+
+std::string compilationReportJson(Compilation& compilation,
+                                  const std::string& file) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  writeCompilationReport(json, compilation, file);
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace spmd::driver

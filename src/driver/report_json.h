@@ -1,0 +1,23 @@
+// Machine-readable compilation report (spmdopt --report-json): per-pass
+// wall-clock timings, optimizer statistics, and the per-boundary decision
+// table, as JSON.
+#pragma once
+
+#include <string>
+
+#include "driver/compilation.h"
+#include "support/json.h"
+
+namespace spmd::driver {
+
+/// Writes one compilation's report as a JSON object on the writer (which
+/// may be positioned inside an enclosing array for multi-file runs).
+/// Pulls the syncPlan stage; `file` labels the input.
+void writeCompilationReport(JsonWriter& json, Compilation& compilation,
+                            const std::string& file);
+
+/// Convenience: a complete JSON document for a single compilation.
+std::string compilationReportJson(Compilation& compilation,
+                                  const std::string& file);
+
+}  // namespace spmd::driver

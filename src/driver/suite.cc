@@ -1,0 +1,50 @@
+#include "driver/suite.h"
+
+namespace spmd::driver {
+
+Compilation compileKernel(const kernels::KernelSpec& spec,
+                          PipelineOptions options) {
+  Compilation c =
+      Compilation::fromProgram(spec.program, spec.decomp, spec.name);
+  c.setOptions(options);
+  return c;
+}
+
+void forEachKernel(
+    const std::function<void(const kernels::KernelSpec& spec,
+                             Compilation& compilation)>& fn,
+    PipelineOptions options) {
+  for (const kernels::KernelSpec& suiteSpec : kernels::allKernels()) {
+    // Fresh spec: executions mutate the program's store, and concurrent
+    // callers must never share Program/Decomposition instances.
+    kernels::KernelSpec spec = kernels::kernelByName(suiteSpec.name);
+    Compilation compilation = compileKernel(spec, options);
+    fn(spec, compilation);
+  }
+}
+
+KernelRun runKernel(const kernels::KernelSpec& spec, i64 n, i64 t,
+                    int nthreads, PipelineOptions options) {
+  Compilation compilation = compileKernel(spec, options);
+
+  RunRequest request;
+  request.symbols = spec.bindings(n, t);
+  request.threads = nthreads;
+  request.reference = true;
+  request.timed = true;
+  RunComparison run = runComparison(compilation, request);
+
+  KernelRun out;
+  out.base = run.baseCounts;
+  out.opt = run.optCounts;
+  out.stats = compilation.syncPlan().stats;
+  out.maxDiff = run.maxDiffOpt;
+  out.seqSeconds = run.seqSeconds;
+  out.baseSeconds = run.baseSeconds;
+  out.optSeconds = run.optSeconds;
+  SPMD_CHECK(out.maxDiff <= spec.tolerance,
+             "optimized run diverged for " + spec.name);
+  return out;
+}
+
+}  // namespace spmd::driver

@@ -1,0 +1,48 @@
+// Kernel-suite plumbing for benchmarks and tests: one place that walks
+// kernels::allKernels() in table order, wraps each spec in a Compilation
+// session, and runs the three-way (sequential / fork-join / optimized)
+// comparison — previously copy-pasted across the bench binaries and the
+// suite smoke tests.
+#pragma once
+
+#include <functional>
+
+#include "driver/execution.h"
+#include "kernels/kernels.h"
+
+namespace spmd::driver {
+
+/// Wraps a kernel spec (program + decomposition) in a pipeline session.
+Compilation compileKernel(const kernels::KernelSpec& spec,
+                          PipelineOptions options = PipelineOptions());
+
+/// Iterates the full suite in table order with a fresh spec and session
+/// per kernel (KernelSpec factories rebuild program and decomposition, so
+/// iterations share nothing).
+void forEachKernel(
+    const std::function<void(const kernels::KernelSpec& spec,
+                             Compilation& compilation)>& fn,
+    PipelineOptions options = PipelineOptions());
+
+/// One kernel executed in all three modes, numerics cross-checked against
+/// the sequential reference (throws when the optimized run diverges
+/// beyond the kernel's tolerance).
+struct KernelRun {
+  rt::SyncCounts base;
+  rt::SyncCounts opt;
+  core::OptStats stats;
+  double maxDiff = 0.0;  ///< optimized vs sequential reference
+  double seqSeconds = 0.0;
+  double baseSeconds = 0.0;
+  double optSeconds = 0.0;
+};
+
+KernelRun runKernel(const kernels::KernelSpec& spec, i64 n, i64 t,
+                    int nthreads, PipelineOptions options = PipelineOptions());
+
+inline double reductionPercent(std::uint64_t base, std::uint64_t opt) {
+  if (base == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(opt) / static_cast<double>(base));
+}
+
+}  // namespace spmd::driver

@@ -10,6 +10,15 @@ namespace spmd::ir {
 
 namespace {
 
+/// Raises a ParseError carrying both the human-readable prefixed message
+/// and the structured (line, detail) pair.
+[[noreturn]] void raiseParse(int line, const std::string& detail) {
+  if (line <= 0) throw ParseError(detail, 0, detail);
+  std::ostringstream os;
+  os << "line " << line << ": " << detail;
+  throw ParseError(os.str(), line, detail);
+}
+
 // --- lexer -----------------------------------------------------------------
 
 enum class Tok {
@@ -56,10 +65,10 @@ class Lexer {
 
   [[noreturn]] void fail(const std::string& msg) const {
     std::ostringstream os;
-    os << "line " << lineNo_ << ": " << msg << " (near '"
+    os << msg << " (near '"
        << (current_.kind == Tok::End ? "<end>" : current_.text) << "' in \""
        << line_ << "\")";
-    throw ParseError(os.str());
+    raiseParse(lineNo_, os.str());
   }
 
   int lineNo() const { return lineNo_; }
@@ -137,8 +146,8 @@ class Lexer {
         return;
       default: {
         std::ostringstream os;
-        os << "line " << lineNo_ << ": unexpected character '" << c << "'";
-        throw ParseError(os.str());
+        os << "unexpected character '" << c << "'";
+        raiseParse(lineNo_, os.str());
       }
     }
   }
@@ -169,7 +178,7 @@ class Parser {
 
     parseDeclarations();
     parseStatements();
-    if (!sawEnd_) throw ParseError("missing END");
+    if (!sawEnd_) raiseParse(0, "missing END");
     return std::move(*prog);
   }
 
@@ -193,7 +202,7 @@ class Parser {
       if (i == text.size() || text[i] == '!') continue;
       lines_.push_back(Line{number, text});
     }
-    if (lines_.empty()) throw ParseError("empty program");
+    if (lines_.empty()) raiseParse(0, "empty program");
   }
 
   const Line& cur() const {
@@ -272,11 +281,8 @@ class Parser {
   }
 
   void declareUnique(const std::string& name) {
-    if (symbols_.count(name) || arrays_.count(name) || scalars_.count(name)) {
-      std::ostringstream os;
-      os << "line " << cur().number << ": redeclaration of '" << name << "'";
-      throw ParseError(os.str());
-    }
+    if (symbols_.count(name) || arrays_.count(name) || scalars_.count(name))
+      raiseParse(cur().number, "redeclaration of '" + name + "'");
   }
 
   double parseSignedNumber(Lexer& lex) {
@@ -301,11 +307,7 @@ class Parser {
         return;
       }
       if (kw == "ENDDO") {
-        if (topLevel) {
-          std::ostringstream os;
-          os << "line " << cur().number << ": ENDDO without DO";
-          throw ParseError(os.str());
-        }
+        if (topLevel) raiseParse(cur().number, "ENDDO without DO");
         return;  // caller consumes
       }
       if (kw == "DO" || kw == "DOALL") {
@@ -314,7 +316,7 @@ class Parser {
       }
       parseAssignment();
     }
-    if (!topLevel) throw ParseError("missing ENDDO");
+    if (!topLevel) raiseParse(0, "missing ENDDO");
   }
 
   void parseLoop(bool parallel) {
@@ -350,7 +352,7 @@ class Parser {
     indexScope_.pop_back();
 
     // Consume the ENDDO.
-    if (done()) throw ParseError("missing ENDDO");
+    if (done()) raiseParse(0, "missing ENDDO");
     ++pos_;
     append(std::move(stmt));
   }
@@ -611,6 +613,16 @@ class Parser {
 Program parseProgram(const std::string& source) {
   Parser parser(source);
   return parser.run();
+}
+
+std::optional<Program> parseProgram(const std::string& source,
+                                    DiagnosticsEngine& diags) {
+  try {
+    return parseProgram(source);
+  } catch (const ParseError& e) {
+    diags.error(SourceLoc::atLine(e.line()), e.detail());
+    return std::nullopt;
+  }
 }
 
 }  // namespace spmd::ir

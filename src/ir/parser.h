@@ -27,19 +27,40 @@
 // number.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "ir/program.h"
 
 namespace spmd::ir {
 
-/// Parse error with 1-based line information in the message.
+/// Parse error with 1-based line information, both embedded in the
+/// message (for plain what() consumers) and carried structurally so the
+/// diagnostics engine can report a proper SourceLoc.
 class ParseError : public Error {
  public:
-  using Error::Error;
+  explicit ParseError(const std::string& what) : Error(what) {}
+  ParseError(const std::string& what, int line, std::string detail)
+      : Error(what), line_(line), detail_(std::move(detail)) {}
+
+  /// 1-based source line; 0 when the error has no single location.
+  int line() const { return line_; }
+
+  /// The message without the "line N: " prefix.
+  std::string detail() const { return detail_.empty() ? what() : detail_; }
+
+ private:
+  int line_ = 0;
+  std::string detail_;
 };
 
 /// Parses a whole program from source text.  Throws ParseError.
 Program parseProgram(const std::string& source);
+
+/// Structured-diagnostics front end: reports parse failures through the
+/// engine (with source locations) instead of throwing.  Returns nullopt
+/// after reporting when the source does not parse.
+std::optional<Program> parseProgram(const std::string& source,
+                                    DiagnosticsEngine& diags);
 
 }  // namespace spmd::ir

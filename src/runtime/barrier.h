@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/sync_primitive.h"
 #include "support/diag.h"
 
 namespace spmd::rt {
@@ -45,10 +46,8 @@ inline void spinWait(Pred&& done) {
   }
 }
 
-class Barrier {
+class Barrier : public SyncPrimitive {
  public:
-  virtual ~Barrier() = default;
-
   /// Blocks until all `parties` threads arrive.  Thread ids in [0, parties).
   ///
   /// If `serial` is non-null, the releasing thread runs `*serial` exactly
@@ -59,7 +58,7 @@ class Barrier {
   virtual void arrive(int tid, const std::function<void()>* serial) = 0;
   void arrive(int tid) { arrive(tid, nullptr); }
 
-  virtual int parties() const = 0;
+  Kind kind() const final { return Kind::Barrier; }
 };
 
 /// Sense-reversing centralized barrier.
@@ -72,6 +71,7 @@ class CentralBarrier final : public Barrier {
   using Barrier::arrive;
   void arrive(int tid, const std::function<void()>* serial) override;
   int parties() const override { return parties_; }
+  std::string name() const override { return "central-barrier"; }
 
  private:
   int parties_;
@@ -90,6 +90,7 @@ class TreeBarrier final : public Barrier {
   using Barrier::arrive;
   void arrive(int tid, const std::function<void()>* serial) override;
   int parties() const override { return parties_; }
+  std::string name() const override { return "tree-barrier"; }
 
  private:
   int parties_;

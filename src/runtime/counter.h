@@ -13,12 +13,16 @@
 
 namespace spmd::rt {
 
-class CounterSync {
+class CounterSync final : public SyncPrimitive {
  public:
   explicit CounterSync(int parties)
-      : slots_(static_cast<std::size_t>(parties)) {}
+      : slots_(static_cast<std::size_t>(parties)) {
+    SPMD_CHECK(parties >= 1, "counter needs at least one party");
+  }
 
-  int parties() const { return static_cast<int>(slots_.size()); }
+  Kind kind() const override { return Kind::Counter; }
+  int parties() const override { return static_cast<int>(slots_.size()); }
+  std::string name() const override { return "counter"; }
 
   /// Producer side: publish that `tid` completed its `occurrence`-th visit.
   void post(int tid, std::uint64_t occurrence) {
@@ -36,7 +40,7 @@ class CounterSync {
 
   /// Resets all slots (between region executions; caller must ensure no
   /// thread is inside the counter).
-  void reset() {
+  void reset() override {
     for (auto& s : slots_) s.value.store(0, std::memory_order_relaxed);
   }
 

@@ -1,0 +1,63 @@
+#include "runtime/sync_primitive.h"
+
+#include "runtime/barrier.h"
+#include "runtime/counter.h"
+
+namespace spmd::rt {
+
+const char* syncKindName(SyncPrimitive::Kind kind) {
+  switch (kind) {
+    case SyncPrimitive::Kind::Barrier:
+      return "barrier";
+    case SyncPrimitive::Kind::Counter:
+      return "counter";
+  }
+  return "?";
+}
+
+const char* barrierAlgorithmName(BarrierAlgorithm algorithm) {
+  switch (algorithm) {
+    case BarrierAlgorithm::Central:
+      return "central";
+    case BarrierAlgorithm::Tree:
+      return "tree";
+  }
+  return "?";
+}
+
+std::unique_ptr<Barrier> makeBarrier(int parties,
+                                     const SyncPrimitiveOptions& options) {
+  switch (options.barrierAlgorithm) {
+    case BarrierAlgorithm::Central:
+      return std::make_unique<CentralBarrier>(parties);
+    case BarrierAlgorithm::Tree:
+      return std::make_unique<TreeBarrier>(parties);
+  }
+  SPMD_UNREACHABLE("bad BarrierAlgorithm");
+}
+
+std::unique_ptr<SyncPrimitive> makeSyncPrimitive(
+    SyncPrimitive::Kind kind, int parties,
+    const SyncPrimitiveOptions& options) {
+  switch (kind) {
+    case SyncPrimitive::Kind::Barrier:
+      return makeBarrier(parties, options);
+    case SyncPrimitive::Kind::Counter:
+      return std::make_unique<CounterSync>(parties);
+  }
+  SPMD_UNREACHABLE("bad SyncPrimitive::Kind");
+}
+
+Barrier& asBarrier(SyncPrimitive& primitive) {
+  SPMD_ASSERT(primitive.kind() == SyncPrimitive::Kind::Barrier,
+              "expected a barrier primitive, got " + primitive.name());
+  return static_cast<Barrier&>(primitive);
+}
+
+CounterSync& asCounter(SyncPrimitive& primitive) {
+  SPMD_ASSERT(primitive.kind() == SyncPrimitive::Kind::Counter,
+              "expected a counter primitive, got " + primitive.name());
+  return static_cast<CounterSync&>(primitive);
+}
+
+}  // namespace spmd::rt

@@ -1,0 +1,77 @@
+// The unified runtime synchronization interface.
+//
+// The optimizer's plan places two kinds of synchronization (core's
+// SyncPoint): all-processor barriers and pairwise counters.  At run time
+// each kind can have several implementations (centralized vs combining-
+// tree barriers today; MCS / dissemination / hardware barriers are
+// drop-in candidates).  SyncPrimitive is the common base, and
+// makeSyncPrimitive is the single seam through which the executor and the
+// verifier obtain implementations — swapping a barrier algorithm touches
+// the factory, not the execution engine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "support/diag.h"
+
+namespace spmd::rt {
+
+class Barrier;
+class CounterSync;
+
+class SyncPrimitive {
+ public:
+  /// The plan-level role this primitive realizes (mirrors
+  /// core::SyncPoint::Kind, without depending on core).
+  enum class Kind { Barrier, Counter };
+
+  virtual ~SyncPrimitive() = default;
+
+  virtual Kind kind() const = 0;
+  virtual int parties() const = 0;
+
+  /// Stable implementation name ("central-barrier", "tree-barrier",
+  /// "counter") for reports and conformance tests.
+  virtual std::string name() const = 0;
+
+  /// Restores the primitive to its initial state so it can be reused for
+  /// a fresh sequence of episodes.  Callers must ensure no thread is
+  /// inside the primitive.  Episode-based primitives (sense-reversing and
+  /// tree barriers) are self-cleaning, so their reset is a no-op.
+  virtual void reset() {}
+};
+
+const char* syncKindName(SyncPrimitive::Kind kind);
+
+/// Which barrier algorithm the factory instantiates for Kind::Barrier.
+enum class BarrierAlgorithm {
+  Central,  ///< sense-reversing centralized barrier (default)
+  Tree,     ///< software combining tree, O(log P) arrival depth
+};
+
+const char* barrierAlgorithmName(BarrierAlgorithm algorithm);
+
+/// Runtime synchronization selection, carried from the driver through the
+/// executor to the factory.
+struct SyncPrimitiveOptions {
+  BarrierAlgorithm barrierAlgorithm = BarrierAlgorithm::Central;
+};
+
+/// The factory: maps a plan-level sync kind + options to a concrete
+/// primitive.
+std::unique_ptr<SyncPrimitive> makeSyncPrimitive(
+    SyncPrimitive::Kind kind, int parties,
+    const SyncPrimitiveOptions& options = SyncPrimitiveOptions());
+
+/// Convenience for call sites that statically need a barrier (the region
+/// join, the fork-join base executor).
+std::unique_ptr<Barrier> makeBarrier(
+    int parties, const SyncPrimitiveOptions& options = SyncPrimitiveOptions());
+
+/// Checked downcasts for plan interpretation (the executor knows the kind
+/// from the SyncPoint it is realizing).
+Barrier& asBarrier(SyncPrimitive& primitive);
+CounterSync& asCounter(SyncPrimitive& primitive);
+
+}  // namespace spmd::rt

@@ -1,12 +1,21 @@
-// Diagnostics: checked assertions and error reporting for the spmdsync
-// library.  Analysis code uses SPMD_CHECK for conditions that depend on
-// user-supplied programs (recoverable, throws spmd::Error); SPMD_ASSERT
-// guards internal invariants.
+// Diagnostics for the spmdsync library.
+//
+// Two layers:
+//   * Checked assertions (SPMD_CHECK / SPMD_ASSERT) for conditions that
+//     depend on user-supplied programs (recoverable, throws spmd::Error)
+//     and internal invariants.
+//   * A structured DiagnosticsEngine: severities, source locations, and a
+//     sink interface, threaded through the parser, validator, and driver
+//     so front-end problems are reported as data instead of ad-hoc
+//     std::cerr writes or bare throws.  Sinks decide presentation (a
+//     stream for CLIs, a collecting vector for tests and --report-json).
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace spmd {
 
@@ -27,6 +36,137 @@ namespace detail {
 }
 
 }  // namespace detail
+
+// --- structured diagnostics ------------------------------------------------
+
+/// A position in user-written source.  Lines are 1-based; 0 means "no
+/// location" (e.g. whole-program diagnostics from the validator).
+struct SourceLoc {
+  int line = 0;
+
+  bool valid() const { return line > 0; }
+  static SourceLoc none() { return SourceLoc{}; }
+  static SourceLoc atLine(int line) { return SourceLoc{line}; }
+};
+
+enum class Severity { Note, Warning, Error };
+
+inline const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+/// One reported problem.  `category` is a stable machine-readable tag
+/// (e.g. a ValidationIssue kind name); empty for uncategorized messages.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string category;
+  std::string message;
+};
+
+/// Renders a diagnostic the way the CLI tools print it:
+///   "error: line 3: expected PROGRAM"
+///   "warning: [carried-array-dependence] DOALL i carries ..."
+inline std::string formatDiagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << severityName(d.severity) << ": ";
+  if (d.loc.valid()) os << "line " << d.loc.line << ": ";
+  if (!d.category.empty()) os << "[" << d.category << "] ";
+  os << d.message;
+  return os.str();
+}
+
+/// Consumer of emitted diagnostics.  Implementations must tolerate being
+/// called from whichever thread runs the pass (the driver compiles
+/// independent units on worker threads, one engine per unit).
+class DiagnosticSink {
+ public:
+  virtual ~DiagnosticSink() = default;
+  virtual void handle(const Diagnostic& diag) = 0;
+};
+
+/// Prints each diagnostic as one line to a stream.
+class StreamDiagnosticSink final : public DiagnosticSink {
+ public:
+  explicit StreamDiagnosticSink(std::ostream& os) : os_(&os) {}
+  void handle(const Diagnostic& diag) override {
+    *os_ << formatDiagnostic(diag) << "\n";
+  }
+
+ private:
+  std::ostream* os_;
+};
+
+/// Buffers diagnostics for later inspection (tests, JSON reports).
+class CollectingDiagnosticSink final : public DiagnosticSink {
+ public:
+  void handle(const Diagnostic& diag) override { all_.push_back(diag); }
+  const std::vector<Diagnostic>& all() const { return all_; }
+  void clear() { all_.clear(); }
+
+ private:
+  std::vector<Diagnostic> all_;
+};
+
+/// Emission hub: counts per severity for error gating and forwards every
+/// diagnostic to the installed sink (none by default — counting still
+/// works, so library code can be used without any presentation layer).
+class DiagnosticsEngine {
+ public:
+  DiagnosticsEngine() = default;
+  explicit DiagnosticsEngine(DiagnosticSink* sink) : sink_(sink) {}
+
+  /// The sink is borrowed, not owned; pass nullptr to detach.
+  void setSink(DiagnosticSink* sink) { sink_ = sink; }
+  DiagnosticSink* sink() const { return sink_; }
+
+  void report(Diagnostic diag) {
+    switch (diag.severity) {
+      case Severity::Note:
+        ++notes_;
+        break;
+      case Severity::Warning:
+        ++warnings_;
+        break;
+      case Severity::Error:
+        ++errors_;
+        break;
+    }
+    if (sink_ != nullptr) sink_->handle(diag);
+  }
+
+  void note(SourceLoc loc, std::string message, std::string category = {}) {
+    report({Severity::Note, loc, std::move(category), std::move(message)});
+  }
+  void warning(SourceLoc loc, std::string message, std::string category = {}) {
+    report({Severity::Warning, loc, std::move(category), std::move(message)});
+  }
+  void error(SourceLoc loc, std::string message, std::string category = {}) {
+    report({Severity::Error, loc, std::move(category), std::move(message)});
+  }
+
+  std::size_t noteCount() const { return notes_; }
+  std::size_t warningCount() const { return warnings_; }
+  std::size_t errorCount() const { return errors_; }
+  bool hasErrors() const { return errors_ > 0; }
+
+  /// Forgets counts (the sink keeps whatever it already consumed).
+  void resetCounts() { notes_ = warnings_ = errors_ = 0; }
+
+ private:
+  DiagnosticSink* sink_ = nullptr;
+  std::size_t notes_ = 0;
+  std::size_t warnings_ = 0;
+  std::size_t errors_ = 0;
+};
 
 }  // namespace spmd
 

@@ -1,0 +1,144 @@
+// A minimal streaming JSON writer for machine-readable reports
+// (spmdopt --report-json, BENCH_*.json).  Emits pretty-printed output a
+// strict parser accepts; no reading, no DOM.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace spmd {
+
+inline std::string jsonEscape(const std::string& s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+/// Structured writer: object()/array() open containers, close() pops the
+/// innermost one, field()/value() emit members.  Keys and separators are
+/// handled so the output is always syntactically valid provided opens and
+/// closes balance (checked).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter& object() { return open('{', '}'); }
+  JsonWriter& array() { return open('[', ']'); }
+
+  JsonWriter& close() {
+    SPMD_ASSERT(!stack_.empty(), "JsonWriter::close with nothing open");
+    Frame frame = stack_.back();
+    stack_.pop_back();
+    if (frame.members > 0) {
+      *os_ << "\n";
+      indent();
+    }
+    *os_ << frame.closer;
+    return *this;
+  }
+
+  /// Named member inside an object; follow with object()/array()/value().
+  JsonWriter& field(const std::string& key) {
+    beginMember();
+    *os_ << '"' << jsonEscape(key) << "\": ";
+    pendingKey_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) { return scalar('"' + jsonEscape(v) + '"'); }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) { return scalar(v ? "true" : "false"); }
+  JsonWriter& value(double v) {
+    if (!std::isfinite(v)) return scalar("null");
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return scalar(os.str());
+  }
+  JsonWriter& value(std::int64_t v) { return scalar(std::to_string(v)); }
+  JsonWriter& value(std::uint64_t v) { return scalar(std::to_string(v)); }
+  JsonWriter& value(int v) { return scalar(std::to_string(v)); }
+
+  template <class T>
+  JsonWriter& field(const std::string& key, T v) {
+    return field(key).value(v);
+  }
+
+  bool done() const { return stack_.empty(); }
+
+ private:
+  struct Frame {
+    char closer;
+    int members;
+  };
+
+  JsonWriter& open(char opener, char closer) {
+    beginMember();
+    *os_ << opener;
+    stack_.push_back(Frame{closer, 0});
+    return *this;
+  }
+
+  template <class S>
+  JsonWriter& scalar(const S& text) {
+    beginMember();
+    *os_ << text;
+    return *this;
+  }
+
+  /// Emits the separator/indentation due before the next member, unless a
+  /// field() already did.
+  void beginMember() {
+    if (pendingKey_) {
+      pendingKey_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back().members++ > 0) *os_ << ",";
+    *os_ << "\n";
+    indent();
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < stack_.size(); ++i) *os_ << "  ";
+  }
+
+  std::ostream* os_;
+  std::vector<Frame> stack_;
+  bool pendingKey_ = false;
+};
+
+}  // namespace spmd

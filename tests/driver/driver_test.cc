@@ -1,0 +1,244 @@
+// Compilation session: staged artifacts are cached, setOptions
+// invalidates only downstream stages, diagnostics flow through the
+// engine, and the JSON report is well-formed.
+#include "driver/compilation.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/execution.h"
+#include "driver/report_json.h"
+#include "driver/suite.h"
+
+namespace spmd::driver {
+namespace {
+
+const char* kStencilSource = R"(PROGRAM heat
+SYMBOLIC N >= 8
+SYMBOLIC T >= 1
+REAL U(N + 2) = 1.0
+REAL Un(N + 2) = 0.0
+DO t = 1, T
+  DOALL i = 1, N
+    Un(i) = 0.5 * (U(i - 1) + U(i + 1))
+  ENDDO
+  DOALL i2 = 1, N
+    U(i2) = Un(i2)
+  ENDDO
+ENDDO
+END
+)";
+
+int runsOf(const Compilation& compilation, const std::string& pass) {
+  for (const PassTiming& t : compilation.timings())
+    if (t.pass == pass) return t.runs;
+  return 0;
+}
+
+TEST(CompilationTest, StagesAreComputedOnceAndCached) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  ASSERT_TRUE(c.parseOk());
+
+  const ParsedProgram* parsed = &c.parsed();
+  const SyncPlan* plan = &c.syncPlan();
+  const LoweredSpmd* lowered = &c.lowered();
+
+  // Repeated access returns the identical cached artifact.
+  EXPECT_EQ(&c.parsed(), parsed);
+  EXPECT_EQ(&c.syncPlan(), plan);
+  EXPECT_EQ(&c.lowered(), lowered);
+  EXPECT_EQ(runsOf(c, "parse"), 1);
+  EXPECT_EQ(runsOf(c, "partition"), 1);
+  EXPECT_EQ(runsOf(c, "optimize"), 1);
+  EXPECT_EQ(runsOf(c, "lower"), 1);
+}
+
+TEST(CompilationTest, TimingsAppearInPipelineOrder) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  (void)c.validated();
+  (void)c.lowered();
+  std::vector<std::string> passes;
+  for (const PassTiming& t : c.timings()) passes.push_back(t.pass);
+  EXPECT_EQ(passes, (std::vector<std::string>{"parse", "validate",
+                                              "partition", "optimize",
+                                              "lower"}));
+}
+
+TEST(CompilationTest, SetOptionsInvalidatesOnlyDownstreamArtifacts) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  const ir::Program* program = c.parsed().program.get();
+  const part::Decomposition* decomp = c.partitioned().decomp.get();
+  const SyncPlan& fullPlan = c.syncPlan();
+  std::size_t fullBarriers = fullPlan.stats.barriers;
+  std::size_t fullCounters = fullPlan.stats.counters;
+  EXPECT_GT(fullCounters, 0u) << "stencil boundary should weaken to counters";
+  (void)c.lowered();
+
+  PipelineOptions noCounters;
+  noCounters.optimizer.enableCounters = false;
+  c.setOptions(noCounters);
+
+  // Downstream artifacts recompute under the new options...
+  const SyncPlan& plan2 = c.syncPlan();
+  EXPECT_EQ(plan2.stats.counters, 0u);
+  EXPECT_GT(plan2.stats.barriers, fullBarriers);
+  EXPECT_EQ(runsOf(c, "optimize"), 2);
+  EXPECT_EQ(runsOf(c, "lower"), 1);
+  (void)c.lowered();
+  EXPECT_EQ(runsOf(c, "lower"), 2);
+
+  // ...while the upstream pipeline is reused, not re-run.
+  EXPECT_EQ(c.parsed().program.get(), program);
+  EXPECT_EQ(c.partitioned().decomp.get(), decomp);
+  EXPECT_EQ(runsOf(c, "parse"), 1);
+  EXPECT_EQ(runsOf(c, "partition"), 1);
+}
+
+TEST(CompilationTest, BarriersOnlyModeKeepsEveryBoundaryABarrier) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  PipelineOptions barriersOnly;
+  barriersOnly.barriersOnly = true;
+  c.setOptions(barriersOnly);
+  const SyncPlan& plan = c.syncPlan();
+  EXPECT_TRUE(plan.barriersOnly);
+  EXPECT_EQ(plan.stats.eliminated, 0u);
+  EXPECT_EQ(plan.stats.counters, 0u);
+}
+
+TEST(CompilationTest, ParseFailureIsReportedThroughDiagnostics) {
+  CollectingDiagnosticSink sink;
+  Compilation c = Compilation::fromSource("PROGRAM broken\nwat\n", "bad.f");
+  c.diags().setSink(&sink);
+  EXPECT_FALSE(c.parseOk());
+  EXPECT_FALSE(c.validateOk());
+  EXPECT_TRUE(c.diags().hasErrors());
+  ASSERT_FALSE(sink.all().empty());
+  EXPECT_EQ(sink.all()[0].severity, Severity::Error);
+  EXPECT_TRUE(sink.all()[0].loc.valid());
+  // Asking for the parsed artifact anyway is a checked error.
+  EXPECT_THROW(c.parsed(), Error);
+}
+
+TEST(CompilationTest, ValidationIssuesGateTheOptimizerInput) {
+  // A DOALL that carries a dependence across iterations: A(i) = A(i-1).
+  const char* illegal = R"(PROGRAM illegal
+SYMBOLIC N >= 8
+REAL A(N + 2) = 1.0
+DOALL i = 1, N
+  A(i) = A(i - 1)
+ENDDO
+END
+)";
+  CollectingDiagnosticSink sink;
+  Compilation c = Compilation::fromSource(illegal, "illegal.f");
+  c.diags().setSink(&sink);
+  ASSERT_TRUE(c.parseOk());
+  EXPECT_FALSE(c.validated().ok());
+  EXPECT_FALSE(c.validateOk());
+  EXPECT_TRUE(c.diags().hasErrors());
+  EXPECT_GE(c.diags().warningCount(), 1u);
+  // One warning per issue (categorized), then the gating error.
+  EXPECT_FALSE(sink.all().front().category.empty());
+  EXPECT_EQ(sink.all().back().severity, Severity::Error);
+  EXPECT_EQ(sink.all().back().message,
+            "program is not a legal optimizer input");
+}
+
+TEST(CompilationTest, FromProgramUsesTheProvidedDecomposition) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  Compilation c = Compilation::fromProgram(spec.program, spec.decomp);
+  EXPECT_TRUE(c.parseOk());
+  EXPECT_FALSE(c.partitioned().synthesized);
+  EXPECT_EQ(c.partitioned().decomp.get(), spec.decomp.get());
+  EXPECT_EQ(&c.program(), spec.program.get());
+}
+
+TEST(CompilationTest, FromSourceSynthesizesADecomposition) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  EXPECT_TRUE(c.partitioned().synthesized);
+  EXPECT_NE(c.partitioned().decomp, nullptr);
+}
+
+TEST(CompilationTest, RegionTreeCountsMatchOptimizerStats) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  const RegionTree& tree = c.regionTree();
+  const SyncPlan& plan = c.syncPlan();
+  EXPECT_EQ(tree.regionCount, plan.stats.regions);
+  // Structural boundaries = interior boundaries the optimizer examined
+  // plus the enclosing loops' back edges.
+  EXPECT_EQ(tree.boundaryCount, plan.stats.boundaries + plan.stats.backEdges);
+  EXPECT_GT(tree.nodeCount, 0u);
+}
+
+TEST(CompilationTest, RerunAfterSameOptionsIsDeterministic) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  std::string first = c.lowered().listing;
+  c.setOptions(c.options());
+  EXPECT_EQ(c.lowered().listing, first);
+}
+
+TEST(ExecutionTest, RunComparisonVerifiesAgainstReference) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  RunRequest request;
+  request.symbols = bindSymbols(c.program(), {{"N", 32}, {"T", 4}});
+  request.threads = 3;
+  request.reference = true;
+  RunComparison run = runComparison(c, request);
+  EXPECT_LE(run.maxDiffBase, 1e-9);
+  EXPECT_LE(run.maxDiffOpt, 1e-9);
+  EXPECT_GT(run.baseCounts.barriers, run.optCounts.barriers);
+}
+
+TEST(ExecutionTest, BindSymbolsAppliesDefaultsAndOverrides) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  ir::SymbolBindings defaults = bindSymbols(c.program(), {});
+  ir::SymbolBindings bound = bindSymbols(c.program(), {{"N", 16}});
+  const auto& symbolics = c.program().symbolics();
+  for (const ir::SymbolicInfo& s : symbolics) {
+    if (s.name == "T") {
+      EXPECT_EQ(defaults[s.var.index], 8);
+      EXPECT_EQ(bound[s.var.index], 8);
+    } else {
+      EXPECT_EQ(defaults[s.var.index], 64);
+      EXPECT_EQ(bound[s.var.index], 16);
+    }
+  }
+}
+
+TEST(ReportJsonTest, ReportContainsPassesStatsAndBoundaries) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  std::string json = compilationReportJson(c, "heat.f");
+  EXPECT_NE(json.find("\"file\": \"heat.f\""), std::string::npos);
+  EXPECT_NE(json.find("\"program\": \"heat\""), std::string::npos);
+  EXPECT_NE(json.find("\"passes\""), std::string::npos);
+  EXPECT_NE(json.find("\"optimize\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"boundaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"decision\""), std::string::npos);
+  // The writer balanced every container (it would have thrown otherwise),
+  // and the document ends with a newline for shell-friendly output.
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(SuiteTest, ForEachKernelVisitsTheWholeSuiteInOrder) {
+  std::vector<std::string> visited;
+  forEachKernel([&](const kernels::KernelSpec& spec,
+                    Compilation& compilation) {
+    visited.push_back(spec.name);
+    EXPECT_TRUE(compilation.parseOk());
+  });
+  std::vector<std::string> expected;
+  for (const kernels::KernelSpec& spec : kernels::allKernels())
+    expected.push_back(spec.name);
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(SuiteTest, RunKernelCrossChecksNumerics) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  KernelRun run = runKernel(spec, 32, 4, 2);
+  EXPECT_LE(run.maxDiff, spec.tolerance);
+  EXPECT_GE(run.base.barriers, run.opt.barriers);
+  EXPECT_GT(run.stats.boundaries, 0u);
+}
+
+}  // namespace
+}  // namespace spmd::driver

@@ -91,7 +91,7 @@ TEST(EndToEndBarriersOnly, TreeBarrierProducesSameResults) {
   core::SyncOptimizer opt(*spec.program, *spec.decomp);
   core::RegionProgram plan = opt.run();
   cg::ExecOptions options;
-  options.useTreeBarrier = true;
+  options.sync.barrierAlgorithm = rt::BarrierAlgorithm::Tree;
   cg::RunResult run = cg::runRegions(*spec.program, *spec.decomp, plan,
                                      symbols, 4, options);
   EXPECT_LE(ir::Store::maxAbsDifference(ref, run.store), spec.tolerance);

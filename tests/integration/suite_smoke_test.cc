@@ -1,14 +1,14 @@
 // Cross-cutting suite smoke tests: every kernel must print (source and
 // SPMD form), render an optimization report, and produce a deterministic
 // plan — the optimizer is a compiler pass and must not depend on iteration
-// order of containers or wall-clock state.
+// order of containers or wall-clock state.  All pipelines run through the
+// driver library's Compilation session, the same path the CLI and the
+// benches use.
 #include <gtest/gtest.h>
 
-#include "codegen/spmd_printer.h"
-#include "core/optimizer.h"
 #include "core/report.h"
+#include "driver/suite.h"
 #include "ir/printer.h"
-#include "kernels/kernels.h"
 
 namespace spmd {
 namespace {
@@ -21,13 +21,12 @@ TEST_P(SuiteSmokeTest, PrintersCoverEveryKernelShape) {
   EXPECT_NE(source.find("PROGRAM " + spec.name), std::string::npos);
   EXPECT_NE(source.find("DOALL"), std::string::npos);
 
-  core::SyncOptimizer opt(*spec.program, *spec.decomp);
-  core::RegionProgram plan = opt.run();
-  std::string spmd = cg::printSpmdProgram(*spec.program, *spec.decomp, plan);
+  driver::Compilation compilation = driver::compileKernel(spec);
+  const std::string& spmd = compilation.lowered().listing;
   EXPECT_NE(spmd.find("SPMD region"), std::string::npos);
   EXPECT_NE(spmd.find("region join (BARRIER)"), std::string::npos);
 
-  std::string report = core::renderReport(opt.report());
+  std::string report = core::renderReport(compilation.syncPlan().boundaries);
   EXPECT_FALSE(report.empty());
 }
 
@@ -35,43 +34,40 @@ TEST_P(SuiteSmokeTest, OptimizerIsDeterministic) {
   kernels::KernelSpec specA = kernels::kernelByName(GetParam());
   kernels::KernelSpec specB = kernels::kernelByName(GetParam());
 
-  core::SyncOptimizer optA(*specA.program, *specA.decomp);
-  core::SyncOptimizer optB(*specB.program, *specB.decomp);
-  core::RegionProgram planA = optA.run();
-  core::RegionProgram planB = optB.run();
+  driver::Compilation a = driver::compileKernel(specA);
+  driver::Compilation b = driver::compileKernel(specB);
+  const driver::SyncPlan& planA = a.syncPlan();
+  const driver::SyncPlan& planB = b.syncPlan();
 
   // Same statistics...
-  EXPECT_EQ(optA.stats().eliminated, optB.stats().eliminated);
-  EXPECT_EQ(optA.stats().counters, optB.stats().counters);
-  EXPECT_EQ(optA.stats().barriers, optB.stats().barriers);
-  EXPECT_EQ(optA.stats().backEdgesEliminated,
-            optB.stats().backEdgesEliminated);
-  EXPECT_EQ(optA.stats().backEdgesPipelined, optB.stats().backEdgesPipelined);
+  EXPECT_EQ(planA.stats.eliminated, planB.stats.eliminated);
+  EXPECT_EQ(planA.stats.counters, planB.stats.counters);
+  EXPECT_EQ(planA.stats.barriers, planB.stats.barriers);
+  EXPECT_EQ(planA.stats.backEdgesEliminated, planB.stats.backEdgesEliminated);
+  EXPECT_EQ(planA.stats.backEdgesPipelined, planB.stats.backEdgesPipelined);
 
   // ...and the same rendered plan (kind + flags at every position).
-  std::string a = cg::printSpmdProgram(*specA.program, *specA.decomp, planA);
-  std::string b = cg::printSpmdProgram(*specB.program, *specB.decomp, planB);
-  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.lowered().listing, b.lowered().listing);
 
   // Decision records line up one-to-one.
-  ASSERT_EQ(optA.report().size(), optB.report().size());
-  for (std::size_t i = 0; i < optA.report().size(); ++i) {
-    EXPECT_EQ(optA.report()[i].decision.kind, optB.report()[i].decision.kind)
-        << "record " << i << " (" << optA.report()[i].where << ")";
+  ASSERT_EQ(planA.boundaries.size(), planB.boundaries.size());
+  for (std::size_t i = 0; i < planA.boundaries.size(); ++i) {
+    EXPECT_EQ(planA.boundaries[i].decision.kind,
+              planB.boundaries[i].decision.kind)
+        << "record " << i << " (" << planA.boundaries[i].where << ")";
   }
 }
 
-TEST_P(SuiteSmokeTest, RerunningTheSameOptimizerIsStable) {
+TEST_P(SuiteSmokeTest, RerunningThePipelineIsStable) {
   kernels::KernelSpec spec = kernels::kernelByName(GetParam());
-  core::SyncOptimizer opt(*spec.program, *spec.decomp);
-  core::RegionProgram first = opt.run();
-  std::size_t barriers = opt.stats().barriers;
-  core::RegionProgram second = opt.run();
-  EXPECT_EQ(opt.stats().barriers, barriers)
-      << "a second run() must not accumulate state";
-  EXPECT_EQ(
-      cg::printSpmdProgram(*spec.program, *spec.decomp, first),
-      cg::printSpmdProgram(*spec.program, *spec.decomp, second));
+  driver::Compilation compilation = driver::compileKernel(spec);
+  std::string first = compilation.lowered().listing;
+  std::size_t barriers = compilation.syncPlan().stats.barriers;
+  // Re-arm the optimizer stages (same options) and recompute.
+  compilation.setOptions(compilation.options());
+  EXPECT_EQ(compilation.syncPlan().stats.barriers, barriers)
+      << "a re-run must not accumulate state";
+  EXPECT_EQ(first, compilation.lowered().listing);
 }
 
 std::vector<std::string> kernelNames() {

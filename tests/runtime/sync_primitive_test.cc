@@ -1,0 +1,136 @@
+// SyncPrimitive conformance: every runtime synchronization object —
+// CentralBarrier, TreeBarrier, CounterSync — must satisfy the common
+// interface (kind/parties/name/reset), be constructible through the
+// factory, and actually synchronize when driven by a thread team.
+#include "runtime/sync_primitive.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.h"
+#include "runtime/counter.h"
+
+namespace spmd::rt {
+namespace {
+
+struct Config {
+  std::string label;
+  SyncPrimitive::Kind kind;
+  BarrierAlgorithm algorithm;
+  std::string expectedName;
+};
+
+std::vector<Config> allConfigs() {
+  return {
+      {"central", SyncPrimitive::Kind::Barrier, BarrierAlgorithm::Central,
+       "central-barrier"},
+      {"tree", SyncPrimitive::Kind::Barrier, BarrierAlgorithm::Tree,
+       "tree-barrier"},
+      {"counter", SyncPrimitive::Kind::Counter, BarrierAlgorithm::Central,
+       "counter"},
+  };
+}
+
+class SyncPrimitiveConformance : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SyncPrimitiveConformance, FactoryProducesAdvertisedPrimitive) {
+  const Config& config = GetParam();
+  SyncPrimitiveOptions options;
+  options.barrierAlgorithm = config.algorithm;
+  std::unique_ptr<SyncPrimitive> p =
+      makeSyncPrimitive(config.kind, 4, options);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), config.kind);
+  EXPECT_EQ(p->parties(), 4);
+  EXPECT_EQ(p->name(), config.expectedName);
+  p->reset();  // must always be callable between uses
+}
+
+TEST_P(SyncPrimitiveConformance, CheckedDowncastsEnforceKind) {
+  const Config& config = GetParam();
+  SyncPrimitiveOptions options;
+  options.barrierAlgorithm = config.algorithm;
+  std::unique_ptr<SyncPrimitive> p =
+      makeSyncPrimitive(config.kind, 2, options);
+  if (p->kind() == SyncPrimitive::Kind::Barrier) {
+    EXPECT_NO_THROW(asBarrier(*p));
+    EXPECT_THROW(asCounter(*p), Error);
+  } else {
+    EXPECT_NO_THROW(asCounter(*p));
+    EXPECT_THROW(asBarrier(*p), Error);
+  }
+}
+
+TEST_P(SyncPrimitiveConformance, SynchronizesAThreadTeam) {
+  const Config& config = GetParam();
+  SyncPrimitiveOptions options;
+  options.barrierAlgorithm = config.algorithm;
+  const int parties = 4;
+  const int rounds = 50;
+  std::unique_ptr<SyncPrimitive> p =
+      makeSyncPrimitive(config.kind, parties, options);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> arrivals{0};
+  std::vector<std::thread> team;
+  for (int tid = 0; tid < parties; ++tid) {
+    team.emplace_back([&, tid] {
+      if (p->kind() == SyncPrimitive::Kind::Barrier) {
+        Barrier& barrier = asBarrier(*p);
+        for (int r = 0; r < rounds; ++r) {
+          arrivals.fetch_add(1);
+          barrier.arrive(tid);
+          // After the rendezvous every party of this round has arrived.
+          if (arrivals.load() < (r + 1) * parties) failures.fetch_add(1);
+        }
+      } else {
+        // Nearest-neighbor pattern: post own slot, wait on left neighbor.
+        CounterSync& counter = asCounter(*p);
+        for (int r = 1; r <= rounds; ++r) {
+          counter.post(tid, static_cast<std::uint64_t>(r));
+          if (tid > 0)
+            counter.wait(tid - 1, static_cast<std::uint64_t>(r));
+        }
+      }
+    });
+  }
+  for (std::thread& t : team) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrimitives, SyncPrimitiveConformance,
+                         ::testing::ValuesIn(allConfigs()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(SyncPrimitiveTest, CounterResetClearsSlots) {
+  CounterSync counter(2);
+  counter.post(0, 5);
+  counter.wait(0, 5);  // returns immediately once posted
+  counter.reset();
+  // After a reset the slots are back to zero: occurrence 1 must be posted
+  // again before a wait on it returns.
+  counter.post(0, 1);
+  counter.wait(0, 1);
+  EXPECT_EQ(counter.parties(), 2);
+}
+
+TEST(SyncPrimitiveTest, MakeBarrierSelectsAlgorithm) {
+  SyncPrimitiveOptions tree;
+  tree.barrierAlgorithm = BarrierAlgorithm::Tree;
+  EXPECT_EQ(makeBarrier(3)->name(), "central-barrier");
+  EXPECT_EQ(makeBarrier(3, tree)->name(), "tree-barrier");
+}
+
+TEST(SyncPrimitiveTest, KindAndAlgorithmNamesAreStable) {
+  EXPECT_STREQ(syncKindName(SyncPrimitive::Kind::Barrier), "barrier");
+  EXPECT_STREQ(syncKindName(SyncPrimitive::Kind::Counter), "counter");
+  EXPECT_STREQ(barrierAlgorithmName(BarrierAlgorithm::Central), "central");
+  EXPECT_STREQ(barrierAlgorithmName(BarrierAlgorithm::Tree), "tree");
+}
+
+}  // namespace
+}  // namespace spmd::rt

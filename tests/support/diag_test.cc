@@ -1,0 +1,102 @@
+// DiagnosticsEngine: formatting, severity counting / error gating, and
+// sink behavior.
+#include "support/diag.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spmd {
+namespace {
+
+TEST(FormatDiagnostic, ErrorWithLocationMatchesCliFormat) {
+  Diagnostic d{Severity::Error, SourceLoc::atLine(3), "",
+               "expected PROGRAM"};
+  EXPECT_EQ(formatDiagnostic(d), "error: line 3: expected PROGRAM");
+}
+
+TEST(FormatDiagnostic, WarningWithCategoryMatchesValidatorFormat) {
+  Diagnostic d{Severity::Warning, SourceLoc::none(),
+               "carried-array-dependence", "DOALL i carries A"};
+  EXPECT_EQ(formatDiagnostic(d),
+            "warning: [carried-array-dependence] DOALL i carries A");
+}
+
+TEST(FormatDiagnostic, PlainNoteHasNoDecorations) {
+  Diagnostic d{Severity::Note, SourceLoc::none(), "", "something"};
+  EXPECT_EQ(formatDiagnostic(d), "note: something");
+}
+
+TEST(FormatDiagnostic, LocationAndCategoryCompose) {
+  Diagnostic d{Severity::Error, SourceLoc::atLine(12), "parse", "bad token"};
+  EXPECT_EQ(formatDiagnostic(d), "error: line 12: [parse] bad token");
+}
+
+TEST(SourceLocTest, ValidityFollowsLineNumber) {
+  EXPECT_FALSE(SourceLoc::none().valid());
+  EXPECT_TRUE(SourceLoc::atLine(1).valid());
+  EXPECT_EQ(SourceLoc::atLine(7).line, 7);
+}
+
+TEST(DiagnosticsEngineTest, CountsPerSeverityAndGatesOnErrors) {
+  DiagnosticsEngine diags;
+  EXPECT_FALSE(diags.hasErrors());
+  diags.note(SourceLoc::none(), "n");
+  diags.warning(SourceLoc::none(), "w1");
+  diags.warning(SourceLoc::none(), "w2");
+  EXPECT_FALSE(diags.hasErrors());
+  diags.error(SourceLoc::atLine(2), "boom");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.noteCount(), 1u);
+  EXPECT_EQ(diags.warningCount(), 2u);
+  EXPECT_EQ(diags.errorCount(), 1u);
+
+  diags.resetCounts();
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_EQ(diags.warningCount(), 0u);
+}
+
+TEST(DiagnosticsEngineTest, WorksWithoutASink) {
+  DiagnosticsEngine diags;
+  EXPECT_EQ(diags.sink(), nullptr);
+  diags.error(SourceLoc::none(), "nobody listening");
+  EXPECT_EQ(diags.errorCount(), 1u);
+}
+
+TEST(DiagnosticsEngineTest, StreamSinkPrintsOneLinePerDiagnostic) {
+  std::ostringstream os;
+  StreamDiagnosticSink sink(os);
+  DiagnosticsEngine diags(&sink);
+  diags.error(SourceLoc::atLine(3), "expected PROGRAM");
+  diags.warning(SourceLoc::none(), "detail", "kind");
+  EXPECT_EQ(os.str(),
+            "error: line 3: expected PROGRAM\n"
+            "warning: [kind] detail\n");
+}
+
+TEST(DiagnosticsEngineTest, CollectingSinkKeepsStructuredRecords) {
+  CollectingDiagnosticSink sink;
+  DiagnosticsEngine diags(&sink);
+  diags.warning(SourceLoc::atLine(5), "msg", "cat");
+  ASSERT_EQ(sink.all().size(), 1u);
+  EXPECT_EQ(sink.all()[0].severity, Severity::Warning);
+  EXPECT_EQ(sink.all()[0].loc.line, 5);
+  EXPECT_EQ(sink.all()[0].category, "cat");
+  EXPECT_EQ(sink.all()[0].message, "msg");
+  sink.clear();
+  EXPECT_TRUE(sink.all().empty());
+}
+
+TEST(DiagnosticsEngineTest, SinkCanBeSwappedMidStream) {
+  CollectingDiagnosticSink first, second;
+  DiagnosticsEngine diags(&first);
+  diags.error(SourceLoc::none(), "a");
+  diags.setSink(&second);
+  diags.error(SourceLoc::none(), "b");
+  EXPECT_EQ(first.all().size(), 1u);
+  EXPECT_EQ(second.all().size(), 1u);
+  EXPECT_EQ(diags.errorCount(), 2u);
+}
+
+}  // namespace
+}  // namespace spmd

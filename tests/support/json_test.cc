@@ -1,0 +1,82 @@
+// JsonWriter: structural validity, separators, escaping.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace spmd {
+namespace {
+
+std::string write(const std::function<void(JsonWriter&)>& fn) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  fn(json);
+  return os.str();
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  EXPECT_EQ(write([](JsonWriter& j) { j.object().close(); }), "{}");
+  EXPECT_EQ(write([](JsonWriter& j) { j.array().close(); }), "[]");
+}
+
+TEST(JsonWriterTest, FieldsAreCommaSeparated) {
+  std::string out = write([](JsonWriter& j) {
+    j.object();
+    j.field("a", 1);
+    j.field("b", "x");
+    j.field("c", true);
+    j.close();
+  });
+  EXPECT_EQ(out, "{\n  \"a\": 1,\n  \"b\": \"x\",\n  \"c\": true\n}");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  std::string out = write([](JsonWriter& j) {
+    j.object();
+    j.field("items").array();
+    j.value(1);
+    j.value(2);
+    j.close();
+    j.close();
+  });
+  EXPECT_EQ(out, "{\n  \"items\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::string out = write([](JsonWriter& j) {
+    j.object();
+    j.field("nan", std::nan(""));
+    j.close();
+  });
+  EXPECT_EQ(out, "{\n  \"nan\": null\n}");
+}
+
+TEST(JsonWriterTest, DoneTracksBalance) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  EXPECT_TRUE(json.done());
+  json.object();
+  EXPECT_FALSE(json.done());
+  json.close();
+  EXPECT_TRUE(json.done());
+}
+
+TEST(JsonWriterTest, UnbalancedCloseIsAnError) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  EXPECT_THROW(json.close(), Error);
+}
+
+}  // namespace
+}  // namespace spmd

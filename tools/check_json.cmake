@@ -1,0 +1,18 @@
+# Runs spmdopt with the given args and checks that stdout is valid JSON
+# (via python3 -m json.tool).  Used by the spmdopt_report_json ctest entry
+# and mirrored in CI.
+# ARGS arrives as a CMake list (semicolon-separated).
+execute_process(COMMAND ${SPMDOPT} ${ARGS}
+                OUTPUT_VARIABLE out
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spmdopt failed with exit code ${rc}")
+endif()
+set(jsonfile ${CMAKE_CURRENT_BINARY_DIR}/spmdopt_report.json)
+file(WRITE ${jsonfile} "${out}")
+execute_process(COMMAND ${PYTHON} -m json.tool ${jsonfile}
+                RESULT_VARIABLE jsonrc
+                OUTPUT_QUIET)
+if(NOT jsonrc EQUAL 0)
+  message(FATAL_ERROR "spmdopt --report-json produced malformed JSON")
+endif()

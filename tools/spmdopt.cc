@@ -1,13 +1,15 @@
-// spmdopt — the compiler driver.
+// spmdopt — the compiler driver CLI.
 //
-// Reads Fortran-flavored source programs (files or stdin), runs the full
-// pipeline (parse -> validate -> decompose -> synchronization optimization)
-// and, on request, prints the optimization report and generated SPMD
-// program, executes base and optimized versions, and compares
-// synchronization counts.
+// Reads Fortran-flavored source programs (files or stdin) and drives the
+// staged pipeline in src/driver (parse -> validate -> decompose ->
+// synchronization optimization -> lowering) through a driver::Compilation
+// session.  On request it prints the optimization report, the generated
+// SPMD program, or a machine-readable JSON report with per-pass timings,
+// executes base and optimized versions, and compares synchronization
+// counts.
 //
 // Multiple input files are compiled as independent units.  Their analyses
-// run in parallel on a worker team (one analyzer per file, so per-program
+// run in parallel on a worker team (one session per file, so per-program
 // caches never mix), but output is buffered per file and printed in
 // command-line order — byte-identical to a serial run.
 //
@@ -21,10 +23,13 @@
 //                           capped at hardware threads)
 //     --no-analysis-cache   disable pair memo + FM scan memo (debugging)
 //     --report              print per-boundary decisions
+//     --report-json         print the compilation report as JSON (one
+//                           object per file; an array for multiple files)
 //     --emit                print the generated SPMD program
 //     --run                 execute base + optimized, print sync counts
 //     --verify              also check results against the sequential executor
 //     --tree-barrier        use the combining-tree barrier
+//     --version
 //     --help
 #include <algorithm>
 #include <cstring>
@@ -35,14 +40,10 @@
 #include <thread>
 #include <vector>
 
-#include "analysis/validate.h"
-#include "codegen/spmd_executor.h"
-#include "codegen/spmd_printer.h"
-#include "core/optimizer.h"
 #include "core/report.h"
-#include "ir/parser.h"
-#include "ir/printer.h"
-#include "ir/seq_executor.h"
+#include "driver/compilation.h"
+#include "driver/execution.h"
+#include "driver/report_json.h"
 #include "runtime/team.h"
 #include "support/text_table.h"
 
@@ -55,6 +56,7 @@ struct Options {
   int jobs = 0;  ///< 0 = auto
   bool analysisCache = true;
   bool report = false;
+  bool reportJson = false;
   bool emit = false;
   bool run = false;
   bool verify = false;
@@ -66,8 +68,47 @@ struct Options {
 void usage(std::ostream& os) {
   os << "usage: spmdopt [--procs=P] [--bind NAME=V]... "
         "[--mode=full|nocounters|deponly|barriers] [--analysis-threads=K] "
-        "[--jobs=J] [--no-analysis-cache] [--report] [--emit] [--run] "
-        "[--verify] [--tree-barrier] [file...]\n";
+        "[--jobs=J] [--no-analysis-cache] [--report] [--report-json] "
+        "[--emit] [--run] [--verify] [--tree-barrier] [--version] "
+        "[file...]\n";
+}
+
+/// Strict integer parse: the whole string must be a number in range.
+bool parseInt(const std::string& text, const char* option, int& out) {
+  try {
+    std::size_t pos = 0;
+    int value = std::stoi(text, &pos);
+    if (pos != text.size() || text.empty()) throw std::invalid_argument(text);
+    out = value;
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "error: invalid value for " << option << ": '" << text
+              << "' (expected an integer)\n";
+    return false;
+  }
+}
+
+bool parseBind(const std::string& kv,
+               std::pair<std::string, spmd::i64>& out) {
+  std::size_t eq = kv.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::cerr << "error: malformed --bind '" << kv
+              << "' (expected NAME=INTEGER)\n";
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    std::string value = kv.substr(eq + 1);
+    spmd::i64 v = std::stoll(value, &pos);
+    if (pos != value.size() || value.empty())
+      throw std::invalid_argument(value);
+    out = {kv.substr(0, eq), v};
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "error: malformed --bind '" << kv
+              << "' (expected NAME=INTEGER)\n";
+    return false;
+  }
 }
 
 bool parseArgs(int argc, char** argv, Options& opts) {
@@ -81,24 +122,45 @@ bool parseArgs(int argc, char** argv, Options& opts) {
     if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       std::exit(0);
+    } else if (arg == "--version") {
+      std::cout << "spmdopt (spmdsync) " << spmd::driver::versionString()
+                << "\n";
+      std::exit(0);
     } else if (auto v = valueOf("--procs=")) {
-      opts.procs = std::stoi(*v);
+      if (!parseInt(*v, "--procs", opts.procs)) return false;
+      if (opts.procs < 1) {
+        std::cerr << "error: --procs must be >= 1\n";
+        return false;
+      }
     } else if (auto v = valueOf("--mode=")) {
       opts.mode = *v;
     } else if (auto v = valueOf("--analysis-threads=")) {
-      opts.analysisThreads = std::stoi(*v);
+      if (!parseInt(*v, "--analysis-threads", opts.analysisThreads))
+        return false;
+      if (opts.analysisThreads < 1) {
+        std::cerr << "error: --analysis-threads must be >= 1\n";
+        return false;
+      }
     } else if (auto v = valueOf("--jobs=")) {
-      opts.jobs = std::stoi(*v);
+      if (!parseInt(*v, "--jobs", opts.jobs)) return false;
+      if (opts.jobs < 0) {
+        std::cerr << "error: --jobs must be >= 0\n";
+        return false;
+      }
     } else if (arg == "--no-analysis-cache") {
       opts.analysisCache = false;
-    } else if (arg == "--bind" && i + 1 < argc) {
-      std::string kv = argv[++i];
-      std::size_t eq = kv.find('=');
-      if (eq == std::string::npos) return false;
-      opts.binds.emplace_back(kv.substr(0, eq),
-                              std::stoll(kv.substr(eq + 1)));
+    } else if (arg == "--bind") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --bind requires a NAME=INTEGER argument\n";
+        return false;
+      }
+      std::pair<std::string, spmd::i64> bind;
+      if (!parseBind(argv[++i], bind)) return false;
+      opts.binds.push_back(std::move(bind));
     } else if (arg == "--report") {
       opts.report = true;
+    } else if (arg == "--report-json") {
+      opts.reportJson = true;
     } else if (arg == "--emit") {
       opts.emit = true;
     } else if (arg == "--run") {
@@ -109,7 +171,7 @@ bool parseArgs(int argc, char** argv, Options& opts) {
     } else if (arg == "--tree-barrier") {
       opts.treeBarrier = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      std::cerr << "unknown option: " << arg << "\n";
+      std::cerr << "error: unknown option: " << arg << "\n";
       return false;
     } else {
       opts.files.push_back(arg);
@@ -132,99 +194,96 @@ std::string readSource(const std::string& file) {
 }
 
 /// Compiles (and optionally runs) one file; all output goes to the given
-/// streams so concurrent compilations never interleave.
-int processSource(const std::string& source, const Options& opts,
-                  std::ostream& out, std::ostream& err) {
+/// streams so concurrent compilations never interleave.  With --report-json
+/// the human-readable summary is suppressed and `json` (non-null) receives
+/// the file's JSON report object instead.
+int processSource(const std::string& source, const std::string& label,
+                  const Options& opts, std::ostream& out, std::ostream& err,
+                  std::string* json) {
   using namespace spmd;
+  StreamDiagnosticSink sink(err);
   try {
-    ir::Program prog = ir::parseProgram(source);
+    driver::Compilation compilation =
+        driver::Compilation::fromSource(source, label);
+    compilation.diags().setSink(&sink);
 
-    // Validate the DOALL annotations before trusting them.
-    std::vector<analysis::ValidationIssue> issues =
-        analysis::validateProgram(prog);
-    for (const analysis::ValidationIssue& issue : issues)
-      err << "warning: [" << analysis::validationIssueKindName(issue.kind)
-          << "] " << issue.detail << "\n";
-    if (!issues.empty()) {
-      err << "error: program is not a legal optimizer input\n";
-      return 1;
-    }
+    if (!compilation.parseOk()) return 1;
+    // Validate the DOALL annotations before trusting them (issues are
+    // reported through the diagnostics engine).
+    if (!compilation.validated().ok()) return 1;
 
-    // Block-distribute every array on its first dimension (the driver's
-    // stand-in for the global decomposition pass).
-    part::Decomposition decomp(prog);
-    for (std::size_t a = 0; a < prog.arrays().size(); ++a)
-      decomp.distribute(ir::ArrayId{static_cast<int>(a)}, 0,
-                        part::DistKind::Block);
-
-    core::OptimizerOptions optOptions;
-    optOptions.analysisThreads = opts.analysisThreads;
-    optOptions.memoCache = opts.analysisCache;
-    optOptions.scanCache = opts.analysisCache;
-    bool barriersOnly = false;
+    driver::PipelineOptions pipeline;
+    pipeline.optimizer.analysisThreads = opts.analysisThreads;
+    pipeline.optimizer.memoCache = opts.analysisCache;
+    pipeline.optimizer.scanCache = opts.analysisCache;
     if (opts.mode == "full") {
     } else if (opts.mode == "nocounters") {
-      optOptions.enableCounters = false;
+      pipeline.optimizer.enableCounters = false;
     } else if (opts.mode == "deponly") {
-      optOptions.analysisMode = comm::CommAnalyzer::Mode::DependenceOnly;
-      optOptions.enableCounters = false;
+      pipeline.optimizer.analysisMode =
+          comm::CommAnalyzer::Mode::DependenceOnly;
+      pipeline.optimizer.enableCounters = false;
     } else if (opts.mode == "barriers") {
-      barriersOnly = true;
+      pipeline.barriersOnly = true;
     } else {
       err << "unknown --mode=" << opts.mode << "\n";
       return 2;
     }
+    compilation.setOptions(pipeline);
 
-    core::SyncOptimizer optimizer(prog, decomp, optOptions);
-    core::RegionProgram plan =
-        barriersOnly ? optimizer.runBarriersOnly() : optimizer.run();
-    const core::OptStats& stats = optimizer.stats();
+    const driver::SyncPlan& plan = compilation.syncPlan();
+    const core::OptStats& stats = plan.stats;
 
-    out << prog.name() << ": " << stats.regions << " region(s), "
-        << stats.boundaries << " boundaries -> " << stats.eliminated
-        << " eliminated, " << stats.counters << " counters, "
-        << stats.barriers << " barriers; back edges: "
-        << stats.backEdgesEliminated << " eliminated, "
-        << stats.backEdgesPipelined << " pipelined (" << stats.pairQueries
-        << " comm queries, " << stats.cacheHits << " memo hits, "
-        << stats.scanCacheHits << " scan hits, "
-        << spmd::fixed(stats.analysisSeconds * 1000, 1) << " ms)\n";
-
-    if (opts.report) out << "\n" << core::renderReport(optimizer.report());
-    if (opts.emit) out << "\n" << cg::printSpmdProgram(prog, decomp, plan);
+    if (json == nullptr) {
+      out << compilation.program().name() << ": " << stats.regions
+          << " region(s), " << stats.boundaries << " boundaries -> "
+          << stats.eliminated << " eliminated, " << stats.counters
+          << " counters, " << stats.barriers << " barriers; back edges: "
+          << stats.backEdgesEliminated << " eliminated, "
+          << stats.backEdgesPipelined << " pipelined (" << stats.pairQueries
+          << " comm queries, " << stats.cacheHits << " memo hits, "
+          << stats.scanCacheHits << " scan hits, "
+          << spmd::fixed(stats.analysisSeconds * 1000, 1) << " ms)\n";
+      if (opts.report)
+        out << "\n" << core::renderReport(plan.boundaries);
+      if (opts.emit) out << "\n" << compilation.lowered().listing;
+    }
 
     if (opts.run) {
-      ir::SymbolBindings symbols;
-      for (const ir::SymbolicInfo& s : prog.symbolics()) {
-        i64 value = s.name == "T" ? 8 : 64;  // defaults
-        for (const auto& [name, v] : opts.binds)
-          if (name == s.name) value = v;
-        symbols[s.var.index] = value;
+      driver::RunRequest request;
+      request.symbols =
+          driver::bindSymbols(compilation.program(), opts.binds);
+      request.threads = opts.procs;
+      request.exec.sync.barrierAlgorithm = opts.treeBarrier
+                                               ? rt::BarrierAlgorithm::Tree
+                                               : rt::BarrierAlgorithm::Central;
+      request.reference = opts.verify;
+      driver::RunComparison run = driver::runComparison(compilation, request);
+
+      if (json == nullptr) {
+        out << "\nexecution (P=" << opts.procs << "):\n"
+            << "  base      " << run.baseCounts.barriers << " barriers, "
+            << run.baseCounts.broadcasts << " broadcasts\n"
+            << "  optimized " << run.optCounts.barriers << " barriers, "
+            << run.optCounts.broadcasts << " broadcasts, "
+            << run.optCounts.counterPosts << " posts, "
+            << run.optCounts.counterWaits << " waits\n";
+        if (opts.verify)
+          out << "  verify: max |diff| base=" << run.maxDiffBase
+              << " optimized=" << run.maxDiffOpt << "\n";
       }
-      cg::ExecOptions execOptions;
-      execOptions.useTreeBarrier = opts.treeBarrier;
-      cg::RunResult base =
-          cg::runForkJoin(prog, decomp, symbols, opts.procs, execOptions);
-      cg::RunResult optimized = cg::runRegions(prog, decomp, plan, symbols,
-                                               opts.procs, execOptions);
-      out << "\nexecution (P=" << opts.procs << "):\n"
-          << "  base      " << base.counts.barriers << " barriers, "
-          << base.counts.broadcasts << " broadcasts\n"
-          << "  optimized " << optimized.counts.barriers << " barriers, "
-          << optimized.counts.broadcasts << " broadcasts, "
-          << optimized.counts.counterPosts << " posts, "
-          << optimized.counts.counterWaits << " waits\n";
-      if (opts.verify) {
-        ir::Store ref = ir::runSequential(prog, symbols);
-        double diffBase = ir::Store::maxAbsDifference(ref, base.store);
-        double diffOpt = ir::Store::maxAbsDifference(ref, optimized.store);
-        out << "  verify: max |diff| base=" << diffBase
-            << " optimized=" << diffOpt << "\n";
-        if (diffBase > 1e-7 || diffOpt > 1e-7) {
-          err << "error: results diverge from sequential reference\n";
-          return 1;
-        }
+      if (opts.verify &&
+          (run.maxDiffBase > 1e-7 || run.maxDiffOpt > 1e-7)) {
+        err << "error: results diverge from sequential reference\n";
+        return 1;
       }
+    }
+
+    if (json != nullptr) {
+      std::ostringstream os;
+      JsonWriter writer(os);
+      driver::writeCompilationReport(writer, compilation, label);
+      *json = os.str();
     }
     return 0;
   } catch (const Error& e) {
@@ -245,20 +304,30 @@ int main(int argc, char** argv) {
   }
   if (opts.files.empty()) opts.files.push_back("-");
 
+  auto label = [&](const std::string& file) {
+    return (file.empty() || file == "-") ? std::string("<stdin>") : file;
+  };
+
   // Single file (or stdin): stream directly.
-  if (opts.files.size() == 1)
-    return processSource(readSource(opts.files[0]), opts, std::cout,
-                         std::cerr);
+  if (opts.files.size() == 1) {
+    std::string json;
+    int rc = processSource(readSource(opts.files[0]), label(opts.files[0]),
+                           opts, std::cout, std::cerr,
+                           opts.reportJson ? &json : nullptr);
+    if (opts.reportJson && !json.empty()) std::cout << json << "\n";
+    return rc;
+  }
 
   // Multiple files: read sources up front (stdin would not compose), then
-  // compile on a worker team.  Each unit owns its program, decomposition,
-  // analyzer, and output buffers, so units share nothing; buffered output
-  // is flushed in command-line order afterwards.  Executions (--run) spawn
-  // nested per-run teams, which is safe but oversubscribes processors, so
-  // runs are kept serial.
+  // compile on a worker team.  Each unit owns its compilation session and
+  // output buffers, so units share nothing; buffered output is flushed in
+  // command-line order afterwards.  Executions (--run) spawn nested
+  // per-run teams, which is safe but oversubscribes processors, so runs
+  // are kept serial.
   struct Unit {
     std::string source;
     std::ostringstream out, err;
+    std::string json;
     int rc = 0;
   };
   std::vector<Unit> units(opts.files.size());
@@ -280,7 +349,8 @@ int main(int argc, char** argv) {
   auto compileUnit = [&](std::size_t i) {
     Unit& u = units[i];
     if (u.rc == 0)
-      u.rc = processSource(u.source, opts, u.out, u.err);
+      u.rc = processSource(u.source, label(opts.files[i]), opts, u.out,
+                           u.err, opts.reportJson ? &u.json : nullptr);
   };
   if (jobs <= 1) {
     for (std::size_t i = 0; i < units.size(); ++i) compileUnit(i);
@@ -290,6 +360,22 @@ int main(int argc, char** argv) {
   }
 
   int rc = 0;
+  if (opts.reportJson) {
+    // One JSON document: an array of per-file report objects (failed
+    // units are omitted; their diagnostics go to stderr).
+    std::cout << "[\n";
+    bool first = true;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      std::cerr << units[i].err.str();
+      rc = std::max(rc, units[i].rc);
+      if (units[i].json.empty()) continue;
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << units[i].json;
+    }
+    std::cout << "\n]\n";
+    return rc;
+  }
   for (std::size_t i = 0; i < units.size(); ++i) {
     if (units.size() > 1) std::cout << "==> " << opts.files[i] << " <==\n";
     std::cout << units[i].out.str();
