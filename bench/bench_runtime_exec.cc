@@ -1,0 +1,255 @@
+// Benchmark: interpreted executor vs the lowered execution engine.
+//
+// For every kernel, both execution modes (fork-join base, optimized SPMD
+// regions) and several thread counts, this runs the same program through
+// the interpreting executor and through the lowered engine, reporting
+// wall-clock per run and the lowered/interpreted speedup.  Every measured
+// configuration is also *verified*: the two engines must produce
+// byte-identical synchronization counts and matching stores (bit-exact
+// for reduction-free kernels; within the kernel tolerance for
+// floating-point reductions, whose combine order is arrival-dependent).
+// Any divergence makes the process exit non-zero, so CI can gate on it.
+//
+// Output: BENCH_runtime.json (override with --out=PATH).  Schema:
+//   {
+//     "benchmark": "runtime_exec",
+//     "smoke": bool,            // --smoke: small sizes, fewer configs
+//     "threads": [..],
+//     "configs": [ {
+//        "kernel", "family", "mode",          // mode: forkjoin | regions
+//        "threads", "n", "t",
+//        "interpreted_s", "lowered_s",        // best-of-reps wall clock
+//        "speedup",                           // interpreted_s / lowered_s
+//        "sync": {"barriers", "broadcasts", "posts", "waits"},
+//        "counts_match", "fingerprint_match", "max_abs_diff"
+//     } ]
+//   }
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd_executor.h"
+#include "core/optimizer.h"
+#include "kernels/kernels.h"
+#include "runtime/team.h"
+#include "support/json.h"
+#include "support/text_table.h"
+
+namespace {
+
+using namespace spmd;
+
+bool stmtHasReduction(const ir::Stmt* stmt) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ScalarAssign:
+      return stmt->scalarAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::ArrayAssign:
+      return stmt->arrayAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::Loop:
+      for (const ir::StmtPtr& s : stmt->loop().body)
+        if (stmtHasReduction(s.get())) return true;
+      return false;
+  }
+  return false;
+}
+
+bool programHasReduction(const ir::Program& prog) {
+  for (const ir::StmtPtr& s : prog.topLevel())
+    if (stmtHasReduction(s.get())) return true;
+  return false;
+}
+
+struct ConfigResult {
+  std::string kernel, family, mode;
+  int threads = 0;
+  i64 n = 0, t = 0;
+  double interpretedS = 0.0, loweredS = 0.0;
+  rt::SyncCounts counts;        // lowered run (must equal interpreted)
+  bool countsMatch = false;
+  bool fingerprintMatch = false;
+  double maxAbsDiff = 0.0;
+  bool ok() const { return countsMatch && fingerprintMatch; }
+};
+
+struct EngineRun {
+  double seconds = 0.0;  // best of `reps` timed runs
+  rt::SyncCounts counts;
+  std::optional<ir::Store> store;  // from the last timed run
+};
+
+EngineRun measure(const kernels::KernelSpec& spec,
+                  const core::RegionProgram* plan,
+                  const ir::SymbolBindings& symbols, int threads,
+                  cg::EngineKind engine, int reps) {
+  rt::ThreadTeam team(threads);
+  cg::ExecOptions options;
+  options.engine = engine;
+  cg::SpmdExecutor exec(*spec.program, *spec.decomp, team, options);
+  auto runOnce = [&](ir::Store& store) {
+    return plan != nullptr ? exec.runRegions(*plan, store)
+                           : exec.runForkJoin(store);
+  };
+  {
+    // Warm-up run: pays one-time costs (lowering, engine state) so the
+    // timed runs measure steady-state execution for both engines.
+    ir::Store store(*spec.program, symbols);
+    runOnce(store);
+  }
+  EngineRun out;
+  out.seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    ir::Store store(*spec.program, symbols);
+    auto start = std::chrono::steady_clock::now();
+    rt::SyncCounts counts = runOnce(store);
+    double s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    out.seconds = std::min(out.seconds, s);
+    out.counts = counts;
+    out.store.emplace(std::move(store));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string outPath = "BENCH_runtime.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      outPath = arg.substr(std::strlen("--out="));
+    } else {
+      std::cerr << "usage: bench_runtime_exec [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<int> threadCounts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const int reps = smoke ? 1 : 3;
+
+  std::vector<ConfigResult> results;
+  bool allOk = true;
+
+  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+    i64 n = smoke ? std::min<i64>(spec.defaultN, 16) : spec.defaultN;
+    i64 t = smoke ? std::min<i64>(spec.defaultT, 3) : spec.defaultT;
+    ir::SymbolBindings symbols = spec.bindings(n, t);
+    // Reduction-free kernels must be bit-identical across engines; FP
+    // reductions combine in arrival order, so they get the kernel's own
+    // tolerance instead.
+    const bool hasReduction = programHasReduction(*spec.program);
+    const double tol = hasReduction ? spec.tolerance : 0.0;
+
+    core::SyncOptimizer opt(*spec.program, *spec.decomp);
+    core::RegionProgram plan = opt.run();
+
+    for (const char* mode : {"forkjoin", "regions"}) {
+      const core::RegionProgram* planPtr =
+          std::strcmp(mode, "regions") == 0 ? &plan : nullptr;
+      for (int threads : threadCounts) {
+        EngineRun interp = measure(spec, planPtr, symbols, threads,
+                                   cg::EngineKind::Interpreted, reps);
+        EngineRun lowered = measure(spec, planPtr, symbols, threads,
+                                    cg::EngineKind::Lowered, reps);
+        ConfigResult r;
+        r.kernel = spec.name;
+        r.family = spec.family;
+        r.mode = mode;
+        r.threads = threads;
+        r.n = n;
+        r.t = t;
+        r.interpretedS = interp.seconds;
+        r.loweredS = lowered.seconds;
+        r.counts = lowered.counts;
+        r.countsMatch = interp.counts.barriers == lowered.counts.barriers &&
+                        interp.counts.broadcasts == lowered.counts.broadcasts &&
+                        interp.counts.counterPosts ==
+                            lowered.counts.counterPosts &&
+                        interp.counts.counterWaits ==
+                            lowered.counts.counterWaits;
+        r.maxAbsDiff =
+            ir::Store::maxAbsDifference(*interp.store, *lowered.store);
+        r.fingerprintMatch =
+            hasReduction ? r.maxAbsDiff <= tol
+                         : interp.store->fingerprint() ==
+                               lowered.store->fingerprint() &&
+                               r.maxAbsDiff == 0.0;
+        if (!r.ok()) {
+          allOk = false;
+          std::cerr << "DIVERGENCE: " << r.kernel << " " << r.mode << " P="
+                    << threads << " counts_match=" << r.countsMatch
+                    << " max|diff|=" << r.maxAbsDiff << "\n";
+        }
+        results.push_back(std::move(r));
+      }
+    }
+  }
+
+  // Human-readable summary: single-thread speedups per kernel and mode.
+  TextTable table(
+      {"kernel", "family", "mode", "P", "interp s", "lowered s", "speedup"});
+  for (const ConfigResult& r : results) {
+    if (r.threads != 1) continue;
+    table.addRowValues(r.kernel, r.family, r.mode, r.threads,
+                       fixed(r.interpretedS, 4), fixed(r.loweredS, 4),
+                       fixed(r.interpretedS / std::max(r.loweredS, 1e-9), 2));
+  }
+  table.print(std::cout);
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "error: cannot write " << outPath << "\n";
+    return 1;
+  }
+  JsonWriter json(out);
+  json.object();
+  json.field("benchmark", "runtime_exec");
+  json.field("smoke", smoke);
+  json.field("reps", reps);
+  json.field("threads").array();
+  for (int p : threadCounts) json.value(p);
+  json.close();
+  json.field("configs").array();
+  for (const ConfigResult& r : results) {
+    json.object();
+    json.field("kernel", r.kernel);
+    json.field("family", r.family);
+    json.field("mode", r.mode);
+    json.field("threads", r.threads);
+    json.field("n", static_cast<std::int64_t>(r.n));
+    json.field("t", static_cast<std::int64_t>(r.t));
+    json.field("interpreted_s", r.interpretedS);
+    json.field("lowered_s", r.loweredS);
+    json.field("speedup", r.interpretedS / std::max(r.loweredS, 1e-12));
+    json.field("sync").object();
+    json.field("barriers", static_cast<std::uint64_t>(r.counts.barriers));
+    json.field("broadcasts", static_cast<std::uint64_t>(r.counts.broadcasts));
+    json.field("posts", static_cast<std::uint64_t>(r.counts.counterPosts));
+    json.field("waits", static_cast<std::uint64_t>(r.counts.counterWaits));
+    json.close();
+    json.field("counts_match", r.countsMatch);
+    json.field("fingerprint_match", r.fingerprintMatch);
+    json.field("max_abs_diff", r.maxAbsDiff);
+    json.close();
+  }
+  json.close();
+  json.close();
+  out << "\n";
+
+  std::cout << "\nwrote " << outPath << " (" << results.size()
+            << " configs)\n";
+  if (!allOk) {
+    std::cerr << "error: lowered and interpreted engines diverged\n";
+    return 1;
+  }
+  return 0;
+}

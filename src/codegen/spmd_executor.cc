@@ -14,6 +14,16 @@ using core::RegionProgram;
 using core::SpmdRegion;
 using core::SyncPoint;
 
+const char* engineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::Interpreted:
+      return "interpreted";
+    case EngineKind::Lowered:
+      return "lowered";
+  }
+  return "?";
+}
+
 namespace {
 
 double reductionIdentity(ir::ReductionOp op) {
@@ -305,14 +315,14 @@ void SpmdExecutor::execSync(const SyncPoint& point, RegionState& state,
       // section (rather than per-thread after release) closes the window
       // where a slow processor's refresh read could race with a fast
       // processor's next publication.
-      std::function<void()> serial = [this, &state] {
+      auto serial = [this, &state] {
         publishPending(*state.store);
         for (auto& table : state.privScalars)
           for (ir::ScalarId s : state.sharedCanonical)
             table[static_cast<std::size_t>(s.index)] =
                 state.store->scalar(s);
       };
-      rt::asBarrier(*barrier_).arrive(tid, &serial);
+      rt::asBarrier(*barrier_).arrive(tid, serial);
       return;
     }
     case SyncPoint::Kind::Counter: {
@@ -424,6 +434,44 @@ void SpmdExecutor::execRegion(const SpmdRegion& region, RegionState& state,
 
 rt::SyncCounts SpmdExecutor::runRegions(const RegionProgram& regions,
                                         ir::Store& store) {
+  if (options_.engine == EngineKind::Lowered) {
+    if (!loweredPlan_ || loweredPlanKey_ != &regions) {
+      // Drop the engine bound to the previous plan's lowered program
+      // before releasing it (the engine holds a raw pointer into it).
+      if (loweredPlan_) {
+        std::erase_if(engines_, [&](const auto& entry) {
+          return entry.first == loweredPlan_.get();
+        });
+      }
+      loweredPlan_ = std::make_shared<const exec::LoweredProgram>(
+          exec::lowerProgram(*prog_, *decomp_, &regions));
+      loweredPlanKey_ = &regions;
+    }
+    return runRegionsLowered(*loweredPlan_, store);
+  }
+  return runRegionsInterpreted(regions, store);
+}
+
+rt::SyncCounts SpmdExecutor::runRegionsLowered(
+    const exec::LoweredProgram& lowered, ir::Store& store) {
+  return engineFor(lowered).runRegions(store);
+}
+
+rt::SyncCounts SpmdExecutor::runForkJoinLowered(
+    const exec::LoweredProgram& lowered, ir::Store& store) {
+  return engineFor(lowered).runForkJoin(store);
+}
+
+exec::Engine& SpmdExecutor::engineFor(const exec::LoweredProgram& lowered) {
+  for (auto& [key, engine] : engines_)
+    if (key == &lowered) return *engine;
+  engines_.emplace_back(&lowered, std::make_unique<exec::Engine>(
+                                      lowered, *team_, options_.sync));
+  return *engines_.back().second;
+}
+
+rt::SyncCounts SpmdExecutor::runRegionsInterpreted(
+    const RegionProgram& regions, ir::Store& store) {
   // Lower: copy so sync ids can be assigned.
   RegionProgram lowered = regions;
   rt::SyncCounts total;
@@ -496,6 +544,16 @@ struct ForkJoinWalker {
 }  // namespace
 
 rt::SyncCounts SpmdExecutor::runForkJoin(ir::Store& store) {
+  if (options_.engine == EngineKind::Lowered) {
+    if (!loweredForkJoin_)
+      loweredForkJoin_ = std::make_shared<const exec::LoweredProgram>(
+          exec::lowerProgram(*prog_, *decomp_, nullptr));
+    return runForkJoinLowered(*loweredForkJoin_, store);
+  }
+  return runForkJoinInterpreted(store);
+}
+
+rt::SyncCounts SpmdExecutor::runForkJoinInterpreted(ir::Store& store) {
   ForkJoinWalker walker{this,     prog_,  decomp_, team_,
                         barrier_.get(), &store, {},      {}};
   ir::EvalEnv env(store);

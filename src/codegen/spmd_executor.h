@@ -15,10 +15,13 @@
 //     optimizer's plan (or an all-barrier plan for ablations).
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <map>
+#include <vector>
 
 #include "core/spmd_region.h"
+#include "exec/engine.h"
 #include "ir/eval.h"
 #include "partition/decomposition.h"
 #include "runtime/counter.h"
@@ -27,11 +30,23 @@
 
 namespace spmd::cg {
 
+/// How the executor realizes the program.
+enum class EngineKind {
+  Interpreted,  ///< walk the IR / region tree directly (the reference)
+  Lowered,      ///< exec::Engine over a lowered program (the default)
+};
+
+const char* engineKindName(EngineKind kind);
+
 struct ExecOptions {
   /// Runtime synchronization selection (barrier algorithm etc.), forwarded
   /// to rt::makeSyncPrimitive — the executor never names a concrete
   /// barrier or counter class.
   rt::SyncPrimitiveOptions sync;
+
+  /// Execution engine.  Lowered is the default: identical semantics and
+  /// sync counts to the interpreter, without its per-iteration costs.
+  EngineKind engine = EngineKind::Lowered;
 };
 
 /// The processor that executes iteration `i` of a parallel loop under the
@@ -49,11 +64,23 @@ class SpmdExecutor {
                rt::ThreadTeam& team, ExecOptions options = ExecOptions());
 
   /// Base fork-join execution.  Returns dynamic synchronization counts.
+  /// Dispatches on ExecOptions::engine (lowering the program on first use
+  /// when the engine is Lowered).
   rt::SyncCounts runForkJoin(ir::Store& store);
 
-  /// Merged-region execution under the given plan.
+  /// Merged-region execution under the given plan.  Dispatches on
+  /// ExecOptions::engine.
   rt::SyncCounts runRegions(const core::RegionProgram& regions,
                             ir::Store& store);
+
+  /// Lowered-engine entry points against a caller-owned lowered program
+  /// (e.g. the driver's cached artifact).  `lowered` must outlive this
+  /// executor and have been lowered from this executor's program and
+  /// decomposition.
+  rt::SyncCounts runForkJoinLowered(const exec::LoweredProgram& lowered,
+                                    ir::Store& store);
+  rt::SyncCounts runRegionsLowered(const exec::LoweredProgram& lowered,
+                                   ir::Store& store);
 
   /// Building blocks exposed for the fork-join walker.
   void execParallelLoopForFork(const ir::Stmt* loopStmt, int tid,
@@ -71,6 +98,15 @@ class SpmdExecutor {
   };
 
   struct RegionState;  // per-region-execution runtime state
+
+  // --- interpreted-engine entry points ---
+  rt::SyncCounts runForkJoinInterpreted(ir::Store& store);
+  rt::SyncCounts runRegionsInterpreted(const core::RegionProgram& regions,
+                                       ir::Store& store);
+
+  /// The lowered engine for `lowered`, created on first use (at most two
+  /// distinct programs per executor: fork-join and one plan).
+  exec::Engine& engineFor(const exec::LoweredProgram& lowered);
 
   // --- lowering helpers ---
   int assignSyncIds(std::vector<core::RegionNode>& nodes, int next);
@@ -124,6 +160,14 @@ class SpmdExecutor {
   std::mutex reductionMutex_;
   std::map<int, std::pair<double, ir::ReductionOp>> reductionPending_;
   std::map<int, double> masterPending_;
+
+  // --- lowered-engine caches (EngineKind::Lowered) ---
+  std::shared_ptr<const exec::LoweredProgram> loweredForkJoin_;
+  std::shared_ptr<const exec::LoweredProgram> loweredPlan_;
+  const core::RegionProgram* loweredPlanKey_ = nullptr;
+  std::vector<std::pair<const exec::LoweredProgram*,
+                        std::unique_ptr<exec::Engine>>>
+      engines_;
 };
 
 /// Convenience wrapper: allocate a store, execute, return counts + store.

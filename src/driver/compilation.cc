@@ -54,6 +54,7 @@ void Compilation::setOptions(const PipelineOptions& options) {
   // validation, and partition artifacts stay cached.
   syncPlan_.reset();
   lowered_.reset();
+  loweredExec_.reset();
 }
 
 bool Compilation::parseOk() {
@@ -156,6 +157,19 @@ const LoweredSpmd& Compilation::lowered() {
     });
   }
   return *lowered_;
+}
+
+const LoweredExec& Compilation::loweredExec() {
+  if (!loweredExec_.has_value()) {
+    const SyncPlan& plan = syncPlan();
+    const ir::Program& prog = *parsed().program;
+    const part::Decomposition& dec = *partitioned().decomp;
+    loweredExec_ = timePass("lower-exec", [&] {
+      return LoweredExec{std::make_shared<const exec::LoweredProgram>(
+          exec::lowerProgram(prog, dec, &plan.plan))};
+    });
+  }
+  return *loweredExec_;
 }
 
 }  // namespace spmd::driver

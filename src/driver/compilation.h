@@ -7,7 +7,7 @@
 // that pipeline once, with one typed artifact per stage:
 //
 //   ParsedProgram -> ValidatedProgram -> PartitionedProgram
-//       -> RegionTree -> SyncPlan -> LoweredSpmd
+//       -> RegionTree -> SyncPlan -> LoweredSpmd / LoweredExec
 //
 // Stages run lazily (asking for syncPlan() pulls everything it needs),
 // each result is cached on the session, and every pass is timed; the
@@ -30,6 +30,7 @@
 
 #include "analysis/validate.h"
 #include "core/optimizer.h"
+#include "exec/lowered.h"
 #include "ir/parser.h"
 #include "partition/decomposition.h"
 
@@ -84,6 +85,16 @@ struct SyncPlan {
 /// and sync placement as the executor realizes them.
 struct LoweredSpmd {
   std::string listing;
+};
+
+/// The executable lowered form the runtime engine runs: subscripts
+/// compiled to flat-offset templates, expressions flattened to postfix
+/// tapes, owned iteration ranges and sync structure resolved — for both
+/// the fork-join walker and the session's region plan.  Lowered once per
+/// option set and shared; executors bind it to a store per run, so
+/// repeated runs stop re-walking (or copying) the region tree.
+struct LoweredExec {
+  std::shared_ptr<const exec::LoweredProgram> program;
 };
 
 // --- pipeline configuration ------------------------------------------------
@@ -147,6 +158,7 @@ class Compilation {
   const RegionTree& regionTree();
   const SyncPlan& syncPlan();
   const LoweredSpmd& lowered();
+  const LoweredExec& loweredExec();
 
   // --- conveniences over the artifacts ---
   const ir::Program& program() { return *parsed().program; }
@@ -178,6 +190,7 @@ class Compilation {
   std::optional<RegionTree> regionTree_;
   std::optional<SyncPlan> syncPlan_;
   std::optional<LoweredSpmd> lowered_;
+  std::optional<LoweredExec> loweredExec_;
   std::vector<PassTiming> timings_;
 };
 

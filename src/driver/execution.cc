@@ -34,11 +34,29 @@ RunComparison runComparison(Compilation& compilation,
     });
   }
 
+  // With the lowered engine, run both variants off the session's cached
+  // LoweredExec artifact through one executor: the program is lowered
+  // once per option set instead of once per run, and runRegions never
+  // copies the region plan.
+  const bool lowered = request.exec.engine == cg::EngineKind::Lowered;
+  std::optional<rt::ThreadTeam> team;
+  std::optional<cg::SpmdExecutor> executor;
+  const exec::LoweredProgram* loweredProg = nullptr;
+  if (lowered && (request.runBase || request.runOptimized)) {
+    loweredProg = compilation.loweredExec().program.get();
+    team.emplace(request.threads);
+    executor.emplace(prog, decomp, *team, request.exec);
+  }
+
   if (request.runBase) {
     cg::RunResult base{ir::Store(prog, request.symbols), {}};
     out.baseSeconds = timeIf(request.timed, [&] {
-      base = cg::runForkJoin(prog, decomp, request.symbols, request.threads,
-                             request.exec);
+      if (lowered) {
+        base.counts = executor->runForkJoinLowered(*loweredProg, base.store);
+      } else {
+        base = cg::runForkJoin(prog, decomp, request.symbols,
+                               request.threads, request.exec);
+      }
     });
     out.baseCounts = base.counts;
     out.baseStore.emplace(std::move(base.store));
@@ -51,8 +69,13 @@ RunComparison runComparison(Compilation& compilation,
     const core::RegionProgram& plan = compilation.syncPlan().plan;
     cg::RunResult optimized{ir::Store(prog, request.symbols), {}};
     out.optSeconds = timeIf(request.timed, [&] {
-      optimized = cg::runRegions(prog, decomp, plan, request.symbols,
-                                 request.threads, request.exec);
+      if (lowered) {
+        optimized.counts =
+            executor->runRegionsLowered(*loweredProg, optimized.store);
+      } else {
+        optimized = cg::runRegions(prog, decomp, plan, request.symbols,
+                                   request.threads, request.exec);
+      }
     });
     out.optCounts = optimized.counts;
     out.optStore.emplace(std::move(optimized.store));

@@ -1,0 +1,586 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "runtime/barrier.h"
+#include "runtime/counter.h"
+
+namespace spmd::exec {
+
+using core::NodeKind;
+using core::SyncPoint;
+
+namespace {
+
+double reductionIdentity(ir::ReductionOp op) {
+  switch (op) {
+    case ir::ReductionOp::Sum:
+      return 0.0;
+    case ir::ReductionOp::Max:
+      return -std::numeric_limits<double>::infinity();
+    case ir::ReductionOp::Min:
+      return std::numeric_limits<double>::infinity();
+    case ir::ReductionOp::None:
+      break;
+  }
+  SPMD_UNREACHABLE("reduction identity of non-reduction");
+}
+
+/// Rounds a buffer length up to a multiple of one cache line (64 bytes)
+/// of `elemSize`-byte elements, so adjacent allocations cannot share a
+/// line that one thread writes.
+std::size_t padToLine(std::size_t n, std::size_t elemSize) {
+  std::size_t perLine = 64 / elemSize;
+  std::size_t padded = (n + perLine - 1) / perLine * perLine;
+  return std::max(padded, perLine);
+}
+
+}  // namespace
+
+Engine::Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
+               rt::SyncPrimitiveOptions sync)
+    : lp_(&lowered), team_(&team), sync_(sync) {
+  barrier_ = rt::makeSyncPrimitive(rt::SyncPrimitive::Kind::Barrier,
+                                   team.size(), sync_);
+  const std::size_t nScalars = lp_->prog->scalars().size();
+  states_.reserve(static_cast<std::size_t>(team.size()));
+  for (int t = 0; t < team.size(); ++t) {
+    auto ts = std::make_unique<ThreadState>();
+    ts->frame.assign(padToLine(static_cast<std::size_t>(lp_->frameSize), 8),
+                     0);
+    ts->scalars.assign(padToLine(nScalars, 8), 0.0);
+    ts->stack.assign(padToLine(lp_->maxStack, 8), 0.0);
+    ts->occ.assign(padToLine(static_cast<std::size_t>(lp_->maxSyncs), 8), 0);
+    ts->scalarBase = ts->scalars.data();
+    states_.push_back(std::move(ts));
+  }
+  scalarSnapshot_.assign(nScalars, 0.0);
+  frameSnapshot_.assign(static_cast<std::size_t>(lp_->frameSize), 0);
+}
+
+void Engine::bind(ir::Store& store) {
+  store_ = &store;
+  const ir::Program& prog = *lp_->prog;
+  const int P = team_->size();
+
+  const std::size_t nArrays = prog.arrays().size();
+  arrays_.resize(nArrays);
+  for (std::size_t a = 0; a < nArrays; ++a) {
+    ir::ArrayId id{static_cast<int>(a)};
+    const part::ArrayDist& d = lp_->decomp->dist(id);
+    arrays_[a] = BoundArray{store.data(id),
+                            static_cast<i64>(store.elementCount(id)), d.kind,
+                            d.alignOffset, d.blockParam};
+  }
+  templateBlock_ =
+      lp_->decomp->templateExtent().has_value()
+          ? lp_->decomp->concreteBlockSize(store.symbols(), P)
+          : 0;
+
+  // Fold each access template's per-dimension forms into one flat-offset
+  // form under the store's concrete row-major strides, coalescing repeated
+  // variables across dimensions.
+  boundTerms_.clear();
+  boundAccesses_.clear();
+  boundAccesses_.reserve(lp_->accesses.size());
+  for (const AccessTemplate& at : lp_->accesses) {
+    ir::ArrayId id{at.array};
+    const std::size_t rank = static_cast<std::size_t>(store.rank(id));
+    SPMD_ASSERT(rank == at.rank, "access rank mismatch");
+    i64 strides[8];
+    SPMD_CHECK(rank >= 1 && rank <= 8, "unsupported array rank");
+    strides[rank - 1] = 1;
+    for (std::size_t d = rank - 1; d > 0; --d)
+      strides[d - 1] = strides[d] * store.extent(id, d);
+    BoundAccess ba;
+    ba.array = at.array;
+    ba.first = static_cast<std::uint32_t>(boundTerms_.size());
+    for (std::size_t d = 0; d < rank; ++d) {
+      const LinForm& f = lp_->forms[at.firstForm + d];
+      ba.base += strides[d] * f.base;
+      for (std::uint32_t k = 0; k < f.count; ++k) {
+        const LinTerm& t = lp_->terms[f.first + k];
+        i64 stride = strides[d] * t.coef;
+        bool merged = false;
+        for (std::size_t j = ba.first; j < boundTerms_.size(); ++j) {
+          if (boundTerms_[j].var == t.var) {
+            boundTerms_[j].stride += stride;
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) boundTerms_.push_back(BoundTerm{t.var, stride});
+      }
+    }
+    ba.count = static_cast<std::uint32_t>(boundTerms_.size()) - ba.first;
+    boundAccesses_.push_back(ba);
+  }
+
+  // Frames: zero everything, then bind the symbolics (the lowered
+  // counterpart of EvalEnv's constructor).
+  for (auto& st : states_) {
+    std::fill(st->frame.begin(), st->frame.end(), 0);
+    for (const ir::SymbolicInfo& s : prog.symbolics())
+      st->frame[static_cast<std::size_t>(s.var.index)] =
+          store.symbolValue(s.var);
+    st->counts = rt::SyncCounts{};
+    st->scalarBase = st->scalars.data();
+  }
+}
+
+double* Engine::accessSlot(std::int32_t access, const i64* frame) const {
+  const BoundAccess& ba = boundAccesses_[static_cast<std::size_t>(access)];
+  i64 off = ba.base;
+  const BoundTerm* t = boundTerms_.data() + ba.first;
+  for (std::uint32_t k = 0; k < ba.count; ++k)
+    off += t[k].stride * frame[t[k].var];
+  const BoundArray& arr = arrays_[static_cast<std::size_t>(ba.array)];
+  SPMD_CHECK(off >= 0 && off < arr.size,
+             "lowered array access out of bounds: offset " +
+                 std::to_string(off) + " not in [0, " +
+                 std::to_string(arr.size) + ")");
+  return arr.data + off;
+}
+
+double Engine::evalTape(std::int32_t tape, ThreadState& ts) const {
+  const Tape& t = lp_->tapes[static_cast<std::size_t>(tape)];
+  const Inst* code = lp_->insts.data() + t.first;
+  const i64* frame = ts.frame.data();
+  double* stack = ts.stack.data();
+  std::size_t sp = 0;
+  for (std::uint32_t k = 0; k < t.count; ++k) {
+    const Inst in = code[k];
+    switch (in.op) {
+      case Inst::Op::PushConst:
+        stack[sp++] = lp_->consts[static_cast<std::size_t>(in.arg)];
+        break;
+      case Inst::Op::PushScalar:
+        stack[sp++] = ts.scalarBase[in.arg];
+        break;
+      case Inst::Op::PushAffine:
+        stack[sp++] = static_cast<double>(lp_->evalForm(in.arg, frame));
+        break;
+      case Inst::Op::Load:
+        stack[sp++] = *accessSlot(in.arg, frame);
+        break;
+      case Inst::Op::Neg:
+        stack[sp - 1] = -stack[sp - 1];
+        break;
+      case Inst::Op::Sqrt:
+        stack[sp - 1] = std::sqrt(stack[sp - 1]);
+        break;
+      case Inst::Op::Abs:
+        stack[sp - 1] = std::abs(stack[sp - 1]);
+        break;
+      case Inst::Op::Exp:
+        stack[sp - 1] = std::exp(stack[sp - 1]);
+        break;
+      case Inst::Op::Sin:
+        stack[sp - 1] = std::sin(stack[sp - 1]);
+        break;
+      case Inst::Op::Cos:
+        stack[sp - 1] = std::cos(stack[sp - 1]);
+        break;
+      case Inst::Op::Add:
+        --sp;
+        stack[sp - 1] += stack[sp];
+        break;
+      case Inst::Op::Sub:
+        --sp;
+        stack[sp - 1] -= stack[sp];
+        break;
+      case Inst::Op::Mul:
+        --sp;
+        stack[sp - 1] *= stack[sp];
+        break;
+      case Inst::Op::Div:
+        --sp;
+        stack[sp - 1] /= stack[sp];
+        break;
+      case Inst::Op::Min:
+        --sp;
+        stack[sp - 1] = std::min(stack[sp - 1], stack[sp]);
+        break;
+      case Inst::Op::Max:
+        --sp;
+        stack[sp - 1] = std::max(stack[sp - 1], stack[sp]);
+        break;
+    }
+  }
+  return stack[sp - 1];
+}
+
+int Engine::ownerOf(const BoundArray& arr, i64 subscript, int nprocs) const {
+  // Mirrors part::Decomposition::concreteOwner.
+  const i64 cell = subscript - arr.align;
+  switch (arr.dist) {
+    case part::DistKind::Replicated:
+      return 0;
+    case part::DistKind::Block: {
+      SPMD_CHECK(templateBlock_ > 0, "block ownership without a template");
+      i64 owner = floorDiv(cell, templateBlock_);
+      return static_cast<int>(
+          std::max<i64>(0, std::min<i64>(owner, nprocs - 1)));
+    }
+    case part::DistKind::Cyclic: {
+      i64 owner = cell % nprocs;
+      return static_cast<int>(owner < 0 ? owner + nprocs : owner);
+    }
+    case part::DistKind::BlockCyclic: {
+      i64 owner = floorDiv(cell, arr.blockParam) % nprocs;
+      return static_cast<int>(owner < 0 ? owner + nprocs : owner);
+    }
+  }
+  SPMD_UNREACHABLE("bad DistKind");
+}
+
+IterRange Engine::ownedRange(const OwnerTemplate& ot, i64 lb, i64 ub,
+                             int tid, const i64* frame) const {
+  const int P = team_->size();
+  switch (ot.kind) {
+    case OwnerTemplate::Kind::BlockAligned:
+      SPMD_CHECK(templateBlock_ > 0, "block partition without a template");
+      return ownedBlockUnit(lb, ub, /*c0=*/0, templateBlock_, tid, P);
+    case OwnerTemplate::Kind::CyclicAligned:
+      return ownedCyclicUnit(lb, ub, /*c0=*/-lb, tid, P);
+    case OwnerTemplate::Kind::OwnerUnitBlock: {
+      SPMD_CHECK(templateBlock_ > 0, "block ownership without a template");
+      i64 c0 = lp_->evalForm(ot.cellForm, frame) -
+               arrays_[static_cast<std::size_t>(ot.array)].align;
+      return ownedBlockUnit(lb, ub, c0, templateBlock_, tid, P);
+    }
+    case OwnerTemplate::Kind::OwnerUnitCyclic: {
+      i64 c0 = lp_->evalForm(ot.cellForm, frame) -
+               arrays_[static_cast<std::size_t>(ot.array)].align;
+      return ownedCyclicUnit(lb, ub, c0, tid, P);
+    }
+    case OwnerTemplate::Kind::FallbackBlock:
+      return ownedFallbackBlock(lb, ub, tid, P);
+    case OwnerTemplate::Kind::PerIteration:
+      break;
+  }
+  SPMD_UNREACHABLE("per-iteration owner template has no closed range");
+}
+
+void Engine::execLocal(const LoweredStmt& s, ThreadState& ts) {
+  switch (s.kind) {
+    case LoweredStmt::Kind::ArrayAssign: {
+      double value = evalTape(s.tape, ts);
+      ir::applyReduction(*accessSlot(s.access, ts.frame.data()), s.reduction,
+                         value);
+      return;
+    }
+    case LoweredStmt::Kind::ScalarAssign: {
+      double value = evalTape(s.tape, ts);
+      ir::applyReduction(ts.scalarBase[s.scalar], s.reduction, value);
+      return;
+    }
+    case LoweredStmt::Kind::Loop: {
+      i64* frame = ts.frame.data();
+      const i64 lo = lp_->evalForm(s.lower, frame);
+      const i64 hi = lp_->evalForm(s.upper, frame);
+      for (i64 i = lo; i <= hi; i += s.step) {
+        frame[s.var] = i;
+        for (const LoweredStmt& child : s.body) execLocal(child, ts);
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad LoweredStmt kind");
+}
+
+void Engine::execParallelLoop(const LoweredStmt& s, int tid,
+                              ThreadState& ts) {
+  i64* frame = ts.frame.data();
+  const i64 lb = lp_->evalForm(s.lower, frame);
+  const i64 ub = lp_->evalForm(s.upper, frame);
+  const int P = team_->size();
+
+  // Same reduction protocol as the interpreter: processor 0's partial
+  // starts from its private incoming value, everyone else from the
+  // identity; partials combine into reductionPending_ under the mutex.
+  if (tid != 0)
+    for (const ReductionTarget& r : s.reductions)
+      ts.scalarBase[r.scalar] = reductionIdentity(r.op);
+
+  const OwnerTemplate& ot = lp_->owners[static_cast<std::size_t>(s.owner)];
+  if (ot.kind == OwnerTemplate::Kind::PerIteration) {
+    const BoundArray& arr = arrays_[static_cast<std::size_t>(ot.array)];
+    for (i64 i = lb; i <= ub; ++i) {
+      frame[s.var] = i;
+      i64 cell = lp_->evalForm(ot.cellForm, frame);
+      if (ownerOf(arr, cell, P) != tid) continue;
+      for (const LoweredStmt& child : s.body) execLocal(child, ts);
+    }
+  } else {
+    IterRange r = ownedRange(ot, lb, ub, tid, frame);
+    for (i64 i = r.begin; i <= r.end; i += r.step) {
+      frame[s.var] = i;
+      for (const LoweredStmt& child : s.body) execLocal(child, ts);
+    }
+  }
+
+  if (!s.reductions.empty()) {
+    std::lock_guard<std::mutex> lock(reductionMutex_);
+    for (const ReductionTarget& r : s.reductions) {
+      double partial = ts.scalarBase[r.scalar];
+      auto [it, first] = reductionPending_.try_emplace(
+          static_cast<int>(r.scalar), partial, r.op);
+      if (!first) ir::applyReduction(it->second.first, r.op, partial);
+    }
+  }
+}
+
+void Engine::execGuarded(const LoweredStmt& s, int tid, ThreadState& ts) {
+  switch (s.kind) {
+    case LoweredStmt::Kind::ArrayAssign: {
+      int owner = 0;
+      if (s.guardCell >= 0) {
+        const BoundAccess& ba =
+            boundAccesses_[static_cast<std::size_t>(s.access)];
+        const BoundArray& arr = arrays_[static_cast<std::size_t>(ba.array)];
+        owner = ownerOf(arr, lp_->evalForm(s.guardCell, ts.frame.data()),
+                        team_->size());
+      }
+      if (owner == tid) execLocal(s, ts);
+      return;
+    }
+    case LoweredStmt::Kind::ScalarAssign: {
+      if (tid != 0) return;
+      double value = evalTape(s.tape, ts);
+      // Compute into processor 0's private copy; published at the next
+      // sync point (same protocol as the interpreter's masterPending_).
+      ir::applyReduction(ts.scalarBase[s.scalar], s.reduction, value);
+      masterPending_[s.scalar] = ts.scalarBase[s.scalar];
+      return;
+    }
+    case LoweredStmt::Kind::Loop: {
+      i64* frame = ts.frame.data();
+      const i64 lo = lp_->evalForm(s.lower, frame);
+      const i64 hi = lp_->evalForm(s.upper, frame);
+      for (i64 i = lo; i <= hi; i += s.step) {
+        frame[s.var] = i;
+        for (const LoweredStmt& child : s.body) execGuarded(child, tid, ts);
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad LoweredStmt kind");
+}
+
+void Engine::publishPending() {
+  for (const auto& [scalar, value] : masterPending_)
+    store_->scalar(ir::ScalarId{scalar}) = value;
+  masterPending_.clear();
+  for (const auto& [scalar, entry] : reductionPending_)
+    store_->scalar(ir::ScalarId{scalar}) = entry.first;
+  reductionPending_.clear();
+}
+
+void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
+                      RegionRun& run, int tid, ThreadState& ts) {
+  switch (point.kind) {
+    case SyncPoint::Kind::None:
+      return;
+    case SyncPoint::Kind::Barrier: {
+      if (tid == 0) ++ts.counts.barriers;
+      // The releasing thread publishes pending values and refreshes every
+      // processor's shared-canonical private copies while all are parked
+      // (identical to the interpreter's serial section).
+      auto serial = [this, &item] {
+        publishPending();
+        const double* src = store_->scalarData();
+        for (auto& st : states_)
+          for (std::int32_t s : item.sharedCanonical)
+            st->scalars[static_cast<std::size_t>(s)] = src[s];
+      };
+      rt::asBarrier(*barrier_).arrive(tid, serial);
+      return;
+    }
+    case SyncPoint::Kind::Counter: {
+      SPMD_ASSERT(point.id >= 0, "counter sync point without id");
+      rt::CounterSync& counter =
+          rt::asCounter(*run.counters[static_cast<std::size_t>(point.id)]);
+      std::uint64_t occ = ++ts.occ[static_cast<std::size_t>(point.id)];
+      if (point.waitMaster && tid == 0 && !masterPending_.empty()) {
+        // Publish before the post; its release pairs with waiters'
+        // acquire (see the interpreter's execSync for the full argument).
+        for (const auto& [scalar, value] : masterPending_)
+          store_->scalar(ir::ScalarId{scalar}) = value;
+        masterPending_.clear();
+      }
+      counter.post(tid, occ);
+      ++ts.counts.counterPosts;
+      const int P = team_->size();
+      if (point.waitLeft && tid > 0) {
+        counter.wait(tid - 1, occ);
+        ++ts.counts.counterWaits;
+      }
+      if (point.waitRight && tid < P - 1) {
+        counter.wait(tid + 1, occ);
+        ++ts.counts.counterWaits;
+      }
+      if (point.waitMaster && tid != 0) {
+        counter.wait(0, occ);
+        ++ts.counts.counterWaits;
+        const double* src = store_->scalarData();
+        for (std::int32_t s : item.sharedCanonical)
+          ts.scalars[static_cast<std::size_t>(s)] = src[s];
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad SyncPoint kind");
+}
+
+void Engine::execNode(const LoweredNode& node, const LoweredItem& item,
+                      RegionRun& run, int tid, ThreadState& ts) {
+  switch (node.kind) {
+    case NodeKind::ParallelLoop:
+      execParallelLoop(node.stmt, tid, ts);
+      return;
+    case NodeKind::Replicated:
+      execLocal(node.stmt, ts);
+      return;
+    case NodeKind::Guarded:
+      execGuarded(node.stmt, tid, ts);
+      return;
+    case NodeKind::SeqLoop: {
+      i64* frame = ts.frame.data();
+      const LoweredStmt& l = node.stmt;
+      const i64 lo = lp_->evalForm(l.lower, frame);
+      const i64 hi = lp_->evalForm(l.upper, frame);
+      for (i64 k = lo; k <= hi; k += l.step) {
+        frame[l.var] = k;
+        for (const LoweredNode& child : node.body) {
+          execNode(child, item, run, tid, ts);
+          execSync(child.after, item, run, tid, ts);
+        }
+        bool lastIteration = k + l.step > hi;
+        if (!(lastIteration && node.elideLastBackEdgeBarrier))
+          execSync(node.backEdge, item, run, tid, ts);
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad NodeKind");
+}
+
+void Engine::execNodeSeq(const std::vector<LoweredNode>& nodes,
+                         const LoweredItem& item, RegionRun& run, int tid,
+                         ThreadState& ts) {
+  for (const LoweredNode& node : nodes) {
+    execNode(node, item, run, tid, ts);
+    execSync(node.after, item, run, tid, ts);
+  }
+}
+
+void Engine::execRegion(const LoweredItem& item, RegionRun& run, int tid) {
+  ThreadState& ts = *states_[static_cast<std::size_t>(tid)];
+  ts.scalarBase = ts.scalars.data();
+  // Region-entry broadcast: snapshot the shared scalars privately.
+  const std::size_t n = lp_->prog->scalars().size();
+  const double* src = store_->scalarData();
+  for (std::size_t s = 0; s < n; ++s) ts.scalars[s] = src[s];
+  execNodeSeq(item.nodes, item, run, tid, ts);
+}
+
+rt::SyncCounts Engine::runRegions(ir::Store& store) {
+  SPMD_CHECK(lp_->hasRegions,
+             "lowered program was built without a region plan");
+  bind(store);
+  rt::SyncCounts total;
+  const int P = team_->size();
+  ThreadState& master = *states_[0];
+
+  for (const LoweredItem& item : lp_->items) {
+    if (!item.isRegion) {
+      master.scalarBase = store.scalarData();
+      execLocal(item.sequential, master);
+      continue;
+    }
+    RegionRun run;
+    run.counters.reserve(static_cast<std::size_t>(item.syncCount));
+    for (int c = 0; c < item.syncCount; ++c)
+      run.counters.push_back(rt::makeSyncPrimitive(
+          rt::SyncPrimitive::Kind::Counter, P, sync_));
+    for (auto& st : states_) {
+      std::fill(st->occ.begin(), st->occ.end(), 0);
+      st->counts = rt::SyncCounts{};
+    }
+
+    ++total.broadcasts;  // region entry
+    team_->run([&](int tid) { execRegion(item, run, tid); });
+    ++total.barriers;  // region join
+
+    // Publish stragglers, then finalize non-shared written scalars from
+    // processor 0's private table (the sequential values).
+    publishPending();
+    for (std::int32_t s : item.writtenScalars) {
+      bool shared = false;
+      for (std::int32_t c : item.sharedCanonical)
+        if (c == s) shared = true;
+      if (!shared)
+        store.scalar(ir::ScalarId{s}) =
+            master.scalars[static_cast<std::size_t>(s)];
+    }
+    for (const auto& st : states_) total += st->counts;
+  }
+  return total;
+}
+
+void Engine::walkForkJoin(const LoweredStmt& s, rt::SyncCounts& counts) {
+  ThreadState& master = *states_[0];
+  if (s.kind == LoweredStmt::Kind::Loop && s.parallel) {
+    ++counts.broadcasts;  // fork
+    // Snapshot shared scalars and the master's outer-loop bindings BEFORE
+    // forking: workers copy from the snapshots, never from the master's
+    // live state (processor 0 mutates its own frame inside the loop).
+    const std::size_t n = lp_->prog->scalars().size();
+    const double* src = store_->scalarData();
+    for (std::size_t k = 0; k < n; ++k) scalarSnapshot_[k] = src[k];
+    std::copy_n(master.frame.data(), frameSnapshot_.size(),
+                frameSnapshot_.data());
+    team_->run([&](int tid) {
+      ThreadState& ts = *states_[static_cast<std::size_t>(tid)];
+      if (tid != 0)
+        std::copy_n(frameSnapshot_.data(), frameSnapshot_.size(),
+                    ts.frame.data());
+      ts.scalarBase = ts.scalars.data();
+      for (std::size_t k = 0; k < n; ++k) ts.scalars[k] = scalarSnapshot_[k];
+      execParallelLoop(s, tid, ts);
+    });
+    ++counts.barriers;  // join
+    master.scalarBase = store_->scalarData();
+    publishPending();
+    return;
+  }
+  switch (s.kind) {
+    case LoweredStmt::Kind::ArrayAssign:
+    case LoweredStmt::Kind::ScalarAssign:
+      execLocal(s, master);
+      return;
+    case LoweredStmt::Kind::Loop: {
+      const i64 lo = lp_->evalForm(s.lower, master.frame.data());
+      const i64 hi = lp_->evalForm(s.upper, master.frame.data());
+      for (i64 i = lo; i <= hi; i += s.step) {
+        master.frame[static_cast<std::size_t>(s.var)] = i;
+        for (const LoweredStmt& child : s.body) walkForkJoin(child, counts);
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad LoweredStmt kind");
+}
+
+rt::SyncCounts Engine::runForkJoin(ir::Store& store) {
+  bind(store);
+  rt::SyncCounts counts;
+  states_[0]->scalarBase = store.scalarData();
+  for (const LoweredStmt& s : lp_->forkJoinTop) walkForkJoin(s, counts);
+  return counts;
+}
+
+}  // namespace spmd::exec

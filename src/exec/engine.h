@@ -1,0 +1,145 @@
+// The lowered execution engine.
+//
+// Engine executes a LoweredProgram on a ThreadTeam with the exact
+// synchronization protocol of the interpreting SpmdExecutor — same
+// reduction accumulation (processor 0 seeds from its incoming private
+// value, others from the identity, first finisher assigns the shared
+// slot), same master-scalar publication points (barrier serial sections
+// and pre-post at waitMaster counters), same region-entry scalar snapshot
+// and post-region finalization, and byte-identical SyncCounts — but with
+// the per-iteration interpretation overhead lowered away:
+//
+//   * bind() resolves access templates against the store once per run:
+//     row-major strides fold the per-dimension affine forms into a single
+//     flat-offset form with one bounds check;
+//   * expression tapes evaluate over a preallocated per-thread stack —
+//     no recursion, no virtual dispatch, no allocation;
+//   * parallel loops iterate closed-form owned ranges (owned_range.h)
+//     where the partition allows, instead of testing ownership per
+//     iteration.
+//
+// Per-thread state is cache-line aligned and separately allocated, so one
+// thread's frame/scalar/stack writes never share a line with another's.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/lowered.h"
+#include "exec/owned_range.h"
+#include "ir/eval.h"
+#include "runtime/sync_primitive.h"
+#include "runtime/team.h"
+
+namespace spmd::exec {
+
+class Engine {
+ public:
+  /// The lowered program (and the program/decomposition it references)
+  /// must outlive the engine; the team's size fixes P.
+  Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
+         rt::SyncPrimitiveOptions sync = rt::SyncPrimitiveOptions());
+
+  /// Base fork-join execution (lowered runForkJoin).
+  rt::SyncCounts runForkJoin(ir::Store& store);
+
+  /// Merged-region execution; the lowered program must carry a plan.
+  rt::SyncCounts runRegions(ir::Store& store);
+
+ private:
+  /// One variable term of a bound flat-offset form: stride * frame[var].
+  struct BoundTerm {
+    std::int32_t var = 0;
+    i64 stride = 0;
+  };
+
+  /// An access template bound to concrete extents: flat base offset plus
+  /// per-variable strides, one bounds check against the flat size.
+  struct BoundAccess {
+    std::int32_t array = -1;
+    i64 base = 0;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
+  struct BoundArray {
+    double* data = nullptr;
+    i64 size = 0;
+    part::DistKind dist = part::DistKind::Replicated;
+    i64 align = 0;
+    i64 blockParam = 1;
+  };
+
+  /// Per-thread execution state.  Aligned and separately allocated so the
+  /// hot members (frame writes per iteration, stack traffic per
+  /// expression, occurrence bumps per sync) never false-share across
+  /// threads; buffer lengths are rounded up to cache-line multiples so
+  /// adjacent heap blocks do not share a tail line either.
+  struct alignas(64) ThreadState {
+    std::vector<i64> frame;       ///< variable id -> current value
+    std::vector<double> scalars;  ///< private scalar table
+    std::vector<double> stack;    ///< tape evaluation stack
+    std::vector<std::uint64_t> occ;  ///< per sync id occurrence counts
+    double* scalarBase = nullptr;    ///< scalars.data() or store-direct
+    rt::SyncCounts counts;
+  };
+
+  /// Per-region-execution runtime objects (counters by sync id).
+  struct RegionRun {
+    std::vector<std::unique_ptr<rt::SyncPrimitive>> counters;
+  };
+
+  void bind(ir::Store& store);
+
+  double evalTape(std::int32_t tape, ThreadState& ts) const;
+  double* accessSlot(std::int32_t access, const i64* frame) const;
+  int ownerOf(const BoundArray& arr, i64 subscript, int nprocs) const;
+  IterRange ownedRange(const OwnerTemplate& ot, i64 lb, i64 ub, int tid,
+                       const i64* frame) const;
+
+  void execLocal(const LoweredStmt& s, ThreadState& ts);
+  void execParallelLoop(const LoweredStmt& s, int tid, ThreadState& ts);
+  void execGuarded(const LoweredStmt& s, int tid, ThreadState& ts);
+  void execSync(const core::SyncPoint& point, const LoweredItem& item,
+                RegionRun& run, int tid, ThreadState& ts);
+  void execNode(const LoweredNode& node, const LoweredItem& item,
+                RegionRun& run, int tid, ThreadState& ts);
+  void execNodeSeq(const std::vector<LoweredNode>& nodes,
+                   const LoweredItem& item, RegionRun& run, int tid,
+                   ThreadState& ts);
+  void execRegion(const LoweredItem& item, RegionRun& run, int tid);
+  void walkForkJoin(const LoweredStmt& s, rt::SyncCounts& counts);
+
+  /// Publishes pending master/reduction scalar values into the store.
+  /// Serial contexts only (barrier serial section, master after a join).
+  void publishPending();
+
+  const LoweredProgram* lp_;
+  rt::ThreadTeam* team_;
+  rt::SyncPrimitiveOptions sync_;
+  std::unique_ptr<rt::SyncPrimitive> barrier_;
+
+  // --- bound per-run state (bind) ---
+  ir::Store* store_ = nullptr;
+  std::vector<BoundArray> arrays_;
+  std::vector<BoundTerm> boundTerms_;
+  std::vector<BoundAccess> boundAccesses_;
+  i64 templateBlock_ = 0;  ///< concrete block size B; 0 when no template
+
+  std::vector<std::unique_ptr<ThreadState>> states_;
+
+  // Fork-join snapshots taken by the master before each fork; workers
+  // copy from these, never from the master's live state.
+  std::vector<double> scalarSnapshot_;
+  std::vector<i64> frameSnapshot_;
+
+  // Same pending-publication protocol as the interpreter (see the comment
+  // block in codegen/spmd_executor.h).
+  std::mutex reductionMutex_;
+  std::map<int, std::pair<double, ir::ReductionOp>> reductionPending_;
+  std::map<int, double> masterPending_;
+};
+
+}  // namespace spmd::exec

@@ -1,0 +1,212 @@
+// The lowered execution form: what the runtime executes instead of
+// re-walking the IR.
+//
+// The tree-walking interpreter pays, on every executed statement, costs
+// that depend only on the program text: virtual dispatch over ExprNode
+// kinds, a heap-allocated std::vector<i64> per array access, a rebuilt
+// reduction-target list per parallel-loop execution, and sync-id
+// assignment on a deep copy of the whole RegionProgram per run.  Lowering
+// performs all of that text-dependent work once per (program, plan):
+//
+//   * every affine expression (subscripts, loop bounds, owner cells)
+//     becomes a LinForm — base + sum(coef * frame[var]) over a flat
+//     per-thread i64 frame indexed by variable id;
+//   * every rhs expression tree becomes a postfix Tape of fixed-size
+//     instructions evaluated with a preallocated value stack — no
+//     recursion, no virtual calls, no allocation;
+//   * every array access becomes an AccessTemplate (one LinForm per
+//     dimension) that bind() collapses against concrete extents into a
+//     single flat offset form — one bounds check per access instead of
+//     one per dimension;
+//   * every parallel loop gets an OwnerTemplate classifying its partition
+//     so the engine can iterate a closed-form owned range (owned_range.h)
+//     instead of testing ownership per iteration;
+//   * region sync ids, back-edge elision flags, reduction targets, and
+//     written/shared scalar sets are computed here, not per run.
+//
+// A LoweredProgram is symbol-independent: it references arrays and
+// variables by id only.  exec::Engine::bind() resolves it against a
+// concrete ir::Store (strides, distribution parameters, block sizes) in
+// O(program size) per run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spmd_region.h"
+#include "ir/program.h"
+#include "partition/decomposition.h"
+
+namespace spmd::exec {
+
+/// One variable term of an affine form: coef * frame[var].
+struct LinTerm {
+  std::int32_t var = 0;
+  i64 coef = 0;
+};
+
+/// base + sum of LinTerms (a contiguous slice of LoweredProgram::terms).
+struct LinForm {
+  i64 base = 0;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// One postfix instruction of an expression tape.
+struct Inst {
+  enum class Op : std::uint8_t {
+    PushConst,   ///< push consts[arg]
+    PushScalar,  ///< push scalar table[arg]
+    PushAffine,  ///< push (double) value of form arg
+    Load,        ///< push array element via bound access arg
+    Neg,
+    Sqrt,
+    Abs,
+    Exp,
+    Sin,
+    Cos,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+  };
+  Op op = Op::PushConst;
+  std::int32_t arg = 0;
+};
+
+/// One rhs expression: a contiguous slice of LoweredProgram::insts.
+struct Tape {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  std::uint32_t maxDepth = 0;  ///< value-stack high-water mark
+};
+
+/// An array access before binding: one affine form per dimension.
+/// bind() turns this into flat base + per-variable strides.
+struct AccessTemplate {
+  std::int32_t array = -1;
+  std::uint32_t firstForm = 0;  ///< `rank` consecutive entries in forms
+  std::uint32_t rank = 0;
+};
+
+/// How a parallel loop's iterations map to processors — the lowered form
+/// of cg::iterationOwner, classified once so the engine can pick the
+/// closed-form owned range where one exists.
+struct OwnerTemplate {
+  enum class Kind : std::uint8_t {
+    BlockAligned,     ///< BlockRange partition: clamp(floorDiv(i, B), 0, P-1)
+    CyclicAligned,    ///< CyclicRange partition: (i - lb) mod P
+    OwnerUnitBlock,   ///< owner-computes, Block dist, unit index coefficient
+    OwnerUnitCyclic,  ///< owner-computes, Cyclic dist, unit index coefficient
+    PerIteration,     ///< genuine owner-computes: test each iteration
+    FallbackBlock,    ///< no partition info: block the iteration span
+  };
+  Kind kind = Kind::FallbackBlock;
+  std::int32_t array = -1;     ///< owner-computes kinds: the distributed array
+  std::int32_t cellForm = -1;  ///< OwnerUnit*: subscript minus the index term;
+                               ///< PerIteration: the full subscript form
+};
+
+/// A scalar reduction target of a parallel loop (collected at lower time;
+/// the interpreter re-collects these on every loop execution).
+struct ReductionTarget {
+  std::int32_t scalar = -1;
+  ir::ReductionOp op = ir::ReductionOp::None;
+};
+
+/// One lowered statement.  For loops the body is nested; subscripts and
+/// bounds are form ids, rhs expressions are tape ids.
+struct LoweredStmt {
+  enum class Kind : std::uint8_t { ArrayAssign, ScalarAssign, Loop };
+  Kind kind = Kind::ArrayAssign;
+  ir::ReductionOp reduction = ir::ReductionOp::None;
+
+  // ArrayAssign
+  std::int32_t access = -1;     ///< target access template id
+  std::int32_t guardCell = -1;  ///< distributed-dim subscript form (guarded
+                                ///< execution); -1 when replicated
+  // ScalarAssign
+  std::int32_t scalar = -1;
+
+  // Both assignment kinds
+  std::int32_t tape = -1;
+
+  // Loop
+  std::int32_t var = -1;
+  std::int32_t lower = -1;  ///< form id
+  std::int32_t upper = -1;  ///< form id
+  i64 step = 1;
+  bool parallel = false;
+  std::int32_t owner = -1;  ///< parallel: owner template id
+  std::vector<ReductionTarget> reductions;  ///< parallel: reduction targets
+  std::vector<LoweredStmt> body;
+};
+
+/// A lowered region node.  Sync ids are already assigned and elidable
+/// back edges already annotated (per run in the interpreter).
+struct LoweredNode {
+  core::NodeKind kind = core::NodeKind::Replicated;
+  /// ParallelLoop / Replicated / Guarded: the whole statement.
+  /// SeqLoop: the loop header only (var/lower/upper/step); children below.
+  LoweredStmt stmt;
+  std::vector<LoweredNode> body;  ///< SeqLoop children
+  core::SyncPoint after;
+  core::SyncPoint backEdge;
+  bool elideLastBackEdgeBarrier = false;
+};
+
+/// One item of the region-mode program: master-sequential statement or a
+/// parallel region with its precomputed scalar classification.
+struct LoweredItem {
+  bool isRegion = false;
+  LoweredStmt sequential;          ///< when !isRegion
+  std::vector<LoweredNode> nodes;  ///< when isRegion
+  int syncCount = 0;               ///< counters to allocate per execution
+  std::vector<std::int32_t> writtenScalars;
+  std::vector<std::int32_t> sharedCanonical;
+};
+
+/// The whole lowered program: both execution modes over shared pools.
+struct LoweredProgram {
+  const ir::Program* prog = nullptr;
+  const part::Decomposition* decomp = nullptr;
+
+  /// Fork-join mode: the lowered top-level statement list.
+  std::vector<LoweredStmt> forkJoinTop;
+
+  /// Region mode: lowered plan items (empty unless lowered with a plan).
+  std::vector<LoweredItem> items;
+  bool hasRegions = false;
+
+  // --- pools (all ids above index into these) ---
+  std::vector<LinTerm> terms;
+  std::vector<LinForm> forms;
+  std::vector<Inst> insts;
+  std::vector<double> consts;
+  std::vector<Tape> tapes;
+  std::vector<AccessTemplate> accesses;
+  std::vector<OwnerTemplate> owners;
+
+  std::int32_t frameSize = 0;   ///< variable-space size at lower time
+  std::uint32_t maxStack = 0;   ///< max tape depth (per-thread stack size)
+  int maxSyncs = 0;             ///< max counters in any region
+
+  i64 evalForm(std::int32_t form, const i64* frame) const {
+    const LinForm& f = forms[static_cast<std::size_t>(form)];
+    i64 v = f.base;
+    const LinTerm* t = terms.data() + f.first;
+    for (std::uint32_t k = 0; k < f.count; ++k)
+      v += t[k].coef * frame[t[k].var];
+    return v;
+  }
+};
+
+/// Lowers `prog` (and, when non-null, the region `plan`) against `decomp`.
+/// Both referents must outlive the returned program.
+LoweredProgram lowerProgram(const ir::Program& prog,
+                            const part::Decomposition& decomp,
+                            const core::RegionProgram* plan);
+
+}  // namespace spmd::exec

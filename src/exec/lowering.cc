@@ -1,0 +1,341 @@
+#include "exec/lowered.h"
+
+#include <algorithm>
+
+#include "analysis/access.h"
+#include "comm/comm_analysis.h"
+#include "core/optimizer.h"
+
+namespace spmd::exec {
+
+namespace {
+
+using core::NodeKind;
+using core::RegionNode;
+using core::SyncPoint;
+
+struct Lowerer {
+  const ir::Program* prog;
+  const part::Decomposition* decomp;
+  LoweredProgram lp;
+
+  // --- pool builders -------------------------------------------------------
+
+  std::int32_t addForm(const poly::LinExpr& e) {
+    LinForm f;
+    f.base = e.constTerm();
+    f.first = static_cast<std::uint32_t>(lp.terms.size());
+    for (const auto& [v, c] : e.terms())
+      lp.terms.push_back(LinTerm{v.index, c});
+    f.count = static_cast<std::uint32_t>(e.terms().size());
+    lp.forms.push_back(f);
+    return static_cast<std::int32_t>(lp.forms.size() - 1);
+  }
+
+  std::int32_t addAccess(ir::ArrayId a,
+                         const std::vector<poly::LinExpr>& subs) {
+    AccessTemplate t;
+    t.array = a.index;
+    t.firstForm = static_cast<std::uint32_t>(lp.forms.size());
+    t.rank = static_cast<std::uint32_t>(subs.size());
+    for (const poly::LinExpr& s : subs) addForm(s);
+    lp.accesses.push_back(t);
+    return static_cast<std::int32_t>(lp.accesses.size() - 1);
+  }
+
+  void emitExpr(const ir::Expr& e, std::uint32_t& depth,
+                std::uint32_t& maxDepth) {
+    auto push = [&](Inst::Op op, std::int32_t arg) {
+      lp.insts.push_back(Inst{op, arg});
+      maxDepth = std::max(maxDepth, ++depth);
+    };
+    const ir::ExprNode& n = e.node();
+    switch (n.kind()) {
+      case ir::ExprNode::Kind::Number: {
+        lp.consts.push_back(static_cast<const ir::NumberExpr&>(n).value);
+        push(Inst::Op::PushConst,
+             static_cast<std::int32_t>(lp.consts.size() - 1));
+        return;
+      }
+      case ir::ExprNode::Kind::ScalarRef:
+        push(Inst::Op::PushScalar,
+             static_cast<const ir::ScalarRefExpr&>(n).scalar.index);
+        return;
+      case ir::ExprNode::Kind::Affine:
+        push(Inst::Op::PushAffine,
+             addForm(static_cast<const ir::AffineExpr&>(n).expr));
+        return;
+      case ir::ExprNode::Kind::ArrayRef: {
+        const auto& a = static_cast<const ir::ArrayRefExpr&>(n);
+        push(Inst::Op::Load, addAccess(a.array, a.subscripts));
+        return;
+      }
+      case ir::ExprNode::Kind::Unary: {
+        const auto& u = static_cast<const ir::UnaryExpr&>(n);
+        emitExpr(u.operand, depth, maxDepth);
+        Inst::Op op = Inst::Op::Neg;
+        switch (u.op) {
+          case ir::UnaryOp::Neg:  op = Inst::Op::Neg; break;
+          case ir::UnaryOp::Sqrt: op = Inst::Op::Sqrt; break;
+          case ir::UnaryOp::Abs:  op = Inst::Op::Abs; break;
+          case ir::UnaryOp::Exp:  op = Inst::Op::Exp; break;
+          case ir::UnaryOp::Sin:  op = Inst::Op::Sin; break;
+          case ir::UnaryOp::Cos:  op = Inst::Op::Cos; break;
+        }
+        lp.insts.push_back(Inst{op, 0});
+        return;
+      }
+      case ir::ExprNode::Kind::Binary: {
+        const auto& b = static_cast<const ir::BinaryExpr&>(n);
+        emitExpr(b.lhs, depth, maxDepth);
+        emitExpr(b.rhs, depth, maxDepth);
+        Inst::Op op = Inst::Op::Add;
+        switch (b.op) {
+          case ir::BinaryOp::Add: op = Inst::Op::Add; break;
+          case ir::BinaryOp::Sub: op = Inst::Op::Sub; break;
+          case ir::BinaryOp::Mul: op = Inst::Op::Mul; break;
+          case ir::BinaryOp::Div: op = Inst::Op::Div; break;
+          case ir::BinaryOp::Min: op = Inst::Op::Min; break;
+          case ir::BinaryOp::Max: op = Inst::Op::Max; break;
+        }
+        lp.insts.push_back(Inst{op, 0});
+        --depth;
+        return;
+      }
+    }
+    SPMD_UNREACHABLE("bad ExprNode kind");
+  }
+
+  std::int32_t addTape(const ir::Expr& e) {
+    Tape t;
+    t.first = static_cast<std::uint32_t>(lp.insts.size());
+    std::uint32_t depth = 0;
+    std::uint32_t maxDepth = 0;
+    emitExpr(e, depth, maxDepth);
+    t.count = static_cast<std::uint32_t>(lp.insts.size()) - t.first;
+    t.maxDepth = maxDepth;
+    lp.maxStack = std::max(lp.maxStack, maxDepth);
+    lp.tapes.push_back(t);
+    return static_cast<std::int32_t>(lp.tapes.size() - 1);
+  }
+
+  // --- partition classification -------------------------------------------
+
+  std::int32_t addOwner(const ir::Stmt* loopStmt) {
+    OwnerTemplate ot;
+    const ir::Loop& l = loopStmt->loop();
+    bool ownerComputes = true;
+    if (auto part = decomp->loopPartition(loopStmt)) {
+      switch (part->kind) {
+        case part::LoopPartition::Kind::BlockRange:
+          ot.kind = OwnerTemplate::Kind::BlockAligned;
+          ownerComputes = false;
+          break;
+        case part::LoopPartition::Kind::CyclicRange:
+          ot.kind = OwnerTemplate::Kind::CyclicAligned;
+          ownerComputes = false;
+          break;
+        case part::LoopPartition::Kind::OwnerComputes:
+          break;
+      }
+    }
+    if (ownerComputes) {
+      ot.kind = OwnerTemplate::Kind::FallbackBlock;
+      if (const ir::Stmt* ref = comm::partitionReference(loopStmt)) {
+        const ir::ArrayAssign& assign = ref->arrayAssign();
+        const part::ArrayDist& d = decomp->dist(assign.array);
+        if (d.kind != part::DistKind::Replicated) {
+          const poly::LinExpr& sub =
+              assign.subscripts[static_cast<std::size_t>(d.dim)];
+          ot.array = assign.array.index;
+          bool unit = sub.coef(l.index) == 1 &&
+                      (d.kind == part::DistKind::Block ||
+                       d.kind == part::DistKind::Cyclic);
+          if (unit) {
+            poly::LinExpr rest = sub;
+            rest.setCoef(l.index, 0);
+            ot.kind = d.kind == part::DistKind::Block
+                          ? OwnerTemplate::Kind::OwnerUnitBlock
+                          : OwnerTemplate::Kind::OwnerUnitCyclic;
+            ot.cellForm = addForm(rest);
+          } else {
+            ot.kind = OwnerTemplate::Kind::PerIteration;
+            ot.cellForm = addForm(sub);
+          }
+        }
+      }
+    }
+    lp.owners.push_back(ot);
+    return static_cast<std::int32_t>(lp.owners.size() - 1);
+  }
+
+  void collectReductions(const ir::Stmt* stmt,
+                         std::vector<ReductionTarget>& out) {
+    switch (stmt->kind()) {
+      case ir::Stmt::Kind::ScalarAssign:
+        if (stmt->scalarAssign().reduction != ir::ReductionOp::None)
+          out.push_back(ReductionTarget{stmt->scalarAssign().scalar.index,
+                                        stmt->scalarAssign().reduction});
+        return;
+      case ir::Stmt::Kind::ArrayAssign:
+        return;
+      case ir::Stmt::Kind::Loop:
+        for (const ir::StmtPtr& child : stmt->loop().body)
+          collectReductions(child.get(), out);
+        return;
+    }
+    SPMD_UNREACHABLE("bad Stmt kind");
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  LoweredStmt lowerStmt(const ir::Stmt* s) {
+    LoweredStmt ls;
+    switch (s->kind()) {
+      case ir::Stmt::Kind::ArrayAssign: {
+        const ir::ArrayAssign& a = s->arrayAssign();
+        ls.kind = LoweredStmt::Kind::ArrayAssign;
+        ls.reduction = a.reduction;
+        ls.access = addAccess(a.array, a.subscripts);
+        ls.tape = addTape(a.rhs);
+        const part::ArrayDist& d = decomp->dist(a.array);
+        if (d.kind != part::DistKind::Replicated)
+          ls.guardCell =
+              addForm(a.subscripts[static_cast<std::size_t>(d.dim)]);
+        return ls;
+      }
+      case ir::Stmt::Kind::ScalarAssign: {
+        const ir::ScalarAssign& sa = s->scalarAssign();
+        ls.kind = LoweredStmt::Kind::ScalarAssign;
+        ls.reduction = sa.reduction;
+        ls.scalar = sa.scalar.index;
+        ls.tape = addTape(sa.rhs);
+        return ls;
+      }
+      case ir::Stmt::Kind::Loop: {
+        const ir::Loop& l = s->loop();
+        ls.kind = LoweredStmt::Kind::Loop;
+        ls.var = l.index.index;
+        ls.lower = addForm(l.lower);
+        ls.upper = addForm(l.upper);
+        ls.step = l.step;
+        ls.parallel = l.parallel;
+        if (l.parallel) {
+          ls.owner = addOwner(s);
+          for (const ir::StmtPtr& child : l.body)
+            collectReductions(child.get(), ls.reductions);
+        }
+        ls.body.reserve(l.body.size());
+        for (const ir::StmtPtr& child : l.body)
+          ls.body.push_back(lowerStmt(child.get()));
+        return ls;
+      }
+    }
+    SPMD_UNREACHABLE("bad Stmt kind");
+  }
+
+  // --- regions -------------------------------------------------------------
+
+  /// Mirrors SpmdExecutor::assignSyncIds: counter ids in pre-order, afters
+  /// before back edges before children.
+  LoweredNode lowerNode(const RegionNode& n, int& next) {
+    LoweredNode out;
+    out.kind = n.kind;
+    out.after = n.after;
+    out.backEdge = n.backEdge;
+    if (out.after.kind == SyncPoint::Kind::Counter) out.after.id = next++;
+    if (n.kind == NodeKind::SeqLoop) {
+      if (out.backEdge.kind == SyncPoint::Kind::Counter)
+        out.backEdge.id = next++;
+      const ir::Loop& l = n.stmt->loop();
+      out.stmt.kind = LoweredStmt::Kind::Loop;
+      out.stmt.var = l.index.index;
+      out.stmt.lower = addForm(l.lower);
+      out.stmt.upper = addForm(l.upper);
+      out.stmt.step = l.step;
+      out.body.reserve(n.body.size());
+      for (const RegionNode& child : n.body)
+        out.body.push_back(lowerNode(child, next));
+    } else {
+      out.stmt = lowerStmt(n.stmt);
+    }
+    return out;
+  }
+
+  /// Mirrors the interpreter's annotateElidableBackEdges exactly.
+  void annotateElidable(std::vector<LoweredNode>& nodes,
+                        bool followedByBarrier) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      LoweredNode& node = nodes[i];
+      bool follow = (i + 1 < nodes.size())
+                        ? nodes[i].after.kind == SyncPoint::Kind::Barrier
+                        : followedByBarrier;
+      if (node.kind == NodeKind::SeqLoop) {
+        node.elideLastBackEdgeBarrier =
+            node.backEdge.kind == SyncPoint::Kind::Barrier && follow;
+        annotateElidable(node.body,
+                         node.backEdge.kind == SyncPoint::Kind::Barrier);
+      }
+    }
+  }
+
+  /// Mirrors SpmdExecutor::collectRegionScalars.
+  void collectScalars(const core::SpmdRegion& region, LoweredItem& item) {
+    std::vector<bool> isWritten(prog->scalars().size(), false);
+    std::vector<bool> isShared(prog->scalars().size(), false);
+    for (const RegionNode& node : region.nodes) {
+      analysis::AccessSet acc = analysis::collectAccesses(*node.stmt);
+      for (const analysis::ScalarAccess& w : acc.scalars) {
+        if (!w.isWrite) continue;
+        isWritten[static_cast<std::size_t>(w.scalar.index)] = true;
+        if (core::classifyScalarDef(w) != core::ScalarDefKind::Private)
+          isShared[static_cast<std::size_t>(w.scalar.index)] = true;
+      }
+    }
+    for (std::size_t s = 0; s < isWritten.size(); ++s) {
+      if (isWritten[s])
+        item.writtenScalars.push_back(static_cast<std::int32_t>(s));
+      if (isShared[s])
+        item.sharedCanonical.push_back(static_cast<std::int32_t>(s));
+    }
+  }
+};
+
+}  // namespace
+
+LoweredProgram lowerProgram(const ir::Program& prog,
+                            const part::Decomposition& decomp,
+                            const core::RegionProgram* plan) {
+  Lowerer lo{&prog, &decomp, {}};
+  lo.lp.prog = &prog;
+  lo.lp.decomp = &decomp;
+  lo.lp.frameSize = static_cast<std::int32_t>(prog.space()->size());
+
+  for (const ir::StmtPtr& s : prog.topLevel())
+    lo.lp.forkJoinTop.push_back(lo.lowerStmt(s.get()));
+
+  if (plan != nullptr) {
+    lo.lp.hasRegions = true;
+    lo.lp.items.reserve(plan->items.size());
+    for (const core::RegionProgram::Item& item : plan->items) {
+      LoweredItem li;
+      if (!item.isRegion()) {
+        li.sequential = lo.lowerStmt(item.sequential);
+      } else {
+        li.isRegion = true;
+        int next = 0;
+        li.nodes.reserve(item.region->nodes.size());
+        for (const RegionNode& n : item.region->nodes)
+          li.nodes.push_back(lo.lowerNode(n, next));
+        li.syncCount = next;
+        lo.lp.maxSyncs = std::max(lo.lp.maxSyncs, next);
+        lo.annotateElidable(li.nodes, /*followedByBarrier=*/true);
+        lo.collectScalars(*item.region, li);
+      }
+      lo.lp.items.push_back(std::move(li));
+    }
+  }
+  return std::move(lo.lp);
+}
+
+}  // namespace spmd::exec

@@ -1,0 +1,76 @@
+// Closed-form owned iteration ranges.
+//
+// The interpreter decides ownership by evaluating cg::iterationOwner for
+// every iteration of every parallel loop — an O(trip count) stream of
+// divisions and clamps per processor per loop execution.  For the common
+// partition shapes that test is invertible: the set of iterations a
+// processor owns is a single contiguous interval (block partitions) or a
+// single stride-P progression (cyclic partitions), computable in O(1) from
+// the loop bounds.  The functions here produce those ranges; each one's
+// membership must match the corresponding ownership test exactly —
+// lowered_exec_test pins them against cg::iterationOwner, including the
+// edge cases (empty ranges, more processors than iterations, negative
+// lower bounds).
+#pragma once
+
+#include <algorithm>
+
+#include "support/checked_int.h"
+
+namespace spmd::exec {
+
+/// Iterations `begin, begin + step, ...` up to and including `end`
+/// (empty when begin > end).
+struct IterRange {
+  i64 begin = 0;
+  i64 end = -1;
+  i64 step = 1;
+
+  bool empty() const { return begin > end; }
+};
+
+inline IterRange emptyRange() { return IterRange{0, -1, 1}; }
+
+/// Owned range under clamped block ownership of `i + c0`:
+///   owner(i) = clamp(floorDiv(i + c0, block), 0, nprocs - 1).
+/// Covers BlockRange loop partitions (c0 = 0, template-aligned) and
+/// owner-computes over a Block distribution with a unit loop-index
+/// coefficient (c0 = subscript rest - alignOffset).  The clamp means
+/// processor 0 additionally owns everything left of its block and the last
+/// processor everything right of its block.
+inline IterRange ownedBlockUnit(i64 lb, i64 ub, i64 c0, i64 block, int tid,
+                                int nprocs) {
+  i64 begin = lb;
+  i64 end = ub;
+  if (tid > 0) begin = std::max(begin, tid * block - c0);
+  if (tid < nprocs - 1) end = std::min(end, (tid + 1) * block - 1 - c0);
+  return IterRange{begin, end, 1};
+}
+
+/// Owned range under cyclic ownership of `i + c0`:
+///   owner(i) = mod(i + c0, nprocs)   (mathematical mod, always >= 0).
+/// Covers CyclicRange loop partitions (c0 = -lb) and owner-computes over a
+/// Cyclic distribution with a unit loop-index coefficient.
+inline IterRange ownedCyclicUnit(i64 lb, i64 ub, i64 c0, int tid,
+                                 int nprocs) {
+  const i64 P = nprocs;
+  i64 rem = (lb + c0) % P;
+  if (rem < 0) rem += P;
+  i64 delta = tid - rem;
+  if (delta < 0) delta += P;
+  return IterRange{lb + delta, ub, P};
+}
+
+/// Owned range under the fallback partition (no loop partition, no usable
+/// partition reference): the iteration span itself is block-distributed,
+///   owner(i) = min(floorDiv(i - lb, ceilDiv(span, nprocs)), nprocs - 1).
+inline IterRange ownedFallbackBlock(i64 lb, i64 ub, int tid, int nprocs) {
+  i64 span = ub - lb + 1;
+  if (span <= 0) return emptyRange();
+  i64 block = ceilDiv(span, nprocs);
+  i64 begin = lb + tid * block;
+  i64 end = (tid == nprocs - 1) ? ub : std::min(ub, lb + (tid + 1) * block - 1);
+  return IterRange{begin, end, 1};
+}
+
+}  // namespace spmd::exec

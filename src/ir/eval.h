@@ -49,6 +49,11 @@ class Store {
     return scalars_[static_cast<std::size_t>(s.index)];
   }
 
+  /// Flat scalar table (one slot per program scalar, by ScalarId index);
+  /// the lowered engine snapshots and publishes through this.
+  double* scalarData() { return scalars_.data(); }
+  const double* scalarData() const { return scalars_.data(); }
+
   /// Row-major flat offset with per-dimension bounds checks.
   std::size_t flatten(ArrayId a, const std::vector<i64>& subs) const;
 

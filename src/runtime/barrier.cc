@@ -2,29 +2,30 @@
 
 namespace spmd::rt {
 
-void CentralBarrier::arrive(int tid, const std::function<void()>* serial) {
+void CentralBarrier::arrive(int tid, FunctionRef<void()> serial) {
   (void)tid;
   std::uint64_t mySense = sense_.load(std::memory_order_relaxed) + 1;
   if (count_.fetch_add(1, std::memory_order_acq_rel) == parties_ - 1) {
     // Last arrival: serial section, then reset and release.
-    if (serial != nullptr) (*serial)();
+    if (serial) serial();
     count_.store(0, std::memory_order_relaxed);
     sense_.store(mySense, std::memory_order_release);
   } else {
     spinWait([&] {
       return sense_.load(std::memory_order_acquire) >= mySense;
-    });
+    }, spin_);
   }
 }
 
-TreeBarrier::TreeBarrier(int parties) : parties_(parties) {
+TreeBarrier::TreeBarrier(int parties, SpinPolicy spin)
+    : parties_(parties), spin_(spin) {
   SPMD_CHECK(parties >= 1, "barrier needs at least one party");
   arrived_ = std::vector<PaddedAtomicU64>(static_cast<std::size_t>(parties));
   release_ = std::vector<PaddedAtomicU64>(static_cast<std::size_t>(parties));
   localEpoch_.assign(static_cast<std::size_t>(parties), 0);
 }
 
-void TreeBarrier::arrive(int tid, const std::function<void()>* serial) {
+void TreeBarrier::arrive(int tid, FunctionRef<void()> serial) {
   // Tournament tree over thread ids: thread t waits for children 2t+1 and
   // 2t+2, signals parent (t-1)/2; thread 0 is the root and releases.
   std::uint64_t epoch = ++localEpoch_[static_cast<std::size_t>(tid)];
@@ -34,22 +35,22 @@ void TreeBarrier::arrive(int tid, const std::function<void()>* serial) {
     spinWait([&] {
       return arrived_[static_cast<std::size_t>(left)].value.load(
                  std::memory_order_acquire) >= epoch;
-    });
+    }, spin_);
   if (right < parties_)
     spinWait([&] {
       return arrived_[static_cast<std::size_t>(right)].value.load(
                  std::memory_order_acquire) >= epoch;
-    });
+    }, spin_);
   if (tid != 0) {
     arrived_[static_cast<std::size_t>(tid)].value.store(
         epoch, std::memory_order_release);
     spinWait([&] {
       return release_[static_cast<std::size_t>(tid)].value.load(
                  std::memory_order_acquire) >= epoch;
-    });
-  } else if (serial != nullptr) {
+    }, spin_);
+  } else if (serial) {
     // Root: every thread has arrived, none is released yet.
-    (*serial)();
+    serial();
   }
   // Release children.
   if (left < parties_)

@@ -11,12 +11,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <thread>
 #include <vector>
 
 #include "runtime/sync_primitive.h"
 #include "support/diag.h"
+#include "support/function_ref.h"
 
 namespace spmd::rt {
 
@@ -25,38 +25,82 @@ struct alignas(64) PaddedAtomicU64 {
   std::atomic<std::uint64_t> value{0};
 };
 
+/// One CPU relaxation hint (x86 `pause`, aarch64 `yield`); a plain
+/// compiler barrier elsewhere so the spin loop is never optimized into a
+/// pure load loop.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 /// Bounded spin-then-yield wait loop shared by all synchronization
 /// primitives (oversubscribed hosts need the yield to make progress).
 /// Takes the predicate as a template parameter so the hot spin loop calls
 /// it directly — a std::function here would add a type-erased indirect
 /// call (and a possible allocation at every wait site) on the
 /// synchronization fast path.
+///
+/// The policy controls how aggressively the waiter hammers the watched
+/// cache line (see SpinPolicy in sync_primitive.h):
+///   * Pause   — fixed-rate pause loop, yield every 64th check.
+///   * Backoff — exponentially growing pause bursts (1, 2, 4, ... up to
+///     1024 relax hints between predicate checks), then a yield per
+///     round once saturated.  Re-checking less often keeps the watched
+///     line in the owner's cache (fewer coherence misses on its writer)
+///     and frees the core under oversubscription.
+///   * Yield   — yield between every check (heavily oversubscribed hosts).
 template <class Pred>
-inline void spinWait(Pred&& done) {
-  int spins = 0;
-  while (!done()) {
-    if (++spins < 64) {
-#if defined(__x86_64__) || defined(__i386__)
-      __builtin_ia32_pause();
-#endif
-    } else {
-      std::this_thread::yield();
-      spins = 0;
+inline void spinWait(Pred&& done, SpinPolicy policy = SpinPolicy::Backoff) {
+  switch (policy) {
+    case SpinPolicy::Pause: {
+      int spins = 0;
+      while (!done()) {
+        if (++spins < 64) {
+          cpuRelax();
+        } else {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      return;
+    }
+    case SpinPolicy::Backoff: {
+      std::uint32_t burst = 1;
+      while (!done()) {
+        for (std::uint32_t k = 0; k < burst; ++k) cpuRelax();
+        if (burst < 1024) {
+          burst <<= 1;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      return;
+    }
+    case SpinPolicy::Yield: {
+      while (!done()) std::this_thread::yield();
+      return;
     }
   }
+  SPMD_UNREACHABLE("bad SpinPolicy");
 }
 
 class Barrier : public SyncPrimitive {
  public:
   /// Blocks until all `parties` threads arrive.  Thread ids in [0, parties).
   ///
-  /// If `serial` is non-null, the releasing thread runs `*serial` exactly
-  /// once per episode, after every thread has arrived and before any is
+  /// If `serial` is non-empty, the releasing thread runs it exactly once
+  /// per episode, after every thread has arrived and before any is
   /// released — a serial section usable for publishing reduction results
   /// and master-produced scalars race-free (every thread should pass an
-  /// equivalent callback; which one runs is unspecified).
-  virtual void arrive(int tid, const std::function<void()>* serial) = 0;
-  void arrive(int tid) { arrive(tid, nullptr); }
+  /// equivalent callback; which one runs is unspecified).  The callable is
+  /// taken by FunctionRef: no allocation on the synchronization path.
+  virtual void arrive(int tid, FunctionRef<void()> serial) = 0;
+  void arrive(int tid) { arrive(tid, FunctionRef<void()>()); }
 
   Kind kind() const final { return Kind::Barrier; }
 };
@@ -64,17 +108,20 @@ class Barrier : public SyncPrimitive {
 /// Sense-reversing centralized barrier.
 class CentralBarrier final : public Barrier {
  public:
-  explicit CentralBarrier(int parties) : parties_(parties) {
+  explicit CentralBarrier(int parties,
+                          SpinPolicy spin = SpinPolicy::Backoff)
+      : parties_(parties), spin_(spin) {
     SPMD_CHECK(parties >= 1, "barrier needs at least one party");
   }
 
   using Barrier::arrive;
-  void arrive(int tid, const std::function<void()>* serial) override;
+  void arrive(int tid, FunctionRef<void()> serial) override;
   int parties() const override { return parties_; }
   std::string name() const override { return "central-barrier"; }
 
  private:
   int parties_;
+  SpinPolicy spin_;
   std::atomic<int> count_{0};
   // Episode number doubles as the "sense": arrivals compute their target
   // episode from the current value, so no per-thread state is needed.
@@ -85,15 +132,16 @@ class CentralBarrier final : public Barrier {
 /// tournament tree, release fans out down.
 class TreeBarrier final : public Barrier {
  public:
-  explicit TreeBarrier(int parties);
+  explicit TreeBarrier(int parties, SpinPolicy spin = SpinPolicy::Backoff);
 
   using Barrier::arrive;
-  void arrive(int tid, const std::function<void()>* serial) override;
+  void arrive(int tid, FunctionRef<void()> serial) override;
   int parties() const override { return parties_; }
   std::string name() const override { return "tree-barrier"; }
 
  private:
   int parties_;
+  SpinPolicy spin_;
   // childDone_[node] counts arrived children; release epoch fans out.
   std::vector<PaddedAtomicU64> arrived_;
   std::vector<PaddedAtomicU64> release_;

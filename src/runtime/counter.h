@@ -15,8 +15,8 @@ namespace spmd::rt {
 
 class CounterSync final : public SyncPrimitive {
  public:
-  explicit CounterSync(int parties)
-      : slots_(static_cast<std::size_t>(parties)) {
+  explicit CounterSync(int parties, SpinPolicy spin = SpinPolicy::Backoff)
+      : slots_(static_cast<std::size_t>(parties)), spin_(spin) {
     SPMD_CHECK(parties >= 1, "counter needs at least one party");
   }
 
@@ -35,7 +35,7 @@ class CounterSync final : public SyncPrimitive {
     const auto& slot = slots_[static_cast<std::size_t>(producer)].value;
     spinWait([&] {
       return slot.load(std::memory_order_acquire) >= occurrence;
-    });
+    }, spin_);
   }
 
   /// Resets all slots (between region executions; caller must ensure no
@@ -46,6 +46,7 @@ class CounterSync final : public SyncPrimitive {
 
  private:
   std::vector<PaddedAtomicU64> slots_;
+  SpinPolicy spin_;
 };
 
 }  // namespace spmd::rt

@@ -25,13 +25,32 @@ const char* barrierAlgorithmName(BarrierAlgorithm algorithm) {
   return "?";
 }
 
+const char* spinPolicyName(SpinPolicy policy) {
+  switch (policy) {
+    case SpinPolicy::Pause:
+      return "pause";
+    case SpinPolicy::Backoff:
+      return "backoff";
+    case SpinPolicy::Yield:
+      return "yield";
+  }
+  return "?";
+}
+
+std::optional<SpinPolicy> parseSpinPolicy(const std::string& text) {
+  if (text == "pause") return SpinPolicy::Pause;
+  if (text == "backoff") return SpinPolicy::Backoff;
+  if (text == "yield") return SpinPolicy::Yield;
+  return std::nullopt;
+}
+
 std::unique_ptr<Barrier> makeBarrier(int parties,
                                      const SyncPrimitiveOptions& options) {
   switch (options.barrierAlgorithm) {
     case BarrierAlgorithm::Central:
-      return std::make_unique<CentralBarrier>(parties);
+      return std::make_unique<CentralBarrier>(parties, options.spinPolicy);
     case BarrierAlgorithm::Tree:
-      return std::make_unique<TreeBarrier>(parties);
+      return std::make_unique<TreeBarrier>(parties, options.spinPolicy);
   }
   SPMD_UNREACHABLE("bad BarrierAlgorithm");
 }
@@ -43,7 +62,7 @@ std::unique_ptr<SyncPrimitive> makeSyncPrimitive(
     case SyncPrimitive::Kind::Barrier:
       return makeBarrier(parties, options);
     case SyncPrimitive::Kind::Counter:
-      return std::make_unique<CounterSync>(parties);
+      return std::make_unique<CounterSync>(parties, options.spinPolicy);
   }
   SPMD_UNREACHABLE("bad SyncPrimitive::Kind");
 }

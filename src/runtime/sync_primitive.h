@@ -10,7 +10,9 @@
 // the factory, not the execution engine.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "support/diag.h"
@@ -19,6 +21,21 @@ namespace spmd::rt {
 
 class Barrier;
 class CounterSync;
+
+/// How a waiter behaves while its condition is false (see rt::spinWait).
+/// Backoff is the default: exponentially growing pause bursts keep the
+/// watched cache line out of the coherence crossfire and stop starving
+/// the producer when threads outnumber cores.
+enum class SpinPolicy : std::uint8_t {
+  Pause,    ///< fixed-rate pause loop, yield every 64th check
+  Backoff,  ///< exponential pause backoff, then yield once saturated
+  Yield,    ///< yield between every check (heavy oversubscription)
+};
+
+const char* spinPolicyName(SpinPolicy policy);
+
+/// Parses "pause" / "backoff" / "yield" (the --spin= flag values).
+std::optional<SpinPolicy> parseSpinPolicy(const std::string& text);
 
 class SyncPrimitive {
  public:
@@ -56,6 +73,7 @@ const char* barrierAlgorithmName(BarrierAlgorithm algorithm);
 /// executor to the factory.
 struct SyncPrimitiveOptions {
   BarrierAlgorithm barrierAlgorithm = BarrierAlgorithm::Central;
+  SpinPolicy spinPolicy = SpinPolicy::Backoff;
 };
 
 /// The factory: maps a plan-level sync kind + options to a concrete

@@ -1,0 +1,50 @@
+// A non-owning, non-allocating callable reference.
+//
+// The barrier serial section runs once per episode on the synchronization
+// fast path; wrapping it in std::function would heap-allocate (or at best
+// copy into SBO storage) at every arrive() call site.  FunctionRef erases
+// the callable to one data pointer plus one function pointer: cheap to
+// construct, trivially copyable, and safe as long as the referenced
+// callable outlives the call — which a barrier arrival guarantees, since
+// the caller blocks inside arrive() for the whole episode.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace spmd {
+
+template <class Sig>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Empty reference; callable() is false and operator() must not be used.
+  FunctionRef() = default;
+
+  /// Binds any callable lvalue.  Rvalues are accepted too (the temporary
+  /// outlives a full-expression call like `barrier.arrive(0, [...]{})`),
+  /// but storing such a reference past the statement is undefined.
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace spmd

@@ -29,6 +29,10 @@
 //     --run                 execute base + optimized, print sync counts
 //     --verify              also check results against the sequential executor
 //     --tree-barrier        use the combining-tree barrier
+//     --spin=POLICY         spin-wait policy: pause | backoff | yield
+//                           (default backoff)
+//     --engine=ENGINE       execution engine: lowered | interpreted
+//                           (default lowered)
 //     --version
 //     --help
 #include <algorithm>
@@ -61,6 +65,8 @@ struct Options {
   bool run = false;
   bool verify = false;
   bool treeBarrier = false;
+  spmd::rt::SpinPolicy spin = spmd::rt::SpinPolicy::Backoff;
+  spmd::cg::EngineKind engine = spmd::cg::EngineKind::Lowered;
   std::vector<std::string> files;
   std::vector<std::pair<std::string, spmd::i64>> binds;
 };
@@ -69,8 +75,9 @@ void usage(std::ostream& os) {
   os << "usage: spmdopt [--procs=P] [--bind NAME=V]... "
         "[--mode=full|nocounters|deponly|barriers] [--analysis-threads=K] "
         "[--jobs=J] [--no-analysis-cache] [--report] [--report-json] "
-        "[--emit] [--run] [--verify] [--tree-barrier] [--version] "
-        "[file...]\n";
+        "[--emit] [--run] [--verify] [--tree-barrier] "
+        "[--spin=pause|backoff|yield] [--engine=lowered|interpreted] "
+        "[--version] [file...]\n";
 }
 
 /// Strict integer parse: the whole string must be a number in range.
@@ -170,6 +177,25 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       opts.run = true;
     } else if (arg == "--tree-barrier") {
       opts.treeBarrier = true;
+    } else if (auto v = valueOf("--spin=")) {
+      std::optional<spmd::rt::SpinPolicy> policy =
+          spmd::rt::parseSpinPolicy(*v);
+      if (!policy.has_value()) {
+        std::cerr << "error: unknown --spin=" << *v
+                  << " (expected pause, backoff, or yield)\n";
+        return false;
+      }
+      opts.spin = *policy;
+    } else if (auto v = valueOf("--engine=")) {
+      if (*v == "lowered") {
+        opts.engine = spmd::cg::EngineKind::Lowered;
+      } else if (*v == "interpreted") {
+        opts.engine = spmd::cg::EngineKind::Interpreted;
+      } else {
+        std::cerr << "error: unknown --engine=" << *v
+                  << " (expected lowered or interpreted)\n";
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "error: unknown option: " << arg << "\n";
       return false;
@@ -257,6 +283,8 @@ int processSource(const std::string& source, const std::string& label,
       request.exec.sync.barrierAlgorithm = opts.treeBarrier
                                                ? rt::BarrierAlgorithm::Tree
                                                : rt::BarrierAlgorithm::Central;
+      request.exec.sync.spinPolicy = opts.spin;
+      request.exec.engine = opts.engine;
       request.reference = opts.verify;
       driver::RunComparison run = driver::runComparison(compilation, request);
 
