@@ -20,10 +20,17 @@
 //        "threads", "n", "t",
 //        "interpreted_s", "lowered_s",        // best-of-reps wall clock
 //        "speedup",                           // interpreted_s / lowered_s
+//        "traced_s",                          // lowered engine, tracing on
+//        "trace_overhead",                    // traced_s / lowered_s
+//        "trace_counts_match", "trace_store_match",
 //        "sync": {"barriers", "broadcasts", "posts", "waits"},
 //        "counts_match", "fingerprint_match", "max_abs_diff"
 //     } ]
 //   }
+//
+// The traced configuration re-runs the lowered engine with an
+// obs::Tracer attached; besides the overhead ratio it checks the
+// observation-only contract (same SyncCounts, same stores as untraced).
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -35,6 +42,7 @@
 #include "codegen/spmd_executor.h"
 #include "core/optimizer.h"
 #include "kernels/kernels.h"
+#include "obs/trace.h"
 #include "runtime/team.h"
 #include "support/json.h"
 #include "support/text_table.h"
@@ -67,13 +75,23 @@ struct ConfigResult {
   std::string kernel, family, mode;
   int threads = 0;
   i64 n = 0, t = 0;
-  double interpretedS = 0.0, loweredS = 0.0;
+  double interpretedS = 0.0, loweredS = 0.0, tracedS = 0.0;
   rt::SyncCounts counts;        // lowered run (must equal interpreted)
   bool countsMatch = false;
   bool fingerprintMatch = false;
   double maxAbsDiff = 0.0;
-  bool ok() const { return countsMatch && fingerprintMatch; }
+  bool traceCountsMatch = false;  // traced lowered vs untraced lowered
+  bool traceStoreMatch = false;
+  bool ok() const {
+    return countsMatch && fingerprintMatch && traceCountsMatch &&
+           traceStoreMatch;
+  }
 };
+
+bool sameCounts(const rt::SyncCounts& a, const rt::SyncCounts& b) {
+  return a.barriers == b.barriers && a.broadcasts == b.broadcasts &&
+         a.counterPosts == b.counterPosts && a.counterWaits == b.counterWaits;
+}
 
 struct EngineRun {
   double seconds = 0.0;  // best of `reps` timed runs
@@ -84,10 +102,12 @@ struct EngineRun {
 EngineRun measure(const kernels::KernelSpec& spec,
                   const core::RegionProgram* plan,
                   const ir::SymbolBindings& symbols, int threads,
-                  cg::EngineKind engine, int reps) {
+                  cg::EngineKind engine, int reps,
+                  obs::Tracer* tracer = nullptr) {
   rt::ThreadTeam team(threads);
   cg::ExecOptions options;
   options.engine = engine;
+  options.trace = tracer;
   cg::SpmdExecutor exec(*spec.program, *spec.decomp, team, options);
   auto runOnce = [&](ir::Store& store) {
     return plan != nullptr ? exec.runRegions(*plan, store)
@@ -103,6 +123,7 @@ EngineRun measure(const kernels::KernelSpec& spec,
   out.seconds = 1e300;
   for (int r = 0; r < reps; ++r) {
     ir::Store store(*spec.program, symbols);
+    if (tracer != nullptr) tracer->clear();  // outside the timed window
     auto start = std::chrono::steady_clock::now();
     rt::SyncCounts counts = runOnce(store);
     double s = std::chrono::duration<double>(
@@ -160,6 +181,9 @@ int main(int argc, char** argv) {
                                    cg::EngineKind::Interpreted, reps);
         EngineRun lowered = measure(spec, planPtr, symbols, threads,
                                     cg::EngineKind::Lowered, reps);
+        obs::Tracer tracer(static_cast<std::size_t>(threads));
+        EngineRun traced = measure(spec, planPtr, symbols, threads,
+                                   cg::EngineKind::Lowered, reps, &tracer);
         ConfigResult r;
         r.kernel = spec.name;
         r.family = spec.family;
@@ -169,13 +193,9 @@ int main(int argc, char** argv) {
         r.t = t;
         r.interpretedS = interp.seconds;
         r.loweredS = lowered.seconds;
+        r.tracedS = traced.seconds;
         r.counts = lowered.counts;
-        r.countsMatch = interp.counts.barriers == lowered.counts.barriers &&
-                        interp.counts.broadcasts == lowered.counts.broadcasts &&
-                        interp.counts.counterPosts ==
-                            lowered.counts.counterPosts &&
-                        interp.counts.counterWaits ==
-                            lowered.counts.counterWaits;
+        r.countsMatch = sameCounts(interp.counts, lowered.counts);
         r.maxAbsDiff =
             ir::Store::maxAbsDifference(*interp.store, *lowered.store);
         r.fingerprintMatch =
@@ -183,10 +203,22 @@ int main(int argc, char** argv) {
                          : interp.store->fingerprint() ==
                                lowered.store->fingerprint() &&
                                r.maxAbsDiff == 0.0;
+        // Tracing is observation-only: the traced lowered run must match
+        // the untraced one exactly (up to FP reduction arrival order).
+        r.traceCountsMatch = sameCounts(traced.counts, lowered.counts);
+        const double traceDiff =
+            ir::Store::maxAbsDifference(*traced.store, *lowered.store);
+        r.traceStoreMatch =
+            hasReduction ? traceDiff <= tol
+                         : traced.store->fingerprint() ==
+                               lowered.store->fingerprint() &&
+                               traceDiff == 0.0;
         if (!r.ok()) {
           allOk = false;
           std::cerr << "DIVERGENCE: " << r.kernel << " " << r.mode << " P="
                     << threads << " counts_match=" << r.countsMatch
+                    << " trace_counts_match=" << r.traceCountsMatch
+                    << " trace_store_match=" << r.traceStoreMatch
                     << " max|diff|=" << r.maxAbsDiff << "\n";
         }
         results.push_back(std::move(r));
@@ -195,13 +227,15 @@ int main(int argc, char** argv) {
   }
 
   // Human-readable summary: single-thread speedups per kernel and mode.
-  TextTable table(
-      {"kernel", "family", "mode", "P", "interp s", "lowered s", "speedup"});
+  TextTable table({"kernel", "family", "mode", "P", "interp s", "lowered s",
+                   "speedup", "traced s", "trace ovh"});
   for (const ConfigResult& r : results) {
     if (r.threads != 1) continue;
     table.addRowValues(r.kernel, r.family, r.mode, r.threads,
                        fixed(r.interpretedS, 4), fixed(r.loweredS, 4),
-                       fixed(r.interpretedS / std::max(r.loweredS, 1e-9), 2));
+                       fixed(r.interpretedS / std::max(r.loweredS, 1e-9), 2),
+                       fixed(r.tracedS, 4),
+                       fixed(r.tracedS / std::max(r.loweredS, 1e-9), 2));
   }
   table.print(std::cout);
 
@@ -239,6 +273,10 @@ int main(int argc, char** argv) {
     json.field("counts_match", r.countsMatch);
     json.field("fingerprint_match", r.fingerprintMatch);
     json.field("max_abs_diff", r.maxAbsDiff);
+    json.field("traced_s", r.tracedS);
+    json.field("trace_overhead", r.tracedS / std::max(r.loweredS, 1e-12));
+    json.field("trace_counts_match", r.traceCountsMatch);
+    json.field("trace_store_match", r.traceStoreMatch);
     json.close();
   }
   json.close();

@@ -75,6 +75,13 @@ SpmdExecutor::SpmdExecutor(const ir::Program& prog,
                            const part::Decomposition& decomp,
                            rt::ThreadTeam& team, ExecOptions options)
     : prog_(&prog), decomp_(&decomp), team_(&team), options_(options) {
+  if (options_.trace != nullptr)
+    SPMD_CHECK(options_.trace->threads() >= team.size(),
+               "tracer covers fewer threads than the team");
+  // Fold the tracer into the sync options so every primitive the executor
+  // (or its lowered engine) creates through the factory is traced.
+  options_.sync.tracer = options_.trace;
+  team_->setTracer(options_.trace);
   barrier_ = rt::makeSyncPrimitive(rt::SyncPrimitive::Kind::Barrier,
                                    team.size(), options_.sync);
 }
@@ -347,15 +354,15 @@ void SpmdExecutor::execSync(const SyncPoint& point, RegionState& state,
       ++counts.counterPosts;
       const int P = team_->size();
       if (point.waitLeft && tid > 0) {
-        counter.wait(tid - 1, occ);
+        counter.wait(tid, tid - 1, occ);
         ++counts.counterWaits;
       }
       if (point.waitRight && tid < P - 1) {
-        counter.wait(tid + 1, occ);
+        counter.wait(tid, tid + 1, occ);
         ++counts.counterWaits;
       }
       if (point.waitMaster && tid != 0) {
-        counter.wait(0, occ);
+        counter.wait(tid, 0, occ);
         ++counts.counterWaits;
       }
       if (point.waitMaster && tid != 0) {
@@ -491,9 +498,12 @@ rt::SyncCounts SpmdExecutor::runRegionsInterpreted(
     RegionState state;
     state.region = &region;
     state.store = &store;
-    for (int c = 0; c < nSyncs; ++c)
+    for (int c = 0; c < nSyncs; ++c) {
+      rt::SyncPrimitiveOptions perSite = options_.sync;
+      perSite.traceSite = c;  // label events with the plan's sync id
       state.counters.push_back(rt::makeSyncPrimitive(
-          rt::SyncPrimitive::Kind::Counter, P, options_.sync));
+          rt::SyncPrimitive::Kind::Counter, P, perSite));
+    }
     state.occurrences.assign(
         static_cast<std::size_t>(P),
         std::vector<std::uint64_t>(static_cast<std::size_t>(nSyncs), 0));

@@ -47,6 +47,14 @@ struct ExecOptions {
   /// Execution engine.  Lowered is the default: identical semantics and
   /// sync counts to the interpreter, without its per-iteration costs.
   EngineKind engine = EngineKind::Lowered;
+
+  /// Sync-event tracer (null: tracing off).  When set, the executor
+  /// attaches it to every primitive it creates and to the team, so runs
+  /// record barrier wait/serial times, counter post/stall events, region
+  /// spans, and fork/join spans.  Must cover at least team.size() threads
+  /// and outlive the executor.  Tracing is observation-only: sync counts
+  /// and stores are unchanged.
+  obs::Tracer* trace = nullptr;
 };
 
 /// The processor that executes iteration `i` of a parallel loop under the

@@ -27,6 +27,15 @@ RunComparison runComparison(Compilation& compilation,
   const part::Decomposition& decomp = compilation.decomp();
   RunComparison out;
 
+  // Driver-owned tracer: one tracer serves both runs, cleared between
+  // them, so each variant's snapshot is self-contained.
+  cg::ExecOptions exec = request.exec;
+  std::optional<obs::Tracer> tracer;
+  if (request.trace && exec.trace == nullptr) {
+    tracer.emplace(request.threads, request.traceCapacity);
+    exec.trace = &*tracer;
+  }
+
   if (request.reference) {
     out.referenceStore.emplace(prog, request.symbols);
     out.seqSeconds = timeIf(request.timed, [&] {
@@ -38,14 +47,14 @@ RunComparison runComparison(Compilation& compilation,
   // LoweredExec artifact through one executor: the program is lowered
   // once per option set instead of once per run, and runRegions never
   // copies the region plan.
-  const bool lowered = request.exec.engine == cg::EngineKind::Lowered;
+  const bool lowered = exec.engine == cg::EngineKind::Lowered;
   std::optional<rt::ThreadTeam> team;
   std::optional<cg::SpmdExecutor> executor;
   const exec::LoweredProgram* loweredProg = nullptr;
   if (lowered && (request.runBase || request.runOptimized)) {
     loweredProg = compilation.loweredExec().program.get();
     team.emplace(request.threads);
-    executor.emplace(prog, decomp, *team, request.exec);
+    executor.emplace(prog, decomp, *team, exec);
   }
 
   if (request.runBase) {
@@ -55,7 +64,7 @@ RunComparison runComparison(Compilation& compilation,
         base.counts = executor->runForkJoinLowered(*loweredProg, base.store);
       } else {
         base = cg::runForkJoin(prog, decomp, request.symbols,
-                               request.threads, request.exec);
+                               request.threads, exec);
       }
     });
     out.baseCounts = base.counts;
@@ -63,6 +72,10 @@ RunComparison runComparison(Compilation& compilation,
     if (out.referenceStore.has_value())
       out.maxDiffBase =
           ir::Store::maxAbsDifference(*out.referenceStore, *out.baseStore);
+    if (tracer.has_value()) {
+      out.baseTrace.emplace(tracer->snapshot());
+      tracer->clear();
+    }
   }
 
   if (request.runOptimized) {
@@ -74,7 +87,7 @@ RunComparison runComparison(Compilation& compilation,
             executor->runRegionsLowered(*loweredProg, optimized.store);
       } else {
         optimized = cg::runRegions(prog, decomp, plan, request.symbols,
-                                   request.threads, request.exec);
+                                   request.threads, exec);
       }
     });
     out.optCounts = optimized.counts;
@@ -82,6 +95,10 @@ RunComparison runComparison(Compilation& compilation,
     if (out.referenceStore.has_value())
       out.maxDiffOpt =
           ir::Store::maxAbsDifference(*out.referenceStore, *out.optStore);
+    if (tracer.has_value()) {
+      out.optTrace.emplace(tracer->snapshot());
+      tracer->clear();
+    }
   }
 
   return out;

@@ -8,6 +8,7 @@
 #include "codegen/spmd_executor.h"
 #include "driver/compilation.h"
 #include "ir/seq_executor.h"
+#include "obs/trace.h"
 
 namespace spmd::driver {
 
@@ -19,6 +20,14 @@ struct RunRequest {
   bool runOptimized = true;   ///< execute the optimized region version
   bool reference = false;     ///< also run sequentially and diff both runs
   bool timed = false;         ///< fill the *Seconds fields
+
+  /// Record sync-event traces: the driver owns a tracer for the run and
+  /// fills RunComparison::baseTrace / optTrace.  Observation-only — counts
+  /// and stores are identical to an untraced run.  Ignored when
+  /// `exec.trace` is already set by the caller (the caller's tracer wins
+  /// and collects both runs' events itself).
+  bool trace = false;
+  std::size_t traceCapacity = std::size_t{1} << 16;  ///< events per thread
 };
 
 struct RunComparison {
@@ -35,6 +44,10 @@ struct RunComparison {
   double seqSeconds = 0.0;
   double baseSeconds = 0.0;
   double optSeconds = 0.0;
+
+  /// Per-run sync-event traces (filled when RunRequest::trace is set).
+  std::optional<obs::Trace> baseTrace;
+  std::optional<obs::Trace> optTrace;
 };
 
 /// Executes the requested variants of the session's program under its

@@ -33,7 +33,8 @@ const char* siteName(core::BoundaryRecord::Site site) {
 }  // namespace
 
 void writeCompilationReport(JsonWriter& json, Compilation& compilation,
-                            const std::string& file) {
+                            const std::string& file,
+                            const RunProfiles& profiles) {
   const SyncPlan& plan = compilation.syncPlan();
   const core::OptStats& stats = plan.stats;
 
@@ -90,14 +91,28 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
   }
   json.close();
 
+  if (profiles.base != nullptr || profiles.optimized != nullptr) {
+    json.field("profile").object();
+    if (profiles.base != nullptr) {
+      json.field("base");
+      obs::writeProfileJson(json, *profiles.base);
+    }
+    if (profiles.optimized != nullptr) {
+      json.field("optimized");
+      obs::writeProfileJson(json, *profiles.optimized);
+    }
+    json.close();
+  }
+
   json.close();  // root object
 }
 
 std::string compilationReportJson(Compilation& compilation,
-                                  const std::string& file) {
+                                  const std::string& file,
+                                  const RunProfiles& profiles) {
   std::ostringstream os;
   JsonWriter json(os);
-  writeCompilationReport(json, compilation, file);
+  writeCompilationReport(json, compilation, file, profiles);
   os << "\n";
   return os.str();
 }

@@ -6,18 +6,29 @@
 #include <string>
 
 #include "driver/compilation.h"
+#include "obs/profile.h"
 #include "support/json.h"
 
 namespace spmd::driver {
+
+/// Wait-time profiles from a traced run, attached to the report when the
+/// driver executed the program with tracing on (spmdopt --run --profile).
+/// Null members are omitted from the output.
+struct RunProfiles {
+  const obs::ProfileReport* base = nullptr;
+  const obs::ProfileReport* optimized = nullptr;
+};
 
 /// Writes one compilation's report as a JSON object on the writer (which
 /// may be positioned inside an enclosing array for multi-file runs).
 /// Pulls the syncPlan stage; `file` labels the input.
 void writeCompilationReport(JsonWriter& json, Compilation& compilation,
-                            const std::string& file);
+                            const std::string& file,
+                            const RunProfiles& profiles = RunProfiles());
 
 /// Convenience: a complete JSON document for a single compilation.
 std::string compilationReportJson(Compilation& compilation,
-                                  const std::string& file);
+                                  const std::string& file,
+                                  const RunProfiles& profiles = RunProfiles());
 
 }  // namespace spmd::driver

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "runtime/barrier.h"
 #include "runtime/counter.h"
 
@@ -42,6 +43,11 @@ std::size_t padToLine(std::size_t n, std::size_t elemSize) {
 Engine::Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
                rt::SyncPrimitiveOptions sync)
     : lp_(&lowered), team_(&team), sync_(sync) {
+  if (sync_.tracer != nullptr) {
+    SPMD_CHECK(sync_.tracer->threads() >= team.size(),
+               "tracer covers fewer threads than the team");
+    team_->setTracer(sync_.tracer);
+  }
   barrier_ = rt::makeSyncPrimitive(rt::SyncPrimitive::Kind::Barrier,
                                    team.size(), sync_);
   const std::size_t nScalars = lp_->prog->scalars().size();
@@ -415,15 +421,15 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
       ++ts.counts.counterPosts;
       const int P = team_->size();
       if (point.waitLeft && tid > 0) {
-        counter.wait(tid - 1, occ);
+        counter.wait(tid, tid - 1, occ);
         ++ts.counts.counterWaits;
       }
       if (point.waitRight && tid < P - 1) {
-        counter.wait(tid + 1, occ);
+        counter.wait(tid, tid + 1, occ);
         ++ts.counts.counterWaits;
       }
       if (point.waitMaster && tid != 0) {
-        counter.wait(0, occ);
+        counter.wait(tid, 0, occ);
         ++ts.counts.counterWaits;
         const double* src = store_->scalarData();
         for (std::int32_t s : item.sharedCanonical)
@@ -478,6 +484,8 @@ void Engine::execNodeSeq(const std::vector<LoweredNode>& nodes,
 }
 
 void Engine::execRegion(const LoweredItem& item, RegionRun& run, int tid) {
+  obs::Tracer* tracer = sync_.tracer;
+  const std::int64_t t0 = tracer ? tracer->now() : 0;
   ThreadState& ts = *states_[static_cast<std::size_t>(tid)];
   ts.scalarBase = ts.scalars.data();
   // Region-entry broadcast: snapshot the shared scalars privately.
@@ -485,6 +493,10 @@ void Engine::execRegion(const LoweredItem& item, RegionRun& run, int tid) {
   const double* src = store_->scalarData();
   for (std::size_t s = 0; s < n; ++s) ts.scalars[s] = src[s];
   execNodeSeq(item.nodes, item, run, tid, ts);
+  if (tracer)
+    tracer->record(tid, obs::EventKind::Region,
+                   static_cast<std::int32_t>(&item - lp_->items.data()), t0,
+                   tracer->now() - t0);
 }
 
 rt::SyncCounts Engine::runRegions(ir::Store& store) {
@@ -503,9 +515,12 @@ rt::SyncCounts Engine::runRegions(ir::Store& store) {
     }
     RegionRun run;
     run.counters.reserve(static_cast<std::size_t>(item.syncCount));
-    for (int c = 0; c < item.syncCount; ++c)
+    for (int c = 0; c < item.syncCount; ++c) {
+      rt::SyncPrimitiveOptions perSite = sync_;
+      perSite.traceSite = c;  // label events with the plan's sync id
       run.counters.push_back(rt::makeSyncPrimitive(
-          rt::SyncPrimitive::Kind::Counter, P, sync_));
+          rt::SyncPrimitive::Kind::Counter, P, perSite));
+    }
     for (auto& st : states_) {
       std::fill(st->occ.begin(), st->occ.end(), 0);
       st->counts = rt::SyncCounts{};
@@ -534,6 +549,10 @@ rt::SyncCounts Engine::runRegions(ir::Store& store) {
 void Engine::walkForkJoin(const LoweredStmt& s, rt::SyncCounts& counts) {
   ThreadState& master = *states_[0];
   if (s.kind == LoweredStmt::Kind::Loop && s.parallel) {
+    obs::Tracer* tracer = sync_.tracer;
+    // Label the fork span with its dynamic index (the broadcast ordinal).
+    const std::int32_t forkSite = static_cast<std::int32_t>(counts.broadcasts);
+    const std::int64_t f0 = tracer ? tracer->now() : 0;
     ++counts.broadcasts;  // fork
     // Snapshot shared scalars and the master's outer-loop bindings BEFORE
     // forking: workers copy from the snapshots, never from the master's
@@ -555,6 +574,9 @@ void Engine::walkForkJoin(const LoweredStmt& s, rt::SyncCounts& counts) {
     ++counts.barriers;  // join
     master.scalarBase = store_->scalarData();
     publishPending();
+    if (tracer)
+      tracer->record(0, obs::EventKind::Fork, forkSite, f0,
+                     tracer->now() - f0);
     return;
   }
   switch (s.kind) {

@@ -40,10 +40,17 @@ inline IterRange emptyRange() { return IterRange{0, -1, 1}; }
 /// processor everything right of its block.
 inline IterRange ownedBlockUnit(i64 lb, i64 ub, i64 c0, i64 block, int tid,
                                 int nprocs) {
+  // Checked arithmetic: `tid * block - c0` can exceed int64 for
+  // pathological bounds or alignment offsets, and a silently wrapped
+  // boundary would hand iterations to the wrong processor (a data race,
+  // not a crash).  Trap instead (spmd::Error).
   i64 begin = lb;
   i64 end = ub;
-  if (tid > 0) begin = std::max(begin, tid * block - c0);
-  if (tid < nprocs - 1) end = std::min(end, (tid + 1) * block - 1 - c0);
+  if (tid > 0)
+    begin = std::max(begin, subChecked(mulChecked(tid, block), c0));
+  if (tid < nprocs - 1)
+    end = std::min(
+        end, subChecked(subChecked(mulChecked(tid + 1, block), 1), c0));
   return IterRange{begin, end, 1};
 }
 
@@ -54,22 +61,28 @@ inline IterRange ownedBlockUnit(i64 lb, i64 ub, i64 c0, i64 block, int tid,
 inline IterRange ownedCyclicUnit(i64 lb, i64 ub, i64 c0, int tid,
                                  int nprocs) {
   const i64 P = nprocs;
-  i64 rem = (lb + c0) % P;
+  // `lb + c0` can overflow (c0 comes from evaluated subscript forms);
+  // compute it checked so near-INT64 bounds trap instead of wrapping into
+  // a wrong start processor.
+  i64 rem = addChecked(lb, c0) % P;
   if (rem < 0) rem += P;
   i64 delta = tid - rem;
   if (delta < 0) delta += P;
-  return IterRange{lb + delta, ub, P};
+  return IterRange{addChecked(lb, delta), ub, P};
 }
 
 /// Owned range under the fallback partition (no loop partition, no usable
 /// partition reference): the iteration span itself is block-distributed,
 ///   owner(i) = min(floorDiv(i - lb, ceilDiv(span, nprocs)), nprocs - 1).
 inline IterRange ownedFallbackBlock(i64 lb, i64 ub, int tid, int nprocs) {
-  i64 span = ub - lb + 1;
-  if (span <= 0) return emptyRange();
+  if (lb > ub) return emptyRange();
+  i64 span = addChecked(subChecked(ub, lb), 1);
   i64 block = ceilDiv(span, nprocs);
-  i64 begin = lb + tid * block;
-  i64 end = (tid == nprocs - 1) ? ub : std::min(ub, lb + (tid + 1) * block - 1);
+  i64 begin = addChecked(lb, mulChecked(tid, block));
+  i64 end = (tid == nprocs - 1)
+                ? ub
+                : std::min(ub, addChecked(lb, subChecked(
+                                              mulChecked(tid + 1, block), 1)));
   return IterRange{begin, end, 1};
 }
 

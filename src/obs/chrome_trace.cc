@@ -1,0 +1,68 @@
+#include "obs/chrome_trace.h"
+
+namespace spmd::obs {
+
+namespace {
+
+std::string eventName(const TraceEvent& e) {
+  std::string name = eventKindName(e.kind);
+  if (e.site >= 0) name += "#" + std::to_string(e.site);
+  return name;
+}
+
+}  // namespace
+
+void writeChromeTraceEvents(JsonWriter& json, const Trace& trace,
+                            const std::string& processName, int pid) {
+  json.object();
+  json.field("name", "process_name");
+  json.field("ph", "M");
+  json.field("pid", pid);
+  json.field("tid", 0);
+  json.field("args").object();
+  json.field("name", processName);
+  json.close();
+  json.close();
+
+  for (const ThreadTrace& t : trace.threads) {
+    for (const TraceEvent& e : t.events) {
+      json.object();
+      json.field("name", eventName(e));
+      json.field("cat", "sync");
+      json.field("pid", pid);
+      json.field("tid", static_cast<int>(e.tid));
+      // Trace-event timestamps are microseconds; fractional values keep
+      // the ns resolution.
+      json.field("ts", static_cast<double>(e.start) / 1000.0);
+      if (e.dur > 0) {
+        json.field("ph", "X");
+        json.field("dur", static_cast<double>(e.dur) / 1000.0);
+      } else {
+        json.field("ph", "i");
+        json.field("s", "t");
+      }
+      json.field("args").object();
+      json.field("site", e.site);
+      json.close();
+      json.close();
+    }
+  }
+}
+
+void writeChromeTrace(std::ostream& os,
+                      const std::vector<NamedTrace>& traces) {
+  JsonWriter json(os);
+  json.object();
+  json.field("displayTimeUnit", "ms");
+  json.field("traceEvents").array();
+  int pid = 0;
+  for (const NamedTrace& t : traces) {
+    if (t.trace == nullptr) continue;
+    writeChromeTraceEvents(json, *t.trace, t.name, pid++);
+  }
+  json.close();
+  json.close();
+  os << "\n";
+}
+
+}  // namespace spmd::obs

@@ -1,0 +1,33 @@
+// Chrome trace-event JSON export (the format Perfetto and chrome://tracing
+// load directly): every recorded sync event becomes a complete ("X") or
+// instant ("i") event on its thread's track, with one process per exported
+// trace so base and optimized runs sit side by side in the viewer.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/json.h"
+
+namespace spmd::obs {
+
+/// One trace to export, labelled with the process name it appears under
+/// in the viewer (e.g. "base", "optimized").
+struct NamedTrace {
+  const Trace* trace = nullptr;
+  std::string name;
+};
+
+/// Writes the events of one trace into an already-open "traceEvents"
+/// array, as process `pid` (a process_name metadata event is emitted
+/// first).
+void writeChromeTraceEvents(JsonWriter& json, const Trace& trace,
+                            const std::string& processName, int pid);
+
+/// Writes a complete Chrome trace-event JSON document containing every
+/// given trace as its own process.
+void writeChromeTrace(std::ostream& os, const std::vector<NamedTrace>& traces);
+
+}  // namespace spmd::obs

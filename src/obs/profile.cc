@@ -1,0 +1,191 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/text_table.h"
+
+namespace spmd::obs {
+
+int WaitHistogram::bucketOf(std::int64_t ns) {
+  if (ns <= 1) return 0;
+  int b = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(ns);
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return std::min(b, kBuckets - 1);
+}
+
+std::int64_t WaitHistogram::bucketLowNs(int bucket) {
+  return bucket <= 0 ? 0 : static_cast<std::int64_t>(1) << bucket;
+}
+
+void WaitHistogram::add(std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  ++buckets[static_cast<std::size_t>(bucketOf(ns))];
+  if (count == 0) {
+    minNs = maxNs = ns;
+  } else {
+    minNs = std::min(minNs, ns);
+    maxNs = std::max(maxNs, ns);
+  }
+  ++count;
+  totalNs += ns;
+}
+
+ProfileReport buildProfile(const Trace& trace) {
+  ProfileReport report;
+  auto siteFor = [&](EventKind kind, std::int32_t site) -> SyncSiteProfile& {
+    for (SyncSiteProfile& s : report.sites)
+      if (s.kind == kind && s.site == site) return s;
+    report.sites.push_back(SyncSiteProfile{kind, site, {}});
+    return report.sites.back();
+  };
+  auto regionFor = [&](std::int32_t site) -> RegionProfile& {
+    for (RegionProfile& r : report.regions)
+      if (r.site == site) return r;
+    report.regions.push_back(RegionProfile{site, 0, 0});
+    return report.regions.back();
+  };
+
+  for (const ThreadTrace& t : trace.threads) {
+    report.dropped += t.dropped;
+    for (const TraceEvent& e : t.events) {
+      ++report.events;
+      switch (e.kind) {
+        case EventKind::BarrierWait:
+          report.barrierWaitNs += e.dur;
+          siteFor(e.kind, e.site).wait.add(e.dur);
+          break;
+        case EventKind::BarrierSerial:
+          report.serialNs += e.dur;
+          siteFor(e.kind, e.site).wait.add(e.dur);
+          break;
+        case EventKind::CounterWait:
+          report.counterStallNs += e.dur;
+          siteFor(e.kind, e.site).wait.add(e.dur);
+          break;
+        case EventKind::CounterPost:
+        case EventKind::Broadcast:
+          siteFor(e.kind, e.site).wait.add(0);
+          break;
+        case EventKind::Join:
+        case EventKind::Fork:
+          siteFor(e.kind, e.site).wait.add(e.dur);
+          break;
+        case EventKind::Region: {
+          RegionProfile& r = regionFor(e.site);
+          ++r.spans;
+          r.totalNs += e.dur;
+          break;
+        }
+      }
+    }
+  }
+
+  std::sort(report.sites.begin(), report.sites.end(),
+            [](const SyncSiteProfile& a, const SyncSiteProfile& b) {
+              if (a.kind != b.kind)
+                return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              return a.site < b.site;
+            });
+  std::sort(report.regions.begin(), report.regions.end(),
+            [](const RegionProfile& a, const RegionProfile& b) {
+              return a.site < b.site;
+            });
+  return report;
+}
+
+namespace {
+
+std::string siteLabel(EventKind kind, std::int32_t site) {
+  std::string name = eventKindName(kind);
+  if (site >= 0) name += "#" + std::to_string(site);
+  return name;
+}
+
+std::string us(double ns) { return fixed(ns / 1000.0, 2); }
+
+}  // namespace
+
+std::string renderProfile(const ProfileReport& report) {
+  std::ostringstream os;
+  TextTable sites({"sync point", "events", "total ms", "mean us", "min us",
+                   "max us"});
+  for (const SyncSiteProfile& s : report.sites) {
+    sites.addRowValues(
+        siteLabel(s.kind, s.site), s.wait.count,
+        fixed(static_cast<double>(s.wait.totalNs) / 1e6, 3),
+        us(s.wait.meanNs()), us(static_cast<double>(s.wait.minNs)),
+        us(static_cast<double>(s.wait.maxNs)));
+  }
+  sites.print(os);
+  if (!report.regions.empty()) {
+    os << "\n";
+    TextTable regions({"region", "spans", "total ms"});
+    for (const RegionProfile& r : report.regions)
+      regions.addRowValues("region#" + std::to_string(r.site), r.spans,
+                           fixed(static_cast<double>(r.totalNs) / 1e6, 3));
+    regions.print(os);
+  }
+  os << "\ntotals: barrier wait "
+     << fixed(static_cast<double>(report.barrierWaitNs) / 1e6, 3)
+     << " ms, serial "
+     << fixed(static_cast<double>(report.serialNs) / 1e6, 3)
+     << " ms, counter stall "
+     << fixed(static_cast<double>(report.counterStallNs) / 1e6, 3) << " ms ("
+     << report.events << " events";
+  if (report.dropped > 0) os << ", " << report.dropped << " dropped";
+  os << ")\n";
+  return os.str();
+}
+
+void writeProfileJson(JsonWriter& json, const ProfileReport& report) {
+  json.object();
+  json.field("events", report.events);
+  json.field("dropped", report.dropped);
+  json.field("barrier_wait_ns", static_cast<std::int64_t>(report.barrierWaitNs));
+  json.field("serial_ns", static_cast<std::int64_t>(report.serialNs));
+  json.field("counter_stall_ns",
+             static_cast<std::int64_t>(report.counterStallNs));
+
+  json.field("sites").array();
+  for (const SyncSiteProfile& s : report.sites) {
+    json.object();
+    json.field("kind", eventKindName(s.kind));
+    json.field("site", s.site);
+    json.field("count", s.wait.count);
+    json.field("total_ns", static_cast<std::int64_t>(s.wait.totalNs));
+    json.field("mean_ns", s.wait.meanNs());
+    json.field("min_ns", static_cast<std::int64_t>(s.wait.minNs));
+    json.field("max_ns", static_cast<std::int64_t>(s.wait.maxNs));
+    json.field("histogram").array();
+    for (int b = 0; b < WaitHistogram::kBuckets; ++b) {
+      if (s.wait.buckets[static_cast<std::size_t>(b)] == 0) continue;
+      json.object();
+      json.field("ge_ns",
+                 static_cast<std::int64_t>(WaitHistogram::bucketLowNs(b)));
+      json.field("count", s.wait.buckets[static_cast<std::size_t>(b)]);
+      json.close();
+    }
+    json.close();
+    json.close();
+  }
+  json.close();
+
+  json.field("regions").array();
+  for (const RegionProfile& r : report.regions) {
+    json.object();
+    json.field("site", r.site);
+    json.field("spans", r.spans);
+    json.field("total_ns", static_cast<std::int64_t>(r.totalNs));
+    json.close();
+  }
+  json.close();
+
+  json.close();
+}
+
+}  // namespace spmd::obs

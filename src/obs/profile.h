@@ -1,0 +1,85 @@
+// Post-run aggregation of a Trace into a wait-time profile.
+//
+// The collector folds per-thread event streams into per-sync-point
+// statistics: how many times each site was reached, how long processors
+// stalled there in total, and the distribution of individual stalls as a
+// log2(ns) histogram (spin-wait stalls span six orders of magnitude, so a
+// mean alone hides the tail the paper cares about).  Region spans are
+// aggregated separately so a profile can say both "where the time went"
+// and "which sync point cost it".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/json.h"
+
+namespace spmd::obs {
+
+/// Histogram of span durations in power-of-two nanosecond buckets:
+/// bucket b counts durations in [2^b, 2^(b+1)) ns (bucket 0 also takes
+/// zero and sub-nanosecond durations).
+struct WaitHistogram {
+  static constexpr int kBuckets = 40;  ///< up to ~18 minutes; last is open
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::int64_t totalNs = 0;
+  std::int64_t minNs = 0;
+  std::int64_t maxNs = 0;
+
+  /// Bucket index for a duration (clamped to the open last bucket).
+  static int bucketOf(std::int64_t ns);
+  /// Inclusive lower bound of a bucket, in ns.
+  static std::int64_t bucketLowNs(int bucket);
+
+  void add(std::int64_t ns);
+  double meanNs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(totalNs) /
+                            static_cast<double>(count);
+  }
+};
+
+/// Aggregated statistics for one sync point: all events of one kind at
+/// one site, across threads.
+struct SyncSiteProfile {
+  EventKind kind = EventKind::BarrierWait;
+  std::int32_t site = -1;
+  WaitHistogram wait;
+};
+
+/// Aggregated per-region execution time (one span per thread per entry).
+struct RegionProfile {
+  std::int32_t site = -1;
+  std::uint64_t spans = 0;
+  std::int64_t totalNs = 0;
+};
+
+struct ProfileReport {
+  /// Sorted by (kind, site).
+  std::vector<SyncSiteProfile> sites;
+  std::vector<RegionProfile> regions;
+
+  // Cross-site totals, the headline numbers.
+  std::int64_t barrierWaitNs = 0;
+  std::int64_t serialNs = 0;
+  std::int64_t counterStallNs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Aggregates a trace snapshot into per-site statistics.
+ProfileReport buildProfile(const Trace& trace);
+
+/// Human-readable per-sync-point wait-time table (spmdopt --profile).
+std::string renderProfile(const ProfileReport& report);
+
+/// Machine-readable profile (embedded in spmdopt --report-json).  Writes
+/// one JSON object on the writer.
+void writeProfileJson(JsonWriter& json, const ProfileReport& report);
+
+}  // namespace spmd::obs

@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+namespace spmd::obs {
+
+const char* eventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::BarrierWait:
+      return "barrier-wait";
+    case EventKind::BarrierSerial:
+      return "barrier-serial";
+    case EventKind::CounterPost:
+      return "counter-post";
+    case EventKind::CounterWait:
+      return "counter-wait";
+    case EventKind::Region:
+      return "region";
+    case EventKind::Fork:
+      return "fork";
+    case EventKind::Broadcast:
+      return "broadcast";
+    case EventKind::Join:
+      return "join";
+  }
+  return "?";
+}
+
+Tracer::Tracer(int nthreads, std::size_t capacity)
+    : origin_(std::chrono::steady_clock::now()) {
+  SPMD_CHECK(nthreads >= 1, "tracer needs at least one thread");
+  std::size_t cap = 2;
+  while (cap < capacity) cap <<= 1;
+  mask_ = cap - 1;
+  rings_.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.assign(cap, TraceEvent{});
+    rings_.push_back(std::move(ring));
+  }
+}
+
+Trace Tracer::snapshot() const {
+  Trace out;
+  out.threads.reserve(rings_.size());
+  const std::size_t cap = mask_ + 1;
+  for (std::size_t t = 0; t < rings_.size(); ++t) {
+    const Ring& r = *rings_[t];
+    ThreadTrace tt;
+    tt.tid = static_cast<int>(t);
+    tt.recorded = r.next;
+    if (r.next <= cap) {
+      tt.events.assign(r.slots.begin(),
+                       r.slots.begin() + static_cast<std::ptrdiff_t>(r.next));
+    } else {
+      // Wrapped: the oldest surviving event sits at next & mask.
+      tt.dropped = r.next - cap;
+      std::size_t head = static_cast<std::size_t>(r.next) & mask_;
+      tt.events.reserve(cap);
+      tt.events.insert(tt.events.end(),
+                       r.slots.begin() + static_cast<std::ptrdiff_t>(head),
+                       r.slots.end());
+      tt.events.insert(tt.events.end(), r.slots.begin(),
+                       r.slots.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+    out.threads.push_back(std::move(tt));
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  for (auto& ring : rings_) ring->next = 0;
+}
+
+}  // namespace spmd::obs

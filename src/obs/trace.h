@@ -1,0 +1,148 @@
+// Low-overhead runtime tracing for synchronization events.
+//
+// The paper's argument is about barrier *cost* — "run-time overhead that
+// typically grows quickly as the number of processors increases" — but the
+// runtime's SyncCounts only count events; they cannot say how long a
+// processor stalled at each one.  This subsystem records timestamped sync
+// events so every scaling experiment can attribute its wins: barrier
+// arrive→release wait time (split from the serial-section duration),
+// counter post/wait with stall time, region execution spans, and team
+// broadcast/join.
+//
+// Design constraints (in priority order):
+//   1. Observation only.  Tracing must never change execution: no locks,
+//      no allocation, no inter-thread communication on the recording path.
+//      Each thread writes its own cache-line-aligned, separately allocated
+//      ring buffer; nothing is shared, so recording cannot perturb the
+//      synchronization it measures beyond the cost of a clock read.
+//   2. Bounded memory.  Buffers are fixed-capacity rings: when full, the
+//      newest event overwrites the oldest and a drop count is kept — a
+//      long run degrades to "most recent window" instead of OOM.
+//   3. Zero cost when off.  Every hook site guards on a single pointer
+//      that is null when tracing is disabled; the disabled path is one
+//      perfectly predicted not-taken branch, measured by the
+//      traced-vs-untraced column of bench_runtime_exec.
+//
+// Collection is strictly post-run: Tracer::snapshot() is called by the
+// master after a team join, whose release-acquire ordering makes every
+// worker's ring contents visible — which is why the rings need no atomics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace spmd::obs {
+
+/// What happened.  Span events carry a duration; instant events have
+/// duration zero.
+enum class EventKind : std::uint8_t {
+  BarrierWait,    ///< span: barrier arrive() entry to release
+  BarrierSerial,  ///< span: serial section run by the releasing thread
+  CounterPost,    ///< instant: producer published an occurrence
+  CounterWait,    ///< span: consumer stalled for a producer's occurrence
+  Region,         ///< span: one thread executing one SPMD region
+  Fork,           ///< span: one fork-join parallel loop (master)
+  Broadcast,      ///< instant: team task broadcast (master)
+  Join,           ///< span: master waiting for workers at the join
+};
+
+/// Stable names for reports and trace exports.
+const char* eventKindName(EventKind kind);
+
+/// One recorded event.  `site` identifies the sync point or region: the
+/// counter sync id / region item index where one exists, -1 for the
+/// anonymous sites (the shared region barrier, the fork-join barrier,
+/// team-level events).
+struct TraceEvent {
+  std::int64_t start = 0;  ///< ns since the tracer's origin
+  std::int64_t dur = 0;    ///< ns; 0 for instant events
+  std::int32_t site = -1;
+  EventKind kind = EventKind::BarrierWait;
+  std::uint8_t tid = 0;
+};
+
+/// One thread's collected events, oldest first, plus how many were
+/// overwritten by ring wraparound.
+struct ThreadTrace {
+  int tid = 0;
+  std::vector<TraceEvent> events;
+  std::uint64_t recorded = 0;  ///< total record() calls on this thread
+  std::uint64_t dropped = 0;   ///< overwritten by wraparound
+};
+
+/// A post-run snapshot of every thread's ring.
+struct Trace {
+  std::vector<ThreadTrace> threads;
+
+  std::uint64_t totalEvents() const {
+    std::uint64_t n = 0;
+    for (const ThreadTrace& t : threads) n += t.events.size();
+    return n;
+  }
+  std::uint64_t totalDropped() const {
+    std::uint64_t n = 0;
+    for (const ThreadTrace& t : threads) n += t.dropped;
+    return n;
+  }
+};
+
+/// The recorder: one fixed-capacity ring per thread.  record()/instant()
+/// are called only by the owning thread; snapshot()/clear() only when no
+/// thread is recording (after a team join).
+class Tracer {
+ public:
+  /// `capacity` (events per thread) is rounded up to a power of two so
+  /// the ring index is a mask, not a modulo.
+  explicit Tracer(int nthreads, std::size_t capacity = 1u << 16);
+
+  int threads() const { return static_cast<int>(rings_.size()); }
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Nanoseconds since this tracer was constructed (steady clock).
+  std::int64_t now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  /// Records a span event that started at `start` (from now()) and lasted
+  /// `dur` ns.  Called by thread `tid` only.
+  void record(int tid, EventKind kind, std::int32_t site, std::int64_t start,
+              std::int64_t dur) {
+    Ring& r = *rings_[static_cast<std::size_t>(tid)];
+    r.slots[static_cast<std::size_t>(r.next) & mask_] =
+        TraceEvent{start, dur, site, kind, static_cast<std::uint8_t>(tid)};
+    ++r.next;
+  }
+
+  /// Records an instant (zero-duration) event at the current time.
+  void instant(int tid, EventKind kind, std::int32_t site = -1) {
+    record(tid, kind, site, now(), 0);
+  }
+
+  /// Collects every thread's events, oldest first.  Call only while no
+  /// thread is recording.
+  Trace snapshot() const;
+
+  /// Forgets all recorded events (e.g. between a base and an optimized
+  /// run sharing one tracer).  Call only while no thread is recording.
+  void clear();
+
+ private:
+  /// A single-writer ring.  Cache-line aligned and separately allocated
+  /// so one thread's writes never share a line with another's.
+  struct alignas(64) Ring {
+    std::vector<TraceEvent> slots;
+    std::uint64_t next = 0;  ///< total records; slot index is next & mask
+  };
+
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t mask_ = 0;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace spmd::obs

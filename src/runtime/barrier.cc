@@ -1,13 +1,21 @@
 #include "runtime/barrier.h"
 
+#include "obs/trace.h"
+
 namespace spmd::rt {
 
 void CentralBarrier::arrive(int tid, FunctionRef<void()> serial) {
-  (void)tid;
+  const std::int64_t t0 = tracer_ ? tracer_->now() : 0;
   std::uint64_t mySense = sense_.load(std::memory_order_relaxed) + 1;
   if (count_.fetch_add(1, std::memory_order_acq_rel) == parties_ - 1) {
     // Last arrival: serial section, then reset and release.
-    if (serial) serial();
+    if (serial) {
+      const std::int64_t s0 = tracer_ ? tracer_->now() : 0;
+      serial();
+      if (tracer_)
+        tracer_->record(tid, obs::EventKind::BarrierSerial, traceSite_, s0,
+                        tracer_->now() - s0);
+    }
     count_.store(0, std::memory_order_relaxed);
     sense_.store(mySense, std::memory_order_release);
   } else {
@@ -15,6 +23,9 @@ void CentralBarrier::arrive(int tid, FunctionRef<void()> serial) {
       return sense_.load(std::memory_order_acquire) >= mySense;
     }, spin_);
   }
+  if (tracer_)
+    tracer_->record(tid, obs::EventKind::BarrierWait, traceSite_, t0,
+                    tracer_->now() - t0);
 }
 
 TreeBarrier::TreeBarrier(int parties, SpinPolicy spin)
@@ -22,13 +33,14 @@ TreeBarrier::TreeBarrier(int parties, SpinPolicy spin)
   SPMD_CHECK(parties >= 1, "barrier needs at least one party");
   arrived_ = std::vector<PaddedAtomicU64>(static_cast<std::size_t>(parties));
   release_ = std::vector<PaddedAtomicU64>(static_cast<std::size_t>(parties));
-  localEpoch_.assign(static_cast<std::size_t>(parties), 0);
+  localEpoch_ = std::vector<PaddedU64>(static_cast<std::size_t>(parties));
 }
 
 void TreeBarrier::arrive(int tid, FunctionRef<void()> serial) {
+  const std::int64_t t0 = tracer_ ? tracer_->now() : 0;
   // Tournament tree over thread ids: thread t waits for children 2t+1 and
   // 2t+2, signals parent (t-1)/2; thread 0 is the root and releases.
-  std::uint64_t epoch = ++localEpoch_[static_cast<std::size_t>(tid)];
+  std::uint64_t epoch = ++localEpoch_[static_cast<std::size_t>(tid)].value;
   int left = 2 * tid + 1;
   int right = 2 * tid + 2;
   if (left < parties_)
@@ -50,7 +62,11 @@ void TreeBarrier::arrive(int tid, FunctionRef<void()> serial) {
     }, spin_);
   } else if (serial) {
     // Root: every thread has arrived, none is released yet.
+    const std::int64_t s0 = tracer_ ? tracer_->now() : 0;
     serial();
+    if (tracer_)
+      tracer_->record(tid, obs::EventKind::BarrierSerial, traceSite_, s0,
+                      tracer_->now() - s0);
   }
   // Release children.
   if (left < parties_)
@@ -59,6 +75,9 @@ void TreeBarrier::arrive(int tid, FunctionRef<void()> serial) {
   if (right < parties_)
     release_[static_cast<std::size_t>(right)].value.store(
         epoch, std::memory_order_release);
+  if (tracer_)
+    tracer_->record(tid, obs::EventKind::BarrierWait, traceSite_, t0,
+                    tracer_->now() - t0);
 }
 
 }  // namespace spmd::rt

@@ -25,6 +25,17 @@ struct alignas(64) PaddedAtomicU64 {
   std::atomic<std::uint64_t> value{0};
 };
 
+/// Cache-line-padded plain counter for per-thread private state that lives
+/// in a shared vector (e.g. TreeBarrier's local epochs).  Without the
+/// padding, adjacent threads' counters share a line and every epoch bump
+/// invalidates the neighbours' copies — false sharing on the barrier fast
+/// path.
+struct alignas(64) PaddedU64 {
+  std::uint64_t value = 0;
+};
+static_assert(sizeof(PaddedU64) == 64 && alignof(PaddedU64) == 64,
+              "per-thread counters must each own a full cache line");
+
 /// One CPU relaxation hint (x86 `pause`, aarch64 `yield`); a plain
 /// compiler barrier elsewhere so the spin loop is never optimized into a
 /// pure load loop.
@@ -145,7 +156,9 @@ class TreeBarrier final : public Barrier {
   // childDone_[node] counts arrived children; release epoch fans out.
   std::vector<PaddedAtomicU64> arrived_;
   std::vector<PaddedAtomicU64> release_;
-  std::vector<std::uint64_t> localEpoch_;
+  // Padded: each thread bumps its own epoch every episode, and unpadded
+  // epochs false-share cache lines across threads.
+  std::vector<PaddedU64> localEpoch_;
 };
 
 }  // namespace spmd::rt

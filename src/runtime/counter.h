@@ -9,6 +9,7 @@
 // once between each pair of processors."
 #pragma once
 
+#include "obs/trace.h"
 #include "runtime/barrier.h"
 
 namespace spmd::rt {
@@ -28,6 +29,7 @@ class CounterSync final : public SyncPrimitive {
   void post(int tid, std::uint64_t occurrence) {
     slots_[static_cast<std::size_t>(tid)].value.store(
         occurrence, std::memory_order_release);
+    if (tracer_) tracer_->instant(tid, obs::EventKind::CounterPost, traceSite_);
   }
 
   /// Consumer side: block until `producer` has posted `occurrence`.
@@ -36,6 +38,20 @@ class CounterSync final : public SyncPrimitive {
     spinWait([&] {
       return slot.load(std::memory_order_acquire) >= occurrence;
     }, spin_);
+  }
+
+  /// Traced consumer wait: identical blocking semantics, but records the
+  /// stall as a CounterWait span attributed to `waiter` (the thread doing
+  /// the waiting — the 2-arg overload only knows the producer's id).
+  void wait(int waiter, int producer, std::uint64_t occurrence) const {
+    if (!tracer_) {
+      wait(producer, occurrence);
+      return;
+    }
+    const std::int64_t t0 = tracer_->now();
+    wait(producer, occurrence);
+    tracer_->record(waiter, obs::EventKind::CounterWait, traceSite_, t0,
+                    tracer_->now() - t0);
   }
 
   /// Resets all slots (between region executions; caller must ensure no

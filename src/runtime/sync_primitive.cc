@@ -46,13 +46,18 @@ std::optional<SpinPolicy> parseSpinPolicy(const std::string& text) {
 
 std::unique_ptr<Barrier> makeBarrier(int parties,
                                      const SyncPrimitiveOptions& options) {
+  std::unique_ptr<Barrier> barrier;
   switch (options.barrierAlgorithm) {
     case BarrierAlgorithm::Central:
-      return std::make_unique<CentralBarrier>(parties, options.spinPolicy);
+      barrier = std::make_unique<CentralBarrier>(parties, options.spinPolicy);
+      break;
     case BarrierAlgorithm::Tree:
-      return std::make_unique<TreeBarrier>(parties, options.spinPolicy);
+      barrier = std::make_unique<TreeBarrier>(parties, options.spinPolicy);
+      break;
   }
-  SPMD_UNREACHABLE("bad BarrierAlgorithm");
+  SPMD_CHECK(barrier != nullptr, "bad BarrierAlgorithm");
+  barrier->setTrace(options.tracer, options.traceSite);
+  return barrier;
 }
 
 std::unique_ptr<SyncPrimitive> makeSyncPrimitive(
@@ -61,8 +66,11 @@ std::unique_ptr<SyncPrimitive> makeSyncPrimitive(
   switch (kind) {
     case SyncPrimitive::Kind::Barrier:
       return makeBarrier(parties, options);
-    case SyncPrimitive::Kind::Counter:
-      return std::make_unique<CounterSync>(parties, options.spinPolicy);
+    case SyncPrimitive::Kind::Counter: {
+      auto counter = std::make_unique<CounterSync>(parties, options.spinPolicy);
+      counter->setTrace(options.tracer, options.traceSite);
+      return counter;
+    }
   }
   SPMD_UNREACHABLE("bad SyncPrimitive::Kind");
 }

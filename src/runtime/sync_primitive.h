@@ -17,6 +17,10 @@
 
 #include "support/diag.h"
 
+namespace spmd::obs {
+class Tracer;
+}
+
 namespace spmd::rt {
 
 class Barrier;
@@ -57,6 +61,21 @@ class SyncPrimitive {
   /// inside the primitive.  Episode-based primitives (sense-reversing and
   /// tree barriers) are self-cleaning, so their reset is a no-op.
   virtual void reset() {}
+
+  /// Attaches an event tracer (null detaches).  `site` labels this
+  /// primitive's events (the plan's counter sync id; -1 for anonymous
+  /// sites like the shared region barrier).  With no tracer attached the
+  /// synchronization fast paths pay exactly one predicted branch.
+  void setTrace(obs::Tracer* tracer, std::int32_t site = -1) {
+    tracer_ = tracer;
+    traceSite_ = site;
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+  std::int32_t traceSite() const { return traceSite_; }
+
+ protected:
+  obs::Tracer* tracer_ = nullptr;
+  std::int32_t traceSite_ = -1;
 };
 
 const char* syncKindName(SyncPrimitive::Kind kind);
@@ -74,6 +93,12 @@ const char* barrierAlgorithmName(BarrierAlgorithm algorithm);
 struct SyncPrimitiveOptions {
   BarrierAlgorithm barrierAlgorithm = BarrierAlgorithm::Central;
   SpinPolicy spinPolicy = SpinPolicy::Backoff;
+
+  /// Event tracer attached to every primitive the factory creates (null:
+  /// tracing off, the default); `traceSite` labels the created primitive's
+  /// events (see SyncPrimitive::setTrace).
+  obs::Tracer* tracer = nullptr;
+  std::int32_t traceSite = -1;
 };
 
 /// The factory: maps a plan-level sync kind + options to a concrete

@@ -1,5 +1,6 @@
 #include "runtime/team.h"
 
+#include "obs/trace.h"
 #include "runtime/barrier.h"
 
 namespace spmd::rt {
@@ -24,11 +25,16 @@ void ThreadTeam::run(const std::function<void(int)>& task) {
   // remaining_ may be relaxed: the release fence of the generation_ bump
   // below orders it before any worker can observe the new generation.
   remaining_.store(nthreads_ - 1, std::memory_order_relaxed);
+  if (tracer_) tracer_->instant(0, obs::EventKind::Broadcast);
   generation_.fetch_add(1, std::memory_order_release);  // broadcast
   task(0);                                              // master participates
+  const std::int64_t j0 = tracer_ ? tracer_->now() : 0;
   spinWait([&] {
     return remaining_.load(std::memory_order_acquire) == 0;
   });
+  if (tracer_)
+    tracer_->record(0, obs::EventKind::Join, /*site=*/-1, j0,
+                    tracer_->now() - j0);
   task_ = nullptr;
   running_ = false;
 }

@@ -15,6 +15,10 @@
 
 #include "support/diag.h"
 
+namespace spmd::obs {
+class Tracer;
+}
+
 namespace spmd::rt {
 
 /// Dynamic synchronization counts, the paper's primary metric.
@@ -49,6 +53,12 @@ class ThreadTeam {
   /// the same team (checked).
   void run(const std::function<void(int)>& task);
 
+  /// Attaches an event tracer (null detaches).  While attached, run()
+  /// records a Broadcast instant at the fork and a Join span covering the
+  /// master's wait for the last worker.  Call only between run()s.
+  void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Statically chunked parallel loop: index i runs on thread i % size().
   /// Blocks until every index in [0, n) completed; `body` must be safe to
   /// call concurrently for distinct indices.
@@ -76,6 +86,7 @@ class ThreadTeam {
   std::atomic<int> remaining_{0};
   std::atomic<bool> shutdown_{false};
   bool running_ = false;  ///< master-only reentrancy guard
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace spmd::rt

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -17,6 +18,7 @@ namespace spmd {
 
 inline std::string jsonEscape(const std::string& s) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   for (char c : s) {
     switch (c) {
       case '"':
@@ -84,6 +86,11 @@ class JsonWriter {
   JsonWriter& value(double v) {
     if (!std::isfinite(v)) return scalar("null");
     std::ostringstream os;
+    // The stream must format with the "C" locale regardless of the
+    // process's global locale: a comma-decimal locale (e.g. de_DE) would
+    // print 0,5 — invalid JSON — and grouping locales would insert
+    // thousands separators.
+    os.imbue(std::locale::classic());
     os.precision(12);
     os << v;
     return scalar(os.str());

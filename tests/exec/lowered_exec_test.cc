@@ -9,6 +9,7 @@
 // lower bounds).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -200,6 +201,33 @@ TEST(OwnedRange, EmptyAndDegenerateRanges) {
   for (int tid = 0; tid < 7; ++tid)
     if (!exec::ownedFallbackBlock(0, 2, tid, 7).empty()) ++populated;
   EXPECT_EQ(populated, 3);
+}
+
+TEST(OwnedRange, NearOverflowBoundsTrapInsteadOfWrapping) {
+  // Regression: the range boundary arithmetic used unchecked i64 ops.
+  // `tid * block - c0` with block near INT64_MAX wrapped negative, so a
+  // middle processor silently claimed the whole range — a data race, not
+  // an error.  All three range builders must now throw spmd::Error on
+  // overflow (routed through support/checked_int.h).
+  constexpr i64 kMax = std::numeric_limits<i64>::max();
+  constexpr i64 kMin = std::numeric_limits<i64>::min();
+
+  // tid * block overflows for tid >= 2.
+  EXPECT_THROW(exec::ownedBlockUnit(0, 100, 0, kMax / 2 + 1, 2, 4), Error);
+  // (tid + 1) * block - 1 - c0 overflows via the subtraction of c0.
+  EXPECT_THROW(exec::ownedBlockUnit(0, 100, kMin, 1000, 0, 4), Error);
+  // lb + c0 overflows.
+  EXPECT_THROW(exec::ownedCyclicUnit(kMax - 1, kMax, 2, 0, 4), Error);
+  // span = ub - lb + 1 overflows.
+  EXPECT_THROW(exec::ownedFallbackBlock(kMin, kMax, 0, 4), Error);
+
+  // Sane large-but-valid bounds still work (no over-eager trapping).
+  exec::IterRange r = exec::ownedBlockUnit(0, 1'000'000, 0, 250'000, 2, 4);
+  EXPECT_EQ(r.begin, 500'000);
+  EXPECT_EQ(r.end, 749'999);
+  exec::IterRange c = exec::ownedCyclicUnit(-1'000'000, 1'000'000, 0, 1, 4);
+  EXPECT_EQ(c.step, 4);
+  EXPECT_GE(c.begin, -1'000'000);
 }
 
 // --- differential: lowered engine vs the interpreting executor -------------

@@ -1,0 +1,349 @@
+// Observability layer: ring-buffer recording, profile aggregation, Chrome
+// trace export, and — the load-bearing contract — tracing is observation
+// only: a traced run produces byte-identical SyncCounts and stores
+// (bit-exact for reduction-free kernels, round-off for arrival-order-
+// dependent reductions) to an untraced run, for every kernel and P.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd_executor.h"
+#include "driver/compilation.h"
+#include "driver/execution.h"
+#include "kernels/kernels.h"
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace spmd {
+namespace {
+
+// --- ring buffer -----------------------------------------------------------
+
+TEST(TracerTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(obs::Tracer(1, 1).capacity(), 2u);
+  EXPECT_EQ(obs::Tracer(1, 8).capacity(), 8u);
+  EXPECT_EQ(obs::Tracer(1, 9).capacity(), 16u);
+  EXPECT_EQ(obs::Tracer(1, 1000).capacity(), 1024u);
+}
+
+TEST(TracerTest, RejectsZeroThreads) {
+  EXPECT_THROW(obs::Tracer(0), Error);
+}
+
+TEST(TracerTest, RecordsEventsInOrder) {
+  obs::Tracer tracer(2, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, 3, 100, 50);
+  tracer.record(0, obs::EventKind::CounterPost, 1, 200, 0);
+  tracer.record(1, obs::EventKind::Region, 0, 10, 1000);
+
+  obs::Trace trace = tracer.snapshot();
+  ASSERT_EQ(trace.threads.size(), 2u);
+  ASSERT_EQ(trace.threads[0].events.size(), 2u);
+  ASSERT_EQ(trace.threads[1].events.size(), 1u);
+  EXPECT_EQ(trace.totalEvents(), 3u);
+  EXPECT_EQ(trace.totalDropped(), 0u);
+
+  const obs::TraceEvent& e = trace.threads[0].events[0];
+  EXPECT_EQ(e.kind, obs::EventKind::BarrierWait);
+  EXPECT_EQ(e.site, 3);
+  EXPECT_EQ(e.start, 100);
+  EXPECT_EQ(e.dur, 50);
+  EXPECT_EQ(e.tid, 0);
+  EXPECT_EQ(trace.threads[1].events[0].kind, obs::EventKind::Region);
+}
+
+TEST(TracerTest, WraparoundKeepsNewestAndCountsDrops) {
+  obs::Tracer tracer(1, 8);
+  for (int i = 0; i < 20; ++i)
+    tracer.record(0, obs::EventKind::CounterWait, i, i * 10, 1);
+
+  obs::Trace trace = tracer.snapshot();
+  const obs::ThreadTrace& t = trace.threads[0];
+  EXPECT_EQ(t.recorded, 20u);
+  EXPECT_EQ(t.dropped, 12u);
+  ASSERT_EQ(t.events.size(), 8u);
+  // Oldest-first: the surviving window is events 12..19.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(t.events[static_cast<std::size_t>(i)].site, 12 + i);
+}
+
+TEST(TracerTest, ClearResetsRings) {
+  obs::Tracer tracer(1, 8);
+  for (int i = 0; i < 20; ++i) tracer.instant(0, obs::EventKind::Broadcast);
+  tracer.clear();
+  EXPECT_EQ(tracer.snapshot().totalEvents(), 0u);
+  tracer.record(0, obs::EventKind::Join, -1, 5, 5);
+  obs::Trace trace = tracer.snapshot();
+  EXPECT_EQ(trace.totalEvents(), 1u);
+  EXPECT_EQ(trace.totalDropped(), 0u);
+}
+
+TEST(TracerTest, NowIsMonotonic) {
+  obs::Tracer tracer(1);
+  std::int64_t a = tracer.now();
+  std::int64_t b = tracer.now();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+// --- histogram -------------------------------------------------------------
+
+TEST(WaitHistogramTest, BucketBoundaries) {
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(0), 0);
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(1), 0);
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(2), 1);
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(3), 1);
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(4), 2);
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(1023), 9);
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(1024), 10);
+  // Far beyond the last bucket boundary: clamped, not out of range.
+  EXPECT_EQ(obs::WaitHistogram::bucketOf(INT64_MAX),
+            obs::WaitHistogram::kBuckets - 1);
+  EXPECT_EQ(obs::WaitHistogram::bucketLowNs(0), 0);  // bucket 0 holds [0, 2)
+  EXPECT_EQ(obs::WaitHistogram::bucketLowNs(10), 1024);
+}
+
+TEST(WaitHistogramTest, AddAccumulatesStats) {
+  obs::WaitHistogram h;
+  h.add(10);
+  h.add(100);
+  h.add(1);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.totalNs, 111);
+  EXPECT_EQ(h.minNs, 1);
+  EXPECT_EQ(h.maxNs, 100);
+  EXPECT_DOUBLE_EQ(h.meanNs(), 37.0);
+  EXPECT_EQ(h.buckets[static_cast<std::size_t>(obs::WaitHistogram::bucketOf(10))], 1u);
+}
+
+// --- profile aggregation ---------------------------------------------------
+
+TEST(ProfileTest, AggregatesSyntheticTrace) {
+  obs::Tracer tracer(2, 64);
+  // Two barrier waits at the anonymous site, one counter stall at site 0,
+  // region spans on both threads.
+  tracer.record(0, obs::EventKind::BarrierWait, -1, 0, 100);
+  tracer.record(1, obs::EventKind::BarrierWait, -1, 0, 300);
+  tracer.record(0, obs::EventKind::BarrierSerial, -1, 50, 20);
+  tracer.record(1, obs::EventKind::CounterWait, 0, 400, 1000);
+  tracer.record(1, obs::EventKind::CounterPost, 0, 380, 0);
+  tracer.record(0, obs::EventKind::Region, 0, 0, 5000);
+  tracer.record(1, obs::EventKind::Region, 0, 0, 4000);
+
+  obs::ProfileReport report = obs::buildProfile(tracer.snapshot());
+  EXPECT_EQ(report.events, 7u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.barrierWaitNs, 400);
+  EXPECT_EQ(report.serialNs, 20);
+  EXPECT_EQ(report.counterStallNs, 1000);
+
+  ASSERT_EQ(report.regions.size(), 1u);
+  EXPECT_EQ(report.regions[0].site, 0);
+  EXPECT_EQ(report.regions[0].spans, 2u);
+  EXPECT_EQ(report.regions[0].totalNs, 9000);
+
+  // Site table: find the barrier-wait row and the counter-wait row.
+  const obs::SyncSiteProfile* barrier = nullptr;
+  const obs::SyncSiteProfile* stall = nullptr;
+  for (const obs::SyncSiteProfile& s : report.sites) {
+    if (s.kind == obs::EventKind::BarrierWait) barrier = &s;
+    if (s.kind == obs::EventKind::CounterWait) stall = &s;
+  }
+  ASSERT_NE(barrier, nullptr);
+  EXPECT_EQ(barrier->wait.count, 2u);
+  EXPECT_EQ(barrier->wait.totalNs, 400);
+  ASSERT_NE(stall, nullptr);
+  EXPECT_EQ(stall->site, 0);
+  EXPECT_EQ(stall->wait.maxNs, 1000);
+}
+
+TEST(ProfileTest, RenderProfileMentionsEverySite) {
+  obs::Tracer tracer(1, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, -1, 0, 100);
+  tracer.record(0, obs::EventKind::CounterWait, 2, 0, 50);
+  tracer.record(0, obs::EventKind::Region, 1, 0, 500);
+  std::string text = obs::renderProfile(obs::buildProfile(tracer.snapshot()));
+  EXPECT_NE(text.find("barrier-wait"), std::string::npos) << text;
+  EXPECT_NE(text.find("counter-wait#2"), std::string::npos) << text;
+  EXPECT_NE(text.find("region#1"), std::string::npos) << text;
+}
+
+TEST(ProfileTest, JsonProfileIsBalancedAndSparse) {
+  obs::Tracer tracer(1, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, -1, 0, 100);
+  obs::ProfileReport report = obs::buildProfile(tracer.snapshot());
+  std::ostringstream os;
+  JsonWriter json(os);
+  obs::writeProfileJson(json, report);
+  EXPECT_TRUE(json.done());
+  EXPECT_NE(os.str().find("\"barrier_wait_ns\": 100"), std::string::npos)
+      << os.str();
+}
+
+// --- Chrome trace export ---------------------------------------------------
+
+TEST(ChromeTraceTest, EmitsSpansInstantsAndProcessNames) {
+  obs::Tracer tracer(2, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, -1, 1000, 500);
+  tracer.record(1, obs::EventKind::CounterPost, 3, 2000, 0);
+  obs::Trace trace = tracer.snapshot();
+
+  std::ostringstream os;
+  obs::writeChromeTrace(os, {{&trace, "run"}});
+  std::string out = os.str();
+
+  EXPECT_NE(out.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"barrier-wait\""), std::string::npos);
+  EXPECT_NE(out.find("\"counter-post#3\""), std::string::npos);
+  // The span is a complete event; the post is an instant.
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"i\""), std::string::npos);
+  // ts/dur are microseconds: 1000 ns -> 1 us, 500 ns -> 0.5 us.
+  EXPECT_NE(out.find("\"dur\": 0.5"), std::string::npos);
+}
+
+// --- tracing is observation-only -------------------------------------------
+
+void expectSameCounts(const rt::SyncCounts& a, const rt::SyncCounts& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.barriers, b.barriers) << what;
+  EXPECT_EQ(a.broadcasts, b.broadcasts) << what;
+  EXPECT_EQ(a.counterPosts, b.counterPosts) << what;
+  EXPECT_EQ(a.counterWaits, b.counterWaits) << what;
+}
+
+bool stmtHasReduction(const ir::Stmt* stmt) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ScalarAssign:
+      return stmt->scalarAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::ArrayAssign:
+      return stmt->arrayAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::Loop:
+      for (const ir::StmtPtr& s : stmt->loop().body)
+        if (stmtHasReduction(s.get())) return true;
+      return false;
+  }
+  return false;
+}
+
+bool programHasReduction(const ir::Program& prog) {
+  for (const ir::StmtPtr& s : prog.topLevel())
+    if (stmtHasReduction(s.get())) return true;
+  return false;
+}
+
+struct CaseParam {
+  std::string kernel;
+  int threads;
+};
+
+std::vector<CaseParam> makeCases() {
+  std::vector<CaseParam> cases;
+  for (const kernels::KernelSpec& spec : kernels::allKernels())
+    for (int threads : {1, 2, 4, 7})
+      cases.push_back(CaseParam{spec.name, threads});
+  return cases;
+}
+
+class TracedRunTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(TracedRunTest, TracingDoesNotChangeCountsOrStores) {
+  const CaseParam& param = GetParam();
+  kernels::KernelSpec spec = kernels::kernelByName(param.kernel);
+  i64 n = std::min<i64>(spec.defaultN, 24);
+  i64 t = std::min<i64>(spec.defaultT, 4);
+  ir::SymbolBindings symbols = spec.bindings(n, t);
+
+  // Two untraced runs of a reduction kernel already differ in combine
+  // order, so the cross-run store comparison uses the same tolerance
+  // convention as the engine differential test; counts are exact always.
+  double exactTol = programHasReduction(*spec.program) ? 1e-12 : 0.0;
+
+  driver::Compilation compilation = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+
+  driver::RunRequest untraced;
+  untraced.symbols = symbols;
+  untraced.threads = param.threads;
+  driver::RunRequest traced = untraced;
+  traced.trace = true;
+
+  driver::RunComparison plain = driver::runComparison(compilation, untraced);
+  driver::RunComparison obsd = driver::runComparison(compilation, traced);
+
+  expectSameCounts(plain.baseCounts, obsd.baseCounts,
+                   spec.name + " base counts");
+  expectSameCounts(plain.optCounts, obsd.optCounts,
+                   spec.name + " optimized counts");
+  ASSERT_TRUE(plain.baseStore.has_value() && obsd.baseStore.has_value());
+  ASSERT_TRUE(plain.optStore.has_value() && obsd.optStore.has_value());
+  EXPECT_LE(ir::Store::maxAbsDifference(*plain.baseStore, *obsd.baseStore),
+            exactTol)
+      << spec.name << ": tracing changed the base store";
+  EXPECT_LE(ir::Store::maxAbsDifference(*plain.optStore, *obsd.optStore),
+            exactTol)
+      << spec.name << ": tracing changed the optimized store";
+
+  // The traced run actually recorded something.
+  EXPECT_FALSE(plain.baseTrace.has_value());
+  ASSERT_TRUE(obsd.baseTrace.has_value());
+  ASSERT_TRUE(obsd.optTrace.has_value());
+  EXPECT_GT(obsd.baseTrace->totalEvents() + obsd.optTrace->totalEvents(), 0u);
+
+  // In-region barrier episodes (optCounts.barriers also counts the team
+  // join at each region exit, which is one per broadcast, not a barrier
+  // primitive) must surface as one barrier-wait span per thread each.
+  std::uint64_t barrierWaits = 0;
+  for (const obs::ThreadTrace& tt : obsd.optTrace->threads)
+    for (const obs::TraceEvent& e : tt.events)
+      if (e.kind == obs::EventKind::BarrierWait) ++barrierWaits;
+  std::uint64_t episodes =
+      plain.optCounts.barriers - plain.optCounts.broadcasts;
+  EXPECT_EQ(barrierWaits,
+            episodes * static_cast<std::uint64_t>(param.threads))
+      << spec.name << ": one barrier-wait span per thread per episode";
+
+  // Counter stalls surface as counter-wait spans, one per dynamic wait.
+  std::uint64_t counterWaitEvents = 0;
+  for (const obs::ThreadTrace& tt : obsd.optTrace->threads)
+    for (const obs::TraceEvent& e : tt.events)
+      if (e.kind == obs::EventKind::CounterWait) ++counterWaitEvents;
+  EXPECT_EQ(counterWaitEvents, plain.optCounts.counterWaits)
+      << spec.name << ": one counter-wait span per dynamic wait";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, TracedRunTest, ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return info.param.kernel + "_p" + std::to_string(info.param.threads);
+    });
+
+// --- profile over a real kernel run ----------------------------------------
+
+TEST(TracedRunTest, ProfileAttributesWaitTimeToSites) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi2d");
+  driver::Compilation compilation = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+
+  driver::RunRequest request;
+  request.symbols = spec.bindings(24, 4);
+  request.threads = 4;
+  request.trace = true;
+  driver::RunComparison run = driver::runComparison(compilation, request);
+
+  ASSERT_TRUE(run.optTrace.has_value());
+  obs::ProfileReport report = obs::buildProfile(*run.optTrace);
+  EXPECT_GT(report.events, 0u);
+  EXPECT_EQ(report.dropped, 0u);
+  // Every recorded event landed in a site row or a region row.
+  std::uint64_t tabulated = 0;
+  for (const obs::SyncSiteProfile& s : report.sites) tabulated += s.wait.count;
+  for (const obs::RegionProfile& r : report.regions) tabulated += r.spans;
+  EXPECT_EQ(tabulated, report.events);
+}
+
+}  // namespace
+}  // namespace spmd

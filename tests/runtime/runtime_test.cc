@@ -185,6 +185,21 @@ TEST(CounterSyncTest, ResetClearsSlots) {
   c.wait(1, 1);
 }
 
+TEST(PaddingTest, PerThreadSlotsOwnFullCacheLines) {
+  // Regression: TreeBarrier's per-thread epoch counters used to live in a
+  // plain std::vector<std::uint64_t> — eight epochs per cache line, so
+  // every arrival invalidated seven neighbours' lines.  Both padded slot
+  // types must each span exactly one aligned line, in vectors too.
+  static_assert(sizeof(PaddedU64) == 64 && alignof(PaddedU64) == 64);
+  static_assert(sizeof(PaddedAtomicU64) == 64 && alignof(PaddedAtomicU64) == 64);
+  std::vector<PaddedU64> epochs(4);
+  for (std::size_t i = 1; i < epochs.size(); ++i) {
+    auto gap = reinterpret_cast<std::uintptr_t>(&epochs[i]) -
+               reinterpret_cast<std::uintptr_t>(&epochs[i - 1]);
+    EXPECT_EQ(gap, 64u);
+  }
+}
+
 TEST(SyncCountsTest, Accumulation) {
   SyncCounts a{1, 2, 3, 4}, b{10, 20, 30, 40};
   a += b;

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <functional>
+#include <locale>
 #include <sstream>
 
 namespace spmd {
@@ -76,6 +77,53 @@ TEST(JsonWriterTest, UnbalancedCloseIsAnError) {
   std::ostringstream os;
   JsonWriter json(os);
   EXPECT_THROW(json.close(), Error);
+}
+
+// A numpunct facet imitating comma-decimal locales (e.g. de_DE): ',' as
+// the decimal point plus '.' thousands grouping.  Built directly so the
+// test does not depend on locale data being installed in the image.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// RAII: installs a comma-decimal global locale, restores on destruction
+/// (the global locale leaks into every default-constructed stream).
+class ScopedCommaLocale {
+ public:
+  ScopedCommaLocale()
+      : saved_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimal))) {}
+  ~ScopedCommaLocale() { std::locale::global(saved_); }
+
+ private:
+  std::locale saved_;
+};
+
+TEST(JsonWriterTest, DoublesAreLocaleIndependent) {
+  ScopedCommaLocale guard;
+  // Sanity: the hostile locale really does reformat doubles.
+  {
+    std::ostringstream os;
+    os << 0.5;
+    ASSERT_EQ(os.str(), "0,5");
+  }
+  std::string out = write([](JsonWriter& j) {
+    j.object();
+    j.field("half", 0.5);
+    j.field("big", 1234567.25);
+    j.close();
+  });
+  // Strict JSON: '.' decimal point, no grouping separators.
+  EXPECT_EQ(out,
+            "{\n  \"half\": 0.5,\n  \"big\": 1234567.25\n}");
+}
+
+TEST(JsonEscapeTest, LocaleIndependent) {
+  ScopedCommaLocale guard;
+  EXPECT_EQ(jsonEscape("a\"b\n"), "a\\\"b\\n");
 }
 
 }  // namespace

@@ -1,18 +1,36 @@
-# Runs spmdopt with the given args and checks that stdout is valid JSON
-# (via python3 -m json.tool).  Used by the spmdopt_report_json ctest entry
-# and mirrored in CI.
-# ARGS arrives as a CMake list (semicolon-separated).
+# Runs spmdopt with the given args and checks that the output is valid
+# JSON (via python3 -m json.tool).  Two modes:
+#   - default: validate stdout (used by the spmdopt_report_json ctest)
+#   - -DJSONFILE=PATH: validate a file spmdopt wrote as a side effect
+#     (used by spmdopt_trace_json for --trace=PATH output)
+# Mirrored in CI.  ARGS arrives as a CMake list (semicolon-separated).
 execute_process(COMMAND ${SPMDOPT} ${ARGS}
                 OUTPUT_VARIABLE out
                 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "spmdopt failed with exit code ${rc}")
 endif()
-set(jsonfile ${CMAKE_CURRENT_BINARY_DIR}/spmdopt_report.json)
-file(WRITE ${jsonfile} "${out}")
+if(DEFINED JSONFILE)
+  set(jsonfile ${JSONFILE})
+  if(NOT EXISTS ${jsonfile})
+    message(FATAL_ERROR "spmdopt did not write ${jsonfile}")
+  endif()
+else()
+  set(jsonfile ${CMAKE_CURRENT_BINARY_DIR}/spmdopt_report.json)
+  file(WRITE ${jsonfile} "${out}")
+endif()
 execute_process(COMMAND ${PYTHON} -m json.tool ${jsonfile}
                 RESULT_VARIABLE jsonrc
                 OUTPUT_QUIET)
 if(NOT jsonrc EQUAL 0)
-  message(FATAL_ERROR "spmdopt --report-json produced malformed JSON")
+  message(FATAL_ERROR "spmdopt produced malformed JSON in ${jsonfile}")
+endif()
+if(DEFINED EXPECT)
+  file(READ ${jsonfile} content)
+  foreach(needle ${EXPECT})
+    string(FIND "${content}" "${needle}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR "expected \"${needle}\" in ${jsonfile}")
+    endif()
+  endforeach()
 endif()

@@ -28,6 +28,11 @@
 //     --emit                print the generated SPMD program
 //     --run                 execute base + optimized, print sync counts
 //     --verify              also check results against the sequential executor
+//     --trace=FILE          write a Chrome trace-event JSON of the traced
+//                           run to FILE (load in Perfetto / chrome://tracing;
+//                           implies --run; single input file only)
+//     --profile             print per-sync-point wait-time tables from a
+//                           traced run (implies --run)
 //     --tree-barrier        use the combining-tree barrier
 //     --spin=POLICY         spin-wait policy: pause | backoff | yield
 //                           (default backoff)
@@ -48,6 +53,8 @@
 #include "driver/compilation.h"
 #include "driver/execution.h"
 #include "driver/report_json.h"
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
 #include "runtime/team.h"
 #include "support/text_table.h"
 
@@ -64,6 +71,8 @@ struct Options {
   bool emit = false;
   bool run = false;
   bool verify = false;
+  std::string traceFile;  ///< --trace=FILE; empty = no trace export
+  bool profile = false;
   bool treeBarrier = false;
   spmd::rt::SpinPolicy spin = spmd::rt::SpinPolicy::Backoff;
   spmd::cg::EngineKind engine = spmd::cg::EngineKind::Lowered;
@@ -75,7 +84,8 @@ void usage(std::ostream& os) {
   os << "usage: spmdopt [--procs=P] [--bind NAME=V]... "
         "[--mode=full|nocounters|deponly|barriers] [--analysis-threads=K] "
         "[--jobs=J] [--no-analysis-cache] [--report] [--report-json] "
-        "[--emit] [--run] [--verify] [--tree-barrier] "
+        "[--emit] [--run] [--verify] [--trace=FILE] [--profile] "
+        "[--tree-barrier] "
         "[--spin=pause|backoff|yield] [--engine=lowered|interpreted] "
         "[--version] [file...]\n";
 }
@@ -174,6 +184,16 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       opts.run = true;
     } else if (arg == "--verify") {
       opts.verify = true;
+      opts.run = true;
+    } else if (auto v = valueOf("--trace=")) {
+      if (v->empty()) {
+        std::cerr << "error: --trace requires a file name\n";
+        return false;
+      }
+      opts.traceFile = *v;
+      opts.run = true;
+    } else if (arg == "--profile") {
+      opts.profile = true;
       opts.run = true;
     } else if (arg == "--tree-barrier") {
       opts.treeBarrier = true;
@@ -275,6 +295,7 @@ int processSource(const std::string& source, const std::string& label,
       if (opts.emit) out << "\n" << compilation.lowered().listing;
     }
 
+    std::optional<obs::ProfileReport> baseProfile, optProfile;
     if (opts.run) {
       driver::RunRequest request;
       request.symbols =
@@ -286,7 +307,13 @@ int processSource(const std::string& source, const std::string& label,
       request.exec.sync.spinPolicy = opts.spin;
       request.exec.engine = opts.engine;
       request.reference = opts.verify;
+      request.trace = !opts.traceFile.empty() || opts.profile;
       driver::RunComparison run = driver::runComparison(compilation, request);
+
+      if (run.baseTrace.has_value())
+        baseProfile = obs::buildProfile(*run.baseTrace);
+      if (run.optTrace.has_value())
+        optProfile = obs::buildProfile(*run.optTrace);
 
       if (json == nullptr) {
         out << "\nexecution (P=" << opts.procs << "):\n"
@@ -299,6 +326,27 @@ int processSource(const std::string& source, const std::string& label,
         if (opts.verify)
           out << "  verify: max |diff| base=" << run.maxDiffBase
               << " optimized=" << run.maxDiffOpt << "\n";
+        if (opts.profile) {
+          if (baseProfile.has_value())
+            out << "\nbase profile (P=" << opts.procs << "):\n"
+                << obs::renderProfile(*baseProfile);
+          if (optProfile.has_value())
+            out << "\noptimized profile (P=" << opts.procs << "):\n"
+                << obs::renderProfile(*optProfile);
+        }
+      }
+      if (!opts.traceFile.empty()) {
+        std::ofstream trace(opts.traceFile);
+        if (!trace) {
+          err << "error: cannot write trace file " << opts.traceFile << "\n";
+          return 1;
+        }
+        std::vector<obs::NamedTrace> traces;
+        if (run.baseTrace.has_value())
+          traces.push_back({&*run.baseTrace, "base (fork-join)"});
+        if (run.optTrace.has_value())
+          traces.push_back({&*run.optTrace, "optimized (merged regions)"});
+        obs::writeChromeTrace(trace, traces);
       }
       if (opts.verify &&
           (run.maxDiffBase > 1e-7 || run.maxDiffOpt > 1e-7)) {
@@ -308,9 +356,12 @@ int processSource(const std::string& source, const std::string& label,
     }
 
     if (json != nullptr) {
+      driver::RunProfiles profiles;
+      if (baseProfile.has_value()) profiles.base = &*baseProfile;
+      if (optProfile.has_value()) profiles.optimized = &*optProfile;
       std::ostringstream os;
       JsonWriter writer(os);
-      driver::writeCompilationReport(writer, compilation, label);
+      driver::writeCompilationReport(writer, compilation, label, profiles);
       *json = os.str();
     }
     return 0;
@@ -331,6 +382,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (opts.files.empty()) opts.files.push_back("-");
+  if (!opts.traceFile.empty() && opts.files.size() > 1) {
+    std::cerr << "error: --trace supports a single input file\n";
+    return 2;
+  }
 
   auto label = [&](const std::string& file) {
     return (file.empty() || file == "-") ? std::string("<stdin>") : file;
