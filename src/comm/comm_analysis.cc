@@ -4,8 +4,16 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/stats.h"
 #include "runtime/team.h"
 #include "support/hash.h"
+
+SPMD_STATISTIC(statPairQueries, "comm", "pair-queries",
+               "communication pair systems analyzed");
+SPMD_STATISTIC(statPairCacheHits, "comm", "pair-cache-hits",
+               "pair queries answered by the hashed memo");
+SPMD_STATISTIC(statDedupHits, "comm", "dedup-hits",
+               "boundary pairs collapsed by structural dedup");
 
 namespace spmd::comm {
 
@@ -198,6 +206,7 @@ PairResult CommAnalyzer::analyzePair(
 
   if (!options_.memoCache) {
     pairQueries_.fetch_add(1, std::memory_order_relaxed);
+    statPairQueries.add();
     return analyzePairImpl(src, dst, sharedLoops, relLevel, rel);
   }
 
@@ -206,12 +215,14 @@ PairResult CommAnalyzer::analyzePair(
     std::shared_lock<std::shared_mutex> lock(cacheMutex_);
     if (auto it = cache_.find(key); it != cache_.end()) {
       cacheHits_.fetch_add(1, std::memory_order_relaxed);
+      statPairCacheHits.add();
       return it->second;
     }
   }
   // Concurrent misses on the same key may both compute the (pure,
   // deterministic) result; the second emplace is a no-op.
   pairQueries_.fetch_add(1, std::memory_order_relaxed);
+  statPairQueries.add();
   PairResult result = analyzePairImpl(src, dst, sharedLoops, relLevel, rel);
   {
     std::unique_lock<std::shared_mutex> lock(cacheMutex_);
@@ -322,6 +333,7 @@ PairResult CommAnalyzer::analyzeBoundary(
             support::hashCombine(accessIdentity(a), accessIdentity(b));
         if (!seen.insert(id).second) {
           dedupHits_.fetch_add(1, std::memory_order_relaxed);
+          statDedupHits.add();
           continue;
         }
       }

@@ -1,5 +1,29 @@
 #include "core/optimizer.h"
 
+#include "obs/stats.h"
+#include "support/diag.h"
+
+// Per-elimination-rule registry counters (obs/stats.h): how many
+// boundaries each rule fired on, pinned by tests/obs/stats_test.cc so a
+// regression in the analysis shows up as a count change, not just a
+// slower plan.
+SPMD_STATISTIC(statBoundaries, "optimizer", "boundaries-considered",
+               "intra-region sync boundaries examined");
+SPMD_STATISTIC(statInteriorEliminated, "optimizer", "interior-eliminated",
+               "boundaries proven communication-free (barrier removed)");
+SPMD_STATISTIC(statInteriorCounter, "optimizer", "interior-counter",
+               "barriers downgraded to nearest-neighbor counters");
+SPMD_STATISTIC(statInteriorBarrier, "optimizer", "interior-barrier",
+               "boundaries kept as full barriers");
+SPMD_STATISTIC(statBackEdges, "optimizer", "backedge-considered",
+               "sequential-loop back edges examined");
+SPMD_STATISTIC(statBackEdgeEliminated, "optimizer", "backedge-eliminated",
+               "back edges proven free of cross-iteration communication");
+SPMD_STATISTIC(statBackEdgePipelined, "optimizer", "backedge-pipelined",
+               "back-edge barriers pipelined with counters");
+SPMD_STATISTIC(statBackEdgeBarrier, "optimizer", "backedge-barrier",
+               "back edges kept as per-iteration barriers");
+
 namespace spmd::core {
 
 using analysis::Access;
@@ -148,9 +172,11 @@ void SyncOptimizer::planSeqLoopNode(RegionNode& node,
   record.arrays = any;
   record.scalars = scalars;
 
+  statBackEdges.add();
   if (!any.comm && scalars == ScalarComm::None) {
     node.backEdge = SyncPoint::none();
     ++stats_.backEdgesEliminated;
+    statBackEdgeEliminated.add();
   } else {
     SyncPoint decision = SyncPoint::barrier();
     // Pipelining is restricted to pure array flow (scalars == None): a
@@ -173,6 +199,10 @@ void SyncOptimizer::planSeqLoopNode(RegionNode& node,
         }
       }
     }
+    if (decision.kind == SyncPoint::Kind::Counter)
+      statBackEdgePipelined.add();
+    else
+      statBackEdgeBarrier.add();
     node.backEdge = decision;
   }
   record.decision = node.backEdge;
@@ -226,15 +256,19 @@ void SyncOptimizer::planSequence(std::vector<RegionNode>& nodes,
       record.scalars = scalars;
       record.decision = decision;
       report_.push_back(std::move(record));
+      statBoundaries.add();
       switch (decision.kind) {
         case SyncPoint::Kind::None:
           ++stats_.eliminated;
+          statInteriorEliminated.add();
           break;
         case SyncPoint::Kind::Counter:
           ++stats_.counters;
+          statInteriorCounter.add();
           break;
         case SyncPoint::Kind::Barrier:
           ++stats_.barriers;
+          statInteriorBarrier.add();
           break;
       }
       if (decision.kind == SyncPoint::Kind::Barrier)
@@ -273,6 +307,33 @@ void SyncOptimizer::planSequence(std::vector<RegionNode>& nodes,
   carryOut = std::move(group);
 }
 
+namespace {
+
+/// The shape-only boundary walk: interior boundary (i-1, i) before node
+/// i's internals, a seq loop's body boundaries before its back edge —
+/// exactly the order planSequence/planSeqLoopNode push BoundaryRecords,
+/// so record k describes site k.
+void assignSitesInSequence(std::vector<RegionNode>& nodes, int& next) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) nodes[i - 1].after.site = next++;
+    if (nodes[i].kind == NodeKind::SeqLoop) {
+      assignSitesInSequence(nodes[i].body, next);
+      nodes[i].backEdge.site = next++;
+    }
+  }
+}
+
+}  // namespace
+
+int SyncOptimizer::assignBoundarySites(RegionProgram& plan) {
+  int next = 0;
+  for (RegionProgram::Item& item : plan.items) {
+    if (!item.isRegion()) continue;
+    assignSitesInSequence(item.region->nodes, next);
+  }
+  return next;
+}
+
 RegionProgram SyncOptimizer::run() {
   auto start = std::chrono::steady_clock::now();
   RegionProgram regions = buildRegions(*prog_);
@@ -287,6 +348,11 @@ RegionProgram SyncOptimizer::run() {
     AccessSet carry;
     planSequence(item.region->nodes, shared, carry);
   }
+  int sites = assignBoundarySites(regions);
+  SPMD_ASSERT(static_cast<std::size_t>(sites) == report_.size(),
+              "boundary site walk diverged from the decision log");
+  for (std::size_t k = 0; k < report_.size(); ++k)
+    report_[k].syncSite = static_cast<int>(k);
   comm::CommAnalyzer::CacheStats cacheStats = comm_.stats();
   stats_.pairQueries = cacheStats.pairQueries;
   stats_.cacheHits = cacheStats.cacheHits;
@@ -308,6 +374,9 @@ RegionProgram SyncOptimizer::runBarriersOnly() {
     stats_.boundaries += item.region->boundaryCount();
     stats_.barriers += item.region->boundaryCount();
   }
+  // Same shape-only numbering as run(): a barriers-only trace's site s is
+  // the same program point as the optimized plan's site s.
+  assignBoundarySites(regions);
   return regions;
 }
 

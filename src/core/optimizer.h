@@ -102,6 +102,9 @@ struct BoundaryRecord {
   comm::PairResult arrays;
   ScalarComm scalars = ScalarComm::None;
   SyncPoint decision;
+  /// Program-wide boundary site label (== decision.site): joins this
+  /// record with trace events and blame buckets recorded at the site.
+  int syncSite = -1;
 };
 
 class SyncOptimizer {
@@ -120,6 +123,14 @@ class SyncOptimizer {
 
   /// Per-boundary decision log from the last run() (see core/report.h).
   const std::vector<BoundaryRecord>& report() const { return report_; }
+
+  /// Stamps SyncPoint::site on every boundary of the plan — a shape-only
+  /// pre-order walk (interior boundary before a node, then a seq loop's
+  /// body, then its back edge), so any two plans over the same program get
+  /// identical numbering regardless of the sync decisions.  Returns the
+  /// number of sites assigned.  run()/runBarriersOnly() call this; it is
+  /// exposed for tests and for plans built elsewhere.
+  static int assignBoundarySites(RegionProgram& plan);
 
  private:
   SyncPoint decideBoundary(const comm::PairResult& arrays, ScalarComm scalars);

@@ -37,6 +37,15 @@ struct SyncPoint {
   /// Unique id within the enclosing region; assigned during lowering.
   int id = -1;
 
+  /// Boundary site: a program-wide stable label assigned by the optimizer
+  /// to EVERY examined boundary (eliminated ones included), in a traversal
+  /// that depends only on the region-tree shape — so the numbering is
+  /// identical across full/nocounters/barriers plans of one program, and
+  /// trace events recorded at a site line up with the optimizer's
+  /// per-boundary decision table.  -1 for sync points that are not
+  /// optimizer boundaries (fork-join barriers, team-level events).
+  int site = -1;
+
   bool isSync() const { return kind != Kind::None; }
 
   static SyncPoint none() { return SyncPoint{}; }

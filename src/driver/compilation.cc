@@ -5,6 +5,24 @@
 
 #include "codegen/spmd_printer.h"
 #include "core/spmd_region.h"
+#include "obs/stats.h"
+
+// Per-stage artifact-cache hits: an accessor finding its artifact already
+// materialized (staged pipelines re-query earlier stages freely).
+SPMD_STATISTIC(statParseCacheHits, "driver", "parse-cache-hits",
+               "parse artifact served from the pipeline cache");
+SPMD_STATISTIC(statValidateCacheHits, "driver", "validate-cache-hits",
+               "validation artifact served from the pipeline cache");
+SPMD_STATISTIC(statPartitionCacheHits, "driver", "partition-cache-hits",
+               "partition artifact served from the pipeline cache");
+SPMD_STATISTIC(statRegionCacheHits, "driver", "region-cache-hits",
+               "region-tree artifact served from the pipeline cache");
+SPMD_STATISTIC(statPlanCacheHits, "driver", "plan-cache-hits",
+               "sync-plan artifact served from the pipeline cache");
+SPMD_STATISTIC(statLowerCacheHits, "driver", "lower-cache-hits",
+               "codegen artifact served from the pipeline cache");
+SPMD_STATISTIC(statLowerExecCacheHits, "driver", "lower-exec-cache-hits",
+               "executable-lowering artifact served from the pipeline cache");
 
 namespace spmd::driver {
 
@@ -58,6 +76,7 @@ void Compilation::setOptions(const PipelineOptions& options) {
 }
 
 bool Compilation::parseOk() {
+  if (parseAttempted_) statParseCacheHits.add();
   if (!parseAttempted_) {
     parseAttempted_ = true;
     std::optional<ir::Program> prog = timePass("parse", [&] {
@@ -79,6 +98,7 @@ const ParsedProgram& Compilation::parsed() {
 }
 
 const ValidatedProgram& Compilation::validated() {
+  if (validated_.has_value()) statValidateCacheHits.add();
   if (!validated_.has_value()) {
     const ir::Program& prog = *parsed().program;
     std::vector<analysis::ValidationIssue> issues = timePass(
@@ -92,6 +112,7 @@ const ValidatedProgram& Compilation::validated() {
 bool Compilation::validateOk() { return parseOk() && validated().ok(); }
 
 const PartitionedProgram& Compilation::partitioned() {
+  if (partitioned_.has_value()) statPartitionCacheHits.add();
   if (!partitioned_.has_value()) {
     // Decomposition keeps a mutable reference to the program.
     ir::Program& prog = *parsed().program;
@@ -110,6 +131,7 @@ const PartitionedProgram& Compilation::partitioned() {
 }
 
 const RegionTree& Compilation::regionTree() {
+  if (regionTree_.has_value()) statRegionCacheHits.add();
   if (!regionTree_.has_value()) {
     const ir::Program& prog = *parsed().program;
     RegionTree tree = timePass("regions", [&] {
@@ -129,6 +151,7 @@ const RegionTree& Compilation::regionTree() {
 }
 
 const SyncPlan& Compilation::syncPlan() {
+  if (syncPlan_.has_value()) statPlanCacheHits.add();
   if (!syncPlan_.has_value()) {
     const ir::Program& prog = *parsed().program;
     part::Decomposition& dec = *partitioned().decomp;
@@ -148,6 +171,7 @@ const SyncPlan& Compilation::syncPlan() {
 }
 
 const LoweredSpmd& Compilation::lowered() {
+  if (lowered_.has_value()) statLowerCacheHits.add();
   if (!lowered_.has_value()) {
     const SyncPlan& plan = syncPlan();
     const ir::Program& prog = *parsed().program;
@@ -160,6 +184,7 @@ const LoweredSpmd& Compilation::lowered() {
 }
 
 const LoweredExec& Compilation::loweredExec() {
+  if (loweredExec_.has_value()) statLowerExecCacheHits.add();
   if (!loweredExec_.has_value()) {
     const SyncPlan& plan = syncPlan();
     const ir::Program& prog = *parsed().program;

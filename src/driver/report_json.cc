@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/report.h"
+#include "obs/stats.h"
 
 namespace spmd::driver {
 
@@ -75,6 +76,7 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
     json.object();
     json.field("region", r.region);
     json.field("site", siteName(r.site));
+    json.field("syncSite", r.syncSite);
     json.field("where", r.where);
     json.field("decision", r.decision.toString());
     json.field("scalars", scalarCommName(r.scalars));
@@ -102,6 +104,24 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
       obs::writeProfileJson(json, *profiles.optimized);
     }
     json.close();
+  }
+
+  if (profiles.baseBlame != nullptr || profiles.optimizedBlame != nullptr) {
+    json.field("blame").object();
+    if (profiles.baseBlame != nullptr) {
+      json.field("base");
+      obs::writeBlameJson(json, *profiles.baseBlame);
+    }
+    if (profiles.optimizedBlame != nullptr) {
+      json.field("optimized");
+      obs::writeBlameJson(json, *profiles.optimizedBlame);
+    }
+    json.close();
+  }
+
+  if (obs::statsEnabled()) {
+    json.field("statistics");
+    obs::writeStatsJson(json);
   }
 
   json.close();  // root object

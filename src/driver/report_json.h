@@ -6,17 +6,21 @@
 #include <string>
 
 #include "driver/compilation.h"
+#include "obs/critical_path.h"
 #include "obs/profile.h"
 #include "support/json.h"
 
 namespace spmd::driver {
 
-/// Wait-time profiles from a traced run, attached to the report when the
-/// driver executed the program with tracing on (spmdopt --run --profile).
-/// Null members are omitted from the output.
+/// Wait-time profiles and critical-path blame from a traced run, attached
+/// to the report when the driver executed the program with tracing on
+/// (spmdopt --run --profile / --blame).  Null members are omitted from
+/// the output.
 struct RunProfiles {
   const obs::ProfileReport* base = nullptr;
   const obs::ProfileReport* optimized = nullptr;
+  const obs::BlameReport* baseBlame = nullptr;
+  const obs::BlameReport* optimizedBlame = nullptr;
 };
 
 /// Writes one compilation's report as a JSON object on the writer (which

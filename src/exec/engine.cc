@@ -48,8 +48,13 @@ Engine::Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
                "tracer covers fewer threads than the team");
     team_->setTracer(sync_.tracer);
   }
+  // The region barrier is created untraced: execSync records its wait and
+  // serial spans at the engine level, where the optimizer's boundary site
+  // is known — the primitive would only label them with one fixed site.
+  rt::SyncPrimitiveOptions barrierOpts = sync_;
+  barrierOpts.tracer = nullptr;
   barrier_ = rt::makeSyncPrimitive(rt::SyncPrimitive::Kind::Barrier,
-                                   team.size(), sync_);
+                                   team.size(), barrierOpts);
   const std::size_t nScalars = lp_->prog->scalars().size();
   states_.reserve(static_cast<std::size_t>(team.size()));
   for (int t = 0; t < team.size(); ++t) {
@@ -402,7 +407,26 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
           for (std::int32_t s : item.sharedCanonical)
             st->scalars[static_cast<std::size_t>(s)] = src[s];
       };
-      rt::asBarrier(*barrier_).arrive(tid, serial);
+      obs::Tracer* tracer = sync_.tracer;
+      if (tracer == nullptr) {
+        rt::asBarrier(*barrier_).arrive(tid, serial);
+        return;
+      }
+      // Traced: record here rather than in the (untraced) primitive so the
+      // events carry this boundary's site.  Every caller wraps the serial
+      // section; whichever thread the barrier elects to run it records the
+      // span under its own tid — same event counts as primitive-level
+      // tracing, for either barrier algorithm.
+      const std::int64_t t0 = tracer->now();
+      auto tracedSerial = [&] {
+        const std::int64_t s0 = tracer->now();
+        serial();
+        tracer->record(tid, obs::EventKind::BarrierSerial, point.site, s0,
+                       tracer->now() - s0);
+      };
+      rt::asBarrier(*barrier_).arrive(tid, tracedSerial);
+      tracer->record(tid, obs::EventKind::BarrierWait, point.site, t0,
+                     tracer->now() - t0);
       return;
     }
     case SyncPoint::Kind::Counter: {
@@ -517,7 +541,8 @@ rt::SyncCounts Engine::runRegions(ir::Store& store) {
     run.counters.reserve(static_cast<std::size_t>(item.syncCount));
     for (int c = 0; c < item.syncCount; ++c) {
       rt::SyncPrimitiveOptions perSite = sync_;
-      perSite.traceSite = c;  // label events with the plan's sync id
+      // Label counter events with the optimizer's boundary site.
+      perSite.traceSite = item.syncSites[static_cast<std::size_t>(c)];
       run.counters.push_back(rt::makeSyncPrimitive(
           rt::SyncPrimitive::Kind::Counter, P, perSite));
     }

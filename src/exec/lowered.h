@@ -164,6 +164,10 @@ struct LoweredItem {
   LoweredStmt sequential;          ///< when !isRegion
   std::vector<LoweredNode> nodes;  ///< when isRegion
   int syncCount = 0;               ///< counters to allocate per execution
+  /// Counter id -> optimizer boundary site (SyncPoint::site), indexed by
+  /// the sync ids assigned during lowering; lets counter trace events carry
+  /// the program-wide site label instead of the per-region counter id.
+  std::vector<std::int32_t> syncSites;
   std::vector<std::int32_t> writtenScalars;
   std::vector<std::int32_t> sharedCanonical;
 };

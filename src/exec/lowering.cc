@@ -237,16 +237,23 @@ struct Lowerer {
   // --- regions -------------------------------------------------------------
 
   /// Mirrors SpmdExecutor::assignSyncIds: counter ids in pre-order, afters
-  /// before back edges before children.
-  LoweredNode lowerNode(const RegionNode& n, int& next) {
+  /// before back edges before children.  `sites[id]` records each counter's
+  /// optimizer boundary site (pushed in id order, so push k == counter k).
+  LoweredNode lowerNode(const RegionNode& n, int& next,
+                        std::vector<std::int32_t>& sites) {
     LoweredNode out;
     out.kind = n.kind;
     out.after = n.after;
     out.backEdge = n.backEdge;
-    if (out.after.kind == SyncPoint::Kind::Counter) out.after.id = next++;
+    if (out.after.kind == SyncPoint::Kind::Counter) {
+      out.after.id = next++;
+      sites.push_back(out.after.site);
+    }
     if (n.kind == NodeKind::SeqLoop) {
-      if (out.backEdge.kind == SyncPoint::Kind::Counter)
+      if (out.backEdge.kind == SyncPoint::Kind::Counter) {
         out.backEdge.id = next++;
+        sites.push_back(out.backEdge.site);
+      }
       const ir::Loop& l = n.stmt->loop();
       out.stmt.kind = LoweredStmt::Kind::Loop;
       out.stmt.var = l.index.index;
@@ -255,7 +262,7 @@ struct Lowerer {
       out.stmt.step = l.step;
       out.body.reserve(n.body.size());
       for (const RegionNode& child : n.body)
-        out.body.push_back(lowerNode(child, next));
+        out.body.push_back(lowerNode(child, next, sites));
     } else {
       out.stmt = lowerStmt(n.stmt);
     }
@@ -326,7 +333,7 @@ LoweredProgram lowerProgram(const ir::Program& prog,
         int next = 0;
         li.nodes.reserve(item.region->nodes.size());
         for (const RegionNode& n : item.region->nodes)
-          li.nodes.push_back(lo.lowerNode(n, next));
+          li.nodes.push_back(lo.lowerNode(n, next, li.syncSites));
         li.syncCount = next;
         lo.lp.maxSyncs = std::max(lo.lp.maxSyncs, next);
         lo.annotateElidable(li.nodes, /*followedByBarrier=*/true);

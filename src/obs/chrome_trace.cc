@@ -21,6 +21,13 @@ void writeChromeTraceEvents(JsonWriter& json, const Trace& trace,
   json.field("tid", 0);
   json.field("args").object();
   json.field("name", processName);
+  // Ring accounting, so an offline reader (spmdtrace) can tell whether
+  // the event stream is complete before trusting ordinal matching.
+  json.field("events", trace.totalEvents());
+  json.field("dropped", trace.totalDropped());
+  json.field("dropped_per_thread").array();
+  for (const ThreadTrace& t : trace.threads) json.value(t.dropped);
+  json.close();
   json.close();
   json.close();
 
@@ -42,7 +49,9 @@ void writeChromeTraceEvents(JsonWriter& json, const Trace& trace,
         json.field("s", "t");
       }
       json.field("args").object();
+      json.field("kind", eventKindName(e.kind));
       json.field("site", e.site);
+      if (e.aux >= 0) json.field("aux", static_cast<int>(e.aux));
       json.close();
       json.close();
     }

@@ -1,0 +1,429 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+#include "support/text_table.h"
+
+namespace spmd::obs {
+
+namespace {
+
+/// One reconstructed barrier episode: every thread's o-th BarrierWait at
+/// one site.
+struct Episode {
+  std::int64_t minArrival = 0;
+  std::int64_t lastArrival = 0;
+  std::int64_t release = 0;
+  int lastTid = 0;
+  int members = 0;
+  std::int64_t serialStart = 0;  ///< serial section span, if matched
+  std::int64_t serialEnd = 0;    ///< (serialEnd <= serialStart: none)
+};
+
+using EpisodeKey = std::pair<std::int32_t, std::uint64_t>;  // (site, ordinal)
+
+std::int64_t endOf(const TraceEvent& e) { return e.start + e.dur; }
+
+bool isPathSync(EventKind k) {
+  return k == EventKind::BarrierWait || k == EventKind::CounterWait ||
+         k == EventKind::Join;
+}
+
+}  // namespace
+
+BlameReport buildBlame(const Trace& trace) {
+  BlameReport report;
+  report.threads = static_cast<int>(trace.threads.size());
+  if (trace.totalEvents() == 0) return report;
+  if (trace.totalDropped() > 0) {
+    report.complete = false;
+    report.incompleteReason =
+        "ring drops invalidate occurrence ordinals; attribution covers the "
+        "surviving window only";
+  }
+
+  // --- wall bounds and the last-ending event -------------------------------
+  std::int64_t wallStart = 0, wallEnd = 0;
+  const TraceEvent* last = nullptr;
+  bool first = true;
+  for (const ThreadTrace& t : trace.threads) {
+    for (const TraceEvent& e : t.events) {
+      if (first) {
+        wallStart = e.start;
+        wallEnd = endOf(e);
+        last = &e;
+        first = false;
+        continue;
+      }
+      wallStart = std::min(wallStart, e.start);
+      if (endOf(e) > wallEnd) {
+        wallEnd = endOf(e);
+        last = &e;
+      }
+    }
+  }
+  report.wallStartNs = wallStart;
+  report.wallEndNs = wallEnd;
+  report.wallNs = wallEnd - wallStart;
+
+  // --- per-(kind, site) table ----------------------------------------------
+  auto siteFor = [&](EventKind kind, std::int32_t site) -> SiteBlame& {
+    for (SiteBlame& s : report.sites)
+      if (s.kind == kind && s.site == site) return s;
+    report.sites.push_back(SiteBlame{});
+    report.sites.back().kind = kind;
+    report.sites.back().site = site;
+    return report.sites.back();
+  };
+
+  // --- forward pass: episodes, counter post/wait pairing, totals -----------
+  std::map<EpisodeKey, Episode> episodes;
+  // (site, producer) -> post times in occurrence order.
+  std::map<std::pair<std::int32_t, int>, std::vector<std::int64_t>> posts;
+  // Serial spans per site, for containment matching below.
+  std::map<std::int32_t, std::vector<const TraceEvent*>> serials;
+
+  for (const ThreadTrace& t : trace.threads) {
+    std::map<std::int32_t, std::uint64_t> barrierOrd;
+    for (const TraceEvent& e : t.events) {
+      switch (e.kind) {
+        case EventKind::BarrierWait: {
+          Episode& ep = episodes[{e.site, barrierOrd[e.site]++}];
+          if (ep.members == 0) {
+            ep.minArrival = e.start;
+            ep.lastArrival = e.start;
+            ep.release = endOf(e);
+            ep.lastTid = t.tid;
+          } else {
+            ep.minArrival = std::min(ep.minArrival, e.start);
+            if (e.start > ep.lastArrival) {
+              ep.lastArrival = e.start;
+              ep.lastTid = t.tid;
+            }
+            ep.release = std::max(ep.release, endOf(e));
+          }
+          ++ep.members;
+          siteFor(e.kind, e.site).totalWaitNs += e.dur;
+          break;
+        }
+        case EventKind::CounterPost:
+          posts[{e.site, t.tid}].push_back(e.start);
+          break;
+        case EventKind::BarrierSerial:
+          serials[e.site].push_back(&e);
+          break;
+        case EventKind::CounterWait:
+        case EventKind::Join:
+          siteFor(e.kind, e.site).totalWaitNs += e.dur;
+          break;
+        case EventKind::Region:
+        case EventKind::Fork:
+        case EventKind::Broadcast:
+          break;
+      }
+    }
+  }
+
+  // Attach serial sections to episodes by containment: episodes at one
+  // site are disjoint in time, and the serial span lies inside its
+  // episode's [lastArrival, release].
+  for (auto& [key, ep] : episodes) {
+    auto it = serials.find(key.first);
+    if (it == serials.end()) continue;
+    for (const TraceEvent* s : it->second) {
+      if (s->start >= ep.minArrival && s->start <= ep.release) {
+        ep.serialStart = s->start;
+        ep.serialEnd = endOf(*s);
+        break;
+      }
+    }
+  }
+
+  // Pair each CounterWait with the post that released it: the o-th wait
+  // on (site, waiter, producer) waits for the o-th post at (site,
+  // producer) — every thread posts and waits once per occurrence.
+  std::unordered_map<const TraceEvent*, std::int64_t> waitPost;
+  for (const ThreadTrace& t : trace.threads) {
+    std::map<std::tuple<std::int32_t, int, int>, std::size_t> waitOrd;
+    for (const TraceEvent& e : t.events) {
+      if (e.kind != EventKind::CounterWait || e.aux < 0) continue;
+      std::size_t o = waitOrd[{e.site, t.tid, e.aux}]++;
+      auto it = posts.find({e.site, static_cast<int>(e.aux)});
+      if (it != posts.end() && o < it->second.size())
+        waitPost[&e] = it->second[o];
+    }
+  }
+
+  // --- per-thread sync-event lists for the backward walk -------------------
+  int maxTid = 0;
+  for (const ThreadTrace& t : trace.threads) maxTid = std::max(maxTid, t.tid);
+  std::vector<std::vector<const TraceEvent*>> syncByTid(
+      static_cast<std::size_t>(maxTid) + 1);
+  std::vector<std::map<std::int32_t, std::uint64_t>> ordAt(
+      static_cast<std::size_t>(maxTid) + 1);
+  // Episode lookup needs each BarrierWait event's ordinal on its thread.
+  std::unordered_map<const TraceEvent*, std::uint64_t> eventOrd;
+  for (const ThreadTrace& t : trace.threads) {
+    auto& list = syncByTid[static_cast<std::size_t>(t.tid)];
+    auto& ords = ordAt[static_cast<std::size_t>(t.tid)];
+    for (const TraceEvent& e : t.events) {
+      if (e.kind == EventKind::BarrierWait) eventOrd[&e] = ords[e.site]++;
+      if (isPathSync(e.kind)) list.push_back(&e);
+    }
+    std::sort(list.begin(), list.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (endOf(*a) != endOf(*b)) return endOf(*a) < endOf(*b);
+                return a->start < b->start;
+              });
+  }
+  std::vector<std::size_t> cursor(syncByTid.size());
+  for (std::size_t t = 0; t < syncByTid.size(); ++t)
+    cursor[t] = syncByTid[t].size();
+
+  // --- backward walk -------------------------------------------------------
+  BlameBuckets& b = report.buckets;
+  int tid = last != nullptr ? last->tid : 0;
+  std::int64_t tau = wallEnd;
+
+  // Imbalance window: while the walk is inside a barrier episode's
+  // [minArrival, lastArrival], on-path compute is straggler work done
+  // while the rest of the team was parked.
+  bool winActive = false;
+  std::int64_t winLo = 0, winHi = 0;
+  EventKind winKind = EventKind::BarrierWait;
+  std::int32_t winSite = -1;
+
+  auto attributeCompute = [&](std::int64_t a, std::int64_t c) {
+    std::int64_t seg = c - a;
+    if (seg <= 0) return;
+    if (winActive) {
+      std::int64_t lo = std::max(a, winLo), hi = std::min(c, winHi);
+      if (hi > lo) {
+        b.imbalanceNs += hi - lo;
+        siteFor(winKind, winSite).imbalanceNs += hi - lo;
+        seg -= hi - lo;
+      }
+      if (a <= winLo) winActive = false;
+    }
+    b.computeNs += seg;
+  };
+
+  const std::uint64_t maxSteps = trace.totalEvents() * 8 + 64;
+  while (tau > wallStart) {
+    if (++report.pathSteps > maxSteps) {
+      report.complete = false;
+      report.incompleteReason = "backward walk exceeded its step bound";
+      break;
+    }
+    // Latest sync event on this thread ending at or before tau (strictly
+    // starting before it, so a zero-duration event at tau cannot loop).
+    auto& list = syncByTid[static_cast<std::size_t>(tid)];
+    std::size_t& cur = cursor[static_cast<std::size_t>(tid)];
+    while (cur > 0 && endOf(*list[cur - 1]) > tau) --cur;
+    while (cur > 0 && list[cur - 1]->start >= tau) --cur;
+    if (cur == 0) {
+      attributeCompute(wallStart, tau);
+      tau = wallStart;
+      break;
+    }
+    const TraceEvent& e = *list[cur - 1];
+    const std::int64_t end = endOf(e);
+    attributeCompute(end, tau);
+    tau = end;
+
+    switch (e.kind) {
+      case EventKind::BarrierWait: {
+        const Episode& ep = episodes[{e.site, eventOrd[&e]}];
+        std::int64_t target = std::min(ep.lastArrival, end);
+        if (target >= tau) target = e.start;  // degenerate clocks: stay safe
+        // Split [target, end): the serial-section overlap is serial time,
+        // the remainder is release latency.
+        std::int64_t serial = 0;
+        if (ep.serialEnd > ep.serialStart) {
+          std::int64_t lo = std::max(target, ep.serialStart);
+          std::int64_t hi = std::min(end, ep.serialEnd);
+          if (hi > lo) serial = hi - lo;
+        }
+        std::int64_t wait = (end - target) - serial;
+        b.serialNs += serial;
+        b.barrierWaitNs += wait;
+        SiteBlame& sb = siteFor(e.kind, e.site);
+        ++sb.pathVisits;
+        sb.pathWaitNs += wait;
+        sb.pathSerialNs += serial;
+        if (ep.lastArrival > ep.minArrival) {
+          winActive = true;
+          winLo = ep.minArrival;
+          winHi = ep.lastArrival;
+          winKind = e.kind;
+          winSite = e.site;
+        }
+        tid = ep.lastTid;
+        tau = target;
+        break;
+      }
+      case EventKind::CounterWait: {
+        // Jump to the producer at its post time when the post fell inside
+        // the stall; otherwise the wait did not block this thread's path.
+        std::int64_t target = e.start;
+        int next = tid;
+        auto it = waitPost.find(&e);
+        if (it != waitPost.end() && it->second > e.start &&
+            it->second < end) {
+          target = it->second;
+          next = e.aux;
+        }
+        std::int64_t stall = end - target;
+        b.counterStallNs += stall;
+        SiteBlame& sb = siteFor(e.kind, e.site);
+        ++sb.pathVisits;
+        sb.pathWaitNs += stall;
+        tid = next;
+        tau = target;
+        break;
+      }
+      case EventKind::Join: {
+        // Master parked at the team join while workers finished: a
+        // barrier-class wait (worker-side events, when present, were
+        // already walked through the region's own sync points).
+        b.barrierWaitNs += e.dur;
+        SiteBlame& sb = siteFor(e.kind, e.site);
+        ++sb.pathVisits;
+        sb.pathWaitNs += e.dur;
+        tau = e.start;
+        break;
+      }
+      default:
+        tau = e.start;  // unreachable: list holds path-sync kinds only
+        break;
+    }
+  }
+
+  for (SiteBlame& s : report.sites)
+    s.whatIfSavedNs = s.pathWaitNs + s.pathSerialNs + s.imbalanceNs;
+  std::sort(report.sites.begin(), report.sites.end(),
+            [](const SiteBlame& a, const SiteBlame& c) {
+              if (a.whatIfSavedNs != c.whatIfSavedNs)
+                return a.whatIfSavedNs > c.whatIfSavedNs;
+              if (a.kind != c.kind)
+                return static_cast<int>(a.kind) < static_cast<int>(c.kind);
+              return a.site < c.site;
+            });
+  return report;
+}
+
+namespace {
+
+std::string ms(std::int64_t ns) {
+  return fixed(static_cast<double>(ns) / 1e6, 3);
+}
+
+std::string pct(std::int64_t ns, std::int64_t wall) {
+  if (wall <= 0) return "-";
+  return fixed(100.0 * static_cast<double>(ns) / static_cast<double>(wall),
+               1) +
+         "%";
+}
+
+std::string blameSiteLabel(EventKind kind, std::int32_t site) {
+  std::string name;
+  switch (kind) {
+    case EventKind::BarrierWait:
+      name = "barrier";
+      break;
+    case EventKind::CounterWait:
+      name = "counter";
+      break;
+    case EventKind::Join:
+      name = "join";
+      break;
+    default:
+      name = eventKindName(kind);
+      break;
+  }
+  if (site >= 0) name += "#" + std::to_string(site);
+  return name;
+}
+
+}  // namespace
+
+std::string renderBlame(const BlameReport& report) {
+  std::ostringstream os;
+  os << "critical-path blame (" << report.threads << " threads, wall "
+     << ms(report.wallNs) << " ms):\n";
+  TextTable buckets({"bucket", "ms", "% of wall"});
+  const BlameBuckets& b = report.buckets;
+  buckets.addRowValues("compute", ms(b.computeNs),
+                       pct(b.computeNs, report.wallNs));
+  buckets.addRowValues("barrier wait", ms(b.barrierWaitNs),
+                       pct(b.barrierWaitNs, report.wallNs));
+  buckets.addRowValues("serial section", ms(b.serialNs),
+                       pct(b.serialNs, report.wallNs));
+  buckets.addRowValues("counter stall", ms(b.counterStallNs),
+                       pct(b.counterStallNs, report.wallNs));
+  buckets.addRowValues("imbalance", ms(b.imbalanceNs),
+                       pct(b.imbalanceNs, report.wallNs));
+  buckets.addRowValues("(sum)", ms(b.sum()), pct(b.sum(), report.wallNs));
+  buckets.print(os);
+
+  if (!report.sites.empty()) {
+    os << "\nper-site blame (what-if: critical-path upper bound on the wall"
+          " time saved by\neliminating the sync point):\n";
+    TextTable sites({"sync point", "path visits", "path wait ms",
+                     "serial ms", "imbalance ms", "total wait ms",
+                     "what-if saved ms", "% of wall"});
+    for (const SiteBlame& s : report.sites)
+      sites.addRowValues(blameSiteLabel(s.kind, s.site), s.pathVisits,
+                         ms(s.pathWaitNs), ms(s.pathSerialNs),
+                         ms(s.imbalanceNs), ms(s.totalWaitNs),
+                         ms(s.whatIfSavedNs),
+                         pct(s.whatIfSavedNs, report.wallNs));
+    sites.print(os);
+  }
+  if (!report.complete)
+    os << "\nWARNING: attribution incomplete: " << report.incompleteReason
+       << "\n";
+  return os.str();
+}
+
+void writeBlameJson(JsonWriter& json, const BlameReport& report) {
+  json.object();
+  json.field("threads", report.threads);
+  json.field("wall_ns", static_cast<std::int64_t>(report.wallNs));
+  json.field("path_steps", report.pathSteps);
+  json.field("complete", report.complete);
+  if (!report.complete)
+    json.field("incomplete_reason", report.incompleteReason);
+  const BlameBuckets& b = report.buckets;
+  json.field("buckets").object();
+  json.field("compute_ns", static_cast<std::int64_t>(b.computeNs));
+  json.field("barrier_wait_ns", static_cast<std::int64_t>(b.barrierWaitNs));
+  json.field("serial_ns", static_cast<std::int64_t>(b.serialNs));
+  json.field("counter_stall_ns",
+             static_cast<std::int64_t>(b.counterStallNs));
+  json.field("imbalance_ns", static_cast<std::int64_t>(b.imbalanceNs));
+  json.field("sum_ns", static_cast<std::int64_t>(b.sum()));
+  json.close();
+  json.field("sites").array();
+  for (const SiteBlame& s : report.sites) {
+    json.object();
+    json.field("kind", eventKindName(s.kind));
+    json.field("site", s.site);
+    json.field("path_visits", s.pathVisits);
+    json.field("path_wait_ns", static_cast<std::int64_t>(s.pathWaitNs));
+    json.field("path_serial_ns", static_cast<std::int64_t>(s.pathSerialNs));
+    json.field("imbalance_ns", static_cast<std::int64_t>(s.imbalanceNs));
+    json.field("total_wait_ns", static_cast<std::int64_t>(s.totalWaitNs));
+    json.field("what_if_saved_ns",
+               static_cast<std::int64_t>(s.whatIfSavedNs));
+    json.close();
+  }
+  json.close();
+  json.close();
+}
+
+}  // namespace spmd::obs

@@ -1,0 +1,105 @@
+// Critical-path blame analysis over a sync-event trace.
+//
+// A wait-time profile (profile.h) answers "how long did processors stall
+// at each sync point, in total" — but total stall is a misleading guide
+// for optimization: P-1 threads parked at a barrier while one straggler
+// computes costs (P-1) * t of stall yet only t of end-to-end time, and a
+// wait that overlaps another thread's wait costs nothing at all.  What
+// the paper's transformations actually shorten is the *critical path*:
+// the single chain of compute segments and synchronization releases that
+// determines wall-clock time.
+//
+// This analyzer reconstructs that chain from a Trace by walking the
+// cross-thread happens-before relation backward from the last event:
+//
+//   * Barrier episodes are recovered by grouping BarrierWait events by
+//     (site, per-thread occurrence ordinal) — every processor passes
+//     every barrier the same number of times, so the o-th wait at a site
+//     on each thread belongs to one episode.  A barrier's release
+//     happens-after the last arrival, so the path jumps from the release
+//     to the last-arriving thread at its arrival time.
+//   * Counter waits carry the producer's id (TraceEvent::aux); the o-th
+//     wait on (site, waiter, producer) pairs with the o-th CounterPost
+//     at (site, producer), and the path jumps to the producer at its
+//     post time.
+//   * Everything between two path synchronization events on one thread
+//     is compute — except compute inside a barrier episode's arrival
+//     window [first arrival, last arrival], which is *imbalance*: work
+//     the straggler did while the rest of the team was already parked.
+//
+// Each backward step attributes exactly the time it traverses, so the
+// buckets tile [wallStart, wallEnd] and sum to the wall time by
+// construction — the differential test in critical_path_test relies on
+// this.  Attribution is approximate where the trace is (ring drops
+// invalidate occurrence ordinals; the report is marked incomplete), but
+// never invents time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/json.h"
+
+namespace spmd::obs {
+
+/// Where the end-to-end time went, along the critical path.
+struct BlameBuckets {
+  std::int64_t computeNs = 0;       ///< on-path useful work
+  std::int64_t barrierWaitNs = 0;   ///< release latency + join waits
+  std::int64_t serialNs = 0;        ///< barrier serial sections on the path
+  std::int64_t counterStallNs = 0;  ///< on-path counter stalls
+  std::int64_t imbalanceNs = 0;     ///< straggler compute inside a barrier's
+                                    ///< arrival window
+
+  std::int64_t sum() const {
+    return computeNs + barrierWaitNs + serialNs + counterStallNs +
+           imbalanceNs;
+  }
+};
+
+/// Per-sync-site attribution.  `site` is the optimizer's boundary label
+/// where one exists (lowered-engine runs), or the runtime's counter id /
+/// -1 for anonymous sites (interpreter runs, team joins).
+struct SiteBlame {
+  EventKind kind = EventKind::BarrierWait;
+  std::int32_t site = -1;
+  std::uint64_t pathVisits = 0;    ///< times the critical path crossed here
+  std::int64_t pathWaitNs = 0;     ///< on-path wait (release/stall latency)
+  std::int64_t pathSerialNs = 0;   ///< on-path serial section time
+  std::int64_t imbalanceNs = 0;    ///< on-path straggler compute charged here
+  std::int64_t totalWaitNs = 0;    ///< all-thread wait (profile-style total)
+  /// Upper bound on wall-time saved if this sync point cost nothing:
+  /// pathWaitNs + pathSerialNs + imbalanceNs.  An upper bound because
+  /// removing the sync may expose a second-longest path.
+  std::int64_t whatIfSavedNs = 0;
+};
+
+struct BlameReport {
+  int threads = 0;
+  std::int64_t wallStartNs = 0;
+  std::int64_t wallEndNs = 0;
+  std::int64_t wallNs = 0;  ///< wallEndNs - wallStartNs
+  BlameBuckets buckets;
+  /// Sorted by whatIfSavedNs descending — the blame ranking.
+  std::vector<SiteBlame> sites;
+  std::uint64_t pathSteps = 0;  ///< backward-walk iterations
+  /// False when attribution could not be trusted end to end: ring drops
+  /// (ordinal matching breaks) or a cyclic/degenerate trace stopped the
+  /// walk early.  Buckets still tile whatever was attributed.
+  bool complete = true;
+  std::string incompleteReason;
+};
+
+/// Builds the blame report for a trace snapshot.
+BlameReport buildBlame(const Trace& trace);
+
+/// Human-readable blame table (spmdopt --blame, spmdtrace).
+std::string renderBlame(const BlameReport& report);
+
+/// Machine-readable blame (embedded in spmdopt --report-json).  Writes
+/// one JSON object on the writer.
+void writeBlameJson(JsonWriter& json, const BlameReport& report);
+
+}  // namespace spmd::obs

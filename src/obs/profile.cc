@@ -52,6 +52,12 @@ ProfileReport buildProfile(const Trace& trace) {
 
   for (const ThreadTrace& t : trace.threads) {
     report.dropped += t.dropped;
+    report.recorded += t.recorded;
+    if (t.tid >= 0) {
+      if (report.droppedPerThread.size() <= static_cast<std::size_t>(t.tid))
+        report.droppedPerThread.resize(static_cast<std::size_t>(t.tid) + 1, 0);
+      report.droppedPerThread[static_cast<std::size_t>(t.tid)] += t.dropped;
+    }
     for (const TraceEvent& e : t.events) {
       ++report.events;
       switch (e.kind) {
@@ -112,6 +118,15 @@ std::string us(double ns) { return fixed(ns / 1000.0, 2); }
 
 std::string renderProfile(const ProfileReport& report) {
   std::ostringstream os;
+  if (report.dropped > 0) {
+    os << "WARNING: " << report.dropped << " of " << report.recorded
+       << " events lost to ring wraparound (per thread:";
+    for (std::size_t t = 0; t < report.droppedPerThread.size(); ++t)
+      if (report.droppedPerThread[t] > 0)
+        os << " t" << t << "=" << report.droppedPerThread[t];
+    os << "); totals undercount and blame attribution is incomplete."
+       << " Re-run with a larger --trace-capacity.\n\n";
+  }
   TextTable sites({"sync point", "events", "total ms", "mean us", "min us",
                    "max us"});
   for (const SyncSiteProfile& s : report.sites) {
@@ -145,7 +160,11 @@ std::string renderProfile(const ProfileReport& report) {
 void writeProfileJson(JsonWriter& json, const ProfileReport& report) {
   json.object();
   json.field("events", report.events);
+  json.field("recorded", report.recorded);
   json.field("dropped", report.dropped);
+  json.field("dropped_per_thread").array();
+  for (std::uint64_t d : report.droppedPerThread) json.value(d);
+  json.close();
   json.field("barrier_wait_ns", static_cast<std::int64_t>(report.barrierWaitNs));
   json.field("serial_ns", static_cast<std::int64_t>(report.serialNs));
   json.field("counter_stall_ns",

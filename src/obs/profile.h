@@ -69,7 +69,13 @@ struct ProfileReport {
   std::int64_t serialNs = 0;
   std::int64_t counterStallNs = 0;
   std::uint64_t events = 0;
+  std::uint64_t recorded = 0;  ///< record() calls (events + dropped)
   std::uint64_t dropped = 0;
+  /// Ring-wraparound losses per thread, indexed by tid.  Nonzero drops
+  /// mean every aggregate above undercounts (the oldest window is gone) —
+  /// renderProfile warns, and blame analysis refuses to claim a complete
+  /// attribution.
+  std::vector<std::uint64_t> droppedPerThread;
 };
 
 /// Aggregates a trace snapshot into per-site statistics.

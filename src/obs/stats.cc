@@ -1,0 +1,105 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "support/text_table.h"
+
+namespace spmd::obs {
+
+namespace {
+
+// Registration happens during static initialization across translation
+// units, so the registry itself must be a function-local static (first
+// use constructs it) guarded by its own mutex.
+struct Registry {
+  std::mutex mutex;
+  std::vector<Statistic*> stats;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool>& statsEnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+}  // namespace detail
+
+void setStatsEnabled(bool on) {
+  detail::statsEnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+void resetStats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (Statistic* s : r.stats) s->value_.store(0, std::memory_order_relaxed);
+}
+
+Statistic::Statistic(const char* group, const char* name, const char* desc)
+    : group_(group), name_(name), desc_(desc) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.stats.push_back(this);
+}
+
+std::vector<StatRow> statsSnapshot() {
+  Registry& r = registry();
+  std::vector<StatRow> rows;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    rows.reserve(r.stats.size());
+    for (const Statistic* s : r.stats)
+      rows.push_back(StatRow{s->group(), s->name(), s->desc(), s->value()});
+  }
+  std::sort(rows.begin(), rows.end(), [](const StatRow& a, const StatRow& b) {
+    if (a.group != b.group) return a.group < b.group;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+std::uint64_t statValue(const std::string& group, const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const Statistic* s : r.stats)
+    if (group == s->group() && name == s->name()) return s->value();
+  return 0;
+}
+
+std::string renderStats() {
+  std::ostringstream os;
+  os << "statistics:\n";
+  TextTable table({"group", "statistic", "value", "description"});
+  for (const StatRow& row : statsSnapshot())
+    table.addRowValues(row.group, row.name, row.value, row.desc);
+  table.print(os);
+  return os.str();
+}
+
+void writeStatsJson(JsonWriter& json) {
+  json.object();
+  std::vector<StatRow> rows = statsSnapshot();
+  std::string open;
+  bool inGroup = false;
+  for (const StatRow& row : rows) {
+    if (!inGroup || row.group != open) {
+      if (inGroup) json.close();
+      json.field(row.group).object();
+      open = row.group;
+      inGroup = true;
+    }
+    json.field(row.name, row.value);
+  }
+  if (inGroup) json.close();
+  json.close();
+}
+
+}  // namespace spmd::obs

@@ -61,6 +61,12 @@ struct TraceEvent {
   std::int64_t start = 0;  ///< ns since the tracer's origin
   std::int64_t dur = 0;    ///< ns; 0 for instant events
   std::int32_t site = -1;
+  /// Event-kind-specific extra: for CounterWait, the producer thread the
+  /// waiter stalled on (the event's own tid is the waiter) — what lets a
+  /// post-run analysis draw the post->wait happens-before edge.  -1 when
+  /// the kind carries no extra.  Fits the struct's former padding, so the
+  /// ring footprint is unchanged.
+  std::int16_t aux = -1;
   EventKind kind = EventKind::BarrierWait;
   std::uint8_t tid = 0;
 };
@@ -110,12 +116,13 @@ class Tracer {
   }
 
   /// Records a span event that started at `start` (from now()) and lasted
-  /// `dur` ns.  Called by thread `tid` only.
+  /// `dur` ns.  Called by thread `tid` only.  `aux` is the kind-specific
+  /// extra (see TraceEvent::aux).
   void record(int tid, EventKind kind, std::int32_t site, std::int64_t start,
-              std::int64_t dur) {
+              std::int64_t dur, std::int16_t aux = -1) {
     Ring& r = *rings_[static_cast<std::size_t>(tid)];
-    r.slots[static_cast<std::size_t>(r.next) & mask_] =
-        TraceEvent{start, dur, site, kind, static_cast<std::uint8_t>(tid)};
+    r.slots[static_cast<std::size_t>(r.next) & mask_] = TraceEvent{
+        start, dur, site, aux, kind, static_cast<std::uint8_t>(tid)};
     ++r.next;
   }
 

@@ -4,8 +4,18 @@
 #include <map>
 #include <optional>
 
+#include "obs/stats.h"
 #include "poly/var.h"
 #include "support/rational.h"
+
+SPMD_STATISTIC(statFmScans, "poly", "fm-scans",
+               "rational feasibility scans started");
+SPMD_STATISTIC(statFmScanCacheHits, "poly", "fm-scan-cache-hits",
+               "scans served from the fingerprint memo");
+SPMD_STATISTIC(statFmEliminations, "poly", "fm-eliminations",
+               "variables eliminated by Fourier-Motzkin");
+SPMD_STATISTIC(statFmCombinations, "poly", "fm-combinations",
+               "lower/upper constraint pairs combined");
 
 namespace spmd::poly {
 
@@ -206,6 +216,7 @@ System eliminateViaEquality(const System& s, VarId v, std::size_t pivotIdx) {
 
 System eliminateVariable(const System& s, VarId v, const FMOptions& opts) {
   fmCounters().eliminations.fetch_add(1, std::memory_order_relaxed);
+  statFmEliminations.add();
 
   if (s.provedEmpty()) {
     System out(s.space());
@@ -241,6 +252,7 @@ System eliminateVariable(const System& s, VarId v, const FMOptions& opts) {
   for (const Constraint* lo : lowers) {
     for (const Constraint* hi : uppers) {
       fmCounters().combinations.fetch_add(1, std::memory_order_relaxed);
+      statFmCombinations.add();
       i64 a = lo->expr().coef(v);             // a > 0
       i64 b = negChecked(hi->expr().coef(v));  // b > 0
       i64 g = gcd64(a, b);
@@ -266,10 +278,14 @@ std::vector<VarId> eliminationOrder(const System& s) {
 
 Feasibility scanRational(const System& s, const FMOptions& opts) {
   fmCounters().scans.fetch_add(1, std::memory_order_relaxed);
+  statFmScans.add();
   std::uint64_t key = 0;
   if (opts.scanMemo != nullptr) {
     key = s.fingerprint();
-    if (auto hit = opts.scanMemo->lookup(key)) return *hit;
+    if (auto hit = opts.scanMemo->lookup(key)) {
+      statFmScanCacheHits.add();
+      return *hit;
+    }
   }
   System cur = opts.dedupConstraints ? dedupSystem(s) : s;
   while (true) {

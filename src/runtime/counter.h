@@ -42,7 +42,9 @@ class CounterSync final : public SyncPrimitive {
 
   /// Traced consumer wait: identical blocking semantics, but records the
   /// stall as a CounterWait span attributed to `waiter` (the thread doing
-  /// the waiting — the 2-arg overload only knows the producer's id).
+  /// the waiting — the 2-arg overload only knows the producer's id), with
+  /// the producer's id in the event's aux so an offline analysis can pair
+  /// the stall with the post that released it.
   void wait(int waiter, int producer, std::uint64_t occurrence) const {
     if (!tracer_) {
       wait(producer, occurrence);
@@ -51,7 +53,8 @@ class CounterSync final : public SyncPrimitive {
     const std::int64_t t0 = tracer_->now();
     wait(producer, occurrence);
     tracer_->record(waiter, obs::EventKind::CounterWait, traceSite_, t0,
-                    tracer_->now() - t0);
+                    tracer_->now() - t0,
+                    static_cast<std::int16_t>(producer));
   }
 
   /// Resets all slots (between region executions; caller must ensure no

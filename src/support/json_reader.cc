@@ -1,0 +1,301 @@
+#include "support/json_reader.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace spmd {
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  auto it = members_.find(key);
+  return it == members_.end() ? nullptr : it->second.get();
+}
+
+double JsonValue::getDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind() == Kind::Number ? v->asDouble() : fallback;
+}
+
+std::int64_t JsonValue::getInt(const std::string& key,
+                               std::int64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind() == Kind::Number ? v->asInt() : fallback;
+}
+
+std::string JsonValue::getString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind() == Kind::String ? v->asString() : fallback;
+}
+
+bool JsonValue::getBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->kind() == Kind::Bool ? v->asBool() : fallback;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValuePtr parse(std::string* error) {
+    JsonValuePtr v = parseValue();
+    if (v != nullptr) {
+      skipSpace();
+      if (pos_ != text_.size()) {
+        fail("trailing content after the document");
+        v = nullptr;
+      }
+    }
+    if (v == nullptr && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  JsonValuePtr parseValue() {
+    skipSpace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        return parseString();
+      case 't':
+      case 'f':
+        return parseKeyword(c == 't' ? "true" : "false",
+                            JsonValue::Kind::Bool, c == 't');
+      case 'n':
+        return parseKeyword("null", JsonValue::Kind::Null, false);
+      default:
+        return parseNumber();
+    }
+  }
+
+  JsonValuePtr parseObject() {
+    ++pos_;  // '{'
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::Object;
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipSpace();
+      if (peek() != '"') return fail("expected object key");
+      JsonValuePtr key = parseString();
+      if (key == nullptr) return nullptr;
+      skipSpace();
+      if (peek() != ':') return fail("expected ':' after object key");
+      ++pos_;
+      JsonValuePtr member = parseValue();
+      if (member == nullptr) return nullptr;
+      v->members_[key->asString()] = member;
+      skipSpace();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValuePtr parseArray() {
+    ++pos_;  // '['
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::Array;
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValuePtr item = parseValue();
+      if (item == nullptr) return nullptr;
+      v->items_.push_back(std::move(item));
+      skipSpace();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValuePtr parseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        auto v = std::make_shared<JsonValue>();
+        v->kind_ = JsonValue::Kind::String;
+        v->string_ = std::move(out);
+        return v;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by JsonWriter; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  JsonValuePtr parseKeyword(const char* word, JsonValue::Kind kind,
+                            bool boolValue) {
+    std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = kind;
+    v->boolean_ = boolValue;
+    return v;
+  }
+
+  JsonValuePtr parseNumber() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // The leading minus was consumed before the loop, so any sign
+        // here belongs to an exponent: the number is not integral.
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a value");
+    std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || errno == ERANGE)
+      return fail("malformed number");
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::Number;
+    v->number_ = d;
+    if (integral) {
+      errno = 0;
+      long long i = std::strtoll(token.c_str(), &end, 10);
+      v->integer_ = errno == ERANGE ? static_cast<std::int64_t>(d)
+                                    : static_cast<std::int64_t>(i);
+    } else {
+      v->integer_ = static_cast<std::int64_t>(d);
+    }
+    return v;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  JsonValuePtr fail(const std::string& message) {
+    if (error_.empty())
+      error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    return nullptr;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonValuePtr parseJson(const std::string& text, std::string* error) {
+  return JsonParser(text).parse(error);
+}
+
+JsonValuePtr parseJsonFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseJson(buf.str(), error);
+}
+
+}  // namespace spmd

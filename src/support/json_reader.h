@@ -1,0 +1,70 @@
+// A minimal JSON reader for the tools that consume this project's own
+// machine-readable outputs (spmdtrace reads --trace files, bench_gate
+// reads BENCH_*.json).  Strict recursive-descent parser into a small DOM;
+// no streaming, no extensions beyond what JsonWriter emits (standard JSON
+// with finite numbers).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spmd {
+
+class JsonValue;
+using JsonValuePtr = std::shared_ptr<JsonValue>;
+
+/// One parsed JSON value.  Numbers keep both views: `asDouble` for
+/// measurements, `asInt` (exact when the text had no fraction/exponent)
+/// for counters and ids.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isObject() const { return kind_ == Kind::Object; }
+  bool isArray() const { return kind_ == Kind::Array; }
+
+  bool asBool() const { return boolean_; }
+  double asDouble() const { return number_; }
+  std::int64_t asInt() const { return integer_; }
+  const std::string& asString() const { return string_; }
+  const std::vector<JsonValuePtr>& items() const { return items_; }
+  /// Members in document order (duplicate keys keep the last value).
+  const std::map<std::string, JsonValuePtr>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+
+  // Typed member conveniences with defaults.
+  double getDouble(const std::string& key, double fallback = 0.0) const;
+  std::int64_t getInt(const std::string& key, std::int64_t fallback = 0) const;
+  std::string getString(const std::string& key,
+                        const std::string& fallback = "") const;
+  bool getBool(const std::string& key, bool fallback = false) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::Null;
+  bool boolean_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  std::string string_;
+  std::vector<JsonValuePtr> items_;
+  std::map<std::string, JsonValuePtr> members_;
+};
+
+/// Parses `text` as one JSON document.  On failure returns null and, when
+/// `error` is non-null, stores a message with the byte offset.
+JsonValuePtr parseJson(const std::string& text, std::string* error = nullptr);
+
+/// Reads and parses a JSON file; null (with message) on open/parse failure.
+JsonValuePtr parseJsonFile(const std::string& path,
+                           std::string* error = nullptr);
+
+}  // namespace spmd

@@ -1,0 +1,226 @@
+// Critical-path blame analyzer: hand-built synthetic traces with known
+// critical paths pin the bucket attribution exactly (the analyzer tiles
+// [wallStart, wallEnd], so every expectation is an equality), and a
+// traced-run differential checks the tiling property holds on real
+// kernel executions at P in {2, 4}.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/compilation.h"
+#include "driver/execution.h"
+#include "kernels/kernels.h"
+#include "obs/critical_path.h"
+#include "obs/trace.h"
+#include "support/json.h"
+
+namespace spmd {
+namespace {
+
+// --- synthetic traces ------------------------------------------------------
+
+TEST(BlameTest, EmptyTraceIsZero) {
+  obs::BlameReport report = obs::buildBlame(obs::Trace{});
+  EXPECT_EQ(report.wallNs, 0);
+  EXPECT_EQ(report.buckets.sum(), 0);
+  EXPECT_TRUE(report.complete);
+}
+
+// Two threads, one barrier: t1 straggles to 1000 while t0 parked from
+// 100.  The critical path is t1's compute (all of it inside the arrival
+// window, hence imbalance) plus the release latency after the last
+// arrival — t0's 900 ns of parked time must NOT be blamed.
+TEST(BlameTest, StragglerBarrierSplitsWaitFromImbalance) {
+  obs::Tracer tracer(2, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, 0, 100, 910);   // ends 1010
+  tracer.record(1, obs::EventKind::BarrierWait, 0, 1000, 5);    // ends 1005
+
+  obs::BlameReport report = obs::buildBlame(tracer.snapshot());
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.threads, 2);
+  EXPECT_EQ(report.wallNs, 910);  // 100 .. 1010
+  EXPECT_EQ(report.buckets.barrierWaitNs, 10);  // lastArrival 1000 -> 1010
+  EXPECT_EQ(report.buckets.imbalanceNs, 900);   // straggler compute 100..1000
+  EXPECT_EQ(report.buckets.computeNs, 0);
+  EXPECT_EQ(report.buckets.serialNs, 0);
+  EXPECT_EQ(report.buckets.sum(), report.wallNs);
+
+  ASSERT_EQ(report.sites.size(), 1u);
+  const obs::SiteBlame& s = report.sites[0];
+  EXPECT_EQ(s.kind, obs::EventKind::BarrierWait);
+  EXPECT_EQ(s.site, 0);
+  EXPECT_EQ(s.pathVisits, 1u);
+  EXPECT_EQ(s.pathWaitNs, 10);
+  EXPECT_EQ(s.imbalanceNs, 900);
+  EXPECT_EQ(s.totalWaitNs, 915);          // both threads' recorded waits
+  EXPECT_EQ(s.whatIfSavedNs, 910);        // wait + imbalance
+}
+
+// Four threads with staggered arrivals: the walk must jump to the last
+// arriver (t3) and charge its pre-arrival time as imbalance.
+TEST(BlameTest, FourThreadsBlameTheLastArriver) {
+  obs::Tracer tracer(4, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, 7, 100, 410);  // ends 510
+  tracer.record(1, obs::EventKind::BarrierWait, 7, 200, 310);  // ends 510
+  tracer.record(2, obs::EventKind::BarrierWait, 7, 300, 210);  // ends 510
+  tracer.record(3, obs::EventKind::BarrierWait, 7, 500, 12);   // ends 512
+
+  obs::BlameReport report = obs::buildBlame(tracer.snapshot());
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.threads, 4);
+  EXPECT_EQ(report.wallNs, 412);                 // 100 .. 512
+  EXPECT_EQ(report.buckets.barrierWaitNs, 12);   // release after 500
+  EXPECT_EQ(report.buckets.imbalanceNs, 400);    // t3's 100..500
+  EXPECT_EQ(report.buckets.computeNs, 0);
+  EXPECT_EQ(report.buckets.sum(), report.wallNs);
+}
+
+// A serial section run at the barrier: its span must come out of the
+// wait bucket, not be double-counted.
+TEST(BlameTest, SerialSectionIsItsOwnBucket) {
+  obs::Tracer tracer(2, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, 1, 100, 200);    // ends 300
+  tracer.record(1, obs::EventKind::BarrierWait, 1, 120, 180);    // ends 300
+  tracer.record(1, obs::EventKind::BarrierSerial, 1, 250, 40);   // ends 290
+
+  obs::BlameReport report = obs::buildBlame(tracer.snapshot());
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.wallNs, 200);
+  EXPECT_EQ(report.buckets.serialNs, 40);
+  EXPECT_EQ(report.buckets.barrierWaitNs, 140);  // (300-120) - 40 serial
+  EXPECT_EQ(report.buckets.imbalanceNs, 20);     // arrivals 100..120 on t1
+  EXPECT_EQ(report.buckets.sum(), report.wallNs);
+  ASSERT_FALSE(report.sites.empty());
+  EXPECT_EQ(report.sites[0].pathSerialNs, 40);
+}
+
+// Counter pipeline: the consumer's o-th wait on a producer must pair
+// with the producer's o-th post.  With correct ordinal pairing the path
+// jumps to the producer at its *second* post (800); mispairing with the
+// first post would leave the path on the consumer and split the buckets
+// differently (both tile, so the equalities below pin the ordering).
+TEST(BlameTest, CounterWaitPairsWithMatchingPostOrdinal) {
+  obs::Tracer tracer(2, 16);
+  tracer.record(0, obs::EventKind::CounterPost, 3, 400, 0);
+  tracer.record(0, obs::EventKind::CounterPost, 3, 800, 0);
+  tracer.record(1, obs::EventKind::CounterWait, 3, 200, 205, /*aux=*/0);
+  tracer.record(1, obs::EventKind::CounterWait, 3, 600, 210, /*aux=*/0);
+
+  obs::BlameReport report = obs::buildBlame(tracer.snapshot());
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.wallNs, 610);                  // 200 .. 810
+  EXPECT_EQ(report.buckets.counterStallNs, 10);   // 800 -> 810 on the path
+  EXPECT_EQ(report.buckets.computeNs, 600);       // producer 200 -> 800
+  EXPECT_EQ(report.buckets.sum(), report.wallNs);
+
+  ASSERT_EQ(report.sites.size(), 1u);
+  EXPECT_EQ(report.sites[0].kind, obs::EventKind::CounterWait);
+  EXPECT_EQ(report.sites[0].site, 3);
+  EXPECT_EQ(report.sites[0].totalWaitNs, 415);    // both stalls, all threads
+  EXPECT_EQ(report.sites[0].pathWaitNs, 10);
+}
+
+// A post that precedes the stall entirely means the wait never blocked
+// the path (spin overhead only): no cross-thread jump.
+TEST(BlameTest, SatisfiedCounterWaitStaysOnThread) {
+  obs::Tracer tracer(2, 16);
+  tracer.record(0, obs::EventKind::CounterPost, 2, 100, 0);
+  tracer.record(1, obs::EventKind::CounterWait, 2, 300, 50, /*aux=*/0);
+
+  obs::BlameReport report = obs::buildBlame(tracer.snapshot());
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.wallNs, 250);                 // 100 .. 350
+  EXPECT_EQ(report.buckets.counterStallNs, 50);  // full span, same thread
+  EXPECT_EQ(report.buckets.computeNs, 200);      // 100 .. 300 on t1's walk
+  EXPECT_EQ(report.buckets.sum(), report.wallNs);
+}
+
+TEST(BlameTest, RingDropsMarkReportIncomplete) {
+  obs::Trace trace;
+  obs::ThreadTrace t;
+  t.tid = 0;
+  t.events.push_back(
+      obs::TraceEvent{100, 50, 0, -1, obs::EventKind::BarrierWait, 0});
+  t.recorded = 6;
+  t.dropped = 5;
+  trace.threads.push_back(t);
+
+  obs::BlameReport report = obs::buildBlame(trace);
+  EXPECT_FALSE(report.complete);
+  EXPECT_FALSE(report.incompleteReason.empty());
+  std::string text = obs::renderBlame(report);
+  EXPECT_NE(text.find("WARNING"), std::string::npos) << text;
+}
+
+TEST(BlameTest, RenderAndJsonCarryTheReport) {
+  obs::Tracer tracer(2, 16);
+  tracer.record(0, obs::EventKind::BarrierWait, 0, 0, 100);
+  tracer.record(1, obs::EventKind::BarrierWait, 0, 50, 50);
+  obs::BlameReport report = obs::buildBlame(tracer.snapshot());
+
+  std::string text = obs::renderBlame(report);
+  EXPECT_EQ(text.rfind("critical-path blame", 0), 0u) << text;
+  EXPECT_NE(text.find("(sum)"), std::string::npos);
+  EXPECT_NE(text.find("barrier#0"), std::string::npos);
+
+  std::ostringstream os;
+  JsonWriter json(os);
+  obs::writeBlameJson(json, report);
+  EXPECT_TRUE(json.done());
+  EXPECT_NE(os.str().find("\"what_if_saved_ns\""), std::string::npos);
+}
+
+// --- traced-run differential: buckets tile the wall ------------------------
+
+struct CaseParam {
+  std::string kernel;
+  int threads;
+};
+
+class BlameDifferentialTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(BlameDifferentialTest, BucketsSumToWallTime) {
+  const CaseParam& param = GetParam();
+  kernels::KernelSpec spec = kernels::kernelByName(param.kernel);
+  driver::Compilation compilation = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+
+  driver::RunRequest request;
+  request.symbols = spec.bindings(std::min<i64>(spec.defaultN, 24),
+                                  std::min<i64>(spec.defaultT, 4));
+  request.threads = param.threads;
+  request.trace = true;
+  driver::RunComparison run = driver::runComparison(compilation, request);
+
+  ASSERT_TRUE(run.baseTrace.has_value());
+  ASSERT_TRUE(run.optTrace.has_value());
+  for (const auto* trace : {&*run.baseTrace, &*run.optTrace}) {
+    obs::BlameReport report = obs::buildBlame(*trace);
+    ASSERT_TRUE(report.complete) << report.incompleteReason;
+    ASSERT_GT(report.wallNs, 0);
+    // Exact tiling modulo integer slack: attributed time within 5% of
+    // the trace's wall-clock span (the acceptance bound; the algorithm
+    // is exact, so this has margin to spare).
+    double wall = static_cast<double>(report.wallNs);
+    double sum = static_cast<double>(report.buckets.sum());
+    EXPECT_NEAR(sum, wall, 0.05 * wall)
+        << spec.name << " P=" << param.threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, BlameDifferentialTest, ::testing::ValuesIn([] {
+      std::vector<CaseParam> cases;
+      for (const kernels::KernelSpec& spec : kernels::allKernels())
+        for (int threads : {2, 4})
+          cases.push_back(CaseParam{spec.name, threads});
+      return cases;
+    }()),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return info.param.kernel + "_p" + std::to_string(info.param.threads);
+    });
+
+}  // namespace
+}  // namespace spmd

@@ -1,0 +1,173 @@
+// Compiler statistics registry: self-registration, zero-cost-when-off
+// gating, deterministic rendering, and — the pinned contract — the
+// per-rule "optimizer" counters agree with the plan's OptStats for every
+// kernel, so `spmdopt --stats` numbers are the same numbers the reports
+// print.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/compilation.h"
+#include "kernels/kernels.h"
+#include "obs/stats.h"
+#include "support/json.h"
+
+SPMD_STATISTIC(statTestProbe, "zzz-test", "probe",
+               "counter owned by stats_test");
+
+namespace spmd {
+namespace {
+
+/// Every test leaves the process-global registry disabled and zeroed.
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setStatsEnabled(false);
+    obs::resetStats();
+  }
+  void TearDown() override {
+    obs::setStatsEnabled(false);
+    obs::resetStats();
+  }
+};
+
+TEST_F(StatsTest, DisabledIncrementsAreDropped) {
+  EXPECT_FALSE(obs::statsEnabled());
+  statTestProbe.add();
+  statTestProbe.add(41);
+  EXPECT_EQ(statTestProbe.value(), 0u);
+  EXPECT_EQ(obs::statValue("zzz-test", "probe"), 0u);
+}
+
+TEST_F(StatsTest, EnabledIncrementsAccumulateAndResetZeroes) {
+  obs::setStatsEnabled(true);
+  statTestProbe.add();
+  statTestProbe.add(41);
+  ++statTestProbe;
+  EXPECT_EQ(statTestProbe.value(), 43u);
+  EXPECT_EQ(obs::statValue("zzz-test", "probe"), 43u);
+  obs::resetStats();
+  EXPECT_EQ(statTestProbe.value(), 0u);
+}
+
+TEST_F(StatsTest, SnapshotIsSortedByGroupThenName) {
+  std::vector<obs::StatRow> rows = obs::statsSnapshot();
+  ASSERT_FALSE(rows.empty());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const obs::StatRow& a = rows[i - 1];
+    const obs::StatRow& b = rows[i];
+    EXPECT_TRUE(a.group < b.group || (a.group == b.group && a.name < b.name))
+        << a.group << "/" << a.name << " before " << b.group << "/"
+        << b.name;
+  }
+  // Every instrumented layer registered itself via static init.
+  auto hasGroup = [&](const std::string& g) {
+    for (const obs::StatRow& r : rows)
+      if (r.group == g) return true;
+    return false;
+  };
+  EXPECT_TRUE(hasGroup("comm"));
+  EXPECT_TRUE(hasGroup("poly"));
+  EXPECT_TRUE(hasGroup("optimizer"));
+  EXPECT_TRUE(hasGroup("driver"));
+}
+
+TEST_F(StatsTest, RenderBeginsWithHeaderAndIsDeterministic) {
+  obs::setStatsEnabled(true);
+  statTestProbe.add(7);
+  std::string a = obs::renderStats();
+  EXPECT_EQ(a.rfind("statistics:\n", 0), 0u) << a;
+  EXPECT_NE(a.find("zzz-test"), std::string::npos);
+  EXPECT_EQ(a, obs::renderStats());  // byte-identical re-render
+}
+
+TEST_F(StatsTest, JsonDumpIsBalancedAndGrouped) {
+  obs::setStatsEnabled(true);
+  statTestProbe.add(5);
+  std::ostringstream os;
+  JsonWriter json(os);
+  obs::writeStatsJson(json);
+  EXPECT_TRUE(json.done());
+  EXPECT_NE(os.str().find("\"zzz-test\""), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("\"probe\": 5"), std::string::npos) << os.str();
+}
+
+// --- per-rule optimizer counters, pinned against OptStats ------------------
+
+class StatsKernelTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    obs::setStatsEnabled(false);
+    obs::resetStats();
+  }
+  void TearDown() override {
+    obs::setStatsEnabled(false);
+    obs::resetStats();
+  }
+};
+
+TEST_P(StatsKernelTest, PerRuleCountsMatchPlanStats) {
+  kernels::KernelSpec spec = kernels::kernelByName(GetParam());
+  obs::setStatsEnabled(true);
+  driver::Compilation compilation = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  const auto& plan = compilation.syncPlan();
+  const core::OptStats& s = plan.stats;
+
+  auto stat = [](const char* name) {
+    return obs::statValue("optimizer", name);
+  };
+  EXPECT_EQ(stat("boundaries-considered"), s.boundaries);
+  EXPECT_EQ(stat("interior-eliminated"), s.eliminated);
+  EXPECT_EQ(stat("interior-counter"), s.counters);
+  EXPECT_EQ(stat("interior-barrier"), s.barriers);
+  EXPECT_EQ(stat("backedge-considered"), s.backEdges);
+  EXPECT_EQ(stat("backedge-eliminated"), s.backEdgesEliminated);
+  EXPECT_EQ(stat("backedge-pipelined"), s.backEdgesPipelined);
+  EXPECT_EQ(stat("backedge-barrier"),
+            s.backEdges - s.backEdgesEliminated - s.backEdgesPipelined);
+  // Every boundary got exactly one verdict.
+  EXPECT_EQ(stat("interior-eliminated") + stat("interior-counter") +
+                stat("interior-barrier"),
+            stat("boundaries-considered"));
+}
+
+TEST_P(StatsKernelTest, DisabledCompilationLeavesCountersAtZero) {
+  kernels::KernelSpec spec = kernels::kernelByName(GetParam());
+  ASSERT_FALSE(obs::statsEnabled());
+  driver::Compilation compilation = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  compilation.syncPlan();
+  for (const obs::StatRow& r : obs::statsSnapshot())
+    EXPECT_EQ(r.value, 0u) << r.group << "/" << r.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, StatsKernelTest, ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const kernels::KernelSpec& spec : kernels::allKernels())
+        names.push_back(spec.name);
+      return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// --- driver pipeline-cache counters ----------------------------------------
+
+TEST_F(StatsTest, PlanCacheHitCountsRepeatAccess) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  obs::setStatsEnabled(true);
+  driver::Compilation compilation = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  compilation.syncPlan();
+  std::uint64_t afterFirst = obs::statValue("driver", "plan-cache-hits");
+  compilation.syncPlan();
+  compilation.syncPlan();
+  EXPECT_EQ(obs::statValue("driver", "plan-cache-hits"), afterFirst + 2);
+}
+
+}  // namespace
+}  // namespace spmd

@@ -1,0 +1,113 @@
+// JSON reader: strict parsing of the dialect JsonWriter emits, typed
+// accessors with fallbacks, and error reporting with byte offsets.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "support/json.h"
+#include "support/json_reader.h"
+
+namespace spmd {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null")->isNull());
+  EXPECT_TRUE(parseJson("true")->asBool());
+  EXPECT_FALSE(parseJson("false")->asBool());
+  EXPECT_DOUBLE_EQ(parseJson("2.5")->asDouble(), 2.5);
+  EXPECT_EQ(parseJson("-42")->asInt(), -42);
+  EXPECT_EQ(parseJson("\"hi\"")->asString(), "hi");
+}
+
+TEST(JsonReaderTest, IntegersStayExactDoublesDoNot) {
+  JsonValuePtr v = parseJson("9007199254740993");  // 2^53 + 1
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->asInt(), 9007199254740993LL);
+  // A fractional or exponent number is not reported as the truncation.
+  EXPECT_DOUBLE_EQ(parseJson("1e3")->asDouble(), 1000.0);
+}
+
+TEST(JsonReaderTest, ParsesNestedStructures) {
+  JsonValuePtr v = parseJson(
+      R"({"name": "run", "counts": [1, 2, 3], "inner": {"ok": true}})");
+  ASSERT_NE(v, nullptr);
+  ASSERT_TRUE(v->isObject());
+  EXPECT_EQ(v->getString("name"), "run");
+  const JsonValue* counts = v->get("counts");
+  ASSERT_NE(counts, nullptr);
+  ASSERT_TRUE(counts->isArray());
+  ASSERT_EQ(counts->items().size(), 3u);
+  EXPECT_EQ(counts->items()[2]->asInt(), 3);
+  const JsonValue* inner = v->get("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(inner->getBool("ok"));
+}
+
+TEST(JsonReaderTest, TypedAccessorsFallBackWhenAbsentOrMistyped) {
+  JsonValuePtr v = parseJson(R"({"s": "text", "n": 7})");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->getInt("missing", -1), -1);
+  EXPECT_EQ(v->getInt("s", -1), -1);  // wrong type -> fallback
+  EXPECT_EQ(v->getDouble("n"), 7.0);
+  EXPECT_EQ(v->getString("n", "fallback"), "fallback");
+  EXPECT_EQ(v->get("n")->get("nested"), nullptr);  // non-object lookup
+}
+
+TEST(JsonReaderTest, DecodesEscapesAndUnicode) {
+  JsonValuePtr v = parseJson(R"("a\"b\\c\n\tA")");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->asString(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInputWithOffset) {
+  std::string error;
+  EXPECT_EQ(parseJson("{\"a\": }", &error), nullptr);
+  EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+  EXPECT_EQ(parseJson("", &error), nullptr);
+  EXPECT_EQ(parseJson("[1, 2", &error), nullptr);
+  EXPECT_EQ(parseJson("{\"a\": 1} trailing", &error), nullptr);
+  EXPECT_EQ(parseJson("'single'", &error), nullptr);
+  EXPECT_EQ(parseJson("{a: 1}", &error), nullptr);
+}
+
+TEST(JsonReaderTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_EQ(parseJsonFile("/no/such/file.json", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// Round-trip: everything JsonWriter can emit, the reader understands.
+TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.object();
+  json.field("name", "trace");
+  json.field("pi", 3.25);
+  json.field("count", static_cast<std::int64_t>(1234567890123LL));
+  json.field("on", true);
+  json.field("items").array();
+  json.value(1);
+  json.value("two");
+  json.close();
+  json.field("nested").object();
+  json.field("deep", -5);
+  json.close();
+  json.close();
+  ASSERT_TRUE(json.done());
+
+  std::string error;
+  JsonValuePtr v = parseJson(os.str(), &error);
+  ASSERT_NE(v, nullptr) << error;
+  EXPECT_EQ(v->getString("name"), "trace");
+  EXPECT_DOUBLE_EQ(v->getDouble("pi"), 3.25);
+  EXPECT_EQ(v->getInt("count"), 1234567890123LL);
+  EXPECT_TRUE(v->getBool("on"));
+  ASSERT_NE(v->get("items"), nullptr);
+  EXPECT_EQ(v->get("items")->items().size(), 2u);
+  EXPECT_EQ(v->get("items")->items()[1]->asString(), "two");
+  EXPECT_EQ(v->get("nested")->getInt("deep"), -5);
+}
+
+}  // namespace
+}  // namespace spmd

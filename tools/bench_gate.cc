@@ -1,0 +1,196 @@
+// bench_gate — CI performance gate over the benchmark JSON artifacts.
+//
+// Compares a freshly produced BENCH_runtime.json or BENCH_compile_time.json
+// against the committed baseline and exits nonzero when any configuration
+// regressed beyond the tolerance.  The gated metric is always a *ratio*
+// internal to one run (lowered-vs-interpreted speedup per config, or
+// base-vs-memoized analysis speedup per kernel), never an absolute time —
+// so a smoke-mode fresh run on slower CI hardware compares meaningfully
+// against a full-size baseline captured elsewhere.
+//
+// Usage:
+//   bench_gate [--tolerance=X] BASELINE FRESH
+//     --tolerance=X   allowed slowdown factor (default 1.25): a config
+//                     fails when fresh_ratio < baseline_ratio / X.  CI
+//                     uses a loose 3.0 for smoke-mode runs on shared
+//                     runners; tighten it for dedicated hardware.
+//
+// The file kind (runtime vs compile-time) is auto-detected from the
+// "benchmark" field; baseline and fresh must agree.  Configurations
+// present in the baseline but missing from the fresh run fail the gate
+// (silent coverage loss reads as a pass otherwise); configs only in the
+// fresh run are reported but don't fail.  A fresh runtime config with
+// counts_match/fingerprint_match == false fails regardless of speed.
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json_reader.h"
+#include "support/text_table.h"
+
+namespace {
+
+using spmd::JsonValue;
+
+struct Entry {
+  double ratio = 0.0;     ///< the gated metric (higher is better)
+  bool correct = true;    ///< runtime only: counts + fingerprint matched
+};
+
+struct Loaded {
+  std::string benchmark;            ///< "runtime_exec" or "compile_time"
+  std::map<std::string, Entry> entries;
+};
+
+bool loadRuntime(const JsonValue& doc, Loaded& out, std::string* error) {
+  const JsonValue* configs = doc.get("configs");
+  if (configs == nullptr || !configs->isArray()) {
+    *error = "runtime bench file has no configs array";
+    return false;
+  }
+  for (const auto& c : configs->items()) {
+    std::string key = c->getString("kernel") + "|" + c->getString("mode") +
+                      "|t" + std::to_string(c->getInt("threads", 0));
+    Entry e;
+    e.ratio = c->getDouble("speedup", 0.0);
+    e.correct = c->getBool("counts_match", true) &&
+                c->getBool("fingerprint_match", true);
+    out.entries[key] = e;
+  }
+  return true;
+}
+
+bool loadCompileTime(const JsonValue& doc, Loaded& out, std::string* error) {
+  const JsonValue* kernels = doc.get("kernels");
+  if (kernels == nullptr || !kernels->isArray()) {
+    *error = "compile-time bench file has no kernels array";
+    return false;
+  }
+  for (const auto& k : kernels->items()) {
+    double base = k->getDouble("baseSeconds", 0.0);
+    double opt = k->getDouble("optSeconds", 0.0);
+    Entry e;
+    // Memoization speedup of the analysis pipeline.  Sub-100us kernels
+    // are pure timer noise; gate them as neutral (ratio 1).
+    e.ratio = (opt > 0.0 && base >= 1e-4) ? base / opt : 1.0;
+    e.correct = k->getBool("plansIdentical", true);
+    out.entries[k->getString("name")] = e;
+  }
+  return true;
+}
+
+bool loadFile(const std::string& path, Loaded& out, std::string* error) {
+  spmd::JsonValuePtr doc = spmd::parseJsonFile(path, error);
+  if (doc == nullptr) return false;
+  out.benchmark = doc->getString("benchmark");
+  if (out.benchmark == "runtime_exec") return loadRuntime(*doc, out, error);
+  if (out.benchmark == "compile_time")
+    return loadCompileTime(*doc, out, error);
+  *error = "unrecognized benchmark kind \"" + out.benchmark + "\"";
+  return false;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: bench_gate [--tolerance=X] BASELINE FRESH\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 1.25;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      try {
+        tolerance = std::stod(arg.substr(12));
+      } catch (...) {
+        tolerance = 0.0;
+      }
+      if (!(tolerance >= 1.0)) {
+        std::cerr << "error: --tolerance must be a number >= 1.0\n";
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown option: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    std::cerr << "error: expected BASELINE and FRESH files\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  Loaded baseline, fresh;
+  std::string error;
+  if (!loadFile(files[0], baseline, &error)) {
+    std::cerr << "error: " << files[0] << ": " << error << "\n";
+    return 2;
+  }
+  if (!loadFile(files[1], fresh, &error)) {
+    std::cerr << "error: " << files[1] << ": " << error << "\n";
+    return 2;
+  }
+  if (baseline.benchmark != fresh.benchmark) {
+    std::cerr << "error: benchmark kind mismatch: baseline is "
+              << baseline.benchmark << ", fresh is " << fresh.benchmark
+              << "\n";
+    return 2;
+  }
+
+  spmd::TextTable table(
+      {"config", "baseline", "fresh", "ratio", "floor", "status"});
+  int failures = 0;
+  int extras = 0;
+  for (const auto& [key, base] : baseline.entries) {
+    auto it = fresh.entries.find(key);
+    if (it == fresh.entries.end()) {
+      table.addRowValues(key, spmd::fixed(base.ratio, 3), "missing", "-", "-",
+                         "FAIL");
+      ++failures;
+      continue;
+    }
+    const Entry& now = it->second;
+    double floor = base.ratio / tolerance;
+    bool ok = now.correct && now.ratio >= floor;
+    if (!ok) ++failures;
+    table.addRowValues(key, spmd::fixed(base.ratio, 3),
+                       spmd::fixed(now.ratio, 3),
+                       spmd::fixed(base.ratio > 0.0 ? now.ratio / base.ratio
+                                                    : 0.0,
+                                   3),
+                       spmd::fixed(floor, 3),
+                       !now.correct ? "FAIL (incorrect)"
+                                    : (ok ? "ok" : "FAIL"));
+  }
+  for (const auto& [key, now] : fresh.entries)
+    if (baseline.entries.find(key) == baseline.entries.end()) {
+      table.addRowValues(key, "-", spmd::fixed(now.ratio, 3), "-", "-",
+                         "new");
+      ++extras;
+    }
+
+  std::cout << "bench gate: " << baseline.benchmark << ", tolerance "
+            << spmd::fixed(tolerance, 2) << "x ("
+            << baseline.entries.size() << " baseline configs";
+  if (extras > 0) std::cout << ", " << extras << " new";
+  std::cout << ")\n\n";
+  table.print(std::cout);
+  if (failures > 0) {
+    std::cout << "\nFAIL: " << failures << " of "
+              << baseline.entries.size()
+              << " configs regressed beyond tolerance\n";
+    return 1;
+  }
+  std::cout << "\nPASS: no config regressed beyond tolerance\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+# End-to-end check of the offline trace analyzer: run spmdopt with
+# --trace, then feed the written file to spmdtrace and require the blame
+# report in its output (both text and --json modes).
+execute_process(COMMAND ${SPMDOPT} --trace=${TRACEFILE} --procs=4 ${SAMPLE}
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spmdopt --trace failed with exit code ${rc}")
+endif()
+execute_process(COMMAND ${SPMDTRACE} ${TRACEFILE}
+                OUTPUT_VARIABLE out
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spmdtrace failed with exit code ${rc}")
+endif()
+foreach(needle "critical-path blame" "barrier wait" "sync point")
+  string(FIND "${out}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "expected \"${needle}\" in spmdtrace output")
+  endif()
+endforeach()
+execute_process(COMMAND ${SPMDTRACE} --json ${TRACEFILE}
+                OUTPUT_VARIABLE out
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spmdtrace --json failed with exit code ${rc}")
+endif()
+foreach(needle "\"blame\"" "\"profile\"" "\"complete\"")
+  string(FIND "${out}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "expected ${needle} in spmdtrace --json output")
+  endif()
+endforeach()

@@ -33,6 +33,14 @@
 //                           implies --run; single input file only)
 //     --profile             print per-sync-point wait-time tables from a
 //                           traced run (implies --run)
+//     --blame               print critical-path blame (where the wall time
+//                           went: compute / barrier wait / serial / counter
+//                           stall / imbalance, with per-site what-if bounds)
+//                           from a traced run (implies --run)
+//     --trace-capacity=N    per-thread trace ring capacity in events
+//                           (default 65536; raise when drops are reported)
+//     --stats               print the compiler statistics registry (every
+//                           pass counter) after compilation
 //     --tree-barrier        use the combining-tree barrier
 //     --spin=POLICY         spin-wait policy: pause | backoff | yield
 //                           (default backoff)
@@ -54,7 +62,9 @@
 #include "driver/execution.h"
 #include "driver/report_json.h"
 #include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
 #include "obs/profile.h"
+#include "obs/stats.h"
 #include "runtime/team.h"
 #include "support/text_table.h"
 
@@ -73,6 +83,9 @@ struct Options {
   bool verify = false;
   std::string traceFile;  ///< --trace=FILE; empty = no trace export
   bool profile = false;
+  bool blame = false;
+  bool stats = false;
+  int traceCapacity = 0;  ///< 0 = the driver default
   bool treeBarrier = false;
   spmd::rt::SpinPolicy spin = spmd::rt::SpinPolicy::Backoff;
   spmd::cg::EngineKind engine = spmd::cg::EngineKind::Lowered;
@@ -84,7 +97,8 @@ void usage(std::ostream& os) {
   os << "usage: spmdopt [--procs=P] [--bind NAME=V]... "
         "[--mode=full|nocounters|deponly|barriers] [--analysis-threads=K] "
         "[--jobs=J] [--no-analysis-cache] [--report] [--report-json] "
-        "[--emit] [--run] [--verify] [--trace=FILE] [--profile] "
+        "[--emit] [--run] [--verify] [--trace=FILE] [--trace-capacity=N] "
+        "[--profile] [--blame] [--stats] "
         "[--tree-barrier] "
         "[--spin=pause|backoff|yield] [--engine=lowered|interpreted] "
         "[--version] [file...]\n";
@@ -195,6 +209,17 @@ bool parseArgs(int argc, char** argv, Options& opts) {
     } else if (arg == "--profile") {
       opts.profile = true;
       opts.run = true;
+    } else if (arg == "--blame") {
+      opts.blame = true;
+      opts.run = true;
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (auto v = valueOf("--trace-capacity=")) {
+      if (!parseInt(*v, "--trace-capacity", opts.traceCapacity)) return false;
+      if (opts.traceCapacity < 1) {
+        std::cerr << "error: --trace-capacity must be >= 1\n";
+        return false;
+      }
     } else if (arg == "--tree-barrier") {
       opts.treeBarrier = true;
     } else if (auto v = valueOf("--spin=")) {
@@ -296,7 +321,18 @@ int processSource(const std::string& source, const std::string& label,
     }
 
     std::optional<obs::ProfileReport> baseProfile, optProfile;
+    std::optional<obs::BlameReport> baseBlame, optBlame;
     if (opts.run) {
+      // Fail before the (possibly long) run when the trace file cannot be
+      // created, not after.
+      std::optional<std::ofstream> traceOut;
+      if (!opts.traceFile.empty()) {
+        traceOut.emplace(opts.traceFile);
+        if (!*traceOut) {
+          err << "error: cannot write trace file " << opts.traceFile << "\n";
+          return 1;
+        }
+      }
       driver::RunRequest request;
       request.symbols =
           driver::bindSymbols(compilation.program(), opts.binds);
@@ -307,13 +343,23 @@ int processSource(const std::string& source, const std::string& label,
       request.exec.sync.spinPolicy = opts.spin;
       request.exec.engine = opts.engine;
       request.reference = opts.verify;
-      request.trace = !opts.traceFile.empty() || opts.profile;
+      request.trace =
+          !opts.traceFile.empty() || opts.profile || opts.blame;
+      if (opts.traceCapacity > 0)
+        request.traceCapacity =
+            static_cast<std::size_t>(opts.traceCapacity);
       driver::RunComparison run = driver::runComparison(compilation, request);
 
       if (run.baseTrace.has_value())
         baseProfile = obs::buildProfile(*run.baseTrace);
       if (run.optTrace.has_value())
         optProfile = obs::buildProfile(*run.optTrace);
+      if (opts.blame || opts.reportJson) {
+        if (run.baseTrace.has_value())
+          baseBlame = obs::buildBlame(*run.baseTrace);
+        if (run.optTrace.has_value())
+          optBlame = obs::buildBlame(*run.optTrace);
+      }
 
       if (json == nullptr) {
         out << "\nexecution (P=" << opts.procs << "):\n"
@@ -334,19 +380,26 @@ int processSource(const std::string& source, const std::string& label,
             out << "\noptimized profile (P=" << opts.procs << "):\n"
                 << obs::renderProfile(*optProfile);
         }
-      }
-      if (!opts.traceFile.empty()) {
-        std::ofstream trace(opts.traceFile);
-        if (!trace) {
-          err << "error: cannot write trace file " << opts.traceFile << "\n";
-          return 1;
+        if (opts.blame) {
+          if (baseBlame.has_value())
+            out << "\nbase " << obs::renderBlame(*baseBlame);
+          if (optBlame.has_value())
+            out << "\noptimized " << obs::renderBlame(*optBlame);
         }
+      }
+      if (traceOut.has_value()) {
         std::vector<obs::NamedTrace> traces;
         if (run.baseTrace.has_value())
           traces.push_back({&*run.baseTrace, "base (fork-join)"});
         if (run.optTrace.has_value())
           traces.push_back({&*run.optTrace, "optimized (merged regions)"});
-        obs::writeChromeTrace(trace, traces);
+        obs::writeChromeTrace(*traceOut, traces);
+        traceOut->flush();
+        if (!*traceOut) {
+          err << "error: failed writing trace file " << opts.traceFile
+              << "\n";
+          return 1;
+        }
       }
       if (opts.verify &&
           (run.maxDiffBase > 1e-7 || run.maxDiffOpt > 1e-7)) {
@@ -355,10 +408,14 @@ int processSource(const std::string& source, const std::string& label,
       }
     }
 
+    if (json == nullptr && opts.stats) out << "\n" << obs::renderStats();
+
     if (json != nullptr) {
       driver::RunProfiles profiles;
       if (baseProfile.has_value()) profiles.base = &*baseProfile;
       if (optProfile.has_value()) profiles.optimized = &*optProfile;
+      if (baseBlame.has_value()) profiles.baseBlame = &*baseBlame;
+      if (optBlame.has_value()) profiles.optimizedBlame = &*optBlame;
       std::ostringstream os;
       JsonWriter writer(os);
       driver::writeCompilationReport(writer, compilation, label, profiles);
@@ -386,6 +443,7 @@ int main(int argc, char** argv) {
     std::cerr << "error: --trace supports a single input file\n";
     return 2;
   }
+  if (opts.stats) obs::setStatsEnabled(true);
 
   auto label = [&](const std::string& file) {
     return (file.empty() || file == "-") ? std::string("<stdin>") : file;
@@ -427,7 +485,10 @@ int main(int argc, char** argv) {
   int jobs = opts.jobs > 0 ? opts.jobs
                            : std::min<int>(static_cast<int>(units.size()),
                                            std::max(1, hw));
-  if (opts.run) jobs = 1;
+  // Runs spawn nested teams (see above); --stats prints the process-wide
+  // registry per file, which is only deterministic when files compile in
+  // order.
+  if (opts.run || opts.stats) jobs = 1;
 
   auto compileUnit = [&](std::size_t i) {
     Unit& u = units[i];

@@ -1,0 +1,215 @@
+// spmdtrace — offline analysis of saved sync-event traces.
+//
+// Reads a Chrome trace-event JSON written by `spmdopt --trace=FILE` (one
+// process per executed variant), reconstructs each process's event
+// streams, and prints the same wait-time profile and critical-path blame
+// reports spmdopt computes in-process — so a trace captured once (on a
+// big machine, in CI) can be re-analyzed anywhere without re-running.
+//
+// Usage:
+//   spmdtrace [--json] FILE
+//     --json   emit one JSON document {"processes":[{name, profile,
+//              blame}, ...]} instead of the text tables
+//     --help
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "support/json.h"
+#include "support/json_reader.h"
+
+namespace {
+
+using spmd::JsonValue;
+
+spmd::obs::EventKind kindFromName(const std::string& name, bool* ok) {
+  using spmd::obs::EventKind;
+  static const std::pair<const char*, EventKind> kTable[] = {
+      {"barrier-wait", EventKind::BarrierWait},
+      {"barrier-serial", EventKind::BarrierSerial},
+      {"counter-post", EventKind::CounterPost},
+      {"counter-wait", EventKind::CounterWait},
+      {"region", EventKind::Region},
+      {"fork", EventKind::Fork},
+      {"broadcast", EventKind::Broadcast},
+      {"join", EventKind::Join},
+  };
+  for (const auto& [text, kind] : kTable) {
+    if (name == text) {
+      *ok = true;
+      return kind;
+    }
+  }
+  *ok = false;
+  return EventKind::BarrierWait;
+}
+
+struct Process {
+  std::string name;
+  std::map<int, std::vector<spmd::obs::TraceEvent>> byTid;
+  std::vector<std::uint64_t> droppedPerThread;
+};
+
+std::int64_t usToNs(double us) {
+  return static_cast<std::int64_t>(std::llround(us * 1000.0));
+}
+
+/// Reassembles each process's Trace from the flat event list.  Events
+/// were exported oldest-first per thread, and JSON arrays preserve order,
+/// so per-thread streams come back in recording order.
+bool loadProcesses(const JsonValue& doc, std::map<int, Process>& out,
+                   std::string* error) {
+  const JsonValue* events = doc.get("traceEvents");
+  if (events == nullptr || !events->isArray()) {
+    *error = "no traceEvents array (not a spmdopt --trace file?)";
+    return false;
+  }
+  for (const auto& item : events->items()) {
+    const JsonValue& e = *item;
+    int pid = static_cast<int>(e.getInt("pid", 0));
+    Process& proc = out[pid];
+    std::string ph = e.getString("ph");
+    const JsonValue* args = e.get("args");
+    if (ph == "M") {
+      if (e.getString("name") == "process_name" && args != nullptr) {
+        proc.name = args->getString("name", proc.name);
+        if (const JsonValue* drops = args->get("dropped_per_thread");
+            drops != nullptr && drops->isArray())
+          for (const auto& d : drops->items())
+            proc.droppedPerThread.push_back(
+                static_cast<std::uint64_t>(d->asInt()));
+      }
+      continue;
+    }
+    if (ph != "X" && ph != "i") continue;
+    if (args == nullptr) continue;
+    bool ok = false;
+    spmd::obs::EventKind kind = kindFromName(args->getString("kind"), &ok);
+    if (!ok) continue;  // foreign event mixed into the trace: skip
+    spmd::obs::TraceEvent ev;
+    ev.start = usToNs(e.getDouble("ts"));
+    ev.dur = ph == "X" ? usToNs(e.getDouble("dur")) : 0;
+    ev.site = static_cast<std::int32_t>(args->getInt("site", -1));
+    ev.aux = static_cast<std::int16_t>(args->getInt("aux", -1));
+    ev.kind = kind;
+    int tid = static_cast<int>(e.getInt("tid", 0));
+    ev.tid = static_cast<std::uint8_t>(tid);
+    proc.byTid[tid].push_back(ev);
+  }
+  if (out.empty()) {
+    *error = "trace file holds no processes";
+    return false;
+  }
+  return true;
+}
+
+spmd::obs::Trace toTrace(const Process& proc) {
+  spmd::obs::Trace trace;
+  int maxTid = -1;
+  for (const auto& [tid, events] : proc.byTid) maxTid = std::max(maxTid, tid);
+  maxTid = std::max(maxTid,
+                    static_cast<int>(proc.droppedPerThread.size()) - 1);
+  for (int tid = 0; tid <= maxTid; ++tid) {
+    spmd::obs::ThreadTrace tt;
+    tt.tid = tid;
+    if (auto it = proc.byTid.find(tid); it != proc.byTid.end())
+      tt.events = it->second;
+    if (static_cast<std::size_t>(tid) < proc.droppedPerThread.size())
+      tt.dropped = proc.droppedPerThread[static_cast<std::size_t>(tid)];
+    tt.recorded = tt.events.size() + tt.dropped;
+    trace.threads.push_back(std::move(tt));
+  }
+  return trace;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: spmdtrace [--json] FILE\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool jsonOut = false;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--json") {
+      jsonOut = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "error: unknown option: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      std::cerr << "error: exactly one trace file expected\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "error: no trace file given\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::string error;
+  spmd::JsonValuePtr doc = spmd::parseJsonFile(file, &error);
+  if (doc == nullptr) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::map<int, Process> processes;
+  if (!loadProcesses(*doc, processes, &error)) {
+    std::cerr << "error: " << file << ": " << error << "\n";
+    return 1;
+  }
+
+  if (jsonOut) {
+    spmd::JsonWriter json(std::cout);
+    json.object();
+    json.field("file", file);
+    json.field("processes").array();
+    for (const auto& [pid, proc] : processes) {
+      spmd::obs::Trace trace = toTrace(proc);
+      json.object();
+      json.field("pid", pid);
+      json.field("name", proc.name);
+      json.field("profile");
+      spmd::obs::ProfileReport profile = spmd::obs::buildProfile(trace);
+      spmd::obs::writeProfileJson(json, profile);
+      json.field("blame");
+      spmd::obs::BlameReport blame = spmd::obs::buildBlame(trace);
+      spmd::obs::writeBlameJson(json, blame);
+      json.close();
+    }
+    json.close();
+    json.close();
+    std::cout << "\n";
+    return 0;
+  }
+
+  bool first = true;
+  for (const auto& [pid, proc] : processes) {
+    if (!first) std::cout << "\n";
+    first = false;
+    spmd::obs::Trace trace = toTrace(proc);
+    std::string name = proc.name.empty()
+                           ? "process " + std::to_string(pid)
+                           : proc.name;
+    std::cout << "=== " << name << " ===\n\n"
+              << spmd::obs::renderProfile(spmd::obs::buildProfile(trace))
+              << "\n"
+              << spmd::obs::renderBlame(spmd::obs::buildBlame(trace));
+  }
+  return 0;
+}
