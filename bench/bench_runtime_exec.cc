@@ -1,19 +1,23 @@
-// Benchmark: interpreted executor vs the lowered execution engine.
+// Benchmark: interpreted executor vs the lowered and native engines.
 //
 // For every kernel, both execution modes (fork-join base, optimized SPMD
 // regions) and several thread counts, this runs the same program through
-// the interpreting executor and through the lowered engine, reporting
-// wall-clock per run and the lowered/interpreted speedup.  Every measured
-// configuration is also *verified*: the two engines must produce
-// byte-identical synchronization counts and matching stores (bit-exact
-// for reduction-free kernels; within the kernel tolerance for
+// the interpreting executor, through the lowered engine, and — when a
+// C++ toolchain is available — through the native engine (JIT-compiled
+// region loops), reporting wall-clock per run and the engine speedups.
+// Every measured configuration is also *verified*: the engines must
+// produce byte-identical synchronization counts and matching stores
+// (bit-exact for reduction-free kernels; within the kernel tolerance for
 // floating-point reductions, whose combine order is arrival-dependent).
 // Any divergence makes the process exit non-zero, so CI can gate on it.
+// A missing toolchain is not a failure: the native fields are simply
+// omitted and the process still exits zero.
 //
 // Output: BENCH_runtime.json (override with --out=PATH).  Schema:
 //   {
 //     "benchmark": "runtime_exec",
 //     "smoke": bool,            // --smoke: small sizes, fewer configs
+//     "native_available": bool, // toolchain found, native columns present
 //     "threads": [..],
 //     "configs": [ {
 //        "kernel", "family", "mode",          // mode: forkjoin | regions
@@ -24,7 +28,11 @@
 //        "trace_overhead",                    // traced_s / lowered_s
 //        "trace_counts_match", "trace_store_match",
 //        "sync": {"barriers", "broadcasts", "posts", "waits"},
-//        "counts_match", "fingerprint_match", "max_abs_diff"
+//        "counts_match", "fingerprint_match", "max_abs_diff",
+//        // with a toolchain only:
+//        "native_s",                          // native engine wall clock
+//        "native_speedup",                    // lowered_s / native_s
+//        "native_counts_match", "native_store_match"  // vs interpreted
 //     } ]
 //   }
 //
@@ -41,6 +49,7 @@
 
 #include "codegen/spmd_executor.h"
 #include "core/optimizer.h"
+#include "exec/native/native_module.h"
 #include "kernels/kernels.h"
 #include "obs/trace.h"
 #include "runtime/team.h"
@@ -82,9 +91,14 @@ struct ConfigResult {
   double maxAbsDiff = 0.0;
   bool traceCountsMatch = false;  // traced lowered vs untraced lowered
   bool traceStoreMatch = false;
+  bool haveNative = false;  // toolchain present and module built
+  double nativeS = 0.0;
+  bool nativeCountsMatch = false;  // native vs interpreted
+  bool nativeStoreMatch = false;
   bool ok() const {
     return countsMatch && fingerprintMatch && traceCountsMatch &&
-           traceStoreMatch;
+           traceStoreMatch &&
+           (!haveNative || (nativeCountsMatch && nativeStoreMatch));
   }
 };
 
@@ -103,13 +117,22 @@ EngineRun measure(const kernels::KernelSpec& spec,
                   const core::RegionProgram* plan,
                   const ir::SymbolBindings& symbols, int threads,
                   cg::EngineKind engine, int reps,
-                  obs::Tracer* tracer = nullptr) {
+                  obs::Tracer* tracer = nullptr,
+                  const exec::LoweredProgram* loweredProg = nullptr,
+                  const exec::native::NativeModule* module = nullptr) {
   rt::ThreadTeam team(threads);
   cg::ExecOptions options;
   options.engine = engine;
   options.trace = tracer;
+  options.native = module;
   cg::SpmdExecutor exec(*spec.program, *spec.decomp, team, options);
   auto runOnce = [&](ir::Store& store) {
+    // Native runs go through the caller-lowered program the module was
+    // compiled from (the executor dispatches per statement); the other
+    // engines lower (or walk) internally.
+    if (loweredProg != nullptr)
+      return plan != nullptr ? exec.runRegionsLowered(*loweredProg, store)
+                             : exec.runForkJoinLowered(*loweredProg, store);
     return plan != nullptr ? exec.runRegions(*plan, store)
                            : exec.runForkJoin(store);
   };
@@ -162,6 +185,7 @@ int main(int argc, char** argv) {
 
   std::vector<ConfigResult> results;
   bool allOk = true;
+  bool nativeAvailable = false;
 
   for (const kernels::KernelSpec& spec : kernels::allKernels()) {
     i64 n = smoke ? std::min<i64>(spec.defaultN, 16) : spec.defaultN;
@@ -179,6 +203,15 @@ int main(int argc, char** argv) {
     for (const char* mode : {"forkjoin", "regions"}) {
       const core::RegionProgram* planPtr =
           std::strcmp(mode, "regions") == 0 ? &plan : nullptr;
+      // One native module per (kernel, mode), shared across thread
+      // counts.  A null module (no toolchain, compile failure) just
+      // omits the native columns — never a bench failure.
+      auto loweredProg = std::make_shared<const exec::LoweredProgram>(
+          exec::lowerProgram(*spec.program, *spec.decomp, planPtr));
+      exec::native::BuildReport nativeReport;
+      std::shared_ptr<const exec::native::NativeModule> module =
+          exec::native::buildNativeModule(loweredProg, {}, &nativeReport);
+      if (module != nullptr) nativeAvailable = true;
       for (int threads : threadCounts) {
         EngineRun interp = measure(spec, planPtr, symbols, threads,
                                    cg::EngineKind::Interpreted, reps);
@@ -187,6 +220,11 @@ int main(int argc, char** argv) {
         obs::Tracer tracer(static_cast<std::size_t>(threads));
         EngineRun traced = measure(spec, planPtr, symbols, threads,
                                    cg::EngineKind::Lowered, reps, &tracer);
+        std::optional<EngineRun> native;
+        if (module != nullptr)
+          native = measure(spec, planPtr, symbols, threads,
+                           cg::EngineKind::Native, reps, nullptr,
+                           loweredProg.get(), module.get());
         ConfigResult r;
         r.kernel = spec.name;
         r.family = spec.family;
@@ -216,12 +254,28 @@ int main(int argc, char** argv) {
                          : traced.store->fingerprint() ==
                                lowered.store->fingerprint() &&
                                traceDiff == 0.0;
+        if (native.has_value()) {
+          r.haveNative = true;
+          r.nativeS = native->seconds;
+          r.nativeCountsMatch = sameCounts(interp.counts, native->counts);
+          const double nativeDiff =
+              ir::Store::maxAbsDifference(*interp.store, *native->store);
+          r.nativeStoreMatch =
+              hasReduction ? nativeDiff <= tol
+                           : interp.store->fingerprint() ==
+                                 native->store->fingerprint() &&
+                                 nativeDiff == 0.0;
+        }
         if (!r.ok()) {
           allOk = false;
           std::cerr << "DIVERGENCE: " << r.kernel << " " << r.mode << " P="
                     << threads << " counts_match=" << r.countsMatch
                     << " trace_counts_match=" << r.traceCountsMatch
                     << " trace_store_match=" << r.traceStoreMatch
+                    << " native_counts_match="
+                    << (!r.haveNative || r.nativeCountsMatch)
+                    << " native_store_match="
+                    << (!r.haveNative || r.nativeStoreMatch)
                     << " max|diff|=" << r.maxAbsDiff << "\n";
         }
         results.push_back(std::move(r));
@@ -231,14 +285,19 @@ int main(int argc, char** argv) {
 
   // Human-readable summary: single-thread speedups per kernel and mode.
   TextTable table({"kernel", "family", "mode", "P", "interp s", "lowered s",
-                   "speedup", "traced s", "trace ovh"});
+                   "speedup", "native s", "native spd", "traced s",
+                   "trace ovh"});
   for (const ConfigResult& r : results) {
     if (r.threads != 1) continue;
-    table.addRowValues(r.kernel, r.family, r.mode, r.threads,
-                       fixed(r.interpretedS, 4), fixed(r.loweredS, 4),
-                       fixed(r.interpretedS / std::max(r.loweredS, 1e-9), 2),
-                       fixed(r.tracedS, 4),
-                       fixed(r.tracedS / std::max(r.loweredS, 1e-9), 2));
+    table.addRowValues(
+        r.kernel, r.family, r.mode, r.threads, fixed(r.interpretedS, 4),
+        fixed(r.loweredS, 4),
+        fixed(r.interpretedS / std::max(r.loweredS, 1e-9), 2),
+        r.haveNative ? fixed(r.nativeS, 4) : std::string("-"),
+        r.haveNative ? fixed(r.loweredS / std::max(r.nativeS, 1e-9), 2)
+                     : std::string("-"),
+        fixed(r.tracedS, 4),
+        fixed(r.tracedS / std::max(r.loweredS, 1e-9), 2));
   }
   table.print(std::cout);
 
@@ -251,6 +310,7 @@ int main(int argc, char** argv) {
   json.object();
   json.field("benchmark", "runtime_exec");
   json.field("smoke", smoke);
+  json.field("native_available", nativeAvailable);
   json.field("reps", reps);
   json.field("threads").array();
   for (int p : threadCounts) json.value(p);
@@ -280,6 +340,12 @@ int main(int argc, char** argv) {
     json.field("trace_overhead", r.tracedS / std::max(r.loweredS, 1e-12));
     json.field("trace_counts_match", r.traceCountsMatch);
     json.field("trace_store_match", r.traceStoreMatch);
+    if (r.haveNative) {
+      json.field("native_s", r.nativeS);
+      json.field("native_speedup", r.loweredS / std::max(r.nativeS, 1e-12));
+      json.field("native_counts_match", r.nativeCountsMatch);
+      json.field("native_store_match", r.nativeStoreMatch);
+    }
     json.close();
   }
   json.close();

@@ -1,6 +1,9 @@
 #include "codegen/spmd_executor.h"
 
+#include <cctype>
 #include <limits>
+
+#include "exec/native/native_module.h"
 
 #include "analysis/access.h"
 #include "comm/comm_analysis.h"
@@ -20,8 +23,20 @@ const char* engineKindName(EngineKind kind) {
       return "interpreted";
     case EngineKind::Lowered:
       return "lowered";
+    case EngineKind::Native:
+      return "native";
   }
   return "?";
+}
+
+std::optional<EngineKind> parseEngineKind(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "interpreted") return EngineKind::Interpreted;
+  if (lower == "lowered") return EngineKind::Lowered;
+  if (lower == "native") return EngineKind::Native;
+  return std::nullopt;
 }
 
 namespace {
@@ -441,7 +456,7 @@ void SpmdExecutor::execRegion(const SpmdRegion& region, RegionState& state,
 
 rt::SyncCounts SpmdExecutor::runRegions(const RegionProgram& regions,
                                         ir::Store& store) {
-  if (options_.engine == EngineKind::Lowered) {
+  if (options_.engine != EngineKind::Interpreted) {
     if (!loweredPlan_ || loweredPlanKey_ != &regions) {
       // Drop the engine bound to the previous plan's lowered program
       // before releasing it (the engine holds a raw pointer into it).
@@ -472,8 +487,18 @@ rt::SyncCounts SpmdExecutor::runForkJoinLowered(
 exec::Engine& SpmdExecutor::engineFor(const exec::LoweredProgram& lowered) {
   for (auto& [key, engine] : engines_)
     if (key == &lowered) return *engine;
+  // The native module only applies to the lowered program it was compiled
+  // from; any other program this executor runs (e.g. the internally
+  // lowered fork-join form next to a caller-supplied region program)
+  // falls back to plain lowered execution.
+  const exec::native::NativeModule* native =
+      (options_.engine == EngineKind::Native && options_.native != nullptr &&
+       options_.native->lowered() == &lowered)
+          ? options_.native
+          : nullptr;
   engines_.emplace_back(&lowered, std::make_unique<exec::Engine>(
-                                      lowered, *team_, options_.sync));
+                                      lowered, *team_, options_.sync,
+                                      native));
   return *engines_.back().second;
 }
 
@@ -554,7 +579,7 @@ struct ForkJoinWalker {
 }  // namespace
 
 rt::SyncCounts SpmdExecutor::runForkJoin(ir::Store& store) {
-  if (options_.engine == EngineKind::Lowered) {
+  if (options_.engine != EngineKind::Interpreted) {
     if (!loweredForkJoin_)
       loweredForkJoin_ = std::make_shared<const exec::LoweredProgram>(
           exec::lowerProgram(*prog_, *decomp_, nullptr));

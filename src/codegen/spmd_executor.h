@@ -18,6 +18,8 @@
 #include <memory>
 #include <mutex>
 #include <map>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/spmd_region.h"
@@ -34,9 +36,14 @@ namespace spmd::cg {
 enum class EngineKind {
   Interpreted,  ///< walk the IR / region tree directly (the reference)
   Lowered,      ///< exec::Engine over a lowered program (the default)
+  Native,       ///< lowered engine dispatching JIT-compiled region code
 };
 
 const char* engineKindName(EngineKind kind);
+
+/// Strict, case-insensitive engine-name parsing ("interpreted",
+/// "lowered", "native"); nullopt for anything else.
+std::optional<EngineKind> parseEngineKind(std::string_view name);
 
 struct ExecOptions {
   /// Runtime synchronization selection (barrier algorithm etc.), forwarded
@@ -47,6 +54,14 @@ struct ExecOptions {
   /// Execution engine.  Lowered is the default: identical semantics and
   /// sync counts to the interpreter, without its per-iteration costs.
   EngineKind engine = EngineKind::Lowered;
+
+  /// Native engine only: the compiled module for the lowered program the
+  /// executor will run (driver::Compilation::nativeExec(), or a direct
+  /// exec::native::buildNativeModule()).  Must outlive the executor.
+  /// Null — or a module built from a different lowered program — makes
+  /// Native behave exactly like Lowered; the driver additionally warns
+  /// and downgrades when no module could be built at all.
+  const exec::native::NativeModule* native = nullptr;
 
   /// Sync-event tracer (null: tracing off).  When set, the executor
   /// attaches it to every primitive it creates and to the team, so runs

@@ -23,6 +23,8 @@ SPMD_STATISTIC(statLowerCacheHits, "driver", "lower-cache-hits",
                "codegen artifact served from the pipeline cache");
 SPMD_STATISTIC(statLowerExecCacheHits, "driver", "lower-exec-cache-hits",
                "executable-lowering artifact served from the pipeline cache");
+SPMD_STATISTIC(statNativeExecCacheHits, "driver", "native-exec-cache-hits",
+               "native-module artifact served from the pipeline cache");
 
 namespace spmd::driver {
 
@@ -66,6 +68,17 @@ auto Compilation::timePass(const char* pass, F&& fn) {
   return result;
 }
 
+void Compilation::recordTiming(const char* pass, double seconds) {
+  for (PassTiming& t : timings_) {
+    if (t.pass == pass) {
+      t.seconds = seconds;
+      ++t.runs;
+      return;
+    }
+  }
+  timings_.push_back(PassTiming{pass, seconds, 1});
+}
+
 void Compilation::setOptions(const PipelineOptions& options) {
   options_ = options;
   // Only the stages that consume the options are re-armed; the front end,
@@ -73,6 +86,7 @@ void Compilation::setOptions(const PipelineOptions& options) {
   syncPlan_.reset();
   lowered_.reset();
   loweredExec_.reset();
+  nativeExec_.reset();
 }
 
 bool Compilation::parseOk() {
@@ -195,6 +209,37 @@ const LoweredExec& Compilation::loweredExec() {
     });
   }
   return *loweredExec_;
+}
+
+const NativeExec& Compilation::nativeExec() {
+  if (nativeExec_.has_value()) statNativeExecCacheHits.add();
+  if (!nativeExec_.has_value()) {
+    // The native module is compiled from the LoweredExec artifact, which
+    // already bakes in the sync plan — so this artifact shares its
+    // invalidation (setOptions resets both).
+    const LoweredExec& lowered = loweredExec();
+    NativeExec ne;
+    ne.module = exec::native::buildNativeModule(lowered.program, {},
+                                                &ne.report);
+    recordTiming("native-emit", ne.report.emitSeconds);
+    recordTiming("native-compile", ne.report.compileSeconds);
+    recordTiming("native-load", ne.report.loadSeconds);
+    if (ne.module == nullptr) {
+      diags_->warning(SourceLoc::none(),
+                      "native code generation unavailable (" +
+                          ne.report.message +
+                          "); falling back to the lowered engine",
+                      "native-fallback");
+    } else if (!ne.report.cacheUsable) {
+      diags_->warning(SourceLoc::none(),
+                      "native object cache directory " + ne.report.cacheDir +
+                          " is not writable; compiled objects will not "
+                          "persist across runs",
+                      "native-cache");
+    }
+    nativeExec_ = std::move(ne);
+  }
+  return *nativeExec_;
 }
 
 }  // namespace spmd::driver

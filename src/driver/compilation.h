@@ -31,6 +31,7 @@
 #include "analysis/validate.h"
 #include "core/optimizer.h"
 #include "exec/lowered.h"
+#include "exec/native/native_module.h"
 #include "ir/parser.h"
 #include "partition/decomposition.h"
 
@@ -97,6 +98,19 @@ struct LoweredExec {
   std::shared_ptr<const exec::LoweredProgram> program;
 };
 
+/// The JIT-compiled form of the LoweredExec artifact (spmdopt
+/// --engine=native): the dlopen'd module plus the build evidence (cache
+/// hit, per-phase seconds, object path, failure message).  `module` is
+/// null when native execution is unavailable — no toolchain, a compile
+/// or load failure — which is a warning, never an error: the run layer
+/// degrades to the lowered engine.  Invalidated with the SyncPlan, since
+/// the generated code bakes the plan's region structure in.
+struct NativeExec {
+  std::shared_ptr<const exec::native::NativeModule> module;
+  exec::native::BuildReport report;
+  bool available() const { return module != nullptr; }
+};
+
 // --- pipeline configuration ------------------------------------------------
 
 struct PipelineOptions {
@@ -159,6 +173,7 @@ class Compilation {
   const SyncPlan& syncPlan();
   const LoweredSpmd& lowered();
   const LoweredExec& loweredExec();
+  const NativeExec& nativeExec();
 
   // --- conveniences over the artifacts ---
   const ir::Program& program() { return *parsed().program; }
@@ -173,6 +188,7 @@ class Compilation {
 
   template <class F>
   auto timePass(const char* pass, F&& fn);
+  void recordTiming(const char* pass, double seconds);
 
   std::optional<std::string> source_;  ///< absent for fromProgram sessions
   std::string name_;
@@ -191,6 +207,7 @@ class Compilation {
   std::optional<SyncPlan> syncPlan_;
   std::optional<LoweredSpmd> lowered_;
   std::optional<LoweredExec> loweredExec_;
+  std::optional<NativeExec> nativeExec_;
   std::vector<PassTiming> timings_;
 };
 

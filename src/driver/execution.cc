@@ -43,11 +43,23 @@ RunComparison runComparison(Compilation& compilation,
     });
   }
 
-  // With the lowered engine, run both variants off the session's cached
-  // LoweredExec artifact through one executor: the program is lowered
-  // once per option set instead of once per run, and runRegions never
-  // copies the region plan.
-  const bool lowered = exec.engine == cg::EngineKind::Lowered;
+  // The native engine is the lowered engine plus a compiled module for
+  // the session's lowered program; when no module could be built (no
+  // toolchain, compile failure) nativeExec() has already warned and we
+  // degrade to plain lowered execution — never an error.
+  if (exec.engine == cg::EngineKind::Native) {
+    const NativeExec& native = compilation.nativeExec();
+    if (native.available())
+      exec.native = native.module.get();
+    else
+      exec.engine = cg::EngineKind::Lowered;
+  }
+
+  // With the lowered (or native) engine, run both variants off the
+  // session's cached LoweredExec artifact through one executor: the
+  // program is lowered once per option set instead of once per run, and
+  // runRegions never copies the region plan.
+  const bool lowered = exec.engine != cg::EngineKind::Interpreted;
   std::optional<rt::ThreadTeam> team;
   std::optional<cg::SpmdExecutor> executor;
   const exec::LoweredProgram* loweredProg = nullptr;

@@ -119,6 +119,24 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
     json.close();
   }
 
+  if (profiles.native != nullptr) {
+    const exec::native::BuildReport& nr = profiles.native->report;
+    json.field("native").object();
+    json.field("available", profiles.native->available());
+    json.field("fromCache", nr.fromCache);
+    json.field("cacheUsable", nr.cacheUsable);
+    json.field("units", static_cast<std::uint64_t>(nr.unitCount));
+    json.field("sourceBytes", static_cast<std::uint64_t>(nr.sourceBytes));
+    json.field("emitMs", nr.emitSeconds * 1000.0);
+    json.field("compileMs", nr.compileSeconds * 1000.0);
+    json.field("loadMs", nr.loadSeconds * 1000.0);
+    if (profiles.native->available())
+      json.field("object", nr.objectPath);
+    else
+      json.field("message", nr.message);
+    json.close();
+  }
+
   if (obs::statsEnabled()) {
     json.field("statistics");
     obs::writeStatsJson(json);

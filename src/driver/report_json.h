@@ -21,6 +21,9 @@ struct RunProfiles {
   const obs::ProfileReport* optimized = nullptr;
   const obs::BlameReport* baseBlame = nullptr;
   const obs::BlameReport* optimizedBlame = nullptr;
+  /// Native-engine build outcome (spmdopt --engine=native); null when the
+  /// native engine was not requested.
+  const NativeExec* native = nullptr;
 };
 
 /// Writes one compilation's report as a JSON object on the writer (which

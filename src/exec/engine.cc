@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/native/native_module.h"
 #include "obs/trace.h"
 #include "runtime/barrier.h"
 #include "runtime/counter.h"
@@ -41,8 +42,11 @@ std::size_t padToLine(std::size_t n, std::size_t elemSize) {
 }  // namespace
 
 Engine::Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
-               rt::SyncPrimitiveOptions sync)
-    : lp_(&lowered), team_(&team), sync_(sync) {
+               rt::SyncPrimitiveOptions sync,
+               const native::NativeModule* native)
+    : lp_(&lowered), team_(&team), sync_(sync), native_(native) {
+  SPMD_CHECK(native_ == nullptr || native_->lowered() == lp_,
+             "native module was built from a different lowered program");
   if (sync_.tracer != nullptr) {
     SPMD_CHECK(sync_.tracer->threads() >= team.size(),
                "tracer covers fewer threads than the team");
@@ -139,6 +143,60 @@ void Engine::bind(ir::Store& store) {
     st->counts = rt::SyncCounts{};
     st->scalarBase = st->scalars.data();
   }
+
+  if (native_ != nullptr) bindNative();
+}
+
+native::NativeFn Engine::nativeFor(const LoweredStmt& s) const {
+  return native_ == nullptr ? nullptr : native_->fnFor(&s);
+}
+
+void Engine::bindNative() {
+  const std::size_t nArrays = arrays_.size();
+  nativeArrays_.resize(nArrays);
+  nativeArraySize_.resize(nArrays);
+  nativeArrayAlign_.resize(nArrays);
+  nativeArrayBlock_.resize(nArrays);
+  nativeArrayDist_.resize(nArrays);
+  for (std::size_t a = 0; a < nArrays; ++a) {
+    nativeArrays_[a] = arrays_[a].data;
+    nativeArraySize_[a] = arrays_[a].size;
+    nativeArrayAlign_[a] = arrays_[a].align;
+    nativeArrayBlock_[a] = arrays_[a].blockParam;
+    nativeArrayDist_[a] = static_cast<std::int32_t>(arrays_[a].dist);
+  }
+
+  // The emitter indexed the parameter table by its structural access
+  // layout; bind() folded the same templates by value.  The folding rule
+  // is identical (first-appearance variable coalescing), so the slices
+  // must line up — check it rather than trust it.
+  const native::AccessLayout& layout = native_->layout();
+  nativeAccessParams_.assign(layout.paramCount, 0);
+  SPMD_CHECK(layout.offset.size() == boundAccesses_.size(),
+             "native access layout disagrees with bind()");
+  for (std::size_t k = 0; k < boundAccesses_.size(); ++k) {
+    const BoundAccess& ba = boundAccesses_[k];
+    const std::vector<std::int32_t>& vars = layout.vars[k];
+    SPMD_CHECK(vars.size() == ba.count,
+               "native access layout disagrees with bind()");
+    const std::size_t base = layout.offset[k];
+    nativeAccessParams_[base] = ba.base;
+    for (std::uint32_t j = 0; j < ba.count; ++j) {
+      const BoundTerm& t = boundTerms_[ba.first + j];
+      SPMD_CHECK(vars[j] == t.var,
+                 "native access layout disagrees with bind()");
+      nativeAccessParams_[base + 1 + j] = t.stride;
+    }
+  }
+
+  nativeCtx_.arrays = nativeArrays_.data();
+  nativeCtx_.accessParams = nativeAccessParams_.data();
+  nativeCtx_.arraySize = nativeArraySize_.data();
+  nativeCtx_.arrayAlign = nativeArrayAlign_.data();
+  nativeCtx_.arrayBlock = nativeArrayBlock_.data();
+  nativeCtx_.arrayDist = nativeArrayDist_.data();
+  nativeCtx_.templateBlock = templateBlock_;
+  nativeCtx_.nprocs = team_->size();
 }
 
 double* Engine::accessSlot(std::int32_t access, const i64* frame) const {
@@ -317,7 +375,17 @@ void Engine::execParallelLoop(const LoweredStmt& s, int tid,
       ts.scalarBase[r.scalar] = reductionIdentity(r.op);
 
   const OwnerTemplate& ot = lp_->owners[static_cast<std::size_t>(s.owner)];
-  if (ot.kind == OwnerTemplate::Kind::PerIteration) {
+  if (native::NativeFn fn = nativeFor(s)) {
+    // The compiled unit runs the loop body; ownership is resolved here
+    // (closed-form range) or inside the unit (per-iteration test), and
+    // the reduction protocol above/below stays host-side either way.
+    if (ot.kind == OwnerTemplate::Kind::PerIteration) {
+      fn(&nativeCtx_, frame, ts.scalarBase, lb, ub, 1, tid);
+    } else {
+      IterRange r = ownedRange(ot, lb, ub, tid, frame);
+      fn(&nativeCtx_, frame, ts.scalarBase, r.begin, r.end, r.step, tid);
+    }
+  } else if (ot.kind == OwnerTemplate::Kind::PerIteration) {
     const BoundArray& arr = arrays_[static_cast<std::size_t>(ot.array)];
     for (i64 i = lb; i <= ub; ++i) {
       frame[s.var] = i;
@@ -472,10 +540,20 @@ void Engine::execNode(const LoweredNode& node, const LoweredItem& item,
       execParallelLoop(node.stmt, tid, ts);
       return;
     case NodeKind::Replicated:
-      execLocal(node.stmt, ts);
+      if (native::NativeFn fn = nativeFor(node.stmt)) {
+        fn(&nativeCtx_, ts.frame.data(), ts.scalarBase, 0, -1, 1, tid);
+      } else {
+        execLocal(node.stmt, ts);
+      }
       return;
     case NodeKind::Guarded:
-      execGuarded(node.stmt, tid, ts);
+      // Guarded subtrees containing scalar assigns have no compiled unit
+      // (masterPending_ is host state); everything else dispatches.
+      if (native::NativeFn fn = nativeFor(node.stmt)) {
+        fn(&nativeCtx_, ts.frame.data(), ts.scalarBase, 0, -1, 1, tid);
+      } else {
+        execGuarded(node.stmt, tid, ts);
+      }
       return;
     case NodeKind::SeqLoop: {
       i64* frame = ts.frame.data();
@@ -534,7 +612,11 @@ rt::SyncCounts Engine::runRegions(ir::Store& store) {
   for (const LoweredItem& item : lp_->items) {
     if (!item.isRegion) {
       master.scalarBase = store.scalarData();
-      execLocal(item.sequential, master);
+      if (native::NativeFn fn = nativeFor(item.sequential)) {
+        fn(&nativeCtx_, master.frame.data(), master.scalarBase, 0, -1, 1, 0);
+      } else {
+        execLocal(item.sequential, master);
+      }
       continue;
     }
     RegionRun run;
@@ -602,6 +684,13 @@ void Engine::walkForkJoin(const LoweredStmt& s, rt::SyncCounts& counts) {
     if (tracer)
       tracer->record(0, obs::EventKind::Fork, forkSite, f0,
                      tracer->now() - f0);
+    return;
+  }
+  // Parallel-free subtrees are whole native units; loops that contain a
+  // parallel loop have no compiled function (forks happen between their
+  // children) and stay host-walked.
+  if (native::NativeFn fn = nativeFor(s)) {
+    fn(&nativeCtx_, master.frame.data(), master.scalarBase, 0, -1, 1, 0);
     return;
   }
   switch (s.kind) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "exec/lowered.h"
+#include "exec/native/abi.h"
 #include "exec/owned_range.h"
 #include "ir/eval.h"
 #include "runtime/sync_primitive.h"
@@ -35,12 +36,22 @@
 
 namespace spmd::exec {
 
+namespace native {
+class NativeModule;
+}
+
 class Engine {
  public:
   /// The lowered program (and the program/decomposition it references)
-  /// must outlive the engine; the team's size fixes P.
+  /// must outlive the engine; the team's size fixes P.  When `native` is
+  /// non-null it must have been built from exactly `lowered` and outlive
+  /// the engine: synchronization-free units then dispatch through its
+  /// compiled functions, while every sync decision (barriers, counters,
+  /// pending-scalar publication, reduction combining) stays here — which
+  /// is why native runs produce byte-identical SyncCounts.
   Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
-         rt::SyncPrimitiveOptions sync = rt::SyncPrimitiveOptions());
+         rt::SyncPrimitiveOptions sync = rt::SyncPrimitiveOptions(),
+         const native::NativeModule* native = nullptr);
 
   /// Base fork-join execution (lowered runForkJoin).
   rt::SyncCounts runForkJoin(ir::Store& store);
@@ -99,6 +110,12 @@ class Engine {
   IterRange ownedRange(const OwnerTemplate& ot, i64 lb, i64 ub, int tid,
                        const i64* frame) const;
 
+  /// The compiled function for `s`, or null (no module / not a unit).
+  native::NativeFn nativeFor(const LoweredStmt& s) const;
+  /// Rebuilds the NativeContext tables against the bound store; checks
+  /// the module's structural access layout against bind()'s folding.
+  void bindNative();
+
   void execLocal(const LoweredStmt& s, ThreadState& ts);
   void execParallelLoop(const LoweredStmt& s, int tid, ThreadState& ts);
   void execGuarded(const LoweredStmt& s, int tid, ThreadState& ts);
@@ -119,6 +136,7 @@ class Engine {
   const LoweredProgram* lp_;
   rt::ThreadTeam* team_;
   rt::SyncPrimitiveOptions sync_;
+  const native::NativeModule* native_ = nullptr;
   std::unique_ptr<rt::SyncPrimitive> barrier_;
 
   // --- bound per-run state (bind) ---
@@ -127,6 +145,15 @@ class Engine {
   std::vector<BoundTerm> boundTerms_;
   std::vector<BoundAccess> boundAccesses_;
   i64 templateBlock_ = 0;  ///< concrete block size B; 0 when no template
+
+  // --- native-dispatch tables (bindNative; see native/abi.h) ---
+  std::vector<double*> nativeArrays_;
+  std::vector<i64> nativeAccessParams_;
+  std::vector<i64> nativeArraySize_;
+  std::vector<i64> nativeArrayAlign_;
+  std::vector<i64> nativeArrayBlock_;
+  std::vector<std::int32_t> nativeArrayDist_;
+  native::NativeContext nativeCtx_;
 
   std::vector<std::unique_ptr<ThreadState>> states_;
 

@@ -1,0 +1,58 @@
+// The binary interface between the host engine and JIT-compiled region
+// code.
+//
+// Generated translation units are compiled by an out-of-process system
+// toolchain, so the host and the object cannot share C++ headers by
+// #include: the emitter prints a structurally identical definition of
+// NativeContext into every generated source file, and kAbiVersion is the
+// handshake — the loader refuses any object whose exported
+// `spmd_native_abi()` disagrees, which also catches stale cache entries
+// that predate a layout change (kCodegenVersion already keys the cache,
+// the ABI check is the belt to that suspender).
+//
+// Everything crossing the boundary is a pointer to host-owned storage or
+// a plain 64-bit integer; the generated code never allocates, never
+// synchronizes, and never calls back into the host.  All synchronization
+// (barriers, counters, pending-scalar publication) stays host-side in
+// exec::Engine, which is what keeps SyncCounts byte-identical to the
+// interpreted and lowered engines.
+#pragma once
+
+#include <cstdint>
+
+namespace spmd::exec::native {
+
+/// Bumped whenever the NativeContext layout, the unit calling convention,
+/// or the meaning of any emitted construct changes.  Part of the object
+/// cache key and checked at load.
+inline constexpr std::int64_t kAbiVersion = 1;
+
+/// Textual codegen version folded into the cache key (covers emitter
+/// changes that alter generated code without touching the ABI).
+inline constexpr const char* kCodegenVersion = "spmd-native-1";
+
+/// Per-run bound state shared by every generated function.  The engine
+/// fills this in bind(); all tables are indexed exactly like their
+/// host-side counterparts (arrays by ir::ArrayId, accessParams by the
+/// emitter's structural access layout).
+struct NativeContext {
+  double** arrays = nullptr;            ///< array id -> element data
+  const std::int64_t* accessParams = nullptr;  ///< folded base/stride table
+  const std::int64_t* arraySize = nullptr;     ///< array id -> flat extent
+  const std::int64_t* arrayAlign = nullptr;    ///< array id -> alignOffset
+  const std::int64_t* arrayBlock = nullptr;    ///< array id -> blockParam
+  const std::int32_t* arrayDist = nullptr;     ///< array id -> DistKind value
+  std::int64_t templateBlock = 0;  ///< concrete block size B (0: no template)
+  std::int64_t nprocs = 0;
+};
+
+/// Every generated unit has this signature.  For parallel-loop units the
+/// host passes the owned iteration range (or the full [lb, ub] span for
+/// per-iteration ownership, which the unit tests itself); local and
+/// guarded units ignore begin/end/step.
+using NativeFn = void (*)(const NativeContext* ctx, std::int64_t* frame,
+                          double* scalars, std::int64_t begin,
+                          std::int64_t end, std::int64_t step,
+                          std::int64_t tid);
+
+}  // namespace spmd::exec::native

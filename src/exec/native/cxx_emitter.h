@@ -1,0 +1,55 @@
+// LoweredProgram -> C++ translation unit.
+//
+// The emitter prints one freestanding function per native unit (see
+// unit_walk.h), numbered in walk order, plus the ABI handshake exports.
+// The generated text is a pure function of the lowered program — no
+// pointers, timestamps, or environment leak into it — so the object cache
+// can be content-addressed by hashing the source itself: the source hash
+// IS the structural program + plan hash (lowering bakes the sync plan
+// into the LoweredProgram), and kCodegenVersion is appended in the
+// banner, so any emitter change rekeys the cache.
+//
+// Numeric contract: generated expressions reproduce the tape evaluator's
+// results bit for bit.  The expression tree structure is preserved by
+// full parenthesization (same operation order and associativity), double
+// literals are printed as hexadecimal floating constants (exact), integer
+// affine forms use the same int64 arithmetic, and the toolchain wrapper
+// compiles with -ffp-contract=off so no multiply-add fuses a rounding
+// step away.  What the native units deliberately drop is the lowered
+// engine's per-access bounds check — the differential test matrix and the
+// always-available lowered fallback are the checked path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/lowered.h"
+
+namespace spmd::exec::native {
+
+/// The structural access-parameter layout shared by the emitter and
+/// Engine::bind().  For access k, accessParams[offset[k]] holds the
+/// folded flat base offset and the next vars[k].size() entries the
+/// per-variable strides, with distinct variables in first-appearance
+/// order across the access's dimension forms — exactly the coalescing
+/// order bind() produces for its BoundTerm slices.  The order depends
+/// only on the program text (never on extents or bindings), which is why
+/// code compiled once binds against any store.
+struct AccessLayout {
+  std::vector<std::uint32_t> offset;           ///< per access: base index
+  std::vector<std::vector<std::int32_t>> vars; ///< per access: ordered vars
+  std::size_t paramCount = 0;                  ///< total table length
+};
+
+AccessLayout computeAccessLayout(const LoweredProgram& lp);
+
+struct EmittedSource {
+  std::string text;
+  std::size_t unitCount = 0;
+};
+
+/// Emits the complete translation unit for `lp`.  Deterministic.
+EmittedSource emitNativeSource(const LoweredProgram& lp);
+
+}  // namespace spmd::exec::native

@@ -1,0 +1,242 @@
+#include "exec/native/native_module.h"
+
+#include <dlfcn.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "exec/native/object_cache.h"
+#include "exec/native/toolchain.h"
+#include "obs/stats.h"
+#include "support/hash.h"
+
+SPMD_STATISTIC(statNativeSourcesEmitted, "native", "sources-emitted",
+               "lowered programs translated to C++ source");
+SPMD_STATISTIC(statNativeObjectsCompiled, "native", "objects-compiled",
+               "toolchain invocations that produced a shared object");
+SPMD_STATISTIC(statNativeCacheHits, "native", "cache-hits",
+               "compiled objects served from the content-addressed cache");
+SPMD_STATISTIC(statNativeCacheMisses, "native", "cache-misses",
+               "object-cache lookups that required a compile");
+SPMD_STATISTIC(statNativeCompileNs, "native", "compile-wall-ns",
+               "wall time spent in toolchain invocations (ns)");
+SPMD_STATISTIC(statNativeFallbacks, "native", "fallbacks",
+               "native builds that failed and fell back to the lowered "
+               "engine");
+
+namespace spmd::exec::native {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// dlopens `path` and resolves the ABI handshake plus every unit symbol.
+bool loadObject(const std::string& path, std::size_t expectUnits,
+                void** handle, std::vector<NativeFn>* fns,
+                std::string* error) {
+  void* h = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (h == nullptr) {
+    const char* why = ::dlerror();
+    *error = "dlopen failed: " + std::string(why != nullptr ? why : "?");
+    return false;
+  }
+  using MetaFn = std::int64_t (*)();
+  auto abi = reinterpret_cast<MetaFn>(::dlsym(h, "spmd_native_abi"));
+  auto units = reinterpret_cast<MetaFn>(::dlsym(h, "spmd_native_units"));
+  if (abi == nullptr || units == nullptr || abi() != kAbiVersion ||
+      units() != static_cast<std::int64_t>(expectUnits)) {
+    *error = "object failed the ABI handshake (stale or corrupted)";
+    ::dlclose(h);
+    return false;
+  }
+  fns->clear();
+  fns->reserve(expectUnits);
+  for (std::size_t k = 0; k < expectUnits; ++k) {
+    const std::string sym = "spmd_unit_" + std::to_string(k);
+    void* fn = ::dlsym(h, sym.c_str());
+    if (fn == nullptr) {
+      *error = "missing symbol " + sym;
+      ::dlclose(h);
+      return false;
+    }
+    fns->push_back(reinterpret_cast<NativeFn>(fn));
+  }
+  *handle = h;
+  *error = std::string();
+  return true;
+}
+
+bool writeFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  out.close();
+  return out.good();
+}
+
+}  // namespace
+
+NativeModule::~NativeModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+std::shared_ptr<const NativeModule> buildNativeModule(
+    std::shared_ptr<const LoweredProgram> lowered,
+    const BuildOptions& options, BuildReport* report) {
+  BuildReport local;
+  BuildReport& rep = report != nullptr ? *report : local;
+  rep = BuildReport{};
+
+  std::string reason;
+  std::optional<Toolchain> tc = findToolchain(&reason);
+  if (!tc.has_value()) {
+    rep.message = reason;
+    statNativeFallbacks.add();
+    return nullptr;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  EmittedSource src = emitNativeSource(*lowered);
+  rep.emitSeconds = secondsSince(t0);
+  rep.unitCount = src.unitCount;
+  rep.sourceBytes = src.text.size();
+  statNativeSourcesEmitted.add();
+
+  // Content address: the source text already encodes the structural
+  // program + plan (it is a pure function of the LoweredProgram), the
+  // codegen version rides in its banner; fold both in explicitly anyway,
+  // plus the toolchain identity, so none can silently stop mattering.
+  const std::uint64_t key = support::Hasher()
+                                .bytes(src.text)
+                                .bytes(kCodegenVersion)
+                                .bytes(tc->fingerprint)
+                                .digest();
+
+  ObjectCache cache(options.cacheDir);
+  rep.cacheUsable = cache.usable();
+  rep.cacheDir = cache.dir();
+
+  auto finishLoad = [&](const std::string& objectPath,
+                        bool fromCache) -> std::shared_ptr<NativeModule> {
+    auto l0 = std::chrono::steady_clock::now();
+    void* handle = nullptr;
+    std::vector<NativeFn> fns;
+    std::string error;
+    if (!loadObject(objectPath, src.unitCount, &handle, &fns, &error)) {
+      rep.message = error;
+      return nullptr;
+    }
+    rep.loadSeconds = secondsSince(l0);
+    rep.objectPath = objectPath;
+    rep.fromCache = fromCache;
+    auto module = std::shared_ptr<NativeModule>(new NativeModule());
+    module->lowered_ = lowered;
+    module->layout_ = computeAccessLayout(*lowered);
+    module->handle_ = handle;
+    module->fns_ = std::move(fns);
+    module->key_ = key;
+    module->objectPath_ = objectPath;
+    module->fromCache_ = fromCache;
+    std::size_t index = 0;
+    forEachNativeUnit(*lowered, [&](const LoweredStmt& s, UnitKind) {
+      module->byStmt_.emplace(&s, module->fns_[index++]);
+    });
+    return module;
+  };
+
+  if (cache.usable() && cache.contains(key)) {
+    if (auto module = finishLoad(cache.objectPath(key), /*fromCache=*/true)) {
+      statNativeCacheHits.add();
+      return module;
+    }
+    // Truncated or stale object: evict and fall through to a recompile.
+    cache.evict(key);
+  }
+  statNativeCacheMisses.add();
+
+  // Compile — into the cache when it is writable, otherwise into a
+  // throwaway directory (in-memory-only mode; the mapping survives the
+  // unlink below, nothing persists).
+  std::string sourcePath;
+  std::string objectPath;
+  std::string tempDir;
+  if (cache.usable()) {
+    sourcePath = cache.tempObjectPath(key) + ".cc";
+    objectPath = cache.tempObjectPath(key);
+  } else {
+    std::string pattern =
+        (fs::temp_directory_path() / "spmd-native-XXXXXX").string();
+    std::vector<char> buf(pattern.begin(), pattern.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      rep.message = "cannot create a temporary build directory";
+      statNativeFallbacks.add();
+      return nullptr;
+    }
+    tempDir = buf.data();
+    sourcePath = tempDir + "/unit.cc";
+    objectPath = tempDir + "/unit.so";
+  }
+  auto cleanupTemp = [&] {
+    if (tempDir.empty()) return;
+    std::error_code ec;
+    fs::remove_all(tempDir, ec);
+  };
+
+  if (!writeFile(sourcePath, src.text)) {
+    rep.message = "cannot write generated source to " + sourcePath;
+    cleanupTemp();
+    statNativeFallbacks.add();
+    return nullptr;
+  }
+
+  auto c0 = std::chrono::steady_clock::now();
+  CompileResult compiled = compileSharedObject(*tc, sourcePath, objectPath);
+  rep.compileSeconds = secondsSince(c0);
+  statNativeCompileNs.add(
+      static_cast<std::uint64_t>(rep.compileSeconds * 1e9));
+  if (!compiled.ok) {
+    rep.message = "toolchain " + tc->cxx + " failed";
+    if (!compiled.diagnostics.empty())
+      rep.message += ":\n" + compiled.diagnostics;
+    std::remove(sourcePath.c_str());
+    cleanupTemp();
+    statNativeFallbacks.add();
+    return nullptr;
+  }
+  statNativeObjectsCompiled.add();
+
+  std::string finalObject = objectPath;
+  if (cache.usable()) {
+    std::remove(sourcePath.c_str());
+    if (cache.publish(key, objectPath, src.text))
+      finalObject = cache.objectPath(key);
+    // On a lost publish race the rename still lands a complete object at
+    // the final path; on genuine failure, fall back to loading the temp
+    // object directly (it exists until dlclose).
+    std::error_code ec;
+    if (!fs::exists(finalObject, ec)) finalObject = objectPath;
+  }
+
+  auto module = finishLoad(finalObject, /*fromCache=*/false);
+  if (module == nullptr) {
+    cleanupTemp();
+    statNativeFallbacks.add();
+    return nullptr;
+  }
+  // In-memory-only mode: the dlopen mapping keeps the object alive; drop
+  // the directory so nothing persists on disk.
+  cleanupTemp();
+  return module;
+}
+
+}  // namespace spmd::exec::native

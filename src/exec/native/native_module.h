@@ -1,0 +1,95 @@
+// A loaded native module: the compiled form of one LoweredProgram.
+//
+// buildNativeModule() runs the full emit -> cache-lookup -> compile ->
+// dlopen pipeline and returns the module, or null with BuildReport::
+// message explaining why (no toolchain, compile failure, load failure).
+// Failure is always recoverable — callers fall back to the lowered
+// engine — so nothing here throws for environmental problems.
+//
+// The module pins the LoweredProgram it was built from (shared_ptr): the
+// statement-pointer -> function map is keyed by the addresses of that
+// exact program's LoweredStmt nodes, replaying the same unit walk the
+// emitter numbered functions with.  exec::Engine checks the identity at
+// construction and dispatches through fnFor() per statement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "exec/lowered.h"
+#include "exec/native/abi.h"
+#include "exec/native/cxx_emitter.h"
+#include "exec/native/unit_walk.h"
+
+namespace spmd::exec::native {
+
+class NativeModule {
+ public:
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+  ~NativeModule();
+
+  const LoweredProgram* lowered() const { return lowered_.get(); }
+  const AccessLayout& layout() const { return layout_; }
+  std::size_t unitCount() const { return fns_.size(); }
+  std::uint64_t key() const { return key_; }
+  const std::string& objectPath() const { return objectPath_; }
+  bool fromCache() const { return fromCache_; }
+
+  /// The compiled function for `s`, or null when `s` is not a native
+  /// unit (host-walked loops, guarded scalar subtrees).
+  NativeFn fnFor(const LoweredStmt* s) const {
+    auto it = byStmt_.find(s);
+    return it == byStmt_.end() ? nullptr : it->second;
+  }
+
+ private:
+  friend std::shared_ptr<const NativeModule> buildNativeModule(
+      std::shared_ptr<const LoweredProgram>, const struct BuildOptions&,
+      struct BuildReport*);
+
+  NativeModule() = default;
+
+  std::shared_ptr<const LoweredProgram> lowered_;
+  AccessLayout layout_;
+  void* handle_ = nullptr;
+  std::vector<NativeFn> fns_;
+  std::unordered_map<const LoweredStmt*, NativeFn> byStmt_;
+  std::uint64_t key_ = 0;
+  std::string objectPath_;
+  bool fromCache_ = false;
+};
+
+struct BuildOptions {
+  /// Object cache directory; empty uses SPMD_NATIVE_CACHE_DIR / the
+  /// platform default (see object_cache.h).
+  std::string cacheDir;
+};
+
+/// What happened during one build, for driver timings, reports, and the
+/// graceful-fallback diagnostic.
+struct BuildReport {
+  double emitSeconds = 0.0;
+  double compileSeconds = 0.0;  ///< 0 on a cache hit
+  double loadSeconds = 0.0;
+  bool fromCache = false;
+  bool cacheUsable = true;  ///< false: unwritable dir, in-memory-only mode
+  std::string cacheDir;
+  std::string objectPath;
+  std::size_t unitCount = 0;
+  std::size_t sourceBytes = 0;
+  /// On failure: why native execution is unavailable (includes captured
+  /// compiler diagnostics for a failed compile).
+  std::string message;
+};
+
+/// Builds (or loads from cache) the native module for `lowered`.
+/// Returns null on any environmental failure, with report->message set.
+std::shared_ptr<const NativeModule> buildNativeModule(
+    std::shared_ptr<const LoweredProgram> lowered,
+    const BuildOptions& options = BuildOptions(),
+    BuildReport* report = nullptr);
+
+}  // namespace spmd::exec::native

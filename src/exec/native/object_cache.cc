@@ -1,0 +1,89 @@
+#include "exec/native/object_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace spmd::exec::native {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string keyHex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+std::string defaultCacheDir() {
+  if (const char* env = std::getenv("SPMD_NATIVE_CACHE_DIR");
+      env != nullptr && *env)
+    return env;
+  if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg)
+    return std::string(xdg) + "/spmd-native";
+  if (const char* home = std::getenv("HOME"); home != nullptr && *home)
+    return std::string(home) + "/.cache/spmd-native";
+  return "/tmp/spmd-native";
+}
+
+ObjectCache::ObjectCache(const std::string& dir)
+    : dir_(dir.empty() ? defaultCacheDir() : dir) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return;
+  // create_directories succeeds on an existing path regardless of
+  // permissions; probe writability with an actual file.
+  const std::string probe =
+      dir_ + "/.probe." + std::to_string(static_cast<long>(::getpid()));
+  std::ofstream out(probe);
+  if (!out) return;
+  out.close();
+  std::remove(probe.c_str());
+  usable_ = true;
+}
+
+std::string ObjectCache::objectPath(std::uint64_t key) const {
+  return dir_ + "/" + keyHex(key) + ".so";
+}
+
+std::string ObjectCache::sourcePath(std::uint64_t key) const {
+  return dir_ + "/" + keyHex(key) + ".cc";
+}
+
+bool ObjectCache::contains(std::uint64_t key) const {
+  std::error_code ec;
+  return usable_ && fs::exists(objectPath(key), ec);
+}
+
+std::string ObjectCache::tempObjectPath(std::uint64_t key) const {
+  return dir_ + "/" + keyHex(key) + ".tmp" +
+         std::to_string(static_cast<long>(::getpid())) + ".so";
+}
+
+bool ObjectCache::publish(std::uint64_t key, const std::string& tempPath,
+                          const std::string& source) {
+  std::ofstream src(sourcePath(key));
+  if (src) src << source;
+  std::error_code ec;
+  fs::rename(tempPath, objectPath(key), ec);
+  if (ec) {
+    fs::remove(tempPath, ec);
+    return false;
+  }
+  return true;
+}
+
+void ObjectCache::evict(std::uint64_t key) {
+  std::error_code ec;
+  fs::remove(objectPath(key), ec);
+  fs::remove(sourcePath(key), ec);
+}
+
+}  // namespace spmd::exec::native

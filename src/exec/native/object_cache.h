@@ -1,0 +1,68 @@
+// Content-addressed on-disk cache of compiled region objects.
+//
+// Keyed by the 64-bit digest of (generated source text, codegen version,
+// toolchain fingerprint): the source is itself a pure function of the
+// lowered program — which bakes in the sync plan — so equal keys mean
+// semantically identical objects, and a warm cache serves them with zero
+// toolchain invocations.  Layout under the cache directory:
+//
+//   <key>.so   the shared object (what dlopen loads)
+//   <key>.cc   the source it was compiled from (debugging aid)
+//
+// Publication is atomic: objects are compiled to a process-unique temp
+// name in the cache directory and rename(2)d into place, so concurrent
+// processes racing on the same key each observe either nothing or a
+// complete object, never a torn write.  A cached object that fails to
+// load (truncated, corrupted, wrong ABI) is evicted and recompiled.
+//
+// The directory comes from SPMD_NATIVE_CACHE_DIR, defaulting to
+// $XDG_CACHE_HOME/spmd-native or $HOME/.cache/spmd-native, with /tmp as
+// the last resort.  An unusable directory is not an error: the caller
+// falls back to a throwaway temp directory (in-memory-only operation)
+// and reports it as a warning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spmd::exec::native {
+
+/// The configured cache directory (env override or default); purely a
+/// path computation, no filesystem access.
+std::string defaultCacheDir();
+
+class ObjectCache {
+ public:
+  /// Opens (and creates if needed) the cache at `dir`; empty means
+  /// defaultCacheDir().  If the directory cannot be created or written,
+  /// usable() is false and the caller should compile somewhere disposable.
+  explicit ObjectCache(const std::string& dir = std::string());
+
+  bool usable() const { return usable_; }
+  const std::string& dir() const { return dir_; }
+
+  std::string objectPath(std::uint64_t key) const;
+  std::string sourcePath(std::uint64_t key) const;
+
+  /// True when a completed object for `key` is already published.
+  bool contains(std::uint64_t key) const;
+
+  /// A process-unique temp path inside the cache directory for `key`;
+  /// compile to this, then publish().
+  std::string tempObjectPath(std::uint64_t key) const;
+
+  /// Atomically renames `tempPath` into place as the object for `key` and
+  /// writes `source` beside it.  Returns false (leaving the temp file
+  /// removed) on filesystem failure.
+  bool publish(std::uint64_t key, const std::string& tempPath,
+               const std::string& source);
+
+  /// Removes the object for `key` (corrupted-object recovery).
+  void evict(std::uint64_t key);
+
+ private:
+  std::string dir_;
+  bool usable_ = false;
+};
+
+}  // namespace spmd::exec::native

@@ -1,0 +1,103 @@
+#include "exec/native/toolchain.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+// The compiler this library was built with; CMake bakes it in so the
+// default JIT toolchain matches the host build without any configuration.
+#ifndef SPMD_NATIVE_CXX
+#define SPMD_NATIVE_CXX ""
+#endif
+
+namespace spmd::exec::native {
+
+namespace {
+
+bool isExecutableFile(const std::string& path) {
+  return ::access(path.c_str(), X_OK) == 0;
+}
+
+/// Resolves `cmd` the way the shell will: absolute/relative paths are
+/// probed directly, bare names against each $PATH entry.
+bool commandExists(const std::string& cmd) {
+  if (cmd.empty()) return false;
+  if (cmd.find('/') != std::string::npos) return isExecutableFile(cmd);
+  const char* pathEnv = std::getenv("PATH");
+  if (pathEnv == nullptr) return false;
+  std::stringstream dirs(pathEnv);
+  std::string dir;
+  while (std::getline(dirs, dir, ':')) {
+    if (dir.empty()) continue;
+    if (isExecutableFile(dir + "/" + cmd)) return true;
+  }
+  return false;
+}
+
+/// Single-quotes `s` for /bin/sh.  Paths containing a quote are rejected
+/// upstream (shellSafe) rather than escaped.
+std::string quoted(const std::string& s) { return "'" + s + "'"; }
+
+bool shellSafe(const std::string& s) {
+  return s.find('\'') == std::string::npos;
+}
+
+}  // namespace
+
+std::optional<Toolchain> findToolchain(std::string* reason) {
+  const char* disabled = std::getenv("SPMD_NATIVE_DISABLE");
+  if (disabled != nullptr && disabled[0] != '\0' &&
+      std::string(disabled) != "0") {
+    if (reason != nullptr) *reason = "disabled by SPMD_NATIVE_DISABLE";
+    return std::nullopt;
+  }
+  std::vector<std::string> candidates;
+  if (const char* env = std::getenv("SPMD_CXX"); env != nullptr && *env)
+    candidates.push_back(env);
+  if (const char* baked = SPMD_NATIVE_CXX; *baked) candidates.push_back(baked);
+  candidates.push_back("c++");
+  candidates.push_back("g++");
+  candidates.push_back("clang++");
+  for (const std::string& c : candidates) {
+    if (!shellSafe(c)) continue;
+    if (commandExists(c)) return Toolchain{c, "cxx:" + c};
+  }
+  if (reason != nullptr)
+    *reason = "no C++ compiler found (tried $SPMD_CXX, the build compiler, "
+              "c++, g++, clang++)";
+  return std::nullopt;
+}
+
+CompileResult compileSharedObject(const Toolchain& tc,
+                                  const std::string& sourcePath,
+                                  const std::string& outputPath) {
+  CompileResult result;
+  if (!shellSafe(sourcePath) || !shellSafe(outputPath)) {
+    result.diagnostics = "path contains a quote character";
+    return result;
+  }
+  const std::string logPath = outputPath + ".log";
+  // -ffp-contract=off: see the header — bit-identity with the tape
+  // evaluator requires every multiply and add to round separately.
+  const std::string cmd = quoted(tc.cxx) +
+                          " -std=c++17 -O2 -fPIC -shared -ffp-contract=off "
+                          "-o " +
+                          quoted(outputPath) + " " + quoted(sourcePath) +
+                          " 2> " + quoted(logPath);
+  const int rc = std::system(cmd.c_str());
+  std::ifstream log(logPath);
+  if (log) {
+    std::ostringstream text;
+    text << log.rdbuf();
+    result.diagnostics = text.str();
+  }
+  std::remove(logPath.c_str());
+  result.ok = (rc == 0);
+  return result;
+}
+
+}  // namespace spmd::exec::native

@@ -1,0 +1,42 @@
+// The system C++ toolchain, as seen by the native engine.
+//
+// Discovery order: $SPMD_CXX (explicit override), the compiler this
+// library was built with (baked in by CMake), then `c++`, `g++`,
+// `clang++` on $PATH.  Setting SPMD_NATIVE_DISABLE=1 makes discovery
+// fail unconditionally — the CI fallback leg and the tests use it to
+// exercise the no-toolchain path on machines that do have one.
+//
+// Compilation is a plain subprocess: -O2 -fPIC -shared, plus
+// -ffp-contract=off so generated arithmetic cannot fuse multiply-adds
+// the tape evaluator performs as two rounded steps (fused rounding would
+// break bit-identity with the interpreted and lowered engines).  Stderr
+// is captured to a log file and returned in CompileResult::diagnostics,
+// so a failed compile surfaces the actual compiler error through the
+// DiagnosticsEngine instead of a bare exit code.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace spmd::exec::native {
+
+struct Toolchain {
+  std::string cxx;          ///< compiler command or absolute path
+  std::string fingerprint;  ///< folded into the object-cache key
+};
+
+/// Finds a usable compiler, or nullopt with `reason` set ("disabled by
+/// SPMD_NATIVE_DISABLE", "no C++ compiler found...").
+std::optional<Toolchain> findToolchain(std::string* reason);
+
+struct CompileResult {
+  bool ok = false;
+  std::string diagnostics;  ///< captured compiler stderr (may be empty)
+};
+
+/// Compiles `sourcePath` into the shared object `outputPath`.
+CompileResult compileSharedObject(const Toolchain& tc,
+                                  const std::string& sourcePath,
+                                  const std::string& outputPath);
+
+}  // namespace spmd::exec::native

@@ -1,0 +1,105 @@
+// The native-unit walk: which pieces of a LoweredProgram become compiled
+// functions, in which order.
+//
+// A "unit" is a maximal synchronization-free subtree: everything inside
+// it runs on one thread with no barrier, counter, fork, or pending-scalar
+// traffic, so it can be compiled to a straight-line function called
+// through the uniform NativeFn signature.  Three shapes qualify:
+//
+//   * ParallelLoop — a parallel loop body; the host computes the owned
+//     range (owned_range.h) and the function iterates it (or, for
+//     per-iteration ownership, tests each iteration itself);
+//   * Local — a replicated region node, a master-sequential plan item, or
+//     a parallel-free fork-join subtree, executed without guards;
+//   * Guarded — a guarded region node, executed under the per-element
+//     owner test.
+//
+// Guarded subtrees containing a ScalarAssign are NOT units: guarded
+// scalar writes go through the host's masterPending_ publication map,
+// which generated code cannot (and must not) touch.  SeqLoop nodes and
+// fork-join loops containing parallel loops stay host-walked because
+// synchronization happens between their children.
+//
+// The walk order is the contract between the emitter and the loader: the
+// emitter numbers functions in this exact traversal order, and
+// NativeModule replays the same traversal over the same LoweredProgram to
+// pair each LoweredStmt with its compiled function.  Both sides share
+// this header, so they cannot drift.
+#pragma once
+
+#include "exec/lowered.h"
+
+namespace spmd::exec::native {
+
+enum class UnitKind : std::uint8_t { Local, ParallelLoop, Guarded };
+
+inline bool stmtContainsParallel(const LoweredStmt& s) {
+  if (s.kind == LoweredStmt::Kind::Loop && s.parallel) return true;
+  for (const LoweredStmt& child : s.body)
+    if (stmtContainsParallel(child)) return true;
+  return false;
+}
+
+inline bool stmtContainsScalarAssign(const LoweredStmt& s) {
+  if (s.kind == LoweredStmt::Kind::ScalarAssign) return true;
+  for (const LoweredStmt& child : s.body)
+    if (stmtContainsScalarAssign(child)) return true;
+  return false;
+}
+
+namespace detail {
+
+template <class Fn>
+void walkForkJoinStmt(const LoweredStmt& s, Fn& fn) {
+  if (s.kind == LoweredStmt::Kind::Loop && s.parallel) {
+    fn(s, UnitKind::ParallelLoop);
+    return;
+  }
+  if (s.kind == LoweredStmt::Kind::Loop && stmtContainsParallel(s)) {
+    // The host walks this loop (forks happen per iteration); only the
+    // parallel-free pieces below it become units.
+    for (const LoweredStmt& child : s.body) walkForkJoinStmt(child, fn);
+    return;
+  }
+  fn(s, UnitKind::Local);
+}
+
+template <class Fn>
+void walkNode(const LoweredNode& node, Fn& fn) {
+  switch (node.kind) {
+    case core::NodeKind::ParallelLoop:
+      fn(node.stmt, UnitKind::ParallelLoop);
+      return;
+    case core::NodeKind::Replicated:
+      fn(node.stmt, UnitKind::Local);
+      return;
+    case core::NodeKind::Guarded:
+      if (!stmtContainsScalarAssign(node.stmt))
+        fn(node.stmt, UnitKind::Guarded);
+      return;
+    case core::NodeKind::SeqLoop:
+      // Sync points live between the children; the loop itself stays
+      // host-walked.
+      for (const LoweredNode& child : node.body) walkNode(child, fn);
+      return;
+  }
+}
+
+}  // namespace detail
+
+/// Visits every native unit of `lp` in the canonical order, calling
+/// `fn(const LoweredStmt&, UnitKind)` once per unit.
+template <class Fn>
+void forEachNativeUnit(const LoweredProgram& lp, Fn fn) {
+  for (const LoweredStmt& s : lp.forkJoinTop) detail::walkForkJoinStmt(s, fn);
+  for (const LoweredItem& item : lp.items) {
+    if (!item.isRegion) {
+      if (!stmtContainsParallel(item.sequential))
+        fn(item.sequential, UnitKind::Local);
+      continue;
+    }
+    for (const LoweredNode& node : item.nodes) detail::walkNode(node, fn);
+  }
+}
+
+}  // namespace spmd::exec::native

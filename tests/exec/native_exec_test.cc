@@ -1,0 +1,397 @@
+// The native engine must be observationally identical to the interpreting
+// executor: byte-identical store contents for non-reduction kernels
+// (reductions combine partials host-side in arrival order in every
+// engine, so those compare within round-off) and byte-identical dynamic
+// synchronization counts — for every kernel, execution mode, plan flavor,
+// and thread count.  The object cache is exercised separately: a second
+// build of the same program must load from cache with zero toolchain
+// invocations, a corrupted cached object must be evicted and recompiled,
+// an unwritable cache directory must degrade to in-memory-only mode, and
+// a disabled toolchain must make the driver fall back to the lowered
+// engine with a diagnostic — never an error.
+//
+// Every test that needs a compiler GTEST_SKIPs when none is available,
+// so the suite stays green on toolchain-less machines (the CI fallback
+// leg forces that path via SPMD_NATIVE_DISABLE=1).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd_executor.h"
+#include "core/optimizer.h"
+#include "driver/compilation.h"
+#include "driver/execution.h"
+#include "exec/native/native_module.h"
+#include "exec/native/toolchain.h"
+#include "ir/seq_executor.h"
+#include "kernels/kernels.h"
+#include "obs/stats.h"
+
+namespace spmd {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool toolchainAvailable() {
+  std::string reason;
+  return exec::native::findToolchain(&reason).has_value();
+}
+
+/// One temp cache directory for the whole test process, so module builds
+/// are hermetic (no reuse of a developer's ~/.cache across runs) while
+/// still sharing compiles across tests.
+const std::string& testCacheDir() {
+  static std::string dir = [] {
+    std::string tmpl = fs::temp_directory_path() / "spmd-native-test-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = ::mkdtemp(buf.data());
+    return std::string(made != nullptr ? made : "/tmp/spmd-native-test");
+  }();
+  return dir;
+}
+
+// --- per-(kernel, flavor) module registry ----------------------------------
+//
+// Compiling a module takes ~quarter-second; the differential matrix visits
+// each (kernel, flavor) once per thread count, so modules are built once
+// and shared.  The entry pins everything the module's statement-pointer
+// map is keyed by: the kernel's program/decomposition instances, the plan
+// the program was lowered against, and the lowered program itself.
+
+enum class Flavor { ForkJoin, Optimized, BarriersOnly };
+
+const char* flavorName(Flavor f) {
+  switch (f) {
+    case Flavor::ForkJoin:
+      return "fork-join";
+    case Flavor::Optimized:
+      return "regions";
+    case Flavor::BarriersOnly:
+      return "regions(barriers)";
+  }
+  return "?";
+}
+
+struct ModuleEntry {
+  kernels::KernelSpec spec;
+  std::shared_ptr<const core::RegionProgram> plan;  // null for fork-join
+  std::shared_ptr<const exec::LoweredProgram> lowered;
+  std::shared_ptr<const exec::native::NativeModule> module;
+  exec::native::BuildReport report;
+};
+
+const ModuleEntry& moduleFor(const std::string& kernel, Flavor flavor) {
+  static std::map<std::pair<std::string, int>, ModuleEntry> registry;
+  auto key = std::make_pair(kernel, static_cast<int>(flavor));
+  auto it = registry.find(key);
+  if (it != registry.end()) return it->second;
+
+  ModuleEntry entry;
+  entry.spec = kernels::kernelByName(kernel);
+  if (flavor != Flavor::ForkJoin) {
+    core::SyncOptimizer opt(*entry.spec.program, *entry.spec.decomp);
+    entry.plan = std::make_shared<const core::RegionProgram>(
+        flavor == Flavor::BarriersOnly ? opt.runBarriersOnly() : opt.run());
+  }
+  entry.lowered = std::make_shared<const exec::LoweredProgram>(
+      exec::lowerProgram(*entry.spec.program, *entry.spec.decomp,
+                         entry.plan.get()));
+  exec::native::BuildOptions options;
+  options.cacheDir = testCacheDir();
+  entry.module =
+      exec::native::buildNativeModule(entry.lowered, options, &entry.report);
+  return registry.emplace(key, std::move(entry)).first->second;
+}
+
+// --- byte-level store comparison -------------------------------------------
+
+void expectBitIdenticalStores(const ir::Program& prog, const ir::Store& a,
+                              const ir::Store& b, const std::string& what) {
+  for (std::size_t i = 0; i < prog.arrays().size(); ++i) {
+    ir::ArrayId id{static_cast<int>(i)};
+    ASSERT_EQ(a.elementCount(id), b.elementCount(id)) << what;
+    EXPECT_EQ(std::memcmp(a.data(id), b.data(id),
+                          a.elementCount(id) * sizeof(double)),
+              0)
+        << what << ": array " << prog.arrays()[i].name
+        << " differs bitwise";
+  }
+  for (std::size_t s = 0; s < prog.scalars().size(); ++s) {
+    ir::ScalarId id{static_cast<int>(s)};
+    double va = a.scalar(id), vb = b.scalar(id);
+    EXPECT_EQ(std::memcmp(&va, &vb, sizeof(double)), 0)
+        << what << ": scalar " << prog.scalars()[s].name
+        << " differs bitwise";
+  }
+}
+
+bool stmtHasReduction(const ir::Stmt* stmt) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ScalarAssign:
+      return stmt->scalarAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::ArrayAssign:
+      return stmt->arrayAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::Loop:
+      for (const ir::StmtPtr& s : stmt->loop().body)
+        if (stmtHasReduction(s.get())) return true;
+      return false;
+  }
+  return false;
+}
+
+bool programHasReduction(const ir::Program& prog) {
+  for (const ir::StmtPtr& s : prog.topLevel())
+    if (stmtHasReduction(s.get())) return true;
+  return false;
+}
+
+void expectSameCounts(const rt::SyncCounts& a, const rt::SyncCounts& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.barriers, b.barriers) << what;
+  EXPECT_EQ(a.broadcasts, b.broadcasts) << what;
+  EXPECT_EQ(a.counterPosts, b.counterPosts) << what;
+  EXPECT_EQ(a.counterWaits, b.counterWaits) << what;
+}
+
+// --- the differential matrix -----------------------------------------------
+
+struct CaseParam {
+  std::string kernel;
+  int threads;
+};
+
+std::vector<CaseParam> makeCases() {
+  std::vector<CaseParam> cases;
+  for (const kernels::KernelSpec& spec : kernels::allKernels())
+    for (int threads : {1, 2, 3, 4, 7})
+      cases.push_back(CaseParam{spec.name, threads});
+  return cases;
+}
+
+class NativeEngineTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(NativeEngineTest, MatchesInterpreterInAllModes) {
+  if (!toolchainAvailable()) GTEST_SKIP() << "no C++ toolchain";
+  const CaseParam& param = GetParam();
+
+  for (Flavor flavor :
+       {Flavor::ForkJoin, Flavor::Optimized, Flavor::BarriersOnly}) {
+    const ModuleEntry& entry = moduleFor(param.kernel, flavor);
+    ASSERT_NE(entry.module, nullptr)
+        << param.kernel << " " << flavorName(flavor)
+        << ": module build failed: " << entry.report.message;
+    const kernels::KernelSpec& spec = entry.spec;
+    const ir::Program& prog = *spec.program;
+
+    i64 n = std::min<i64>(spec.defaultN, 24);
+    i64 t = std::min<i64>(spec.defaultT, 4);
+    ir::SymbolBindings symbols = spec.bindings(n, t);
+    std::string what = spec.name + std::string(" ") + flavorName(flavor) +
+                       " P=" + std::to_string(param.threads);
+
+    cg::ExecOptions interpOptions;
+    interpOptions.engine = cg::EngineKind::Interpreted;
+    cg::ExecOptions nativeOptions;
+    nativeOptions.engine = cg::EngineKind::Native;
+    nativeOptions.native = entry.module.get();
+
+    ir::Store interpStore(prog, symbols);
+    ir::Store nativeStore(prog, symbols);
+    rt::SyncCounts interpCounts, nativeCounts;
+    {
+      rt::ThreadTeam team(param.threads);
+      cg::SpmdExecutor interp(prog, *spec.decomp, team, interpOptions);
+      cg::SpmdExecutor native(prog, *spec.decomp, team, nativeOptions);
+      if (flavor == Flavor::ForkJoin) {
+        interpCounts = interp.runForkJoin(interpStore);
+        nativeCounts =
+            native.runForkJoinLowered(*entry.lowered, nativeStore);
+      } else {
+        interpCounts = interp.runRegions(*entry.plan, interpStore);
+        nativeCounts =
+            native.runRegionsLowered(*entry.lowered, nativeStore);
+      }
+    }
+
+    // Floating-point reductions combine partials host-side in arrival
+    // order in every engine, so only reduction-free kernels are
+    // bit-reproducible across engines.
+    if (programHasReduction(prog)) {
+      EXPECT_LE(ir::Store::maxAbsDifference(interpStore, nativeStore), 1e-12)
+          << what << ": engines diverge";
+    } else {
+      expectBitIdenticalStores(prog, interpStore, nativeStore, what);
+    }
+    expectSameCounts(interpCounts, nativeCounts, what + " sync counts");
+
+    // The optimized plan must additionally be reference-correct (the
+    // barriers-only ablation is not reference-correct for every kernel,
+    // independent of engine).
+    if (flavor != Flavor::BarriersOnly) {
+      ir::Store ref = ir::runSequential(prog, symbols);
+      EXPECT_LE(ir::Store::maxAbsDifference(ref, nativeStore),
+                spec.tolerance)
+          << what << ": native diverges from sequential";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, NativeEngineTest, ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return info.param.kernel + "_p" + std::to_string(info.param.threads);
+    });
+
+// --- object cache ----------------------------------------------------------
+
+struct StatDelta {
+  std::uint64_t compiled, hits, misses;
+  static StatDelta now() {
+    return {obs::statValue("native", "objects-compiled"),
+            obs::statValue("native", "cache-hits"),
+            obs::statValue("native", "cache-misses")};
+  }
+};
+
+class NativeCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!toolchainAvailable()) GTEST_SKIP() << "no C++ toolchain";
+    obs::setStatsEnabled(true);
+    std::string tmpl = fs::temp_directory_path() / "spmd-cache-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    ASSERT_NE(::mkdtemp(buf.data()), nullptr);
+    dir_ = buf.data();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    if (!dir_.empty()) fs::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(NativeCacheTest, SecondBuildHitsCacheWithoutCompiling) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  auto lowered = std::make_shared<const exec::LoweredProgram>(
+      exec::lowerProgram(*spec.program, *spec.decomp, nullptr));
+  exec::native::BuildOptions options;
+  options.cacheDir = dir_;
+
+  StatDelta before = StatDelta::now();
+  exec::native::BuildReport first;
+  auto m1 = exec::native::buildNativeModule(lowered, options, &first);
+  ASSERT_NE(m1, nullptr) << first.message;
+  EXPECT_FALSE(first.fromCache);
+  StatDelta afterFirst = StatDelta::now();
+  EXPECT_EQ(afterFirst.compiled - before.compiled, 1u);
+  EXPECT_EQ(afterFirst.misses - before.misses, 1u);
+
+  // Warm cache: the module loads without a single toolchain invocation.
+  exec::native::BuildReport second;
+  auto m2 = exec::native::buildNativeModule(lowered, options, &second);
+  ASSERT_NE(m2, nullptr) << second.message;
+  EXPECT_TRUE(second.fromCache);
+  EXPECT_EQ(second.compileSeconds, 0.0);
+  StatDelta afterSecond = StatDelta::now();
+  EXPECT_EQ(afterSecond.compiled - afterFirst.compiled, 0u)
+      << "warm cache must not invoke the toolchain";
+  EXPECT_EQ(afterSecond.hits - afterFirst.hits, 1u);
+  EXPECT_EQ(m2->key(), m1->key());
+  EXPECT_EQ(m2->unitCount(), m1->unitCount());
+}
+
+TEST_F(NativeCacheTest, CorruptedObjectIsEvictedAndRecompiled) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  auto lowered = std::make_shared<const exec::LoweredProgram>(
+      exec::lowerProgram(*spec.program, *spec.decomp, nullptr));
+  exec::native::BuildOptions options;
+  options.cacheDir = dir_;
+
+  exec::native::BuildReport first;
+  auto m1 = exec::native::buildNativeModule(lowered, options, &first);
+  ASSERT_NE(m1, nullptr) << first.message;
+  std::string object = m1->objectPath();
+  m1.reset();  // dlclose before clobbering the file
+
+  // Truncate the cached object to garbage; the next build must detect
+  // the load failure, evict, and recompile rather than erroring out.
+  {
+    std::ofstream out(object, std::ios::trunc | std::ios::binary);
+    out << "not an ELF object";
+  }
+  StatDelta before = StatDelta::now();
+  exec::native::BuildReport second;
+  auto m2 = exec::native::buildNativeModule(lowered, options, &second);
+  ASSERT_NE(m2, nullptr) << second.message;
+  EXPECT_FALSE(second.fromCache);
+  StatDelta after = StatDelta::now();
+  EXPECT_EQ(after.compiled - before.compiled, 1u)
+      << "corrupted object must force a recompile";
+}
+
+TEST_F(NativeCacheTest, UnwritableCacheDirFallsBackToInMemoryMode) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  auto lowered = std::make_shared<const exec::LoweredProgram>(
+      exec::lowerProgram(*spec.program, *spec.decomp, nullptr));
+
+  // A regular file where the directory should be: create_directories and
+  // the write probe both fail, which must select in-memory-only mode —
+  // a working module, nothing persisted — not a crash or a null module.
+  std::string blocked = dir_ + "/blocked";
+  { std::ofstream out(blocked); out << "x"; }
+  exec::native::BuildOptions options;
+  options.cacheDir = blocked;
+
+  exec::native::BuildReport report;
+  auto module = exec::native::buildNativeModule(lowered, options, &report);
+  ASSERT_NE(module, nullptr) << report.message;
+  EXPECT_FALSE(report.cacheUsable);
+  EXPECT_FALSE(report.fromCache);
+  EXPECT_TRUE(fs::is_regular_file(blocked)) << "cache setup clobbered path";
+}
+
+// --- driver fallback when native execution is unavailable ------------------
+
+TEST(NativeFallback, DisabledToolchainDegradesToLoweredWithWarning) {
+  ::setenv("SPMD_NATIVE_DISABLE", "1", 1);
+  struct Restore {
+    ~Restore() { ::unsetenv("SPMD_NATIVE_DISABLE"); }
+  } restore;
+
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi2d");
+  driver::Compilation compilation = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  CollectingDiagnosticSink sink;
+  compilation.diags().setSink(&sink);
+
+  driver::RunRequest request;
+  request.symbols = spec.bindings(16, 3);
+  request.threads = 4;
+  request.reference = true;
+  request.exec.engine = cg::EngineKind::Native;
+
+  driver::RunComparison run = driver::runComparison(compilation, request);
+  EXPECT_LE(run.maxDiffBase, spec.tolerance) << "fallback run incorrect";
+  EXPECT_LE(run.maxDiffOpt, spec.tolerance) << "fallback run incorrect";
+  EXPECT_FALSE(compilation.nativeExec().available());
+  EXPECT_EQ(compilation.diags().errorCount(), 0u)
+      << "missing toolchain must degrade, not error";
+
+  bool warned = false;
+  for (const Diagnostic& d : sink.all())
+    if (d.severity == Severity::Warning && d.category == "native-fallback")
+      warned = true;
+  EXPECT_TRUE(warned) << "fallback must be surfaced as a diagnostic";
+}
+
+}  // namespace
+}  // namespace spmd

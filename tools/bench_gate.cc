@@ -58,6 +58,17 @@ bool loadRuntime(const JsonValue& doc, Loaded& out, std::string* error) {
     e.correct = c->getBool("counts_match", true) &&
                 c->getBool("fingerprint_match", true);
     out.entries[key] = e;
+    // Native-engine columns are optional (toolchain-dependent).  When the
+    // baseline has them and the fresh run doesn't, the missing-config
+    // rule fails the gate — losing native coverage must not read as a
+    // pass — so CI only gates native against a native-capable baseline.
+    if (c->get("native_speedup") != nullptr) {
+      Entry n;
+      n.ratio = c->getDouble("native_speedup", 0.0);
+      n.correct = c->getBool("native_counts_match", true) &&
+                  c->getBool("native_store_match", true);
+      out.entries[key + "|native"] = n;
+    }
   }
   return true;
 }

@@ -44,8 +44,10 @@
 //     --tree-barrier        use the combining-tree barrier
 //     --spin=POLICY         spin-wait policy: pause | backoff | yield
 //                           (default backoff)
-//     --engine=ENGINE       execution engine: lowered | interpreted
-//                           (default lowered)
+//     --engine=ENGINE       execution engine: lowered | interpreted |
+//                           native (default lowered; native JIT-compiles
+//                           region loops and falls back to lowered when
+//                           no toolchain is available)
 //     --version
 //     --help
 #include <algorithm>
@@ -100,7 +102,8 @@ void usage(std::ostream& os) {
         "[--emit] [--run] [--verify] [--trace=FILE] [--trace-capacity=N] "
         "[--profile] [--blame] [--stats] "
         "[--tree-barrier] "
-        "[--spin=pause|backoff|yield] [--engine=lowered|interpreted] "
+        "[--spin=pause|backoff|yield] "
+        "[--engine=lowered|interpreted|native] "
         "[--version] [file...]\n";
 }
 
@@ -232,15 +235,14 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       }
       opts.spin = *policy;
     } else if (auto v = valueOf("--engine=")) {
-      if (*v == "lowered") {
-        opts.engine = spmd::cg::EngineKind::Lowered;
-      } else if (*v == "interpreted") {
-        opts.engine = spmd::cg::EngineKind::Interpreted;
-      } else {
+      std::optional<spmd::cg::EngineKind> engine =
+          spmd::cg::parseEngineKind(*v);
+      if (!engine.has_value()) {
         std::cerr << "error: unknown --engine=" << *v
-                  << " (expected lowered or interpreted)\n";
+                  << " (expected interpreted, lowered, or native)\n";
         return false;
       }
+      opts.engine = *engine;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "error: unknown option: " << arg << "\n";
       return false;
@@ -369,6 +371,21 @@ int processSource(const std::string& source, const std::string& label,
             << run.optCounts.broadcasts << " broadcasts, "
             << run.optCounts.counterPosts << " posts, "
             << run.optCounts.counterWaits << " waits\n";
+        if (opts.engine == cg::EngineKind::Native) {
+          const driver::NativeExec& native = compilation.nativeExec();
+          if (native.available()) {
+            out << "  native    " << native.report.unitCount << " unit(s), "
+                << (native.report.fromCache ? "cache hit" : "compiled")
+                << " (emit " << spmd::fixed(native.report.emitSeconds * 1000, 1)
+                << " ms, compile "
+                << spmd::fixed(native.report.compileSeconds * 1000, 1)
+                << " ms, load "
+                << spmd::fixed(native.report.loadSeconds * 1000, 1) << " ms)\n";
+          } else {
+            out << "  native    unavailable (" << native.report.message
+                << "); ran lowered engine\n";
+          }
+        }
         if (opts.verify)
           out << "  verify: max |diff| base=" << run.maxDiffBase
               << " optimized=" << run.maxDiffOpt << "\n";
@@ -416,6 +433,10 @@ int processSource(const std::string& source, const std::string& label,
       if (optProfile.has_value()) profiles.optimized = &*optProfile;
       if (baseBlame.has_value()) profiles.baseBlame = &*baseBlame;
       if (optBlame.has_value()) profiles.optimizedBlame = &*optBlame;
+      // Native engine: report the module build outcome (triggers the
+      // build if --run did not already).
+      if (opts.engine == cg::EngineKind::Native)
+        profiles.native = &compilation.nativeExec();
       std::ostringstream os;
       JsonWriter writer(os);
       driver::writeCompilationReport(writer, compilation, label, profiles);
