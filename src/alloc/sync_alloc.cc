@@ -1,0 +1,334 @@
+#include "alloc/sync_alloc.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+#include "obs/stats.h"
+#include "support/diag.h"
+
+SPMD_STATISTIC(statAllocRegions, "alloc", "regions-allocated",
+               "regions run through physical sync allocation");
+SPMD_STATISTIC(statAllocAttempts, "alloc", "attempts",
+               "coloring attempts across all regions (>= 1 per region)");
+SPMD_STATISTIC(statAllocRetries, "alloc", "retries",
+               "checker-rejected attempts (re-colored at a higher distance)");
+SPMD_STATISTIC(statAllocBarrierRegs, "alloc", "barrier-registers",
+               "physical barrier registers the final maps occupy");
+SPMD_STATISTIC(statAllocCounterSlots, "alloc", "counter-slots",
+               "physical counter slots the final maps occupy");
+SPMD_STATISTIC(statAllocInfeasible, "alloc", "infeasible",
+               "allocations whose bounds could not be met");
+
+namespace spmd::alloc {
+
+namespace {
+
+using core::NodeKind;
+using core::RegionNode;
+using core::SyncPoint;
+
+/// One sync-point visit in a region's canonical per-thread order.
+struct Visit {
+  bool isBarrier = false;
+  int id = -1;  ///< logical id within its pool
+};
+
+/// Region-local allocation input: logical id streams (mirroring the
+/// lowering's numbering) plus the canonical visit sequence.
+struct RegionModel {
+  std::vector<std::int32_t> barrierSites;  ///< logical barrier id -> site
+  std::vector<std::int32_t> counterSites;  ///< logical counter id -> site
+  std::vector<Visit> visits;
+  int barrierCount() const {
+    return static_cast<int>(barrierSites.size());
+  }
+  int counterCount() const {
+    return static_cast<int>(counterSites.size());
+  }
+};
+
+/// Assigns dense logical ids exactly as exec's lowerNode does — pre-order,
+/// after before back edge before children — one stream per pool.
+void numberNode(const RegionNode& n, RegionModel& model,
+                std::vector<int>& afterId, std::vector<int>& backEdgeId,
+                int& nodeIndex) {
+  const int self = nodeIndex++;
+  if (static_cast<std::size_t>(self) >= afterId.size()) {
+    afterId.resize(static_cast<std::size_t>(self) + 1, -1);
+    backEdgeId.resize(static_cast<std::size_t>(self) + 1, -1);
+  }
+  if (n.after.kind == SyncPoint::Kind::Barrier) {
+    afterId[static_cast<std::size_t>(self)] = model.barrierCount();
+    model.barrierSites.push_back(n.after.site);
+  } else if (n.after.kind == SyncPoint::Kind::Counter) {
+    afterId[static_cast<std::size_t>(self)] = model.counterCount();
+    model.counterSites.push_back(n.after.site);
+  }
+  if (n.kind == NodeKind::SeqLoop) {
+    if (n.backEdge.kind == SyncPoint::Kind::Barrier) {
+      backEdgeId[static_cast<std::size_t>(self)] = model.barrierCount();
+      model.barrierSites.push_back(n.backEdge.site);
+    } else if (n.backEdge.kind == SyncPoint::Kind::Counter) {
+      backEdgeId[static_cast<std::size_t>(self)] = model.counterCount();
+      model.counterSites.push_back(n.backEdge.site);
+    }
+    for (const RegionNode& child : n.body)
+      numberNode(child, model, afterId, backEdgeId, nodeIndex);
+  }
+}
+
+/// Emits the canonical visit sequence in execution order.  Sequential
+/// loops are unrolled twice so an interval model sees the back-edge
+/// cycle: a sync point live across the back edge overlaps its second-
+/// iteration self and everything between.  Elidable last-iteration back
+/// edges are included — conservative occupancy only lengthens lifetimes.
+void emitNode(const RegionNode& n, const std::vector<int>& afterId,
+              const std::vector<int>& backEdgeId, int& nodeIndex,
+              RegionModel& model) {
+  const int self = nodeIndex++;
+  if (n.kind == NodeKind::SeqLoop) {
+    const int firstChild = nodeIndex;
+    for (int iter = 0; iter < 2; ++iter) {
+      nodeIndex = firstChild;
+      for (const RegionNode& child : n.body) {
+        const int childIndex = nodeIndex;
+        emitNode(child, afterId, backEdgeId, nodeIndex, model);
+        if (child.after.isSync())
+          model.visits.push_back(
+              Visit{child.after.kind == SyncPoint::Kind::Barrier,
+                    afterId[static_cast<std::size_t>(childIndex)]});
+      }
+      if (n.backEdge.isSync())
+        model.visits.push_back(
+            Visit{n.backEdge.kind == SyncPoint::Kind::Barrier,
+                  backEdgeId[static_cast<std::size_t>(self)]});
+    }
+  }
+}
+
+RegionModel buildModel(const core::SpmdRegion& region) {
+  RegionModel model;
+  std::vector<int> afterId, backEdgeId;
+  int nodeIndex = 0;
+  for (const RegionNode& n : region.nodes)
+    numberNode(n, model, afterId, backEdgeId, nodeIndex);
+  nodeIndex = 0;
+  for (const RegionNode& n : region.nodes) {
+    const int self = nodeIndex;
+    emitNode(n, afterId, backEdgeId, nodeIndex, model);
+    if (n.after.isSync())
+      model.visits.push_back(
+          Visit{n.after.kind == SyncPoint::Kind::Barrier,
+                afterId[static_cast<std::size_t>(self)]});
+  }
+  return model;
+}
+
+/// Occupancy interval of one sync point over the visit sequence.
+struct Interval {
+  int id = -1;
+  int first = 0;    ///< first visit position
+  int last = 0;     ///< last visit position
+  int release = 0;  ///< position after which the resource is free
+};
+
+/// Computes [first, release] intervals for one pool at reuse distance `d`:
+/// release = the d-th barrier visit strictly after the last visit (the
+/// sequence end when fewer remain); d = 0 releases at the last visit
+/// itself — the aggressive packing the checker usually rejects.
+std::vector<Interval> poolIntervals(const RegionModel& model, bool barriers,
+                                    int count, int d) {
+  std::vector<Interval> iv(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) iv[static_cast<std::size_t>(i)].id = i;
+  std::vector<bool> seen(static_cast<std::size_t>(count), false);
+  for (int pos = 0; pos < static_cast<int>(model.visits.size()); ++pos) {
+    const Visit& v = model.visits[static_cast<std::size_t>(pos)];
+    if (v.isBarrier != barriers) continue;
+    Interval& in = iv[static_cast<std::size_t>(v.id)];
+    if (!seen[static_cast<std::size_t>(v.id)]) {
+      in.first = pos;
+      seen[static_cast<std::size_t>(v.id)] = true;
+    }
+    in.last = pos;
+  }
+  const int end = static_cast<int>(model.visits.size());
+  for (Interval& in : iv) {
+    int remaining = d;
+    in.release = in.last;
+    for (int pos = in.last + 1; pos < end && remaining > 0; ++pos) {
+      if (model.visits[static_cast<std::size_t>(pos)].isBarrier &&
+          --remaining == 0) {
+        in.release = pos;
+        break;
+      }
+    }
+    if (remaining > 0 && d > 0) in.release = end;  // held to region end
+  }
+  return iv;
+}
+
+/// Greedy interval coloring in first-visit order onto the lowest-numbered
+/// free resource.  Returns the assignment and resource count, or nullopt
+/// when a bound (> 0) would be exceeded.
+std::optional<std::vector<int>> colorPool(std::vector<Interval> iv,
+                                          int bound, int* used) {
+  std::sort(iv.begin(), iv.end(), [](const Interval& a, const Interval& b) {
+    return a.first < b.first;
+  });
+  std::vector<int> assignment(iv.size(), -1);
+  std::vector<int> freeAt;  // resource -> release of its latest occupant
+  for (const Interval& in : iv) {
+    int chosen = -1;
+    for (int r = 0; r < static_cast<int>(freeAt.size()); ++r) {
+      if (freeAt[static_cast<std::size_t>(r)] < in.first) {
+        chosen = r;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      if (bound > 0 && static_cast<int>(freeAt.size()) >= bound)
+        return std::nullopt;
+      chosen = static_cast<int>(freeAt.size());
+      freeAt.push_back(in.release);
+    } else {
+      freeAt[static_cast<std::size_t>(chosen)] =
+          std::max(freeAt[static_cast<std::size_t>(chosen)], in.release);
+    }
+    assignment[static_cast<std::size_t>(in.id)] = chosen;
+  }
+  *used = static_cast<int>(freeAt.size());
+  return assignment;
+}
+
+/// Independent schedule-simulation checker: replays the visit sequence
+/// under the proposed assignment and rejects any resource handoff that is
+/// not separated from the previous occupant's last visit by at least one
+/// completed barrier — the condition under which a thread could still be
+/// spinning on a resource another sync point is about to reprogram.
+bool checkSchedule(const RegionModel& model,
+                   const std::vector<int>& barrierPhys,
+                   const std::vector<int>& counterPhys, int barrierRegs,
+                   int counterSlots) {
+  // Per resource: the occupant and the completed-barrier count recorded
+  // *after* its latest visit (so `completed - lastTouch` counts barriers
+  // strictly between that visit and now).
+  std::vector<int> occupant(
+      static_cast<std::size_t>(barrierRegs + counterSlots), -1);
+  std::vector<long> lastTouch(
+      static_cast<std::size_t>(barrierRegs + counterSlots), 0);
+  long completed = 0;
+  for (const Visit& v : model.visits) {
+    const int phys =
+        v.isBarrier ? barrierPhys[static_cast<std::size_t>(v.id)]
+                    : barrierRegs + counterPhys[static_cast<std::size_t>(v.id)];
+    const int logical = v.isBarrier ? v.id : barrierRegs + v.id;
+    auto& who = occupant[static_cast<std::size_t>(phys)];
+    if (who >= 0 && who != logical &&
+        completed - lastTouch[static_cast<std::size_t>(phys)] < 1)
+      return false;
+    who = logical;
+    if (v.isBarrier) ++completed;
+    lastTouch[static_cast<std::size_t>(phys)] = completed;
+  }
+  return true;
+}
+
+}  // namespace
+
+core::PhysicalSyncMap allocatePhysicalSync(
+    const core::RegionProgram& plan,
+    const core::PhysicalSyncOptions& bounds) {
+  core::PhysicalSyncMap map;
+  map.bounds = bounds;
+  map.items.reserve(plan.items.size());
+
+  for (std::size_t itemIndex = 0; itemIndex < plan.items.size();
+       ++itemIndex) {
+    const core::RegionProgram::Item& item = plan.items[itemIndex];
+    core::PhysicalItemMap out;
+    if (!item.isRegion()) {
+      map.items.push_back(std::move(out));
+      continue;
+    }
+    statAllocRegions.add();
+    out.isRegion = true;
+
+    RegionModel model = buildModel(*item.region);
+    out.barrierSites = model.barrierSites;
+    out.counterSites = model.counterSites;
+
+    // The lp_scheduler-style retry ladder: attempt at distance 0 (densest
+    // packing), hand to the checker, and on rejection discard the attempt
+    // and re-color at the next distance.  Distance 1 encodes exactly the
+    // checker's separation rule, so the ladder terminates there; 2 is a
+    // backstop that cannot be reached by construction.
+    bool assigned = false;
+    for (int d = 0; d <= 2 && !assigned; ++d) {
+      ++out.attempts;
+      statAllocAttempts.add();
+      int barrierRegs = 0, counterSlots = 0;
+      std::optional<std::vector<int>> barrierPhys =
+          colorPool(poolIntervals(model, true, model.barrierCount(), d),
+                    bounds.barriers, &barrierRegs);
+      std::optional<std::vector<int>> counterPhys =
+          barrierPhys.has_value()
+              ? colorPool(
+                    poolIntervals(model, false, model.counterCount(), d),
+                    bounds.counters, &counterSlots)
+              : std::nullopt;
+      if (barrierPhys.has_value() && counterPhys.has_value() &&
+          checkSchedule(model, *barrierPhys, *counterPhys, barrierRegs,
+                        counterSlots)) {
+        out.barrierPhys = std::move(*barrierPhys);
+        out.counterPhys = std::move(*counterPhys);
+        out.barriersUsed = barrierRegs;
+        out.countersUsed = counterSlots;
+        out.reuseDistance = d;
+        assigned = true;
+        break;
+      }
+      // Save/restore: the scratch assignment is dropped wholesale.
+      if (barrierPhys.has_value() && counterPhys.has_value()) {
+        ++map.retries;  // checker rejection, not a bound failure
+        statAllocRetries.add();
+      } else if (d >= 1) {
+        // Distance >= 1 colorings only grow with d; further retries
+        // cannot fit the bound.  Record the sound minimum requirement.
+        if (map.feasible) {
+          int needBarriers = 0, needCounters = 0;
+          colorPool(poolIntervals(model, true, model.barrierCount(), 1), 0,
+                    &needBarriers);
+          colorPool(poolIntervals(model, false, model.counterCount(), 1), 0,
+                    &needCounters);
+          map.feasible = false;
+          map.infeasibleReason =
+              "region item " + std::to_string(itemIndex) + " needs " +
+              std::to_string(needBarriers) + " barrier register(s) and " +
+              std::to_string(needCounters) +
+              " counter slot(s); bounds allow " +
+              (bounds.barriers > 0 ? std::to_string(bounds.barriers)
+                                   : std::string("unbounded")) +
+              " / " +
+              (bounds.counters > 0 ? std::to_string(bounds.counters)
+                                   : std::string("unbounded"));
+          statAllocInfeasible.add();
+        }
+        break;
+      }
+      // d == 0 exceeded a bound: the denser packing does not even fit, so
+      // skip straight to the sound distance rather than re-checking.
+    }
+    SPMD_CHECK(assigned || !map.feasible,
+               "physical sync allocation retry ladder exhausted");
+    map.barriersUsed = std::max(map.barriersUsed, out.barriersUsed);
+    map.countersUsed = std::max(map.countersUsed, out.countersUsed);
+    map.items.push_back(std::move(out));
+  }
+
+  statAllocBarrierRegs.add(static_cast<std::uint64_t>(map.barriersUsed));
+  statAllocCounterSlots.add(static_cast<std::uint64_t>(map.countersUsed));
+  return map;
+}
+
+}  // namespace spmd::alloc

@@ -1,0 +1,53 @@
+// Physical sync allocation: logical SyncPoints -> K barrier registers and
+// M counter slots (the post-pass producing core::PhysicalSyncMap).
+//
+// Model.  Within a region every processor passes the region's sync points
+// in the same order, the same number of times; a region's dynamic sync
+// behaviour is therefore captured by one *canonical visit sequence* —
+// the per-thread program order of sync-point visits, with sequential
+// loops unrolled twice so back-edge-cyclic lifetimes are visible.  A
+// physical resource is occupied from its sync point's first visit until
+// the point's *release*: the moment every processor is guaranteed to have
+// moved past its last visit.  A completed all-processor barrier is the
+// only event that guarantees this (counters order pairs, not the team),
+// so release(s) = the d-th barrier visit strictly after s's last visit
+// (d is the reuse distance; with none left, the region end).  Two sync
+// points of the same pool interfere when their occupancy intervals
+// overlap; the interference graph of intervals is colored greedily in
+// first-visit order onto the lowest-numbered free resource, which is
+// deterministic and, for interval graphs, uses the minimum number of
+// resources.
+//
+// Checker and retry.  Mirroring npu_compiler's lp_scheduler save/restore
+// loop (SNIPPETS.md Snippet 1), each region is first packed at reuse
+// distance 0 — a resource is recycled immediately after its occupant's
+// last visit, the densest assignment — and the result is handed to an
+// independent schedule-simulation checker that replays the visit
+// sequence and rejects any resource handoff without at least one
+// completed barrier strictly between the old occupant's last visit and
+// the new occupant's first (a slow thread could still be spinning on the
+// resource while a fast one reprograms it).  On rejection the attempt is
+// discarded and allocation retries at distance 1 (then 2), whose longer
+// lifetimes encode exactly the separation the checker demands — so
+// distance 1 always passes, and the retry count reported per region is
+// the number of checker rejections.  Infeasibility (the distance-1
+// coloring needs more resources than the bound) is a structured verdict
+// on the map, not an error: the minimum under the checker's separation
+// rule *is* the distance-1 interval chromatic number, so no cleverer
+// assignment exists.
+#pragma once
+
+#include "core/physical_sync.h"
+#include "core/spmd_region.h"
+
+namespace spmd::alloc {
+
+/// Allocates physical sync resources for every region of `plan` under
+/// `bounds`.  Logical ids follow the lowering's numbering (one dense
+/// pre-order stream per resource kind: after before back edge before
+/// children), so the returned map indexes directly by the ids the lowered
+/// engine dispatches with.  Deterministic: depends only on (plan, bounds).
+core::PhysicalSyncMap allocatePhysicalSync(
+    const core::RegionProgram& plan, const core::PhysicalSyncOptions& bounds);
+
+}  // namespace spmd::alloc

@@ -8,6 +8,7 @@
 #include "analysis/access.h"
 #include "comm/comm_analysis.h"
 #include "core/optimizer.h"
+#include "support/flags.h"
 
 namespace spmd::cg {
 
@@ -30,13 +31,12 @@ const char* engineKindName(EngineKind kind) {
 }
 
 std::optional<EngineKind> parseEngineKind(std::string_view name) {
-  std::string lower(name);
-  for (char& c : lower)
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  if (lower == "interpreted") return EngineKind::Interpreted;
-  if (lower == "lowered") return EngineKind::Lowered;
-  if (lower == "native") return EngineKind::Native;
-  return std::nullopt;
+  static constexpr support::EnumFlagValue<EngineKind> kTable[] = {
+      {"interpreted", EngineKind::Interpreted},
+      {"lowered", EngineKind::Lowered},
+      {"native", EngineKind::Native},
+  };
+  return support::parseEnumFlag(name, kTable);
 }
 
 namespace {
@@ -496,9 +496,13 @@ exec::Engine& SpmdExecutor::engineFor(const exec::LoweredProgram& lowered) {
        options_.native->lowered() == &lowered)
           ? options_.native
           : nullptr;
+  // The physical map covers the region plan only; the internally lowered
+  // fork-join form (no regions) always runs unpooled.
+  const core::PhysicalSyncMap* physical =
+      lowered.hasRegions ? options_.physical : nullptr;
   engines_.emplace_back(&lowered, std::make_unique<exec::Engine>(
                                       lowered, *team_, options_.sync,
-                                      native));
+                                      native, physical));
   return *engines_.back().second;
 }
 

@@ -70,6 +70,14 @@ struct ExecOptions {
   /// and outlive the executor.  Tracing is observation-only: sync counts
   /// and stores are unchanged.
   obs::Tracer* trace = nullptr;
+
+  /// Non-null: region execution under the Lowered / Native engines
+  /// dispatches sync through this physical resource map (a feasible
+  /// allocation over the plan the lowered program was built from; must
+  /// outlive the executor).  The interpreter ignores it — it stays the
+  /// unpooled reference.  Pooled runs produce byte-identical stores and
+  /// SyncCounts (see exec::Engine).
+  const core::PhysicalSyncMap* physical = nullptr;
 };
 
 /// The processor that executes iteration `i` of a parallel loop under the

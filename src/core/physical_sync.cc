@@ -1,0 +1,40 @@
+#include "core/physical_sync.h"
+
+#include <sstream>
+
+namespace spmd::core {
+
+std::string PhysicalSyncMap::toString() const {
+  std::ostringstream os;
+  os << "physical-sync: bounds barriers="
+     << (bounds.barriers > 0 ? std::to_string(bounds.barriers)
+                             : std::string("unbounded"))
+     << " counters="
+     << (bounds.counters > 0 ? std::to_string(bounds.counters)
+                             : std::string("unbounded"))
+     << "\n";
+  os << "  feasible: " << (feasible ? "yes" : "no") << "\n";
+  if (!feasible) os << "  reason: " << infeasibleReason << "\n";
+  os << "  used: " << barriersUsed << " barrier register(s), "
+     << countersUsed << " counter slot(s); retries: " << retries << "\n";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const PhysicalItemMap& item = items[i];
+    if (!item.isRegion) continue;
+    os << "  item " << i << ": barriers[";
+    for (std::size_t b = 0; b < item.barrierPhys.size(); ++b) {
+      if (b > 0) os << " ";
+      os << b << "->" << item.barrierPhys[b];
+    }
+    os << "] counters[";
+    for (std::size_t c = 0; c < item.counterPhys.size(); ++c) {
+      if (c > 0) os << " ";
+      os << c << "->" << item.counterPhys[c];
+    }
+    os << "] used=" << item.barriersUsed << "b/" << item.countersUsed
+       << "c attempts=" << item.attempts << " d=" << item.reuseDistance
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spmd::core

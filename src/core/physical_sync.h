@@ -1,0 +1,87 @@
+// The physical layer of the two-level sync IR.
+//
+// The optimizer emits a *logical* synchronization plan: each region
+// boundary carries a SyncPoint naming what must happen there (barrier,
+// pairwise counter, nothing).  Real targets do not have an unbounded
+// supply of synchronization hardware — an NPU exposes a fixed file of
+// barrier registers, a cluster a fixed set of counter/event slots — so a
+// post-pass (src/alloc) maps every logical sync point onto K physical
+// barrier registers and M physical counter slots, reusing a resource once
+// its previous occupant is provably finished.  The result is this map:
+// for each region item, logical id -> physical resource, plus the
+// feasibility verdict and the allocator's retry evidence.
+//
+// The split mirrors npu_compiler's lp_scheduler (SNIPPETS.md Snippet 1):
+// schedule against a bound, run an independent checker, and retry with a
+// less aggressive packing when the checker rejects the assignment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spmd::core {
+
+/// Resource bounds for physical allocation.  0 means unbounded (the pool
+/// is sized by whatever the allocator ends up using); allocation is
+/// *active* once either bound is given.
+struct PhysicalSyncOptions {
+  int barriers = 0;  ///< physical barrier registers (K); 0 = unbounded
+  int counters = 0;  ///< physical counter slots (M); 0 = unbounded
+
+  bool enabled() const { return barriers > 0 || counters > 0; }
+};
+
+/// Physical assignment for one region-program item.  Logical ids index
+/// these vectors: they are assigned by the same pre-order walk the
+/// lowering uses (after before back edge before children), one dense id
+/// stream per resource kind, so `barrierPhys[SyncPoint::id]` and
+/// `counterPhys[SyncPoint::id]` resolve the engine's dispatch.
+struct PhysicalItemMap {
+  bool isRegion = false;
+
+  std::vector<int> barrierPhys;  ///< logical barrier id -> register
+  std::vector<int> counterPhys;  ///< logical counter id -> slot
+  /// Logical id -> optimizer boundary site, for resolving trace sites to
+  /// physical resources in --blame / spmdtrace output.
+  std::vector<std::int32_t> barrierSites;
+  std::vector<std::int32_t> counterSites;
+
+  int barriersUsed = 0;  ///< distinct registers this region occupies
+  int countersUsed = 0;  ///< distinct slots this region occupies
+  int attempts = 0;      ///< coloring attempts (>= 1 for regions)
+  int reuseDistance = 0; ///< the distance whose assignment passed the checker
+};
+
+/// The whole program's physical sync assignment.
+struct PhysicalSyncMap {
+  PhysicalSyncOptions bounds;
+  /// Parallel to RegionProgram::items (non-region items get empty maps).
+  std::vector<PhysicalItemMap> items;
+
+  int barriersUsed = 0;  ///< max over regions: registers the pool needs
+  int countersUsed = 0;  ///< max over regions: slots the pool needs
+  int retries = 0;       ///< checker-rejected attempts across all regions
+
+  bool feasible = true;
+  std::string infeasibleReason;  ///< set when !feasible
+
+  /// Fraction of the bounded pool in use (0 when the pool is unbounded —
+  /// there is no denominator to report against).
+  double barrierUtilization() const {
+    return bounds.barriers > 0
+               ? static_cast<double>(barriersUsed) / bounds.barriers
+               : 0.0;
+  }
+  double counterUtilization() const {
+    return bounds.counters > 0
+               ? static_cast<double>(countersUsed) / bounds.counters
+               : 0.0;
+  }
+
+  /// Deterministic rendering of the complete assignment; the allocation-
+  /// determinism tests byte-compare this across runs and job counts.
+  std::string toString() const;
+};
+
+}  // namespace spmd::core

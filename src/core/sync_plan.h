@@ -14,9 +14,11 @@
 // coordination.  Posting before waiting makes deadlock impossible.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "ir/program.h"
+#include "support/diag.h"
 
 namespace spmd::core {
 
@@ -78,7 +80,28 @@ struct SyncPoint {
         return s;
       }
     }
-    return "?";
+    SPMD_UNREACHABLE("bad SyncPoint::Kind");
+  }
+
+  /// Inverse of toString() over kind and wait set (id/site are execution
+  /// metadata, not part of the printed form).  Strict: the wait flags must
+  /// appear in L, R, M order, exactly as toString emits them.
+  static std::optional<SyncPoint> parse(const std::string& text) {
+    if (text == "none") return none();
+    if (text == "barrier") return barrier();
+    const std::string prefix = "counter(";
+    if (text.size() < prefix.size() + 1 ||
+        text.compare(0, prefix.size(), prefix) != 0 || text.back() != ')')
+      return std::nullopt;
+    std::string flags = text.substr(prefix.size(),
+                                    text.size() - prefix.size() - 1);
+    SyncPoint s = counter(false, false, false);
+    std::size_t i = 0;
+    if (i < flags.size() && flags[i] == 'L') s.waitLeft = true, ++i;
+    if (i < flags.size() && flags[i] == 'R') s.waitRight = true, ++i;
+    if (i < flags.size() && flags[i] == 'M') s.waitMaster = true, ++i;
+    if (i != flags.size()) return std::nullopt;
+    return s;
   }
 };
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "alloc/sync_alloc.h"
 #include "codegen/spmd_printer.h"
 #include "core/spmd_region.h"
 #include "obs/stats.h"
@@ -19,6 +20,8 @@ SPMD_STATISTIC(statRegionCacheHits, "driver", "region-cache-hits",
                "region-tree artifact served from the pipeline cache");
 SPMD_STATISTIC(statPlanCacheHits, "driver", "plan-cache-hits",
                "sync-plan artifact served from the pipeline cache");
+SPMD_STATISTIC(statPhysicalCacheHits, "driver", "physical-cache-hits",
+               "physical-sync artifact served from the pipeline cache");
 SPMD_STATISTIC(statLowerCacheHits, "driver", "lower-cache-hits",
                "codegen artifact served from the pipeline cache");
 SPMD_STATISTIC(statLowerExecCacheHits, "driver", "lower-exec-cache-hits",
@@ -84,6 +87,7 @@ void Compilation::setOptions(const PipelineOptions& options) {
   // Only the stages that consume the options are re-armed; the front end,
   // validation, and partition artifacts stay cached.
   syncPlan_.reset();
+  physicalSync_.reset();
   lowered_.reset();
   loweredExec_.reset();
   nativeExec_.reset();
@@ -182,6 +186,27 @@ const SyncPlan& Compilation::syncPlan() {
     syncPlan_ = std::move(plan);
   }
   return *syncPlan_;
+}
+
+const PhysicalSync& Compilation::physicalSync() {
+  if (physicalSync_.has_value()) statPhysicalCacheHits.add();
+  if (!physicalSync_.has_value()) {
+    const SyncPlan& plan = syncPlan();
+    PhysicalSync ps = timePass("physical-alloc", [&] {
+      return PhysicalSync{
+          alloc::allocatePhysicalSync(plan.plan, options_.physical)};
+    });
+    if (!ps.map.feasible) {
+      // A structured verdict, not an exception: downstream consumers run
+      // unpooled, and CLIs turn this diagnostic into their exit status.
+      diags_->error(SourceLoc::none(),
+                    "physical sync allocation infeasible: " +
+                        ps.map.infeasibleReason,
+                    "physical-infeasible");
+    }
+    physicalSync_ = std::move(ps);
+  }
+  return *physicalSync_;
 }
 
 const LoweredSpmd& Compilation::lowered() {

@@ -30,6 +30,7 @@
 
 #include "analysis/validate.h"
 #include "core/optimizer.h"
+#include "core/physical_sync.h"
 #include "exec/lowered.h"
 #include "exec/native/native_module.h"
 #include "ir/parser.h"
@@ -82,6 +83,18 @@ struct SyncPlan {
   bool barriersOnly = false;
 };
 
+/// The physical layer of the two-level sync IR: every region's logical
+/// sync points colored onto the bounded barrier-register / counter-slot
+/// pools (src/alloc), with the allocator's verdict and retry evidence.
+/// Computed over the SyncPlan and invalidated with it.  An infeasible
+/// bound is a structured outcome, not an exception: the accessor reports
+/// it through the diagnostics engine ("physical-infeasible") and the run
+/// layer falls back to unpooled execution.
+struct PhysicalSync {
+  core::PhysicalSyncMap map;
+  bool feasible() const { return map.feasible; }
+};
+
 /// The lowered SPMD form (what --emit prints): region structure, guards,
 /// and sync placement as the executor realizes them.
 struct LoweredSpmd {
@@ -119,6 +132,11 @@ struct PipelineOptions {
   /// Region merging only: leave every boundary a barrier (spmdopt's
   /// --mode=barriers, the ablation baseline).
   bool barriersOnly = false;
+
+  /// Physical sync resource bounds (spmdopt --physical-barriers=K /
+  /// --physical-counters=M).  Disabled (unbounded, no allocation pass)
+  /// unless a bound is given.
+  core::PhysicalSyncOptions physical;
 };
 
 /// Wall-clock record for one pass; `runs` counts how many times the stage
@@ -171,6 +189,7 @@ class Compilation {
   const PartitionedProgram& partitioned();
   const RegionTree& regionTree();
   const SyncPlan& syncPlan();
+  const PhysicalSync& physicalSync();
   const LoweredSpmd& lowered();
   const LoweredExec& loweredExec();
   const NativeExec& nativeExec();
@@ -205,6 +224,7 @@ class Compilation {
   std::optional<PartitionedProgram> partitioned_;
   std::optional<RegionTree> regionTree_;
   std::optional<SyncPlan> syncPlan_;
+  std::optional<PhysicalSync> physicalSync_;
   std::optional<LoweredSpmd> lowered_;
   std::optional<LoweredExec> loweredExec_;
   std::optional<NativeExec> nativeExec_;

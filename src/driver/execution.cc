@@ -55,6 +55,19 @@ RunComparison runComparison(Compilation& compilation,
       exec.engine = cg::EngineKind::Lowered;
   }
 
+  // Physical sync pooling: when the session carries bounds and the
+  // allocation is feasible, the lowered/native engines dispatch region
+  // sync through the pooled map.  An infeasible map has already been
+  // diagnosed by physicalSync(); execution proceeds unpooled so results
+  // are still produced.  The interpreter is the unpooled reference and
+  // never pools.
+  if (compilation.options().physical.enabled() &&
+      exec.engine != cg::EngineKind::Interpreted &&
+      exec.physical == nullptr) {
+    const PhysicalSync& physical = compilation.physicalSync();
+    if (physical.feasible()) exec.physical = &physical.map;
+  }
+
   // With the lowered (or native) engine, run both variants off the
   // session's cached LoweredExec artifact through one executor: the
   // program is lowered once per option set instead of once per run, and

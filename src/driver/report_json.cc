@@ -107,14 +107,22 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
   }
 
   if (profiles.baseBlame != nullptr || profiles.optimizedBlame != nullptr) {
+    // Under bounded allocation, blame sites resolve to their physical
+    // resources (base fork-join sites are not boundaries; they simply
+    // carry no label).
+    obs::PhysicalSiteLabels physLabels;
+    if (compilation.options().physical.enabled())
+      physLabels = physicalSiteLabels(compilation.physicalSync().map);
+    const obs::PhysicalSiteLabels* labels =
+        physLabels.empty() ? nullptr : &physLabels;
     json.field("blame").object();
     if (profiles.baseBlame != nullptr) {
       json.field("base");
-      obs::writeBlameJson(json, *profiles.baseBlame);
+      obs::writeBlameJson(json, *profiles.baseBlame, labels);
     }
     if (profiles.optimizedBlame != nullptr) {
       json.field("optimized");
-      obs::writeBlameJson(json, *profiles.optimizedBlame);
+      obs::writeBlameJson(json, *profiles.optimizedBlame, labels);
     }
     json.close();
   }
@@ -137,12 +145,65 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
     json.close();
   }
 
+  if (compilation.options().physical.enabled()) {
+    const core::PhysicalSyncMap& physical = compilation.physicalSync().map;
+    json.field("physical").object();
+    json.field("barrierBound", physical.bounds.barriers);
+    json.field("counterBound", physical.bounds.counters);
+    json.field("feasible", physical.feasible);
+    if (!physical.feasible) json.field("reason", physical.infeasibleReason);
+    json.field("barrierRegisters", physical.barriersUsed);
+    json.field("counterSlots", physical.countersUsed);
+    json.field("barrierUtilization", physical.barrierUtilization());
+    json.field("counterUtilization", physical.counterUtilization());
+    json.field("retries", physical.retries);
+    json.field("regions").array();
+    for (std::size_t i = 0; i < physical.items.size(); ++i) {
+      const core::PhysicalItemMap& item = physical.items[i];
+      if (!item.isRegion) continue;
+      json.object();
+      json.field("item", static_cast<std::uint64_t>(i));
+      json.field("barriersUsed", item.barriersUsed);
+      json.field("countersUsed", item.countersUsed);
+      json.field("attempts", item.attempts);
+      json.field("reuseDistance", item.reuseDistance);
+      json.field("barriers").array();
+      for (int phys : item.barrierPhys) json.value(phys);
+      json.close();
+      json.field("counters").array();
+      for (int phys : item.counterPhys) json.value(phys);
+      json.close();
+      json.close();
+    }
+    json.close();
+    json.close();
+  }
+
   if (obs::statsEnabled()) {
     json.field("statistics");
     obs::writeStatsJson(json);
   }
 
   json.close();  // root object
+}
+
+obs::PhysicalSiteLabels physicalSiteLabels(const core::PhysicalSyncMap& map) {
+  obs::PhysicalSiteLabels labels;
+  if (!map.feasible) return labels;
+  for (const core::PhysicalItemMap& item : map.items) {
+    if (!item.isRegion) continue;
+    for (std::size_t b = 0; b < item.barrierPhys.size(); ++b) {
+      const std::int32_t site = item.barrierSites[b];
+      if (site >= 0)
+        labels.bySite[site] = "B" + std::to_string(item.barrierPhys[b]);
+    }
+    for (std::size_t c = 0; c < item.counterPhys.size(); ++c) {
+      const std::int32_t site = item.counterSites[c];
+      if (site >= 0)
+        labels.bySite[site] = "C" + std::to_string(item.counterPhys[c]);
+    }
+  }
+  return labels;
 }
 
 std::string compilationReportJson(Compilation& compilation,

@@ -33,6 +33,12 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
                             const std::string& file,
                             const RunProfiles& profiles = RunProfiles());
 
+/// Site -> physical-resource labels ("B0" = barrier register 0, "C2" =
+/// counter slot 2) from an allocation, for obs::renderBlame /
+/// writeChromeTrace.  Empty for an infeasible map (the assignment was
+/// discarded) — callers can pass the result unconditionally.
+obs::PhysicalSiteLabels physicalSiteLabels(const core::PhysicalSyncMap& map);
+
 /// Convenience: a complete JSON document for a single compilation.
 std::string compilationReportJson(Compilation& compilation,
                                   const std::string& file,

@@ -43,10 +43,22 @@ std::size_t padToLine(std::size_t n, std::size_t elemSize) {
 
 Engine::Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
                rt::SyncPrimitiveOptions sync,
-               const native::NativeModule* native)
-    : lp_(&lowered), team_(&team), sync_(sync), native_(native) {
+               const native::NativeModule* native,
+               const core::PhysicalSyncMap* physical)
+    : lp_(&lowered), team_(&team), sync_(sync), native_(native),
+      physical_(physical) {
   SPMD_CHECK(native_ == nullptr || native_->lowered() == lp_,
              "native module was built from a different lowered program");
+  if (physical_ != nullptr) {
+    SPMD_CHECK(physical_->feasible,
+               "engine handed an infeasible physical sync map");
+    SPMD_CHECK(physical_->items.size() == lp_->items.size(),
+               "physical sync map shape does not match the lowered program");
+    // Counter tracing stays on (sites travel per call); SyncPool unhooks
+    // the barrier tracer itself — execSync attributes barrier waits.
+    pool_ = std::make_unique<rt::SyncPool>(
+        physical_->barriersUsed, physical_->countersUsed, team.size(), sync_);
+  }
   if (sync_.tracer != nullptr) {
     SPMD_CHECK(sync_.tracer->threads() >= team.size(),
                "tracer covers fewer threads than the team");
@@ -465,6 +477,16 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
       return;
     case SyncPoint::Kind::Barrier: {
       if (tid == 0) ++ts.counts.barriers;
+      // Pooled mode dispatches through the allocator's register map; the
+      // unpooled engine funnels every barrier into the one shared
+      // primitive.  Identical protocol either way.
+      SPMD_ASSERT(pool_ == nullptr || (point.id >= 0 && run.phys != nullptr),
+                  "pooled barrier sync point without id/assignment");
+      rt::Barrier& bar =
+          pool_ != nullptr
+              ? pool_->barrier(run.phys->barrierPhys[static_cast<std::size_t>(
+                    point.id)])
+              : rt::asBarrier(*barrier_);
       // The releasing thread publishes pending values and refreshes every
       // processor's shared-canonical private copies while all are parked
       // (identical to the interpreter's serial section).
@@ -477,7 +499,7 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
       };
       obs::Tracer* tracer = sync_.tracer;
       if (tracer == nullptr) {
-        rt::asBarrier(*barrier_).arrive(tid, serial);
+        bar.arrive(tid, serial);
         return;
       }
       // Traced: record here rather than in the (untraced) primitive so the
@@ -492,16 +514,29 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
         tracer->record(tid, obs::EventKind::BarrierSerial, point.site, s0,
                        tracer->now() - s0);
       };
-      rt::asBarrier(*barrier_).arrive(tid, tracedSerial);
+      bar.arrive(tid, tracedSerial);
       tracer->record(tid, obs::EventKind::BarrierWait, point.site, t0,
                      tracer->now() - t0);
       return;
     }
     case SyncPoint::Kind::Counter: {
       SPMD_ASSERT(point.id >= 0, "counter sync point without id");
+      // Pooled mode resolves the logical id to its physical slot and keeps
+      // occurrence counts per slot.  Occurrences stay consistent across
+      // threads because every thread passes the region's sync points in
+      // the same order, so the slot's occurrence number at any given sync
+      // point is the same on all of them — blocking semantics (and hence
+      // stores and SyncCounts) are identical to the unpooled path.
+      const std::size_t slot =
+          pool_ != nullptr
+              ? static_cast<std::size_t>(
+                    run.phys->counterPhys[static_cast<std::size_t>(point.id)])
+              : static_cast<std::size_t>(point.id);
       rt::CounterSync& counter =
-          rt::asCounter(*run.counters[static_cast<std::size_t>(point.id)]);
-      std::uint64_t occ = ++ts.occ[static_cast<std::size_t>(point.id)];
+          pool_ != nullptr
+              ? pool_->counter(static_cast<int>(slot))
+              : rt::asCounter(*run.counters[slot]);
+      std::uint64_t occ = ++ts.occ[slot];
       if (point.waitMaster && tid == 0 && !masterPending_.empty()) {
         // Publish before the post; its release pairs with waiters'
         // acquire (see the interpreter's execSync for the full argument).
@@ -509,19 +544,19 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
           store_->scalar(ir::ScalarId{scalar}) = value;
         masterPending_.clear();
       }
-      counter.post(tid, occ);
+      counter.post(tid, occ, point.site);
       ++ts.counts.counterPosts;
       const int P = team_->size();
       if (point.waitLeft && tid > 0) {
-        counter.wait(tid, tid - 1, occ);
+        counter.wait(tid, tid - 1, occ, point.site);
         ++ts.counts.counterWaits;
       }
       if (point.waitRight && tid < P - 1) {
-        counter.wait(tid, tid + 1, occ);
+        counter.wait(tid, tid + 1, occ, point.site);
         ++ts.counts.counterWaits;
       }
       if (point.waitMaster && tid != 0) {
-        counter.wait(tid, 0, occ);
+        counter.wait(tid, 0, occ, point.site);
         ++ts.counts.counterWaits;
         const double* src = store_->scalarData();
         for (std::int32_t s : item.sharedCanonical)
@@ -620,13 +655,28 @@ rt::SyncCounts Engine::runRegions(ir::Store& store) {
       continue;
     }
     RegionRun run;
-    run.counters.reserve(static_cast<std::size_t>(item.syncCount));
-    for (int c = 0; c < item.syncCount; ++c) {
-      rt::SyncPrimitiveOptions perSite = sync_;
-      // Label counter events with the optimizer's boundary site.
-      perSite.traceSite = item.syncSites[static_cast<std::size_t>(c)];
-      run.counters.push_back(rt::makeSyncPrimitive(
-          rt::SyncPrimitive::Kind::Counter, P, perSite));
+    if (pool_ != nullptr) {
+      const auto itemIndex =
+          static_cast<std::size_t>(&item - lp_->items.data());
+      run.phys = &physical_->items[itemIndex];
+      SPMD_CHECK(static_cast<int>(run.phys->counterPhys.size()) ==
+                         item.syncCount &&
+                     static_cast<int>(run.phys->barrierPhys.size()) ==
+                         item.barrierCount,
+                 "physical sync map does not cover this region's sync points");
+      // Fresh slot state per region, exactly like fresh per-region
+      // counters in the unpooled path (no thread is inside: the previous
+      // region ended with the team join).
+      pool_->resetCounters();
+    } else {
+      run.counters.reserve(static_cast<std::size_t>(item.syncCount));
+      for (int c = 0; c < item.syncCount; ++c) {
+        rt::SyncPrimitiveOptions perSite = sync_;
+        // Label counter events with the optimizer's boundary site.
+        perSite.traceSite = item.syncSites[static_cast<std::size_t>(c)];
+        run.counters.push_back(rt::makeSyncPrimitive(
+            rt::SyncPrimitive::Kind::Counter, P, perSite));
+      }
     }
     for (auto& st : states_) {
       std::fill(st->occ.begin(), st->occ.end(), 0);

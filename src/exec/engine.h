@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/physical_sync.h"
 #include "exec/lowered.h"
 #include "exec/native/abi.h"
 #include "exec/owned_range.h"
@@ -49,9 +50,17 @@ class Engine {
   /// compiled functions, while every sync decision (barriers, counters,
   /// pending-scalar publication, reduction combining) stays here — which
   /// is why native runs produce byte-identical SyncCounts.
+  /// When `physical` is non-null (a feasible allocation over the same
+  /// plan `lowered` was built from, outliving the engine), region sync
+  /// dispatches through a fixed rt::SyncPool indexed by the map's physical
+  /// ids instead of per-sync-point primitives.  Occurrence counts are kept
+  /// per physical slot and every thread passes a region's sync points in
+  /// the same order, so pooled runs produce byte-identical stores and
+  /// SyncCounts to unpooled runs by construction.
   Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
          rt::SyncPrimitiveOptions sync = rt::SyncPrimitiveOptions(),
-         const native::NativeModule* native = nullptr);
+         const native::NativeModule* native = nullptr,
+         const core::PhysicalSyncMap* physical = nullptr);
 
   /// Base fork-join execution (lowered runForkJoin).
   rt::SyncCounts runForkJoin(ir::Store& store);
@@ -97,9 +106,11 @@ class Engine {
     rt::SyncCounts counts;
   };
 
-  /// Per-region-execution runtime objects (counters by sync id).
+  /// Per-region-execution runtime objects: counters by sync id (unpooled
+  /// mode), or the region's physical assignment (pooled mode).
   struct RegionRun {
     std::vector<std::unique_ptr<rt::SyncPrimitive>> counters;
+    const core::PhysicalItemMap* phys = nullptr;
   };
 
   void bind(ir::Store& store);
@@ -137,7 +148,9 @@ class Engine {
   rt::ThreadTeam* team_;
   rt::SyncPrimitiveOptions sync_;
   const native::NativeModule* native_ = nullptr;
+  const core::PhysicalSyncMap* physical_ = nullptr;
   std::unique_ptr<rt::SyncPrimitive> barrier_;
+  std::unique_ptr<rt::SyncPool> pool_;  ///< pooled mode only
 
   // --- bound per-run state (bind) ---
   ir::Store* store_ = nullptr;

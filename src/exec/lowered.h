@@ -168,6 +168,12 @@ struct LoweredItem {
   /// the sync ids assigned during lowering; lets counter trace events carry
   /// the program-wide site label instead of the per-region counter id.
   std::vector<std::int32_t> syncSites;
+  /// Barrier sync points get their own dense id stream (same pre-order as
+  /// counters); physical allocation indexes its register map with these.
+  /// The unpooled engine ignores barrier ids — every barrier hits the one
+  /// shared primitive.
+  int barrierCount = 0;
+  std::vector<std::int32_t> barrierSites;  ///< barrier id -> boundary site
   std::vector<std::int32_t> writtenScalars;
   std::vector<std::int32_t> sharedCanonical;
 };

@@ -236,24 +236,18 @@ struct Lowerer {
 
   // --- regions -------------------------------------------------------------
 
-  /// Mirrors SpmdExecutor::assignSyncIds: counter ids in pre-order, afters
-  /// before back edges before children.  `sites[id]` records each counter's
-  /// optimizer boundary site (pushed in id order, so push k == counter k).
-  LoweredNode lowerNode(const RegionNode& n, int& next,
-                        std::vector<std::int32_t>& sites) {
+  /// Mirrors SpmdExecutor::assignSyncIds: ids in pre-order, afters before
+  /// back edges before children — one dense stream per sync kind.
+  /// `item.syncSites[id]` / `item.barrierSites[id]` record each point's
+  /// optimizer boundary site (pushed in id order, so push k == id k).
+  LoweredNode lowerNode(const RegionNode& n, LoweredItem& item) {
     LoweredNode out;
     out.kind = n.kind;
     out.after = n.after;
     out.backEdge = n.backEdge;
-    if (out.after.kind == SyncPoint::Kind::Counter) {
-      out.after.id = next++;
-      sites.push_back(out.after.site);
-    }
+    assignSyncId(out.after, item);
     if (n.kind == NodeKind::SeqLoop) {
-      if (out.backEdge.kind == SyncPoint::Kind::Counter) {
-        out.backEdge.id = next++;
-        sites.push_back(out.backEdge.site);
-      }
+      assignSyncId(out.backEdge, item);
       const ir::Loop& l = n.stmt->loop();
       out.stmt.kind = LoweredStmt::Kind::Loop;
       out.stmt.var = l.index.index;
@@ -262,11 +256,21 @@ struct Lowerer {
       out.stmt.step = l.step;
       out.body.reserve(n.body.size());
       for (const RegionNode& child : n.body)
-        out.body.push_back(lowerNode(child, next, sites));
+        out.body.push_back(lowerNode(child, item));
     } else {
       out.stmt = lowerStmt(n.stmt);
     }
     return out;
+  }
+
+  void assignSyncId(SyncPoint& point, LoweredItem& item) {
+    if (point.kind == SyncPoint::Kind::Counter) {
+      point.id = item.syncCount++;
+      item.syncSites.push_back(point.site);
+    } else if (point.kind == SyncPoint::Kind::Barrier) {
+      point.id = item.barrierCount++;
+      item.barrierSites.push_back(point.site);
+    }
   }
 
   /// Mirrors the interpreter's annotateElidableBackEdges exactly.
@@ -330,12 +334,10 @@ LoweredProgram lowerProgram(const ir::Program& prog,
         li.sequential = lo.lowerStmt(item.sequential);
       } else {
         li.isRegion = true;
-        int next = 0;
         li.nodes.reserve(item.region->nodes.size());
         for (const RegionNode& n : item.region->nodes)
-          li.nodes.push_back(lo.lowerNode(n, next, li.syncSites));
-        li.syncCount = next;
-        lo.lp.maxSyncs = std::max(lo.lp.maxSyncs, next);
+          li.nodes.push_back(lo.lowerNode(n, li));
+        lo.lp.maxSyncs = std::max(lo.lp.maxSyncs, li.syncCount);
         lo.annotateElidable(li.nodes, /*followedByBarrier=*/true);
         lo.collectScalars(*item.region, li);
       }

@@ -59,10 +59,17 @@ void writeChromeTraceEvents(JsonWriter& json, const Trace& trace,
 }
 
 void writeChromeTrace(std::ostream& os,
-                      const std::vector<NamedTrace>& traces) {
+                      const std::vector<NamedTrace>& traces,
+                      const PhysicalSiteLabels* physical) {
   JsonWriter json(os);
   json.object();
   json.field("displayTimeUnit", "ms");
+  if (physical != nullptr && !physical->empty()) {
+    json.field("physicalSync").object();
+    for (const auto& [site, label] : physical->bySite)
+      json.field(std::to_string(site), label);
+    json.close();
+  }
   json.field("traceEvents").array();
   int pid = 0;
   for (const NamedTrace& t : traces) {

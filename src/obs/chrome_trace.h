@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/trace.h"
 #include "support/json.h"
 
@@ -27,7 +28,11 @@ void writeChromeTraceEvents(JsonWriter& json, const Trace& trace,
                             const std::string& processName, int pid);
 
 /// Writes a complete Chrome trace-event JSON document containing every
-/// given trace as its own process.
-void writeChromeTrace(std::ostream& os, const std::vector<NamedTrace>& traces);
+/// given trace as its own process.  With non-null, non-empty `physical`
+/// labels a top-level "physicalSync" object maps each boundary site to
+/// its allocated resource ("B0", "C2", ...); viewers ignore the extra
+/// key, and spmdtrace reads it back to resolve sites in blame output.
+void writeChromeTrace(std::ostream& os, const std::vector<NamedTrace>& traces,
+                      const PhysicalSiteLabels* physical = nullptr);
 
 }  // namespace spmd::obs

@@ -351,7 +351,9 @@ std::string blameSiteLabel(EventKind kind, std::int32_t site) {
 
 }  // namespace
 
-std::string renderBlame(const BlameReport& report) {
+std::string renderBlame(const BlameReport& report,
+                        const PhysicalSiteLabels* physical) {
+  const bool labelled = physical != nullptr && !physical->empty();
   std::ostringstream os;
   os << "critical-path blame (" << report.threads << " threads, wall "
      << ms(report.wallNs) << " ms):\n";
@@ -373,15 +375,28 @@ std::string renderBlame(const BlameReport& report) {
   if (!report.sites.empty()) {
     os << "\nper-site blame (what-if: critical-path upper bound on the wall"
           " time saved by\neliminating the sync point):\n";
-    TextTable sites({"sync point", "path visits", "path wait ms",
-                     "serial ms", "imbalance ms", "total wait ms",
-                     "what-if saved ms", "% of wall"});
-    for (const SiteBlame& s : report.sites)
-      sites.addRowValues(blameSiteLabel(s.kind, s.site), s.pathVisits,
-                         ms(s.pathWaitNs), ms(s.pathSerialNs),
-                         ms(s.imbalanceNs), ms(s.totalWaitNs),
-                         ms(s.whatIfSavedNs),
-                         pct(s.whatIfSavedNs, report.wallNs));
+    std::vector<std::string> headers = {
+        "sync point", "path visits", "path wait ms", "serial ms",
+        "imbalance ms", "total wait ms", "what-if saved ms", "% of wall"};
+    if (labelled) headers.insert(headers.begin() + 1, "physical");
+    TextTable sites(headers);
+    for (const SiteBlame& s : report.sites) {
+      if (labelled) {
+        const std::string* phys = physical->find(s.site);
+        sites.addRowValues(blameSiteLabel(s.kind, s.site),
+                           phys != nullptr ? *phys : std::string("-"),
+                           s.pathVisits, ms(s.pathWaitNs),
+                           ms(s.pathSerialNs), ms(s.imbalanceNs),
+                           ms(s.totalWaitNs), ms(s.whatIfSavedNs),
+                           pct(s.whatIfSavedNs, report.wallNs));
+      } else {
+        sites.addRowValues(blameSiteLabel(s.kind, s.site), s.pathVisits,
+                           ms(s.pathWaitNs), ms(s.pathSerialNs),
+                           ms(s.imbalanceNs), ms(s.totalWaitNs),
+                           ms(s.whatIfSavedNs),
+                           pct(s.whatIfSavedNs, report.wallNs));
+      }
+    }
     sites.print(os);
   }
   if (!report.complete)
@@ -390,7 +405,8 @@ std::string renderBlame(const BlameReport& report) {
   return os.str();
 }
 
-void writeBlameJson(JsonWriter& json, const BlameReport& report) {
+void writeBlameJson(JsonWriter& json, const BlameReport& report,
+                    const PhysicalSiteLabels* physical) {
   json.object();
   json.field("threads", report.threads);
   json.field("wall_ns", static_cast<std::int64_t>(report.wallNs));
@@ -413,6 +429,10 @@ void writeBlameJson(JsonWriter& json, const BlameReport& report) {
     json.object();
     json.field("kind", eventKindName(s.kind));
     json.field("site", s.site);
+    if (physical != nullptr) {
+      const std::string* phys = physical->find(s.site);
+      if (phys != nullptr) json.field("physical", *phys);
+    }
     json.field("path_visits", s.pathVisits);
     json.field("path_wait_ns", static_cast<std::int64_t>(s.pathWaitNs));
     json.field("path_serial_ns", static_cast<std::int64_t>(s.pathSerialNs));

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,22 @@
 #include "support/json.h"
 
 namespace spmd::obs {
+
+/// Optional annotation resolving optimizer boundary sites to physical
+/// sync resources ("B0" = barrier register 0, "C2" = counter slot 2) so
+/// blame output shows which hardware resource each sync point occupies
+/// under bounded allocation.  Built by the driver from its
+/// core::PhysicalSyncMap (obs stays core-independent), or by spmdtrace
+/// from a trace file's "physicalSync" section.
+struct PhysicalSiteLabels {
+  std::map<std::int32_t, std::string> bySite;
+
+  bool empty() const { return bySite.empty(); }
+  const std::string* find(std::int32_t site) const {
+    auto it = bySite.find(site);
+    return it == bySite.end() ? nullptr : &it->second;
+  }
+};
 
 /// Where the end-to-end time went, along the critical path.
 struct BlameBuckets {
@@ -95,11 +112,15 @@ struct BlameReport {
 /// Builds the blame report for a trace snapshot.
 BlameReport buildBlame(const Trace& trace);
 
-/// Human-readable blame table (spmdopt --blame, spmdtrace).
-std::string renderBlame(const BlameReport& report);
+/// Human-readable blame table (spmdopt --blame, spmdtrace).  With
+/// non-null, non-empty `physical` labels, the per-site table gains a
+/// "physical" column resolving each site to its allocated resource.
+std::string renderBlame(const BlameReport& report,
+                        const PhysicalSiteLabels* physical = nullptr);
 
 /// Machine-readable blame (embedded in spmdopt --report-json).  Writes
-/// one JSON object on the writer.
-void writeBlameJson(JsonWriter& json, const BlameReport& report);
+/// one JSON object on the writer; labelled sites gain a "physical" field.
+void writeBlameJson(JsonWriter& json, const BlameReport& report,
+                    const PhysicalSiteLabels* physical = nullptr);
 
 }  // namespace spmd::obs

@@ -57,6 +57,31 @@ class CounterSync final : public SyncPrimitive {
                     static_cast<std::int16_t>(producer));
   }
 
+  /// Explicit-site producer post, for pooled counters: one physical slot
+  /// serves many logical sync points, so the plan site travels with the
+  /// call instead of living in traceSite_.  Blocking semantics identical
+  /// to the 2-arg overload.
+  void post(int tid, std::uint64_t occurrence, std::int32_t site) {
+    slots_[static_cast<std::size_t>(tid)].value.store(
+        occurrence, std::memory_order_release);
+    if (tracer_) tracer_->instant(tid, obs::EventKind::CounterPost, site);
+  }
+
+  /// Explicit-site traced wait (the pooled counterpart of the 3-arg
+  /// overload above).
+  void wait(int waiter, int producer, std::uint64_t occurrence,
+            std::int32_t site) const {
+    if (!tracer_) {
+      wait(producer, occurrence);
+      return;
+    }
+    const std::int64_t t0 = tracer_->now();
+    wait(producer, occurrence);
+    tracer_->record(waiter, obs::EventKind::CounterWait, site, t0,
+                    tracer_->now() - t0,
+                    static_cast<std::int16_t>(producer));
+  }
+
   /// Resets all slots (between region executions; caller must ensure no
   /// thread is inside the counter).
   void reset() override {

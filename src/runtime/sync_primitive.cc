@@ -2,6 +2,7 @@
 
 #include "runtime/barrier.h"
 #include "runtime/counter.h"
+#include "support/flags.h"
 
 namespace spmd::rt {
 
@@ -38,10 +39,12 @@ const char* spinPolicyName(SpinPolicy policy) {
 }
 
 std::optional<SpinPolicy> parseSpinPolicy(const std::string& text) {
-  if (text == "pause") return SpinPolicy::Pause;
-  if (text == "backoff") return SpinPolicy::Backoff;
-  if (text == "yield") return SpinPolicy::Yield;
-  return std::nullopt;
+  static constexpr support::EnumFlagValue<SpinPolicy> kTable[] = {
+      {"pause", SpinPolicy::Pause},
+      {"backoff", SpinPolicy::Backoff},
+      {"yield", SpinPolicy::Yield},
+  };
+  return support::parseEnumFlag(text, kTable);
 }
 
 std::unique_ptr<Barrier> makeBarrier(int parties,
@@ -73,6 +76,44 @@ std::unique_ptr<SyncPrimitive> makeSyncPrimitive(
     }
   }
   SPMD_UNREACHABLE("bad SyncPrimitive::Kind");
+}
+
+SyncPool::SyncPool(int barriers, int counters, int parties,
+                   const SyncPrimitiveOptions& options) {
+  SPMD_CHECK(barriers >= 0 && counters >= 0, "negative pool bound");
+  // Barriers stay untraced: the engine attributes barrier waits to plan
+  // sites itself, exactly as it does for the unpooled shared barrier.
+  SyncPrimitiveOptions barrierOptions = options;
+  barrierOptions.tracer = nullptr;
+  barrierOptions.traceSite = -1;
+  for (int b = 0; b < barriers; ++b)
+    barriers_.push_back(
+        makeSyncPrimitive(SyncPrimitive::Kind::Barrier, parties,
+                          barrierOptions));
+  // Counters keep the tracer but no fixed site — pooled call sites pass
+  // the plan site with each post/wait.
+  SyncPrimitiveOptions counterOptions = options;
+  counterOptions.traceSite = -1;
+  for (int c = 0; c < counters; ++c)
+    counters_.push_back(
+        makeSyncPrimitive(SyncPrimitive::Kind::Counter, parties,
+                          counterOptions));
+}
+
+Barrier& SyncPool::barrier(int phys) {
+  SPMD_ASSERT(phys >= 0 && phys < barrierCount(),
+              "physical barrier id out of pool range");
+  return asBarrier(*barriers_[static_cast<std::size_t>(phys)]);
+}
+
+CounterSync& SyncPool::counter(int phys) {
+  SPMD_ASSERT(phys >= 0 && phys < counterCount(),
+              "physical counter id out of pool range");
+  return asCounter(*counters_[static_cast<std::size_t>(phys)]);
+}
+
+void SyncPool::resetCounters() {
+  for (auto& c : counters_) c->reset();
 }
 
 Barrier& asBarrier(SyncPrimitive& primitive) {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "support/diag.h"
 
@@ -116,5 +117,38 @@ std::unique_ptr<Barrier> makeBarrier(
 /// from the SyncPoint it is realizing).
 Barrier& asBarrier(SyncPrimitive& primitive);
 CounterSync& asCounter(SyncPrimitive& primitive);
+
+/// A fixed file of physical sync primitives, acquired by physical id —
+/// the runtime realization of core::PhysicalSyncMap.  In pooled mode the
+/// engine does not construct one primitive per logical sync point; it
+/// indexes this pool with the ids the allocator assigned, so the number
+/// of live primitives is bounded by (K, M) no matter how many logical
+/// sync points the plan carries.
+///
+/// Barriers are created untraced (the engine attributes barrier waits to
+/// plan sites itself); counters keep the tracer but are created with an
+/// anonymous site — a physical slot serves many logical points, so call
+/// sites pass the plan site per call (CounterSync's explicit-site
+/// overloads), keeping pooled trace output label-identical to unpooled.
+class SyncPool {
+ public:
+  SyncPool(int barriers, int counters, int parties,
+           const SyncPrimitiveOptions& options);
+
+  int barrierCount() const { return static_cast<int>(barriers_.size()); }
+  int counterCount() const { return static_cast<int>(counters_.size()); }
+
+  Barrier& barrier(int phys);
+  CounterSync& counter(int phys);
+
+  /// Resets every counter slot (between region executions; barriers are
+  /// episode-based and self-cleaning).  Caller must ensure no thread is
+  /// inside a primitive.
+  void resetCounters();
+
+ private:
+  std::vector<std::unique_ptr<SyncPrimitive>> barriers_;
+  std::vector<std::unique_ptr<SyncPrimitive>> counters_;
+};
 
 }  // namespace spmd::rt

@@ -1,0 +1,82 @@
+// Shared strict command-line value parsers.
+//
+// Every CLI surface (spmdopt, spmdtrace, benches) grew its own ad-hoc
+// flag-value parsing: stoi wrapped in try/catch here, a chain of string
+// compares there, each with slightly different strictness.  These helpers
+// centralize the two recurring shapes:
+//
+//   * parseEnumFlag: a table-driven enumerated value ("--spin=backoff",
+//     "--engine=native").  Case-insensitive, whole-string, no prefixes —
+//     a typo is a parse failure, never a silent default.  The table also
+//     renders the "expected a, b, or c" diagnostic so the message can
+//     never drift from the accepted set.
+//   * parseIntFlag / parseInt64Flag: a strict integer — the entire text
+//     must be one in-range number ("8x" and "" fail).
+//
+// Parsers return nullopt instead of diagnosing: the caller owns the exit
+// code (spmdopt exits 2 on any bad flag value) and the stream.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace spmd::support {
+
+/// One legal value of an enumerated flag.
+template <typename E>
+struct EnumFlagValue {
+  const char* name;
+  E value;
+};
+
+/// Strict table lookup of an enumerated flag value.  Matching is
+/// case-insensitive ("--engine=Native" works) but whole-string: prefixes
+/// and trailing garbage fail.
+template <typename E, std::size_t N>
+std::optional<E> parseEnumFlag(std::string_view text,
+                               const EnumFlagValue<E> (&table)[N]) {
+  std::string lower(text);
+  for (char& c : lower)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (const EnumFlagValue<E>& entry : table)
+    if (lower == entry.name) return entry.value;
+  return std::nullopt;
+}
+
+/// Renders the accepted set as "a, b, or c" for parse-failure messages,
+/// straight from the same table parseEnumFlag matched against.
+template <typename E, std::size_t N>
+std::string enumFlagChoices(const EnumFlagValue<E> (&table)[N]) {
+  std::string out;
+  for (std::size_t i = 0; i < N; ++i) {
+    if (i > 0) out += (i + 1 == N) ? (N > 2 ? ", or " : " or ") : ", ";
+    out += table[i].name;
+  }
+  return out;
+}
+
+/// Strict 64-bit integer parse: the whole string must be one number.
+inline std::optional<std::int64_t> parseInt64Flag(const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    std::int64_t value = std::stoll(text, &pos);
+    if (text.empty() || pos != text.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Strict int parse (parseInt64Flag narrowed with a range check).
+inline std::optional<int> parseIntFlag(const std::string& text) {
+  std::optional<std::int64_t> value = parseInt64Flag(text);
+  if (!value.has_value() || *value < INT32_MIN || *value > INT32_MAX)
+    return std::nullopt;
+  return static_cast<int>(*value);
+}
+
+}  // namespace spmd::support

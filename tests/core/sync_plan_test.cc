@@ -1,0 +1,70 @@
+// SyncPoint printing is a total function over Kind x wait set, and
+// parse() is its strict inverse: every printable sync point round-trips
+// byte-exactly, and nothing outside toString's image parses.
+#include "core/sync_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spmd::core {
+namespace {
+
+void expectRoundTrip(const SyncPoint& point) {
+  std::string text = point.toString();
+  std::optional<SyncPoint> back = SyncPoint::parse(text);
+  ASSERT_TRUE(back.has_value()) << "'" << text << "' did not parse back";
+  EXPECT_EQ(back->kind, point.kind) << text;
+  EXPECT_EQ(back->waitLeft, point.waitLeft) << text;
+  EXPECT_EQ(back->waitRight, point.waitRight) << text;
+  EXPECT_EQ(back->waitMaster, point.waitMaster) << text;
+  // Printing the parsed point reproduces the text exactly.
+  EXPECT_EQ(back->toString(), text);
+}
+
+TEST(SyncPointPrinter, EveryKindAndWaitSetRoundTrips) {
+  expectRoundTrip(SyncPoint::none());
+  expectRoundTrip(SyncPoint::barrier());
+  for (bool left : {false, true})
+    for (bool right : {false, true})
+      for (bool master : {false, true})
+        expectRoundTrip(SyncPoint::counter(left, right, master));
+}
+
+TEST(SyncPointPrinter, KnownSpellings) {
+  EXPECT_EQ(SyncPoint::none().toString(), "none");
+  EXPECT_EQ(SyncPoint::barrier().toString(), "barrier");
+  EXPECT_EQ(SyncPoint::counter(false, false, false).toString(), "counter()");
+  EXPECT_EQ(SyncPoint::counter(true, false, false).toString(), "counter(L)");
+  EXPECT_EQ(SyncPoint::counter(true, true, true).toString(), "counter(LRM)");
+  EXPECT_EQ(SyncPoint::counter(false, true, true).toString(), "counter(RM)");
+}
+
+TEST(SyncPointPrinter, ParseRejectsEverythingOutsideThePrintedImage) {
+  const std::vector<std::string> bad = {
+      "",          "?",           "Barrier",       "NONE",
+      "counter",   "counter(",    "counter(LRM",   "counter(RL)",
+      "counter(LL)", "counter(X)", "counter(LRMX)", "counter(lrm)",
+      "counter() ", " none",      "barrier ",      "counter(M L)",
+      "counter(ML)",  // wrong order: flags must appear as L, R, M
+  };
+  for (const std::string& text : bad)
+    EXPECT_FALSE(SyncPoint::parse(text).has_value())
+        << "'" << text << "' should not parse";
+}
+
+TEST(SyncPointPrinter, IdAndSiteAreNotPartOfThePrintedForm) {
+  SyncPoint point = SyncPoint::counter(true, false, true);
+  point.id = 7;
+  point.site = 42;
+  EXPECT_EQ(point.toString(), "counter(LM)");
+  std::optional<SyncPoint> back = SyncPoint::parse(point.toString());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, -1);
+  EXPECT_EQ(back->site, -1);
+}
+
+}  // namespace
+}  // namespace spmd::core

@@ -240,5 +240,41 @@ TEST(SuiteTest, RunKernelCrossChecksNumerics) {
   EXPECT_GT(run.stats.boundaries, 0u);
 }
 
+TEST(CompilationTest, InfeasiblePhysicalBoundIsADiagnosticNotAThrow) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  CollectingDiagnosticSink sink;
+  c.diags().setSink(&sink);
+
+  PipelineOptions pipeline;
+  pipeline.barriersOnly = true;  // two barriers alive at once -> needs K=2
+  pipeline.physical.barriers = 1;
+  c.setOptions(pipeline);
+
+  const PhysicalSync& physical = c.physicalSync();
+  EXPECT_FALSE(physical.feasible());
+  EXPECT_FALSE(physical.map.infeasibleReason.empty());
+  EXPECT_TRUE(c.diags().hasErrors()) << "infeasibility must be diagnosed";
+
+  // The artifact is cached like any other stage; re-access does not
+  // re-diagnose or recompute.
+  std::size_t errors = c.diags().errorCount();
+  (void)c.physicalSync();
+  EXPECT_EQ(c.diags().errorCount(), errors);
+
+  // Execution still completes (unpooled fallback) and stays correct.
+  RunRequest request;
+  request.symbols = bindSymbols(c.program(), {}, 16, 3);
+  request.threads = 4;
+  request.reference = true;
+  RunComparison run = runComparison(c, request);
+  EXPECT_LE(run.maxDiffOpt, 1e-9);
+
+  // Raising the bound under otherwise identical options succeeds.
+  pipeline.physical.barriers = 2;
+  c.setOptions(pipeline);
+  EXPECT_TRUE(c.physicalSync().feasible());
+  EXPECT_EQ(c.physicalSync().map.barriersUsed, 2);
+}
+
 }  // namespace
 }  // namespace spmd::driver

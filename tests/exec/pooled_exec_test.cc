@@ -1,0 +1,196 @@
+// Pooled execution must be observationally identical to unpooled: with a
+// feasible physical allocation attached, the lowered engine dispatches
+// every barrier through its allocated register and every counter through
+// its allocated slot, yet stores (bit-exact for non-reduction kernels,
+// within round-off for arrival-order-dependent reductions) and dynamic
+// SyncCounts are byte-identical to the unbounded run — for every kernel,
+// plan flavor, and thread count.  The driver path (which attaches the
+// map automatically, native engine included) is pinned the same way.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "alloc/sync_alloc.h"
+#include "codegen/spmd_executor.h"
+#include "core/optimizer.h"
+#include "driver/compilation.h"
+#include "driver/execution.h"
+#include "ir/seq_executor.h"
+#include "kernels/kernels.h"
+
+namespace spmd {
+namespace {
+
+bool stmtHasReduction(const ir::Stmt* stmt) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ScalarAssign:
+      return stmt->scalarAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::ArrayAssign:
+      return stmt->arrayAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::Loop:
+      for (const ir::StmtPtr& s : stmt->loop().body)
+        if (stmtHasReduction(s.get())) return true;
+      return false;
+  }
+  return false;
+}
+
+bool programHasReduction(const ir::Program& prog) {
+  for (const ir::StmtPtr& s : prog.topLevel())
+    if (stmtHasReduction(s.get())) return true;
+  return false;
+}
+
+void expectSameCounts(const rt::SyncCounts& a, const rt::SyncCounts& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.barriers, b.barriers) << what;
+  EXPECT_EQ(a.broadcasts, b.broadcasts) << what;
+  EXPECT_EQ(a.counterPosts, b.counterPosts) << what;
+  EXPECT_EQ(a.counterWaits, b.counterWaits) << what;
+}
+
+struct CaseParam {
+  std::string kernel;
+  int threads;
+};
+
+std::vector<CaseParam> makeCases() {
+  std::vector<CaseParam> cases;
+  for (const kernels::KernelSpec& spec : kernels::allKernels())
+    for (int threads : {1, 2, 4, 7})
+      cases.push_back(CaseParam{spec.name, threads});
+  return cases;
+}
+
+class PooledEngineTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(PooledEngineTest, PooledMatchesUnpooledInBothPlans) {
+  const CaseParam& param = GetParam();
+  kernels::KernelSpec spec = kernels::kernelByName(param.kernel);
+  i64 n = std::min<i64>(spec.defaultN, 24);
+  i64 t = std::min<i64>(spec.defaultT, 4);
+  ir::SymbolBindings symbols = spec.bindings(n, t);
+  double exactTol = programHasReduction(*spec.program) ? 1e-12 : 0.0;
+
+  core::SyncOptimizer opt(*spec.program, *spec.decomp);
+  for (bool barriersOnly : {false, true}) {
+    core::RegionProgram plan =
+        barriersOnly ? opt.runBarriersOnly() : opt.run();
+
+    // Allocate under the tightest feasible bound: re-allocating with
+    // bounds equal to an unbounded probe's usage exercises maximum
+    // resource reuse without risking infeasibility.
+    core::PhysicalSyncOptions probeBounds;
+    probeBounds.barriers = 64;
+    probeBounds.counters = 64;
+    core::PhysicalSyncMap probe =
+        alloc::allocatePhysicalSync(plan, probeBounds);
+    ASSERT_TRUE(probe.feasible) << spec.name;
+    core::PhysicalSyncOptions tight;
+    tight.barriers = std::max(probe.barriersUsed, 1);
+    tight.counters = std::max(probe.countersUsed, 1);
+    core::PhysicalSyncMap map = alloc::allocatePhysicalSync(plan, tight);
+    ASSERT_TRUE(map.feasible) << spec.name << ": " << map.infeasibleReason;
+
+    cg::ExecOptions unpooled;
+    unpooled.engine = cg::EngineKind::Lowered;
+    cg::ExecOptions pooled = unpooled;
+    pooled.physical = &map;
+
+    cg::RunResult plain = cg::runRegions(*spec.program, *spec.decomp, plan,
+                                         symbols, param.threads, unpooled);
+    cg::RunResult withPool = cg::runRegions(
+        *spec.program, *spec.decomp, plan, symbols, param.threads, pooled);
+
+    std::string what = spec.name +
+                       (barriersOnly ? " regions(barriers)" : " regions") +
+                       " P=" + std::to_string(param.threads);
+    EXPECT_LE(ir::Store::maxAbsDifference(plain.store, withPool.store),
+              exactTol)
+        << what << ": pooled store diverges from unpooled";
+    expectSameCounts(plain.counts, withPool.counts, what + " sync counts");
+
+    if (!barriersOnly) {
+      ir::Store ref = ir::runSequential(*spec.program, symbols);
+      EXPECT_LE(ir::Store::maxAbsDifference(ref, withPool.store),
+                spec.tolerance)
+          << what << ": pooled run diverges from sequential";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, PooledEngineTest, ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return info.param.kernel + "_p" + std::to_string(info.param.threads);
+    });
+
+// --- the driver path: map attached automatically, native engine too -------
+
+TEST(PooledDriverRun, DriverAttachesTheMapAndCountsAreUnchanged) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi2d");
+  driver::RunRequest request;
+  request.symbols = spec.bindings(16, 3);
+  request.threads = 4;
+  request.reference = true;
+
+  driver::Compilation plain = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  driver::RunComparison unpooled = driver::runComparison(plain, request);
+
+  driver::Compilation bounded = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  driver::PipelineOptions pipeline;
+  pipeline.physical.barriers = 4;
+  pipeline.physical.counters = 8;
+  bounded.setOptions(pipeline);
+  driver::RunComparison pooled = driver::runComparison(bounded, request);
+  ASSERT_TRUE(bounded.physicalSync().feasible());
+
+  EXPECT_LE(pooled.maxDiffOpt, spec.tolerance);
+  expectSameCounts(unpooled.optCounts, pooled.optCounts,
+                   "driver pooled sync counts");
+  ASSERT_TRUE(unpooled.optStore.has_value());
+  ASSERT_TRUE(pooled.optStore.has_value());
+  EXPECT_EQ(ir::Store::maxAbsDifference(*unpooled.optStore,
+                                        *pooled.optStore),
+            0.0)
+      << "jacobi2d has no reductions: pooled store must be bit-exact";
+}
+
+TEST(PooledDriverRun, NativeEngineHonorsThePool) {
+  kernels::KernelSpec spec = kernels::kernelByName("jacobi1d");
+  driver::RunRequest request;
+  request.symbols = spec.bindings(16, 3);
+  request.threads = 4;
+  request.reference = true;
+  request.exec.engine = cg::EngineKind::Native;
+
+  driver::Compilation plain = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  driver::RunComparison unpooled = driver::runComparison(plain, request);
+
+  driver::Compilation bounded = driver::Compilation::fromProgram(
+      spec.program, spec.decomp, spec.name);
+  driver::PipelineOptions pipeline;
+  pipeline.physical.barriers = 2;
+  pipeline.physical.counters = 4;
+  bounded.setOptions(pipeline);
+  driver::RunComparison pooled = driver::runComparison(bounded, request);
+  ASSERT_TRUE(bounded.physicalSync().feasible());
+
+  // Whether the native module built or the engine degraded to lowered,
+  // both sessions took the same path — counts and stores must agree.
+  EXPECT_LE(pooled.maxDiffOpt, spec.tolerance);
+  expectSameCounts(unpooled.optCounts, pooled.optCounts,
+                   "native pooled sync counts");
+  ASSERT_TRUE(unpooled.optStore.has_value());
+  ASSERT_TRUE(pooled.optStore.has_value());
+  EXPECT_EQ(ir::Store::maxAbsDifference(*unpooled.optStore,
+                                        *pooled.optStore),
+            0.0);
+}
+
+}  // namespace
+}  // namespace spmd

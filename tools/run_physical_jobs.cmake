@@ -1,0 +1,32 @@
+# Allocation determinism at the CLI level: the physical report for a
+# multi-file compilation must be byte-identical whether the files are
+# analyzed serially (--jobs=1) or concurrently (--jobs=2).  SAMPLES is a
+# semicolon list of input files; SPMDOPT the driver binary.
+set(common --report-json --physical-barriers=2 --physical-counters=4)
+execute_process(COMMAND ${SPMDOPT} ${common} --jobs=1 ${SAMPLES}
+                OUTPUT_VARIABLE serial
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spmdopt --jobs=1 failed with exit code ${rc}")
+endif()
+execute_process(COMMAND ${SPMDOPT} ${common} --jobs=2 ${SAMPLES}
+                OUTPUT_VARIABLE parallel
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spmdopt --jobs=2 failed with exit code ${rc}")
+endif()
+# Pass timings are wall clock and differ run to run; normalize them so
+# the comparison pins everything else (decisions, allocation, bounds)
+# byte-for-byte.
+foreach(doc serial parallel)
+  string(REGEX REPLACE "\"(ms|analysisMs)\": [0-9.eE+-]+" "\"\\1\": 0"
+         ${doc} "${${doc}}")
+endforeach()
+if(NOT serial STREQUAL parallel)
+  message(FATAL_ERROR
+          "physical allocation report differs between --jobs=1 and --jobs=2")
+endif()
+string(FIND "${serial}" "\"physical\"" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "expected a \"physical\" section in the report")
+endif()

@@ -48,12 +48,17 @@
 //                           native (default lowered; native JIT-compiles
 //                           region loops and falls back to lowered when
 //                           no toolchain is available)
+//     --physical-barriers=K allocate sync onto K physical barrier
+//                           registers (two-level sync IR; exits 1 when
+//                           the plan does not fit)
+//     --physical-counters=M allocate counters onto M physical slots
 //     --version
 //     --help
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -68,6 +73,7 @@
 #include "obs/profile.h"
 #include "obs/stats.h"
 #include "runtime/team.h"
+#include "support/flags.h"
 #include "support/text_table.h"
 
 namespace {
@@ -91,6 +97,8 @@ struct Options {
   bool treeBarrier = false;
   spmd::rt::SpinPolicy spin = spmd::rt::SpinPolicy::Backoff;
   spmd::cg::EngineKind engine = spmd::cg::EngineKind::Lowered;
+  int physicalBarriers = 0;  ///< 0 = unbounded (allocation pass off)
+  int physicalCounters = 0;
   std::vector<std::string> files;
   std::vector<std::pair<std::string, spmd::i64>> binds;
 };
@@ -104,45 +112,35 @@ void usage(std::ostream& os) {
         "[--tree-barrier] "
         "[--spin=pause|backoff|yield] "
         "[--engine=lowered|interpreted|native] "
+        "[--physical-barriers=K] [--physical-counters=M] "
         "[--version] [file...]\n";
 }
 
-/// Strict integer parse: the whole string must be a number in range.
+/// Strict integer parse (support::parseIntFlag with the CLI diagnostic).
 bool parseInt(const std::string& text, const char* option, int& out) {
-  try {
-    std::size_t pos = 0;
-    int value = std::stoi(text, &pos);
-    if (pos != text.size() || text.empty()) throw std::invalid_argument(text);
-    out = value;
-    return true;
-  } catch (const std::exception&) {
+  std::optional<int> value = spmd::support::parseIntFlag(text);
+  if (!value.has_value()) {
     std::cerr << "error: invalid value for " << option << ": '" << text
               << "' (expected an integer)\n";
     return false;
   }
+  out = *value;
+  return true;
 }
 
 bool parseBind(const std::string& kv,
                std::pair<std::string, spmd::i64>& out) {
   std::size_t eq = kv.find('=');
-  if (eq == std::string::npos || eq == 0) {
+  std::optional<spmd::i64> v;
+  if (eq != std::string::npos && eq != 0)
+    v = spmd::support::parseInt64Flag(kv.substr(eq + 1));
+  if (!v.has_value()) {
     std::cerr << "error: malformed --bind '" << kv
               << "' (expected NAME=INTEGER)\n";
     return false;
   }
-  try {
-    std::size_t pos = 0;
-    std::string value = kv.substr(eq + 1);
-    spmd::i64 v = std::stoll(value, &pos);
-    if (pos != value.size() || value.empty())
-      throw std::invalid_argument(value);
-    out = {kv.substr(0, eq), v};
-    return true;
-  } catch (const std::exception&) {
-    std::cerr << "error: malformed --bind '" << kv
-              << "' (expected NAME=INTEGER)\n";
-    return false;
-  }
+  out = {kv.substr(0, eq), *v};
+  return true;
 }
 
 bool parseArgs(int argc, char** argv, Options& opts) {
@@ -243,6 +241,20 @@ bool parseArgs(int argc, char** argv, Options& opts) {
         return false;
       }
       opts.engine = *engine;
+    } else if (auto v = valueOf("--physical-barriers=")) {
+      if (!parseInt(*v, "--physical-barriers", opts.physicalBarriers))
+        return false;
+      if (opts.physicalBarriers < 1) {
+        std::cerr << "error: --physical-barriers must be >= 1\n";
+        return false;
+      }
+    } else if (auto v = valueOf("--physical-counters=")) {
+      if (!parseInt(*v, "--physical-counters", opts.physicalCounters))
+        return false;
+      if (opts.physicalCounters < 1) {
+        std::cerr << "error: --physical-counters must be >= 1\n";
+        return false;
+      }
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "error: unknown option: " << arg << "\n";
       return false;
@@ -302,6 +314,8 @@ int processSource(const std::string& source, const std::string& label,
       err << "unknown --mode=" << opts.mode << "\n";
       return 2;
     }
+    pipeline.physical.barriers = opts.physicalBarriers;
+    pipeline.physical.counters = opts.physicalCounters;
     compilation.setOptions(pipeline);
 
     const driver::SyncPlan& plan = compilation.syncPlan();
@@ -320,6 +334,33 @@ int processSource(const std::string& source, const std::string& label,
       if (opts.report)
         out << "\n" << core::renderReport(plan.boundaries);
       if (opts.emit) out << "\n" << compilation.lowered().listing;
+    }
+
+    // Physical allocation: summarize the mapping (and resolve blame /
+    // trace sites to resources below).  Infeasibility is a diagnostic,
+    // not a crash — the run still executes unpooled, but the exit code
+    // reports failure.
+    bool physicalInfeasible = false;
+    obs::PhysicalSiteLabels physLabels;
+    const obs::PhysicalSiteLabels* physical = nullptr;
+    if (pipeline.physical.enabled()) {
+      const core::PhysicalSyncMap& phys = compilation.physicalSync().map;
+      physicalInfeasible = !phys.feasible;
+      physLabels = driver::physicalSiteLabels(phys);
+      if (!physLabels.empty()) physical = &physLabels;
+      if (json == nullptr) {
+        auto bound = [](int b) {
+          return b > 0 ? std::to_string(b) : std::string("unbounded");
+        };
+        if (phys.feasible) {
+          out << "physical: " << phys.barriersUsed << "/"
+              << bound(phys.bounds.barriers) << " barrier register(s), "
+              << phys.countersUsed << "/" << bound(phys.bounds.counters)
+              << " counter slot(s); retries " << phys.retries << "\n";
+        } else {
+          out << "physical: infeasible (" << phys.infeasibleReason << ")\n";
+        }
+      }
     }
 
     std::optional<obs::ProfileReport> baseProfile, optProfile;
@@ -399,9 +440,9 @@ int processSource(const std::string& source, const std::string& label,
         }
         if (opts.blame) {
           if (baseBlame.has_value())
-            out << "\nbase " << obs::renderBlame(*baseBlame);
+            out << "\nbase " << obs::renderBlame(*baseBlame, physical);
           if (optBlame.has_value())
-            out << "\noptimized " << obs::renderBlame(*optBlame);
+            out << "\noptimized " << obs::renderBlame(*optBlame, physical);
         }
       }
       if (traceOut.has_value()) {
@@ -410,7 +451,7 @@ int processSource(const std::string& source, const std::string& label,
           traces.push_back({&*run.baseTrace, "base (fork-join)"});
         if (run.optTrace.has_value())
           traces.push_back({&*run.optTrace, "optimized (merged regions)"});
-        obs::writeChromeTrace(*traceOut, traces);
+        obs::writeChromeTrace(*traceOut, traces, physical);
         traceOut->flush();
         if (!*traceOut) {
           err << "error: failed writing trace file " << opts.traceFile
@@ -442,7 +483,7 @@ int processSource(const std::string& source, const std::string& label,
       driver::writeCompilationReport(writer, compilation, label, profiles);
       *json = os.str();
     }
-    return 0;
+    return physicalInfeasible ? 1 : 0;
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -128,6 +128,24 @@ spmd::obs::Trace toTrace(const Process& proc) {
   return trace;
 }
 
+/// Physical-resource site labels, when the trace was captured from a run
+/// with bounded allocation (spmdopt --trace --physical-barriers=K writes
+/// a top-level "physicalSync" object mapping site -> "B0"/"C2"/...).
+spmd::obs::PhysicalSiteLabels loadPhysicalLabels(const JsonValue& doc) {
+  spmd::obs::PhysicalSiteLabels labels;
+  const JsonValue* physical = doc.get("physicalSync");
+  if (physical == nullptr || !physical->isObject()) return labels;
+  for (const auto& [site, label] : physical->members()) {
+    try {
+      labels.bySite[static_cast<std::int32_t>(std::stol(site))] =
+          label->asString();
+    } catch (const std::exception&) {
+      // Foreign key in the object: not one of our site ids; skip it.
+    }
+  }
+  return labels;
+}
+
 void usage(std::ostream& os) {
   os << "usage: spmdtrace [--json] FILE\n";
 }
@@ -173,6 +191,9 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << file << ": " << error << "\n";
     return 1;
   }
+  spmd::obs::PhysicalSiteLabels physLabels = loadPhysicalLabels(*doc);
+  const spmd::obs::PhysicalSiteLabels* physical =
+      physLabels.empty() ? nullptr : &physLabels;
 
   if (jsonOut) {
     spmd::JsonWriter json(std::cout);
@@ -189,7 +210,7 @@ int main(int argc, char** argv) {
       spmd::obs::writeProfileJson(json, profile);
       json.field("blame");
       spmd::obs::BlameReport blame = spmd::obs::buildBlame(trace);
-      spmd::obs::writeBlameJson(json, blame);
+      spmd::obs::writeBlameJson(json, blame, physical);
       json.close();
     }
     json.close();
@@ -209,7 +230,8 @@ int main(int argc, char** argv) {
     std::cout << "=== " << name << " ===\n\n"
               << spmd::obs::renderProfile(spmd::obs::buildProfile(trace))
               << "\n"
-              << spmd::obs::renderBlame(spmd::obs::buildBlame(trace));
+              << spmd::obs::renderBlame(spmd::obs::buildBlame(trace),
+                                        physical);
   }
   return 0;
 }
