@@ -1,0 +1,184 @@
+// Benchmark: barrier round-trip latency per algorithm and team size.
+//
+// For every barrier algorithm (central, tree, hier) and thread count P,
+// a persistent team executes R back-to-back barrier episodes through the
+// runtime factory (rt::makeBarrier) — the same seam the execution
+// engines use, so spin-policy selection (including the oversubscription
+// downgrade to yield) and topology-derived cluster fan-out are all
+// exercised exactly as in production runs.  The reported metric is
+// nanoseconds per round-trip (best of `reps` timed runs).
+//
+// The gated metric is vs_central: central's ns-per-round divided by this
+// algorithm's, per thread count — a ratio internal to one run, so a
+// smoke run on slow shared hardware compares meaningfully against a
+// committed baseline (tools/bench_gate, kind "sync").  On a multi-
+// package machine the hierarchical barrier's clustered arrival should
+// push vs_central above 1 at large P; on a single-package host its flat
+// release keeps it near parity.
+//
+// Output: BENCH_sync.json (override with --out=PATH).  Schema:
+//   {
+//     "benchmark": "sync",
+//     "smoke": bool,
+//     "reps": int, "rounds": int,
+//     "topology": "LxC",          // probed (or pinned) machine shape
+//     "threads": [..],
+//     "configs": [ {
+//        "barrier",               // central | tree | hier
+//        "threads",
+//        "cluster_size",          // hier only: chosen leaf fan-out
+//        "spin",                  // effective policy (yield when
+//                                 // oversubscribed)
+//        "ns_per_round",
+//        "vs_central"             // central_ns / this_ns; higher is
+//                                 // better; central itself reports 1
+//     } ]
+//   }
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/barrier.h"
+#include "runtime/sync_primitive.h"
+#include "runtime/team.h"
+#include "runtime/topology.h"
+#include "support/json.h"
+#include "support/text_table.h"
+
+namespace {
+
+using namespace spmd;
+
+struct ConfigResult {
+  rt::BarrierAlgorithm algorithm = rt::BarrierAlgorithm::Central;
+  int threads = 0;
+  int clusterSize = 0;  ///< hier only; 0 otherwise
+  rt::SpinPolicy spin = rt::SpinPolicy::Backoff;
+  double nsPerRound = 0.0;
+  double vsCentral = 1.0;
+};
+
+/// R episodes through one barrier on a persistent team; returns seconds
+/// for the best of `reps` timed runs (one untimed warm-up pays team
+/// spin-up and first-touch costs).
+double measure(rt::Barrier& barrier, rt::ThreadTeam& team, int rounds,
+               int reps) {
+  auto episode = [&](int tid) {
+    for (int r = 0; r < rounds; ++r) barrier.arrive(tid);
+  };
+  team.run(episode);  // warm-up
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    team.run(episode);
+    double s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string outPath = "BENCH_sync.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      outPath = arg.substr(std::strlen("--out="));
+    } else {
+      std::cerr << "usage: bench_sync [--smoke] [--out=PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<int> threadCounts =
+      smoke ? std::vector<int>{2, 4, 8} : std::vector<int>{2, 4, 8, 16, 32};
+  const int rounds = smoke ? 500 : 2000;
+  const int reps = 3;
+  const std::vector<rt::BarrierAlgorithm> algorithms = {
+      rt::BarrierAlgorithm::Central, rt::BarrierAlgorithm::Tree,
+      rt::BarrierAlgorithm::Hier};
+
+  std::vector<ConfigResult> results;
+  std::map<int, double> centralNs;  // per thread count, for the ratios
+
+  for (int threads : threadCounts) {
+    rt::ThreadTeam team(threads);
+    for (rt::BarrierAlgorithm algorithm : algorithms) {
+      rt::SyncPrimitiveOptions options;
+      options.barrierAlgorithm = algorithm;
+      // Default (non-explicit) policy: the factory downgrades to yield
+      // when `threads` oversubscribes the machine, exactly as a real run
+      // would.
+      std::unique_ptr<rt::Barrier> barrier =
+          rt::makeBarrier(threads, options);
+      ConfigResult r;
+      r.algorithm = algorithm;
+      r.threads = threads;
+      r.spin = rt::effectiveSpinPolicy(options, threads);
+      if (const auto* hier =
+              dynamic_cast<const rt::HierarchicalBarrier*>(barrier.get()))
+        r.clusterSize = hier->clusterSize();
+      const double seconds = measure(*barrier, team, rounds, reps);
+      r.nsPerRound = seconds * 1e9 / rounds;
+      if (algorithm == rt::BarrierAlgorithm::Central)
+        centralNs[threads] = r.nsPerRound;
+      r.vsCentral = centralNs[threads] / std::max(r.nsPerRound, 1e-3);
+      results.push_back(r);
+    }
+  }
+
+  TextTable table(
+      {"barrier", "P", "cluster", "spin", "ns/round", "vs central"});
+  for (const ConfigResult& r : results)
+    table.addRowValues(
+        rt::barrierAlgorithmName(r.algorithm), r.threads,
+        r.clusterSize > 0 ? std::to_string(r.clusterSize) : std::string("-"),
+        rt::spinPolicyName(r.spin), fixed(r.nsPerRound, 1),
+        fixed(r.vsCentral, 3));
+  table.print(std::cout);
+
+  std::ofstream out(outPath);
+  if (!out) {
+    std::cerr << "error: cannot write " << outPath << "\n";
+    return 1;
+  }
+  JsonWriter json(out);
+  json.object();
+  json.field("benchmark", "sync");
+  json.field("smoke", smoke);
+  json.field("reps", reps);
+  json.field("rounds", rounds);
+  json.field("topology", rt::Topology::detected().toString());
+  json.field("threads").array();
+  for (int p : threadCounts) json.value(p);
+  json.close();
+  json.field("configs").array();
+  for (const ConfigResult& r : results) {
+    json.object();
+    json.field("barrier", rt::barrierAlgorithmName(r.algorithm));
+    json.field("threads", r.threads);
+    if (r.clusterSize > 0) json.field("cluster_size", r.clusterSize);
+    json.field("spin", rt::spinPolicyName(r.spin));
+    json.field("ns_per_round", r.nsPerRound);
+    json.field("vs_central", r.vsCentral);
+    json.close();
+  }
+  json.close();
+  json.close();
+  out << "\n";
+
+  std::cout << "\nwrote " << outPath << " (" << results.size()
+            << " configs)\n";
+  return 0;
+}

@@ -497,12 +497,15 @@ exec::Engine& SpmdExecutor::engineFor(const exec::LoweredProgram& lowered) {
           ? options_.native
           : nullptr;
   // The physical map covers the region plan only; the internally lowered
-  // fork-join form (no regions) always runs unpooled.
+  // fork-join form (no regions) always runs unpooled.  Same for the sync
+  // tuning map: its decisions are per region item.
   const core::PhysicalSyncMap* physical =
       lowered.hasRegions ? options_.physical : nullptr;
+  const exec::SyncTuningMap* tuning =
+      lowered.hasRegions ? options_.tuning : nullptr;
   engines_.emplace_back(&lowered, std::make_unique<exec::Engine>(
                                       lowered, *team_, options_.sync,
-                                      native, physical));
+                                      native, physical, tuning));
   return *engines_.back().second;
 }
 

@@ -78,6 +78,14 @@ struct ExecOptions {
   /// unpooled reference.  Pooled runs produce byte-identical stores and
   /// SyncCounts (see exec::Engine).
   const core::PhysicalSyncMap* physical = nullptr;
+
+  /// Non-null: region execution under the Lowered / Native engines
+  /// applies the driver's feedback-directed sync tuning (per-region
+  /// barrier-algorithm overrides and serial-compute execution; must
+  /// cover the lowered program's items and outlive the executor).  The
+  /// interpreter ignores it.  Tuned runs produce byte-identical stores
+  /// and SyncCounts (see exec/sync_tuning.h).
+  const exec::SyncTuningMap* tuning = nullptr;
 };
 
 /// The processor that executes iteration `i` of a parallel loop under the

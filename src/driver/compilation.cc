@@ -91,6 +91,21 @@ void Compilation::setOptions(const PipelineOptions& options) {
   lowered_.reset();
   loweredExec_.reset();
   nativeExec_.reset();
+  syncTuning_.reset();
+}
+
+const SyncTuning* Compilation::syncTuningIfCached(std::uint64_t key) const {
+  if (!syncTuning_.has_value() || syncTuning_->key != key) return nullptr;
+  return &*syncTuning_;
+}
+
+const SyncTuning* Compilation::syncTuningCache() const {
+  return syncTuning_.has_value() ? &*syncTuning_ : nullptr;
+}
+
+const SyncTuning& Compilation::cacheSyncTuning(SyncTuning tuning) {
+  syncTuning_ = std::move(tuning);
+  return *syncTuning_;
 }
 
 bool Compilation::parseOk() {

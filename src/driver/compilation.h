@@ -33,6 +33,7 @@
 #include "core/physical_sync.h"
 #include "exec/lowered.h"
 #include "exec/native/native_module.h"
+#include "exec/sync_tuning.h"
 #include "ir/parser.h"
 #include "partition/decomposition.h"
 
@@ -93,6 +94,50 @@ struct SyncPlan {
 struct PhysicalSync {
   core::PhysicalSyncMap map;
   bool feasible() const { return map.feasible; }
+};
+
+/// One region's feedback-directed tuning decision plus its measured
+/// evidence (driver/tuning.h): what the warmup's blame analysis saw and
+/// what was chosen.  Evidence fields are wall-clock measurements; the
+/// decision fields are what determinism checks compare.
+struct TunedRegion {
+  int item = 0;                ///< lowered item index
+  bool eligible = false;       ///< serial-compute eligibility (static)
+  bool serialCompute = false;  ///< chosen: thread 0 computes everything
+  bool overrideBarrier = false;
+  rt::BarrierAlgorithm barrierAlgorithm = rt::BarrierAlgorithm::Central;
+  std::int64_t syncWaitNs = 0;  ///< measured all-thread sync wait in region
+  std::int64_t regionNs = 0;    ///< measured all-thread time in region
+};
+
+/// The feedback-directed sync selection (spmdopt --tune-sync): per-region
+/// decisions computed from a short profiled warmup run's critical-path
+/// blame, plus the evidence.  Cached on the session under a provenance
+/// hash (lowered listing + run configuration); a run whose key differs
+/// recomputes.  Invalidated with the SyncPlan.
+struct SyncTuning {
+  std::uint64_t key = 0;
+  exec::SyncTuningMap map;  ///< what the engine executes (map.key == key)
+  std::vector<TunedRegion> regions;
+  int threads = 0;
+  double warmupSeconds = 0.0;
+  bool blameComplete = true;  ///< warmup trace attribution was trustworthy
+
+  int regionsSerialized() const {
+    int n = 0;
+    for (const exec::RegionTuning& t : map.items) n += t.serialCompute;
+    return n;
+  }
+  int barrierOverrides() const {
+    int n = 0;
+    for (const exec::RegionTuning& t : map.items) n += t.overrideBarrier;
+    return n;
+  }
+  int regionsTuned() const {
+    int n = 0;
+    for (const exec::RegionTuning& t : map.items) n += t.tuned();
+    return n;
+  }
 };
 
 /// The lowered SPMD form (what --emit prints): region structure, guards,
@@ -194,6 +239,17 @@ class Compilation {
   const LoweredExec& loweredExec();
   const NativeExec& nativeExec();
 
+  /// The cached sync tuning when one exists and its provenance hash
+  /// matches `key` (null otherwise: never computed, or computed for a
+  /// different run shape).  Tuning needs a warmup run, so it is computed
+  /// by driver/tuning.h, not by an artifact accessor; the session only
+  /// caches it.
+  const SyncTuning* syncTuningIfCached(std::uint64_t key) const;
+  /// The cached tuning regardless of key (reporting), or null.
+  const SyncTuning* syncTuningCache() const;
+  /// Installs a freshly computed tuning (replacing any cached one).
+  const SyncTuning& cacheSyncTuning(SyncTuning tuning);
+
   // --- conveniences over the artifacts ---
   const ir::Program& program() { return *parsed().program; }
   part::Decomposition& decomp() { return *partitioned().decomp; }
@@ -228,6 +284,7 @@ class Compilation {
   std::optional<LoweredSpmd> lowered_;
   std::optional<LoweredExec> loweredExec_;
   std::optional<NativeExec> nativeExec_;
+  std::optional<SyncTuning> syncTuning_;
   std::vector<PassTiming> timings_;
 };
 

@@ -1,6 +1,9 @@
 #include "driver/execution.h"
 
 #include <chrono>
+#include <string>
+
+#include "driver/tuning.h"
 
 namespace spmd::driver {
 
@@ -66,6 +69,30 @@ RunComparison runComparison(Compilation& compilation,
       exec.physical == nullptr) {
     const PhysicalSync& physical = compilation.physicalSync();
     if (physical.feasible()) exec.physical = &physical.map;
+  }
+
+  // Oversubscription spin bugfix: primitives the engines create through
+  // the factory will run with SpinPolicy::Yield when the team outnumbers
+  // the hardware threads and the policy was not explicit; surface the
+  // downgrade once per run as a note so timing surprises are explained.
+  if (!request.warmupRun &&
+      rt::spinPolicyDowngraded(exec.sync, request.threads)) {
+    compilation.diags().note(
+        {},
+        "spin policy downgraded to yield: " +
+            std::to_string(request.threads) +
+            " threads oversubscribe this machine (pass --spin= to keep " +
+            std::string(rt::spinPolicyName(exec.sync.spinPolicy)) + ")",
+        "sync-tuning");
+  }
+
+  // Feedback-directed sync selection: profiled warmup -> blame -> per-
+  // region re-plan, cached on the session by provenance hash.  The
+  // warmup itself calls back into runComparison with tuneSync off.
+  if (request.tuneSync && request.runOptimized &&
+      exec.engine != cg::EngineKind::Interpreted && exec.tuning == nullptr) {
+    const SyncTuning& tuning = ensureSyncTuning(compilation, request);
+    exec.tuning = &tuning.map;
   }
 
   // With the lowered (or native) engine, run both variants off the

@@ -28,6 +28,19 @@ struct RunRequest {
   /// and collects both runs' events itself).
   bool trace = false;
   std::size_t traceCapacity = std::size_t{1} << 16;  ///< events per thread
+
+  /// Feedback-directed sync selection (spmdopt --tune-sync): before the
+  /// measured optimized run, execute a short profiled warmup, feed its
+  /// critical-path blame into per-region sync decisions (barrier
+  /// algorithm, serial-vs-parallel execution), and run the measured
+  /// variants under the resulting SyncTuning (cached on the session,
+  /// invalidated by hash when the run shape changes).  Lowered / native
+  /// engines only; stores and SyncCounts are unchanged by construction.
+  bool tuneSync = false;
+
+  /// Internal: set by the tuner on its warmup request so one-shot
+  /// user-facing notes (spin downgrade) are not emitted twice.
+  bool warmupRun = false;
 };
 
 struct RunComparison {

@@ -179,6 +179,35 @@ void writeCompilationReport(JsonWriter& json, Compilation& compilation,
     json.close();
   }
 
+  if (const SyncTuning* tuning = compilation.syncTuningCache()) {
+    // Feedback-directed selection (--tune-sync): the decisions and the
+    // warmup evidence behind them.  Every *Ns / *Ms field is a timing —
+    // strip those when diffing reports for determinism.
+    json.field("tuning").object();
+    json.field("key", tuning->key);
+    json.field("threads", tuning->threads);
+    json.field("warmupMs", tuning->warmupSeconds * 1000.0);
+    json.field("blameComplete", tuning->blameComplete);
+    json.field("regionsTuned", tuning->regionsTuned());
+    json.field("regionsSerialized", tuning->regionsSerialized());
+    json.field("barrierOverrides", tuning->barrierOverrides());
+    json.field("regions").array();
+    for (const TunedRegion& r : tuning->regions) {
+      json.object();
+      json.field("item", r.item);
+      json.field("eligible", r.eligible);
+      json.field("serialCompute", r.serialCompute);
+      json.field("overrideBarrier", r.overrideBarrier);
+      if (r.overrideBarrier)
+        json.field("barrier", rt::barrierAlgorithmName(r.barrierAlgorithm));
+      json.field("syncWaitNs", r.syncWaitNs);
+      json.field("regionNs", r.regionNs);
+      json.close();
+    }
+    json.close();
+    json.close();
+  }
+
   if (obs::statsEnabled()) {
     json.field("statistics");
     obs::writeStatsJson(json);

@@ -1,0 +1,180 @@
+#include "driver/tuning.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/stats.h"
+#include "support/hash.h"
+
+namespace spmd::driver {
+
+SPMD_STATISTIC(statTuneCacheHits, "tune-sync", "cache-hits",
+               "tuned runs served by the cached SyncTuning");
+SPMD_STATISTIC(statTuneWarmups, "tune-sync", "warmups",
+               "profiled warmup runs executed");
+SPMD_STATISTIC(statTuneWarmupWallNs, "tune-sync", "warmup-wall-ns",
+               "wall time spent in tuning warmup runs (ns)");
+SPMD_STATISTIC(statTuneRegionsTuned, "tune-sync", "regions-tuned",
+               "regions whose sync execution was re-planned");
+SPMD_STATISTIC(statTuneRegionsSerialized, "tune-sync", "regions-serialized",
+               "regions switched to serial-compute execution");
+SPMD_STATISTIC(statTuneBarrierOverrides, "tune-sync", "barrier-overrides",
+               "regions whose barrier algorithm was overridden");
+
+namespace {
+
+/// Bump to invalidate every cached tuning when the decision procedure
+/// changes.
+constexpr std::uint64_t kTuningVersion = 1;
+
+/// Measured synchronization wait exceeding this fraction of the region's
+/// total team time marks the region compute-starved (serial-compute
+/// candidate).
+constexpr double kSerialWaitFraction = 0.5;
+
+/// Barrier blame above this fraction of team time (for regions that stay
+/// parallel) moves the region to the hierarchical barrier when the team
+/// spans clusters.
+constexpr double kHierWaitFraction = 0.25;
+
+}  // namespace
+
+std::uint64_t syncTuningKey(Compilation& compilation,
+                            const RunRequest& request) {
+  support::Hasher h(kTuningVersion);
+  // The lowered listing is a deterministic rendering of program + plan:
+  // any change to either re-keys the tuning.
+  h.bytes(compilation.lowered().listing);
+  h.i64(request.threads);
+  std::vector<std::pair<int, i64>> symbols(request.symbols.begin(),
+                                           request.symbols.end());
+  std::sort(symbols.begin(), symbols.end());
+  for (const auto& [var, value] : symbols) {
+    h.i64(var);
+    h.i64(value);
+  }
+  const cg::ExecOptions& exec = request.exec;
+  h.i64(static_cast<int>(exec.engine));
+  h.i64(static_cast<int>(exec.sync.barrierAlgorithm));
+  h.i64(static_cast<int>(exec.sync.spinPolicy));
+  h.boolean(exec.sync.spinPolicyExplicit);
+  h.i64(exec.sync.topology.packages);
+  h.i64(exec.sync.topology.coresPerPackage);
+  const core::PhysicalSyncOptions& phys = compilation.options().physical;
+  h.i64(phys.barriers);
+  h.i64(phys.counters);
+  return h.digest();
+}
+
+namespace {
+
+SyncTuning computeSyncTuning(Compilation& compilation,
+                             const RunRequest& request, std::uint64_t key) {
+  // 1. Profiled warmup: one traced run of the optimized variant, untuned.
+  RunRequest warmup = request;
+  warmup.tuneSync = false;
+  warmup.warmupRun = true;
+  warmup.runBase = false;
+  warmup.runOptimized = true;
+  warmup.reference = false;
+  warmup.timed = true;
+  warmup.trace = true;
+  warmup.exec.trace = nullptr;   // driver-owned tracer
+  warmup.exec.tuning = nullptr;  // measure the untuned baseline
+  statTuneWarmups.add();
+  RunComparison measured = runComparison(compilation, warmup);
+
+  SyncTuning tuning;
+  tuning.key = key;
+  tuning.map.key = key;
+  tuning.threads = request.threads;
+  tuning.warmupSeconds = measured.optSeconds;
+  statTuneWarmupWallNs.add(
+      static_cast<std::uint64_t>(measured.optSeconds * 1e9));
+
+  const exec::LoweredProgram& lowered =
+      *compilation.loweredExec().program;
+  tuning.map.items.resize(lowered.items.size());
+  if (!measured.optTrace.has_value()) return tuning;  // interpreter &c.
+
+  // 2. Evidence: per-site wait blame and per-region team time.
+  const obs::BlameReport blame = obs::buildBlame(*measured.optTrace);
+  tuning.blameComplete = blame.complete;
+  std::map<std::int32_t, std::int64_t> waitBySite;
+  for (const obs::SiteBlame& site : blame.sites)
+    waitBySite[site.site] += site.totalWaitNs;
+  std::map<std::int32_t, std::int64_t> regionTeamNs;
+  for (const obs::ThreadTrace& t : measured.optTrace->threads)
+    for (const obs::TraceEvent& e : t.events)
+      if (e.kind == obs::EventKind::Region) regionTeamNs[e.site] += e.dur;
+
+  // 3. Decisions, one region at a time.  The topology the hierarchical
+  // family would actually use decides whether the team spans clusters.
+  const rt::Topology& topo = request.exec.sync.topology.specified()
+                                 ? request.exec.sync.topology
+                                 : rt::Topology::detected();
+  const int clusterSize = topo.clusterSizeFor(request.threads);
+  for (std::size_t i = 0; i < lowered.items.size(); ++i) {
+    const exec::LoweredItem& item = lowered.items[i];
+    if (!item.isRegion) continue;
+    TunedRegion record;
+    record.item = static_cast<int>(i);
+    record.eligible = exec::serialComputeEligible(item);
+    record.regionNs = regionTeamNs.count(static_cast<std::int32_t>(i))
+                          ? regionTeamNs[static_cast<std::int32_t>(i)]
+                          : 0;
+    std::int64_t barrierWaitNs = 0;
+    for (std::int32_t site : item.barrierSites)
+      if (waitBySite.count(site)) barrierWaitNs += waitBySite[site];
+    std::int64_t counterWaitNs = 0;
+    for (std::int32_t site : item.syncSites)
+      if (waitBySite.count(site)) counterWaitNs += waitBySite[site];
+    record.syncWaitNs = barrierWaitNs + counterWaitNs;
+
+    exec::RegionTuning& decision = tuning.map.items[i];
+    const double teamNs = static_cast<double>(record.regionNs);
+    if (record.eligible && teamNs > 0.0 &&
+        static_cast<double>(record.syncWaitNs) >
+            kSerialWaitFraction * teamNs) {
+      decision.serialCompute = true;
+    } else if (!item.barrierSites.empty() && teamNs > 0.0 &&
+               request.threads > clusterSize &&
+               request.exec.sync.barrierAlgorithm !=
+                   rt::BarrierAlgorithm::Hier &&
+               static_cast<double>(barrierWaitNs) >
+                   kHierWaitFraction * teamNs) {
+      // Still parallel, barrier-bound, and the team spans clusters:
+      // cluster the arrivals.
+      decision.overrideBarrier = true;
+      decision.barrierAlgorithm = rt::BarrierAlgorithm::Hier;
+    }
+    record.serialCompute = decision.serialCompute;
+    record.overrideBarrier = decision.overrideBarrier;
+    record.barrierAlgorithm = decision.barrierAlgorithm;
+    tuning.regions.push_back(record);
+  }
+
+  statTuneRegionsTuned.add(static_cast<std::uint64_t>(tuning.regionsTuned()));
+  statTuneRegionsSerialized.add(
+      static_cast<std::uint64_t>(tuning.regionsSerialized()));
+  statTuneBarrierOverrides.add(
+      static_cast<std::uint64_t>(tuning.barrierOverrides()));
+  return tuning;
+}
+
+}  // namespace
+
+const SyncTuning& ensureSyncTuning(Compilation& compilation,
+                                   const RunRequest& request) {
+  const std::uint64_t key = syncTuningKey(compilation, request);
+  if (const SyncTuning* cached = compilation.syncTuningIfCached(key)) {
+    statTuneCacheHits.add();
+    return *cached;
+  }
+  return compilation.cacheSyncTuning(
+      computeSyncTuning(compilation, request, key));
+}
+
+}  // namespace spmd::driver

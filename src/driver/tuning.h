@@ -1,0 +1,48 @@
+// Feedback-directed sync selection: the profile -> re-plan loop behind
+// spmdopt --tune-sync.
+//
+// PR 4/5 built the observability stack (sync-event traces, critical-path
+// blame); this module closes the loop.  ensureSyncTuning runs the
+// session's optimized program once with tracing on (the warmup), builds
+// the blame report, and converts its evidence into per-region execution
+// decisions:
+//
+//   * serial-compute — a region whose measured synchronization wait
+//     exceeds half its total team time is compute-starved: the barriers
+//     cost more than the parallelism recovers (the paper's small-n
+//     regime, and any oversubscribed host).  If the region is statically
+//     eligible (exec::serialComputeEligible), thread 0 executes all
+//     compute and the rest only keep the sync protocol — wall time
+//     approaches sequential because thread 0, always the last barrier
+//     arrival, never blocks.
+//   * barrier algorithm — regions that keep parallel execution but show
+//     significant barrier blame move to the topology-aware hierarchical
+//     barrier when the team spans more than one cluster of the (possibly
+//     --topology-pinned) machine topology.
+//
+// Decisions are a pure function of the warmup measurements, the static
+// eligibility analysis, and the run configuration; the result is cached
+// on the Compilation under a provenance hash (lowered listing, threads,
+// symbols, engine, sync options, physical bounds), so repeated runs of
+// the same shape skip the warmup and changed shapes recompute.
+#pragma once
+
+#include "driver/compilation.h"
+#include "driver/execution.h"
+
+namespace spmd::driver {
+
+/// Provenance hash binding a tuning to the run shape it was measured
+/// under.  Any ingredient change (plan, threads, symbols, engine, sync
+/// options, physical bounds) changes the key and invalidates the cache.
+std::uint64_t syncTuningKey(Compilation& compilation,
+                            const RunRequest& request);
+
+/// The session's tuning for this run shape: the cached one when its key
+/// matches, otherwise a fresh warmup + re-plan (cached before returning).
+/// The returned reference lives on the session (stable until the next
+/// setOptions or cacheSyncTuning).
+const SyncTuning& ensureSyncTuning(Compilation& compilation,
+                                   const RunRequest& request);
+
+}  // namespace spmd::driver

@@ -44,9 +44,10 @@ std::size_t padToLine(std::size_t n, std::size_t elemSize) {
 Engine::Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
                rt::SyncPrimitiveOptions sync,
                const native::NativeModule* native,
-               const core::PhysicalSyncMap* physical)
+               const core::PhysicalSyncMap* physical,
+               const SyncTuningMap* tuning)
     : lp_(&lowered), team_(&team), sync_(sync), native_(native),
-      physical_(physical) {
+      physical_(physical), tuning_(tuning) {
   SPMD_CHECK(native_ == nullptr || native_->lowered() == lp_,
              "native module was built from a different lowered program");
   if (physical_ != nullptr) {
@@ -71,6 +72,23 @@ Engine::Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
   barrierOpts.tracer = nullptr;
   barrier_ = rt::makeSyncPrimitive(rt::SyncPrimitive::Kind::Barrier,
                                    team.size(), barrierOpts);
+  if (tuning_ != nullptr) {
+    SPMD_CHECK(tuning_->items.size() == lp_->items.size(),
+               "sync tuning map shape does not match the lowered program");
+    tunedBarriers_.resize(tuning_->items.size());
+    for (std::size_t i = 0; i < tuning_->items.size(); ++i) {
+      const RegionTuning& rtn = tuning_->items[i];
+      if (rtn.serialCompute)
+        SPMD_CHECK(serialComputeEligible(lp_->items[i]),
+                   "sync tuning serializes an ineligible region");
+      if (!rtn.overrideBarrier) continue;
+      // Untraced, like the shared barrier: execSync attributes waits.
+      rt::SyncPrimitiveOptions o = barrierOpts;
+      o.barrierAlgorithm = rtn.barrierAlgorithm;
+      tunedBarriers_[i] = rt::makeSyncPrimitive(
+          rt::SyncPrimitive::Kind::Barrier, team.size(), o);
+    }
+  }
   const std::size_t nScalars = lp_->prog->scalars().size();
   states_.reserve(static_cast<std::size_t>(team.size()));
   for (int t = 0; t < team.size(); ++t) {
@@ -461,6 +479,56 @@ void Engine::execGuarded(const LoweredStmt& s, int tid, ThreadState& ts) {
   SPMD_UNREACHABLE("bad LoweredStmt kind");
 }
 
+void Engine::execParallelLoopSerial(const LoweredStmt& s, ThreadState& ts) {
+  i64* frame = ts.frame.data();
+  const i64 lb = lp_->evalForm(s.lower, frame);
+  const i64 ub = lp_->evalForm(s.upper, frame);
+  SPMD_ASSERT(s.reductions.empty(),
+              "serial-compute region carries a reduction");
+  const OwnerTemplate& ot = lp_->owners[static_cast<std::size_t>(s.owner)];
+  if (ot.kind != OwnerTemplate::Kind::PerIteration) {
+    // Closed-form-owner units take their range from the caller, so the
+    // full span replaces the owned range.  PerIteration units test
+    // ownership inside the compiled code and cannot run serially.
+    if (native::NativeFn fn = nativeFor(s)) {
+      fn(&nativeCtx_, frame, ts.scalarBase, lb, ub, 1, 0);
+      return;
+    }
+  }
+  for (i64 i = lb; i <= ub; ++i) {
+    frame[s.var] = i;
+    for (const LoweredStmt& child : s.body) execLocal(child, ts);
+  }
+}
+
+void Engine::execGuardedSerial(const LoweredStmt& s, ThreadState& ts) {
+  switch (s.kind) {
+    case LoweredStmt::Kind::ArrayAssign:
+      // Every cell, regardless of owner.  The value is owner-independent
+      // in an eligible region (private scalars cannot have diverged).
+      execLocal(s, ts);
+      return;
+    case LoweredStmt::Kind::ScalarAssign: {
+      // Identical to execGuarded's thread-0 path.
+      double value = evalTape(s.tape, ts);
+      ir::applyReduction(ts.scalarBase[s.scalar], s.reduction, value);
+      masterPending_[s.scalar] = ts.scalarBase[s.scalar];
+      return;
+    }
+    case LoweredStmt::Kind::Loop: {
+      i64* frame = ts.frame.data();
+      const i64 lo = lp_->evalForm(s.lower, frame);
+      const i64 hi = lp_->evalForm(s.upper, frame);
+      for (i64 i = lo; i <= hi; i += s.step) {
+        frame[s.var] = i;
+        for (const LoweredStmt& child : s.body) execGuardedSerial(child, ts);
+      }
+      return;
+    }
+  }
+  SPMD_UNREACHABLE("bad LoweredStmt kind");
+}
+
 void Engine::publishPending() {
   for (const auto& [scalar, value] : masterPending_)
     store_->scalar(ir::ScalarId{scalar}) = value;
@@ -472,6 +540,28 @@ void Engine::publishPending() {
 
 void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
                       RegionRun& run, int tid, ThreadState& ts) {
+  if (run.serialCompute() && point.kind != SyncPoint::Kind::None) {
+    // A serialized region has a single computing thread, so interior
+    // synchronization carries no ordering obligation: thread 0 is the
+    // only reader and writer of shared state (the entry snapshot is
+    // skipped for the others, and pending scalar publishes ride to the
+    // post-join publishPending()).  Every thread still visits every sync
+    // point in program order and counts exactly what it would have
+    // executed, so SyncCounts stay byte-identical; only the physical
+    // arrive/post/wait is elided.  This is where the serial-compute
+    // tuning wins: an oversubscribed untuned run pays a scheduling
+    // round per episode, a serialized one pays none.
+    if (point.kind == SyncPoint::Kind::Barrier) {
+      if (tid == 0) ++ts.counts.barriers;
+      return;
+    }
+    ++ts.counts.counterPosts;
+    const int P = team_->size();
+    if (point.waitLeft && tid > 0) ++ts.counts.counterWaits;
+    if (point.waitRight && tid < P - 1) ++ts.counts.counterWaits;
+    if (point.waitMaster && tid != 0) ++ts.counts.counterWaits;
+    return;
+  }
   switch (point.kind) {
     case SyncPoint::Kind::None:
       return;
@@ -482,11 +572,17 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
       // primitive.  Identical protocol either way.
       SPMD_ASSERT(pool_ == nullptr || (point.id >= 0 && run.phys != nullptr),
                   "pooled barrier sync point without id/assignment");
+      // A tuned override barrier serves every barrier point of the
+      // region (episodes stay totally ordered because every thread
+      // passes every barrier — the unpooled engine's own argument).
       rt::Barrier& bar =
-          pool_ != nullptr
-              ? pool_->barrier(run.phys->barrierPhys[static_cast<std::size_t>(
-                    point.id)])
-              : rt::asBarrier(*barrier_);
+          run.barrierOverride != nullptr
+              ? *run.barrierOverride
+              : pool_ != nullptr
+                    ? pool_->barrier(
+                          run.phys->barrierPhys[static_cast<std::size_t>(
+                              point.id)])
+                    : rt::asBarrier(*barrier_);
       // The releasing thread publishes pending values and refreshes every
       // processor's shared-canonical private copies while all are parked
       // (identical to the interpreter's serial section).
@@ -570,11 +666,21 @@ void Engine::execSync(const SyncPoint& point, const LoweredItem& item,
 
 void Engine::execNode(const LoweredNode& node, const LoweredItem& item,
                       RegionRun& run, int tid, ThreadState& ts) {
+  // Serial-compute mode: thread 0 executes every compute node over the
+  // full iteration space; the others skip compute entirely but still
+  // walk SeqLoop control flow (below) and visit every sync point —
+  // count-only, see the execSync fast path.
+  const bool serial = run.serialCompute();
   switch (node.kind) {
     case NodeKind::ParallelLoop:
+      if (serial) {
+        if (tid == 0) execParallelLoopSerial(node.stmt, ts);
+        return;
+      }
       execParallelLoop(node.stmt, tid, ts);
       return;
     case NodeKind::Replicated:
+      if (serial && tid != 0) return;
       if (native::NativeFn fn = nativeFor(node.stmt)) {
         fn(&nativeCtx_, ts.frame.data(), ts.scalarBase, 0, -1, 1, tid);
       } else {
@@ -582,6 +688,12 @@ void Engine::execNode(const LoweredNode& node, const LoweredItem& item,
       }
       return;
     case NodeKind::Guarded:
+      if (serial) {
+        // Ownership is ignored in serial mode, so the compiled unit
+        // (which tests ownership internally) cannot be used.
+        if (tid == 0) execGuardedSerial(node.stmt, ts);
+        return;
+      }
       // Guarded subtrees containing scalar assigns have no compiled unit
       // (masterPending_ is host state); everything else dispatches.
       if (native::NativeFn fn = nativeFor(node.stmt)) {
@@ -625,10 +737,15 @@ void Engine::execRegion(const LoweredItem& item, RegionRun& run, int tid) {
   const std::int64_t t0 = tracer ? tracer->now() : 0;
   ThreadState& ts = *states_[static_cast<std::size_t>(tid)];
   ts.scalarBase = ts.scalars.data();
-  // Region-entry broadcast: snapshot the shared scalars privately.
-  const std::size_t n = lp_->prog->scalars().size();
-  const double* src = store_->scalarData();
-  for (std::size_t s = 0; s < n; ++s) ts.scalars[s] = src[s];
+  // Region-entry broadcast: snapshot the shared scalars privately.  In a
+  // serialized region only thread 0 snapshots — the others never read
+  // their private scalars (they skip all compute), and skipping the read
+  // keeps them off the store while thread 0 may be publishing.
+  if (!run.serialCompute() || tid == 0) {
+    const std::size_t n = lp_->prog->scalars().size();
+    const double* src = store_->scalarData();
+    for (std::size_t s = 0; s < n; ++s) ts.scalars[s] = src[s];
+  }
   execNodeSeq(item.nodes, item, run, tid, ts);
   if (tracer)
     tracer->record(tid, obs::EventKind::Region,
@@ -655,9 +772,13 @@ rt::SyncCounts Engine::runRegions(ir::Store& store) {
       continue;
     }
     RegionRun run;
+    const auto itemIndex = static_cast<std::size_t>(&item - lp_->items.data());
+    if (tuning_ != nullptr) {
+      run.tuning = &tuning_->items[itemIndex];
+      if (tunedBarriers_[itemIndex] != nullptr)
+        run.barrierOverride = &rt::asBarrier(*tunedBarriers_[itemIndex]);
+    }
     if (pool_ != nullptr) {
-      const auto itemIndex =
-          static_cast<std::size_t>(&item - lp_->items.data());
       run.phys = &physical_->items[itemIndex];
       SPMD_CHECK(static_cast<int>(run.phys->counterPhys.size()) ==
                          item.syncCount &&

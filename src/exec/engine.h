@@ -30,6 +30,7 @@
 #include "core/physical_sync.h"
 #include "exec/lowered.h"
 #include "exec/native/abi.h"
+#include "exec/sync_tuning.h"
 #include "exec/owned_range.h"
 #include "ir/eval.h"
 #include "runtime/sync_primitive.h"
@@ -57,10 +58,19 @@ class Engine {
   /// per physical slot and every thread passes a region's sync points in
   /// the same order, so pooled runs produce byte-identical stores and
   /// SyncCounts to unpooled runs by construction.
+  /// When `tuning` is non-null (one RegionTuning per lowered item,
+  /// outliving the engine), region execution applies the driver's
+  /// feedback-directed choices: per-region barrier-algorithm overrides
+  /// (a dedicated primitive per overridden region — correct for the same
+  /// reason the unpooled engine's single shared barrier is: every thread
+  /// passes every barrier of a region, so episodes are totally ordered)
+  /// and serial-compute execution (see sync_tuning.h).  Stores and
+  /// SyncCounts are byte-identical to untuned runs by construction.
   Engine(const LoweredProgram& lowered, rt::ThreadTeam& team,
          rt::SyncPrimitiveOptions sync = rt::SyncPrimitiveOptions(),
          const native::NativeModule* native = nullptr,
-         const core::PhysicalSyncMap* physical = nullptr);
+         const core::PhysicalSyncMap* physical = nullptr,
+         const SyncTuningMap* tuning = nullptr);
 
   /// Base fork-join execution (lowered runForkJoin).
   rt::SyncCounts runForkJoin(ir::Store& store);
@@ -111,6 +121,14 @@ class Engine {
   struct RegionRun {
     std::vector<std::unique_ptr<rt::SyncPrimitive>> counters;
     const core::PhysicalItemMap* phys = nullptr;
+    /// Tuned-mode state for this item (null: untuned).
+    const RegionTuning* tuning = nullptr;
+    /// Barrier serving every barrier point of this region when the
+    /// tuning overrides the algorithm (null: pool / shared barrier).
+    rt::Barrier* barrierOverride = nullptr;
+    bool serialCompute() const {
+      return tuning != nullptr && tuning->serialCompute;
+    }
   };
 
   void bind(ir::Store& store);
@@ -130,6 +148,10 @@ class Engine {
   void execLocal(const LoweredStmt& s, ThreadState& ts);
   void execParallelLoop(const LoweredStmt& s, int tid, ThreadState& ts);
   void execGuarded(const LoweredStmt& s, int tid, ThreadState& ts);
+  /// Serial-compute mode, thread 0 only: the full iteration space of a
+  /// parallel loop / every cell of a guarded subtree, in ascending order.
+  void execParallelLoopSerial(const LoweredStmt& s, ThreadState& ts);
+  void execGuardedSerial(const LoweredStmt& s, ThreadState& ts);
   void execSync(const core::SyncPoint& point, const LoweredItem& item,
                 RegionRun& run, int tid, ThreadState& ts);
   void execNode(const LoweredNode& node, const LoweredItem& item,
@@ -149,8 +171,11 @@ class Engine {
   rt::SyncPrimitiveOptions sync_;
   const native::NativeModule* native_ = nullptr;
   const core::PhysicalSyncMap* physical_ = nullptr;
+  const SyncTuningMap* tuning_ = nullptr;
   std::unique_ptr<rt::SyncPrimitive> barrier_;
   std::unique_ptr<rt::SyncPool> pool_;  ///< pooled mode only
+  /// Per-item override barriers (tuned mode; null where not overridden).
+  std::vector<std::unique_ptr<rt::SyncPrimitive>> tunedBarriers_;
 
   // --- bound per-run state (bind) ---
   ir::Store* store_ = nullptr;

@@ -1,0 +1,49 @@
+#include "exec/sync_tuning.h"
+
+namespace spmd::exec {
+
+namespace {
+
+/// Any ScalarAssign anywhere under `s` (including nested loops)?
+bool containsScalarAssign(const LoweredStmt& s) {
+  if (s.kind == LoweredStmt::Kind::ScalarAssign) return true;
+  for (const LoweredStmt& child : s.body)
+    if (containsScalarAssign(child)) return true;
+  return false;
+}
+
+bool nodeEligible(const LoweredNode& node) {
+  switch (node.kind) {
+    case core::NodeKind::ParallelLoop:
+      // The two value-changing constructs both live on parallel loops:
+      // scalar reductions (identity-seed + combine protocol) and plain
+      // scalar assignments (master's last owned iteration becomes the
+      // final private value).
+      if (!node.stmt.reductions.empty()) return false;
+      for (const LoweredStmt& child : node.stmt.body)
+        if (containsScalarAssign(child)) return false;
+      return true;
+    case core::NodeKind::Replicated:
+    case core::NodeKind::Guarded:
+      // Guarded/replicated values are identical on every thread of an
+      // eligible region (private scalars cannot have diverged), so who
+      // computes them does not matter.
+      return true;
+    case core::NodeKind::SeqLoop:
+      for (const LoweredNode& child : node.body)
+        if (!nodeEligible(child)) return false;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool serialComputeEligible(const LoweredItem& item) {
+  if (!item.isRegion) return false;
+  for (const LoweredNode& node : item.nodes)
+    if (!nodeEligible(node)) return false;
+  return true;
+}
+
+}  // namespace spmd::exec

@@ -1,0 +1,69 @@
+// Per-region sync tuning: the execution-side contract of the driver's
+// feedback-directed sync selection (--tune-sync).
+//
+// A SyncTuningMap carries one decision record per lowered item.  Two
+// knobs exist, both chosen so tuned runs stay byte-identical to untuned
+// runs in everything the differential tests compare (stores, SyncCounts,
+// trace event structure):
+//
+//   * barrier-algorithm override — the region's barrier sync points run
+//     on a different primitive (e.g. hierarchical instead of central).
+//     All barrier algorithms share arrival/release semantics and the
+//     engine counts and traces barriers itself, so this is invisible to
+//     everything but the clock.
+//   * serial-compute execution — for regions whose measured blame shows
+//     synchronization dwarfing compute, thread 0 executes every compute
+//     node over the full iteration space while the other threads skip
+//     compute but still walk the control flow and execute every sync
+//     point.  Sync counts are identical by construction (barriers are
+//     counted once per episode, every thread still posts/waits its
+//     counters), and stores are identical because eligibility
+//     (serialComputeEligible) excludes the two constructs whose values
+//     depend on which thread computed them: scalar reductions (combine
+//     order) and scalar assignments inside parallel loops (the master's
+//     final private value).  On an oversubscribed host this turns a
+//     region whose wall clock was all barrier scheduling into a
+//     near-sequential execution where thread 0 — always the last barrier
+//     arrival — never blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/lowered.h"
+#include "runtime/sync_primitive.h"
+
+namespace spmd::exec {
+
+/// The tuned execution choice for one lowered item (meaningful for
+/// region items only).
+struct RegionTuning {
+  /// Run this region's barriers on `barrierAlgorithm` instead of the
+  /// engine-wide choice.
+  bool overrideBarrier = false;
+  rt::BarrierAlgorithm barrierAlgorithm = rt::BarrierAlgorithm::Central;
+
+  /// Thread 0 computes everything; other threads sync-walk only.  Must
+  /// only be set for items where serialComputeEligible() holds (the
+  /// engine checks).
+  bool serialCompute = false;
+
+  bool tuned() const { return overrideBarrier || serialCompute; }
+};
+
+/// Decisions for every lowered item, parallel to LoweredProgram::items.
+/// `key` is the driver's provenance hash (plan + run configuration);
+/// the engine treats it as opaque.
+struct SyncTuningMap {
+  std::uint64_t key = 0;
+  std::vector<RegionTuning> items;
+};
+
+/// True when the engine may run `item` in serial-compute mode with
+/// byte-identical stores and SyncCounts: the region has no scalar
+/// reductions (parallel combine order would change) and no scalar
+/// assignment inside a parallel loop body (the master's private final
+/// value would change).  Non-region items are never eligible.
+bool serialComputeEligible(const LoweredItem& item);
+
+}  // namespace spmd::exec

@@ -28,6 +28,50 @@ void CentralBarrier::arrive(int tid, FunctionRef<void()> serial) {
                     tracer_->now() - t0);
 }
 
+HierarchicalBarrier::HierarchicalBarrier(int parties, int clusterSize,
+                                         SpinPolicy spin)
+    : parties_(parties),
+      clusterSize_(std::max(1, std::min(clusterSize, parties))),
+      spin_(spin) {
+  SPMD_CHECK(parties >= 1, "barrier needs at least one party");
+  const int clusters = (parties_ + clusterSize_ - 1) / clusterSize_;
+  leafCount_ = std::vector<PaddedAtomicU64>(static_cast<std::size_t>(clusters));
+}
+
+void HierarchicalBarrier::arrive(int tid, FunctionRef<void()> serial) {
+  const std::int64_t t0 = tracer_ ? tracer_->now() : 0;
+  const std::uint64_t mySense = sense_.load(std::memory_order_relaxed) + 1;
+  const auto cluster = static_cast<std::size_t>(tid / clusterSize_);
+  const bool lastInCluster =
+      leafCount_[cluster].value.fetch_add(1, std::memory_order_acq_rel) ==
+      static_cast<std::uint64_t>(
+          clusterParties(static_cast<int>(cluster)) - 1);
+  if (lastInCluster &&
+      rootCount_.fetch_add(1, std::memory_order_acq_rel) == clusters() - 1) {
+    // Globally last arrival: serial section, reset both levels, release.
+    if (serial) {
+      const std::int64_t s0 = tracer_ ? tracer_->now() : 0;
+      serial();
+      if (tracer_)
+        tracer_->record(tid, obs::EventKind::BarrierSerial, traceSite_, s0,
+                        tracer_->now() - s0);
+    }
+    for (auto& leaf : leafCount_)
+      leaf.value.store(0, std::memory_order_relaxed);
+    rootCount_.store(0, std::memory_order_relaxed);
+    sense_.store(mySense, std::memory_order_release);
+  } else {
+    // Flat release: everyone else — cluster representatives included —
+    // spins on the one global sense.
+    spinWait([&] {
+      return sense_.load(std::memory_order_acquire) >= mySense;
+    }, spin_);
+  }
+  if (tracer_)
+    tracer_->record(tid, obs::EventKind::BarrierWait, traceSite_, t0,
+                    tracer_->now() - t0);
+}
+
 TreeBarrier::TreeBarrier(int parties, SpinPolicy spin)
     : parties_(parties), spin_(spin) {
   SPMD_CHECK(parties >= 1, "barrier needs at least one party");

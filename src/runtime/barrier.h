@@ -9,6 +9,7 @@
 // quickly as the number of processors increases."
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -136,6 +137,49 @@ class CentralBarrier final : public Barrier {
   std::atomic<int> count_{0};
   // Episode number doubles as the "sense": arrivals compute their target
   // episode from the current value, so no per-thread state is needed.
+  std::atomic<std::uint64_t> sense_{0};
+};
+
+/// Topology-aware hierarchical barrier: threads arrive at a per-cluster
+/// leaf counter (cluster k = threads [k*clusterSize, (k+1)*clusterSize)),
+/// the last arrival in each cluster combines into a root counter, and the
+/// globally last arrival runs the serial section and releases everyone by
+/// bumping a single sense-reversing episode number.
+///
+/// The arrival side is what clustering buys: each leaf counter is written
+/// by at most clusterSize threads, so on a multi-package machine the
+/// coherence storm of P threads hammering one line becomes (P/C) lines of
+/// C local writers plus one root line of P/C representative writers.  The
+/// release side is deliberately flat — one global sense every waiter
+/// spins on locally — so the wake-up path costs exactly what
+/// CentralBarrier's does (a cascaded per-cluster release would add a full
+/// scheduling round per level on oversubscribed hosts).
+class HierarchicalBarrier final : public Barrier {
+ public:
+  /// `clusterSize` need not divide `parties`; the last cluster is simply
+  /// smaller.  clusterSize is clamped to [1, parties].
+  HierarchicalBarrier(int parties, int clusterSize,
+                      SpinPolicy spin = SpinPolicy::Backoff);
+
+  using Barrier::arrive;
+  void arrive(int tid, FunctionRef<void()> serial) override;
+  int parties() const override { return parties_; }
+  std::string name() const override { return "hier-barrier"; }
+  int clusterSize() const { return clusterSize_; }
+  int clusters() const { return static_cast<int>(leafCount_.size()); }
+
+ private:
+  int clusterParties(int cluster) const {
+    const int lo = cluster * clusterSize_;
+    return std::min(clusterSize_, parties_ - lo);
+  }
+
+  int parties_;
+  int clusterSize_;
+  SpinPolicy spin_;
+  std::vector<PaddedAtomicU64> leafCount_;  // arrivals per cluster
+  std::atomic<int> rootCount_{0};           // clusters fully arrived
+  // Episode number doubles as the sense, exactly as in CentralBarrier.
   std::atomic<std::uint64_t> sense_{0};
 };
 

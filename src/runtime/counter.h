@@ -14,7 +14,7 @@
 
 namespace spmd::rt {
 
-class CounterSync final : public SyncPrimitive {
+class CounterSync : public SyncPrimitive {
  public:
   explicit CounterSync(int parties, SpinPolicy spin = SpinPolicy::Backoff)
       : slots_(static_cast<std::size_t>(parties)), spin_(spin) {
@@ -91,6 +91,36 @@ class CounterSync final : public SyncPrimitive {
  private:
   std::vector<PaddedAtomicU64> slots_;
   SpinPolicy spin_;
+};
+
+/// Topology-aware counter: post/wait semantics (and therefore SyncCounts
+/// and trace labels) are byte-identical to CounterSync — the whole class
+/// is a construction-time spin-policy choice.  When the parties span more
+/// than one cluster, a waiter's watched slot usually lives in another
+/// cluster's cache, so a tight Pause loop turns into cross-interconnect
+/// coherence traffic; the clustered variant escalates Pause to Backoff in
+/// that case (explicitly chosen Yield/Backoff are kept: they are already
+/// interconnect-friendly).
+class ClusteredCounterSync final : public CounterSync {
+ public:
+  ClusteredCounterSync(int parties, int clusterSize,
+                       SpinPolicy spin = SpinPolicy::Backoff)
+      : CounterSync(parties,
+                    spansClusters(parties, clusterSize) &&
+                            spin == SpinPolicy::Pause
+                        ? SpinPolicy::Backoff
+                        : spin),
+        clusterSize_(std::max(1, std::min(clusterSize, parties))) {}
+
+  std::string name() const override { return "clustered-counter"; }
+  int clusterSize() const { return clusterSize_; }
+
+ private:
+  static bool spansClusters(int parties, int clusterSize) {
+    return clusterSize >= 1 && parties > clusterSize;
+  }
+
+  int clusterSize_;
 };
 
 }  // namespace spmd::rt

@@ -1,5 +1,7 @@
 #include "runtime/sync_primitive.h"
 
+#include <thread>
+
 #include "runtime/barrier.h"
 #include "runtime/counter.h"
 #include "support/flags.h"
@@ -22,8 +24,20 @@ const char* barrierAlgorithmName(BarrierAlgorithm algorithm) {
       return "central";
     case BarrierAlgorithm::Tree:
       return "tree";
+    case BarrierAlgorithm::Hier:
+      return "hier";
   }
   return "?";
+}
+
+std::optional<BarrierAlgorithm> parseBarrierAlgorithm(
+    const std::string& text) {
+  static constexpr support::EnumFlagValue<BarrierAlgorithm> kTable[] = {
+      {"central", BarrierAlgorithm::Central},
+      {"tree", BarrierAlgorithm::Tree},
+      {"hier", BarrierAlgorithm::Hier},
+  };
+  return support::parseEnumFlag(text, kTable);
 }
 
 const char* spinPolicyName(SpinPolicy policy) {
@@ -47,15 +61,46 @@ std::optional<SpinPolicy> parseSpinPolicy(const std::string& text) {
   return support::parseEnumFlag(text, kTable);
 }
 
+bool spinPolicyDowngraded(const SyncPrimitiveOptions& options, int parties) {
+  if (options.spinPolicyExplicit) return false;
+  if (options.spinPolicy == SpinPolicy::Yield) return false;
+  const unsigned hc = std::thread::hardware_concurrency();
+  // 0 means "unknown": never downgrade on a guess.
+  return hc != 0 && static_cast<unsigned>(parties) > hc;
+}
+
+SpinPolicy effectiveSpinPolicy(const SyncPrimitiveOptions& options,
+                               int parties) {
+  return spinPolicyDowngraded(options, parties) ? SpinPolicy::Yield
+                                                : options.spinPolicy;
+}
+
+namespace {
+
+/// Cluster fan-out for the Hier family: the requested topology, or the
+/// probed machine when unspecified.
+int clusterSizeFor(const SyncPrimitiveOptions& options, int parties) {
+  const Topology& topo =
+      options.topology.specified() ? options.topology : Topology::detected();
+  return topo.clusterSizeFor(parties);
+}
+
+}  // namespace
+
 std::unique_ptr<Barrier> makeBarrier(int parties,
                                      const SyncPrimitiveOptions& options) {
+  const SpinPolicy spin = effectiveSpinPolicy(options, parties);
   std::unique_ptr<Barrier> barrier;
   switch (options.barrierAlgorithm) {
     case BarrierAlgorithm::Central:
-      barrier = std::make_unique<CentralBarrier>(parties, options.spinPolicy);
+      barrier = std::make_unique<CentralBarrier>(parties, spin);
       break;
     case BarrierAlgorithm::Tree:
-      barrier = std::make_unique<TreeBarrier>(parties, options.spinPolicy);
+      barrier = std::make_unique<TreeBarrier>(parties, spin);
+      break;
+    case BarrierAlgorithm::Hier:
+      barrier = std::make_unique<HierarchicalBarrier>(
+          parties, clusterSizeFor(options, parties), spin);
       break;
   }
   SPMD_CHECK(barrier != nullptr, "bad BarrierAlgorithm");
@@ -70,7 +115,13 @@ std::unique_ptr<SyncPrimitive> makeSyncPrimitive(
     case SyncPrimitive::Kind::Barrier:
       return makeBarrier(parties, options);
     case SyncPrimitive::Kind::Counter: {
-      auto counter = std::make_unique<CounterSync>(parties, options.spinPolicy);
+      const SpinPolicy spin = effectiveSpinPolicy(options, parties);
+      std::unique_ptr<CounterSync> counter;
+      if (options.barrierAlgorithm == BarrierAlgorithm::Hier)
+        counter = std::make_unique<ClusteredCounterSync>(
+            parties, clusterSizeFor(options, parties), spin);
+      else
+        counter = std::make_unique<CounterSync>(parties, spin);
       counter->setTrace(options.tracer, options.traceSite);
       return counter;
     }

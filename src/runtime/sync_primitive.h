@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/topology.h"
 #include "support/diag.h"
 
 namespace spmd::obs {
@@ -82,12 +83,18 @@ class SyncPrimitive {
 const char* syncKindName(SyncPrimitive::Kind kind);
 
 /// Which barrier algorithm the factory instantiates for Kind::Barrier.
+/// Hier also selects the clustered counter variant for Kind::Counter —
+/// one knob chooses the whole topology-aware primitive family.
 enum class BarrierAlgorithm {
   Central,  ///< sense-reversing centralized barrier (default)
   Tree,     ///< software combining tree, O(log P) arrival depth
+  Hier,     ///< topology-aware: per-cluster leaves combining into a root
 };
 
 const char* barrierAlgorithmName(BarrierAlgorithm algorithm);
+
+/// Parses "central" / "tree" / "hier" (the --barrier= flag values).
+std::optional<BarrierAlgorithm> parseBarrierAlgorithm(const std::string& text);
 
 /// Runtime synchronization selection, carried from the driver through the
 /// executor to the factory.
@@ -95,12 +102,34 @@ struct SyncPrimitiveOptions {
   BarrierAlgorithm barrierAlgorithm = BarrierAlgorithm::Central;
   SpinPolicy spinPolicy = SpinPolicy::Backoff;
 
+  /// True when the user picked the spin policy explicitly (--spin=);
+  /// suppresses the oversubscription downgrade in effectiveSpinPolicy.
+  bool spinPolicyExplicit = false;
+
+  /// Cluster shape for the Hier family.  Default (unspecified) lets the
+  /// factory substitute the probed machine topology; --topology=LxC and
+  /// tests pin it for deterministic fan-out.
+  Topology topology;
+
   /// Event tracer attached to every primitive the factory creates (null:
   /// tracing off, the default); `traceSite` labels the created primitive's
   /// events (see SyncPrimitive::setTrace).
   obs::Tracer* tracer = nullptr;
   std::int32_t traceSite = -1;
 };
+
+/// The spin policy the factory will actually install for a primitive of
+/// `parties` threads: the requested policy, downgraded to Yield when the
+/// team oversubscribes the machine (parties > hardware_concurrency) and
+/// the policy was not explicit.  A pause/backoff spinner that outnumbers
+/// the cores burns whole scheduler quanta keeping the very threads it
+/// waits for off-core; yielding is strictly better there.
+SpinPolicy effectiveSpinPolicy(const SyncPrimitiveOptions& options,
+                               int parties);
+
+/// True when effectiveSpinPolicy downgraded the requested policy (drives
+/// the driver's diagnostic note).
+bool spinPolicyDowngraded(const SyncPrimitiveOptions& options, int parties);
 
 /// The factory: maps a plan-level sync kind + options to a concrete
 /// primitive.

@@ -1,0 +1,77 @@
+#include "runtime/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "support/flags.h"
+
+namespace spmd::rt {
+
+std::string Topology::toString() const {
+  return std::to_string(packages) + "x" + std::to_string(coresPerPackage);
+}
+
+std::optional<Topology> Topology::parse(const std::string& text) {
+  const std::size_t x = text.find('x');
+  if (x == std::string::npos) return std::nullopt;
+  auto packages = support::parseIntFlag(text.substr(0, x));
+  auto cores = support::parseIntFlag(text.substr(x + 1));
+  if (!packages || !cores) return std::nullopt;
+  if (*packages < 1 || *cores < 1) return std::nullopt;
+  if (*packages > (1 << 20) || *cores > (1 << 20)) return std::nullopt;
+  return Topology{*packages, *cores};
+}
+
+namespace {
+
+/// Reads one small integer file ("0\n"); nullopt on any failure.
+std::optional<int> readIntFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return std::nullopt;
+  int value = -1;
+  const int got = std::fscanf(f, "%d", &value);
+  std::fclose(f);
+  if (got != 1 || value < 0) return std::nullopt;
+  return value;
+}
+
+Topology probe() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int cpus = hc == 0 ? 1 : static_cast<int>(hc);
+  // Count distinct physical packages over the online CPUs.  Missing or
+  // unreadable sysfs (containers, non-Linux) falls back to one package.
+  std::set<int> packages;
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    auto id = readIntFile("/sys/devices/system/cpu/cpu" +
+                          std::to_string(cpu) +
+                          "/topology/physical_package_id");
+    if (!id) {
+      packages.clear();
+      break;
+    }
+    packages.insert(*id);
+  }
+  const int npkg = packages.empty() ? 1 : static_cast<int>(packages.size());
+  return Topology{npkg, std::max(1, cpus / npkg)};
+}
+
+}  // namespace
+
+const Topology& Topology::detected() {
+  static const Topology cached = probe();
+  return cached;
+}
+
+int Topology::clusterSizeFor(int parties) const {
+  if (parties <= 1) return 1;
+  if (packages > 1 && coresPerPackage < parties)
+    return std::max(1, std::min(coresPerPackage, parties));
+  const int root =
+      static_cast<int>(std::ceil(std::sqrt(static_cast<double>(parties))));
+  return std::max(1, std::min(root, parties));
+}
+
+}  // namespace spmd::rt

@@ -1,0 +1,55 @@
+// Machine topology probe for topology-aware synchronization.
+//
+// Hierarchical barriers need a cluster fan-out: how many threads share a
+// fast synchronization domain (a package / die / core complex) before
+// arrivals have to cross the slower interconnect.  Topology models the
+// machine as `packages x coresPerPackage` — deliberately two-level, which
+// matches both the sysfs physical_package_id partition and the clustered
+// many-core targets in the literature (per-cluster barrier combining into
+// a global one).  The probe reads sysfs when available and degrades to
+// hardware_concurrency; tests and the --topology=LxC flag can override it
+// so cluster decisions are deterministic on any host.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace spmd::rt {
+
+struct Topology {
+  /// 0 means "unspecified": the factory substitutes the detected machine
+  /// topology.  A specified topology (from --topology= or a test) is used
+  /// verbatim.
+  int packages = 0;
+  int coresPerPackage = 0;
+
+  bool specified() const { return packages > 0 && coresPerPackage > 0; }
+  int totalCores() const { return packages * coresPerPackage; }
+
+  /// Renders as "LxC" ("2x8"), the same shape --topology= parses.
+  std::string toString() const;
+
+  /// Parses "LxC" with L,C >= 1 ("1x4", "2x8"); anything else is nullopt.
+  static std::optional<Topology> parse(const std::string& text);
+
+  /// The probed machine topology, detected once and cached.  Packages
+  /// come from sysfs physical_package_id when readable; otherwise a
+  /// single package of hardware_concurrency cores (at least 1x1).
+  static const Topology& detected();
+
+  /// Cluster fan-out for a hierarchical primitive over `parties` threads:
+  /// threads [k*size, (k+1)*size) form cluster k (the last cluster may be
+  /// smaller when size does not divide parties).
+  ///
+  ///   * Multi-package machine with packages small enough to matter:
+  ///     one cluster per package (size = coresPerPackage), so leaf
+  ///     arrivals stay inside a package and only cluster representatives
+  ///     cross the interconnect.
+  ///   * Single package (or parties within one package): ceil(sqrt(P)),
+  ///     which balances leaf contention against root contention.
+  ///
+  /// Always in [1, parties].
+  int clusterSizeFor(int parties) const;
+};
+
+}  // namespace spmd::rt

@@ -1,0 +1,139 @@
+// Feedback-directed sync selection (--tune-sync): the warmup -> blame ->
+// re-plan loop must leave results untouched (stores and SyncCounts
+// identical to an untuned run), cache its artifact under a provenance
+// hash that distinguishes run shapes, and re-tune after setOptions.
+#include "driver/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "driver/compilation.h"
+#include "driver/execution.h"
+
+namespace spmd::driver {
+namespace {
+
+const char* kStencilSource = R"(PROGRAM heat
+SYMBOLIC N >= 8
+SYMBOLIC T >= 1
+REAL U(N + 2) = 1.0
+REAL Un(N + 2) = 0.0
+DO t = 1, T
+  DOALL i = 1, N
+    Un(i) = 0.5 * (U(i - 1) + U(i + 1))
+  ENDDO
+  DOALL i2 = 1, N
+    U(i2) = Un(i2)
+  ENDDO
+ENDDO
+END
+)";
+
+RunRequest makeRequest(Compilation& compilation, int threads) {
+  RunRequest request;
+  request.symbols = bindSymbols(compilation.program(), {}, 64, 4);
+  request.threads = threads;
+  request.runBase = false;
+  return request;
+}
+
+bool sameCounts(const rt::SyncCounts& a, const rt::SyncCounts& b) {
+  return a.barriers == b.barriers && a.broadcasts == b.broadcasts &&
+         a.counterPosts == b.counterPosts &&
+         a.counterWaits == b.counterWaits;
+}
+
+TEST(SyncTuningTest, TunedRunMatchesUntunedBitForBit) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  ASSERT_TRUE(c.parseOk());
+
+  RunRequest untuned = makeRequest(c, 8);
+  RunComparison reference = runComparison(c, untuned);
+
+  RunRequest tuned = makeRequest(c, 8);
+  tuned.tuneSync = true;
+  RunComparison variant = runComparison(c, tuned);
+
+  ASSERT_TRUE(reference.optStore.has_value());
+  ASSERT_TRUE(variant.optStore.has_value());
+  EXPECT_TRUE(sameCounts(reference.optCounts, variant.optCounts));
+  EXPECT_EQ(reference.optStore->fingerprint(),
+            variant.optStore->fingerprint());
+  EXPECT_EQ(ir::Store::maxAbsDifference(*reference.optStore,
+                                        *variant.optStore),
+            0.0);
+
+  // The artifact landed on the session with evidence for every region.
+  const SyncTuning* tuning = c.syncTuningCache();
+  ASSERT_NE(tuning, nullptr);
+  EXPECT_EQ(tuning->threads, 8);
+  EXPECT_FALSE(tuning->regions.empty());
+  EXPECT_EQ(tuning->map.items.size(), c.loweredExec().program->items.size());
+}
+
+TEST(SyncTuningTest, ArtifactIsCachedByKeyAndInvalidatedByShape) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  ASSERT_TRUE(c.parseOk());
+
+  RunRequest request = makeRequest(c, 4);
+  request.tuneSync = true;
+  const std::uint64_t key = syncTuningKey(c, request);
+  const SyncTuning& first = ensureSyncTuning(c, request);
+  EXPECT_EQ(first.key, key);
+  // Same shape: the identical artifact is served, no second warmup.
+  EXPECT_EQ(&ensureSyncTuning(c, request), &first);
+
+  // A different thread count is a different shape (decisions depend on
+  // it), so the key changes and the cached artifact misses.
+  RunRequest other = makeRequest(c, 2);
+  other.tuneSync = true;
+  EXPECT_NE(syncTuningKey(c, other), key);
+  EXPECT_EQ(c.syncTuningIfCached(syncTuningKey(c, other)), nullptr);
+  const SyncTuning& second = ensureSyncTuning(c, other);
+  EXPECT_EQ(second.threads, 2);
+
+  // Same shape, same key — bindings and options unchanged.
+  EXPECT_EQ(syncTuningKey(c, other), second.key);
+
+  // setOptions re-arms the artifact like every plan-derived stage.
+  c.setOptions(c.options());
+  EXPECT_EQ(c.syncTuningCache(), nullptr);
+}
+
+TEST(SyncTuningTest, KeyTracksSyncOptionsAndSymbols) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  ASSERT_TRUE(c.parseOk());
+
+  RunRequest request = makeRequest(c, 4);
+  const std::uint64_t base = syncTuningKey(c, request);
+
+  RunRequest hier = request;
+  hier.exec.sync.barrierAlgorithm = rt::BarrierAlgorithm::Hier;
+  EXPECT_NE(syncTuningKey(c, hier), base);
+
+  RunRequest topo = request;
+  topo.exec.sync.topology = *rt::Topology::parse("2x4");
+  EXPECT_NE(syncTuningKey(c, topo), base);
+
+  RunRequest bigger = request;
+  bigger.symbols = bindSymbols(c.program(), {{"N", 128}}, 64, 4);
+  EXPECT_NE(syncTuningKey(c, bigger), base);
+
+  // Recomputing with identical ingredients is stable.
+  EXPECT_EQ(syncTuningKey(c, request), base);
+}
+
+TEST(SyncTuningTest, InterpretedEngineIsNeverTuned) {
+  Compilation c = Compilation::fromSource(kStencilSource, "heat.f");
+  ASSERT_TRUE(c.parseOk());
+
+  RunRequest request = makeRequest(c, 4);
+  request.tuneSync = true;
+  request.exec.engine = cg::EngineKind::Interpreted;
+  RunComparison run = runComparison(c, request);
+  ASSERT_TRUE(run.optStore.has_value());
+  // The interpreter is the untuned reference: no artifact is computed.
+  EXPECT_EQ(c.syncTuningCache(), nullptr);
+}
+
+}  // namespace
+}  // namespace spmd::driver

@@ -1,0 +1,232 @@
+// Differential tests for the tuned execution paths: whatever knob the
+// feedback-directed selector turns — barrier algorithm (engine-wide or
+// per-region override), serial-compute execution, tracing on top of
+// either — a run must stay observationally identical to the untuned
+// baseline: byte-identical SyncCounts for every configuration, and
+// bit-identical stores except where floating-point reductions make the
+// combine order arrival-dependent (there the kernel tolerance applies,
+// exactly as in the engine-vs-interpreter differentials).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd_executor.h"
+#include "core/optimizer.h"
+#include "exec/lowered.h"
+#include "exec/sync_tuning.h"
+#include "kernels/kernels.h"
+#include "obs/trace.h"
+#include "runtime/team.h"
+
+namespace spmd {
+namespace {
+
+bool stmtHasReduction(const ir::Stmt* stmt) {
+  switch (stmt->kind()) {
+    case ir::Stmt::Kind::ScalarAssign:
+      return stmt->scalarAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::ArrayAssign:
+      return stmt->arrayAssign().reduction != ir::ReductionOp::None;
+    case ir::Stmt::Kind::Loop:
+      for (const ir::StmtPtr& s : stmt->loop().body)
+        if (stmtHasReduction(s.get())) return true;
+      return false;
+  }
+  return false;
+}
+
+bool programHasReduction(const ir::Program& prog) {
+  for (const ir::StmtPtr& s : prog.topLevel())
+    if (stmtHasReduction(s.get())) return true;
+  return false;
+}
+
+bool sameCounts(const rt::SyncCounts& a, const rt::SyncCounts& b) {
+  return a.barriers == b.barriers && a.broadcasts == b.broadcasts &&
+         a.counterPosts == b.counterPosts &&
+         a.counterWaits == b.counterWaits;
+}
+
+struct RunOut {
+  rt::SyncCounts counts;
+  ir::Store store;
+};
+
+/// One lowered-engine region run of `spec` under the given options.
+RunOut runOnce(const kernels::KernelSpec& spec,
+               const exec::LoweredProgram& lowered,
+               const ir::SymbolBindings& symbols, int threads,
+               const cg::ExecOptions& options) {
+  rt::ThreadTeam team(threads);
+  cg::SpmdExecutor exec(*spec.program, *spec.decomp, team, options);
+  RunOut out{rt::SyncCounts{}, ir::Store(*spec.program, symbols)};
+  out.counts = exec.runRegionsLowered(lowered, out.store);
+  return out;
+}
+
+/// Compares a variant run against its reference: counts byte-identical,
+/// stores bit-identical (or within the kernel tolerance when reductions
+/// make the combine order arrival-dependent).
+void expectMatches(const RunOut& reference, const RunOut& variant,
+                   bool hasReduction, double tolerance,
+                   const std::string& what) {
+  EXPECT_TRUE(sameCounts(reference.counts, variant.counts)) << what;
+  const double diff =
+      ir::Store::maxAbsDifference(reference.store, variant.store);
+  if (hasReduction) {
+    EXPECT_LE(diff, tolerance) << what;
+  } else {
+    EXPECT_EQ(reference.store.fingerprint(), variant.store.fingerprint())
+        << what << " max|diff|=" << diff;
+    EXPECT_EQ(diff, 0.0) << what;
+  }
+}
+
+struct KernelSetup {
+  kernels::KernelSpec spec;
+  core::RegionProgram plan;
+  std::shared_ptr<const exec::LoweredProgram> lowered;
+  ir::SymbolBindings symbols;
+  bool hasReduction = false;
+};
+
+KernelSetup setup(const kernels::KernelSpec& spec) {
+  KernelSetup ks{spec, {}, nullptr, {}, false};
+  core::SyncOptimizer opt(*spec.program, *spec.decomp);
+  ks.plan = opt.run();
+  ks.lowered = std::make_shared<const exec::LoweredProgram>(
+      exec::lowerProgram(*spec.program, *spec.decomp, &ks.plan));
+  // Small sizes: this is a correctness differential, not a benchmark.
+  ks.symbols = spec.bindings(std::min<i64>(spec.defaultN, 24),
+                             std::min<i64>(spec.defaultT, 3));
+  ks.hasReduction = programHasReduction(*spec.program);
+  return ks;
+}
+
+const std::vector<int> kThreadCounts = {2, 4, 8};
+
+TEST(TunedExec, BarrierAlgorithmsAreObservationallyIdentical) {
+  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+    KernelSetup ks = setup(spec);
+    for (int threads : kThreadCounts) {
+      cg::ExecOptions central;
+      RunOut reference =
+          runOnce(ks.spec, *ks.lowered, ks.symbols, threads, central);
+      for (rt::BarrierAlgorithm algorithm :
+           {rt::BarrierAlgorithm::Tree, rt::BarrierAlgorithm::Hier}) {
+        cg::ExecOptions options;
+        options.sync.barrierAlgorithm = algorithm;
+        RunOut variant =
+            runOnce(ks.spec, *ks.lowered, ks.symbols, threads, options);
+        expectMatches(reference, variant, ks.hasReduction, spec.tolerance,
+                      spec.name + " " +
+                          rt::barrierAlgorithmName(algorithm) + " P=" +
+                          std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(TunedExec, SerialComputeMatchesUntuned) {
+  int serializedRegions = 0;
+  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+    KernelSetup ks = setup(spec);
+    exec::SyncTuningMap tuning;
+    tuning.items.resize(ks.lowered->items.size());
+    int eligible = 0;
+    for (std::size_t i = 0; i < ks.lowered->items.size(); ++i)
+      if (exec::serialComputeEligible(ks.lowered->items[i])) {
+        tuning.items[i].serialCompute = true;
+        ++eligible;
+      }
+    if (eligible == 0) continue;
+    serializedRegions += eligible;
+    for (int threads : kThreadCounts) {
+      cg::ExecOptions untuned;
+      RunOut reference =
+          runOnce(ks.spec, *ks.lowered, ks.symbols, threads, untuned);
+      cg::ExecOptions tuned;
+      tuned.tuning = &tuning;
+      RunOut variant =
+          runOnce(ks.spec, *ks.lowered, ks.symbols, threads, tuned);
+      expectMatches(reference, variant, ks.hasReduction, spec.tolerance,
+                    spec.name + " serial-compute P=" +
+                        std::to_string(threads));
+    }
+  }
+  // The knob must actually be exercised: the suite is built to span the
+  // paper's spectrum, so several kernels have eligible regions.
+  EXPECT_GT(serializedRegions, 0);
+}
+
+TEST(TunedExec, PerRegionBarrierOverrideMatchesUntuned) {
+  int overridden = 0;
+  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+    KernelSetup ks = setup(spec);
+    exec::SyncTuningMap tuning;
+    tuning.items.resize(ks.lowered->items.size());
+    for (std::size_t i = 0; i < ks.lowered->items.size(); ++i)
+      if (ks.lowered->items[i].isRegion &&
+          ks.lowered->items[i].barrierCount > 0) {
+        tuning.items[i].overrideBarrier = true;
+        tuning.items[i].barrierAlgorithm = rt::BarrierAlgorithm::Hier;
+        ++overridden;
+      }
+    if (overridden == 0) continue;
+    for (int threads : kThreadCounts) {
+      cg::ExecOptions untuned;
+      RunOut reference =
+          runOnce(ks.spec, *ks.lowered, ks.symbols, threads, untuned);
+      cg::ExecOptions tuned;
+      tuned.tuning = &tuning;
+      RunOut variant =
+          runOnce(ks.spec, *ks.lowered, ks.symbols, threads, tuned);
+      expectMatches(reference, variant, ks.hasReduction, spec.tolerance,
+                    spec.name + " barrier-override P=" +
+                        std::to_string(threads));
+    }
+    break;  // one kernel with barriers is enough for the override knob
+  }
+  EXPECT_GT(overridden, 0);
+}
+
+TEST(TunedExec, TracedTunedRunMatchesUntracedTuned) {
+  for (const kernels::KernelSpec& spec : kernels::allKernels()) {
+    KernelSetup ks = setup(spec);
+    exec::SyncTuningMap tuning;
+    tuning.items.resize(ks.lowered->items.size());
+    bool tunedSomething = false;
+    for (std::size_t i = 0; i < ks.lowered->items.size(); ++i) {
+      if (exec::serialComputeEligible(ks.lowered->items[i])) {
+        tuning.items[i].serialCompute = true;
+        tunedSomething = true;
+      } else if (ks.lowered->items[i].isRegion &&
+                 ks.lowered->items[i].barrierCount > 0) {
+        tuning.items[i].overrideBarrier = true;
+        tuning.items[i].barrierAlgorithm = rt::BarrierAlgorithm::Hier;
+        tunedSomething = true;
+      }
+    }
+    if (!tunedSomething) continue;
+    for (int threads : kThreadCounts) {
+      cg::ExecOptions untraced;
+      untraced.tuning = &tuning;
+      RunOut reference =
+          runOnce(ks.spec, *ks.lowered, ks.symbols, threads, untraced);
+      obs::Tracer tracer(static_cast<std::size_t>(threads));
+      cg::ExecOptions traced;
+      traced.tuning = &tuning;
+      traced.trace = &tracer;
+      RunOut variant =
+          runOnce(ks.spec, *ks.lowered, ks.symbols, threads, traced);
+      expectMatches(reference, variant, ks.hasReduction, spec.tolerance,
+                    spec.name + " traced-tuned P=" +
+                        std::to_string(threads));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spmd

@@ -1,7 +1,11 @@
 // SyncPrimitive conformance: every runtime synchronization object —
-// CentralBarrier, TreeBarrier, CounterSync — must satisfy the common
-// interface (kind/parties/name/reset), be constructible through the
-// factory, and actually synchronize when driven by a thread team.
+// CentralBarrier, TreeBarrier, HierarchicalBarrier, CounterSync and its
+// clustered variant — must satisfy the common interface
+// (kind/parties/name/reset), be constructible through the factory, and
+// actually synchronize when driven by a thread team.  The hierarchical
+// family additionally pins its topology plumbing: cluster fan-out from
+// parsed / probed topologies, non-dividing cluster sizes, reuse across
+// episode sequences, and the oversubscription spin-policy downgrade.
 #include "runtime/sync_primitive.h"
 
 #include <gtest/gtest.h>
@@ -13,6 +17,7 @@
 
 #include "runtime/barrier.h"
 #include "runtime/counter.h"
+#include "runtime/topology.h"
 
 namespace spmd::rt {
 namespace {
@@ -30,8 +35,12 @@ std::vector<Config> allConfigs() {
        "central-barrier"},
       {"tree", SyncPrimitive::Kind::Barrier, BarrierAlgorithm::Tree,
        "tree-barrier"},
+      {"hier", SyncPrimitive::Kind::Barrier, BarrierAlgorithm::Hier,
+       "hier-barrier"},
       {"counter", SyncPrimitive::Kind::Counter, BarrierAlgorithm::Central,
        "counter"},
+      {"clustered_counter", SyncPrimitive::Kind::Counter,
+       BarrierAlgorithm::Hier, "clustered-counter"},
   };
 }
 
@@ -130,6 +139,133 @@ TEST(SyncPrimitiveTest, KindAndAlgorithmNamesAreStable) {
   EXPECT_STREQ(syncKindName(SyncPrimitive::Kind::Counter), "counter");
   EXPECT_STREQ(barrierAlgorithmName(BarrierAlgorithm::Central), "central");
   EXPECT_STREQ(barrierAlgorithmName(BarrierAlgorithm::Tree), "tree");
+  EXPECT_STREQ(barrierAlgorithmName(BarrierAlgorithm::Hier), "hier");
+  EXPECT_EQ(parseBarrierAlgorithm("hier"), BarrierAlgorithm::Hier);
+  EXPECT_EQ(parseBarrierAlgorithm("bogus"), std::nullopt);
+}
+
+// --- hierarchical barrier -------------------------------------------------
+
+/// Drives `barrier` for `rounds` episodes with `parties` raw threads and
+/// checks the rendezvous property each round.
+void expectBarrierSynchronizes(Barrier& barrier, int parties, int rounds) {
+  std::atomic<int> failures{0};
+  std::atomic<int> arrivals{0};
+  std::vector<std::thread> team;
+  for (int tid = 0; tid < parties; ++tid) {
+    team.emplace_back([&, tid] {
+      for (int r = 0; r < rounds; ++r) {
+        arrivals.fetch_add(1);
+        barrier.arrive(tid);
+        if (arrivals.load() < (r + 1) * parties) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : team) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(HierarchicalBarrierTest, SynchronizesAtAwkwardSizes) {
+  // Prime and non-dividing shapes: the last cluster is smaller, a
+  // cluster of 1, a cluster covering everything.
+  for (int parties : {1, 3, 7, 13}) {
+    for (int clusterSize : {1, 2, 3, 5, parties, parties + 4}) {
+      HierarchicalBarrier barrier(parties, clusterSize, SpinPolicy::Yield);
+      EXPECT_GE(barrier.clusterSize(), 1);
+      EXPECT_LE(barrier.clusterSize(), parties);
+      EXPECT_EQ(barrier.clusters(),
+                (parties + barrier.clusterSize() - 1) / barrier.clusterSize());
+      expectBarrierSynchronizes(barrier, parties, 20);
+    }
+  }
+}
+
+TEST(HierarchicalBarrierTest, ReusableAcrossEpisodeSequencesAndReset) {
+  HierarchicalBarrier barrier(7, 3, SpinPolicy::Yield);
+  expectBarrierSynchronizes(barrier, 7, 10);
+  barrier.reset();  // episode-based: reset is a no-op, must stay callable
+  expectBarrierSynchronizes(barrier, 7, 10);
+}
+
+TEST(HierarchicalBarrierTest, RunsSerialSectionOncePerEpisode) {
+  const int parties = 5;
+  const int rounds = 25;
+  HierarchicalBarrier barrier(parties, 2, SpinPolicy::Yield);
+  std::atomic<int> serialRuns{0};
+  std::vector<std::thread> team;
+  for (int tid = 0; tid < parties; ++tid)
+    team.emplace_back([&, tid] {
+      for (int r = 0; r < rounds; ++r)
+        barrier.arrive(tid, [&] { serialRuns.fetch_add(1); });
+    });
+  for (std::thread& t : team) t.join();
+  EXPECT_EQ(serialRuns.load(), rounds);
+}
+
+TEST(HierarchicalBarrierTest, FactoryDerivesClusterSizeFromTopology) {
+  SyncPrimitiveOptions options;
+  options.barrierAlgorithm = BarrierAlgorithm::Hier;
+  options.topology = *Topology::parse("2x4");
+  std::unique_ptr<Barrier> barrier = makeBarrier(8, options);
+  auto* hier = dynamic_cast<HierarchicalBarrier*>(barrier.get());
+  ASSERT_NE(hier, nullptr);
+  EXPECT_EQ(hier->clusterSize(), 4);  // one leaf per package
+  EXPECT_EQ(hier->clusters(), 2);
+}
+
+// --- topology -------------------------------------------------------------
+
+TEST(TopologyTest, ParseAcceptsLxCAndRejectsJunk) {
+  std::optional<Topology> topo = Topology::parse("2x8");
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->packages, 2);
+  EXPECT_EQ(topo->coresPerPackage, 8);
+  EXPECT_TRUE(topo->specified());
+  EXPECT_EQ(topo->totalCores(), 16);
+  EXPECT_EQ(topo->toString(), "2x8");
+  for (const char* bad : {"", "x", "2x", "x8", "2x0", "0x8", "-1x4", "ax4",
+                          "2x8x2", "2 x 8"})
+    EXPECT_FALSE(Topology::parse(bad).has_value()) << bad;
+}
+
+TEST(TopologyTest, ClusterSizeTracksPackagesAndTeamSize) {
+  Topology two = *Topology::parse("2x8");
+  // Team spans packages: one cluster per package.
+  EXPECT_EQ(two.clusterSizeFor(16), 8);
+  EXPECT_EQ(two.clusterSizeFor(12), 8);
+  // Team fits a package (or only one package exists): balanced sqrt split.
+  Topology one = *Topology::parse("1x16");
+  EXPECT_EQ(one.clusterSizeFor(16), 4);
+  EXPECT_EQ(one.clusterSizeFor(1), 1);
+  EXPECT_EQ(Topology().clusterSizeFor(0), 1);
+  // Detected topology is cached and always usable.
+  const Topology& detected = Topology::detected();
+  EXPECT_GE(detected.packages, 1);
+  EXPECT_GE(detected.coresPerPackage, 1);
+  EXPECT_GE(detected.clusterSizeFor(8), 1);
+}
+
+// --- oversubscription spin downgrade --------------------------------------
+
+TEST(SpinPolicyTest, DowngradesToYieldOnlyWhenOversubscribedAndImplicit) {
+  const int hc = static_cast<int>(std::thread::hardware_concurrency());
+  if (hc == 0) GTEST_SKIP() << "hardware_concurrency unknown";
+  SyncPrimitiveOptions options;
+  options.spinPolicy = SpinPolicy::Backoff;
+  // Within the machine: requested policy kept.
+  EXPECT_EQ(effectiveSpinPolicy(options, hc), SpinPolicy::Backoff);
+  EXPECT_FALSE(spinPolicyDowngraded(options, hc));
+  // Oversubscribed and implicit: downgraded.
+  EXPECT_EQ(effectiveSpinPolicy(options, hc + 1), SpinPolicy::Yield);
+  EXPECT_TRUE(spinPolicyDowngraded(options, hc + 1));
+  // Explicit choice wins even oversubscribed.
+  options.spinPolicyExplicit = true;
+  EXPECT_EQ(effectiveSpinPolicy(options, hc + 1), SpinPolicy::Backoff);
+  EXPECT_FALSE(spinPolicyDowngraded(options, hc + 1));
+  // Requesting yield is never a "downgrade".
+  options.spinPolicyExplicit = false;
+  options.spinPolicy = SpinPolicy::Yield;
+  EXPECT_FALSE(spinPolicyDowngraded(options, hc + 1));
 }
 
 }  // namespace

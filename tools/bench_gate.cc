@@ -1,10 +1,11 @@
 // bench_gate — CI performance gate over the benchmark JSON artifacts.
 //
-// Compares a freshly produced BENCH_runtime.json or BENCH_compile_time.json
-// against the committed baseline and exits nonzero when any configuration
-// regressed beyond the tolerance.  The gated metric is always a *ratio*
-// internal to one run (lowered-vs-interpreted speedup per config, or
-// base-vs-memoized analysis speedup per kernel), never an absolute time —
+// Compares a freshly produced BENCH_runtime.json, BENCH_compile_time.json,
+// or BENCH_sync.json against the committed baseline and exits nonzero when
+// any configuration regressed beyond the tolerance.  The gated metric is
+// always a *ratio* internal to one run (lowered-vs-interpreted speedup per
+// config, base-vs-memoized analysis speedup per kernel, or per-algorithm
+// barrier latency vs central), never an absolute time —
 // so a smoke-mode fresh run on slower CI hardware compares meaningfully
 // against a full-size baseline captured elsewhere.
 //
@@ -92,6 +93,22 @@ bool loadCompileTime(const JsonValue& doc, Loaded& out, std::string* error) {
   return true;
 }
 
+bool loadSync(const JsonValue& doc, Loaded& out, std::string* error) {
+  const JsonValue* configs = doc.get("configs");
+  if (configs == nullptr || !configs->isArray()) {
+    *error = "sync bench file has no configs array";
+    return false;
+  }
+  for (const auto& c : configs->items()) {
+    const std::string barrier = c->getString("barrier");
+    if (barrier == "central") continue;  // the denominator: always 1.0
+    Entry e;
+    e.ratio = c->getDouble("vs_central", 0.0);
+    out.entries[barrier + "|t" + std::to_string(c->getInt("threads", 0))] = e;
+  }
+  return true;
+}
+
 bool loadFile(const std::string& path, Loaded& out, std::string* error) {
   spmd::JsonValuePtr doc = spmd::parseJsonFile(path, error);
   if (doc == nullptr) return false;
@@ -99,6 +116,7 @@ bool loadFile(const std::string& path, Loaded& out, std::string* error) {
   if (out.benchmark == "runtime_exec") return loadRuntime(*doc, out, error);
   if (out.benchmark == "compile_time")
     return loadCompileTime(*doc, out, error);
+  if (out.benchmark == "sync") return loadSync(*doc, out, error);
   *error = "unrecognized benchmark kind \"" + out.benchmark + "\"";
   return false;
 }

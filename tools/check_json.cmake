@@ -16,7 +16,10 @@ if(DEFINED JSONFILE)
     message(FATAL_ERROR "spmdopt did not write ${jsonfile}")
   endif()
 else()
-  set(jsonfile ${CMAKE_CURRENT_BINARY_DIR}/spmdopt_report.json)
+  # Unique per invocation: these tests run concurrently under ctest -j
+  # and share a cwd, so a fixed name would race.
+  string(SHA1 tag "${ARGS}")
+  set(jsonfile ${CMAKE_CURRENT_BINARY_DIR}/spmdopt_report_${tag}.json)
   file(WRITE ${jsonfile} "${out}")
 endif()
 execute_process(COMMAND ${PYTHON} -m json.tool ${jsonfile}

@@ -41,9 +41,23 @@
 //                           (default 65536; raise when drops are reported)
 //     --stats               print the compiler statistics registry (every
 //                           pass counter) after compilation
-//     --tree-barrier        use the combining-tree barrier
+//     --barrier=ALGO        barrier algorithm: central | tree | hier
+//                           (default central; hier clusters arrivals by
+//                           machine topology)
+//     --tree-barrier        alias for --barrier=tree (kept for scripts)
+//     --topology=LxC        pin the topology the hierarchical family
+//                           uses to L clusters of C cores (e.g. 2x8);
+//                           default: probed from the machine
+//     --tune-sync           feedback-directed sync selection: run a short
+//                           profiled warmup, feed critical-path barrier
+//                           blame into per-region choices (barrier
+//                           algorithm, serial-vs-parallel execution),
+//                           then run the measured comparison tuned
+//                           (implies --run; lowered/native engines)
 //     --spin=POLICY         spin-wait policy: pause | backoff | yield
-//                           (default backoff)
+//                           (default backoff; auto-downgrades to yield
+//                           when the team oversubscribes the machine
+//                           unless set explicitly)
 //     --engine=ENGINE       execution engine: lowered | interpreted |
 //                           native (default lowered; native JIT-compiles
 //                           region loops and falls back to lowered when
@@ -72,6 +86,7 @@
 #include "obs/critical_path.h"
 #include "obs/profile.h"
 #include "obs/stats.h"
+#include "runtime/sync_primitive.h"
 #include "runtime/team.h"
 #include "support/flags.h"
 #include "support/text_table.h"
@@ -94,8 +109,11 @@ struct Options {
   bool blame = false;
   bool stats = false;
   int traceCapacity = 0;  ///< 0 = the driver default
-  bool treeBarrier = false;
+  spmd::rt::BarrierAlgorithm barrier = spmd::rt::BarrierAlgorithm::Central;
+  spmd::rt::Topology topology;  ///< unspecified = probe the machine
+  bool tuneSync = false;
   spmd::rt::SpinPolicy spin = spmd::rt::SpinPolicy::Backoff;
+  bool spinExplicit = false;  ///< --spin= given (disables auto-downgrade)
   spmd::cg::EngineKind engine = spmd::cg::EngineKind::Lowered;
   int physicalBarriers = 0;  ///< 0 = unbounded (allocation pass off)
   int physicalCounters = 0;
@@ -109,7 +127,8 @@ void usage(std::ostream& os) {
         "[--jobs=J] [--no-analysis-cache] [--report] [--report-json] "
         "[--emit] [--run] [--verify] [--trace=FILE] [--trace-capacity=N] "
         "[--profile] [--blame] [--stats] "
-        "[--tree-barrier] "
+        "[--barrier=central|tree|hier] [--tree-barrier] "
+        "[--topology=LxC] [--tune-sync] "
         "[--spin=pause|backoff|yield] "
         "[--engine=lowered|interpreted|native] "
         "[--physical-barriers=K] [--physical-counters=M] "
@@ -221,8 +240,28 @@ bool parseArgs(int argc, char** argv, Options& opts) {
         std::cerr << "error: --trace-capacity must be >= 1\n";
         return false;
       }
+    } else if (auto v = valueOf("--barrier=")) {
+      std::optional<spmd::rt::BarrierAlgorithm> algo =
+          spmd::rt::parseBarrierAlgorithm(*v);
+      if (!algo.has_value()) {
+        std::cerr << "error: unknown --barrier=" << *v
+                  << " (expected central, tree, or hier)\n";
+        return false;
+      }
+      opts.barrier = *algo;
     } else if (arg == "--tree-barrier") {
-      opts.treeBarrier = true;
+      opts.barrier = spmd::rt::BarrierAlgorithm::Tree;
+    } else if (auto v = valueOf("--topology=")) {
+      std::optional<spmd::rt::Topology> topo = spmd::rt::Topology::parse(*v);
+      if (!topo.has_value()) {
+        std::cerr << "error: malformed --topology=" << *v
+                  << " (expected LxC, e.g. 2x8)\n";
+        return false;
+      }
+      opts.topology = *topo;
+    } else if (arg == "--tune-sync") {
+      opts.tuneSync = true;
+      opts.run = true;
     } else if (auto v = valueOf("--spin=")) {
       std::optional<spmd::rt::SpinPolicy> policy =
           spmd::rt::parseSpinPolicy(*v);
@@ -232,6 +271,7 @@ bool parseArgs(int argc, char** argv, Options& opts) {
         return false;
       }
       opts.spin = *policy;
+      opts.spinExplicit = true;
     } else if (auto v = valueOf("--engine=")) {
       std::optional<spmd::cg::EngineKind> engine =
           spmd::cg::parseEngineKind(*v);
@@ -380,11 +420,12 @@ int processSource(const std::string& source, const std::string& label,
       request.symbols =
           driver::bindSymbols(compilation.program(), opts.binds);
       request.threads = opts.procs;
-      request.exec.sync.barrierAlgorithm = opts.treeBarrier
-                                               ? rt::BarrierAlgorithm::Tree
-                                               : rt::BarrierAlgorithm::Central;
+      request.exec.sync.barrierAlgorithm = opts.barrier;
       request.exec.sync.spinPolicy = opts.spin;
+      request.exec.sync.spinPolicyExplicit = opts.spinExplicit;
+      request.exec.sync.topology = opts.topology;
       request.exec.engine = opts.engine;
+      request.tuneSync = opts.tuneSync;
       request.reference = opts.verify;
       request.trace =
           !opts.traceFile.empty() || opts.profile || opts.blame;
@@ -412,6 +453,18 @@ int processSource(const std::string& source, const std::string& label,
             << run.optCounts.broadcasts << " broadcasts, "
             << run.optCounts.counterPosts << " posts, "
             << run.optCounts.counterWaits << " waits\n";
+        if (opts.tuneSync) {
+          if (const driver::SyncTuning* tuning =
+                  compilation.syncTuningCache()) {
+            out << "  tuned     " << tuning->regionsTuned() << " region(s): "
+                << tuning->regionsSerialized() << " serial-compute, "
+                << tuning->barrierOverrides()
+                << " barrier override(s) (warmup "
+                << spmd::fixed(tuning->warmupSeconds * 1000, 1) << " ms)\n";
+          } else {
+            out << "  tuned     (engine has no tunable regions)\n";
+          }
+        }
         if (opts.engine == cg::EngineKind::Native) {
           const driver::NativeExec& native = compilation.nativeExec();
           if (native.available()) {
