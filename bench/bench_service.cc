@@ -1,0 +1,278 @@
+// bench_service — service-mode latency and cache-effectiveness benchmark.
+//
+// Starts an in-process spmdopt service (src/service/server.h) on a
+// temporary Unix socket and drives it with concurrent clients through
+// three phases:
+//
+//   cold          every request compiles a distinct program — all cache
+//                 misses; measures full-pipeline latency under load
+//   warm          every request compiles one of a small hot set — the
+//                 shared artifact cache serves whole pipelines
+//   invalidating  the hot set under rotating result-affecting options —
+//                 full-key misses that still share frontend artifacts
+//
+// Reports client-observed p50/p95/p99 latency per phase plus the cache
+// hit rate, as BENCH_service.json for tools/bench_gate.  The gated
+// metrics are ratios internal to one run (cold-over-warm p50 speedup and
+// the hit rate), so smoke runs on slow CI compare meaningfully against a
+// baseline captured elsewhere.
+//
+// Usage:
+//   bench_service [--clients=C] [--per-client=N] [--workers=W]
+//                 [--smoke] [--out=FILE]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/artifact_cache.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "support/json.h"
+
+namespace {
+
+using namespace spmd;
+
+std::string stencilSource(int which) {
+  std::ostringstream src;
+  src << "PROGRAM hot" << which << "\n"
+      << "SYMBOLIC N >= 8\nSYMBOLIC T >= 1\n"
+      << "REAL U(N + 2) = 1.0\nREAL Un(N + 2) = 0.0\n"
+      << "DO t = 1, T\n"
+      << "  DOALL i = 1, N\n"
+      << "    Un(i) = 0.5 * (U(i - " << (1 + which % 2) << ") + U(i + 1))\n"
+      << "  ENDDO\n"
+      << "  DOALL i2 = 1, N\n"
+      << "    U(i2) = Un(i2)\n"
+      << "  ENDDO\n"
+      << "ENDDO\nEND\n";
+  return src.str();
+}
+
+std::string coldSource(int salt) {
+  std::ostringstream src;
+  src << "PROGRAM cold" << salt << "\n"
+      << "SYMBOLIC N >= 8\n"
+      << "REAL A(N) = " << salt << ".0\nREAL B(N) = 0.0\n"
+      << "DOALL i = 1, N\n  B(i) = A(i) * 2.0\nENDDO\n"
+      << "DOALL j = 1, N\n  A(j) = B(j) + 1.0\nENDDO\nEND\n";
+  return src.str();
+}
+
+struct PhaseResult {
+  std::string name;
+  std::vector<long> latenciesUs;
+  int failures = 0;
+};
+
+long percentile(std::vector<long>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  return sorted[std::min(sorted.size() - 1,
+                         static_cast<std::size_t>(p * sorted.size()))];
+}
+
+/// Runs one phase: `clients` threads, `perClient` requests each, request
+/// content chosen by `makeRequest(client, index)`.
+template <typename MakeRequest>
+PhaseResult runPhase(const std::string& socketPath, const std::string& name,
+                     int clients, int perClient, MakeRequest makeRequest) {
+  PhaseResult result;
+  result.name = name;
+  std::vector<std::vector<long>> latencies(clients);
+  std::vector<int> failures(clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      service::Client client;
+      if (!client.connect(socketPath)) {
+        failures[c] = perClient;
+        return;
+      }
+      latencies[c].reserve(perClient);
+      for (int i = 0; i < perClient; ++i) {
+        const service::Request request = makeRequest(c, i);
+        const auto start = std::chrono::steady_clock::now();
+        JsonValuePtr response = client.call(request);
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (response == nullptr || !response->getBool("ok", false)) {
+          ++failures[c];
+          continue;
+        }
+        latencies[c].push_back(static_cast<long>(micros));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < clients; ++c) {
+    result.failures += failures[c];
+    result.latenciesUs.insert(result.latenciesUs.end(),
+                              latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(result.latenciesUs.begin(), result.latenciesUs.end());
+  return result;
+}
+
+service::Request compileRequest(std::string source, std::int64_t id) {
+  service::Request req;
+  req.op = service::Request::Op::Compile;
+  req.id = id;
+  req.source = std::move(source);
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 8;
+  int perClient = 50;
+  int workers = 4;
+  std::string outFile;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto valueOf = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--smoke") {
+      clients = 4;
+      perClient = 15;
+    } else if (const char* v = valueOf("--clients=")) {
+      clients = std::atoi(v);
+    } else if (const char* v = valueOf("--per-client=")) {
+      perClient = std::atoi(v);
+    } else if (const char* v = valueOf("--workers=")) {
+      workers = std::atoi(v);
+    } else if (const char* v = valueOf("--out=")) {
+      outFile = v;
+    } else {
+      std::cerr << "usage: bench_service [--clients=C] [--per-client=N] "
+                   "[--workers=W] [--smoke] [--out=FILE]\n";
+      return 2;
+    }
+  }
+  if (clients < 1 || perClient < 1 || workers < 1) {
+    std::cerr << "error: --clients/--per-client/--workers must be >= 1\n";
+    return 2;
+  }
+
+  char pattern[] = "/tmp/spmd_bench_service_XXXXXX";
+  const char* dir = ::mkdtemp(pattern);
+  if (dir == nullptr) {
+    std::cerr << "error: mkdtemp failed\n";
+    return 1;
+  }
+  driver::ArtifactCache cache(256);
+  service::ServerOptions options;
+  options.socketPath = std::string(dir) + "/spmd.sock";
+  options.workers = workers;
+  options.queueCapacity = static_cast<std::size_t>(clients) * 4;
+  options.cache = &cache;
+  service::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+
+  constexpr int kHotSet = 4;
+  std::vector<PhaseResult> phases;
+  phases.push_back(runPhase(
+      server.socketPath(), "cold", clients, perClient, [&](int c, int i) {
+        return compileRequest(coldSource(c * 100000 + i), c * 100000 + i);
+      }));
+  phases.push_back(runPhase(
+      server.socketPath(), "warm", clients, perClient, [&](int c, int i) {
+        return compileRequest(stencilSource(i % kHotSet), c * 100000 + i);
+      }));
+  phases.push_back(runPhase(
+      server.socketPath(), "invalidating", clients, perClient,
+      [&](int c, int i) {
+        service::Request req =
+            compileRequest(stencilSource(i % kHotSet), c * 100000 + i);
+        // Rotate result-affecting options so the full key misses while
+        // the frontend key still shares parse/validate/partition.
+        const int variant = i % 3;
+        req.barriersOnly = variant == 0;
+        req.enableCounters = variant != 1;
+        if (variant == 2) {
+          req.physicalBarriers = 2;
+          req.physicalCounters = 2;
+        }
+        return req;
+      }));
+
+  server.stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  const driver::ArtifactCache::Counters counters = cache.counters();
+  const double lookups =
+      static_cast<double>(counters.hits + counters.misses);
+  const double hitRate =
+      lookups > 0.0 ? static_cast<double>(counters.hits) / lookups : 0.0;
+  const long coldP50 = percentile(phases[0].latenciesUs, 0.50);
+  const long warmP50 = percentile(phases[1].latenciesUs, 0.50);
+  const double coldOverWarm =
+      warmP50 > 0 ? static_cast<double>(coldP50) / warmP50 : 0.0;
+
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.object();
+  json.field("benchmark", "service");
+  json.field("workers", workers);
+  json.field("clients", clients);
+  json.field("requests", clients * perClient * 3);
+  json.field("phases").array();
+  for (PhaseResult& phase : phases) {
+    json.object();
+    json.field("name", phase.name);
+    json.field("requests",
+               static_cast<std::uint64_t>(phase.latenciesUs.size()));
+    json.field("failures", phase.failures);
+    json.field("p50_us", percentile(phase.latenciesUs, 0.50));
+    json.field("p95_us", percentile(phase.latenciesUs, 0.95));
+    json.field("p99_us", percentile(phase.latenciesUs, 0.99));
+    json.close();
+  }
+  json.close();
+  json.field("cache").object();
+  json.field("hits", counters.hits);
+  json.field("misses", counters.misses);
+  json.field("extensions", counters.extensions);
+  json.field("evictions", counters.evictions);
+  json.field("hit_rate", hitRate);
+  json.close();
+  json.field("cold_over_warm_p50", coldOverWarm);
+  json.close();
+  os << "\n";
+
+  if (outFile.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream out(outFile);
+    if (!out) {
+      std::cerr << "error: cannot write " << outFile << "\n";
+      return 1;
+    }
+    out << os.str();
+  }
+  std::cerr << "bench_service: " << clients * perClient * 3 << " requests, "
+            << "hit rate " << hitRate << ", cold/warm p50 " << coldOverWarm
+            << "x\n";
+  int failures = 0;
+  for (const PhaseResult& phase : phases) failures += phase.failures;
+  return failures == 0 ? 0 : 1;
+}

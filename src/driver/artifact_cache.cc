@@ -1,0 +1,166 @@
+#include "driver/artifact_cache.h"
+
+#include "obs/stats.h"
+#include "support/hash.h"
+
+SPMD_STATISTIC(statArtifactCacheHits, "artifact-cache", "hits",
+               "shared-cache lookups that returned at least one stage");
+SPMD_STATISTIC(statArtifactCacheMisses, "artifact-cache", "misses",
+               "shared-cache lookups that found nothing");
+SPMD_STATISTIC(statArtifactCachePublishes, "artifact-cache", "publishes",
+               "snapshots inserted as new shared-cache entries");
+SPMD_STATISTIC(statArtifactCacheExtensions, "artifact-cache", "extensions",
+               "shared-cache entries extended with new stages");
+SPMD_STATISTIC(statArtifactCacheRejects, "artifact-cache", "rejects",
+               "chain-inconsistent publishes dropped");
+SPMD_STATISTIC(statArtifactCacheEvictions, "artifact-cache", "evictions",
+               "shared-cache entries evicted by capacity");
+
+namespace spmd::driver {
+
+int ArtifactSnapshot::stageCount() const {
+  return (parsed != nullptr) + (validated != nullptr) +
+         (partitioned != nullptr) + (regionTree != nullptr) +
+         (syncPlan != nullptr) + (physicalSync != nullptr) +
+         (lowered != nullptr) + (loweredExec != nullptr) +
+         (nativeExec != nullptr);
+}
+
+std::uint64_t sourceFingerprint(const std::string& source) {
+  support::Hasher h(/*seed=*/0x51a7e50u);
+  h.bytes(source);
+  return h.digest();
+}
+
+std::uint64_t pipelineOptionsFingerprint(const PipelineOptions& options) {
+  support::Hasher h(/*seed=*/0x0f7105u);
+  const core::OptimizerOptions& opt = options.optimizer;
+  h.i64(static_cast<int>(opt.analysisMode));
+  h.boolean(opt.enableCounters);
+  // FM budgets change which boundaries the analysis can prove, so they
+  // are result-affecting.  The scanMemo pointer is a caller-owned cache
+  // and must not key anything.
+  h.u64(opt.fm.maxConstraints);
+  h.i64(opt.fm.sampleBudget);
+  h.i64(opt.fm.unboundedRange);
+  h.boolean(opt.fm.dedupConstraints);
+  h.boolean(options.barriersOnly);
+  h.i64(options.physical.barriers);
+  h.i64(options.physical.counters);
+  return h.digest();
+}
+
+std::uint64_t artifactKey(std::uint64_t sourceFp,
+                          const PipelineOptions& options) {
+  return support::hashCombine(sourceFp, pipelineOptionsFingerprint(options));
+}
+
+std::uint64_t frontendKey(std::uint64_t sourceFp) {
+  // Distinct from every artifactKey with overwhelming probability (the
+  // combine mixes a second fingerprint in).
+  return support::mix64(sourceFp ^ 0xf407e4dull);
+}
+
+ArtifactCache::ArtifactCache(std::size_t capacityPerShard)
+    : capacityPerShard_(capacityPerShard == 0 ? 1 : capacityPerShard) {}
+
+ArtifactSnapshot ArtifactCache::lookup(std::uint64_t key) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.counters.misses;
+    statArtifactCacheMisses.add();
+    return {};
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lruPos);
+  ++shard.counters.hits;
+  statArtifactCacheHits.add();
+  return it->second.snapshot;
+}
+
+namespace {
+
+/// Fills null stages of `into` from `from`; true when anything changed.
+bool mergeStages(ArtifactSnapshot& into, const ArtifactSnapshot& from) {
+  bool changed = false;
+  auto take = [&changed](auto& dst, const auto& src) {
+    if (dst == nullptr && src != nullptr) {
+      dst = src;
+      changed = true;
+    }
+  };
+  take(into.parsed, from.parsed);
+  take(into.validated, from.validated);
+  take(into.partitioned, from.partitioned);
+  take(into.regionTree, from.regionTree);
+  take(into.syncPlan, from.syncPlan);
+  take(into.physicalSync, from.physicalSync);
+  take(into.lowered, from.lowered);
+  take(into.loweredExec, from.loweredExec);
+  take(into.nativeExec, from.nativeExec);
+  return changed;
+}
+
+}  // namespace
+
+void ArtifactCache::publish(std::uint64_t key,
+                            const ArtifactSnapshot& snapshot) {
+  if (snapshot.empty()) return;  // nothing coherent to share
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    Entry& entry = it->second;
+    // Coherence gate: stages pointing into a different ir::Program must
+    // not mix with the resident chain (stmt pointers would dangle across
+    // programs).  Two sessions that parsed the same text independently
+    // race here; the loser keeps its private artifacts.
+    if (entry.snapshot.parsed->program != snapshot.parsed->program) {
+      ++shard.counters.rejects;
+      statArtifactCacheRejects.add();
+      return;
+    }
+    if (mergeStages(entry.snapshot, snapshot)) {
+      ++shard.counters.extensions;
+      statArtifactCacheExtensions.add();
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry.lruPos);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, Entry{snapshot, shard.lru.begin()});
+  ++shard.counters.publishes;
+  ++shard.counters.entries;
+  statArtifactCachePublishes.add();
+  while (shard.entries.size() > capacityPerShard_) {
+    const std::uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    ++shard.counters.evictions;
+    --shard.counters.entries;
+    statArtifactCacheEvictions.add();
+  }
+}
+
+ArtifactCache::Counters ArtifactCache::counters() const {
+  Counters total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.counters.hits;
+    total.misses += shard.counters.misses;
+    total.publishes += shard.counters.publishes;
+    total.extensions += shard.counters.extensions;
+    total.rejects += shard.counters.rejects;
+    total.evictions += shard.counters.evictions;
+    total.entries += shard.counters.entries;
+  }
+  return total;
+}
+
+ArtifactCache& ArtifactCache::process() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+}  // namespace spmd::driver

@@ -1,0 +1,139 @@
+// Process-wide, content-addressed cache of compilation artifacts.
+//
+// Compilation sessions are cheap to create but expensive to run: the
+// optimizer's Fourier–Motzkin analysis dominates, and the native engine
+// adds a toolchain invocation on top.  A service handling many requests
+// for the same program (or the same program under different options)
+// should pay those costs once.  The ArtifactCache shares whole pipeline
+// stages between sessions:
+//
+//   key = hash(source text) x hash(result-affecting pipeline options)
+//
+// Each entry is an ArtifactSnapshot — per-stage shared_ptrs into one
+// coherent pipeline run.  Coherence is the invariant that makes sharing
+// sound: RegionProgram and LoweredProgram hold `const ir::Stmt*` into
+// their ir::Program, so a snapshot must never mix stages derived from
+// different Program objects.  publish() enforces this by extending an
+// entry only when the incoming stages derive from the entry's own
+// program (pointer identity); otherwise the entry is left untouched and
+// the publisher keeps its private artifacts (first-publisher-wins).
+//
+// Front-end stages (parse, validate, partition, region tree) do not
+// depend on pipeline options, so they are additionally published under
+// an options-independent key: a session compiling a known program under
+// *new* options still skips the front end.
+//
+// Thread safety: the cache is sharded (per-shard mutex) and every
+// operation copies shared_ptrs under the shard lock; the artifacts
+// themselves are immutable once published (sessions expose them as
+// `const T&` and executors copy before mutating).  Hit/miss/eviction
+// counts are exposed both per-instance (service stats responses) and as
+// SPMD_STATISTICs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "driver/compilation.h"
+
+namespace spmd::driver {
+
+/// One coherent bundle of pipeline artifacts: every non-null stage was
+/// derived (directly or transitively) from `parsed->program`.  Null
+/// members simply mean "not computed yet".
+struct ArtifactSnapshot {
+  std::shared_ptr<const ParsedProgram> parsed;
+  std::shared_ptr<const ValidatedProgram> validated;
+  std::shared_ptr<const PartitionedProgram> partitioned;
+  std::shared_ptr<const RegionTree> regionTree;
+  std::shared_ptr<const SyncPlan> syncPlan;
+  std::shared_ptr<const PhysicalSync> physicalSync;
+  std::shared_ptr<const LoweredSpmd> lowered;
+  std::shared_ptr<const LoweredExec> loweredExec;
+  std::shared_ptr<const NativeExec> nativeExec;
+
+  bool empty() const { return parsed == nullptr; }
+  int stageCount() const;
+};
+
+/// Fingerprint of source text (the content half of the cache key).
+std::uint64_t sourceFingerprint(const std::string& source);
+
+/// Fingerprint of the result-affecting pipeline options: analysis mode,
+/// counter replacement, FM budgets, barriers-only, physical bounds.  The
+/// result-preserving compile-time knobs (memoCache, dedupAccesses,
+/// sharedPrefixProjection, scanCache, analysisThreads — see
+/// tests/integration/plan_determinism_test.cc) are deliberately
+/// excluded so sessions that differ only in those share artifacts.
+std::uint64_t pipelineOptionsFingerprint(const PipelineOptions& options);
+
+/// Full cache key for a (source, options) pair.
+std::uint64_t artifactKey(std::uint64_t sourceFp,
+                          const PipelineOptions& options);
+
+/// Options-independent key under which front-end stages are shared.
+std::uint64_t frontendKey(std::uint64_t sourceFp);
+
+class ArtifactCache {
+ public:
+  /// Monotonic operation counts (one struct per cache instance).
+  struct Counters {
+    std::uint64_t hits = 0;        ///< lookups returning >= 1 stage
+    std::uint64_t misses = 0;      ///< lookups returning nothing
+    std::uint64_t publishes = 0;   ///< new entries inserted
+    std::uint64_t extensions = 0;  ///< entries that gained stages
+    std::uint64_t rejects = 0;     ///< chain-inconsistent publishes dropped
+    std::uint64_t evictions = 0;   ///< entries evicted by capacity
+    std::uint64_t entries = 0;     ///< current resident entries
+  };
+
+  /// `capacityPerShard` bounds resident entries at capacity x kShards.
+  explicit ArtifactCache(std::size_t capacityPerShard = 64);
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// The snapshot under `key` (empty when absent).  A hit refreshes the
+  /// entry's LRU position.
+  ArtifactSnapshot lookup(std::uint64_t key);
+
+  /// Inserts or coherently extends the entry under `key`.  Snapshots
+  /// without a parsed program are ignored; stages deriving from a
+  /// different ir::Program than the resident entry's are dropped
+  /// (counted as rejects).
+  void publish(std::uint64_t key, const ArtifactSnapshot& snapshot);
+
+  Counters counters() const;
+
+  /// The process-wide cache every service worker attaches to.
+  static ArtifactCache& process();
+
+ private:
+  struct Entry {
+    ArtifactSnapshot snapshot;
+    std::list<std::uint64_t>::iterator lruPos;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::list<std::uint64_t> lru;  ///< front = most recently used
+    Counters counters;
+  };
+
+  static constexpr std::size_t kShards = 8;
+
+  Shard& shardFor(std::uint64_t key) {
+    // High bits: the low bits already index the hash map buckets.
+    return shards_[(key >> 58) % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+  std::size_t capacityPerShard_;
+};
+
+}  // namespace spmd::driver

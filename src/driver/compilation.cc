@@ -6,6 +6,7 @@
 #include "alloc/sync_alloc.h"
 #include "codegen/spmd_printer.h"
 #include "core/spmd_region.h"
+#include "driver/artifact_cache.h"
 #include "obs/stats.h"
 
 // Per-stage artifact-cache hits: an accessor finding its artifact already
@@ -28,6 +29,8 @@ SPMD_STATISTIC(statLowerExecCacheHits, "driver", "lower-exec-cache-hits",
                "executable-lowering artifact served from the pipeline cache");
 SPMD_STATISTIC(statNativeExecCacheHits, "driver", "native-exec-cache-hits",
                "native-module artifact served from the pipeline cache");
+SPMD_STATISTIC(statSharedStagesAdopted, "driver", "shared-stages-adopted",
+               "pipeline stages adopted from the shared artifact cache");
 
 namespace spmd::driver {
 
@@ -47,9 +50,11 @@ Compilation Compilation::fromProgram(std::shared_ptr<ir::Program> program,
   Compilation c;
   c.name_ = name.empty() ? program->name() : std::move(name);
   c.parseAttempted_ = true;
-  c.parsed_ = ParsedProgram{std::move(program), c.name_};
+  c.parsed_ = std::make_shared<const ParsedProgram>(
+      ParsedProgram{std::move(program), c.name_});
   if (decomp != nullptr)
-    c.partitioned_ = PartitionedProgram{std::move(decomp), false};
+    c.partitioned_ = std::make_shared<const PartitionedProgram>(
+        PartitionedProgram{std::move(decomp), false});
   return c;
 }
 
@@ -92,6 +97,82 @@ void Compilation::setOptions(const PipelineOptions& options) {
   loweredExec_.reset();
   nativeExec_.reset();
   syncTuning_.reset();
+  physicalDiagNoted_ = false;
+  nativeDiagNoted_ = false;
+  // A new option set keys a different shared-cache entry; re-resolve so
+  // downstream artifacts another session already built come back free.
+  adoptFromCache();
+}
+
+void Compilation::attachArtifactCache(ArtifactCache* cache) {
+  artifactCache_ = cache;
+  if (cache == nullptr) return;
+  if (!fingerprinted_ && source_.has_value()) {
+    sourceFingerprint_ = sourceFingerprint(*source_);
+    fingerprinted_ = true;
+  }
+  adoptFromCache();
+  publishToCache();  // share whatever this session already holds
+}
+
+void Compilation::adoptFromCache() {
+  if (artifactCache_ == nullptr || !fingerprinted_) return;
+  auto adopt = [this](const ArtifactSnapshot& snap) {
+    if (snap.empty()) return;
+    if (parsed_ == nullptr) {
+      parsed_ = snap.parsed;
+      parseAttempted_ = true;
+      ++stagesAdopted_;
+      statSharedStagesAdopted.add();
+    } else if (parsed_->program != snap.parsed->program) {
+      // The snapshot derives from a different ir::Program object; its
+      // stages hold stmt pointers into that program and cannot mix with
+      // this session's chain.
+      return;
+    }
+    auto take = [this](auto& slot, const auto& stage) {
+      if (slot == nullptr && stage != nullptr) {
+        slot = stage;
+        ++stagesAdopted_;
+        statSharedStagesAdopted.add();
+      }
+    };
+    take(validated_, snap.validated);
+    take(partitioned_, snap.partitioned);
+    take(regionTree_, snap.regionTree);
+    take(syncPlan_, snap.syncPlan);
+    take(physicalSync_, snap.physicalSync);
+    take(lowered_, snap.lowered);
+    take(loweredExec_, snap.loweredExec);
+    take(nativeExec_, snap.nativeExec);
+  };
+  adopt(artifactCache_->lookup(artifactKey(sourceFingerprint_, options_)));
+  // Front-end stages are options-independent: even when the full key
+  // missed, a prior session compiling this source under other options
+  // already paid for parse/validate/partition/regions.
+  adopt(artifactCache_->lookup(frontendKey(sourceFingerprint_)));
+}
+
+void Compilation::publishToCache() {
+  if (artifactCache_ == nullptr || !fingerprinted_ || parsed_ == nullptr)
+    return;
+  ArtifactSnapshot snap;
+  snap.parsed = parsed_;
+  snap.validated = validated_;
+  snap.partitioned = partitioned_;
+  snap.regionTree = regionTree_;
+  snap.syncPlan = syncPlan_;
+  snap.physicalSync = physicalSync_;
+  snap.lowered = lowered_;
+  snap.loweredExec = loweredExec_;
+  snap.nativeExec = nativeExec_;
+  artifactCache_->publish(artifactKey(sourceFingerprint_, options_), snap);
+  ArtifactSnapshot frontend;
+  frontend.parsed = parsed_;
+  frontend.validated = validated_;
+  frontend.partitioned = partitioned_;
+  frontend.regionTree = regionTree_;
+  artifactCache_->publish(frontendKey(sourceFingerprint_), frontend);
 }
 
 const SyncTuning* Compilation::syncTuningIfCached(std::uint64_t key) const {
@@ -116,8 +197,9 @@ bool Compilation::parseOk() {
       return ir::parseProgram(*source_, *diags_);
     });
     if (prog.has_value()) {
-      parsed_ = ParsedProgram{
-          std::make_shared<ir::Program>(std::move(*prog)), name_};
+      parsed_ = std::make_shared<const ParsedProgram>(ParsedProgram{
+          std::make_shared<ir::Program>(std::move(*prog)), name_});
+      publishToCache();
     } else {
       parseFailed_ = true;
     }
@@ -131,13 +213,21 @@ const ParsedProgram& Compilation::parsed() {
 }
 
 const ValidatedProgram& Compilation::validated() {
-  if (validated_.has_value()) statValidateCacheHits.add();
-  if (!validated_.has_value()) {
+  if (validated_ != nullptr) statValidateCacheHits.add();
+  if (validated_ == nullptr) {
     const ir::Program& prog = *parsed().program;
     std::vector<analysis::ValidationIssue> issues = timePass(
         "validate", [&] { return analysis::validateProgram(prog); });
-    analysis::reportValidationIssues(issues, *diags_);
-    validated_ = ValidatedProgram{std::move(issues)};
+    validated_ = std::make_shared<const ValidatedProgram>(
+        ValidatedProgram{std::move(issues)});
+    publishToCache();
+  }
+  // Issues are reported per session (not only by the session that
+  // computed the artifact), so adopted validation failures still surface
+  // through this session's diagnostics engine.
+  if (!validationDiagNoted_) {
+    validationDiagNoted_ = true;
+    analysis::reportValidationIssues(validated_->issues, *diags_);
   }
   return *validated_;
 }
@@ -145,8 +235,8 @@ const ValidatedProgram& Compilation::validated() {
 bool Compilation::validateOk() { return parseOk() && validated().ok(); }
 
 const PartitionedProgram& Compilation::partitioned() {
-  if (partitioned_.has_value()) statPartitionCacheHits.add();
-  if (!partitioned_.has_value()) {
+  if (partitioned_ != nullptr) statPartitionCacheHits.add();
+  if (partitioned_ == nullptr) {
     // Decomposition keeps a mutable reference to the program.
     ir::Program& prog = *parsed().program;
     auto decomp = timePass("partition", [&] {
@@ -158,14 +248,16 @@ const PartitionedProgram& Compilation::partitioned() {
                       part::DistKind::Block);
       return d;
     });
-    partitioned_ = PartitionedProgram{std::move(decomp), true};
+    partitioned_ = std::make_shared<const PartitionedProgram>(
+        PartitionedProgram{std::move(decomp), true});
+    publishToCache();
   }
   return *partitioned_;
 }
 
 const RegionTree& Compilation::regionTree() {
-  if (regionTree_.has_value()) statRegionCacheHits.add();
-  if (!regionTree_.has_value()) {
+  if (regionTree_ != nullptr) statRegionCacheHits.add();
+  if (regionTree_ == nullptr) {
     const ir::Program& prog = *parsed().program;
     RegionTree tree = timePass("regions", [&] {
       RegionTree t;
@@ -178,14 +270,15 @@ const RegionTree& Compilation::regionTree() {
       }
       return t;
     });
-    regionTree_ = std::move(tree);
+    regionTree_ = std::make_shared<const RegionTree>(std::move(tree));
+    publishToCache();
   }
   return *regionTree_;
 }
 
 const SyncPlan& Compilation::syncPlan() {
-  if (syncPlan_.has_value()) statPlanCacheHits.add();
-  if (!syncPlan_.has_value()) {
+  if (syncPlan_ != nullptr) statPlanCacheHits.add();
+  if (syncPlan_ == nullptr) {
     const ir::Program& prog = *parsed().program;
     part::Decomposition& dec = *partitioned().decomp;
     SyncPlan plan = timePass("optimize", [&] {
@@ -198,62 +291,75 @@ const SyncPlan& Compilation::syncPlan() {
       p.boundaries = optimizer.report();
       return p;
     });
-    syncPlan_ = std::move(plan);
+    syncPlan_ = std::make_shared<const SyncPlan>(std::move(plan));
+    publishToCache();
   }
   return *syncPlan_;
 }
 
 const PhysicalSync& Compilation::physicalSync() {
-  if (physicalSync_.has_value()) statPhysicalCacheHits.add();
-  if (!physicalSync_.has_value()) {
+  if (physicalSync_ != nullptr) statPhysicalCacheHits.add();
+  if (physicalSync_ == nullptr) {
     const SyncPlan& plan = syncPlan();
     PhysicalSync ps = timePass("physical-alloc", [&] {
       return PhysicalSync{
           alloc::allocatePhysicalSync(plan.plan, options_.physical)};
     });
-    if (!ps.map.feasible) {
-      // A structured verdict, not an exception: downstream consumers run
-      // unpooled, and CLIs turn this diagnostic into their exit status.
-      diags_->error(SourceLoc::none(),
-                    "physical sync allocation infeasible: " +
-                        ps.map.infeasibleReason,
-                    "physical-infeasible");
-    }
-    physicalSync_ = std::move(ps);
+    physicalSync_ = std::make_shared<const PhysicalSync>(std::move(ps));
+    publishToCache();
   }
+  notePhysicalDiagnostics();
   return *physicalSync_;
 }
 
+void Compilation::notePhysicalDiagnostics() {
+  if (physicalDiagNoted_ || physicalSync_ == nullptr) return;
+  physicalDiagNoted_ = true;
+  if (!physicalSync_->map.feasible) {
+    // A structured verdict, not an exception: downstream consumers run
+    // unpooled, and CLIs turn this diagnostic into their exit status.
+    // Emitted per session — an adopted infeasible artifact must fail a
+    // warm request exactly like a freshly computed one.
+    diags_->error(SourceLoc::none(),
+                  "physical sync allocation infeasible: " +
+                      physicalSync_->map.infeasibleReason,
+                  "physical-infeasible");
+  }
+}
+
 const LoweredSpmd& Compilation::lowered() {
-  if (lowered_.has_value()) statLowerCacheHits.add();
-  if (!lowered_.has_value()) {
+  if (lowered_ != nullptr) statLowerCacheHits.add();
+  if (lowered_ == nullptr) {
     const SyncPlan& plan = syncPlan();
     const ir::Program& prog = *parsed().program;
     const part::Decomposition& dec = *partitioned().decomp;
-    lowered_ = timePass("lower", [&] {
+    lowered_ = std::make_shared<const LoweredSpmd>(timePass("lower", [&] {
       return LoweredSpmd{cg::printSpmdProgram(prog, dec, plan.plan)};
-    });
+    }));
+    publishToCache();
   }
   return *lowered_;
 }
 
 const LoweredExec& Compilation::loweredExec() {
-  if (loweredExec_.has_value()) statLowerExecCacheHits.add();
-  if (!loweredExec_.has_value()) {
+  if (loweredExec_ != nullptr) statLowerExecCacheHits.add();
+  if (loweredExec_ == nullptr) {
     const SyncPlan& plan = syncPlan();
     const ir::Program& prog = *parsed().program;
     const part::Decomposition& dec = *partitioned().decomp;
-    loweredExec_ = timePass("lower-exec", [&] {
-      return LoweredExec{std::make_shared<const exec::LoweredProgram>(
-          exec::lowerProgram(prog, dec, &plan.plan))};
-    });
+    loweredExec_ =
+        std::make_shared<const LoweredExec>(timePass("lower-exec", [&] {
+          return LoweredExec{std::make_shared<const exec::LoweredProgram>(
+              exec::lowerProgram(prog, dec, &plan.plan))};
+        }));
+    publishToCache();
   }
   return *loweredExec_;
 }
 
 const NativeExec& Compilation::nativeExec() {
-  if (nativeExec_.has_value()) statNativeExecCacheHits.add();
-  if (!nativeExec_.has_value()) {
+  if (nativeExec_ != nullptr) statNativeExecCacheHits.add();
+  if (nativeExec_ == nullptr) {
     // The native module is compiled from the LoweredExec artifact, which
     // already bakes in the sync plan — so this artifact shares its
     // invalidation (setOptions resets both).
@@ -264,22 +370,30 @@ const NativeExec& Compilation::nativeExec() {
     recordTiming("native-emit", ne.report.emitSeconds);
     recordTiming("native-compile", ne.report.compileSeconds);
     recordTiming("native-load", ne.report.loadSeconds);
-    if (ne.module == nullptr) {
-      diags_->warning(SourceLoc::none(),
-                      "native code generation unavailable (" +
-                          ne.report.message +
-                          "); falling back to the lowered engine",
-                      "native-fallback");
-    } else if (!ne.report.cacheUsable) {
-      diags_->warning(SourceLoc::none(),
-                      "native object cache directory " + ne.report.cacheDir +
-                          " is not writable; compiled objects will not "
-                          "persist across runs",
-                      "native-cache");
-    }
-    nativeExec_ = std::move(ne);
+    nativeExec_ = std::make_shared<const NativeExec>(std::move(ne));
+    publishToCache();
   }
+  noteNativeDiagnostics();
   return *nativeExec_;
+}
+
+void Compilation::noteNativeDiagnostics() {
+  if (nativeDiagNoted_ || nativeExec_ == nullptr) return;
+  nativeDiagNoted_ = true;
+  const NativeExec& ne = *nativeExec_;
+  if (ne.module == nullptr) {
+    diags_->warning(SourceLoc::none(),
+                    "native code generation unavailable (" +
+                        ne.report.message +
+                        "); falling back to the lowered engine",
+                    "native-fallback");
+  } else if (!ne.report.cacheUsable) {
+    diags_->warning(SourceLoc::none(),
+                    "native object cache directory " + ne.report.cacheDir +
+                        " is not writable; compiled objects will not "
+                        "persist across runs",
+                    "native-cache");
+  }
 }
 
 }  // namespace spmd::driver

@@ -23,6 +23,7 @@
 // artifact whose inputs failed.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -38,6 +39,8 @@
 #include "partition/decomposition.h"
 
 namespace spmd::driver {
+
+class ArtifactCache;
 
 /// Library version ("x.y.z"); spmdopt --version prints it.
 const char* versionString();
@@ -220,8 +223,22 @@ class Compilation {
 
   /// Replaces the pipeline options.  Invalidates only the artifacts that
   /// depend on them (SyncPlan and LoweredSpmd); parse, validation, and
-  /// partition results are reused.
+  /// partition results are reused.  With an artifact cache attached the
+  /// new option set is immediately re-resolved against the cache, so
+  /// previously shared downstream artifacts come back for free.
   void setOptions(const PipelineOptions& options);
+
+  /// Attaches this session to a shared artifact cache (driver/
+  /// artifact_cache.h): already-published stages for this source and
+  /// option set are adopted now, and stages this session computes are
+  /// published as they materialize.  Only source-backed sessions share
+  /// (fromProgram sessions have no content fingerprint); attaching one
+  /// is a harmless no-op.  Pass nullptr to detach.
+  void attachArtifactCache(ArtifactCache* cache);
+
+  /// Number of pipeline stages this session adopted from the shared
+  /// cache instead of computing (per-request service stats).
+  int stagesAdopted() const { return stagesAdopted_; }
 
   // --- staged artifact accessors (compute on demand, then cached) ---
   /// Runs the front end if needed; false when the source did not parse
@@ -265,6 +282,17 @@ class Compilation {
   auto timePass(const char* pass, F&& fn);
   void recordTiming(const char* pass, double seconds);
 
+  /// Pulls every stage this session is missing from the attached cache
+  /// (no-op when detached or not source-backed).
+  void adoptFromCache();
+  /// Pushes this session's materialized stages to the attached cache.
+  void publishToCache();
+  /// Emits the deferred artifact diagnostics (physical-infeasible,
+  /// native-fallback) exactly once per session per artifact, whether the
+  /// artifact was computed here or adopted from the shared cache.
+  void notePhysicalDiagnostics();
+  void noteNativeDiagnostics();
+
   std::optional<std::string> source_;  ///< absent for fromProgram sessions
   std::string name_;
   PipelineOptions options_;
@@ -273,19 +301,31 @@ class Compilation {
   std::unique_ptr<DiagnosticsEngine> diags_ =
       std::make_unique<DiagnosticsEngine>();
 
+  // Artifacts are immutable once built and shared between sessions via
+  // the artifact cache, so each slot is a shared_ptr-to-const: adoption
+  // is a pointer copy, never a deep copy, and a session going away never
+  // invalidates another session's view.
   bool parseAttempted_ = false;
   bool parseFailed_ = false;
-  std::optional<ParsedProgram> parsed_;
-  std::optional<ValidatedProgram> validated_;
-  std::optional<PartitionedProgram> partitioned_;
-  std::optional<RegionTree> regionTree_;
-  std::optional<SyncPlan> syncPlan_;
-  std::optional<PhysicalSync> physicalSync_;
-  std::optional<LoweredSpmd> lowered_;
-  std::optional<LoweredExec> loweredExec_;
-  std::optional<NativeExec> nativeExec_;
+  std::shared_ptr<const ParsedProgram> parsed_;
+  std::shared_ptr<const ValidatedProgram> validated_;
+  std::shared_ptr<const PartitionedProgram> partitioned_;
+  std::shared_ptr<const RegionTree> regionTree_;
+  std::shared_ptr<const SyncPlan> syncPlan_;
+  std::shared_ptr<const PhysicalSync> physicalSync_;
+  std::shared_ptr<const LoweredSpmd> lowered_;
+  std::shared_ptr<const LoweredExec> loweredExec_;
+  std::shared_ptr<const NativeExec> nativeExec_;
   std::optional<SyncTuning> syncTuning_;
   std::vector<PassTiming> timings_;
+
+  ArtifactCache* artifactCache_ = nullptr;
+  std::uint64_t sourceFingerprint_ = 0;
+  bool fingerprinted_ = false;
+  int stagesAdopted_ = 0;
+  bool validationDiagNoted_ = false;
+  bool physicalDiagNoted_ = false;
+  bool nativeDiagNoted_ = false;
 };
 
 }  // namespace spmd::driver

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "driver/tuning.h"
+#include "runtime/topology.h"
 
 namespace spmd::driver {
 
@@ -83,6 +84,20 @@ RunComparison runComparison(Compilation& compilation,
             std::to_string(request.threads) +
             " threads oversubscribe this machine (pass --spin= to keep " +
             std::string(rt::spinPolicyName(exec.sync.spinPolicy)) + ")",
+        "sync-tuning");
+  }
+
+  // Degraded topology detection (no readable sysfs: containers,
+  // non-Linux) is surfaced as a single driver note — only when a
+  // hierarchical primitive would actually consult the probed topology,
+  // and never from the runtime threads that construct primitives.
+  if (!request.warmupRun &&
+      exec.sync.barrierAlgorithm == rt::BarrierAlgorithm::Hier &&
+      !exec.sync.topology.specified() &&
+      !rt::Topology::detectionNote().empty()) {
+    compilation.diags().note(
+        {},
+        rt::Topology::detectionNote() + " (pass --topology=LxC to override)",
         "sync-tuning");
   }
 

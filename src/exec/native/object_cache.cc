@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -63,8 +64,17 @@ bool ObjectCache::contains(std::uint64_t key) const {
 }
 
 std::string ObjectCache::tempObjectPath(std::uint64_t key) const {
+  // The temp name must be unique per *writer*, not just per process: two
+  // server threads compiling the same key concurrently used to share one
+  // pid-suffixed path, so the first publish could rename the other
+  // writer's half-written object into place.  The pid keeps concurrent
+  // processes apart; the process-wide sequence keeps concurrent threads
+  // (and retries) apart.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
   return dir_ + "/" + keyHex(key) + ".tmp" +
-         std::to_string(static_cast<long>(::getpid())) + ".so";
+         std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(seq) + ".so";
 }
 
 bool ObjectCache::publish(std::uint64_t key, const std::string& tempPath,

@@ -9,11 +9,12 @@
 //   <key>.so   the shared object (what dlopen loads)
 //   <key>.cc   the source it was compiled from (debugging aid)
 //
-// Publication is atomic: objects are compiled to a process-unique temp
-// name in the cache directory and rename(2)d into place, so concurrent
-// processes racing on the same key each observe either nothing or a
-// complete object, never a torn write.  A cached object that fails to
-// load (truncated, corrupted, wrong ABI) is evicted and recompiled.
+// Publication is atomic: objects are compiled to a writer-unique temp
+// name in the cache directory (unique per pid AND per call, so threads
+// inside one process never share a temp file) and rename(2)d into place.
+// Concurrent writers racing on the same key each observe either nothing
+// or a complete object, never a torn write.  A cached object that fails
+// to load (truncated, corrupted, wrong ABI) is evicted and recompiled.
 //
 // The directory comes from SPMD_NATIVE_CACHE_DIR, defaulting to
 // $XDG_CACHE_HOME/spmd-native or $HOME/.cache/spmd-native, with /tmp as
@@ -47,8 +48,9 @@ class ObjectCache {
   /// True when a completed object for `key` is already published.
   bool contains(std::uint64_t key) const;
 
-  /// A process-unique temp path inside the cache directory for `key`;
-  /// compile to this, then publish().
+  /// A writer-unique temp path inside the cache directory for `key`
+  /// (distinct on every call, even from concurrent threads of one
+  /// process); compile to this, then publish().
   std::string tempObjectPath(std::uint64_t key) const;
 
   /// Atomically renames `tempPath` into place as the object for `key` and

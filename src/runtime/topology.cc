@@ -38,32 +38,61 @@ std::optional<int> readIntFile(const std::string& path) {
   return value;
 }
 
-Topology probe() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  const int cpus = hc == 0 ? 1 : static_cast<int>(hc);
-  // Count distinct physical packages over the online CPUs.  Missing or
-  // unreadable sysfs (containers, non-Linux) falls back to one package.
-  std::set<int> packages;
-  for (int cpu = 0; cpu < cpus; ++cpu) {
-    auto id = readIntFile("/sys/devices/system/cpu/cpu" +
-                          std::to_string(cpu) +
-                          "/topology/physical_package_id");
-    if (!id) {
-      packages.clear();
-      break;
-    }
-    packages.insert(*id);
-  }
-  const int npkg = packages.empty() ? 1 : static_cast<int>(packages.size());
-  return Topology{npkg, std::max(1, cpus / npkg)};
+/// Cached probe outcome: topology plus the (possibly empty) degradation
+/// note, computed exactly once for the process.
+struct DetectedState {
+  Topology topology;
+  std::string note;
+};
+
+const DetectedState& detectedState() {
+  static const DetectedState cached = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    const int cpus = hc == 0 ? 1 : static_cast<int>(hc);
+    DetectedState state;
+    state.topology =
+        Topology::probeFrom("/sys/devices/system/cpu", cpus, &state.note);
+    return state;
+  }();
+  return cached;
 }
 
 }  // namespace
 
-const Topology& Topology::detected() {
-  static const Topology cached = probe();
-  return cached;
+Topology Topology::probeFrom(const std::string& sysfsRoot, int cpus,
+                             std::string* note) {
+  if (note != nullptr) note->clear();
+  cpus = std::max(1, cpus);
+  // Count distinct physical packages over the online CPUs.  Missing or
+  // partially readable sysfs (containers, non-Linux, offline CPU holes)
+  // degrades to one flat package — recorded once in `note`, never warned
+  // about per thread.
+  std::set<int> packages;
+  bool complete = true;
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    auto id = readIntFile(sysfsRoot + "/cpu" + std::to_string(cpu) +
+                          "/topology/physical_package_id");
+    if (!id) {
+      complete = false;
+      break;
+    }
+    packages.insert(*id);
+  }
+  if (!complete || packages.empty()) {
+    if (note != nullptr)
+      *note = "cpu topology unavailable under " + sysfsRoot +
+              "; assuming flat 1x" + std::to_string(cpus);
+    return Topology{1, cpus};
+  }
+  // Ceil division: totalCores() must cover every CPU even when packages
+  // are uneven (7 CPUs over 2 packages is 2x4; floor would drop a core).
+  const int npkg = static_cast<int>(packages.size());
+  return Topology{npkg, (cpus + npkg - 1) / npkg};
 }
+
+const Topology& Topology::detected() { return detectedState().topology; }
+
+const std::string& Topology::detectionNote() { return detectedState().note; }
 
 int Topology::clusterSizeFor(int parties) const {
   if (parties <= 1) return 1;

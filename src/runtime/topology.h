@@ -34,8 +34,25 @@ struct Topology {
 
   /// The probed machine topology, detected once and cached.  Packages
   /// come from sysfs physical_package_id when readable; otherwise a
-  /// single package of hardware_concurrency cores (at least 1x1).
+  /// flat single package of hardware_concurrency cores (at least 1x1).
   static const Topology& detected();
+
+  /// One-line explanation of a degraded detection (sysfs missing or
+  /// partially readable, as in containers and non-Linux hosts), empty
+  /// when the probe read every CPU.  Computed once with detected():
+  /// callers that want to surface the degradation emit this single note
+  /// instead of warning per thread or per primitive.
+  static const std::string& detectionNote();
+
+  /// The probe itself, parameterized for tests: reads
+  /// `<sysfsRoot>/cpu<N>/topology/physical_package_id` for N in
+  /// [0, cpus).  Any unreadable CPU degrades to a flat 1 x cpus fallback
+  /// and sets `note` (when non-null) to a one-line diagnostic.  Cores
+  /// per package is the ceiling of cpus/packages so totalCores() never
+  /// undercounts the machine (7 CPUs across 2 packages is 2x4, not the
+  /// 2x3 a floor division would claim).
+  static Topology probeFrom(const std::string& sysfsRoot, int cpus,
+                            std::string* note = nullptr);
 
   /// Cluster fan-out for a hierarchical primitive over `parties` threads:
   /// threads [k*size, (k+1)*size) form cluster k (the last cluster may be

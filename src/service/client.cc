@@ -1,0 +1,90 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spmd::service {
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& socketPath, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    close();
+    return false;
+  };
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.empty() || socketPath.size() >= sizeof(addr.sun_path))
+    return fail("socket path empty or too long: \"" + socketPath + "\"");
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket: " + std::string(strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    return fail("connect " + socketPath + ": " +
+                std::string(strerror(errno)));
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+bool Client::sendLine(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::recvLine(std::string* line) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t newline = pending_.find('\n');
+    if (newline != std::string::npos) {
+      *line = pending_.substr(0, newline);
+      pending_.erase(0, newline + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got <= 0) return false;
+    pending_.append(buf, static_cast<std::size_t>(got));
+  }
+}
+
+JsonValuePtr Client::call(const Request& request, std::string* error) {
+  auto fail = [&](const std::string& message) -> JsonValuePtr {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (!sendLine(serializeRequest(request)))
+    return fail("send failed (server gone?)");
+  std::string line;
+  if (!recvLine(&line)) return fail("connection closed before response");
+  std::string parseError;
+  JsonValuePtr doc = parseJson(line, &parseError);
+  if (doc == nullptr) return fail("unparseable response: " + parseError);
+  return doc;
+}
+
+}  // namespace spmd::service

@@ -1,0 +1,46 @@
+// Blocking client for the spmdopt service protocol (service/protocol.h):
+// connects to the server's Unix socket, writes one request line, reads
+// one response line.  sendLine()/recvLine() are exposed separately so
+// tests can pipeline several requests on one connection and observe
+// out-of-order responses.
+#pragma once
+
+#include <string>
+
+#include "service/protocol.h"
+#include "support/json_reader.h"
+
+namespace spmd::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the server's socket; false (with `error`) when the
+  /// socket is absent or refuses.
+  bool connect(const std::string& socketPath, std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one already-serialized request line (newline appended).
+  bool sendLine(const std::string& line);
+
+  /// Blocks for the next response line (without the newline); false on
+  /// EOF or error.
+  bool recvLine(std::string* line);
+
+  /// Request/response round trip: serialize, send, read one line, parse.
+  /// Null (with `error`) on transport failure or unparseable response —
+  /// protocol-level errors ({"ok": false, ...}) still parse and return.
+  JsonValuePtr call(const Request& request, std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  ///< bytes read past the last returned line
+};
+
+}  // namespace spmd::service

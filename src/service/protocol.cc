@@ -1,0 +1,150 @@
+#include "service/protocol.h"
+
+#include <sstream>
+
+#include "support/json.h"
+#include "support/json_reader.h"
+
+namespace spmd::service {
+
+const char* opName(Request::Op op) {
+  switch (op) {
+    case Request::Op::Ping:
+      return "ping";
+    case Request::Op::Compile:
+      return "compile";
+    case Request::Op::Run:
+      return "run";
+    case Request::Op::Stats:
+      return "stats";
+    case Request::Op::Shutdown:
+      return "shutdown";
+  }
+  return "ping";
+}
+
+bool parseRequest(const std::string& line, Request* request,
+                  std::string* error) {
+  std::string parseError;
+  JsonValuePtr doc = parseJson(line, &parseError);
+  if (doc == nullptr) {
+    *error = "malformed request: " + parseError;
+    return false;
+  }
+  if (!doc->isObject()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+
+  Request req;
+  const std::string op = doc->getString("op", "");
+  if (op == "ping") {
+    req.op = Request::Op::Ping;
+  } else if (op == "compile") {
+    req.op = Request::Op::Compile;
+  } else if (op == "run") {
+    req.op = Request::Op::Run;
+  } else if (op == "stats") {
+    req.op = Request::Op::Stats;
+  } else if (op == "shutdown") {
+    req.op = Request::Op::Shutdown;
+  } else {
+    *error = op.empty() ? "missing op" : "unknown op \"" + op + "\"";
+    return false;
+  }
+
+  req.id = doc->getInt("id", 0);
+  req.source = doc->getString("source", "");
+  req.name = doc->getString("name", "<service>");
+  req.emitListing = doc->getBool("emit", false);
+
+  if (const JsonValue* options = doc->get("options");
+      options != nullptr && options->isObject()) {
+    const std::string mode = options->getString("mode", "optimize");
+    if (mode == "barriers") {
+      req.barriersOnly = true;
+    } else if (mode != "optimize") {
+      *error = "unknown mode \"" + mode + "\"";
+      return false;
+    }
+    req.enableCounters = options->getBool("counters", true);
+    req.physicalBarriers =
+        static_cast<int>(options->getInt("physical_barriers", 0));
+    req.physicalCounters =
+        static_cast<int>(options->getInt("physical_counters", 0));
+    if (req.physicalBarriers < 0 || req.physicalCounters < 0) {
+      *error = "physical bounds must be >= 0";
+      return false;
+    }
+  }
+
+  req.threads = static_cast<int>(doc->getInt("threads", 4));
+  if (req.threads < 1 || req.threads > 256) {
+    *error = "threads must be in [1, 256]";
+    return false;
+  }
+  req.engine = doc->getString("engine", "lowered");
+  if (req.engine != "lowered" && req.engine != "interpreted" &&
+      req.engine != "native") {
+    *error = "unknown engine \"" + req.engine + "\"";
+    return false;
+  }
+
+  if (const JsonValue* symbols = doc->get("symbols");
+      symbols != nullptr && symbols->isObject()) {
+    for (const auto& [name, value] : symbols->members()) {
+      if (value == nullptr || value->kind() != JsonValue::Kind::Number) {
+        *error = "symbol \"" + name + "\" must be a number";
+        return false;
+      }
+      req.symbols.emplace_back(name, value->asInt());
+    }
+  }
+
+  if ((req.op == Request::Op::Compile || req.op == Request::Op::Run) &&
+      req.source.empty()) {
+    *error = "compile/run needs a non-empty \"source\"";
+    return false;
+  }
+
+  *request = std::move(req);
+  return true;
+}
+
+std::string serializeRequest(const Request& request) {
+  std::ostringstream os;
+  JsonWriter json(os, /*compact=*/true);
+  json.object();
+  json.field("op", opName(request.op));
+  json.field("id", request.id);
+  if (!request.source.empty()) json.field("source", request.source);
+  json.field("name", request.name);
+  if (request.emitListing) json.field("emit", true);
+  json.field("options").object();
+  json.field("mode", request.barriersOnly ? "barriers" : "optimize");
+  json.field("counters", request.enableCounters);
+  json.field("physical_barriers", request.physicalBarriers);
+  json.field("physical_counters", request.physicalCounters);
+  json.close();
+  json.field("threads", request.threads);
+  json.field("engine", request.engine);
+  if (!request.symbols.empty()) {
+    json.field("symbols").object();
+    for (const auto& [name, value] : request.symbols)
+      json.field(name, value);
+    json.close();
+  }
+  json.close();
+  return os.str();
+}
+
+driver::PipelineOptions pipelineOptions(const Request& request) {
+  driver::PipelineOptions options;
+  options.barriersOnly = request.barriersOnly;
+  options.optimizer.enableCounters = request.enableCounters;
+  options.physical.barriers = request.physicalBarriers;
+  options.physical.counters = request.physicalCounters;
+  return options;
+}
+
+}  // namespace spmd::service

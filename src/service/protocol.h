@@ -1,0 +1,90 @@
+// Wire protocol for spmdopt --serve: newline-delimited JSON documents
+// over a Unix-domain stream socket.
+//
+// Each request is one JSON object on one line; each response is one
+// compact JSON object on one line (JsonWriter compact mode — embedded
+// newlines would split the frame).  Responses carry the request's "id"
+// so clients may pipeline: with several requests in flight on one
+// connection, responses can arrive out of order.
+//
+// Request:
+//   {"op": "compile" | "run" | "ping" | "stats" | "shutdown",
+//    "id": 7,                      // echoed back, default 0
+//    "source": "PROGRAM ...",      // compile/run
+//    "name": "heat.f",             // diagnostics label, optional
+//    "options": {                  // optional, all fields optional
+//      "mode": "optimize" | "barriers",
+//      "counters": true,
+//      "physical_barriers": 0, "physical_counters": 0},
+//    "emit": false,                // compile: include lowered listing
+//    "threads": 4,                 // run
+//    "engine": "lowered" | "interpreted" | "native",   // run
+//    "symbols": {"N": 64, "T": 8}} // run
+//
+// Response (compile, ok):
+//   {"ok": true, "id": 7, "op": "compile",
+//    "stats": {"regions": R, "boundaries": B, "eliminated": E,
+//              "counters": C, "barriers": K},
+//    "physical_feasible": true,    // only when physical bounds given
+//    "stages_adopted": S,          // pipeline stages served by the cache
+//    "latency_us": 1234,
+//    "listing": "..."}             // only with "emit": true
+//
+// Response (run, ok) adds:
+//   {"max_diff_opt": 0.0, "opt_sync": {"barriers": ..., "posts": ...,
+//    "waits": ...}, "threads": 4}
+//
+// Response (error):
+//   {"ok": false, "id": 7, "error": {"kind": "...", "message": "..."}}
+// with kinds: "bad-request" (malformed JSON / unknown op), "parse-error",
+// "validate-error", "physical-infeasible", "overloaded" (admission
+// control rejected the request), "internal".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/compilation.h"
+
+namespace spmd::service {
+
+struct Request {
+  enum class Op { Ping, Compile, Run, Stats, Shutdown };
+
+  Op op = Op::Ping;
+  std::int64_t id = 0;
+  std::string source;
+  std::string name = "<service>";
+  bool emitListing = false;
+
+  // options
+  bool barriersOnly = false;
+  bool enableCounters = true;
+  int physicalBarriers = 0;
+  int physicalCounters = 0;
+
+  // run
+  int threads = 4;
+  std::string engine = "lowered";
+  std::vector<std::pair<std::string, std::int64_t>> symbols;
+};
+
+const char* opName(Request::Op op);
+
+/// Parses one request line.  False on malformed JSON or an unknown op,
+/// with a one-line reason in `error`; field-level junk (negative
+/// threads, unknown engine) is also rejected here so workers only see
+/// well-formed requests.
+bool parseRequest(const std::string& line, Request* request,
+                  std::string* error);
+
+/// Serializes a request as one compact line (no trailing newline) —
+/// the client half of the protocol.
+std::string serializeRequest(const Request& request);
+
+/// The pipeline options a request's option fields denote.
+driver::PipelineOptions pipelineOptions(const Request& request);
+
+}  // namespace spmd::service

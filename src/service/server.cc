@@ -1,0 +1,422 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "codegen/spmd_executor.h"
+#include "driver/execution.h"
+#include "obs/stats.h"
+#include "support/json.h"
+
+SPMD_STATISTIC(statServeRequests, "service", "requests",
+               "requests answered by a worker");
+SPMD_STATISTIC(statServeOverloads, "service", "overloads",
+               "requests rejected by admission control");
+SPMD_STATISTIC(statServeInvalid, "service", "invalid-requests",
+               "malformed requests answered with bad-request");
+
+namespace spmd::service {
+
+namespace {
+
+std::int64_t microsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string errorResponse(std::int64_t id, const char* op,
+                          const std::string& kind,
+                          const std::string& message) {
+  std::ostringstream os;
+  JsonWriter json(os, /*compact=*/true);
+  json.object();
+  json.field("ok", false);
+  json.field("id", id);
+  json.field("op", op);
+  json.field("error").object();
+  json.field("kind", kind);
+  json.field("message", message);
+  json.close();
+  json.close();
+  return os.str();
+}
+
+/// Concatenates collected diagnostics into one message line.
+std::string renderDiags(const CollectingDiagnosticSink& sink) {
+  std::string out;
+  for (const Diagnostic& d : sink.all()) {
+    if (!out.empty()) out += "; ";
+    out += formatDiagnostic(d);
+  }
+  return out.empty() ? "no diagnostics" : out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.queueCapacity == 0) options_.queueCapacity = 1;
+  cache_ = options_.cache != nullptr ? options_.cache
+                                     : &driver::ArtifactCache::process();
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    if (listenFd_ >= 0) {
+      ::close(listenFd_);
+      listenFd_ = -1;
+    }
+    return false;
+  };
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socketPath.empty() ||
+      options_.socketPath.size() >= sizeof(addr.sun_path))
+    return fail("socket path empty or too long: \"" + options_.socketPath +
+                "\"");
+  std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0) return fail("socket: " + std::string(strerror(errno)));
+  ::unlink(options_.socketPath.c_str());
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return fail("bind " + options_.socketPath + ": " +
+                std::string(strerror(errno)));
+  if (::listen(listenFd_, 128) != 0)
+    return fail("listen: " + std::string(strerror(errno)));
+
+  stopping_.store(false);
+  running_.store(true);
+  team_ = std::make_unique<rt::ThreadTeam>(options_.workers);
+  pumpThread_ = std::thread([this] {
+    // ThreadTeam::run blocks its caller (the master runs as worker 0), so
+    // the broadcast lives on this dedicated pump thread for the server's
+    // whole lifetime.
+    team_->run([this](int) { workerLoop(); });
+  });
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(waitMutex_);
+  waitCv_.wait(lock, [this] {
+    return stopping_.load() || shutdownRequested_.load();
+  });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (const std::shared_ptr<Connection>& conn : connections_) {
+      std::lock_guard<std::mutex> writeLock(conn->writeMutex);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  queueCv_.notify_all();
+
+  if (acceptThread_.joinable()) acceptThread_.join();
+  // No new readers can appear now (accept loop is gone).
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& reader : readers)
+    if (reader.joinable()) reader.join();
+  queueCv_.notify_all();
+  if (pumpThread_.joinable()) pumpThread_.join();
+  team_.reset();
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    connections_.clear();
+  }
+
+  ::unlink(options_.socketPath.c_str());
+  waitCv_.notify_all();
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  return stats_;
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !stopping_.load()) continue;
+      return;  // listener closed (stop) or fatal
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connMutex_);
+      connections_.push_back(conn);
+      readers_.emplace_back([this, conn] { readerLoop(conn); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++stats_.accepted;
+    }
+  }
+}
+
+void Server::readerLoop(std::shared_ptr<Connection> conn) {
+  std::string pending;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;  // EOF, reset, or shutdown()
+    pending.append(buf, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (line.empty()) continue;
+      if (stopping_.load()) return;
+      Job job{conn, std::move(line), std::chrono::steady_clock::now()};
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (queue_.size() < options_.queueCapacity) {
+          queue_.push_back(std::move(job));
+          admitted = true;
+        }
+      }
+      if (admitted) {
+        queueCv_.notify_one();
+      } else {
+        // Admission control: reject from the reader so a saturated
+        // worker pool never blocks the socket.  The id is unknown
+        // without parsing; overload rejects always carry id 0.
+        {
+          std::lock_guard<std::mutex> lock(statsMutex_);
+          ++stats_.overloaded;
+        }
+        statServeOverloads.add();
+        send(*conn, errorResponse(0, "unknown", "overloaded",
+                                  "request queue full (" +
+                                      std::to_string(options_.queueCapacity) +
+                                      " pending); retry later"));
+      }
+    }
+  }
+  std::lock_guard<std::mutex> writeLock(conn->writeMutex);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock, [this] {
+        return stopping_.load() || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    process(job);
+  }
+}
+
+void Server::process(const Job& job) {
+  Request request;
+  std::string parseError;
+  std::string response;
+  if (!parseRequest(job.line, &request, &parseError)) {
+    {
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++stats_.invalid;
+    }
+    statServeInvalid.add();
+    response = errorResponse(0, "unknown", "bad-request", parseError);
+  } else {
+    try {
+      response = handle(request, job.arrival);
+    } catch (const std::exception& e) {
+      response = errorResponse(request.id, opName(request.op), "internal",
+                               e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++stats_.served;
+    }
+    statServeRequests.add();
+  }
+  send(*job.conn, response);
+}
+
+std::string Server::handle(const Request& request,
+                           std::chrono::steady_clock::time_point arrival) {
+  switch (request.op) {
+    case Request::Op::Compile:
+      return handleCompile(request, /*run=*/false, arrival);
+    case Request::Op::Run:
+      return handleCompile(request, /*run=*/true, arrival);
+    case Request::Op::Ping: {
+      std::ostringstream os;
+      JsonWriter json(os, /*compact=*/true);
+      json.object();
+      json.field("ok", true);
+      json.field("id", request.id);
+      json.field("op", "ping");
+      json.field("version", driver::versionString());
+      json.field("latency_us", microsSince(arrival));
+      json.close();
+      return os.str();
+    }
+    case Request::Op::Stats: {
+      const driver::ArtifactCache::Counters cache = cache_->counters();
+      const Stats server = stats();
+      std::ostringstream os;
+      JsonWriter json(os, /*compact=*/true);
+      json.object();
+      json.field("ok", true);
+      json.field("id", request.id);
+      json.field("op", "stats");
+      json.field("cache").object();
+      json.field("hits", cache.hits);
+      json.field("misses", cache.misses);
+      json.field("publishes", cache.publishes);
+      json.field("extensions", cache.extensions);
+      json.field("rejects", cache.rejects);
+      json.field("evictions", cache.evictions);
+      json.field("entries", cache.entries);
+      json.close();
+      json.field("server").object();
+      json.field("accepted", server.accepted);
+      json.field("served", server.served);
+      json.field("overloaded", server.overloaded);
+      json.field("invalid", server.invalid);
+      json.close();
+      json.field("latency_us", microsSince(arrival));
+      json.close();
+      return os.str();
+    }
+    case Request::Op::Shutdown: {
+      shutdownRequested_.store(true);
+      waitCv_.notify_all();
+      std::ostringstream os;
+      JsonWriter json(os, /*compact=*/true);
+      json.object();
+      json.field("ok", true);
+      json.field("id", request.id);
+      json.field("op", "shutdown");
+      json.field("latency_us", microsSince(arrival));
+      json.close();
+      return os.str();
+    }
+  }
+  return errorResponse(request.id, "unknown", "internal", "unhandled op");
+}
+
+std::string Server::handleCompile(
+    const Request& request, bool run,
+    std::chrono::steady_clock::time_point arrival) {
+  const char* op = run ? "run" : "compile";
+  CollectingDiagnosticSink sink;
+  driver::Compilation session =
+      driver::Compilation::fromSource(request.source, request.name);
+  session.diags().setSink(&sink);
+  session.setOptions(pipelineOptions(request));
+  session.attachArtifactCache(cache_);
+
+  if (!session.parseOk())
+    return errorResponse(request.id, op, "parse-error", renderDiags(sink));
+  if (!session.validateOk())
+    return errorResponse(request.id, op, "validate-error", renderDiags(sink));
+
+  const driver::SyncPlan& plan = session.syncPlan();
+  const bool physicalRequested = session.options().physical.enabled();
+  if (physicalRequested && !session.physicalSync().feasible())
+    return errorResponse(request.id, op, "physical-infeasible",
+                         renderDiags(sink));
+
+  double maxDiffOpt = 0.0;
+  rt::SyncCounts optCounts;
+  if (run) {
+    driver::RunRequest rr;
+    rr.symbols = driver::bindSymbols(session.program(), request.symbols);
+    rr.threads = request.threads;
+    rr.runBase = false;
+    rr.runOptimized = true;
+    rr.reference = true;  // every run is checked against sequential
+    if (auto engine = cg::parseEngineKind(request.engine))
+      rr.exec.engine = *engine;
+    const driver::RunComparison result = driver::runComparison(session, rr);
+    maxDiffOpt = result.maxDiffOpt;
+    optCounts = result.optCounts;
+  }
+
+  std::ostringstream os;
+  JsonWriter json(os, /*compact=*/true);
+  json.object();
+  json.field("ok", true);
+  json.field("id", request.id);
+  json.field("op", op);
+  json.field("stats").object();
+  json.field("regions", static_cast<std::uint64_t>(plan.stats.regions));
+  json.field("boundaries", static_cast<std::uint64_t>(plan.stats.boundaries));
+  json.field("eliminated", static_cast<std::uint64_t>(plan.stats.eliminated));
+  json.field("counters", static_cast<std::uint64_t>(plan.stats.counters));
+  json.field("barriers", static_cast<std::uint64_t>(plan.stats.barriers));
+  json.close();
+  if (physicalRequested) json.field("physical_feasible", true);
+  json.field("stages_adopted", session.stagesAdopted());
+  if (request.emitListing) json.field("listing", session.lowered().listing);
+  if (run) {
+    json.field("threads", request.threads);
+    json.field("max_diff_opt", maxDiffOpt);
+    json.field("opt_sync").object();
+    json.field("barriers", optCounts.barriers);
+    json.field("broadcasts", optCounts.broadcasts);
+    json.field("posts", optCounts.counterPosts);
+    json.field("waits", optCounts.counterWaits);
+    json.close();
+  }
+  json.field("latency_us", microsSince(arrival));
+  json.close();
+  return os.str();
+}
+
+void Server::send(Connection& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn.writeMutex);
+  if (conn.fd < 0) return;  // peer already gone
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(conn.fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer closed; response is undeliverable
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace spmd::service

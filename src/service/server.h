@@ -1,0 +1,135 @@
+// Compilation-as-a-service: a concurrent compile/run server over a
+// Unix-domain socket (spmdopt --serve=SOCK).
+//
+// Architecture:
+//
+//   accept thread ──► one reader thread per connection
+//                         │  parses nothing; frames lines and enqueues
+//                         ▼
+//                bounded request queue  ── full? ──► structured
+//                         │                          "overloaded" reject
+//                         ▼                          (written by the reader)
+//                rt::ThreadTeam workers (broadcast once via a pump
+//                thread; each worker pops jobs until stop)
+//                         │
+//                         ▼
+//                driver::Compilation session per request, attached to
+//                the shared ArtifactCache — identical programs/options
+//                reuse parse → plan → lowered/native artifacts
+//
+// Admission control is the bounded queue: readers never block on a slow
+// worker pool; past the bound the client gets an immediate
+// {"ok":false,"error":{"kind":"overloaded",...}} and may retry.
+// Responses carry the request "id" and may be written out of order for
+// pipelined clients; writes to one connection are serialized by a
+// per-connection mutex.
+//
+// The server never trusts the wire: request parsing is depth-bounded
+// (support/json_reader.h) and field-validated before a worker sees it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/artifact_cache.h"
+#include "runtime/team.h"
+#include "service/protocol.h"
+
+namespace spmd::service {
+
+struct ServerOptions {
+  std::string socketPath;
+  int workers = 4;
+  std::size_t queueCapacity = 64;
+  /// Shared artifact cache; null uses the process-wide cache.
+  driver::ArtifactCache* cache = nullptr;
+};
+
+class Server {
+ public:
+  /// Monotonic request-level counts.
+  struct Stats {
+    std::uint64_t accepted = 0;    ///< connections accepted
+    std::uint64_t served = 0;      ///< requests answered by a worker
+    std::uint64_t overloaded = 0;  ///< requests rejected by admission
+    std::uint64_t invalid = 0;     ///< malformed requests answered with
+                                   ///< a bad-request error
+  };
+
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts accepting; false (with `error`) when
+  /// the socket cannot be created.
+  bool start(std::string* error = nullptr);
+
+  /// Blocks until stop() is called or a shutdown request arrives.
+  void wait();
+
+  /// Stops accepting, drains in-flight work, joins every thread, and
+  /// removes the socket file.  Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  const std::string& socketPath() const { return options_.socketPath; }
+  Stats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex writeMutex;
+  };
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    std::string line;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Connection> conn);
+  void workerLoop();
+  void process(const Job& job);
+  std::string handle(const Request& request,
+                     std::chrono::steady_clock::time_point arrival);
+  std::string handleCompile(const Request& request, bool run,
+                            std::chrono::steady_clock::time_point arrival);
+  void send(Connection& conn, const std::string& line);
+
+  ServerOptions options_;
+  driver::ArtifactCache* cache_ = nullptr;
+  int listenFd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdownRequested_{false};
+
+  std::thread acceptThread_;
+  std::thread pumpThread_;  ///< hosts the worker team's broadcast
+  std::unique_ptr<rt::ThreadTeam> team_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<Job> queue_;
+
+  std::mutex connMutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+
+  mutable std::mutex statsMutex_;
+  Stats stats_;
+
+  std::mutex waitMutex_;
+  std::condition_variable waitCv_;
+};
+
+}  // namespace spmd::service

@@ -53,9 +53,14 @@ inline std::string jsonEscape(const std::string& s) {
 /// innermost one, field()/value() emit members.  Keys and separators are
 /// handled so the output is always syntactically valid provided opens and
 /// closes balance (checked).
+///
+/// Compact mode suppresses all newlines and indentation, producing the
+/// document on a single line — required by newline-delimited consumers
+/// (the service protocol frames one JSON document per line).
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+  explicit JsonWriter(std::ostream& os, bool compact = false)
+      : os_(&os), compact_(compact) {}
 
   JsonWriter& object() { return open('{', '}'); }
   JsonWriter& array() { return open('[', ']'); }
@@ -64,7 +69,7 @@ class JsonWriter {
     SPMD_ASSERT(!stack_.empty(), "JsonWriter::close with nothing open");
     Frame frame = stack_.back();
     stack_.pop_back();
-    if (frame.members > 0) {
+    if (frame.members > 0 && !compact_) {
       *os_ << "\n";
       indent();
     }
@@ -135,6 +140,7 @@ class JsonWriter {
     }
     if (stack_.empty()) return;
     if (stack_.back().members++ > 0) *os_ << ",";
+    if (compact_) return;
     *os_ << "\n";
     indent();
   }
@@ -145,6 +151,7 @@ class JsonWriter {
 
   std::ostream* os_;
   std::vector<Frame> stack_;
+  bool compact_ = false;
   bool pendingKey_ = false;
 };
 

@@ -54,6 +54,16 @@ class JsonParser {
   }
 
  private:
+  /// Guards one recursion level of parseObject/parseArray.  Entered
+  /// before the recursive descent, so the depth check fires while the
+  /// parser still has stack to report the error with.
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& p) : parser(p) { ++parser.depth_; }
+    ~DepthGuard() { --parser.depth_; }
+    bool exceeded() const { return parser.depth_ > kJsonMaxDepth; }
+    JsonParser& parser;
+  };
+
   JsonValuePtr parseValue() {
     skipSpace();
     if (pos_ >= text_.size()) return fail("unexpected end of input");
@@ -77,6 +87,10 @@ class JsonParser {
   }
 
   JsonValuePtr parseObject() {
+    DepthGuard depth(*this);
+    if (depth.exceeded())
+      return fail("nesting depth limit (" + std::to_string(kJsonMaxDepth) +
+                  ") exceeded");
     ++pos_;  // '{'
     auto v = std::make_shared<JsonValue>();
     v->kind_ = JsonValue::Kind::Object;
@@ -111,6 +125,10 @@ class JsonParser {
   }
 
   JsonValuePtr parseArray() {
+    DepthGuard depth(*this);
+    if (depth.exceeded())
+      return fail("nesting depth limit (" + std::to_string(kJsonMaxDepth) +
+                  ") exceeded");
     ++pos_;  // '['
     auto v = std::make_shared<JsonValue>();
     v->kind_ = JsonValue::Kind::Array;
@@ -280,6 +298,7 @@ class JsonParser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< open containers on the recursion stack
   std::string error_;
 };
 

@@ -1,8 +1,15 @@
 // A minimal JSON reader for the tools that consume this project's own
 // machine-readable outputs (spmdtrace reads --trace files, bench_gate
-// reads BENCH_*.json).  Strict recursive-descent parser into a small DOM;
-// no streaming, no extensions beyond what JsonWriter emits (standard JSON
+// reads BENCH_*.json) and for the service request protocol (spmdopt
+// --serve).  Strict recursive-descent parser into a small DOM; no
+// streaming, no extensions beyond what JsonWriter emits (standard JSON
 // with finite numbers).
+//
+// Container nesting is bounded by kJsonMaxDepth: the parser recurses once
+// per open array/object, so an adversarial input of a few hundred
+// kilobytes of "[[[[..." would otherwise overflow the stack — fatal for a
+// long-lived server parsing untrusted request bodies.  Exceeding the bound
+// is a structured parse error ("nesting depth limit ..."), never a crash.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,12 @@ namespace spmd {
 
 class JsonValue;
 using JsonValuePtr = std::shared_ptr<JsonValue>;
+
+/// Maximum container (array/object) nesting the parser accepts.  Every
+/// document this project emits stays under a dozen levels; 64 leaves
+/// generous headroom while keeping worst-case parser stack use a few
+/// kilobytes.
+inline constexpr int kJsonMaxDepth = 64;
 
 /// One parsed JSON value.  Numbers keep both views: `asDouble` for
 /// measurements, `asInt` (exact when the text had no fraction/exponent)

@@ -1,0 +1,260 @@
+// Shared artifact cache: content-addressed keys, coherent publication,
+// LRU bounds, and — the reason it exists — concurrent Compilation
+// sessions sharing one cache must produce byte-identical deterministic
+// artifacts to fresh, uncached sessions.
+#include "driver/artifact_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.h"
+#include "driver/compilation.h"
+
+namespace spmd::driver {
+namespace {
+
+const char* kStencilSource = R"(PROGRAM heat
+SYMBOLIC N >= 8
+SYMBOLIC T >= 1
+REAL U(N + 2) = 1.0
+REAL Un(N + 2) = 0.0
+DO t = 1, T
+  DOALL i = 1, N
+    Un(i) = 0.5 * (U(i - 1) + U(i + 1))
+  ENDDO
+  DOALL i2 = 1, N
+    U(i2) = Un(i2)
+  ENDDO
+ENDDO
+END
+)";
+
+/// A second program so the cache holds several distinct keys.
+std::string independentSource(int salt) {
+  return std::string(R"(PROGRAM indep
+SYMBOLIC N >= 8
+REAL A(N) = )") +
+         std::to_string(salt) + R"(.0
+REAL B(N) = 0.0
+DOALL i = 1, N
+  B(i) = A(i) * 2.0
+ENDDO
+DOALL j = 1, N
+  A(j) = B(j) + 1.0
+ENDDO
+END
+)";
+}
+
+/// The deterministic compile outcome a request observes: everything the
+/// determinism contract promises is byte-stable, nothing that is timing.
+struct DeterministicOutcome {
+  std::string listing;
+  std::string boundaryReport;
+  std::size_t barriers = 0;
+  std::size_t counters = 0;
+  std::size_t eliminated = 0;
+  bool physicalFeasible = true;
+
+  bool operator==(const DeterministicOutcome& o) const {
+    return listing == o.listing && boundaryReport == o.boundaryReport &&
+           barriers == o.barriers && counters == o.counters &&
+           eliminated == o.eliminated && physicalFeasible == o.physicalFeasible;
+  }
+};
+
+DeterministicOutcome outcomeOf(Compilation& c, const PipelineOptions& opts) {
+  c.setOptions(opts);
+  DeterministicOutcome out;
+  out.listing = c.lowered().listing;
+  out.boundaryReport = core::renderReport(c.syncPlan().boundaries);
+  out.barriers = c.syncPlan().stats.barriers;
+  out.counters = c.syncPlan().stats.counters;
+  out.eliminated = c.syncPlan().stats.eliminated;
+  if (opts.physical.enabled()) out.physicalFeasible = c.physicalSync().feasible();
+  return out;
+}
+
+TEST(ArtifactKeyTest, SourceAndOptionsBothKey) {
+  const std::uint64_t src = sourceFingerprint(kStencilSource);
+  EXPECT_NE(src, sourceFingerprint(independentSource(1)));
+  EXPECT_EQ(src, sourceFingerprint(kStencilSource));
+
+  PipelineOptions a;
+  PipelineOptions b;
+  b.optimizer.enableCounters = false;
+  EXPECT_NE(artifactKey(src, a), artifactKey(src, b));
+  EXPECT_EQ(artifactKey(src, a), artifactKey(src, PipelineOptions()));
+  EXPECT_NE(artifactKey(src, a), frontendKey(src));
+}
+
+// The compile-time knobs proven result-preserving by plan_determinism_test
+// must NOT key the cache: sessions differing only in them share artifacts.
+TEST(ArtifactKeyTest, ResultPreservingKnobsDoNotKey) {
+  PipelineOptions base;
+  PipelineOptions tweaked;
+  tweaked.optimizer.memoCache = false;
+  tweaked.optimizer.dedupAccesses = false;
+  tweaked.optimizer.sharedPrefixProjection = false;
+  tweaked.optimizer.scanCache = false;
+  tweaked.optimizer.analysisThreads = 4;
+  EXPECT_EQ(pipelineOptionsFingerprint(base),
+            pipelineOptionsFingerprint(tweaked));
+
+  PipelineOptions affecting;
+  affecting.optimizer.fm.sampleBudget = 7;
+  EXPECT_NE(pipelineOptionsFingerprint(base),
+            pipelineOptionsFingerprint(affecting));
+}
+
+TEST(ArtifactCacheTest, WarmSessionAdoptsEveryStage) {
+  ArtifactCache cache;
+  PipelineOptions opts;
+
+  Compilation cold = Compilation::fromSource(kStencilSource, "heat.f");
+  cold.attachArtifactCache(&cache);
+  (void)outcomeOf(cold, opts);
+  EXPECT_EQ(cold.stagesAdopted(), 0);
+  EXPECT_GE(cache.counters().publishes, 1u);
+
+  Compilation warm = Compilation::fromSource(kStencilSource, "heat.f");
+  warm.attachArtifactCache(&cache);
+  const DeterministicOutcome warmOutcome = outcomeOf(warm, opts);
+  EXPECT_GE(warm.stagesAdopted(), 5);  // parse..lowered all shared
+  // The adopted artifacts ARE the cold session's (pointer identity).
+  EXPECT_EQ(warm.parsed().program.get(), cold.parsed().program.get());
+  EXPECT_EQ(&warm.syncPlan(), &cold.syncPlan());
+
+  Compilation fresh = Compilation::fromSource(kStencilSource, "heat.f");
+  EXPECT_TRUE(warmOutcome == outcomeOf(fresh, opts));
+}
+
+TEST(ArtifactCacheTest, FrontendSharedAcrossDifferentOptions) {
+  ArtifactCache cache;
+  Compilation cold = Compilation::fromSource(kStencilSource, "heat.f");
+  cold.attachArtifactCache(&cache);
+  (void)outcomeOf(cold, PipelineOptions());
+
+  PipelineOptions barriers;
+  barriers.barriersOnly = true;
+  Compilation other = Compilation::fromSource(kStencilSource, "heat.f");
+  other.attachArtifactCache(&cache);
+  const DeterministicOutcome got = outcomeOf(other, barriers);
+  // Full key missed (different options) but the front end was shared.
+  EXPECT_GE(other.stagesAdopted(), 1);
+  EXPECT_EQ(other.parsed().program.get(), cold.parsed().program.get());
+
+  Compilation fresh = Compilation::fromSource(kStencilSource, "heat.f");
+  EXPECT_TRUE(got == outcomeOf(fresh, barriers));
+}
+
+TEST(ArtifactCacheTest, PublishRejectsForeignProgramChains) {
+  ArtifactCache cache;
+  const std::uint64_t key = 1234;
+
+  Compilation a = Compilation::fromSource(kStencilSource, "a.f");
+  Compilation b = Compilation::fromSource(kStencilSource, "b.f");
+  ArtifactSnapshot snapA;
+  snapA.parsed = std::make_shared<const ParsedProgram>(a.parsed());
+  ArtifactSnapshot snapB;
+  snapB.parsed = std::make_shared<const ParsedProgram>(b.parsed());
+  b.syncPlan();
+
+  cache.publish(key, snapA);
+  cache.publish(key, snapB);  // same key, different ir::Program -> dropped
+  EXPECT_EQ(cache.counters().rejects, 1u);
+  ArtifactSnapshot got = cache.lookup(key);
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(got.parsed->program.get(), snapA.parsed->program.get());
+  EXPECT_EQ(got.syncPlan, nullptr);  // B's stages never mixed in
+}
+
+TEST(ArtifactCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  ArtifactCache cache(/*capacityPerShard=*/2);
+  Compilation seed = Compilation::fromSource(kStencilSource, "heat.f");
+  ArtifactSnapshot snap;
+  snap.parsed = std::make_shared<const ParsedProgram>(seed.parsed());
+  // Keys landing in one shard (identical high bits).
+  const std::uint64_t base = 0x0100;
+  cache.publish(base + 1, snap);
+  cache.publish(base + 2, snap);
+  cache.publish(base + 3, snap);  // evicts base+1
+  EXPECT_GE(cache.counters().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(base + 1).empty());
+  EXPECT_FALSE(cache.lookup(base + 3).empty());
+}
+
+// The satellite regression: many concurrent sessions over one cache,
+// mixing cold compiles, warm reuse, and option changes that invalidate
+// downstream stages mid-flight.  Every session's deterministic outcome
+// must equal a fresh uncached session's.
+TEST(ArtifactCacheStressTest, ConcurrentMixedSessionsMatchFreshSessions) {
+  ArtifactCache cache;
+
+  PipelineOptions defaults;
+  PipelineOptions noCounters;
+  noCounters.optimizer.enableCounters = false;
+  PipelineOptions barriersOnly;
+  barriersOnly.barriersOnly = true;
+  PipelineOptions pooled;
+  pooled.physical.barriers = 2;
+  pooled.physical.counters = 2;
+  const std::vector<PipelineOptions> optionSets{defaults, noCounters,
+                                               barriersOnly, pooled};
+
+  // Source pool: a shared hot program plus per-index cold programs.
+  const int kSources = 6;
+  std::vector<std::string> sources;
+  sources.push_back(kStencilSource);
+  for (int s = 1; s < kSources; ++s) sources.push_back(independentSource(s));
+
+  // Expected outcomes from fresh, uncached sessions (the ground truth).
+  std::vector<std::vector<DeterministicOutcome>> expected(
+      sources.size(), std::vector<DeterministicOutcome>(optionSets.size()));
+  for (std::size_t s = 0; s < sources.size(); ++s)
+    for (std::size_t o = 0; o < optionSets.size(); ++o) {
+      Compilation fresh = Compilation::fromSource(sources[s]);
+      expected[s][o] = outcomeOf(fresh, optionSets[o]);
+    }
+
+  constexpr int kThreads = 8;
+  constexpr int kSessionsPerThread = 24;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSessionsPerThread; ++i) {
+        const std::size_t s = static_cast<std::size_t>((t * 7 + i * 3) %
+                                                       sources.size());
+        const std::size_t o =
+            static_cast<std::size_t>((t + i) % optionSets.size());
+        Compilation session = Compilation::fromSource(sources[s]);
+        session.attachArtifactCache(&cache);
+        if (!(outcomeOf(session, optionSets[o]) == expected[s][o]))
+          mismatches.fetch_add(1);
+        // Invalidating request: flip the same session to a second option
+        // set (downstream artifacts reset, cache re-resolved).
+        const std::size_t o2 = (o + 1 + static_cast<std::size_t>(i)) %
+                               optionSets.size();
+        if (!(outcomeOf(session, optionSets[o2]) == expected[s][o2]))
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ArtifactCache::Counters counters = cache.counters();
+  EXPECT_GT(counters.hits, 0u);
+  EXPECT_GT(counters.publishes, 0u);
+  // Warm traffic dominates: far more lookups hit than miss by the end.
+  EXPECT_GT(counters.hits, counters.misses);
+}
+
+}  // namespace
+}  // namespace spmd::driver

@@ -1,0 +1,152 @@
+// ObjectCache: writer-unique temp paths and atomic publication under
+// concurrent same-process writers (the compile server's hot path).
+#include "exec/native/object_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spmd::exec::native {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// RAII temp cache directory so tests never touch the user's real cache.
+class ScopedCacheDir {
+ public:
+  ScopedCacheDir() {
+    char templ[] = "/tmp/spmd-objcache-test-XXXXXX";
+    char* made = ::mkdtemp(templ);
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "/tmp/spmd-objcache-test-fallback";
+  }
+  ~ScopedCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// The temp path must differ on every call: two server threads compiling
+// the same key in one process previously got the identical pid-suffixed
+// path and clobbered each other's half-written objects.  This assertion
+// fails on the pre-fix code.
+TEST(ObjectCacheTest, TempPathsAreUniquePerCall) {
+  ScopedCacheDir dir;
+  ObjectCache cache(dir.path());
+  ASSERT_TRUE(cache.usable());
+  const std::uint64_t key = 0xabcdef0123456789ULL;
+  EXPECT_NE(cache.tempObjectPath(key), cache.tempObjectPath(key));
+}
+
+TEST(ObjectCacheTest, TempPathsAreUniqueAcrossConcurrentThreads) {
+  ScopedCacheDir dir;
+  ObjectCache cache(dir.path());
+  ASSERT_TRUE(cache.usable());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 64;
+  std::vector<std::vector<std::string>> perThread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &perThread, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        perThread[static_cast<std::size_t>(t)].push_back(
+            cache.tempObjectPath(42));
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  std::set<std::string> unique;
+  for (const auto& paths : perThread) unique.insert(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// Concurrent writers publishing the same key: every writer first fully
+// writes its own temp file, then publishes.  The published object must
+// be byte-identical to exactly one writer's complete payload — a shared
+// temp path produces interleaved/foreign bytes instead.
+TEST(ObjectCacheTest, ConcurrentPublishOfSameKeyIsNeverTorn) {
+  ScopedCacheDir dir;
+  ObjectCache cache(dir.path());
+  ASSERT_TRUE(cache.usable());
+  const std::uint64_t key = 7;
+  constexpr int kThreads = 8;
+  // Distinct, recognizable payloads of equal size: writer t fills with
+  // the byte 'A' + t, so a mixed-provenance file is detectable.
+  constexpr std::size_t kPayload = 1 << 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const std::string body(kPayload, static_cast<char>('A' + t));
+      for (int round = 0; round < 16; ++round) {
+        const std::string temp = cache.tempObjectPath(7);
+        {
+          std::ofstream out(temp, std::ios::binary);
+          ASSERT_TRUE(out.good());
+          // Chunked writes widen the race window for a shared temp file.
+          for (std::size_t off = 0; off < kPayload; off += 512)
+            out.write(body.data() + off, 512);
+        }
+        cache.publish(7, temp, "// source for writer " + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_TRUE(cache.contains(key));
+  const std::string published = readFile(cache.objectPath(key));
+  ASSERT_EQ(published.size(), kPayload);
+  // Whole file is one writer's byte, i.e. exactly one complete payload.
+  const char tag = published[0];
+  EXPECT_GE(tag, 'A');
+  EXPECT_LT(tag, 'A' + kThreads);
+  EXPECT_EQ(published, std::string(kPayload, tag));
+  // No temp litter survives: losers' files were renamed or removed by
+  // their own later rounds; at most files from the final round remain,
+  // and those are complete too.  More importantly, the cache dir holds
+  // the published object and source.
+  EXPECT_TRUE(fs::exists(cache.sourcePath(key)));
+}
+
+TEST(ObjectCacheTest, PublishFailureRemovesTempAndReportsFalse) {
+  ScopedCacheDir dir;
+  ObjectCache cache(dir.path());
+  ASSERT_TRUE(cache.usable());
+  // A temp path that does not exist: rename fails, publish returns false.
+  EXPECT_FALSE(cache.publish(9, dir.path() + "/missing.tmp.so", "src"));
+  EXPECT_FALSE(cache.contains(9));
+}
+
+TEST(ObjectCacheTest, EvictRemovesObjectAndSource) {
+  ScopedCacheDir dir;
+  ObjectCache cache(dir.path());
+  ASSERT_TRUE(cache.usable());
+  const std::string temp = cache.tempObjectPath(11);
+  std::ofstream(temp, std::ios::binary) << "obj";
+  ASSERT_TRUE(cache.publish(11, temp, "src"));
+  ASSERT_TRUE(cache.contains(11));
+  cache.evict(11);
+  EXPECT_FALSE(cache.contains(11));
+  EXPECT_FALSE(fs::exists(cache.sourcePath(11)));
+}
+
+}  // namespace
+}  // namespace spmd::exec::native

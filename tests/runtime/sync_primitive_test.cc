@@ -11,6 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -243,6 +246,106 @@ TEST(TopologyTest, ClusterSizeTracksPackagesAndTeamSize) {
   EXPECT_GE(detected.packages, 1);
   EXPECT_GE(detected.coresPerPackage, 1);
   EXPECT_GE(detected.clusterSizeFor(8), 1);
+  // detected() must cover the whole machine: with ceil division the
+  // modeled core count is never below the CPU count the probe saw.
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc > 0) EXPECT_GE(detected.totalCores(), static_cast<int>(hc));
+}
+
+// --- sysfs probe (injectable root) ----------------------------------------
+
+/// Builds a fake sysfs cpu tree: writeCpu(n, pkg) creates
+/// <root>/cpu<n>/topology/physical_package_id containing pkg.
+class FakeSysfs {
+ public:
+  FakeSysfs() {
+    char templ[] = "/tmp/spmd-topology-test-XXXXXX";
+    char* made = ::mkdtemp(templ);
+    EXPECT_NE(made, nullptr);
+    root_ = made != nullptr ? made : "/tmp/spmd-topology-test-fallback";
+  }
+  ~FakeSysfs() {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+  void writeCpu(int cpu, int packageId) {
+    const std::filesystem::path dir = std::filesystem::path(root_) /
+                                      ("cpu" + std::to_string(cpu)) /
+                                      "topology";
+    std::filesystem::create_directories(dir);
+    std::ofstream(dir / "physical_package_id") << packageId << "\n";
+  }
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string root_;
+};
+
+TEST(TopologyProbeTest, ReadsPackagesFromSysfs) {
+  FakeSysfs sysfs;
+  for (int cpu = 0; cpu < 8; ++cpu) sysfs.writeCpu(cpu, cpu / 4);
+  std::string note;
+  Topology topo = Topology::probeFrom(sysfs.root(), 8, &note);
+  EXPECT_EQ(topo.packages, 2);
+  EXPECT_EQ(topo.coresPerPackage, 4);
+  EXPECT_TRUE(note.empty()) << note;
+}
+
+// Pre-fix the probe floor-divided cpus/packages: 7 CPUs over 2 packages
+// came back as 2x3, silently dropping a core from the model.  Ceil
+// division keeps totalCores() >= cpus.
+TEST(TopologyProbeTest, UnevenPackagesRoundCoresUp) {
+  FakeSysfs sysfs;
+  for (int cpu = 0; cpu < 7; ++cpu) sysfs.writeCpu(cpu, cpu < 4 ? 0 : 1);
+  std::string note;
+  Topology topo = Topology::probeFrom(sysfs.root(), 7, &note);
+  EXPECT_EQ(topo.packages, 2);
+  EXPECT_EQ(topo.coresPerPackage, 4);
+  EXPECT_GE(topo.totalCores(), 7);
+  EXPECT_TRUE(note.empty()) << note;
+}
+
+// Missing sysfs (containers, non-Linux): a quiet flat fallback plus one
+// diagnostic note — callers surface that single line instead of warning
+// from every thread that builds a primitive.
+TEST(TopologyProbeTest, MissingSysfsDegradesToFlatWithOneNote) {
+  std::string note;
+  Topology topo = Topology::probeFrom("/nonexistent/spmd-sysfs", 16, &note);
+  EXPECT_EQ(topo.packages, 1);
+  EXPECT_EQ(topo.coresPerPackage, 16);
+  EXPECT_FALSE(note.empty());
+  EXPECT_NE(note.find("assuming flat 1x16"), std::string::npos) << note;
+  EXPECT_EQ(note.find('\n'), std::string::npos) << note;  // one line
+}
+
+// A partially readable tree (CPU holes from offlining or cgroup cutouts)
+// must degrade the same way, not report a bogus package split.
+TEST(TopologyProbeTest, PartiallyReadableSysfsDegradesToFlat) {
+  FakeSysfs sysfs;
+  for (int cpu = 0; cpu < 4; ++cpu) sysfs.writeCpu(cpu, 0);
+  // CPUs 4..7 missing.
+  std::string note;
+  Topology topo = Topology::probeFrom(sysfs.root(), 8, &note);
+  EXPECT_EQ(topo.packages, 1);
+  EXPECT_EQ(topo.coresPerPackage, 8);
+  EXPECT_FALSE(note.empty());
+}
+
+TEST(TopologyProbeTest, NoteIsOptionalAndCpusClampToOne) {
+  // Null note pointer is fine; nonsensical cpu counts clamp.
+  Topology topo = Topology::probeFrom("/nonexistent/spmd-sysfs", 0, nullptr);
+  EXPECT_EQ(topo.packages, 1);
+  EXPECT_EQ(topo.coresPerPackage, 1);
+}
+
+TEST(TopologyProbeTest, DetectionNoteIsStableAndConsistent) {
+  // Whatever the host, the cached note is computed once, is at most one
+  // line, and is non-empty only if detection degraded to a flat fallback.
+  const std::string& first = Topology::detectionNote();
+  const std::string& second = Topology::detectionNote();
+  EXPECT_EQ(&first, &second);  // same cached object, not recomputed
+  EXPECT_EQ(first.find('\n'), std::string::npos);
+  if (!first.empty()) EXPECT_EQ(Topology::detected().packages, 1);
 }
 
 // --- oversubscription spin downgrade --------------------------------------

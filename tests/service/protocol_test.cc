@@ -1,0 +1,153 @@
+// Wire-protocol parsing: every field round-trips, malformed requests are
+// rejected with a reason before any worker sees them.
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spmd::service {
+namespace {
+
+TEST(ServiceProtocolTest, ParsesFullRequest) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(parseRequest(
+      R"({"op":"run","id":7,"source":"PROGRAM p\nEND","name":"p.f",)"
+      R"("emit":true,"options":{"mode":"barriers","counters":false,)"
+      R"("physical_barriers":2,"physical_counters":3},"threads":8,)"
+      R"("engine":"native","symbols":{"N":32,"T":4}})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.op, Request::Op::Run);
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.source, "PROGRAM p\nEND");
+  EXPECT_EQ(req.name, "p.f");
+  EXPECT_TRUE(req.emitListing);
+  EXPECT_TRUE(req.barriersOnly);
+  EXPECT_FALSE(req.enableCounters);
+  EXPECT_EQ(req.physicalBarriers, 2);
+  EXPECT_EQ(req.physicalCounters, 3);
+  EXPECT_EQ(req.threads, 8);
+  EXPECT_EQ(req.engine, "native");
+  ASSERT_EQ(req.symbols.size(), 2u);
+}
+
+TEST(ServiceProtocolTest, DefaultsApply) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(parseRequest(R"({"op":"ping"})", &req, &error)) << error;
+  EXPECT_EQ(req.op, Request::Op::Ping);
+  EXPECT_EQ(req.id, 0);
+  EXPECT_EQ(req.name, "<service>");
+  EXPECT_FALSE(req.barriersOnly);
+  EXPECT_TRUE(req.enableCounters);
+  EXPECT_EQ(req.threads, 4);
+  EXPECT_EQ(req.engine, "lowered");
+}
+
+TEST(ServiceProtocolTest, RejectsMalformedAndUnknown) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parseRequest("{nope", &req, &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+  EXPECT_FALSE(parseRequest(R"([1,2,3])", &req, &error));
+  EXPECT_FALSE(parseRequest(R"({"id":1})", &req, &error));
+  EXPECT_NE(error.find("missing op"), std::string::npos);
+  EXPECT_FALSE(parseRequest(R"({"op":"dance"})", &req, &error));
+  EXPECT_NE(error.find("unknown op"), std::string::npos);
+}
+
+TEST(ServiceProtocolTest, RejectsFieldLevelJunk) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parseRequest(
+      R"({"op":"compile","source":"x","threads":0})", &req, &error));
+  EXPECT_FALSE(parseRequest(
+      R"({"op":"compile","source":"x","threads":500})", &req, &error));
+  EXPECT_FALSE(parseRequest(
+      R"({"op":"compile","source":"x","engine":"warp"})", &req, &error));
+  EXPECT_FALSE(parseRequest(
+      R"({"op":"compile","source":"x","options":{"mode":"fast"}})", &req,
+      &error));
+  EXPECT_FALSE(parseRequest(
+      R"({"op":"compile","source":"x","options":{"physical_barriers":-1}})",
+      &req, &error));
+  EXPECT_FALSE(parseRequest(
+      R"({"op":"run","source":"x","symbols":{"N":"lots"}})", &req, &error));
+  EXPECT_NE(error.find("must be a number"), std::string::npos);
+}
+
+TEST(ServiceProtocolTest, CompileNeedsSource) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parseRequest(R"({"op":"compile"})", &req, &error));
+  EXPECT_NE(error.find("source"), std::string::npos);
+  EXPECT_FALSE(parseRequest(R"({"op":"run","source":""})", &req, &error));
+  // ping/stats/shutdown need none.
+  EXPECT_TRUE(parseRequest(R"({"op":"stats"})", &req, &error)) << error;
+}
+
+TEST(ServiceProtocolTest, SerializeParsesBackIdentically) {
+  Request req;
+  req.op = Request::Op::Run;
+  req.id = 42;
+  req.source = "PROGRAM p\nEND\n";
+  req.name = "roundtrip.f";
+  req.emitListing = true;
+  req.barriersOnly = true;
+  req.enableCounters = false;
+  req.physicalBarriers = 1;
+  req.physicalCounters = 2;
+  req.threads = 16;
+  req.engine = "interpreted";
+  req.symbols = {{"N", 128}, {"T", 2}};
+
+  const std::string line = serializeRequest(req);
+  // One frame: compact serialization must never embed a newline.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  Request back;
+  std::string error;
+  ASSERT_TRUE(parseRequest(line, &back, &error)) << error;
+  EXPECT_EQ(back.op, req.op);
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.source, req.source);
+  EXPECT_EQ(back.name, req.name);
+  EXPECT_EQ(back.emitListing, req.emitListing);
+  EXPECT_EQ(back.barriersOnly, req.barriersOnly);
+  EXPECT_EQ(back.enableCounters, req.enableCounters);
+  EXPECT_EQ(back.physicalBarriers, req.physicalBarriers);
+  EXPECT_EQ(back.physicalCounters, req.physicalCounters);
+  EXPECT_EQ(back.threads, req.threads);
+  EXPECT_EQ(back.engine, req.engine);
+  EXPECT_EQ(back.symbols, req.symbols);
+}
+
+TEST(ServiceProtocolTest, PipelineOptionsReflectRequest) {
+  Request req;
+  req.barriersOnly = true;
+  req.enableCounters = false;
+  req.physicalBarriers = 3;
+  req.physicalCounters = 5;
+  const driver::PipelineOptions options = pipelineOptions(req);
+  EXPECT_TRUE(options.barriersOnly);
+  EXPECT_FALSE(options.optimizer.enableCounters);
+  EXPECT_EQ(options.physical.barriers, 3);
+  EXPECT_EQ(options.physical.counters, 5);
+  EXPECT_TRUE(options.physical.enabled());
+}
+
+TEST(ServiceProtocolTest, DepthBombedRequestIsRejectedNotCrashed) {
+  std::string bomb = R"({"op":"compile","source":)";
+  for (int i = 0; i < 100; ++i) bomb += "[";
+  for (int i = 0; i < 100; ++i) bomb += "]";
+  bomb += "}";
+  Request req;
+  std::string error;
+  EXPECT_FALSE(parseRequest(bomb, &req, &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spmd::service

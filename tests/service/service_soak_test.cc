@@ -1,0 +1,429 @@
+// Service-mode integration and soak coverage: a real server on a real
+// Unix socket, driven by real clients.  The soak test is the tentpole's
+// acceptance check — >=1000 concurrent mixed cold/warm/invalidating
+// requests against one shared artifact cache, every response correct
+// and deterministic, with hit rates and latency percentiles reported.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/artifact_cache.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "support/json_reader.h"
+
+namespace spmd::service {
+namespace {
+
+const char* kStencilSource = R"(PROGRAM heat
+SYMBOLIC N >= 8
+SYMBOLIC T >= 1
+REAL U(N + 2) = 1.0
+REAL Un(N + 2) = 0.0
+DO t = 1, T
+  DOALL i = 1, N
+    Un(i) = 0.5 * (U(i - 1) + U(i + 1))
+  ENDDO
+  DOALL i2 = 1, N
+    U(i2) = Un(i2)
+  ENDDO
+ENDDO
+END
+)";
+
+/// A distinct small program per salt — a guaranteed cache miss.
+std::string coldSource(int salt) {
+  return std::string(R"(PROGRAM cold
+SYMBOLIC N >= 8
+REAL A(N) = )") +
+         std::to_string(salt) + R"(.0
+REAL B(N) = 0.0
+DOALL i = 1, N
+  B(i) = A(i) * 2.0
+ENDDO
+DOALL j = 1, N
+  A(j) = B(j) + 1.0
+ENDDO
+END
+)";
+}
+
+/// A deliberately expensive program: `loops` dependent DOALL nests keep
+/// one worker busy long enough for admission control to trip.
+std::string heavySource(int loops) {
+  std::string src = R"(PROGRAM heavy
+SYMBOLIC N >= 8
+REAL A(N + 2) = 1.0
+REAL B(N + 2) = 0.0
+)";
+  for (int i = 0; i < loops; ++i) {
+    const std::string iv = "i" + std::to_string(i);
+    const char* dst = (i % 2 == 0) ? "B" : "A";
+    const char* srcArr = (i % 2 == 0) ? "A" : "B";
+    src += "DOALL " + iv + " = 1, N\n  " + dst + "(" + iv + ") = " + srcArr +
+           "(" + iv + " - 1) + " + srcArr + "(" + iv + " + 1)\nENDDO\n";
+  }
+  src += "END\n";
+  return src;
+}
+
+/// RAII server on a socket in a fresh temp dir, with a test-owned cache
+/// so soak runs never see state from other tests in the binary.
+class ScopedServer {
+ public:
+  explicit ScopedServer(int workers = 4, std::size_t queueCapacity = 512,
+                        std::size_t cacheCapacityPerShard = 128)
+      : cache_(cacheCapacityPerShard) {
+    char pattern[] = "/tmp/spmd_service_test_XXXXXX";
+    const char* dir = ::mkdtemp(pattern);
+    EXPECT_NE(dir, nullptr);
+    dir_ = dir;
+    ServerOptions options;
+    options.socketPath = dir_ + "/spmd.sock";
+    options.workers = workers;
+    options.queueCapacity = queueCapacity;
+    options.cache = &cache_;
+    server_ = std::make_unique<Server>(std::move(options));
+    std::string error;
+    started_ = server_->start(&error);
+    EXPECT_TRUE(started_) << error;
+  }
+
+  ~ScopedServer() {
+    server_->stop();
+    server_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Server& server() { return *server_; }
+  driver::ArtifactCache& cache() { return cache_; }
+  const std::string& socketPath() const { return server_->socketPath(); }
+  bool started() const { return started_; }
+
+ private:
+  driver::ArtifactCache cache_;
+  std::string dir_;
+  std::unique_ptr<Server> server_;
+  bool started_ = false;
+};
+
+JsonValuePtr call(Client& client, const Request& request) {
+  std::string error;
+  JsonValuePtr response = client.call(request, &error);
+  EXPECT_NE(response, nullptr) << error;
+  return response;
+}
+
+Request compileRequest(std::string source, std::int64_t id) {
+  Request req;
+  req.op = Request::Op::Compile;
+  req.id = id;
+  req.source = std::move(source);
+  return req;
+}
+
+TEST(ServiceTest, PingRoundTrip) {
+  ScopedServer fixture;
+  ASSERT_TRUE(fixture.started());
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect(fixture.socketPath(), &error)) << error;
+
+  Request ping;
+  ping.op = Request::Op::Ping;
+  ping.id = 11;
+  JsonValuePtr response = call(client, ping);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->getBool("ok", false));
+  EXPECT_EQ(response->getInt("id", -1), 11);
+  EXPECT_FALSE(response->getString("version").empty());
+}
+
+TEST(ServiceTest, WarmCompileAdoptsCachedStages) {
+  ScopedServer fixture;
+  ASSERT_TRUE(fixture.started());
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socketPath()));
+
+  JsonValuePtr cold = call(client, compileRequest(kStencilSource, 1));
+  ASSERT_NE(cold, nullptr);
+  ASSERT_TRUE(cold->getBool("ok", false))
+      << "cold compile failed: " << cold->getString("error");
+  EXPECT_EQ(cold->getInt("stages_adopted", -1), 0);
+
+  JsonValuePtr warm = call(client, compileRequest(kStencilSource, 2));
+  ASSERT_NE(warm, nullptr);
+  ASSERT_TRUE(warm->getBool("ok", false));
+  EXPECT_GE(warm->getInt("stages_adopted", 0), 4);
+
+  // Deterministic outcome: the adopted plan reports the same stats.
+  const JsonValue* coldStats = cold->get("stats");
+  const JsonValue* warmStats = warm->get("stats");
+  ASSERT_NE(coldStats, nullptr);
+  ASSERT_NE(warmStats, nullptr);
+  for (const char* key :
+       {"regions", "boundaries", "eliminated", "counters", "barriers"})
+    EXPECT_EQ(warmStats->getInt(key, -1), coldStats->getInt(key, -2)) << key;
+}
+
+TEST(ServiceTest, RunVerifiesAgainstSequentialReference) {
+  ScopedServer fixture;
+  ASSERT_TRUE(fixture.started());
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socketPath()));
+
+  Request run;
+  run.op = Request::Op::Run;
+  run.id = 3;
+  run.source = kStencilSource;
+  run.threads = 4;
+  run.symbols = {{"N", 32}, {"T", 4}};
+  JsonValuePtr response = call(client, run);
+  ASSERT_NE(response, nullptr);
+  ASSERT_TRUE(response->getBool("ok", false))
+      << response->getString("error");
+  EXPECT_EQ(response->getDouble("max_diff_opt", 1.0), 0.0);
+  const JsonValue* sync = response->get("opt_sync");
+  ASSERT_NE(sync, nullptr);
+  EXPECT_GT(sync->getInt("posts", 0) + sync->getInt("barriers", 0), 0);
+}
+
+TEST(ServiceTest, CompileErrorsAreStructuredPerKind) {
+  ScopedServer fixture;
+  ASSERT_TRUE(fixture.started());
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socketPath()));
+
+  JsonValuePtr parseFail =
+      call(client, compileRequest("PROGRAM p\nTHIS IS NOT CODE\nEND\n", 4));
+  ASSERT_NE(parseFail, nullptr);
+  EXPECT_FALSE(parseFail->getBool("ok", true));
+  const JsonValue* error = parseFail->get("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->getString("kind"), "parse-error");
+  EXPECT_FALSE(error->getString("message").empty());
+
+  // Malformed JSON never reaches a compiler: structured bad-request.
+  ASSERT_TRUE(client.sendLine("{definitely not json"));
+  std::string line;
+  ASSERT_TRUE(client.recvLine(&line));
+  std::string parseError;
+  JsonValuePtr bad = parseJson(line, &parseError);
+  ASSERT_NE(bad, nullptr) << parseError;
+  EXPECT_FALSE(bad->getBool("ok", true));
+  EXPECT_EQ(bad->get("error")->getString("kind"), "bad-request");
+}
+
+TEST(ServiceTest, PipelinedResponsesEchoEveryId) {
+  ScopedServer fixture;
+  ASSERT_TRUE(fixture.started());
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socketPath()));
+
+  constexpr int kInFlight = 16;
+  for (int i = 0; i < kInFlight; ++i)
+    ASSERT_TRUE(client.sendLine(
+        serializeRequest(compileRequest(coldSource(i % 4), 100 + i))));
+
+  std::set<std::int64_t> ids;
+  for (int i = 0; i < kInFlight; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recvLine(&line));
+    std::string parseError;
+    JsonValuePtr response = parseJson(line, &parseError);
+    ASSERT_NE(response, nullptr) << parseError;
+    EXPECT_TRUE(response->getBool("ok", false));
+    ids.insert(response->getInt("id", -1));
+  }
+  // Out-of-order arrival is fine; every id must arrive exactly once.
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kInFlight));
+  EXPECT_EQ(*ids.begin(), 100);
+  EXPECT_EQ(*ids.rbegin(), 100 + kInFlight - 1);
+}
+
+TEST(ServiceTest, AdmissionControlRejectsWhenQueueIsFull) {
+  // One worker, one queue slot: park the worker on an expensive compile,
+  // then burst pings — the overflow must come back as structured
+  // "overloaded" rejects written by the reader, not as blocked clients.
+  ScopedServer fixture(/*workers=*/1, /*queueCapacity=*/1);
+  ASSERT_TRUE(fixture.started());
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socketPath()));
+
+  ASSERT_TRUE(client.sendLine(
+      serializeRequest(compileRequest(heavySource(48), 1))));
+  constexpr int kBurst = 64;
+  Request ping;
+  ping.op = Request::Op::Ping;
+  for (int i = 0; i < kBurst; ++i) {
+    ping.id = 10 + i;
+    ASSERT_TRUE(client.sendLine(serializeRequest(ping)));
+  }
+
+  int ok = 0;
+  int overloaded = 0;
+  for (int i = 0; i < kBurst + 1; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recvLine(&line));
+    std::string parseError;
+    JsonValuePtr response = parseJson(line, &parseError);
+    ASSERT_NE(response, nullptr) << parseError;
+    if (response->getBool("ok", false)) {
+      ++ok;
+    } else {
+      EXPECT_EQ(response->get("error")->getString("kind"), "overloaded");
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kBurst + 1);
+  EXPECT_GE(overloaded, 1) << "burst never tripped admission control";
+  EXPECT_EQ(fixture.server().stats().overloaded,
+            static_cast<std::uint64_t>(overloaded));
+}
+
+TEST(ServiceTest, ShutdownRequestUnblocksWait) {
+  ScopedServer fixture;
+  ASSERT_TRUE(fixture.started());
+
+  std::thread waiter([&] { fixture.server().wait(); });
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.socketPath()));
+  Request shutdown;
+  shutdown.op = Request::Op::Shutdown;
+  shutdown.id = 9;
+  JsonValuePtr response = call(client, shutdown);
+  ASSERT_NE(response, nullptr);
+  EXPECT_TRUE(response->getBool("ok", false));
+  waiter.join();  // hangs forever if shutdown does not signal wait()
+  fixture.server().stop();
+  EXPECT_FALSE(fixture.server().running());
+}
+
+// --- the soak -------------------------------------------------------------
+
+TEST(ServiceSoakTest, ThousandConcurrentMixedRequests) {
+  constexpr int kClients = 12;
+  constexpr int kPerClient = 100;  // 1200 requests total
+  ScopedServer fixture(/*workers=*/4, /*queueCapacity=*/512);
+  ASSERT_TRUE(fixture.started());
+
+  // Ground truth for the warm program, computed through the same server
+  // before the storm: every warm response must match it byte-for-byte
+  // at the plan-stats level.
+  std::int64_t wantBoundaries = 0;
+  std::int64_t wantCounters = 0;
+  std::int64_t wantBarriers = 0;
+  {
+    Client client;
+    ASSERT_TRUE(client.connect(fixture.socketPath()));
+    JsonValuePtr cold = call(client, compileRequest(kStencilSource, 1));
+    ASSERT_NE(cold, nullptr);
+    ASSERT_TRUE(cold->getBool("ok", false)) << cold->getString("error");
+    const JsonValue* stats = cold->get("stats");
+    ASSERT_NE(stats, nullptr);
+    wantBoundaries = stats->getInt("boundaries", -1);
+    wantCounters = stats->getInt("counters", -1);
+    wantBarriers = stats->getInt("barriers", -1);
+  }
+
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::vector<long>> latencies(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      if (!client.connect(fixture.socketPath())) {
+        failures.fetch_add(kPerClient);
+        return;
+      }
+      latencies[c].reserve(kPerClient);
+      for (int i = 0; i < kPerClient; ++i) {
+        Request req;
+        req.id = c * 1000 + i;
+        const int kind = i % 4;
+        if (kind == 0) {
+          // Cold: unique program, guaranteed miss.
+          req = compileRequest(coldSource(c * 1000 + i), req.id);
+        } else if (kind == 1 || kind == 2) {
+          // Warm: the shared stencil, hot in every stage.
+          req = compileRequest(kStencilSource, req.id);
+        } else {
+          // Invalidating: same stencil under different result-affecting
+          // options — full-key miss, frontend-key hit.
+          req = compileRequest(kStencilSource, req.id);
+          req.barriersOnly = (i % 8) == 3;
+          req.enableCounters = !req.barriersOnly;
+          if (!req.barriersOnly) {
+            req.physicalBarriers = 2;
+            req.physicalCounters = 2;
+          }
+        }
+        const auto start = std::chrono::steady_clock::now();
+        std::string error;
+        JsonValuePtr response = client.call(req, &error);
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        latencies[c].push_back(static_cast<long>(micros));
+        if (response == nullptr || !response->getBool("ok", false)) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (response->getInt("id", -1) != req.id) failures.fetch_add(1);
+        if (kind == 1 || kind == 2) {
+          const JsonValue* stats = response->get("stats");
+          if (stats == nullptr ||
+              stats->getInt("boundaries", -1) != wantBoundaries ||
+              stats->getInt("counters", -1) != wantCounters ||
+              stats->getInt("barriers", -1) != wantBarriers)
+            mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const Server::Stats served = fixture.server().stats();
+  EXPECT_GE(served.served, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(served.overloaded, 0u) << "blocking clients must never overload "
+                                      "a queue deeper than the client count";
+
+  const driver::ArtifactCache::Counters cache = fixture.cache().counters();
+  EXPECT_GT(cache.hits, cache.misses)
+      << "warm-dominated mix must be hit-dominated";
+  EXPECT_GT(cache.hits, 0u);
+
+  std::vector<long> all;
+  for (const auto& perClient : latencies)
+    all.insert(all.end(), perClient.begin(), perClient.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kClients * kPerClient));
+  std::sort(all.begin(), all.end());
+  auto pct = [&](double p) {
+    return all[std::min(all.size() - 1,
+                        static_cast<std::size_t>(p * all.size()))];
+  };
+  std::cout << "soak: " << all.size() << " requests, cache hits "
+            << cache.hits << " / misses " << cache.misses << ", latency p50 "
+            << pct(0.50) << "us p95 " << pct(0.95) << "us p99 " << pct(0.99)
+            << "us\n";
+}
+
+}  // namespace
+}  // namespace spmd::service

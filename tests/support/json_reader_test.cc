@@ -109,5 +109,50 @@ TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
   EXPECT_EQ(v->get("nested")->getInt("deep"), -5);
 }
 
+// The recursive-descent parser must refuse pathologically nested input
+// with a structured error instead of overflowing the stack (a service
+// parsing untrusted request lines dies otherwise).  Pre-depth-limit code
+// crashed on these inputs.
+TEST(JsonReaderTest, RejectsDeeplyNestedArrays) {
+  const int depth = 200000;  // would need ~depth stack frames unguarded
+  std::string text(depth, '[');
+  text.append(depth, ']');
+  std::string error;
+  EXPECT_EQ(parseJson(text, &error), nullptr);
+  EXPECT_NE(error.find("nesting depth limit"), std::string::npos) << error;
+}
+
+TEST(JsonReaderTest, RejectsDeeplyNestedObjects) {
+  std::string text;
+  const int depth = 100000;
+  for (int i = 0; i < depth; ++i) text += "{\"k\":";
+  text += "null";
+  for (int i = 0; i < depth; ++i) text += "}";
+  std::string error;
+  EXPECT_EQ(parseJson(text, &error), nullptr);
+  EXPECT_NE(error.find("nesting depth limit"), std::string::npos) << error;
+}
+
+TEST(JsonReaderTest, AcceptsNestingUpToTheLimit) {
+  // Exactly kJsonMaxDepth open containers parse; one more is an error.
+  std::string ok(kJsonMaxDepth, '[');
+  ok.append(kJsonMaxDepth, ']');
+  std::string error;
+  EXPECT_NE(parseJson(ok, &error), nullptr) << error;
+
+  std::string over(kJsonMaxDepth + 1, '[');
+  over.append(kJsonMaxDepth + 1, ']');
+  EXPECT_EQ(parseJson(over, &error), nullptr);
+}
+
+// Truncated deep input must also fail cleanly (the guard fires before
+// the end-of-input check has a chance to).
+TEST(JsonReaderTest, RejectsTruncatedDeepNesting) {
+  std::string text(150000, '[');
+  std::string error;
+  EXPECT_EQ(parseJson(text, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
 }  // namespace
 }  // namespace spmd

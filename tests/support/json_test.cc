@@ -126,5 +126,40 @@ TEST(JsonEscapeTest, LocaleIndependent) {
   EXPECT_EQ(jsonEscape("a\"b\n"), "a\\\"b\\n");
 }
 
+// Compact mode frames a whole document on one line (the service protocol
+// is newline-delimited, so any embedded '\n' would split a response).
+TEST(JsonWriterTest, CompactModeEmitsSingleLine) {
+  std::ostringstream os;
+  JsonWriter json(os, /*compact=*/true);
+  json.object();
+  json.field("ok", true);
+  json.field("items").array();
+  json.value(1);
+  json.value(2);
+  json.close();
+  json.field("nested").object();
+  json.field("s", "multi\nline");
+  json.close();
+  json.close();
+  ASSERT_TRUE(json.done());
+  const std::string out = os.str();
+  EXPECT_EQ(out.find('\n'), std::string::npos) << out;
+  EXPECT_EQ(out,
+            "{\"ok\": true,\"items\": [1,2],\"nested\": "
+            "{\"s\": \"multi\\nline\"}}");
+}
+
+TEST(JsonWriterTest, CompactEmptyContainers) {
+  std::ostringstream os;
+  JsonWriter json(os, /*compact=*/true);
+  json.object();
+  json.field("a").array();
+  json.close();
+  json.field("o").object();
+  json.close();
+  json.close();
+  EXPECT_EQ(os.str(), "{\"a\": [],\"o\": {}}");
+}
+
 }  // namespace
 }  // namespace spmd

@@ -1,11 +1,12 @@
 // bench_gate — CI performance gate over the benchmark JSON artifacts.
 //
 // Compares a freshly produced BENCH_runtime.json, BENCH_compile_time.json,
-// or BENCH_sync.json against the committed baseline and exits nonzero when
-// any configuration regressed beyond the tolerance.  The gated metric is
-// always a *ratio* internal to one run (lowered-vs-interpreted speedup per
-// config, base-vs-memoized analysis speedup per kernel, or per-algorithm
-// barrier latency vs central), never an absolute time —
+// BENCH_sync.json, or BENCH_service.json against the committed baseline and
+// exits nonzero when any configuration regressed beyond the tolerance.  The
+// gated metric is always a *ratio* internal to one run (lowered-vs-
+// interpreted speedup per config, base-vs-memoized analysis speedup per
+// kernel, per-algorithm barrier latency vs central, or cold-vs-warm service
+// latency and cache hit rate), never an absolute time —
 // so a smoke-mode fresh run on slower CI hardware compares meaningfully
 // against a full-size baseline captured elsewhere.
 //
@@ -109,6 +110,28 @@ bool loadSync(const JsonValue& doc, Loaded& out, std::string* error) {
   return true;
 }
 
+bool loadService(const JsonValue& doc, Loaded& out, std::string* error) {
+  const JsonValue* phases = doc.get("phases");
+  const JsonValue* cache = doc.get("cache");
+  if (phases == nullptr || !phases->isArray() || cache == nullptr) {
+    *error = "service bench file has no phases array / cache object";
+    return false;
+  }
+  // A phase with failed requests poisons every gated ratio.
+  bool correct = true;
+  for (const auto& p : phases->items())
+    if (p->getInt("failures", 0) != 0) correct = false;
+  Entry speedup;
+  speedup.ratio = doc.getDouble("cold_over_warm_p50", 0.0);
+  speedup.correct = correct;
+  out.entries["cold_over_warm|p50"] = speedup;
+  Entry hitRate;
+  hitRate.ratio = cache->getDouble("hit_rate", 0.0);
+  hitRate.correct = correct;
+  out.entries["cache|hit_rate"] = hitRate;
+  return true;
+}
+
 bool loadFile(const std::string& path, Loaded& out, std::string* error) {
   spmd::JsonValuePtr doc = spmd::parseJsonFile(path, error);
   if (doc == nullptr) return false;
@@ -117,6 +140,7 @@ bool loadFile(const std::string& path, Loaded& out, std::string* error) {
   if (out.benchmark == "compile_time")
     return loadCompileTime(*doc, out, error);
   if (out.benchmark == "sync") return loadSync(*doc, out, error);
+  if (out.benchmark == "service") return loadService(*doc, out, error);
   *error = "unrecognized benchmark kind \"" + out.benchmark + "\"";
   return false;
 }

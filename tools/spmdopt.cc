@@ -66,6 +66,14 @@
 //                           registers (two-level sync IR; exits 1 when
 //                           the plan does not fit)
 //     --physical-counters=M allocate counters onto M physical slots
+//     --serve=SOCK          persistent service mode: accept concurrent
+//                           compile/run requests as newline-delimited JSON
+//                           over the Unix socket SOCK (see
+//                           src/service/protocol.h for the wire format);
+//                           all sessions share the process artifact cache
+//     --serve-workers=N     service worker threads        (default 4)
+//     --serve-queue=N       service admission-queue bound (default 64;
+//                           past it requests get an "overloaded" reject)
 //     --version
 //     --help
 #include <algorithm>
@@ -88,6 +96,7 @@
 #include "obs/stats.h"
 #include "runtime/sync_primitive.h"
 #include "runtime/team.h"
+#include "service/server.h"
 #include "support/flags.h"
 #include "support/text_table.h"
 
@@ -117,6 +126,9 @@ struct Options {
   spmd::cg::EngineKind engine = spmd::cg::EngineKind::Lowered;
   int physicalBarriers = 0;  ///< 0 = unbounded (allocation pass off)
   int physicalCounters = 0;
+  std::string servePath;  ///< --serve=SOCK; empty = one-shot CLI mode
+  int serveWorkers = 4;
+  int serveQueue = 64;
   std::vector<std::string> files;
   std::vector<std::pair<std::string, spmd::i64>> binds;
 };
@@ -132,6 +144,7 @@ void usage(std::ostream& os) {
         "[--spin=pause|backoff|yield] "
         "[--engine=lowered|interpreted|native] "
         "[--physical-barriers=K] [--physical-counters=M] "
+        "[--serve=SOCK] [--serve-workers=N] [--serve-queue=N] "
         "[--version] [file...]\n";
 }
 
@@ -293,6 +306,24 @@ bool parseArgs(int argc, char** argv, Options& opts) {
         return false;
       if (opts.physicalCounters < 1) {
         std::cerr << "error: --physical-counters must be >= 1\n";
+        return false;
+      }
+    } else if (auto v = valueOf("--serve=")) {
+      if (v->empty()) {
+        std::cerr << "error: --serve requires a socket path\n";
+        return false;
+      }
+      opts.servePath = *v;
+    } else if (auto v = valueOf("--serve-workers=")) {
+      if (!parseInt(*v, "--serve-workers", opts.serveWorkers)) return false;
+      if (opts.serveWorkers < 1) {
+        std::cerr << "error: --serve-workers must be >= 1\n";
+        return false;
+      }
+    } else if (auto v = valueOf("--serve-queue=")) {
+      if (!parseInt(*v, "--serve-queue", opts.serveQueue)) return false;
+      if (opts.serveQueue < 1) {
+        std::cerr << "error: --serve-queue must be >= 1\n";
         return false;
       }
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -553,6 +584,37 @@ int main(int argc, char** argv) {
     usage(std::cerr);
     return 2;
   }
+  // Service mode: no input files; serve requests until a shutdown
+  // request arrives.
+  if (!opts.servePath.empty()) {
+    if (opts.stats) obs::setStatsEnabled(true);
+    if (!opts.files.empty()) {
+      std::cerr << "error: --serve takes no input files\n";
+      return 2;
+    }
+    service::ServerOptions serverOptions;
+    serverOptions.socketPath = opts.servePath;
+    serverOptions.workers = opts.serveWorkers;
+    serverOptions.queueCapacity = static_cast<std::size_t>(opts.serveQueue);
+    service::Server server(std::move(serverOptions));
+    std::string error;
+    if (!server.start(&error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    std::cout << "spmdopt serving on " << server.socketPath() << " ("
+              << opts.serveWorkers << " workers, queue " << opts.serveQueue
+              << ")" << std::endl;
+    server.wait();
+    server.stop();
+    const service::Server::Stats stats = server.stats();
+    std::cout << "spmdopt served " << stats.served << " requests ("
+              << stats.overloaded << " overloaded, " << stats.invalid
+              << " invalid)" << std::endl;
+    if (opts.stats) std::cout << obs::renderStats();
+    return 0;
+  }
+
   if (opts.files.empty()) opts.files.push_back("-");
   if (!opts.traceFile.empty() && opts.files.size() > 1) {
     std::cerr << "error: --trace supports a single input file\n";
